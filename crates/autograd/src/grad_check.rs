@@ -1,0 +1,130 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by this crate's tests and re-exported so higher layers (`hgnas-nn`,
+//! `hgnas-ops`) can gradient-check their composite modules too.
+
+use crate::{Tape, Var};
+use hgnas_tensor::Tensor;
+
+/// Estimates `d loss / d input` by central finite differences.
+///
+/// `build` must construct the loss from scratch on the provided tape given
+/// the (perturbed) input tensor, returning the scalar loss var. The same
+/// closure is used for the analytic pass by the caller, so any mismatch is a
+/// genuine backward-pass bug.
+///
+/// # Example
+///
+/// ```
+/// use hgnas_autograd::{numerical_gradient, Tape};
+/// use hgnas_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![1.0, -2.0], &[1, 2]);
+/// let num = numerical_gradient(&x, 1e-3, |tape, t| {
+///     let v = tape.param(t.clone());
+///     let y = tape.relu(v);
+///     tape.sum_all(y)
+/// });
+/// assert!((num.data()[0] - 1.0).abs() < 1e-3);
+/// assert!(num.data()[1].abs() < 1e-3);
+/// ```
+pub fn numerical_gradient<F>(input: &Tensor, eps: f32, build: F) -> Tensor
+where
+    F: Fn(&mut Tape, &Tensor) -> Var,
+{
+    let mut grad = Tensor::zeros(input.dims());
+    for i in 0..input.numel() {
+        let mut plus = input.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = input.clone();
+        minus.data_mut()[i] -= eps;
+
+        let mut tp = Tape::new();
+        let lp = build(&mut tp, &plus);
+        let mut tm = Tape::new();
+        let lm = build(&mut tm, &minus);
+
+        grad.data_mut()[i] = (tp.value(lp).item() - tm.value(lm).item()) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Asserts that the analytic gradient produced by `build` matches its
+/// finite-difference estimate within `tol` (absolute, elementwise).
+///
+/// # Panics
+///
+/// Panics with a description of the first mismatching element.
+pub fn assert_grad_close<F>(input: &Tensor, eps: f32, tol: f32, build: F)
+where
+    F: Fn(&mut Tape, &Tensor) -> Var,
+{
+    let numeric = numerical_gradient(input, eps, &build);
+    let mut tape = Tape::new();
+    // Rebuild with the input registered as a param to extract the analytic grad.
+    let loss = build(&mut tape, input);
+    tape.backward(loss);
+    // The first param pushed by `build` is by convention the checked input:
+    // find the first leaf with a gradient.
+    let analytic = (0..tape.len())
+        .map(Var::from_index)
+        .find_map(|v| tape.grad(v).cloned())
+        .expect("build closure must register the input with tape.param");
+    for i in 0..input.numel() {
+        let (a, n) = (analytic.data()[i], numeric.data()[i]);
+        assert!(
+            (a - n).abs() <= tol,
+            "gradient mismatch at flat index {i}: analytic {a} vs numeric {n}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgnas_tensor::reduce::Reduction;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_layer_grad_checks() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::randn(&mut rng, &[4, 3], 1.0);
+        assert_grad_close(&x, 1e-2, 1e-2, |tape, t| {
+            let v = tape.param(t.clone());
+            let w = tape.input(Tensor::from_vec(
+                (0..12).map(|i| 0.1 * i as f32).collect(),
+                &[3, 4],
+            ));
+            let y = tape.matmul(v, w);
+            let a = tape.tanh(y);
+            tape.mean_all(a)
+        });
+    }
+
+    #[test]
+    fn message_passing_pipeline_grad_checks() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = Tensor::randn(&mut rng, &[4, 2], 1.0);
+        let idx = vec![1usize, 2, 0, 3, 2, 1, 0, 0]; // 4 nodes * k=2 neighbours
+        assert_grad_close(&x, 1e-2, 2e-2, move |tape, t| {
+            let v = tape.param(t.clone());
+            let nbr = tape.gather_rows(v, &idx);
+            let ctr = tape.repeat_rows(v, 2);
+            let rel = tape.sub(nbr, ctr);
+            let msg = tape.concat_cols(&[ctr, rel]);
+            let agg = tape.reduce_mid(msg, 2, Reduction::Max);
+            let pooled = tape.segment_pool(agg, &[4], Reduction::Mean);
+            tape.sum_all(pooled)
+        });
+    }
+
+    #[test]
+    fn mse_grad_checks() {
+        let x = Tensor::from_vec(vec![0.5, 2.0, -1.0], &[3, 1]);
+        assert_grad_close(&x, 1e-3, 1e-2, |tape, t| {
+            let v = tape.param(t.clone());
+            tape.mse_loss(v, &[1.0, 1.0, 1.0])
+        });
+    }
+}

@@ -1,0 +1,767 @@
+//! The autograd tape: forward op recording and reverse-mode gradient flow.
+
+use hgnas_tensor::kernels::{
+    concat_cols, fold_rows, gather_rows, repeat_rows, row_norms, scatter_add_rows, split_cols,
+};
+use hgnas_tensor::reduce::{reduce_mid_axis, segment_reduce_rows, Reduction};
+use hgnas_tensor::Tensor;
+
+/// Handle to a value recorded on a [`Tape`].
+///
+/// `Var` is a cheap copyable index; it is only meaningful for the tape that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+impl Var {
+    /// Reconstructs a var from a raw tape index (crate-internal; used by the
+    /// gradient checker to scan a tape's leaves).
+    pub(crate) fn from_index(i: usize) -> Var {
+        Var(i)
+    }
+}
+
+/// Epsilon guarding divisions in norm and MAPE backward passes.
+const EPS: f32 = 1e-8;
+
+/// The recorded operation for one tape node, including everything the
+/// backward pass needs.
+enum Op {
+    /// Leaf: an input or parameter.
+    Leaf,
+    /// `a @ b`.
+    Matmul(Var, Var),
+    /// `x + bias_row` (bias broadcast over rows).
+    AddBias(Var, Var),
+    /// `a + b`, same shape.
+    Add(Var, Var),
+    /// `a - b`, same shape.
+    Sub(Var, Var),
+    /// `a ∘ b`, same shape.
+    Mul(Var, Var),
+    /// `x * s`.
+    Scale(Var, f32),
+    /// `relu(x)` with saved input sign mask handled via value lookup.
+    Relu(Var),
+    /// `leaky_relu(x, slope)`.
+    LeakyRelu(Var, f32),
+    /// `tanh(x)` — backward uses the saved output.
+    Tanh(Var),
+    /// Row gather: `out[i] = x[idx[i]]`.
+    Gather(Var, Vec<usize>),
+    /// Row repeat: each row duplicated `k` times.
+    Repeat(Var, usize),
+    /// Column concat of several vars with saved widths.
+    Concat(Vec<Var>, Vec<usize>),
+    /// `[n*k, c]` viewed as `[n,k,c]`, reduced over `k`; saves winner args
+    /// for max/min.
+    ReduceMid {
+        x: Var,
+        k: usize,
+        how: Reduction,
+        args: Vec<usize>,
+    },
+    /// Segment pooling over rows with saved segment offsets and winner args.
+    SegmentPool {
+        x: Var,
+        segments: Vec<usize>,
+        how: Reduction,
+        args: Vec<usize>,
+    },
+    /// Per-row L2 norm `[n,c] -> [n,1]`.
+    RowNorms(Var),
+    /// Mean of all elements -> scalar.
+    MeanAll(Var),
+    /// Sum of all elements -> scalar.
+    SumAll(Var),
+    /// Mean softmax cross-entropy against integer labels; saves softmax.
+    SoftmaxCrossEntropy {
+        logits: Var,
+        labels: Vec<usize>,
+        softmax: Tensor,
+    },
+    /// Mean absolute percentage error against constant targets.
+    MapeLoss { pred: Var, target: Vec<f32> },
+    /// Mean squared error against constant targets.
+    MseLoss { pred: Var, target: Vec<f32> },
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// A define-by-run autograd tape.
+///
+/// Values are recorded in topological order as ops execute, so the backward
+/// pass is a single reverse sweep. See the crate docs for a usage example.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            requires_grad,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn requires(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Records a constant input (no gradient tracked).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// Records a trainable parameter (gradient tracked).
+    pub fn param(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Returns the forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Returns the gradient of `v` if it was computed by [`Tape::backward`].
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    // ---- forward ops -----------------------------------------------------
+
+    /// Matrix product (2-D × 2-D).
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::Matmul(a, b), rg)
+    }
+
+    /// Adds a 1-D bias row to every row of a 2-D tensor.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let value = self.value(x).add(self.value(bias));
+        let rg = self.requires(x) || self.requires(bias);
+        self.push(value, Op::AddBias(x, bias), rg)
+    }
+
+    /// Elementwise sum of two same-shaped tensors.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip_map(self.value(b), |x, y| x + y);
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::Add(a, b), rg)
+    }
+
+    /// Elementwise difference of two same-shaped tensors.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::Sub(a, b), rg)
+    }
+
+    /// Elementwise product of two same-shaped tensors.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).mul(self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::Mul(a, b), rg)
+    }
+
+    /// Multiplies by a compile-time constant.
+    pub fn scale(&mut self, x: Var, s: f32) -> Var {
+        let value = self.value(x).scale(s);
+        let rg = self.requires(x);
+        self.push(value, Op::Scale(x, s), rg)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(|v| v.max(0.0));
+        let rg = self.requires(x);
+        self.push(value, Op::Relu(x), rg)
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, x: Var, slope: f32) -> Var {
+        let value = self.value(x).map(|v| if v > 0.0 { v } else { slope * v });
+        let rg = self.requires(x);
+        self.push(value, Op::LeakyRelu(x, slope), rg)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(f32::tanh);
+        let rg = self.requires(x);
+        self.push(value, Op::Tanh(x), rg)
+    }
+
+    /// Gathers rows by index: `out[i] = x[idx[i]]`.
+    pub fn gather_rows(&mut self, x: Var, idx: &[usize]) -> Var {
+        let value = gather_rows(self.value(x), idx);
+        let rg = self.requires(x);
+        self.push(value, Op::Gather(x, idx.to_vec()), rg)
+    }
+
+    /// Repeats each row `k` times consecutively.
+    pub fn repeat_rows(&mut self, x: Var, k: usize) -> Var {
+        let value = repeat_rows(self.value(x), k);
+        let rg = self.requires(x);
+        self.push(value, Op::Repeat(x, k), rg)
+    }
+
+    /// Concatenates 2-D tensors along columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols needs at least one part");
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let widths: Vec<usize> = tensors.iter().map(|t| t.dims()[1]).collect();
+        let value = concat_cols(&tensors);
+        let rg = parts.iter().any(|&p| self.requires(p));
+        self.push(value, Op::Concat(parts.to_vec(), widths), rg)
+    }
+
+    /// Views `[n*k, c]` as `[n, k, c]` and reduces over the `k` axis,
+    /// producing `[n, c]`. This is neighbour aggregation with a fixed fanout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row count of `x` is not a multiple of `k`.
+    pub fn reduce_mid(&mut self, x: Var, k: usize, how: Reduction) -> Var {
+        let t = self.value(x);
+        let rows = t.dims()[0];
+        assert!(k > 0 && rows % k == 0, "reduce_mid: {rows} rows not divisible by k={k}");
+        let c = t.dims()[1];
+        let viewed = t.reshape(&[rows / k, k, c]);
+        let r = reduce_mid_axis(&viewed, how);
+        let rg = self.requires(x);
+        self.push(
+            r.values,
+            Op::ReduceMid {
+                x,
+                k,
+                how,
+                args: r.args,
+            },
+            rg,
+        )
+    }
+
+    /// Pools rows per contiguous segment (e.g. one segment per point cloud in
+    /// a batch), producing `[segments.len(), c]`.
+    pub fn segment_pool(&mut self, x: Var, segments: &[usize], how: Reduction) -> Var {
+        let r = segment_reduce_rows(self.value(x), segments, how);
+        let rg = self.requires(x);
+        self.push(
+            r.values,
+            Op::SegmentPool {
+                x,
+                segments: segments.to_vec(),
+                how,
+                args: r.args,
+            },
+            rg,
+        )
+    }
+
+    /// Per-row Euclidean norm `[n,c] -> [n,1]`.
+    pub fn row_norms(&mut self, x: Var) -> Var {
+        let value = row_norms(self.value(x));
+        let rg = self.requires(x);
+        self.push(value, Op::RowNorms(x), rg)
+    }
+
+    /// Mean over all elements, producing a scalar.
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let value = Tensor::scalar(self.value(x).mean());
+        let rg = self.requires(x);
+        self.push(value, Op::MeanAll(x), rg)
+    }
+
+    /// Sum over all elements, producing a scalar.
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let value = Tensor::scalar(self.value(x).sum());
+        let rg = self.requires(x);
+        self.push(value, Op::SumAll(x), rg)
+    }
+
+    /// Mean softmax cross-entropy of `[n, classes]` logits against integer
+    /// labels; returns a scalar loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the logit row count or a label
+    /// is out of range.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
+        let t = self.value(logits);
+        assert_eq!(t.shape().rank(), 2, "logits must be [n, classes]");
+        let (n, c) = (t.dims()[0], t.dims()[1]);
+        assert_eq!(labels.len(), n, "label count must match logit rows");
+        let d = t.data();
+        let mut softmax = vec![0.0f32; n * c];
+        let mut loss = 0.0f32;
+        for i in 0..n {
+            assert!(labels[i] < c, "label {} out of range for {c} classes", labels[i]);
+            let row = &d[i * c..(i + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|v| (v - m).exp()).collect();
+            let z: f32 = exps.iter().sum();
+            for j in 0..c {
+                softmax[i * c + j] = exps[j] / z;
+            }
+            loss -= (softmax[i * c + labels[i]] + EPS).ln();
+        }
+        let value = Tensor::scalar(loss / n as f32);
+        let rg = self.requires(logits);
+        self.push(
+            value,
+            Op::SoftmaxCrossEntropy {
+                logits,
+                labels: labels.to_vec(),
+                softmax: Tensor::from_vec(softmax, &[n, c]),
+            },
+            rg,
+        )
+    }
+
+    /// Mean absolute percentage error `mean(|p - t| / max(|t|, ε))` — the
+    /// loss the paper trains its latency predictor with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prediction element count differs from `target.len()`.
+    pub fn mape_loss(&mut self, pred: Var, target: &[f32]) -> Var {
+        let p = self.value(pred);
+        assert_eq!(p.numel(), target.len(), "pred/target length mismatch");
+        let loss: f32 = p
+            .data()
+            .iter()
+            .zip(target)
+            .map(|(&pi, &ti)| (pi - ti).abs() / ti.abs().max(EPS))
+            .sum::<f32>()
+            / target.len() as f32;
+        let rg = self.requires(pred);
+        self.push(
+            Tensor::scalar(loss),
+            Op::MapeLoss {
+                pred,
+                target: target.to_vec(),
+            },
+            rg,
+        )
+    }
+
+    /// Mean squared error against constant targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prediction element count differs from `target.len()`.
+    pub fn mse_loss(&mut self, pred: Var, target: &[f32]) -> Var {
+        let p = self.value(pred);
+        assert_eq!(p.numel(), target.len(), "pred/target length mismatch");
+        let loss: f32 = p
+            .data()
+            .iter()
+            .zip(target)
+            .map(|(&pi, &ti)| (pi - ti) * (pi - ti))
+            .sum::<f32>()
+            / target.len() as f32;
+        let rg = self.requires(pred);
+        self.push(
+            Tensor::scalar(loss),
+            Op::MseLoss {
+                pred,
+                target: target.to_vec(),
+            },
+            rg,
+        )
+    }
+
+    // ---- backward --------------------------------------------------------
+
+    fn accumulate(&mut self, v: Var, g: Tensor) {
+        if !self.nodes[v.0].requires_grad {
+            return;
+        }
+        match &mut self.nodes[v.0].grad {
+            Some(existing) => *existing = existing.zip_map(&g, |a, b| a + b),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Runs the reverse sweep from `loss` (which must be scalar), populating
+    /// gradients for every node with `requires_grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar (single-element) value.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.numel(),
+            1,
+            "backward requires a scalar loss"
+        );
+        self.nodes[loss.0].grad = Some(Tensor::full(self.nodes[loss.0].value.dims(), 1.0));
+        for i in (0..=loss.0).rev() {
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            let Some(gout) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            // Take op context by reference; clone the small bits we need.
+            match &self.nodes[i].op {
+                Op::Leaf => {}
+                Op::Matmul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let da = hgnas_tensor::matmul::matmul_bt(&gout, self.value(b));
+                    let db = hgnas_tensor::matmul::matmul_at(self.value(a), &gout);
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::AddBias(x, bias) => {
+                    let (x, bias) = (*x, *bias);
+                    let cols = self.value(bias).dims()[0];
+                    let mut db = vec![0.0f32; cols];
+                    for (idx, g) in gout.data().iter().enumerate() {
+                        db[idx % cols] += g;
+                    }
+                    self.accumulate(x, gout.clone());
+                    self.accumulate(bias, Tensor::from_vec(db, &[cols]));
+                }
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.accumulate(a, gout.clone());
+                    self.accumulate(b, gout);
+                }
+                Op::Sub(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.accumulate(a, gout.clone());
+                    self.accumulate(b, gout.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let da = gout.mul(self.value(b));
+                    let db = gout.mul(self.value(a));
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::Scale(x, s) => {
+                    let (x, s) = (*x, *s);
+                    self.accumulate(x, gout.scale(s));
+                }
+                Op::Relu(x) => {
+                    let x = *x;
+                    let mask = self.value(x).map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                    self.accumulate(x, gout.mul(&mask));
+                }
+                Op::LeakyRelu(x, slope) => {
+                    let (x, slope) = (*x, *slope);
+                    let mask = self.value(x).map(|v| if v > 0.0 { 1.0 } else { slope });
+                    self.accumulate(x, gout.mul(&mask));
+                }
+                Op::Tanh(x) => {
+                    let x = *x;
+                    let y = &self.nodes[i].value;
+                    let dx = gout.zip_map(y, |g, t| g * (1.0 - t * t));
+                    self.accumulate(x, dx);
+                }
+                Op::Gather(x, idx) => {
+                    let x = *x;
+                    let n = self.value(x).dims()[0];
+                    let idx = idx.clone();
+                    let dx = scatter_add_rows(&gout, &idx, n);
+                    self.accumulate(x, dx);
+                }
+                Op::Repeat(x, k) => {
+                    let (x, k) = (*x, *k);
+                    self.accumulate(x, fold_rows(&gout, k));
+                }
+                Op::Concat(parts, widths) => {
+                    let parts = parts.clone();
+                    let widths = widths.clone();
+                    let grads = split_cols(&gout, &widths);
+                    for (p, g) in parts.into_iter().zip(grads) {
+                        self.accumulate(p, g);
+                    }
+                }
+                Op::ReduceMid { x, k, how, args } => {
+                    let (x, k, how) = (*x, *k, *how);
+                    let args = args.clone();
+                    let (n, c) = (gout.dims()[0], gout.dims()[1]);
+                    let mut dx = vec![0.0f32; n * k * c];
+                    match how {
+                        Reduction::Sum => {
+                            for i2 in 0..n {
+                                for kk in 0..k {
+                                    for j in 0..c {
+                                        dx[(i2 * k + kk) * c + j] = gout.data()[i2 * c + j];
+                                    }
+                                }
+                            }
+                        }
+                        Reduction::Mean => {
+                            let inv = 1.0 / k as f32;
+                            for i2 in 0..n {
+                                for kk in 0..k {
+                                    for j in 0..c {
+                                        dx[(i2 * k + kk) * c + j] = gout.data()[i2 * c + j] * inv;
+                                    }
+                                }
+                            }
+                        }
+                        Reduction::Max | Reduction::Min => {
+                            for i2 in 0..n {
+                                for j in 0..c {
+                                    let kk = args[i2 * c + j];
+                                    dx[(i2 * k + kk) * c + j] = gout.data()[i2 * c + j];
+                                }
+                            }
+                        }
+                    }
+                    self.accumulate(x, Tensor::from_vec(dx, &[n * k, c]));
+                }
+                Op::SegmentPool {
+                    x,
+                    segments,
+                    how,
+                    args,
+                } => {
+                    let x = *x;
+                    let how = *how;
+                    let segments = segments.clone();
+                    let args = args.clone();
+                    let c = gout.dims()[1];
+                    let total: usize = segments.iter().sum();
+                    let mut dx = vec![0.0f32; total * c];
+                    let mut row0 = 0usize;
+                    for (si, &len) in segments.iter().enumerate() {
+                        match how {
+                            Reduction::Sum | Reduction::Mean => {
+                                let w = if how == Reduction::Mean {
+                                    1.0 / len as f32
+                                } else {
+                                    1.0
+                                };
+                                for r in row0..row0 + len {
+                                    for j in 0..c {
+                                        dx[r * c + j] = gout.data()[si * c + j] * w;
+                                    }
+                                }
+                            }
+                            Reduction::Max | Reduction::Min => {
+                                for j in 0..c {
+                                    let off = args[si * c + j];
+                                    dx[(row0 + off) * c + j] = gout.data()[si * c + j];
+                                }
+                            }
+                        }
+                        row0 += len;
+                    }
+                    self.accumulate(x, Tensor::from_vec(dx, &[total, c]));
+                }
+                Op::RowNorms(x) => {
+                    let x = *x;
+                    let xt = self.value(x).clone();
+                    let (n, c) = (xt.dims()[0], xt.dims()[1]);
+                    let norms = &self.nodes[i].value;
+                    let mut dx = vec![0.0f32; n * c];
+                    for i2 in 0..n {
+                        let nv = norms.data()[i2].max(EPS);
+                        let g = gout.data()[i2];
+                        for j in 0..c {
+                            dx[i2 * c + j] = g * xt.data()[i2 * c + j] / nv;
+                        }
+                    }
+                    self.accumulate(x, Tensor::from_vec(dx, &[n, c]));
+                }
+                Op::MeanAll(x) => {
+                    let x = *x;
+                    let n = self.value(x).numel() as f32;
+                    let g = gout.item() / n;
+                    let dx = Tensor::full(self.value(x).dims(), g);
+                    self.accumulate(x, dx);
+                }
+                Op::SumAll(x) => {
+                    let x = *x;
+                    let dx = Tensor::full(self.value(x).dims(), gout.item());
+                    self.accumulate(x, dx);
+                }
+                Op::SoftmaxCrossEntropy {
+                    logits,
+                    labels,
+                    softmax,
+                } => {
+                    let logits = *logits;
+                    let labels = labels.clone();
+                    let mut dx = softmax.clone();
+                    let (n, c) = (dx.dims()[0], dx.dims()[1]);
+                    let scale = gout.item() / n as f32;
+                    let d = dx.data_mut();
+                    for (i2, &lab) in labels.iter().enumerate() {
+                        d[i2 * c + lab] -= 1.0;
+                    }
+                    for v in d.iter_mut() {
+                        *v *= scale;
+                    }
+                    self.accumulate(logits, dx);
+                }
+                Op::MapeLoss { pred, target } => {
+                    let pred = *pred;
+                    let target = target.clone();
+                    let p = self.value(pred).clone();
+                    let n = target.len() as f32;
+                    let scale = gout.item() / n;
+                    let data: Vec<f32> = p
+                        .data()
+                        .iter()
+                        .zip(&target)
+                        .map(|(&pi, &ti)| {
+                            let s = if pi > ti {
+                                1.0
+                            } else if pi < ti {
+                                -1.0
+                            } else {
+                                0.0
+                            };
+                            scale * s / ti.abs().max(EPS)
+                        })
+                        .collect();
+                    self.accumulate(pred, Tensor::from_vec(data, p.dims()));
+                }
+                Op::MseLoss { pred, target } => {
+                    let pred = *pred;
+                    let target = target.clone();
+                    let p = self.value(pred).clone();
+                    let n = target.len() as f32;
+                    let scale = 2.0 * gout.item() / n;
+                    let data: Vec<f32> = p
+                        .data()
+                        .iter()
+                        .zip(&target)
+                        .map(|(&pi, &ti)| scale * (pi - ti))
+                        .collect();
+                    self.accumulate(pred, Tensor::from_vec(data, p.dims()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_chain_grads() {
+        // loss = sum(A @ B); dA = 1 @ B^T, dB = A^T @ 1.
+        let mut tape = Tape::new();
+        let a = tape.param(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = tape.param(Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]));
+        let c = tape.matmul(a, b);
+        let loss = tape.sum_all(c);
+        tape.backward(loss);
+        assert_eq!(tape.grad(a).unwrap().data(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(tape.grad(b).unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]));
+        let y = tape.relu(x);
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x).unwrap().data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_per_row() {
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::from_vec(vec![2.0, -1.0, 0.5, 0.0, 0.0, 0.0], &[2, 3]));
+        let loss = tape.softmax_cross_entropy(x, &[0, 2]);
+        tape.backward(loss);
+        let g = tape.grad(x).unwrap();
+        let row0: f32 = g.data()[0..3].iter().sum();
+        let row1: f32 = g.data()[3..6].iter().sum();
+        assert!(row0.abs() < 1e-6 && row1.abs() < 1e-6);
+        // Gradient at the true label is negative.
+        assert!(g.data()[0] < 0.0);
+        assert!(g.data()[5] < 0.0);
+    }
+
+    #[test]
+    fn gather_routes_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let g = tape.gather_rows(x, &[1, 1, 0]);
+        let loss = tape.sum_all(g);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x).unwrap().data(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn reduce_mid_max_routes_to_winner() {
+        let mut tape = Tape::new();
+        // n=1, k=2, c=2: rows [1,9] and [5,3]; max = [5,9].
+        let x = tape.param(Tensor::from_vec(vec![1.0, 9.0, 5.0, 3.0], &[2, 2]));
+        let r = tape.reduce_mid(x, 2, Reduction::Max);
+        assert_eq!(tape.value(r).data(), &[5.0, 9.0]);
+        let loss = tape.sum_all(r);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x).unwrap().data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn mape_is_scale_invariant_at_value() {
+        let mut tape = Tape::new();
+        let p = tape.param(Tensor::from_vec(vec![110.0, 90.0], &[2, 1]));
+        let loss = tape.mape_loss(p, &[100.0, 100.0]);
+        assert!((tape.value(loss).item() - 0.1).abs() < 1e-6);
+        tape.backward(loss);
+        let g = tape.grad(p).unwrap();
+        assert!(g.data()[0] > 0.0 && g.data()[1] < 0.0);
+    }
+
+    #[test]
+    fn grad_accumulates_across_uses() {
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::from_vec(vec![3.0], &[1, 1]));
+        let y = tape.add(x, x); // y = 2x
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn non_scalar_backward_panics() {
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::zeros(&[2, 2]));
+        tape.backward(x);
+    }
+}

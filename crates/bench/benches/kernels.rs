@@ -1,0 +1,51 @@
+//! Criterion micro-benches for the numerical substrate, including the two
+//! ablations DESIGN.md calls out: blocked vs naive matmul and brute-force
+//! vs grid KNN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hgnas_graph::{knn_brute, knn_grid, knn_kdtree};
+use hgnas_tensor::matmul::{matmul_blocked, matmul_naive, matmul_parallel};
+use hgnas_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[64usize, 256] {
+        let a = Tensor::rand_uniform(&mut rng, &[n, n], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[n, n], -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| matmul_naive(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| matmul_blocked(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", n), &n, |bch, _| {
+            bch.iter(|| matmul_parallel(black_box(&a), black_box(&b), 4))
+        });
+    }
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn");
+    let mut rng = StdRng::seed_from_u64(2);
+    for &n in &[256usize, 1024] {
+        let pts: Vec<f32> = (0..n * 3).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        group.bench_with_input(BenchmarkId::new("brute", n), &n, |bch, _| {
+            bch.iter(|| knn_brute(black_box(&pts), 3, 20))
+        });
+        group.bench_with_input(BenchmarkId::new("grid", n), &n, |bch, _| {
+            bch.iter(|| knn_grid(black_box(&pts), 3, 20))
+        });
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &n, |bch, _| {
+            bch.iter(|| knn_kdtree(black_box(&pts), 3, 20))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_knn);
+criterion_main!(benches);

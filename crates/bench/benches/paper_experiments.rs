@@ -1,0 +1,33 @@
+//! Regenerates every paper table and figure at tiny scale under
+//! `cargo bench` (plain harness, not criterion): the full reproduction
+//! suite in one pass. Run the individual binaries with
+//! `HGNAS_SCALE=small|paper` for higher-fidelity numbers.
+
+use hgnas_bench::{experiments, Scale};
+
+fn main() {
+    // Respect an explicit HGNAS_SCALE, default to tiny for bench runs.
+    let scale = match std::env::var("HGNAS_SCALE").as_deref() {
+        Ok("small") => Scale::Small,
+        Ok("paper") => Scale::Paper,
+        _ => Scale::Tiny,
+    };
+    let t0 = std::time::Instant::now();
+
+    experiments::tab1::run(scale);
+    experiments::fig1::run(scale);
+    experiments::fig3::run(scale);
+    experiments::fig2b::run(scale);
+    experiments::fig8::run(scale);
+    experiments::tab2::run(scale);
+    experiments::fig6::run(scale);
+    experiments::fig7::run(scale);
+    experiments::fig9::run_a(scale);
+    experiments::fig9::run_b(scale);
+    experiments::fig10::run(scale);
+
+    println!(
+        "\nall paper artifacts regenerated at {scale} scale in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,105 @@
+//! Criterion benches over the system pipeline: model forward passes, the
+//! device simulator, predictor inference (the paper's "milliseconds per
+//! candidate" claim) and EA throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hgnas_autograd::Tape;
+use hgnas_core::{evolve, EaConfig};
+use hgnas_device::DeviceKind;
+use hgnas_ops::{dgcnn, lower_edgeconv, Architecture, DgcnnConfig};
+use hgnas_pointcloud::{DatasetConfig, SynthNet40};
+use hgnas_predictor::{LatencyPredictor, PredictorConfig, PredictorContext};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_edgeconv_forward(c: &mut Criterion) {
+    let ds = SynthNet40::generate(&DatasetConfig::tiny(1));
+    let batch = SynthNet40::batches(&ds.train[..4], 4).remove(0);
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = dgcnn(&mut rng, DgcnnConfig::small(ds.classes));
+    c.bench_function("edgeconv_forward_4x48pts", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(model.forward(&mut tape, black_box(&batch), &mut rng))
+        })
+    });
+}
+
+fn bench_device_sim(c: &mut Criterion) {
+    let w = lower_edgeconv(&DgcnnConfig::paper(40), 1024);
+    let profile = DeviceKind::RaspberryPi3B.profile();
+    c.bench_function("device_sim_dgcnn_1024", |b| {
+        b.iter(|| black_box(profile.execute(black_box(&w))))
+    });
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let arch = Architecture::random(&mut rng, 12, 20, 40);
+    c.bench_function("lower_arch_12pos", |b| {
+        b.iter(|| black_box(black_box(&arch).lower(1024, &[128])))
+    });
+}
+
+fn bench_predictor_inference(c: &mut Criterion) {
+    let ctx = PredictorContext {
+        positions: 12,
+        points: 1024,
+        k: 20,
+        classes: 40,
+        head_hidden: vec![128],
+    };
+    let cfg = PredictorConfig {
+        train_samples: 60,
+        val_samples: 20,
+        epochs: 3,
+        lr: 3e-3,
+        gcn_dims: vec![48, 48],
+        mlp_hidden: vec![32],
+        seed: 4,
+        global_node: true,
+    };
+    let (predictor, _) = LatencyPredictor::train(DeviceKind::Rtx3080, &ctx, &cfg);
+    let mut rng = StdRng::seed_from_u64(5);
+    let arch = Architecture::random(&mut rng, 12, 20, 40);
+    // The paper's claim: latency perception per candidate in milliseconds.
+    c.bench_function("predictor_query_12pos", |b| {
+        b.iter(|| black_box(predictor.predict_ms(black_box(&arch))))
+    });
+}
+
+fn bench_ea(c: &mut Criterion) {
+    c.bench_function("ea_onemax_pop16x30", |b| {
+        b.iter(|| {
+            evolve(
+                vec![0u32],
+                &EaConfig {
+                    population: 16,
+                    iterations: 30,
+                    elite_fraction: 0.4,
+                    mutation_prob: 0.8,
+                    seed: 6,
+                },
+                |g| g.count_ones() as f64,
+                |g, rng| g ^ (1 << rng.gen_range(0..32)),
+                |a, b2, rng| {
+                    let mask: u32 = rng.gen();
+                    (a & mask) | (b2 & !mask)
+                },
+            )
+            .best_fitness
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_edgeconv_forward,
+    bench_device_sim,
+    bench_lowering,
+    bench_predictor_inference,
+    bench_ea
+);
+criterion_main!(benches);

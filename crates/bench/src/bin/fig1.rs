@@ -1,0 +1,4 @@
+//! Harness binary regenerating the paper's `fig1` artifact.
+fn main() {
+    hgnas_bench::experiments::fig1::run(hgnas_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Harness binary regenerating the paper's `fig10` artifact.
+fn main() {
+    hgnas_bench::experiments::fig10::run(hgnas_bench::Scale::from_env());
+}

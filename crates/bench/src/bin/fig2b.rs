@@ -1,0 +1,4 @@
+//! Harness binary regenerating the paper's `fig2b` artifact.
+fn main() {
+    hgnas_bench::experiments::fig2b::run(hgnas_bench::Scale::from_env());
+}

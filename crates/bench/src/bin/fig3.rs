@@ -1,0 +1,4 @@
+//! Harness binary regenerating the paper's `fig3` artifact.
+fn main() {
+    hgnas_bench::experiments::fig3::run(hgnas_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Harness binary regenerating the paper's `fig6` artifact.
+fn main() {
+    hgnas_bench::experiments::fig6::run(hgnas_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Harness binary regenerating the paper's `fig7` artifact.
+fn main() {
+    hgnas_bench::experiments::fig7::run(hgnas_bench::Scale::from_env());
+}

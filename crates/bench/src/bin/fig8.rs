@@ -1,0 +1,4 @@
+//! Harness binary regenerating the paper's `fig8` artifact.
+fn main() {
+    hgnas_bench::experiments::fig8::run(hgnas_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Harness binary regenerating the paper's Fig. 9(a) ablation.
+fn main() {
+    hgnas_bench::experiments::fig9::run_a(hgnas_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Harness binary regenerating the paper's Fig. 9(b) ablation.
+fn main() {
+    hgnas_bench::experiments::fig9::run_b(hgnas_bench::Scale::from_env());
+}

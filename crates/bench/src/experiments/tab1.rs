@@ -1,0 +1,64 @@
+//! Table I + Observation ②: the design-space inventory and the
+//! hierarchical-search reduction arithmetic.
+
+use crate::Scale;
+use hgnas_core::space::DesignSpace;
+use hgnas_ops::{Aggregator, ConnectFn, MessageType, SampleFn, COMBINE_DIMS};
+
+/// Prints the design-space inventory (paper Tab. I) and size accounting.
+pub fn run(scale: Scale) {
+    crate::banner("tab1", "design-space inventory (Tab. I / Observation 2)", scale);
+
+    println!("operation   functions");
+    println!(
+        "Connect     {}",
+        ConnectFn::ALL.map(|c| c.to_string()).join(", ")
+    );
+    println!(
+        "Aggregate   aggregator: {}",
+        Aggregator::ALL.map(|a| a.to_string()).join(", ")
+    );
+    println!(
+        "            message: {}",
+        MessageType::ALL.map(|m| m.to_string()).join(", ")
+    );
+    println!(
+        "Combine     {}",
+        COMBINE_DIMS.map(|d| d.to_string()).join(", ")
+    );
+    println!(
+        "Sample      {}",
+        SampleFn::ALL.map(|s| s.to_string()).join(", ")
+    );
+
+    let positions = match scale {
+        Scale::Paper => 12,
+        Scale::Small => 8,
+        Scale::Tiny => 6,
+    };
+    let space = DesignSpace::new(positions);
+    println!("\npositions: {positions}");
+    println!(
+        "options per position (2 sample + 28 aggregate + 6 combine + 2 connect): {}",
+        DesignSpace::options_per_position()
+    );
+    println!("flat fine-grained space:       {:.2e}", space.flat_size());
+    if positions == 12 {
+        println!(
+            "paper headline ((3N)^12):      {:.2e}",
+            space.paper_headline_size()
+        );
+    }
+    println!(
+        "function space (two halves):   {:.2e}",
+        space.function_space_size() as f64
+    );
+    println!(
+        "operation space (4^positions): {:.2e}",
+        space.operation_space_size() as f64
+    );
+    println!(
+        "hierarchical total:            {:.2e}  (paper: 4.2e12 -> 1.7e7 for 12 positions)",
+        space.hierarchical_size() as f64
+    );
+}

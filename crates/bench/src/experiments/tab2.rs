@@ -1,0 +1,188 @@
+//! Table II + Fig. 6: HGNAS-designed models vs DGCNN and the manual
+//! optimisations, per device.
+//!
+//! For every edge device two searches run — `Acc` (accuracy-leaning β) and
+//! `Fast` (latency-leaning β) — and the found architectures are trained
+//! stand-alone on SynthNet40. Accuracy comes from that training at the
+//! harness scale; latency/peak-memory come from deploying at the paper's
+//! 1024-point operating point (k=20) on the device simulator, which is what
+//! makes the latency column comparable with the paper's Table II.
+
+use crate::Scale;
+use hgnas_core::Hgnas;
+use hgnas_device::DeviceKind;
+use hgnas_nn::Module;
+use hgnas_ops::train::{evaluate, fit};
+use hgnas_ops::{
+    dgcnn, knn_reuse_baseline, lower_edgeconv, tailor_baseline, DgcnnConfig, GnnModel,
+};
+use hgnas_pointcloud::SynthNet40;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One table row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Model name.
+    pub name: String,
+    /// Parameter size, MB.
+    pub size_mb: f64,
+    /// Overall accuracy (fraction).
+    pub oa: f64,
+    /// Balanced accuracy (fraction).
+    pub macc: f64,
+    /// Latency at the 1024-point deployment, ms.
+    pub latency_ms: f64,
+    /// Peak memory at the 1024-point deployment, MB.
+    pub mem_mb: f64,
+}
+
+/// All rows for one device.
+#[derive(Debug, Clone)]
+pub struct DeviceResults {
+    /// The device.
+    pub device: DeviceKind,
+    /// DGCNN, \[6\], \[7\], Device-Acc, Device-Fast.
+    pub rows: Vec<Row>,
+    /// The searched architectures (Acc, Fast) for Fig. 10-style display.
+    pub found: Vec<(String, hgnas_ops::Architecture)>,
+}
+
+/// Runs the searches and measurements behind Table II / Fig. 6.
+pub fn compute(scale: Scale) -> Vec<DeviceResults> {
+    let task = scale.task(3);
+    let ds = SynthNet40::generate(&task.dataset);
+    let fit_cfg = scale.fit();
+    let mut rng = StdRng::seed_from_u64(9);
+
+    // --- baselines: train once at harness scale, deploy at paper scale ---
+    let mut dg_model = dgcnn(&mut rng, scale.dgcnn(ds.classes));
+    fit(&mut dg_model, &ds.train, &fit_cfg);
+    let dg_eval = evaluate(&dg_model, &ds.test, ds.classes, 3);
+    let dg_deploy = lower_edgeconv(&DgcnnConfig::paper(40), 1024);
+
+    let mut reuse_model = knn_reuse_baseline(&mut rng, scale.dgcnn(ds.classes));
+    fit(&mut reuse_model, &ds.train, &fit_cfg);
+    let reuse_eval = evaluate(&reuse_model, &ds.test, ds.classes, 3);
+    let mut reuse_paper = DgcnnConfig::paper(40);
+    reuse_paper.dynamic = false;
+    reuse_paper.reuse_after = 1;
+    let reuse_deploy = lower_edgeconv(&reuse_paper, 1024);
+
+    let tailor_arch = tailor_baseline(false, task.k, ds.classes);
+    let mut tailor_model = GnnModel::new(&mut rng, tailor_arch, &task.head_hidden);
+    fit(&mut tailor_model, &ds.train, &fit_cfg);
+    let tailor_eval = evaluate(&tailor_model, &ds.test, ds.classes, 3);
+    let tailor_deploy = tailor_baseline(true, 20, 40).lower(1024, &[128]);
+
+    let mut results = Vec::new();
+    for device in DeviceKind::EDGE_TARGETS {
+        let profile = device.profile();
+        let mut rows = vec![
+            Row {
+                name: "DGCNN [5]".into(),
+                size_mb: dg_model.size_mb(),
+                oa: dg_eval.overall,
+                macc: dg_eval.balanced,
+                latency_ms: profile.execute(&dg_deploy).latency_ms,
+                mem_mb: profile.execute(&dg_deploy).peak_mem_mb,
+            },
+            Row {
+                name: "KNN-reuse [6]".into(),
+                size_mb: reuse_model.size_mb(),
+                oa: reuse_eval.overall,
+                macc: reuse_eval.balanced,
+                latency_ms: profile.execute(&reuse_deploy).latency_ms,
+                mem_mb: profile.execute(&reuse_deploy).peak_mem_mb,
+            },
+            Row {
+                name: "simplified [7]".into(),
+                size_mb: tailor_model.size_mb(),
+                oa: tailor_eval.overall,
+                macc: tailor_eval.balanced,
+                latency_ms: profile.execute(&tailor_deploy).latency_ms,
+                mem_mb: profile.execute(&tailor_deploy).peak_mem_mb,
+            },
+        ];
+        let mut found = Vec::new();
+
+        for (label, beta, seed) in [("Acc", 0.15, 21u64), ("Fast", 0.5, 22u64)] {
+            let mut cfg = scale.search(device);
+            cfg.beta = beta;
+            cfg.seed = seed;
+            let outcome = Hgnas::new(task.clone(), cfg).run();
+            let arch = outcome.best.architecture.clone();
+
+            // Stand-alone training of the found architecture.
+            let mut model_rng = StdRng::seed_from_u64(seed);
+            let mut model = GnnModel::new(&mut model_rng, arch.clone(), &task.head_hidden);
+            fit(&mut model, &ds.train, &fit_cfg);
+            let eval = evaluate(&model, &ds.test, ds.classes, 3);
+
+            // Deploy at the paper's operating point: 1024 points, k=20.
+            let mut deploy_arch = arch.clone();
+            deploy_arch.k = 20;
+            let deploy = deploy_arch.lower(1024, &[128]);
+            let report = profile.execute(&deploy);
+            rows.push(Row {
+                name: format!("{}-{label}", short_name(device)),
+                size_mb: model.size_mb(),
+                oa: eval.overall,
+                macc: eval.balanced,
+                latency_ms: report.latency_ms,
+                mem_mb: report.peak_mem_mb,
+            });
+            found.push((format!("{}_{label}", short_name(device)), arch));
+        }
+        results.push(DeviceResults {
+            device,
+            rows,
+            found,
+        });
+    }
+    results
+}
+
+fn short_name(device: DeviceKind) -> &'static str {
+    match device {
+        DeviceKind::Rtx3080 => "RTX",
+        DeviceKind::I78700K => "Intel",
+        DeviceKind::JetsonTx2 => "TX2",
+        DeviceKind::RaspberryPi3B => "Pi",
+        DeviceKind::V100 => "V100",
+    }
+}
+
+/// Prints the Table II reproduction.
+pub fn run(scale: Scale) {
+    crate::banner(
+        "tab2",
+        "HGNAS vs existing models across edge platforms (Tab. II)",
+        scale,
+    );
+    let results = compute(scale);
+    for dr in &results {
+        println!("\n--- {} ---", dr.device);
+        println!(
+            "{:16} {:>8} {:>7} {:>7} {:>12} {:>14} {:>10}",
+            "network", "size MB", "OA%", "mAcc%", "latency", "speedup", "mem MB"
+        );
+        let dg_lat = dr.rows[0].latency_ms;
+        let dg_mem = dr.rows[0].mem_mb;
+        for row in &dr.rows {
+            println!(
+                "{:16} {:>8.2} {:>7.1} {:>7.1} {:>10.1}ms {:>9.1}x {:>7.0} ({:>4.1}%↓)",
+                row.name,
+                row.size_mb,
+                row.oa * 100.0,
+                row.macc * 100.0,
+                row.latency_ms,
+                dg_lat / row.latency_ms,
+                row.mem_mb,
+                (1.0 - row.mem_mb / dg_mem) * 100.0
+            );
+        }
+    }
+    println!("\n(accuracies from harness-scale SynthNet40 training; latency/memory from");
+    println!(" 1024-point deployment on the calibrated device simulator, as in Tab. II)");
+}

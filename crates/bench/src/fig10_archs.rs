@@ -1,0 +1,105 @@
+//! The per-device architectures the paper visualises in Fig. 10,
+//! transcribed into the fine-grained IR.
+//!
+//! These are the paper's published search results (the `Device-Fast`
+//! models). The `fig1` harness deploys them for the latency/memory scaling
+//! comparison, and `fig10` renders them. Note the paper's caption: adjacent
+//! KNN ops are merged during execution, so the transcriptions below use the
+//! post-merge forms.
+
+use hgnas_device::DeviceKind;
+use hgnas_ops::{Aggregator, Architecture, MessageType, Operation, SampleFn};
+
+fn agg(msg: MessageType, a: Aggregator) -> Operation {
+    Operation::Aggregate { agg: a, msg }
+}
+
+/// The paper's Fig. 10 `Device_Fast` architecture for `device`, at fanout
+/// `k` with `classes` output classes.
+///
+/// # Panics
+///
+/// Panics if `device` is the V100 (not an edge evaluation target).
+pub fn fig10_fast(device: DeviceKind, k: usize, classes: usize) -> Architecture {
+    use Aggregator::{Max, Mean};
+    use MessageType::{SourcePos, TargetRel};
+    let ops = match device {
+        // RTX_Fast: KNN -> Combine(64) -> Aggregate(Target||Rel, max)
+        //        -> Aggregate(Target||Rel, mean)  (few valid KNNs on GPUs).
+        DeviceKind::Rtx3080 => vec![
+            Operation::Sample(SampleFn::Knn),
+            Operation::Combine { dim: 64 },
+            agg(TargetRel, Max),
+            agg(TargetRel, Mean),
+        ],
+        // Intel_Fast: KNN -> Combine(64) -> Aggregate(Target||Rel, max)
+        //   -> Combine(64) -> Combine(128) -> Aggregate(Target||Rel, mean)
+        //   (fewer aggregate ops for the CPU).
+        DeviceKind::I78700K => vec![
+            Operation::Sample(SampleFn::Knn),
+            Operation::Combine { dim: 64 },
+            agg(TargetRel, Max),
+            Operation::Combine { dim: 64 },
+            Operation::Combine { dim: 128 },
+            agg(TargetRel, Mean),
+        ],
+        // TX2_Fast: KNN -> Aggregate(Target||Rel, max)
+        //   -> Aggregate(Target||Rel, mean) -> Combine(128)
+        //   -> Aggregate(Target||Rel, mean).
+        DeviceKind::JetsonTx2 => vec![
+            Operation::Sample(SampleFn::Knn),
+            agg(TargetRel, Max),
+            agg(TargetRel, Mean),
+            Operation::Combine { dim: 128 },
+            agg(TargetRel, Mean),
+        ],
+        // Pi_Fast: KNN -> Combine(128) -> Aggregate(Source pos, max)
+        //   -> Combine(32) -> Combine(32) -> Aggregate(Source pos, max)
+        //   (every operation simplified for the Pi).
+        DeviceKind::RaspberryPi3B => vec![
+            Operation::Sample(SampleFn::Knn),
+            Operation::Combine { dim: 128 },
+            agg(SourcePos, Max),
+            Operation::Combine { dim: 32 },
+            Operation::Combine { dim: 32 },
+            agg(SourcePos, Max),
+        ],
+        DeviceKind::V100 => panic!("V100 is the search host, not an edge target"),
+    };
+    Architecture::new(ops, k, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgnas_ops::lower_edgeconv;
+    use hgnas_ops::DgcnnConfig;
+
+    #[test]
+    fn all_fast_archs_beat_dgcnn_on_their_device() {
+        let dg = lower_edgeconv(&DgcnnConfig::paper(40), 1024);
+        for device in DeviceKind::EDGE_TARGETS {
+            let profile = device.profile();
+            let fast = fig10_fast(device, 20, 40).lower(1024, &[128]);
+            let speedup = profile.execute(&dg).latency_ms / profile.execute(&fast).latency_ms;
+            assert!(speedup > 2.0, "{device}: speedup {speedup:.1}");
+        }
+    }
+
+    #[test]
+    fn pi_fast_fits_at_2048_points_where_dgcnn_ooms() {
+        let pi = DeviceKind::RaspberryPi3B.profile();
+        let dg = lower_edgeconv(&DgcnnConfig::paper(40), 2048);
+        assert!(pi.execute(&dg).oom, "DGCNN should OOM at 2048 on the Pi");
+        let fast = fig10_fast(DeviceKind::RaspberryPi3B, 20, 40).lower(2048, &[128]);
+        assert!(!pi.execute(&fast).oom, "Pi_Fast should fit at 2048");
+    }
+
+    #[test]
+    fn gpu_archs_have_single_knn() {
+        for device in [DeviceKind::Rtx3080, DeviceKind::JetsonTx2] {
+            let a = fig10_fast(device, 20, 40);
+            assert_eq!(a.count(hgnas_ops::OpType::Sample), 1, "{device}");
+        }
+    }
+}

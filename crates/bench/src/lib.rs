@@ -1,0 +1,134 @@
+//! Experiment harnesses regenerating every table and figure of the HGNAS
+//! paper, plus shared scaffolding for the criterion micro-benches.
+//!
+//! Each experiment lives in [`experiments`] as a `run(scale)` function and
+//! has a matching binary (`cargo run -p hgnas-bench --release --bin fig1`
+//! etc.). The `paper_experiments` bench target replays all of them at tiny
+//! scale under `cargo bench`. Scale is chosen with the `HGNAS_SCALE`
+//! environment variable (`tiny` | `small` | `paper`), defaulting to `small`
+//! for binaries.
+
+pub mod experiments;
+pub mod fig10_archs;
+
+use hgnas_core::{SearchConfig, TaskConfig};
+use hgnas_device::DeviceKind;
+use hgnas_ops::train::FitConfig;
+use hgnas_ops::DgcnnConfig;
+use hgnas_predictor::PredictorConfig;
+
+/// Experiment scale, selected via `HGNAS_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Seconds-per-experiment; used by `cargo bench`.
+    Tiny,
+    /// Tens of seconds to a few minutes; the binary default.
+    #[default]
+    Small,
+    /// The paper's hyperparameters (GPU-hours-equivalent of simulated work;
+    /// trainable parts take correspondingly long on a CPU host).
+    Paper,
+}
+
+impl Scale {
+    /// Reads `HGNAS_SCALE` (`tiny`/`small`/`paper`), defaulting to `Small`.
+    pub fn from_env() -> Scale {
+        match std::env::var("HGNAS_SCALE").as_deref() {
+            Ok("tiny") => Scale::Tiny,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Small,
+        }
+    }
+
+    /// The task configuration at this scale.
+    pub fn task(self, seed: u64) -> TaskConfig {
+        match self {
+            Scale::Tiny => TaskConfig::tiny(seed),
+            Scale::Small => TaskConfig::small(seed),
+            Scale::Paper => TaskConfig::paper(seed),
+        }
+    }
+
+    /// Search configuration for a device at this scale.
+    pub fn search(self, device: DeviceKind) -> SearchConfig {
+        match self {
+            Scale::Tiny => {
+                let mut cfg = SearchConfig::fast(device);
+                cfg.ea_stage1.population = 3;
+                cfg.ea_stage1.iterations = 1;
+                cfg.ea_stage2.population = 6;
+                cfg.ea_stage2.iterations = 3;
+                cfg.epochs_stage1 = 1;
+                cfg.epochs_stage2 = 2;
+                cfg.eval_clouds = 20;
+                cfg.predictor = PredictorConfig {
+                    train_samples: 80,
+                    val_samples: 40,
+                    epochs: 8,
+                    lr: 3e-3,
+                    gcn_dims: vec![16, 16],
+                    mlp_hidden: vec![12],
+                    seed: 1,
+                    global_node: true,
+                };
+                cfg
+            }
+            Scale::Small => SearchConfig::fast(device),
+            Scale::Paper => SearchConfig::paper(device),
+        }
+    }
+
+    /// Training budget for stand-alone models at this scale.
+    pub fn fit(self) -> FitConfig {
+        match self {
+            Scale::Tiny => FitConfig::quick().with_epochs(6),
+            Scale::Small => FitConfig::quick().with_epochs(12),
+            Scale::Paper => FitConfig::quick().with_epochs(200),
+        }
+    }
+
+    /// DGCNN baseline configuration at this scale.
+    pub fn dgcnn(self, classes: usize) -> DgcnnConfig {
+        match self {
+            Scale::Paper => DgcnnConfig::paper(classes),
+            _ => DgcnnConfig::small(classes),
+        }
+    }
+
+    /// Point count used for device-simulator tables (always the paper's
+    /// 1024 where only simulation is involved).
+    pub fn sim_points(self) -> usize {
+        1024
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        })
+    }
+}
+
+/// Prints the standard harness banner.
+pub fn banner(id: &str, what: &str, scale: Scale) {
+    println!("================================================================");
+    println!("{id}: {what}");
+    println!("scale: {scale} (set HGNAS_SCALE=tiny|small|paper)");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_round_trips() {
+        assert_eq!(Scale::Tiny.to_string(), "tiny");
+        assert_eq!(Scale::default(), Scale::Small);
+        assert_eq!(Scale::Paper.task(1).positions, 12);
+        assert_eq!(Scale::Tiny.task(1).positions, 6);
+    }
+}

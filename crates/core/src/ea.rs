@@ -1,0 +1,209 @@
+//! The evolutionary search engine (paper Alg. 1, inspired by SPOS's EA).
+//!
+//! Generic over the genome so both search stages (function sets, operation
+//! sequences) and both strategies (multi-stage, one-stage joint) reuse it.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// EA hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EaConfig {
+    /// Population size (paper: 20).
+    pub population: usize,
+    /// Iterations (paper: up to 1000).
+    pub iterations: usize,
+    /// Fraction of the population kept as elites each iteration.
+    pub elite_fraction: f64,
+    /// Probability a child comes from mutation (vs crossover).
+    pub mutation_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl EaConfig {
+    /// The paper's settings (population 20; iteration budget supplied by
+    /// the caller since stages differ).
+    pub fn paper(iterations: usize) -> Self {
+        EaConfig {
+            population: 20,
+            iterations,
+            elite_fraction: 0.4,
+            mutation_prob: 0.7,
+            seed: 0,
+        }
+    }
+
+    /// Fast settings for the reduced-scale harnesses.
+    pub fn fast(iterations: usize) -> Self {
+        EaConfig {
+            population: 8,
+            iterations,
+            elite_fraction: 0.5,
+            mutation_prob: 0.7,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of an EA run.
+#[derive(Debug, Clone)]
+pub struct EaResult<G> {
+    /// Best genome found.
+    pub best: G,
+    /// Its fitness.
+    pub best_fitness: f64,
+    /// Best-so-far trajectory, one entry per fitness evaluation:
+    /// `(evaluation_index, best_fitness_so_far)`.
+    pub history: Vec<(usize, f64)>,
+    /// Total fitness evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Runs a (μ+λ)-style evolutionary search.
+///
+/// - `init` seeds the initial population (cloned/topped-up to
+///   `cfg.population` by mutation);
+/// - `fitness` scores a genome (higher is better) — it is `FnMut` so
+///   callers can meter simulated search time;
+/// - `mutate` produces a perturbed copy;
+/// - `crossover` recombines two parents.
+///
+/// # Panics
+///
+/// Panics if `init` is empty or `cfg.population == 0`.
+pub fn evolve<G, F, M, X>(
+    init: Vec<G>,
+    cfg: &EaConfig,
+    mut fitness: F,
+    mut mutate: M,
+    mut crossover: X,
+) -> EaResult<G>
+where
+    G: Clone,
+    F: FnMut(&G) -> f64,
+    M: FnMut(&G, &mut StdRng) -> G,
+    X: FnMut(&G, &G, &mut StdRng) -> G,
+{
+    assert!(!init.is_empty(), "EA needs at least one seed genome");
+    assert!(cfg.population > 0, "population must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Top the seed population up with mutants of the seeds.
+    let mut pop: Vec<G> = init;
+    while pop.len() < cfg.population {
+        let base = pop[rng.gen_range(0..pop.len())].clone();
+        pop.push(mutate(&base, &mut rng));
+    }
+    pop.truncate(cfg.population);
+
+    let mut evaluations = 0usize;
+    let mut history = Vec::new();
+    let mut running_best = f64::NEG_INFINITY;
+    let mut scored: Vec<(G, f64)> = pop
+        .into_iter()
+        .map(|g| {
+            let f = fitness(&g);
+            evaluations += 1;
+            running_best = running_best.max(f);
+            history.push((evaluations, running_best));
+            (g, f)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut best = scored[0].clone();
+
+    let elites = ((cfg.population as f64 * cfg.elite_fraction).ceil() as usize)
+        .clamp(1, cfg.population);
+
+    for _iter in 0..cfg.iterations {
+        let mut next: Vec<(G, f64)> = scored[..elites].to_vec();
+        while next.len() < cfg.population {
+            let child = if rng.gen_bool(cfg.mutation_prob) || elites < 2 {
+                let parent = &scored[rng.gen_range(0..elites)].0;
+                mutate(parent, &mut rng)
+            } else {
+                let mut picks = scored[..elites].choose_multiple(&mut rng, 2);
+                let a = &picks.next().unwrap().0;
+                let b = &picks.next().unwrap().0;
+                crossover(a, b, &mut rng)
+            };
+            let f = fitness(&child);
+            evaluations += 1;
+            if f > best.1 {
+                best = (child.clone(), f);
+            }
+            history.push((evaluations, best.1));
+            next.push((child, f));
+        }
+        next.sort_by(|a, b| b.1.total_cmp(&a.1));
+        scored = next;
+        if scored[0].1 > best.1 {
+            best = scored[0].clone();
+        }
+    }
+
+    EaResult {
+        best: best.0,
+        best_fitness: best.1,
+        history,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Maximise the number of 1-bits in a 32-bit genome.
+    fn onemax(cfg: &EaConfig) -> EaResult<u32> {
+        evolve(
+            vec![0u32],
+            cfg,
+            |g| g.count_ones() as f64,
+            |g, rng| g ^ (1 << rng.gen_range(0..32)),
+            |a, b, rng| {
+                let mask: u32 = rng.gen();
+                (a & mask) | (b & !mask)
+            },
+        )
+    }
+
+    #[test]
+    fn solves_onemax() {
+        let r = onemax(&EaConfig {
+            population: 16,
+            iterations: 60,
+            elite_fraction: 0.4,
+            mutation_prob: 0.8,
+            seed: 3,
+        });
+        assert!(r.best_fitness >= 28.0, "got {}", r.best_fitness);
+    }
+
+    #[test]
+    fn history_is_monotone_nondecreasing() {
+        let r = onemax(&EaConfig::fast(20));
+        for w in r.history.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(r.history.last().unwrap().1, r.best_fitness);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = onemax(&EaConfig::paper(10));
+        let b = onemax(&EaConfig::paper(10));
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn evaluations_counted() {
+        let cfg = EaConfig::fast(5);
+        let r = onemax(&cfg);
+        assert_eq!(r.evaluations, r.history.len());
+        assert!(r.evaluations >= cfg.population);
+    }
+}

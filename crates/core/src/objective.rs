@@ -1,0 +1,135 @@
+//! The multi-objective function, paper Eq. (1)–(3).
+
+/// Scores a candidate from its validation accuracy and target-device
+/// latency:
+///
+/// ```text
+/// F(C) = 0                        if lat ≥ C
+///      = α·acc − β·(lat / ref)    if lat < C
+/// ```
+///
+/// Latency is normalised by a reference (typically DGCNN's latency on the
+/// same device) so that the α:β sweep of Fig. 7 is device-independent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objective {
+    /// Accuracy weight (paper's α).
+    pub alpha: f64,
+    /// Latency weight (paper's β).
+    pub beta: f64,
+    /// Hard latency constraint `C` in ms; candidates at or above score 0.
+    pub constraint_ms: f64,
+    /// Latency normaliser in ms (DGCNN on the target device).
+    pub reference_ms: f64,
+    /// Optional hard model-size constraint in MB (the paper's "hardware
+    /// constraints (i.e. inference latency, model size, etc.)").
+    pub max_size_mb: Option<f64>,
+}
+
+impl Objective {
+    /// Creates an objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference_ms` or `constraint_ms` is not positive.
+    pub fn new(alpha: f64, beta: f64, constraint_ms: f64, reference_ms: f64) -> Self {
+        assert!(constraint_ms > 0.0 && reference_ms > 0.0, "bad objective bounds");
+        Objective {
+            alpha,
+            beta,
+            constraint_ms,
+            reference_ms,
+            max_size_mb: None,
+        }
+    }
+
+    /// Returns a copy with a hard model-size constraint.
+    pub fn with_max_size_mb(mut self, mb: f64) -> Self {
+        assert!(mb > 0.0, "size constraint must be positive");
+        self.max_size_mb = Some(mb);
+        self
+    }
+
+    /// Eq. (3): the score of a candidate.
+    pub fn score(&self, accuracy: f64, latency_ms: f64) -> f64 {
+        if latency_ms >= self.constraint_ms {
+            0.0
+        } else {
+            self.alpha * accuracy - self.beta * (latency_ms / self.reference_ms)
+        }
+    }
+
+    /// Eq. (3) with the size gate applied as well: candidates exceeding the
+    /// size budget score 0, mirroring the latency gate.
+    pub fn score_sized(&self, accuracy: f64, latency_ms: f64, size_mb: f64) -> f64 {
+        if let Some(max) = self.max_size_mb {
+            if size_mb >= max {
+                return 0.0;
+            }
+        }
+        self.score(accuracy, latency_ms)
+    }
+
+    /// Returns a copy with a different α:β ratio, keeping α + β fixed —
+    /// the Fig. 7 sweep knob.
+    pub fn with_ratio(&self, alpha_over_beta: f64) -> Self {
+        let total = self.alpha + self.beta;
+        let beta = total / (1.0 + alpha_over_beta);
+        Objective {
+            alpha: total - beta,
+            beta,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraint_gates_score_to_zero() {
+        let o = Objective::new(1.0, 0.5, 100.0, 50.0);
+        assert_eq!(o.score(0.99, 100.0), 0.0);
+        assert_eq!(o.score(0.99, 150.0), 0.0);
+        assert!(o.score(0.99, 40.0) > 0.0);
+    }
+
+    #[test]
+    fn faster_is_better_at_equal_accuracy() {
+        let o = Objective::new(1.0, 0.5, 100.0, 50.0);
+        assert!(o.score(0.9, 10.0) > o.score(0.9, 40.0));
+    }
+
+    #[test]
+    fn ratio_sweep_shifts_preference() {
+        let o = Objective::new(1.0, 1.0, 1000.0, 100.0);
+        let acc_heavy = o.with_ratio(10.0);
+        let lat_heavy = o.with_ratio(0.1);
+        // Accurate-but-slow candidate vs fast-but-sloppy candidate.
+        let (slow_acc, fast_sloppy) = ((0.95, 90.0), (0.80, 10.0));
+        assert!(
+            acc_heavy.score(slow_acc.0, slow_acc.1) > acc_heavy.score(fast_sloppy.0, fast_sloppy.1)
+        );
+        assert!(
+            lat_heavy.score(fast_sloppy.0, fast_sloppy.1) > lat_heavy.score(slow_acc.0, slow_acc.1)
+        );
+    }
+
+    #[test]
+    fn size_gate_mirrors_latency_gate() {
+        let o = Objective::new(1.0, 0.5, 100.0, 50.0).with_max_size_mb(2.0);
+        assert!(o.score_sized(0.9, 10.0, 1.0) > 0.0);
+        assert_eq!(o.score_sized(0.9, 10.0, 2.5), 0.0);
+        // Without a size constraint the sized score equals the plain one.
+        let free = Objective::new(1.0, 0.5, 100.0, 50.0);
+        assert_eq!(free.score_sized(0.9, 10.0, 99.0), free.score(0.9, 10.0));
+    }
+
+    #[test]
+    fn ratio_preserves_total_weight() {
+        let o = Objective::new(1.5, 0.5, 10.0, 10.0);
+        let r = o.with_ratio(3.0);
+        assert!((r.alpha + r.beta - 2.0).abs() < 1e-12);
+        assert!((r.alpha / r.beta - 3.0).abs() < 1e-9);
+    }
+}

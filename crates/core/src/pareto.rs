@@ -1,0 +1,62 @@
+//! Pareto-frontier extraction for accuracy/latency point sets (Fig. 6).
+
+/// Returns the indices of the non-dominated points, where a point dominates
+/// another if it has *higher-or-equal accuracy* and *lower-or-equal
+/// latency*, strictly better in at least one. Output preserves input order.
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
+    // points are (latency, accuracy)
+    (0..points.len())
+        .filter(|&i| {
+            let (lat_i, acc_i) = points[i];
+            !(0..points.len()).any(|j| {
+                if i == j {
+                    return false;
+                }
+                let (lat_j, acc_j) = points[j];
+                let no_worse = lat_j <= lat_i && acc_j >= acc_i;
+                let better = lat_j < lat_i || acc_j > acc_i;
+                no_worse && better
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominated_points_excluded() {
+        // (latency, accuracy)
+        let pts = vec![
+            (10.0, 0.9), // frontier
+            (20.0, 0.8), // dominated by 0
+            (5.0, 0.7),  // frontier (fastest)
+            (50.0, 0.95),// frontier (most accurate)
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn identical_points_all_kept() {
+        let pts = vec![(1.0, 0.5), (1.0, 0.5)];
+        assert_eq!(pareto_front(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn single_point_is_front() {
+        assert_eq!(pareto_front(&[(3.0, 0.1)]), vec![0]);
+    }
+
+    #[test]
+    fn empty_input_empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn strictly_ordered_chain_keeps_all() {
+        // Faster is less accurate: nothing dominates anything.
+        let pts = vec![(1.0, 0.1), (2.0, 0.2), (3.0, 0.3)];
+        assert_eq!(pareto_front(&pts).len(), 3);
+    }
+}

@@ -1,0 +1,800 @@
+//! The HGNAS search pipeline (paper Alg. 1 plus the Fig. 9 ablation modes).
+
+use crate::clock::SearchClock;
+use crate::ea::{evolve, EaConfig, EaResult};
+use crate::objective::Objective;
+use crate::supernet::Supernet;
+use hgnas_device::{DeviceKind, DeviceProfile};
+use hgnas_ops::{lower_edgeconv, Architecture, DgcnnConfig, FunctionSet, OpType};
+use hgnas_pointcloud::{DatasetConfig, PointCloud, SynthNet40};
+use hgnas_predictor::{LatencyPredictor, PredictorConfig, PredictorContext, TrainStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How candidate latency is obtained during the search (Fig. 9(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyMode {
+    /// The GCN-based predictor: milliseconds per query on the search host.
+    Predictor,
+    /// Simulated real-time measurement on the target device: pays the
+    /// deployment round-trip plus repeated inference runs per query.
+    Measured,
+}
+
+/// Search-space traversal strategy (Fig. 9(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// The paper's two-stage hierarchical search: functions first, then
+    /// operations on a pre-trained supernet.
+    MultiStage,
+    /// Joint one-stage baseline over the full fine-grained space; every
+    /// candidate pays its own supernet training.
+    OneStage,
+}
+
+/// Task definition: the dataset plus the supernet geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskConfig {
+    /// Dataset generation parameters.
+    pub dataset: DatasetConfig,
+    /// Supernet positions (paper: 12).
+    pub positions: usize,
+    /// Neighbour fanout (paper: 20).
+    pub k: usize,
+    /// Supernet hidden width.
+    pub supernet_hidden: usize,
+    /// Classifier hidden widths.
+    pub head_hidden: Vec<usize>,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl TaskConfig {
+    /// Minimal task for unit tests (4 classes, 48 points).
+    pub fn tiny(seed: u64) -> Self {
+        TaskConfig {
+            dataset: DatasetConfig::tiny(seed),
+            positions: 6,
+            k: 8,
+            supernet_hidden: 16,
+            head_hidden: vec![16],
+            seed,
+        }
+    }
+
+    /// Reduced-scale default (10 classes, 128 points) used by the
+    /// harnesses; runs end-to-end in tens of seconds.
+    pub fn small(seed: u64) -> Self {
+        TaskConfig {
+            dataset: DatasetConfig::small(seed),
+            positions: 8,
+            k: 10,
+            supernet_hidden: 24,
+            head_hidden: vec![48],
+            seed,
+        }
+    }
+
+    /// Paper-scale task (40 classes, 1024 points, 12 positions).
+    pub fn paper(seed: u64) -> Self {
+        TaskConfig {
+            dataset: DatasetConfig::paper(seed),
+            positions: 12,
+            k: 20,
+            supernet_hidden: 64,
+            head_hidden: vec![128],
+            seed,
+        }
+    }
+
+    /// Points per cloud.
+    pub fn points(&self) -> usize {
+        self.dataset.points
+    }
+
+    /// Classes in the dataset.
+    pub fn classes(&self) -> usize {
+        self.dataset.classes
+    }
+
+    /// The matching-scale DGCNN baseline configuration (the latency
+    /// reference and default constraint).
+    pub fn reference_dgcnn(&self) -> DgcnnConfig {
+        let mut cfg = if self.points() >= 512 {
+            DgcnnConfig::paper(self.classes())
+        } else {
+            DgcnnConfig::small(self.classes())
+        };
+        cfg.k = self.k;
+        cfg
+    }
+
+    /// Predictor context for this task.
+    pub fn predictor_context(&self) -> PredictorContext {
+        PredictorContext {
+            positions: self.positions,
+            points: self.points(),
+            k: self.k,
+            classes: self.classes(),
+            head_hidden: self.head_hidden.clone(),
+        }
+    }
+}
+
+/// Search hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// Target edge device.
+    pub device: DeviceKind,
+    /// Accuracy weight α (Eq. 1/3).
+    pub alpha: f64,
+    /// Latency weight β (Eq. 1/3).
+    pub beta: f64,
+    /// Hard latency constraint in ms; defaults to the DGCNN reference
+    /// latency when `None` (a found model must at least beat the baseline).
+    pub constraint_ms: Option<f64>,
+    /// Optional hard model-size constraint in MB.
+    pub max_size_mb: Option<f64>,
+    /// EA settings for Stage 1 (function search).
+    pub ea_stage1: EaConfig,
+    /// EA settings for Stage 2 (operation search).
+    pub ea_stage2: EaConfig,
+    /// Supernet epochs per Stage-1 candidate (paper: 50).
+    pub epochs_stage1: usize,
+    /// Supernet pre-training epochs before Stage 2 (paper: 500).
+    pub epochs_stage2: usize,
+    /// Latency source.
+    pub latency_mode: LatencyMode,
+    /// Traversal strategy.
+    pub strategy: Strategy,
+    /// Predictor training settings (used in [`LatencyMode::Predictor`]).
+    pub predictor: PredictorConfig,
+    /// Cap on validation clouds per accuracy evaluation.
+    pub eval_clouds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SearchConfig {
+    /// Fast settings for the reduced-scale harnesses (seconds, not hours).
+    pub fn fast(device: DeviceKind) -> Self {
+        SearchConfig {
+            device,
+            alpha: 1.0,
+            beta: 0.6,
+            constraint_ms: None,
+            max_size_mb: None,
+            ea_stage1: EaConfig {
+                population: 6,
+                iterations: 2,
+                elite_fraction: 0.5,
+                mutation_prob: 0.7,
+                seed: 11,
+            },
+            ea_stage2: EaConfig {
+                population: 10,
+                iterations: 8,
+                elite_fraction: 0.4,
+                mutation_prob: 0.7,
+                seed: 12,
+            },
+            epochs_stage1: 2,
+            epochs_stage2: 6,
+            latency_mode: LatencyMode::Predictor,
+            strategy: Strategy::MultiStage,
+            predictor: PredictorConfig::small(),
+            eval_clouds: 60,
+            seed: 0,
+        }
+    }
+
+    /// The paper's settings (Sec. IV-A): population 20, 1000 iterations,
+    /// 50/500 supernet epochs, 30K predictor samples.
+    pub fn paper(device: DeviceKind) -> Self {
+        SearchConfig {
+            device,
+            alpha: 1.0,
+            beta: 0.6,
+            constraint_ms: None,
+            max_size_mb: None,
+            ea_stage1: EaConfig::paper(1000),
+            ea_stage2: EaConfig::paper(1000),
+            epochs_stage1: 50,
+            epochs_stage2: 500,
+            latency_mode: LatencyMode::Predictor,
+            strategy: Strategy::MultiStage,
+            predictor: PredictorConfig::paper(),
+            eval_clouds: 500,
+            seed: 0,
+        }
+    }
+}
+
+/// A model found by the search.
+#[derive(Debug, Clone)]
+pub struct SearchedModel {
+    /// The finalised architecture (functions instantiated per half).
+    pub architecture: Architecture,
+    /// The op-type genome.
+    pub genome: Vec<OpType>,
+    /// The (upper, lower) function sets.
+    pub functions: (FunctionSet, FunctionSet),
+    /// Objective score (Eq. 3).
+    pub score: f64,
+    /// One-shot validation accuracy under supernet weights.
+    pub supernet_accuracy: f64,
+    /// Latency on the target device as seen by the search (predicted or
+    /// measured, per [`LatencyMode`]).
+    pub latency_ms: f64,
+}
+
+/// Everything a search run produces.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best model.
+    pub best: SearchedModel,
+    /// `(simulated minutes, best objective so far)` — the Fig. 9 trace
+    /// (Stage-2 / joint-search evaluations).
+    pub history: Vec<(f64, f64)>,
+    /// Total simulated search time, hours.
+    pub search_hours: f64,
+    /// Predictor validation stats when the predictor mode was used.
+    pub predictor_stats: Option<TrainStats>,
+    /// DGCNN reference latency on the target device, ms.
+    pub reference_ms: f64,
+    /// The latency constraint that was enforced, ms.
+    pub constraint_ms: f64,
+}
+
+/// Latency oracle shared by both modes.
+enum LatencyOracle {
+    Predictor(Box<LatencyPredictor>),
+    Measured {
+        profile: DeviceProfile,
+        points: usize,
+        head_hidden: Vec<usize>,
+        rng: StdRng,
+    },
+}
+
+impl LatencyOracle {
+    /// Returns (latency_ms, simulated cost of obtaining it in ms).
+    fn query(&mut self, arch: &Architecture) -> (f64, f64) {
+        match self {
+            LatencyOracle::Predictor(p) => (p.predict_ms(arch), 2.0),
+            LatencyOracle::Measured {
+                profile,
+                points,
+                head_hidden,
+                rng,
+            } => {
+                let w = arch.lower(*points, head_hidden);
+                match profile.measure(&w, rng) {
+                    // 10 timed runs plus the deployment round-trip.
+                    Ok(r) => (r.latency_ms, profile.measurement_roundtrip_ms + 10.0 * r.latency_ms),
+                    Err(_) => (f64::INFINITY, profile.measurement_roundtrip_ms),
+                }
+            }
+        }
+    }
+}
+
+/// The HGNAS framework entry point.
+#[derive(Debug, Clone)]
+pub struct Hgnas {
+    task: TaskConfig,
+    config: SearchConfig,
+}
+
+impl Hgnas {
+    /// Creates a framework instance for a task/config pair.
+    pub fn new(task: TaskConfig, config: SearchConfig) -> Self {
+        Hgnas { task, config }
+    }
+
+    /// The task.
+    pub fn task(&self) -> &TaskConfig {
+        &self.task
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Generates the task dataset (deterministic in the task seed).
+    pub fn dataset(&self) -> SynthNet40 {
+        SynthNet40::generate(&self.task.dataset)
+    }
+
+    /// DGCNN reference latency on the target device.
+    pub fn reference_ms(&self) -> f64 {
+        let w = lower_edgeconv(&self.task.reference_dgcnn(), self.task.points());
+        self.config.device.profile().execute(&w).latency_ms
+    }
+
+    /// Simulated cost of one supernet training epoch on the V100 host:
+    /// every training cloud does a forward+backward (≈3× forward work) of a
+    /// mid-sized candidate.
+    fn epoch_cost_ms(&self, train_clouds: usize) -> f64 {
+        let proxy = lower_edgeconv(&self.task.reference_dgcnn(), self.task.points());
+        let per_cloud = DeviceKind::V100.profile().execute(&proxy).latency_ms;
+        train_clouds as f64 * per_cloud * 3.0
+    }
+
+    /// Simulated cost of one one-shot accuracy validation.
+    fn eval_cost_ms(&self, eval_clouds: usize) -> f64 {
+        let proxy = lower_edgeconv(&self.task.reference_dgcnn(), self.task.points());
+        let per_cloud = DeviceKind::V100.profile().execute(&proxy).latency_ms;
+        eval_clouds as f64 * per_cloud
+    }
+
+    fn make_oracle(&self) -> (LatencyOracle, Option<TrainStats>) {
+        match self.config.latency_mode {
+            LatencyMode::Predictor => {
+                let (p, stats) = LatencyPredictor::train(
+                    self.config.device,
+                    &self.task.predictor_context(),
+                    &self.config.predictor,
+                );
+                (LatencyOracle::Predictor(Box::new(p)), Some(stats))
+            }
+            LatencyMode::Measured => (
+                LatencyOracle::Measured {
+                    profile: self.config.device.profile(),
+                    points: self.task.points(),
+                    head_hidden: self.task.head_hidden.clone(),
+                    rng: StdRng::seed_from_u64(self.config.seed.wrapping_add(77)),
+                },
+                None,
+            ),
+        }
+    }
+
+    fn train_supernet(
+        &self,
+        functions: (FunctionSet, FunctionSet),
+        epochs: usize,
+        ds: &SynthNet40,
+        seed: u64,
+        clock: &mut SearchClock,
+    ) -> Supernet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sn = Supernet::new(
+            &mut rng,
+            self.task.positions,
+            self.task.supernet_hidden,
+            self.task.k,
+            self.task.classes(),
+            functions.0,
+            functions.1,
+            &self.task.head_hidden,
+        );
+        let batches = SynthNet40::batches(&ds.train, 8);
+        const BASE_LR: f32 = 3e-3;
+        let mut opt = hgnas_nn::Optimizer::adam(BASE_LR);
+        let schedule = hgnas_nn::LrSchedule::Cosine {
+            min_lr: BASE_LR / 10.0,
+            total_epochs: epochs.max(1),
+        };
+        for epoch in 0..epochs {
+            opt.set_learning_rate(schedule.lr_at(BASE_LR, epoch));
+            sn.train_epoch(&batches, &mut opt, &mut rng);
+            clock.add_ms(self.epoch_cost_ms(ds.train.len()));
+        }
+        sn
+    }
+
+    fn eval_subset<'a>(&self, ds: &'a SynthNet40) -> &'a [PointCloud] {
+        let n = self.config.eval_clouds.min(ds.test.len());
+        &ds.test[..n]
+    }
+
+    /// Stage 1: evolve the (upper, lower) function-set pair to maximise
+    /// supernet accuracy (Alg. 1 lines 4–9).
+    fn stage1(&self, ds: &SynthNet40, clock: &mut SearchClock) -> (FunctionSet, FunctionSet) {
+        let mut seed_rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
+        let dgcnn_like = (
+            FunctionSet::dgcnn_like(64),
+            FunctionSet::dgcnn_like(128),
+        );
+        let init = vec![
+            dgcnn_like,
+            (
+                FunctionSet::random(&mut seed_rng),
+                FunctionSet::random(&mut seed_rng),
+            ),
+        ];
+        let eval_subset = self.eval_subset(ds);
+        let mut candidate_idx = 0u64;
+        let result: EaResult<(FunctionSet, FunctionSet)> = evolve(
+            init,
+            &self.config.ea_stage1,
+            |fs| {
+                candidate_idx += 1;
+                let mut clk = SearchClock::new();
+                let sn = self.train_supernet(
+                    *fs,
+                    self.config.epochs_stage1,
+                    ds,
+                    self.config.seed.wrapping_add(1000 + candidate_idx),
+                    &mut clk,
+                );
+                // Mean one-shot accuracy over a few random paths.
+                let mut rng = StdRng::seed_from_u64(candidate_idx);
+                let mut acc = 0.0;
+                const PATHS: usize = 3;
+                for _ in 0..PATHS {
+                    let genome = sn.random_genome(&mut rng);
+                    acc += sn.eval_genome(&genome, eval_subset, 0);
+                    clk.add_ms(self.eval_cost_ms(eval_subset.len()));
+                }
+                clock.add_ms(clk.elapsed_ms());
+                acc / PATHS as f64
+            },
+            |fs, rng| mutate_function_pair(*fs, rng),
+            |a, b, rng| crossover_function_pair(*a, *b, rng),
+        );
+        result.best
+    }
+
+    /// Stage 2: fix functions, pre-train the supernet, evolve op genomes
+    /// under the hardware-aware objective (Alg. 1 lines 10–15).
+    #[allow(clippy::too_many_arguments)]
+    fn stage2(
+        &self,
+        functions: (FunctionSet, FunctionSet),
+        supernet: &Supernet,
+        ds: &SynthNet40,
+        oracle: &mut LatencyOracle,
+        objective: &Objective,
+        clock: &mut SearchClock,
+        history: &mut Vec<(f64, f64)>,
+    ) -> SearchedModel {
+        let eval_subset = self.eval_subset(ds);
+        let mut init_rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(2));
+        let dgcnn_ish: Vec<OpType> = (0..self.task.positions)
+            .map(|i| match i % 3 {
+                0 => OpType::Sample,
+                1 => OpType::Aggregate,
+                _ => OpType::Combine,
+            })
+            .collect();
+        let init = vec![dgcnn_ish, supernet.random_genome(&mut init_rng)];
+
+        let mut best_detail: Option<SearchedModel> = None;
+        let result = evolve(
+            init,
+            &self.config.ea_stage2,
+            |genome| {
+                let arch = Architecture::from_genome(
+                    genome,
+                    functions.0,
+                    functions.1,
+                    self.task.k,
+                    self.task.classes(),
+                );
+                let (lat, cost) = oracle.query(&arch);
+                clock.add_ms(cost);
+                let size_mb = arch.size_mb(3, &self.task.head_hidden);
+                let size_ok = objective.max_size_mb.map_or(true, |m| size_mb < m);
+                // Constraint gates first: failing candidates skip the
+                // (expensive) accuracy validation, as in the paper.
+                let valid = lat < objective.constraint_ms && size_ok;
+                let (acc, score) = if !valid {
+                    (0.0, 0.0)
+                } else {
+                    let acc = supernet.eval_genome(genome, eval_subset, 0);
+                    clock.add_ms(self.eval_cost_ms(eval_subset.len()));
+                    (acc, objective.score_sized(acc, lat, size_mb))
+                };
+                // A constraint-satisfying candidate always outranks a
+                // violator, even when heavy β pushes its Eq.(3) score
+                // below the violator's hard 0.
+                let better = best_detail.as_ref().map_or(true, |b| {
+                    let best_valid = b.latency_ms < objective.constraint_ms;
+                    match (valid, best_valid) {
+                        (true, false) => true,
+                        (false, true) => false,
+                        _ => score > b.score,
+                    }
+                });
+                if better {
+                    best_detail = Some(SearchedModel {
+                        architecture: arch,
+                        genome: genome.clone(),
+                        functions,
+                        score,
+                        supernet_accuracy: acc,
+                        latency_ms: lat,
+                    });
+                }
+                history.push((clock.elapsed_min(), best_detail.as_ref().unwrap().score));
+                score
+            },
+            mutate_genome,
+            crossover_genome,
+        );
+        let mut best = best_detail.expect("stage 2 evaluated at least one candidate");
+        debug_assert_eq!(best.score, result.best_fitness);
+        best.genome = result.best;
+        best
+    }
+
+    /// One-stage joint search (Fig. 9(b) baseline): functions and
+    /// operations evolve together; every candidate pays its own supernet
+    /// training.
+    fn one_stage(
+        &self,
+        ds: &SynthNet40,
+        oracle: &mut LatencyOracle,
+        objective: &Objective,
+        clock: &mut SearchClock,
+        history: &mut Vec<(f64, f64)>,
+    ) -> SearchedModel {
+        type Joint = (FunctionSet, FunctionSet, Vec<OpType>);
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(3));
+        let genome0: Vec<OpType> = (0..self.task.positions)
+            .map(|_| OpType::ALL[rng.gen_range(0..4)])
+            .collect();
+        let init: Vec<Joint> = vec![(
+            FunctionSet::dgcnn_like(64),
+            FunctionSet::dgcnn_like(128),
+            genome0,
+        )];
+        let eval_subset = self.eval_subset(ds);
+        let mut candidate_idx = 0u64;
+        let mut best_detail: Option<SearchedModel> = None;
+        let result = evolve(
+            init,
+            &self.config.ea_stage2,
+            |(up, lo, genome)| {
+                candidate_idx += 1;
+                let arch = Architecture::from_genome(
+                    genome,
+                    *up,
+                    *lo,
+                    self.task.k,
+                    self.task.classes(),
+                );
+                let (lat, cost) = oracle.query(&arch);
+                clock.add_ms(cost);
+                let size_mb = arch.size_mb(3, &self.task.head_hidden);
+                let size_ok = objective.max_size_mb.map_or(true, |m| size_mb < m);
+                let valid = lat < objective.constraint_ms && size_ok;
+                let (acc, score) = if !valid {
+                    (0.0, 0.0)
+                } else {
+                    // No shared supernet: train one for this candidate.
+                    let mut clk = SearchClock::new();
+                    let sn = self.train_supernet(
+                        (*up, *lo),
+                        self.config.epochs_stage1,
+                        ds,
+                        self.config.seed.wrapping_add(5000 + candidate_idx),
+                        &mut clk,
+                    );
+                    let acc = sn.eval_genome(genome, eval_subset, 0);
+                    clk.add_ms(self.eval_cost_ms(eval_subset.len()));
+                    clock.add_ms(clk.elapsed_ms());
+                    (acc, objective.score_sized(acc, lat, size_mb))
+                };
+                let better = best_detail.as_ref().map_or(true, |b| {
+                    let best_valid = b.latency_ms < objective.constraint_ms;
+                    match (valid, best_valid) {
+                        (true, false) => true,
+                        (false, true) => false,
+                        _ => score > b.score,
+                    }
+                });
+                if better {
+                    best_detail = Some(SearchedModel {
+                        architecture: arch,
+                        genome: genome.clone(),
+                        functions: (*up, *lo),
+                        score,
+                        supernet_accuracy: acc,
+                        latency_ms: lat,
+                    });
+                }
+                history.push((clock.elapsed_min(), best_detail.as_ref().unwrap().score));
+                score
+            },
+            |(up, lo, genome), rng| {
+                if rng.gen_bool(0.5) {
+                    let (u, l) = mutate_function_pair((*up, *lo), rng);
+                    (u, l, genome.clone())
+                } else {
+                    (*up, *lo, mutate_genome(genome, rng))
+                }
+            },
+            |a, b, rng| {
+                let (u, l) = crossover_function_pair((a.0, a.1), (b.0, b.1), rng);
+                (u, l, crossover_genome(&a.2, &b.2, rng))
+            },
+        );
+        let mut best = best_detail.expect("one-stage evaluated at least one candidate");
+        best.genome = result.best.2;
+        best
+    }
+
+    /// Runs the full search and returns the outcome.
+    pub fn run(&self) -> SearchOutcome {
+        let ds = self.dataset();
+        let reference_ms = self.reference_ms();
+        let constraint_ms = self.config.constraint_ms.unwrap_or(reference_ms);
+        let mut objective = Objective::new(
+            self.config.alpha,
+            self.config.beta,
+            constraint_ms,
+            reference_ms,
+        );
+        if let Some(mb) = self.config.max_size_mb {
+            objective = objective.with_max_size_mb(mb);
+        }
+        let mut clock = SearchClock::new();
+        let mut history = Vec::new();
+        let (mut oracle, predictor_stats) = self.make_oracle();
+
+        let best = match self.config.strategy {
+            Strategy::MultiStage => {
+                let functions = self.stage1(&ds, &mut clock);
+                let supernet = self.train_supernet(
+                    functions,
+                    self.config.epochs_stage2,
+                    &ds,
+                    self.config.seed.wrapping_add(4),
+                    &mut clock,
+                );
+                self.stage2(
+                    functions,
+                    &supernet,
+                    &ds,
+                    &mut oracle,
+                    &objective,
+                    &mut clock,
+                    &mut history,
+                )
+            }
+            Strategy::OneStage => {
+                self.one_stage(&ds, &mut oracle, &objective, &mut clock, &mut history)
+            }
+        };
+
+        SearchOutcome {
+            best,
+            history,
+            search_hours: clock.elapsed_hours(),
+            predictor_stats,
+            reference_ms,
+            constraint_ms,
+        }
+    }
+}
+
+fn mutate_function_set(mut fs: FunctionSet, rng: &mut StdRng) -> FunctionSet {
+    use hgnas_ops::{Aggregator, ConnectFn, MessageType, SampleFn, COMBINE_DIMS};
+    match rng.gen_range(0..5) {
+        0 => fs.aggregator = Aggregator::ALL[rng.gen_range(0..Aggregator::ALL.len())],
+        1 => fs.message = MessageType::ALL[rng.gen_range(0..MessageType::ALL.len())],
+        2 => fs.sample = SampleFn::ALL[rng.gen_range(0..SampleFn::ALL.len())],
+        3 => fs.connect = ConnectFn::ALL[rng.gen_range(0..ConnectFn::ALL.len())],
+        _ => fs.combine_dim = COMBINE_DIMS[rng.gen_range(0..COMBINE_DIMS.len())],
+    }
+    fs
+}
+
+fn mutate_function_pair(
+    fs: (FunctionSet, FunctionSet),
+    rng: &mut StdRng,
+) -> (FunctionSet, FunctionSet) {
+    if rng.gen_bool(0.5) {
+        (mutate_function_set(fs.0, rng), fs.1)
+    } else {
+        (fs.0, mutate_function_set(fs.1, rng))
+    }
+}
+
+fn crossover_function_pair(
+    a: (FunctionSet, FunctionSet),
+    b: (FunctionSet, FunctionSet),
+    rng: &mut StdRng,
+) -> (FunctionSet, FunctionSet) {
+    let upper = if rng.gen_bool(0.5) { a.0 } else { b.0 };
+    let lower = if rng.gen_bool(0.5) { a.1 } else { b.1 };
+    (upper, lower)
+}
+
+fn mutate_genome(genome: &Vec<OpType>, rng: &mut StdRng) -> Vec<OpType> {
+    let mut g = genome.clone();
+    let i = rng.gen_range(0..g.len());
+    g[i] = OpType::ALL[rng.gen_range(0..OpType::ALL.len())];
+    g
+}
+
+fn crossover_genome(a: &Vec<OpType>, b: &Vec<OpType>, rng: &mut StdRng) -> Vec<OpType> {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(device: DeviceKind) -> SearchConfig {
+        let mut cfg = SearchConfig::fast(device);
+        cfg.ea_stage1.iterations = 1;
+        cfg.ea_stage1.population = 3;
+        cfg.ea_stage2.iterations = 3;
+        cfg.ea_stage2.population = 6;
+        cfg.epochs_stage1 = 1;
+        cfg.epochs_stage2 = 2;
+        cfg.predictor = hgnas_predictor::PredictorConfig {
+            train_samples: 80,
+            val_samples: 30,
+            epochs: 8,
+            lr: 3e-3,
+            gcn_dims: vec![16, 16],
+            mlp_hidden: vec![12],
+            seed: 1,
+            global_node: true,
+        };
+        cfg.eval_clouds = 20;
+        cfg
+    }
+
+    fn tiny_search(device: DeviceKind) -> SearchOutcome {
+        Hgnas::new(TaskConfig::tiny(5), tiny_config(device)).run()
+    }
+
+    #[test]
+    fn search_finds_constraint_satisfying_model() {
+        let outcome = tiny_search(DeviceKind::Rtx3080);
+        // At tiny scale (one supernet epoch, 4 classes) absolute scores sit
+        // near zero; the contract is that the search returns a finite,
+        // constraint-satisfying candidate.
+        assert!(outcome.best.score.is_finite());
+        assert!(outcome.best.score > -0.5, "score {}", outcome.best.score);
+        assert!(
+            outcome.best.latency_ms < outcome.constraint_ms,
+            "lat {} !< C {}",
+            outcome.best.latency_ms,
+            outcome.constraint_ms
+        );
+        assert!(outcome.predictor_stats.is_some());
+        assert!(outcome.search_hours > 0.0);
+    }
+
+    #[test]
+    fn history_is_monotone() {
+        let outcome = tiny_search(DeviceKind::JetsonTx2);
+        for w in outcome.history.windows(2) {
+            assert!(w[1].0 >= w[0].0, "time went backwards");
+            assert!(w[1].1 >= w[0].1, "best score regressed");
+        }
+    }
+
+    #[test]
+    fn size_constraint_is_respected() {
+        let mut cfg = tiny_config(DeviceKind::Rtx3080);
+        cfg.max_size_mb = Some(0.05); // ~13K params
+        let task = TaskConfig::tiny(5);
+        let outcome = Hgnas::new(task.clone(), cfg).run();
+        if outcome.best.score > 0.0 {
+            let size = outcome.best.architecture.size_mb(3, &task.head_hidden);
+            assert!(size < 0.05, "found {size} MB model despite 0.05 MB budget");
+        }
+    }
+
+    #[test]
+    fn genome_instantiates_to_displayed_architecture() {
+        let outcome = tiny_search(DeviceKind::Rtx3080);
+        let arch = &outcome.best.architecture;
+        assert_eq!(arch.len(), 6);
+        assert_eq!(arch.k, 8);
+        // Display doesn't panic and mentions the classifier.
+        assert!(arch.to_string().contains("Classifier"));
+    }
+}

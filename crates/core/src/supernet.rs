@@ -1,0 +1,354 @@
+//! The single-path one-shot (SPOS) supernet (paper Sec. III-B/C).
+//!
+//! Every position holds all four operation choices with *shared weights*;
+//! a training step samples one operation type per position (a "path"),
+//! runs it, and updates only the touched weights. Operations that cannot
+//! set their output width (sample, aggregate) get an appended alignment
+//! linear so every position produces the same hidden width — the paper's
+//! dimension-alignment trick; those transforms are disposed of in finalised
+//! architectures.
+
+use hgnas_autograd::{Tape, Var};
+use hgnas_graph::{knn_brute, random_neighbors};
+use hgnas_nn::{Activation, Linear, Mlp, Module, Optimizer, Param};
+use hgnas_ops::{ConnectFn, FunctionSet, MessageType, OpType, SampleFn};
+use hgnas_pointcloud::{Batch, PointCloud, SynthNet40};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A weight-sharing supernet over the operation space, with the function
+/// space fixed to an (upper, lower) pair of [`FunctionSet`]s.
+#[derive(Debug)]
+pub struct Supernet {
+    positions: usize,
+    hidden: usize,
+    k: usize,
+    classes: usize,
+    upper: FunctionSet,
+    lower: FunctionSet,
+    stem: Linear,
+    aligns: Vec<Linear>,
+    combines: Vec<Linear>,
+    head: Mlp,
+}
+
+impl Supernet {
+    /// Builds a supernet with `positions` slots of width `hidden`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions == 0`.
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        positions: usize,
+        hidden: usize,
+        k: usize,
+        classes: usize,
+        upper: FunctionSet,
+        lower: FunctionSet,
+        head_hidden: &[usize],
+    ) -> Self {
+        assert!(positions > 0, "need at least one position");
+        let stem = Linear::new(rng, 3, hidden);
+        let half = positions / 2;
+        let mut aligns = Vec::with_capacity(positions);
+        let mut combines = Vec::with_capacity(positions);
+        for p in 0..positions {
+            let fs = if p < half { upper } else { lower };
+            aligns.push(Linear::new(rng, fs.message.width(hidden), hidden));
+            combines.push(Linear::new(rng, hidden, hidden));
+        }
+        let mut head_dims = vec![2 * hidden];
+        head_dims.extend_from_slice(head_hidden);
+        head_dims.push(classes);
+        let head = Mlp::new(rng, &head_dims, Activation::Relu);
+        Supernet {
+            positions,
+            hidden,
+            k,
+            classes,
+            upper,
+            lower,
+            stem,
+            aligns,
+            combines,
+            head,
+        }
+    }
+
+    /// Number of positions.
+    pub fn positions(&self) -> usize {
+        self.positions
+    }
+
+    /// The function set governing position `p`.
+    pub fn function_set(&self, p: usize) -> FunctionSet {
+        if p < self.positions / 2 {
+            self.upper
+        } else {
+            self.lower
+        }
+    }
+
+    /// Samples a uniformly random path (one op type per position).
+    pub fn random_genome<R: Rng>(&self, rng: &mut R) -> Vec<OpType> {
+        (0..self.positions)
+            .map(|_| OpType::ALL[rng.gen_range(0..OpType::ALL.len())])
+            .collect()
+    }
+
+    fn build_neighbors(
+        data: &[f32],
+        segments: &[usize],
+        c: usize,
+        k: usize,
+        func: SampleFn,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        let mut flat = Vec::new();
+        let mut row0 = 0usize;
+        for &n in segments {
+            let nl = match func {
+                SampleFn::Knn => knn_brute(&data[row0 * c..(row0 + n) * c], c, k),
+                SampleFn::Random => random_neighbors(rng, n, k),
+            };
+            flat.extend(nl.flat().iter().map(|&j| j + row0));
+            row0 += n;
+        }
+        flat
+    }
+
+    /// Forward pass along the path `genome`, returning `[clouds, classes]`
+    /// logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genome.len() != positions`.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        batch: &Batch,
+        genome: &[OpType],
+        rng: &mut StdRng,
+    ) -> Var {
+        assert_eq!(genome.len(), self.positions, "genome length mismatch");
+        let h0 = tape.input(batch.points.clone());
+        let mut h = self.stem.forward(tape, h0);
+        h = tape.relu(h);
+        let mut skip = h;
+        let mut neighbors: Option<Vec<usize>> = None;
+        let hd = self.hidden;
+        let k = self.k;
+
+        for (p, &ty) in genome.iter().enumerate() {
+            let fs = self.function_set(p);
+            match ty {
+                OpType::Sample => {
+                    let data = tape.value(h).data().to_vec();
+                    neighbors = Some(Self::build_neighbors(
+                        &data,
+                        &batch.segments,
+                        hd,
+                        k,
+                        fs.sample,
+                        rng,
+                    ));
+                }
+                OpType::Aggregate => {
+                    if neighbors.is_none() {
+                        let data = tape.value(h).data().to_vec();
+                        neighbors = Some(Self::build_neighbors(
+                            &data,
+                            &batch.segments,
+                            hd,
+                            k,
+                            SampleFn::Knn,
+                            rng,
+                        ));
+                    }
+                    let idx = neighbors.as_ref().unwrap();
+                    let nbr = tape.gather_rows(h, idx);
+                    let ctr = tape.repeat_rows(h, k);
+                    let message = match fs.message {
+                        MessageType::SourcePos => nbr,
+                        MessageType::TargetPos => ctr,
+                        MessageType::RelPos => tape.sub(nbr, ctr),
+                        MessageType::Distance => {
+                            let rel = tape.sub(nbr, ctr);
+                            tape.row_norms(rel)
+                        }
+                        MessageType::SourceRel => {
+                            let rel = tape.sub(nbr, ctr);
+                            tape.concat_cols(&[nbr, rel])
+                        }
+                        MessageType::TargetRel => {
+                            let rel = tape.sub(nbr, ctr);
+                            tape.concat_cols(&[ctr, rel])
+                        }
+                        MessageType::Full => {
+                            let rel = tape.sub(nbr, ctr);
+                            tape.concat_cols(&[ctr, nbr, rel])
+                        }
+                    };
+                    let agg = tape.reduce_mid(message, k, fs.aggregator.reduction());
+                    h = self.aligns[p].forward(tape, agg);
+                    h = tape.relu(h);
+                }
+                OpType::Combine => {
+                    h = self.combines[p].forward(tape, h);
+                    h = tape.relu(h);
+                }
+                OpType::Connect => match fs.connect {
+                    ConnectFn::Identity => {}
+                    ConnectFn::Skip => {
+                        h = tape.add(h, skip);
+                        skip = h;
+                    }
+                },
+            }
+        }
+
+        let mx = tape.segment_pool(h, &batch.segments, hgnas_autograd::Reduction::Max);
+        let mn = tape.segment_pool(h, &batch.segments, hgnas_autograd::Reduction::Mean);
+        let pooled = tape.concat_cols(&[mx, mn]);
+        self.head.forward(tape, pooled)
+    }
+
+    /// One SPOS training epoch: a fresh random path per batch. Returns the
+    /// mean batch loss.
+    pub fn train_epoch(
+        &mut self,
+        batches: &[Batch],
+        opt: &mut Optimizer,
+        rng: &mut StdRng,
+    ) -> f32 {
+        let mut total = 0.0f32;
+        for batch in batches {
+            let genome = self.random_genome(rng);
+            let mut tape = Tape::new();
+            let logits = self.forward(&mut tape, batch, &genome, rng);
+            let loss = tape.softmax_cross_entropy(logits, &batch.labels);
+            total += tape.value(loss).item();
+            tape.backward(loss);
+            self.apply_updates(&tape, opt);
+        }
+        total / batches.len().max(1) as f32
+    }
+
+    /// One-shot accuracy of a fixed path on an evaluation split.
+    pub fn eval_genome(&self, genome: &[OpType], clouds: &[PointCloud], seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pred = Vec::new();
+        let mut truth = Vec::new();
+        for batch in SynthNet40::batches(clouds, 16) {
+            let mut tape = Tape::new();
+            let logits = self.forward(&mut tape, &batch, genome, &mut rng);
+            pred.extend(hgnas_nn::metrics::predictions(
+                tape.value(logits).data(),
+                self.classes,
+            ));
+            truth.extend_from_slice(&batch.labels);
+        }
+        hgnas_nn::metrics::overall_accuracy(&pred, &truth)
+    }
+}
+
+impl Module for Supernet {
+    fn params(&self) -> Vec<&Param> {
+        let mut p = self.stem.params();
+        p.extend(self.aligns.iter().flat_map(Module::params));
+        p.extend(self.combines.iter().flat_map(Module::params));
+        p.extend(self.head.params());
+        p
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.stem.params_mut();
+        p.extend(self.aligns.iter_mut().flat_map(Module::params_mut));
+        p.extend(self.combines.iter_mut().flat_map(Module::params_mut));
+        p.extend(self.head.params_mut());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgnas_pointcloud::DatasetConfig;
+
+    fn tiny_supernet(seed: u64) -> (Supernet, SynthNet40) {
+        let ds = SynthNet40::generate(&DatasetConfig::tiny(seed));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sn = Supernet::new(
+            &mut rng,
+            6,
+            16,
+            8,
+            ds.classes,
+            FunctionSet::dgcnn_like(16),
+            FunctionSet::dgcnn_like(16),
+            &[16],
+        );
+        (sn, ds)
+    }
+
+    #[test]
+    fn any_path_produces_logits() {
+        let (sn, ds) = tiny_supernet(1);
+        let batch = SynthNet40::batches(&ds.train[..4], 4).remove(0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..6 {
+            let genome = sn.random_genome(&mut rng);
+            let mut tape = Tape::new();
+            let logits = sn.forward(&mut tape, &batch, &genome, &mut rng);
+            assert_eq!(tape.value(logits).dims(), &[4, ds.classes]);
+        }
+    }
+
+    #[test]
+    fn spos_training_reduces_loss() {
+        let (mut sn, ds) = tiny_supernet(3);
+        let batches = SynthNet40::batches(&ds.train, 8);
+        let mut opt = Optimizer::adam(3e-3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let first = sn.train_epoch(&batches, &mut opt, &mut rng);
+        let mut last = first;
+        for _ in 0..6 {
+            last = sn.train_epoch(&batches, &mut opt, &mut rng);
+        }
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn eval_genome_deterministic_for_knn_paths() {
+        let (sn, ds) = tiny_supernet(5);
+        let genome = vec![
+            OpType::Sample,
+            OpType::Aggregate,
+            OpType::Combine,
+            OpType::Connect,
+            OpType::Aggregate,
+            OpType::Combine,
+        ];
+        let a = sn.eval_genome(&genome, &ds.test, 1);
+        let b = sn.eval_genome(&genome, &ds.test, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_halves_different_align_widths() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let upper = FunctionSet {
+            message: MessageType::Full,
+            ..FunctionSet::dgcnn_like(16)
+        };
+        let lower = FunctionSet {
+            message: MessageType::Distance,
+            ..FunctionSet::dgcnn_like(16)
+        };
+        let sn = Supernet::new(&mut rng, 4, 16, 8, 4, upper, lower, &[8]);
+        // Upper positions align from 3*16, lower from width-1 messages.
+        assert_eq!(sn.aligns[0].in_dim(), 48);
+        assert_eq!(sn.aligns[3].in_dim(), 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Workload execution: latency, breakdown, peak memory, noisy measurement.
+
+use crate::profiles::DeviceProfile;
+use crate::workload::Workload;
+use rand::Rng;
+use std::fmt;
+
+/// The simulator's answer for one workload on one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// End-to-end inference latency, milliseconds.
+    pub latency_ms: f64,
+    /// Latency split by op class, milliseconds, indexed by
+    /// [`crate::OpClass::index`].
+    pub breakdown_ms: [f64; 4],
+    /// Peak resident memory, MB.
+    pub peak_mem_mb: f64,
+    /// Whether peak memory exceeded the device's available memory.
+    pub oom: bool,
+}
+
+impl ExecutionReport {
+    /// Breakdown as fractions of total latency.
+    pub fn breakdown_fractions(&self) -> [f64; 4] {
+        let mut f = [0.0; 4];
+        if self.latency_ms > 0.0 {
+            for i in 0..4 {
+                f[i] = self.breakdown_ms[i] / self.latency_ms;
+            }
+        }
+        f
+    }
+}
+
+impl fmt::Display for ExecutionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} ms (sample {:.1}%, aggregate {:.1}%, combine {:.1}%, other {:.1}%), peak {:.1} MB{}",
+            self.latency_ms,
+            self.breakdown_fractions()[0] * 100.0,
+            self.breakdown_fractions()[1] * 100.0,
+            self.breakdown_fractions()[2] * 100.0,
+            self.breakdown_fractions()[3] * 100.0,
+            self.peak_mem_mb,
+            if self.oom { " [OOM]" } else { "" }
+        )
+    }
+}
+
+/// Failure modes of a (simulated) on-device measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureError {
+    /// The model did not fit in device memory.
+    OutOfMemory {
+        /// Peak the workload would have needed, MB.
+        needed_mb: f64,
+        /// What the device offers, MB.
+        avail_mb: f64,
+    },
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::OutOfMemory { needed_mb, avail_mb } => write!(
+                f,
+                "out of memory: needs {needed_mb:.0} MB, device has {avail_mb:.0} MB"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+impl DeviceProfile {
+    /// Deterministic (noise-free) execution model: roofline per op plus
+    /// dispatch overhead, liveness-based peak memory.
+    pub fn execute(&self, w: &Workload) -> ExecutionReport {
+        let mut breakdown_ms = [0.0f64; 4];
+        for op in &w.ops {
+            let r = self.rates_for(op.class);
+            let compute_ms = op.flops / (r.gflops * 1e9) * 1e3;
+            let memory_ms = op.bytes / (r.gbps * 1e9) * 1e3;
+            let t = compute_ms.max(memory_ms) + self.overhead_us / 1e3;
+            breakdown_ms[op.class.index()] += t;
+        }
+        let latency_ms: f64 = breakdown_ms.iter().sum();
+        let peak_mem_mb =
+            self.base_mem_mb + self.mem_factor * (w.peak_live_bytes + w.param_bytes) / 1e6;
+        ExecutionReport {
+            latency_ms,
+            breakdown_ms,
+            peak_mem_mb,
+            oom: peak_mem_mb > self.avail_mem_mb,
+        }
+    }
+
+    /// Simulated *measurement*: the deterministic model perturbed by the
+    /// device's multiplicative noise. This is what predictor training labels
+    /// come from (substitution S4), and what the real-time-measurement
+    /// search mode consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeasureError::OutOfMemory`] when the workload does not fit,
+    /// mirroring what deployment on the real board would do.
+    pub fn measure<R: Rng>(
+        &self,
+        w: &Workload,
+        rng: &mut R,
+    ) -> Result<ExecutionReport, MeasureError> {
+        let mut report = self.execute(w);
+        if report.oom {
+            return Err(MeasureError::OutOfMemory {
+                needed_mb: report.peak_mem_mb,
+                avail_mb: self.avail_mem_mb,
+            });
+        }
+        // Sum of 12 uniforms ≈ N(0,1); multiplicative, floored at 3σ below.
+        let gauss: f64 = (0..12).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() - 6.0;
+        let factor = (1.0 + self.noise_sigma * gauss).max(1.0 - 3.0 * self.noise_sigma).max(0.05);
+        report.latency_ms *= factor;
+        for b in &mut report.breakdown_ms {
+            *b *= factor;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::DeviceKind;
+    use crate::workload::{Workload, WorkloadOp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_workload(n: usize) -> Workload {
+        let mut w = Workload::new();
+        w.push(WorkloadOp::knn("knn", n, 20, 3));
+        w.push(WorkloadOp::gather("gather", n, 20, 64));
+        w.push(WorkloadOp::linear("mlp", n * 20, 64, 64));
+        w.push(WorkloadOp::reduce("max", n, 20, 64));
+        w.push(WorkloadOp::global_pool("pool", n, 64));
+        w
+    }
+
+    #[test]
+    fn latency_monotone_in_problem_size() {
+        for kind in DeviceKind::EDGE_TARGETS {
+            let p = kind.profile();
+            let small = p.execute(&toy_workload(256)).latency_ms;
+            let big = p.execute(&toy_workload(1024)).latency_ms;
+            assert!(big > small, "{kind}: {big} <= {small}");
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let p = DeviceKind::Rtx3080.profile();
+        let r = p.execute(&toy_workload(512));
+        let sum: f64 = r.breakdown_ms.iter().sum();
+        assert!((sum - r.latency_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pi_slower_than_gpu() {
+        let w = toy_workload(1024);
+        let pi = DeviceKind::RaspberryPi3B.profile().execute(&w).latency_ms;
+        let gpu = DeviceKind::Rtx3080.profile().execute(&w).latency_ms;
+        assert!(pi > 10.0 * gpu, "pi {pi} vs gpu {gpu}");
+    }
+
+    #[test]
+    fn oom_reported_as_error() {
+        let mut w = Workload::new();
+        w.push(WorkloadOp::linear("huge", 4_000_000, 256, 256));
+        w.peak_live_bytes = 4e9;
+        let p = DeviceKind::RaspberryPi3B.profile();
+        let mut rng = StdRng::seed_from_u64(0);
+        match p.measure(&w, &mut rng) {
+            Err(MeasureError::OutOfMemory { needed_mb, avail_mb }) => {
+                assert!(needed_mb > avail_mb);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn measurement_noise_has_expected_spread() {
+        let p = DeviceKind::RaspberryPi3B.profile();
+        let w = toy_workload(256);
+        let clean = p.execute(&w).latency_ms;
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 300;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| p.measure(&w, &mut rng).unwrap().latency_ms)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let sd = (samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64).sqrt();
+        assert!((mean / clean - 1.0).abs() < 0.05, "mean drift {}", mean / clean);
+        let rel_sd = sd / clean;
+        assert!(
+            (rel_sd - p.noise_sigma).abs() < 0.05,
+            "relative sd {rel_sd} vs sigma {}",
+            p.noise_sigma
+        );
+    }
+
+    #[test]
+    fn noise_free_execute_is_deterministic() {
+        let p = DeviceKind::JetsonTx2.profile();
+        let w = toy_workload(300);
+        assert_eq!(p.execute(&w), p.execute(&w));
+    }
+}

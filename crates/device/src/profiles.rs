@@ -1,0 +1,235 @@
+//! Device profiles: the four paper platforms plus the V100 search host.
+
+use crate::workload::OpClass;
+
+/// The edge platforms evaluated in the paper, plus the Nvidia V100 the
+/// search itself runs on (used for search-time accounting in Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Nvidia RTX3080 desktop GPU (350 W).
+    Rtx3080,
+    /// Intel i7-8700K desktop CPU (95 W).
+    I78700K,
+    /// Nvidia Jetson TX2 embedded GPU (7.5 W).
+    JetsonTx2,
+    /// Raspberry Pi 3B+ (1 GB RAM, 5 W).
+    RaspberryPi3B,
+    /// Nvidia V100 — the search/training host, not an evaluation target.
+    V100,
+}
+
+impl DeviceKind {
+    /// The four edge evaluation targets, in the paper's presentation order.
+    pub const EDGE_TARGETS: [DeviceKind; 4] = [
+        DeviceKind::Rtx3080,
+        DeviceKind::I78700K,
+        DeviceKind::JetsonTx2,
+        DeviceKind::RaspberryPi3B,
+    ];
+
+    /// Short display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Rtx3080 => "RTX3080",
+            DeviceKind::I78700K => "i7-8700K",
+            DeviceKind::JetsonTx2 => "Jetson TX2",
+            DeviceKind::RaspberryPi3B => "Raspberry Pi",
+            DeviceKind::V100 => "V100",
+        }
+    }
+
+    /// The calibrated profile for this device.
+    pub fn profile(self) -> DeviceProfile {
+        DeviceProfile::builtin(self)
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Effective throughputs for one [`OpClass`] on one device.
+///
+/// These are *achieved* rates under a PyG-style runtime (framework overhead
+/// included), not datasheet peaks, which is why e.g. the RTX3080's sample
+/// rate is ~1.6 GFLOP/s: top-k selection parallelises poorly on GPUs, the
+/// effect Observation ③ in the paper is about.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassRates {
+    /// Effective compute throughput, GFLOP/s.
+    pub gflops: f64,
+    /// Effective memory bandwidth for this class's access pattern, GB/s.
+    pub gbps: f64,
+}
+
+/// A calibrated device model. See the crate docs for the calibration story.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Which device this models.
+    pub kind: DeviceKind,
+    /// Per-class effective rates, indexed by [`OpClass::index`].
+    pub rates: [ClassRates; 4],
+    /// Fixed per-op dispatch overhead, microseconds (kernel launch, Python
+    /// glue).
+    pub overhead_us: f64,
+    /// Resident runtime footprint, MB (framework + context).
+    pub base_mem_mb: f64,
+    /// Allocator amplification applied to live model buffers.
+    pub mem_factor: f64,
+    /// Memory available to the process, MB; exceeding it is OOM.
+    pub avail_mem_mb: f64,
+    /// Multiplicative log-normal-ish measurement noise σ (the Pi is far
+    /// noisier, per Fig. 8).
+    pub noise_sigma: f64,
+    /// Per-measurement deployment/communication round-trip, ms (drives the
+    /// real-time-measurement search cost in Fig. 9a).
+    pub measurement_roundtrip_ms: f64,
+    /// Board power, watts (the paper's 47× power-efficiency claim).
+    pub power_w: f64,
+}
+
+impl DeviceProfile {
+    /// Returns the calibrated built-in profile for `kind`.
+    pub fn builtin(kind: DeviceKind) -> Self {
+        // Rates order: [Sample, Aggregate, Combine, Other].
+        match kind {
+            DeviceKind::Rtx3080 => DeviceProfile {
+                kind,
+                rates: [
+                    ClassRates { gflops: 22.0, gbps: 500.0 },
+                    ClassRates { gflops: 1000.0, gbps: 8.0 },
+                    ClassRates { gflops: 1850.0, gbps: 400.0 },
+                    ClassRates { gflops: 50.0, gbps: 30.0 },
+                ],
+                overhead_us: 120.0,
+                base_mem_mb: 100.0,
+                mem_factor: 1.0,
+                avail_mem_mb: 10_000.0,
+                noise_sigma: 0.03,
+                measurement_roundtrip_ms: 1_500.0,
+                power_w: 350.0,
+            },
+            DeviceKind::I78700K => DeviceProfile {
+                kind,
+                rates: [
+                    ClassRates { gflops: 8.2, gbps: 30.0 },
+                    ClassRates { gflops: 60.0, gbps: 0.96 },
+                    ClassRates { gflops: 300.0, gbps: 25.0 },
+                    ClassRates { gflops: 8.0, gbps: 10.0 },
+                ],
+                overhead_us: 350.0,
+                base_mem_mb: 350.0,
+                mem_factor: 6.5,
+                avail_mem_mb: 32_000.0,
+                noise_sigma: 0.03,
+                measurement_roundtrip_ms: 2_000.0,
+                power_w: 95.0,
+            },
+            DeviceKind::JetsonTx2 => DeviceProfile {
+                kind,
+                rates: [
+                    ClassRates { gflops: 4.4, gbps: 20.0 },
+                    ClassRates { gflops: 120.0, gbps: 6.5 },
+                    ClassRates { gflops: 330.0, gbps: 40.0 },
+                    ClassRates { gflops: 4.0, gbps: 1.43 },
+                ],
+                overhead_us: 1_500.0,
+                base_mem_mb: 100.0,
+                mem_factor: 1.0,
+                avail_mem_mb: 8_000.0,
+                noise_sigma: 0.04,
+                measurement_roundtrip_ms: 4_000.0,
+                power_w: 7.5,
+            },
+            DeviceKind::RaspberryPi3B => DeviceProfile {
+                kind,
+                rates: [
+                    ClassRates { gflops: 0.435, gbps: 1.2 },
+                    ClassRates { gflops: 3.0, gbps: 0.16 },
+                    ClassRates { gflops: 4.1, gbps: 1.5 },
+                    ClassRates { gflops: 0.35, gbps: 0.16 },
+                ],
+                overhead_us: 15_000.0,
+                base_mem_mb: 140.0,
+                mem_factor: 7.05,
+                avail_mem_mb: 750.0,
+                noise_sigma: 0.15,
+                measurement_roundtrip_ms: 8_000.0,
+                power_w: 5.0,
+            },
+            DeviceKind::V100 => DeviceProfile {
+                kind,
+                rates: [
+                    ClassRates { gflops: 28.0, gbps: 600.0 },
+                    ClassRates { gflops: 1200.0, gbps: 10.0 },
+                    ClassRates { gflops: 2500.0, gbps: 500.0 },
+                    ClassRates { gflops: 60.0, gbps: 40.0 },
+                ],
+                overhead_us: 100.0,
+                base_mem_mb: 900.0,
+                mem_factor: 1.0,
+                avail_mem_mb: 32_000.0,
+                noise_sigma: 0.02,
+                measurement_roundtrip_ms: 500.0,
+                power_w: 300.0,
+            },
+        }
+    }
+
+    /// Rates for a class.
+    pub fn rates_for(&self, class: OpClass) -> ClassRates {
+        self.rates[class.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_positive() {
+        for kind in [
+            DeviceKind::Rtx3080,
+            DeviceKind::I78700K,
+            DeviceKind::JetsonTx2,
+            DeviceKind::RaspberryPi3B,
+            DeviceKind::V100,
+        ] {
+            let p = kind.profile();
+            for r in &p.rates {
+                assert!(r.gflops > 0.0 && r.gbps > 0.0, "{kind}");
+            }
+            assert!(p.overhead_us >= 0.0 && p.avail_mem_mb > 0.0);
+        }
+    }
+
+    #[test]
+    fn pi_is_weakest_at_dense_compute() {
+        let pi = DeviceKind::RaspberryPi3B.profile();
+        for other in [DeviceKind::Rtx3080, DeviceKind::I78700K, DeviceKind::JetsonTx2] {
+            assert!(
+                pi.rates_for(OpClass::Combine).gflops
+                    < other.profile().rates_for(OpClass::Combine).gflops
+            );
+        }
+    }
+
+    #[test]
+    fn pi_has_least_memory_and_most_noise() {
+        let pi = DeviceKind::RaspberryPi3B.profile();
+        for other in DeviceKind::EDGE_TARGETS.iter().filter(|&&k| k != DeviceKind::RaspberryPi3B)
+        {
+            assert!(pi.avail_mem_mb < other.profile().avail_mem_mb);
+            assert!(pi.noise_sigma > other.profile().noise_sigma);
+        }
+    }
+
+    #[test]
+    fn power_matches_paper_claims() {
+        // The paper's 47x claim: 350 W (RTX3080) vs 7.5 W (TX2).
+        let ratio = DeviceKind::Rtx3080.profile().power_w / DeviceKind::JetsonTx2.profile().power_w;
+        assert!((ratio - 46.67).abs() < 1.0);
+    }
+}

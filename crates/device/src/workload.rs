@@ -1,0 +1,288 @@
+//! The workload IR: what a lowered GNN architecture looks like to a device.
+
+/// The paper's execution-time breakdown buckets (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Graph construction: KNN / random sampling.
+    Sample,
+    /// Message construction (gather/concat) and neighbour reduction.
+    Aggregate,
+    /// Dense feature transforms (per-node or per-edge MLPs).
+    Combine,
+    /// Everything else: pooling, elementwise, framework glue.
+    Other,
+}
+
+impl OpClass {
+    /// All classes in breakdown-display order.
+    pub const ALL: [OpClass; 4] = [
+        OpClass::Sample,
+        OpClass::Aggregate,
+        OpClass::Combine,
+        OpClass::Other,
+    ];
+
+    /// Index into per-class rate tables.
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Sample => 0,
+            OpClass::Aggregate => 1,
+            OpClass::Combine => 2,
+            OpClass::Other => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpClass::Sample => "sample",
+            OpClass::Aggregate => "aggregate",
+            OpClass::Combine => "combine",
+            OpClass::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One lowered operation with its resource demands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadOp {
+    /// Human-readable name for profiler output.
+    pub name: String,
+    /// Breakdown bucket.
+    pub class: OpClass,
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes moved (reads + writes), access pattern folded into the class.
+    pub bytes: f64,
+    /// Transient workspace allocated while the op runs.
+    pub workspace_bytes: f64,
+    /// Output buffer that stays live until consumed downstream.
+    pub output_bytes: f64,
+}
+
+impl WorkloadOp {
+    /// KNN graph construction over `n` points with fanout `k` in a `c`-
+    /// dimensional feature space: a pairwise distance pass (`n²·2c` FLOPs)
+    /// plus top-k selection. The distance matrix is transient workspace; the
+    /// `n*k` index table is the output. DGCNN recomputes this *in feature
+    /// space* every layer, which is why `c` matters.
+    pub fn knn(name: &str, n: usize, k: usize, c: usize) -> Self {
+        let n = n as f64;
+        let k = k as f64;
+        let c = c as f64;
+        WorkloadOp {
+            name: name.to_string(),
+            class: OpClass::Sample,
+            flops: n * n * (2.0 * c + 8.0),
+            bytes: n * n * 4.0 + n * c * 4.0 + n * k * 8.0,
+            workspace_bytes: n * n * 4.0,
+            output_bytes: n * k * 8.0,
+        }
+    }
+
+    /// Random neighbour sampling: `n*k` draws, no distance pass.
+    pub fn random_sample(name: &str, n: usize, k: usize) -> Self {
+        let n = n as f64;
+        let k = k as f64;
+        WorkloadOp {
+            name: name.to_string(),
+            class: OpClass::Sample,
+            flops: n * k * 4.0,
+            bytes: n * k * 8.0,
+            workspace_bytes: 0.0,
+            output_bytes: n * k * 8.0,
+        }
+    }
+
+    /// Message construction: gathers neighbour rows and assembles the
+    /// `[n*k, c_msg]` edge tensor (irregular traffic).
+    pub fn gather(name: &str, n: usize, k: usize, c_msg: usize) -> Self {
+        let rows = (n * k) as f64;
+        let c = c_msg as f64;
+        WorkloadOp {
+            name: name.to_string(),
+            class: OpClass::Aggregate,
+            flops: rows * c,
+            bytes: rows * c * 8.0,
+            workspace_bytes: rows * c * 4.0,
+            output_bytes: rows * c * 4.0,
+        }
+    }
+
+    /// Fused message construction + reduction, the execution pattern of an
+    /// aggregate *without* an interposed per-edge MLP: one scatter-style
+    /// kernel reads the `c_in`-wide source features, forms each message on
+    /// the fly and accumulates straight into the `[n, c_msg]` output — the
+    /// `[n*k, c_msg]` edge tensor is never materialised. This is precisely
+    /// the cost asymmetry that lets HGNAS-designed models beat DGCNN, whose
+    /// edge MLP forces materialisation (see [`WorkloadOp::gather`]).
+    pub fn fused_aggregate(name: &str, n: usize, k: usize, c_in: usize, c_msg: usize) -> Self {
+        let rows = (n * k) as f64;
+        let (ci, cm) = (c_in as f64, c_msg as f64);
+        WorkloadOp {
+            name: name.to_string(),
+            class: OpClass::Aggregate,
+            flops: rows * cm * 2.0,
+            bytes: rows * ci * 4.0 + n as f64 * cm * 4.0,
+            workspace_bytes: 0.0,
+            output_bytes: n as f64 * cm * 4.0,
+        }
+    }
+
+    /// Neighbour reduction `[n*k, c] -> [n, c]` (sum/mean/max/min all cost
+    /// the same to first order).
+    pub fn reduce(name: &str, n: usize, k: usize, c: usize) -> Self {
+        let rows = (n * k) as f64;
+        let cf = c as f64;
+        WorkloadOp {
+            name: name.to_string(),
+            class: OpClass::Aggregate,
+            flops: rows * cf,
+            bytes: rows * cf * 4.0 + n as f64 * cf * 4.0,
+            workspace_bytes: 0.0,
+            output_bytes: n as f64 * cf * 4.0,
+        }
+    }
+
+    /// Dense linear transform over `rows` feature rows.
+    pub fn linear(name: &str, rows: usize, c_in: usize, c_out: usize) -> Self {
+        let r = rows as f64;
+        let (ci, co) = (c_in as f64, c_out as f64);
+        WorkloadOp {
+            name: name.to_string(),
+            class: OpClass::Combine,
+            flops: 2.0 * r * ci * co,
+            bytes: (r * (ci + co) + ci * co) * 4.0,
+            workspace_bytes: 0.0,
+            output_bytes: r * co * 4.0,
+        }
+    }
+
+    /// Elementwise op (activation, residual add) over `rows × c`.
+    pub fn elementwise(name: &str, rows: usize, c: usize) -> Self {
+        let sz = (rows * c) as f64;
+        WorkloadOp {
+            name: name.to_string(),
+            class: OpClass::Other,
+            flops: sz,
+            bytes: sz * 8.0,
+            workspace_bytes: 0.0,
+            output_bytes: sz * 4.0,
+        }
+    }
+
+    /// Global pooling `[n, c] -> [1, c]`.
+    pub fn global_pool(name: &str, n: usize, c: usize) -> Self {
+        let sz = (n * c) as f64;
+        WorkloadOp {
+            name: name.to_string(),
+            class: OpClass::Other,
+            flops: sz,
+            bytes: sz * 4.0,
+            workspace_bytes: 0.0,
+            output_bytes: c as f64 * 4.0,
+        }
+    }
+}
+
+/// A lowered architecture: the op sequence plus memory-plan summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Workload {
+    /// Ops in execution order.
+    pub ops: Vec<WorkloadOp>,
+    /// Peak of the live-buffer set over the schedule, in bytes (computed by
+    /// the lowering pass, which knows buffer lifetimes).
+    pub peak_live_bytes: f64,
+    /// Model parameter bytes (resident for the whole run).
+    pub param_bytes: f64,
+}
+
+impl Workload {
+    /// Empty workload.
+    pub fn new() -> Self {
+        Workload::default()
+    }
+
+    /// Appends an op and folds its buffers into a conservative running
+    /// memory estimate (current output + workspace + previous output). The
+    /// lowering pass may overwrite [`Workload::peak_live_bytes`] with an
+    /// exact liveness plan.
+    pub fn push(&mut self, op: WorkloadOp) {
+        let prev_out = self.ops.last().map_or(0.0, |o| o.output_bytes);
+        let live = prev_out + op.workspace_bytes + op.output_bytes;
+        if live > self.peak_live_bytes {
+            self.peak_live_bytes = live;
+        }
+        self.ops.push(op);
+    }
+
+    /// Total FLOPs.
+    pub fn total_flops(&self) -> f64 {
+        self.ops.iter().map(|o| o.flops).sum()
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> f64 {
+        self.ops.iter().map(|o| o.bytes).sum()
+    }
+
+    /// Op count.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if no ops were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knn_scales_quadratically() {
+        let a = WorkloadOp::knn("a", 512, 20, 3);
+        let b = WorkloadOp::knn("b", 1024, 20, 3);
+        assert!((b.flops / a.flops - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn linear_flops_formula() {
+        let op = WorkloadOp::linear("l", 100, 64, 128);
+        assert_eq!(op.flops, 2.0 * 100.0 * 64.0 * 128.0);
+        assert_eq!(op.class, OpClass::Combine);
+    }
+
+    #[test]
+    fn workload_totals_accumulate() {
+        let mut w = Workload::new();
+        w.push(WorkloadOp::knn("k", 128, 10, 3));
+        w.push(WorkloadOp::linear("l", 128, 3, 16));
+        assert_eq!(w.len(), 2);
+        assert!(w.total_flops() > 0.0);
+        assert!(w.peak_live_bytes > 0.0);
+    }
+
+    #[test]
+    fn push_tracks_running_peak() {
+        let mut w = Workload::new();
+        w.push(WorkloadOp::linear("big", 10_000, 256, 256));
+        let peak_after_big = w.peak_live_bytes;
+        w.push(WorkloadOp::linear("small", 10, 4, 4));
+        // The small op keeps the big output live, so the peak can only grow
+        // by the small op's own buffers.
+        assert!(w.peak_live_bytes >= peak_after_big);
+        assert!(w.peak_live_bytes < peak_after_big * 1.01);
+    }
+
+    #[test]
+    fn class_indices_are_stable() {
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

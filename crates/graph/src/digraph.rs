@@ -1,0 +1,186 @@
+//! Small dense directed graphs — the representation the latency predictor
+//! uses for abstracted GNN architectures (a few dozen nodes).
+
+/// Normalisation applied when materialising a dense adjacency matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdjNorm {
+    /// Raw 0/1 adjacency (the paper's GCN layers use a *sum* aggregator).
+    None,
+    /// Row-stochastic: each row divided by its out-degree.
+    Row,
+    /// Symmetric `D^-1/2 (A) D^-1/2` over the symmetrised edge set.
+    Symmetric,
+}
+
+/// A directed graph with a fixed node count and an edge list.
+///
+/// # Example
+///
+/// ```
+/// use hgnas_graph::{AdjNorm, DiGraph};
+///
+/// let mut g = DiGraph::new(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// let a = g.adjacency(AdjNorm::None, true);
+/// assert_eq!(a[1 * 3 + 0], 1.0); // edge 0->1 lands in receiver row 1
+/// assert_eq!(a[2 * 3 + 2], 1.0); // self loop
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        DiGraph { n, edges: Vec::new() }
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds a directed edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, src: usize, dst: usize) {
+        assert!(src < self.n && dst < self.n, "edge endpoint out of range");
+        self.edges.push((src, dst));
+    }
+
+    /// The edge list in insertion order.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Materialises the dense adjacency (row-major `n*n`), optionally with
+    /// self loops, under the requested normalisation. Message direction:
+    /// `adj[dst][src] = 1` so that `A · X` aggregates *incoming* features.
+    pub fn adjacency(&self, norm: AdjNorm, self_loops: bool) -> Vec<f32> {
+        let n = self.n;
+        let mut a = vec![0.0f32; n * n];
+        for &(s, d) in &self.edges {
+            a[d * n + s] = 1.0;
+        }
+        if self_loops {
+            for i in 0..n {
+                a[i * n + i] = 1.0;
+            }
+        }
+        match norm {
+            AdjNorm::None => {}
+            AdjNorm::Row => {
+                for i in 0..n {
+                    let row = &mut a[i * n..(i + 1) * n];
+                    let deg: f32 = row.iter().sum();
+                    if deg > 0.0 {
+                        for v in row.iter_mut() {
+                            *v /= deg;
+                        }
+                    }
+                }
+            }
+            AdjNorm::Symmetric => {
+                // Symmetrise, then D^-1/2 A D^-1/2.
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let m = a[i * n + j].max(a[j * n + i]);
+                        a[i * n + j] = m;
+                        a[j * n + i] = m;
+                    }
+                }
+                let deg: Vec<f32> = (0..n)
+                    .map(|i| a[i * n..(i + 1) * n].iter().sum::<f32>().max(1e-12))
+                    .collect();
+                for i in 0..n {
+                    for j in 0..n {
+                        a[i * n + j] /= (deg[i] * deg[j]).sqrt();
+                    }
+                }
+            }
+        }
+        a
+    }
+
+    /// In-degree of node `i` (not counting self loops).
+    pub fn in_degree(&self, i: usize) -> usize {
+        self.edges.iter().filter(|&&(_, d)| d == i).count()
+    }
+
+    /// Out-degree of node `i` (not counting self loops).
+    pub fn out_degree(&self, i: usize) -> usize {
+        self.edges.iter().filter(|&&(s, _)| s == i).count()
+    }
+
+    /// Edge density over possible ordered pairs (excluding self pairs).
+    pub fn density(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        self.edges.len() as f64 / (self.n * (self.n - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacency_direction_is_dst_row() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1);
+        let a = g.adjacency(AdjNorm::None, false);
+        assert_eq!(a, vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn row_norm_rows_sum_to_one() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        let a = g.adjacency(AdjNorm::Row, true);
+        for i in 0..3 {
+            let s: f32 = a[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn symmetric_norm_is_symmetric() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        g.add_edge(1, 3);
+        let a = g.adjacency(AdjNorm::Symmetric, true);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((a[i * 4 + j] - a[j * 4 + i]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_and_density() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(2), 1);
+        assert!((g.density() - 2.0 / 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,185 @@
+//! kd-tree accelerated exact KNN — the third construction strategy next to
+//! brute force and the uniform grid (compared in the `knn` bench).
+//!
+//! Median-split kd-tree over 3-D points with branch-and-bound search: a
+//! subtree is pruned when the splitting plane is farther than the current
+//! k-th best distance. Best suited to non-uniform clouds where the grid's
+//! occupancy assumption breaks down.
+
+use crate::neighbors::NeighborList;
+
+struct Node {
+    /// Splitting axis (0..3).
+    axis: usize,
+    /// Index of the point stored at this node.
+    point: usize,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+fn build(indices: &mut [usize], points: &[f32], depth: usize) -> Option<Box<Node>> {
+    if indices.is_empty() {
+        return None;
+    }
+    let axis = depth % 3;
+    indices.sort_unstable_by(|&a, &b| {
+        points[a * 3 + axis]
+            .partial_cmp(&points[b * 3 + axis])
+            .expect("point coordinates must not be NaN")
+    });
+    let mid = indices.len() / 2;
+    let point = indices[mid];
+    let (left_idx, rest) = indices.split_at_mut(mid);
+    let right_idx = &mut rest[1..];
+    Some(Box::new(Node {
+        axis,
+        point,
+        left: build(left_idx, points, depth + 1),
+        right: build(right_idx, points, depth + 1),
+    }))
+}
+
+fn dist2(points: &[f32], a: usize, b: usize) -> f32 {
+    (0..3)
+        .map(|d| (points[a * 3 + d] - points[b * 3 + d]).powi(2))
+        .sum()
+}
+
+/// Bounded best-list insertion, mirroring the brute-force selection.
+fn consider(best: &mut Vec<(f32, usize)>, k: usize, d: f32, j: usize) {
+    if best.len() == k && d >= best[k - 1].0 {
+        return;
+    }
+    let pos = best.partition_point(|&(bd, _)| bd <= d);
+    best.insert(pos, (d, j));
+    if best.len() > k {
+        best.pop();
+    }
+}
+
+fn search(
+    node: &Node,
+    points: &[f32],
+    query: usize,
+    k: usize,
+    best: &mut Vec<(f32, usize)>,
+) {
+    if node.point != query {
+        let d = dist2(points, query, node.point);
+        consider(best, k, d, node.point);
+    }
+    let delta = points[query * 3 + node.axis] - points[node.point * 3 + node.axis];
+    let (near, far) = if delta < 0.0 {
+        (&node.left, &node.right)
+    } else {
+        (&node.right, &node.left)
+    };
+    if let Some(n) = near {
+        search(n, points, query, k, best);
+    }
+    // Visit the far side only if the splitting plane is closer than the
+    // current k-th best (or we have fewer than k yet).
+    let plane_d2 = delta * delta;
+    if best.len() < k || plane_d2 < best[best.len() - 1].0 {
+        if let Some(f) = far {
+            search(f, points, query, k, best);
+        }
+    }
+}
+
+/// Exact KNN over 3-D points using a kd-tree.
+///
+/// Same contract as [`crate::knn_brute`]: each point's `k` nearest *other*
+/// points, nearest first.
+///
+/// # Panics
+///
+/// Panics if `dim != 3`, the buffer is ragged, `k == 0`, or `n <= k`.
+pub fn knn_kdtree(points: &[f32], dim: usize, k: usize) -> NeighborList {
+    assert_eq!(dim, 3, "knn_kdtree is specialised for 3-D point clouds");
+    assert_eq!(points.len() % 3, 0, "point buffer not a multiple of dim");
+    let n = points.len() / 3;
+    assert!(k > 0, "k must be positive");
+    assert!(n > k, "need more than k={k} points, got {n}");
+
+    let mut indices: Vec<usize> = (0..n).collect();
+    let root = build(&mut indices, points, 0).expect("non-empty tree");
+
+    let mut idx = vec![0usize; n * k];
+    for i in 0..n {
+        let mut best: Vec<(f32, usize)> = Vec::with_capacity(k + 1);
+        search(&root, points, i, k, &mut best);
+        debug_assert_eq!(best.len(), k);
+        for (slot, &(_, j)) in best.iter().enumerate() {
+            idx[i * k + slot] = j;
+        }
+    }
+    NeighborList::new(n, k, idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn_brute;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cloud(seed: u64, n: usize) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * 3).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn matches_brute_force_distances() {
+        for seed in 0..5u64 {
+            let pts = cloud(seed, 120);
+            let a = knn_brute(&pts, 3, 7);
+            let b = knn_kdtree(&pts, 3, 7);
+            for i in 0..120 {
+                for slot in 0..7 {
+                    let da = dist2(&pts, i, a.neighbors(i)[slot]);
+                    let db = dist2(&pts, i, b.neighbors(i)[slot]);
+                    assert!((da - db).abs() < 1e-6, "seed {seed} node {i} slot {slot}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_loops_and_sorted() {
+        let pts = cloud(9, 64);
+        let nl = knn_kdtree(&pts, 3, 5);
+        for i in 0..64 {
+            assert!(!nl.neighbors(i).contains(&i));
+            let ds: Vec<f32> = nl.neighbors(i).iter().map(|&j| dist2(&pts, i, j)).collect();
+            for w in ds.windows(2) {
+                assert!(w[0] <= w[1] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn handles_clustered_clouds() {
+        // Two tight clusters far apart — the case uniform grids handle
+        // poorly.
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut pts = Vec::new();
+        for c in 0..2 {
+            let base = c as f32 * 100.0;
+            for _ in 0..40 {
+                pts.push(base + rng.gen_range(-0.1f32..0.1));
+                pts.push(rng.gen_range(-0.1f32..0.1));
+                pts.push(rng.gen_range(-0.1f32..0.1));
+            }
+        }
+        let a = knn_brute(&pts, 3, 6);
+        let b = knn_kdtree(&pts, 3, 6);
+        for i in 0..80 {
+            for slot in 0..6 {
+                let da = dist2(&pts, i, a.neighbors(i)[slot]);
+                let db = dist2(&pts, i, b.neighbors(i)[slot]);
+                assert!((da - db).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! K-nearest-neighbour graph construction.
+//!
+//! `knn_brute` is the O(n²) reference; `knn_grid` buckets points into a
+//! uniform grid and searches expanding shells, which is markedly faster for
+//! the point counts the paper sweeps (128–2048, Fig. 1). Both return
+//! identical neighbour sets (modulo exact-tie ordering); the property test
+//! below and the `knn` criterion bench compare them.
+
+use crate::neighbors::NeighborList;
+use rand::Rng;
+
+#[inline]
+fn dist2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn validate(points: &[f32], dim: usize, k: usize) -> usize {
+    assert!(dim > 0, "dimension must be positive");
+    assert_eq!(points.len() % dim, 0, "point buffer not a multiple of dim");
+    let n = points.len() / dim;
+    assert!(k > 0, "k must be positive");
+    assert!(n > k, "need more than k={k} points, got {n}");
+    n
+}
+
+/// Selects the `k` smallest-distance candidates (excluding `i` itself) via a
+/// bounded insertion sort — fast for the small `k` (≈20) GNNs use.
+fn select_k(
+    i: usize,
+    candidates: impl Iterator<Item = usize>,
+    points: &[f32],
+    dim: usize,
+    k: usize,
+) -> Vec<(f32, usize)> {
+    let pi = &points[i * dim..(i + 1) * dim];
+    let mut best: Vec<(f32, usize)> = Vec::with_capacity(k + 1);
+    for j in candidates {
+        if j == i {
+            continue;
+        }
+        let d = dist2(pi, &points[j * dim..(j + 1) * dim]);
+        if best.len() == k && d >= best[k - 1].0 {
+            continue;
+        }
+        let pos = best.partition_point(|&(bd, _)| bd <= d);
+        best.insert(pos, (d, j));
+        if best.len() > k {
+            best.pop();
+        }
+    }
+    best
+}
+
+/// Brute-force exact KNN over `n` points of dimension `dim`.
+///
+/// Each point's `k` nearest *other* points, nearest first.
+///
+/// # Panics
+///
+/// Panics if the buffer is ragged, `k == 0`, or `n <= k`.
+pub fn knn_brute(points: &[f32], dim: usize, k: usize) -> NeighborList {
+    let n = validate(points, dim, k);
+    let mut idx = vec![0usize; n * k];
+    for i in 0..n {
+        let best = select_k(i, 0..n, points, dim, k);
+        for (slot, &(_, j)) in best.iter().enumerate() {
+            idx[i * k + slot] = j;
+        }
+    }
+    NeighborList::new(n, k, idx)
+}
+
+/// Grid-accelerated exact KNN for 3-D points.
+///
+/// Buckets points into a uniform grid sized so the expected occupancy is a
+/// few points per cell, then for each query expands cell shells until the
+/// current k-th distance is provably correct (shell lower bound exceeds it).
+///
+/// # Panics
+///
+/// Panics if `dim != 3`, the buffer is ragged, `k == 0`, or `n <= k`.
+pub fn knn_grid(points: &[f32], dim: usize, k: usize) -> NeighborList {
+    assert_eq!(dim, 3, "knn_grid is specialised for 3-D point clouds");
+    let n = validate(points, dim, k);
+
+    // Bounding box.
+    let mut lo = [f32::INFINITY; 3];
+    let mut hi = [f32::NEG_INFINITY; 3];
+    for p in points.chunks(3) {
+        for d in 0..3 {
+            lo[d] = lo[d].min(p[d]);
+            hi[d] = hi[d].max(p[d]);
+        }
+    }
+    let extent: f32 = (0..3).map(|d| hi[d] - lo[d]).fold(0.0, f32::max).max(1e-6);
+    // Aim for ~4 points per occupied cell on average.
+    let cells_per_axis = ((n as f32 / 4.0).cbrt().ceil() as usize).clamp(1, 64);
+    let cell = extent / cells_per_axis as f32;
+
+    let cell_of = |p: &[f32]| -> [usize; 3] {
+        let mut c = [0usize; 3];
+        for d in 0..3 {
+            c[d] = (((p[d] - lo[d]) / cell) as usize).min(cells_per_axis - 1);
+        }
+        c
+    };
+
+    let ncells = cells_per_axis * cells_per_axis * cells_per_axis;
+    let flat = |c: [usize; 3]| (c[0] * cells_per_axis + c[1]) * cells_per_axis + c[2];
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); ncells];
+    for i in 0..n {
+        buckets[flat(cell_of(&points[i * 3..i * 3 + 3]))].push(i);
+    }
+
+    let mut idx = vec![0usize; n * k];
+    let mut candidates: Vec<usize> = Vec::new();
+    for i in 0..n {
+        let pi = &points[i * 3..i * 3 + 3];
+        let ci = cell_of(pi);
+        let mut best: Vec<(f32, usize)> = Vec::new();
+        for ring in 0..=cells_per_axis {
+            // Lower bound on distance to any point in a cell at Chebyshev
+            // ring distance `ring` from the query's cell.
+            if best.len() >= k {
+                let bound = (ring.saturating_sub(1)) as f32 * cell;
+                if bound * bound > best[k - 1].0 {
+                    break;
+                }
+            }
+            candidates.clear();
+            let r = ring as isize;
+            let range = |c: usize| -> (isize, isize) {
+                ((c as isize - r).max(0), (c as isize + r).min(cells_per_axis as isize - 1))
+            };
+            let (x0, x1) = range(ci[0]);
+            let (y0, y1) = range(ci[1]);
+            let (z0, z1) = range(ci[2]);
+            for x in x0..=x1 {
+                for y in y0..=y1 {
+                    for z in z0..=z1 {
+                        // Only the shell surface — interior rings were done.
+                        let cheb = (x - ci[0] as isize)
+                            .abs()
+                            .max((y - ci[1] as isize).abs())
+                            .max((z - ci[2] as isize).abs());
+                        if cheb != r {
+                            continue;
+                        }
+                        candidates
+                            .extend(&buckets[flat([x as usize, y as usize, z as usize])]);
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                continue;
+            }
+            let merged = select_k(i, candidates.iter().copied(), points, 3, k);
+            for (d, j) in merged {
+                if best.len() == k && d >= best[k - 1].0 {
+                    continue;
+                }
+                let pos = best.partition_point(|&(bd, _)| bd <= d);
+                best.insert(pos, (d, j));
+                if best.len() > k {
+                    best.pop();
+                }
+            }
+        }
+        debug_assert_eq!(best.len(), k);
+        for (slot, &(_, j)) in best.iter().enumerate() {
+            idx[i * k + slot] = j;
+        }
+    }
+    NeighborList::new(n, k, idx)
+}
+
+/// The *Random* sampling function from the design space (Tab. I): `k`
+/// uniformly chosen neighbours per node, distinct from the node itself
+/// (duplicates among the k are allowed, as in sampled GNN training).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `n < 2`.
+pub fn random_neighbors<R: Rng>(rng: &mut R, n: usize, k: usize) -> NeighborList {
+    assert!(k > 0, "k must be positive");
+    assert!(n >= 2, "need at least two nodes");
+    let mut idx = vec![0usize; n * k];
+    for i in 0..n {
+        for slot in 0..k {
+            let mut j = rng.gen_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            idx[i * k + slot] = j;
+        }
+    }
+    NeighborList::new(n, k, idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_cloud(rng: &mut StdRng, n: usize) -> Vec<f32> {
+        (0..n * 3).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    #[test]
+    fn line_cloud_nearest_first() {
+        let pts = [0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 2.0, 0.0, 0.0, 10.0, 0.0, 0.0];
+        let nl = knn_brute(&pts, 3, 2);
+        assert_eq!(nl.neighbors(0), &[1, 2]);
+        assert_eq!(nl.neighbors(3), &[2, 1]);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = random_cloud(&mut rng, 50);
+        for (builder, name) in [(knn_brute as fn(&[f32], usize, usize) -> NeighborList, "brute"), (knn_grid, "grid")] {
+            let nl = builder(&pts, 3, 5);
+            for i in 0..50 {
+                assert!(!nl.neighbors(i).contains(&i), "{name} produced self loop at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_matches_brute_distances() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [30usize, 100, 257] {
+            let pts = random_cloud(&mut rng, n);
+            let a = knn_brute(&pts, 3, 8);
+            let b = knn_grid(&pts, 3, 8);
+            for i in 0..n {
+                // Compare distances, not indices, to be robust to exact ties.
+                let da: Vec<f32> = a
+                    .neighbors(i)
+                    .iter()
+                    .map(|&j| {
+                        let (p, q) = (&pts[i * 3..i * 3 + 3], &pts[j * 3..j * 3 + 3]);
+                        dist2(p, q)
+                    })
+                    .collect();
+                let db: Vec<f32> = b
+                    .neighbors(i)
+                    .iter()
+                    .map(|&j| {
+                        let (p, q) = (&pts[i * 3..i * 3 + 3], &pts[j * 3..j * 3 + 3]);
+                        dist2(p, q)
+                    })
+                    .collect();
+                for (x, y) in da.iter().zip(&db) {
+                    assert!((x - y).abs() < 1e-9, "n={n} node {i}: {da:?} vs {db:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_neighbors_excludes_self() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let nl = random_neighbors(&mut rng, 10, 4);
+        for i in 0..10 {
+            assert!(!nl.neighbors(i).contains(&i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more than k")]
+    fn too_few_points_panics() {
+        knn_brute(&[0.0; 9], 3, 4);
+    }
+}

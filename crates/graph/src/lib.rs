@@ -1,0 +1,31 @@
+//! Graph substrate for HGNAS: KNN construction, neighbour lists, CSR
+//! adjacency and small directed graphs.
+//!
+//! Point-cloud GNNs such as DGCNN rebuild a K-nearest-neighbour graph inside
+//! every layer — the very operation the paper identifies as the dominant cost
+//! on GPUs (Fig. 3). This crate provides both the reference brute-force
+//! construction and a uniform-grid accelerated variant (compared in the
+//! `knn` criterion bench), plus the random-sampling alternative from the
+//! design space (Tab. I) and the graph containers the rest of the stack
+//! shares.
+//!
+//! # Example
+//!
+//! ```
+//! use hgnas_graph::knn_brute;
+//!
+//! // Four points on a line; each point's nearest 2 neighbours.
+//! let pts = [0.0, 0.0, 0.0,  1.0, 0.0, 0.0,  2.0, 0.0, 0.0,  10.0, 0.0, 0.0];
+//! let nl = knn_brute(&pts, 3, 2);
+//! assert_eq!(nl.neighbors(0), &[1, 2]);
+//! ```
+
+mod digraph;
+mod kdtree;
+mod knn;
+mod neighbors;
+
+pub use digraph::{AdjNorm, DiGraph};
+pub use kdtree::knn_kdtree;
+pub use knn::{knn_brute, knn_grid, random_neighbors};
+pub use neighbors::{Csr, NeighborList};

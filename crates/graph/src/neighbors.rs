@@ -1,0 +1,171 @@
+//! Neighbour-list and CSR adjacency containers.
+
+/// A fixed-fanout neighbour list: every node has exactly `k` neighbours.
+///
+/// Stored row-major (`idx[i*k..(i+1)*k]` are node `i`'s neighbours, nearest
+/// first for KNN-built lists). This layout is what the GNN executor consumes
+/// directly for edge-feature expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborList {
+    n: usize,
+    k: usize,
+    idx: Vec<usize>,
+}
+
+impl NeighborList {
+    /// Builds from a flat index vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() != n*k`, `k == 0`, or any index is `>= n`.
+    pub fn new(n: usize, k: usize, idx: Vec<usize>) -> Self {
+        assert!(k > 0, "fanout k must be positive");
+        assert_eq!(idx.len(), n * k, "index vector must have n*k entries");
+        assert!(idx.iter().all(|&j| j < n), "neighbour index out of range");
+        NeighborList { n, k, idx }
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Fanout per node.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Neighbours of node `i`, nearest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.idx[i * self.k..(i + 1) * self.k]
+    }
+
+    /// The flat `n*k` index array (row-major), e.g. for
+    /// `Tape::gather_rows`.
+    pub fn flat(&self) -> &[usize] {
+        &self.idx
+    }
+
+    /// Total directed edge count (`n*k`).
+    pub fn edge_count(&self) -> usize {
+        self.idx.len()
+    }
+}
+
+/// Compressed sparse row adjacency for variable-degree graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<usize>,
+}
+
+impl Csr {
+    /// Builds from an edge list `(src, dst)` over `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(s, d) in edges {
+            assert!(s < n && d < n, "edge endpoint out of range");
+            degree[s] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0usize; edges.len()];
+        for &(s, d) in edges {
+            targets[cursor[s]] = d;
+            cursor[s] += 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Converts a fixed-fanout list into CSR form.
+    pub fn from_neighbor_list(nl: &NeighborList) -> Self {
+        let n = nl.len();
+        let k = nl.k();
+        let offsets = (0..=n).map(|i| i * k).collect();
+        Csr {
+            offsets,
+            targets: nl.flat().to_vec(),
+        }
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Returns `true` if there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Out-degree of node `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Out-neighbours of node `i`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Total directed edge count.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_list_layout() {
+        let nl = NeighborList::new(2, 2, vec![1, 0, 0, 1]);
+        assert_eq!(nl.neighbors(0), &[1, 0]);
+        assert_eq!(nl.neighbors(1), &[0, 1]);
+        assert_eq!(nl.edge_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn neighbor_oob_rejected() {
+        NeighborList::new(2, 1, vec![0, 5]);
+    }
+
+    #[test]
+    fn csr_from_edges_groups_by_source() {
+        let csr = Csr::from_edges(3, &[(0, 1), (2, 0), (0, 2)]);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(1), 0);
+        assert_eq!(csr.neighbors(2), &[0]);
+        let mut n0 = csr.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+    }
+
+    #[test]
+    fn csr_round_trip_from_neighbor_list() {
+        let nl = NeighborList::new(3, 2, vec![1, 2, 0, 2, 0, 1]);
+        let csr = Csr::from_neighbor_list(&nl);
+        assert_eq!(csr.len(), 3);
+        for i in 0..3 {
+            assert_eq!(csr.neighbors(i), nl.neighbors(i));
+        }
+    }
+}

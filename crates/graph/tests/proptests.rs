@@ -1,0 +1,132 @@
+//! Property-based tests for graph construction.
+
+use hgnas_graph::{knn_brute, knn_grid, random_neighbors, Csr, DiGraph, AdjNorm, NeighborList};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cloud(seed: u64, n: usize) -> Vec<f32> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n * 3).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn d2(pts: &[f32], i: usize, j: usize) -> f32 {
+    (0..3)
+        .map(|d| (pts[i * 3 + d] - pts[j * 3 + d]).powi(2))
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn knn_is_truly_nearest(seed in 0u64..500, n in 12usize..60, k in 1usize..8) {
+        prop_assume!(n > k);
+        let pts = cloud(seed, n);
+        let nl = knn_brute(&pts, 3, k);
+        for i in 0..n {
+            let worst_selected = nl
+                .neighbors(i)
+                .iter()
+                .map(|&j| d2(&pts, i, j))
+                .fold(0.0f32, f32::max);
+            // No unselected point may be strictly closer than the worst
+            // selected neighbour.
+            for j in 0..n {
+                if j != i && !nl.neighbors(i).contains(&j) {
+                    prop_assert!(d2(&pts, i, j) >= worst_selected - 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_and_brute_distances_match(seed in 0u64..200, n in 12usize..80) {
+        let k = 5;
+        prop_assume!(n > k);
+        let pts = cloud(seed, n);
+        let a = knn_brute(&pts, 3, k);
+        let b = knn_grid(&pts, 3, k);
+        for i in 0..n {
+            for slot in 0..k {
+                let da = d2(&pts, i, a.neighbors(i)[slot]);
+                let db = d2(&pts, i, b.neighbors(i)[slot]);
+                prop_assert!((da - db).abs() < 1e-6, "node {i} slot {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_sorted_ascending(seed in 0u64..200, n in 10usize..40) {
+        let k = 4;
+        prop_assume!(n > k);
+        let pts = cloud(seed, n);
+        let nl = knn_brute(&pts, 3, k);
+        for i in 0..n {
+            let ds: Vec<f32> = nl.neighbors(i).iter().map(|&j| d2(&pts, i, j)).collect();
+            for w in ds.windows(2) {
+                prop_assert!(w[0] <= w[1] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn random_neighbors_valid(seed in 0u64..500, n in 2usize..50, k in 1usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nl = random_neighbors(&mut rng, n, k);
+        prop_assert_eq!(nl.len(), n);
+        for i in 0..n {
+            prop_assert!(!nl.neighbors(i).contains(&i));
+            prop_assert!(nl.neighbors(i).iter().all(|&j| j < n));
+        }
+    }
+
+    #[test]
+    fn csr_round_trip(n in 1usize..20, edges in prop::collection::vec((0usize..20, 0usize..20), 0..60)) {
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(s, d)| s < n && d < n)
+            .collect();
+        let csr = Csr::from_edges(n, &edges);
+        prop_assert_eq!(csr.edge_count(), edges.len());
+        let total: usize = (0..n).map(|i| csr.degree(i)).sum();
+        prop_assert_eq!(total, edges.len());
+    }
+
+    #[test]
+    fn neighbor_list_to_csr_preserves_order(
+        n in 2usize..15, seed in 0u64..100
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nl = random_neighbors(&mut rng, n, 3);
+        let csr = Csr::from_neighbor_list(&nl);
+        for i in 0..n {
+            prop_assert_eq!(csr.neighbors(i), nl.neighbors(i));
+        }
+    }
+
+    #[test]
+    fn row_norm_adjacency_is_stochastic(
+        n in 2usize..12,
+        edges in prop::collection::vec((0usize..12, 0usize..12), 0..40)
+    ) {
+        let mut g = DiGraph::new(n);
+        for (s, d) in edges.into_iter().filter(|&(s, d)| s < n && d < n) {
+            g.add_edge(s, d);
+        }
+        let a = g.adjacency(AdjNorm::Row, true);
+        for i in 0..n {
+            let s: f32 = a[i * n..(i + 1) * n].iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn neighbor_list_flat_layout(n in 2usize..10, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nl = random_neighbors(&mut rng, n, 2);
+        let rebuilt = NeighborList::new(n, 2, nl.flat().to_vec());
+        prop_assert_eq!(rebuilt, nl);
+    }
+}

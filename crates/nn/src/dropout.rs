@@ -1,0 +1,79 @@
+//! Inverted dropout as a tape op composition.
+//!
+//! The tape has no train/eval mode; dropout is applied explicitly by
+//! training loops and simply omitted at evaluation time, which keeps the
+//! inference graph identical to what the device lowering prices.
+
+use hgnas_autograd::{Tape, Var};
+use hgnas_tensor::Tensor;
+use rand::Rng;
+
+/// Applies inverted dropout with keep-scale `1/(1-p)` so the expected
+/// activation is unchanged.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1)`.
+pub fn dropout<R: Rng>(tape: &mut Tape, x: Var, p: f32, rng: &mut R) -> Var {
+    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    if p == 0.0 {
+        return x;
+    }
+    let dims = tape.value(x).dims().to_vec();
+    let scale = 1.0 / (1.0 - p);
+    let mask_data: Vec<f32> = (0..tape.value(x).numel())
+        .map(|_| if rng.gen_range(0.0f32..1.0) < p { 0.0 } else { scale })
+        .collect();
+    let mask = tape.input(Tensor::from_vec(mask_data, &dims));
+    tape.mul(x, mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::ones(&[4, 4]));
+        let mut rng = StdRng::seed_from_u64(1);
+        let y = dropout(&mut tape, x, 0.0, &mut rng);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn preserves_expectation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::ones(&[100, 100]));
+        let y = dropout(&mut tape, x, 0.3, &mut rng);
+        let mean = tape.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn gradient_flows_through_kept_units_only() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::ones(&[1, 64]));
+        let y = dropout(&mut tape, x, 0.5, &mut rng);
+        let loss = tape.sum_all(y);
+        tape.backward(loss);
+        let g = tape.grad(x).unwrap();
+        let zeros = g.data().iter().filter(|&&v| v == 0.0).count();
+        let scaled = g.data().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + scaled, 64);
+        assert!(zeros > 10 && scaled > 10, "zeros {zeros} scaled {scaled}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn p_one_rejected() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::ones(&[2]));
+        let mut rng = StdRng::seed_from_u64(4);
+        dropout(&mut tape, x, 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,263 @@
+//! Layers: linear, MLP, and the GCN propagation layer the predictor uses.
+
+use crate::param::{Module, Param};
+use hgnas_autograd::{Tape, Var};
+use hgnas_tensor::Tensor;
+use rand::Rng;
+
+/// Nonlinearity applied between layers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// `max(0, x)`.
+    Relu,
+    /// `x if x > 0 else slope·x` — the paper's predictor head uses this.
+    LeakyRelu(f32),
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No-op.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation on the tape.
+    pub fn apply(&self, tape: &mut Tape, x: Var) -> Var {
+        match *self {
+            Activation::Relu => tape.relu(x),
+            Activation::LeakyRelu(slope) => tape.leaky_relu(x, slope),
+            Activation::Tanh => tape.tanh(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// Fully connected layer `y = x·W + b`.
+#[derive(Debug)]
+pub struct Linear {
+    w: Param,
+    b: Param,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Kaiming-uniform initialised linear layer.
+    pub fn new<R: Rng>(rng: &mut R, in_dim: usize, out_dim: usize) -> Self {
+        let limit = (6.0 / in_dim as f32).sqrt();
+        Linear {
+            w: Param::new(Tensor::rand_uniform(rng, &[in_dim, out_dim], -limit, limit)),
+            b: Param::new(Tensor::zeros(&[out_dim])),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Binds the weights and computes `x·W + b`.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let w = self.w.bind(tape);
+        let b = self.b.bind(tape);
+        let xw = tape.matmul(x, w);
+        tape.add_bias(xw, b)
+    }
+
+    /// Re-initialises the weights in place (used when the supernet is
+    /// re-initialised between search stages).
+    pub fn reinit<R: Rng>(&mut self, rng: &mut R) {
+        let limit = (6.0 / self.in_dim as f32).sqrt();
+        self.w
+            .set_value(Tensor::rand_uniform(rng, &[self.in_dim, self.out_dim], -limit, limit));
+        self.b.set_value(Tensor::zeros(&[self.out_dim]));
+    }
+}
+
+impl Module for Linear {
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+}
+
+/// A stack of [`Linear`] layers with an activation between them (none after
+/// the last).
+#[derive(Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    act: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP from a dimension chain, e.g. `[256, 128, 1]` for the
+    /// paper's predictor head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dims are given.
+    pub fn new<R: Rng>(rng: &mut R, dims: &[usize], act: Activation) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(rng, w[0], w[1]))
+            .collect();
+        Mlp { layers, act }
+    }
+
+    /// Forward pass; activation between layers, none after the last.
+    pub fn forward(&self, tape: &mut Tape, mut x: Var) -> Var {
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(tape, x);
+            if i + 1 < n {
+                x = self.act.apply(tape, x);
+            }
+        }
+        x
+    }
+
+    /// The per-layer widths, input first.
+    pub fn dims(&self) -> Vec<usize> {
+        let mut d: Vec<usize> = self.layers.iter().map(Linear::in_dim).collect();
+        d.push(self.layers.last().unwrap().out_dim());
+        d
+    }
+}
+
+impl Module for Mlp {
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(Module::params).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(Module::params_mut).collect()
+    }
+}
+
+/// One graph-convolution layer: `H' = σ(Â · H · W + b)` where `Â` is a
+/// (pre-normalised) dense adjacency supplied by the caller.
+///
+/// The paper's predictor stacks three of these with a *sum* aggregator; the
+/// normalisation choice therefore lives with the caller (identity-plus-
+/// adjacency, row-normalised, or symmetric — see `hgnas-predictor`).
+#[derive(Debug)]
+pub struct GcnLayer {
+    lin: Linear,
+    act: Activation,
+}
+
+impl GcnLayer {
+    /// New GCN layer with the given feature widths.
+    pub fn new<R: Rng>(rng: &mut R, in_dim: usize, out_dim: usize, act: Activation) -> Self {
+        GcnLayer {
+            lin: Linear::new(rng, in_dim, out_dim),
+            act,
+        }
+    }
+
+    /// Propagates: `act(adj · (x·W + b))`.
+    pub fn forward(&self, tape: &mut Tape, adj: Var, x: Var) -> Var {
+        let h = self.lin.forward(tape, x);
+        let prop = tape.matmul(adj, h);
+        self.act.apply(tape, prop)
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.lin.out_dim()
+    }
+}
+
+impl Module for GcnLayer {
+    fn params(&self) -> Vec<&Param> {
+        self.lin.params()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.lin.params_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Optimizer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_and_param_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new(&mut rng, 3, 5);
+        assert_eq!(l.param_count(), 3 * 5 + 5);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::ones(&[2, 3]));
+        let y = l.forward(&mut tape, x);
+        assert_eq!(tape.value(y).dims(), &[2, 5]);
+    }
+
+    #[test]
+    fn mlp_learns_xor_ish_regression() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mlp = Mlp::new(&mut rng, &[2, 16, 1], Activation::Tanh);
+        let mut opt = Optimizer::adam(0.05);
+        // XOR targets
+        let xs = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]);
+        let ys = [0.0f32, 1.0, 1.0, 0.0];
+        let mut last = f32::MAX;
+        for _ in 0..400 {
+            let mut tape = Tape::new();
+            let x = tape.input(xs.clone());
+            let out = mlp.forward(&mut tape, x);
+            let loss = tape.mse_loss(out, &ys);
+            last = tape.value(loss).item();
+            tape.backward(loss);
+            mlp.apply_updates(&tape, &mut opt);
+        }
+        assert!(last < 0.03, "XOR mse stuck at {last}");
+    }
+
+    #[test]
+    fn gcn_layer_propagates_neighbours() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gcn = GcnLayer::new(&mut rng, 2, 2, Activation::Identity);
+        // Two nodes, adjacency swaps them.
+        let adj = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]);
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let mut tape = Tape::new();
+        let a = tape.input(adj);
+        let xv = tape.input(x);
+        let y = gcn.forward(&mut tape, a, xv);
+        // Row 0 of output == transformed row 1 of input and vice versa.
+        let out = tape.value(y).clone();
+        let mut tape2 = Tape::new();
+        let xv2 = tape2.input(Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]));
+        let a2 = tape2.input(Tensor::eye(2));
+        let y2 = gcn.forward(&mut tape2, a2, xv2);
+        assert!(out.allclose(tape2.value(y2), 1e-6));
+    }
+
+    #[test]
+    fn mlp_dims_round_trip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mlp = Mlp::new(&mut rng, &[256, 128, 1], Activation::LeakyRelu(0.01));
+        assert_eq!(mlp.dims(), vec![256, 128, 1]);
+    }
+
+    #[test]
+    fn size_mb_matches_hand_math() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let l = Linear::new(&mut rng, 1024, 1024);
+        let expected = (1024.0 * 1024.0 + 1024.0) * 4.0 / (1024.0 * 1024.0);
+        assert!((l.size_mb() - expected).abs() < 1e-9);
+    }
+}

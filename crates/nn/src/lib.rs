@@ -1,0 +1,44 @@
+//! Neural-network building blocks for HGNAS.
+//!
+//! Provides the layers the paper's models are assembled from — [`Linear`],
+//! [`Mlp`] and [`GcnLayer`] — plus [`Param`]/[`Optimizer`] plumbing for the
+//! tape-based autograd in `hgnas-autograd`, and the evaluation [`metrics`]
+//! the paper reports (overall accuracy, balanced accuracy, MAPE,
+//! error-bound accuracy).
+//!
+//! # Training-loop pattern
+//!
+//! Each step builds a fresh [`hgnas_autograd::Tape`]; layers *bind* their
+//! parameters onto it during `forward`, and after `backward` the recorded
+//! bindings route gradients back into the optimizer:
+//!
+//! ```
+//! use hgnas_autograd::Tape;
+//! use hgnas_nn::{Activation, Linear, Module, Optimizer};
+//! use hgnas_tensor::Tensor;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut layer = Linear::new(&mut rng, 4, 2);
+//! let mut opt = Optimizer::adam(1e-2);
+//! for _ in 0..10 {
+//!     let mut tape = Tape::new();
+//!     let x = tape.input(Tensor::ones(&[3, 4]));
+//!     let y = layer.forward(&mut tape, x);
+//!     let loss = tape.mse_loss(y, &[1.0; 6]);
+//!     tape.backward(loss);
+//!     layer.apply_updates(&tape, &mut opt);
+//! }
+//! ```
+
+mod dropout;
+mod layers;
+pub mod metrics;
+mod param;
+mod schedule;
+
+pub use dropout::dropout;
+pub use layers::{Activation, GcnLayer, Linear, Mlp};
+pub use param::{Module, Optimizer, Param};
+pub use schedule::LrSchedule;

@@ -1,0 +1,173 @@
+//! Evaluation metrics reported in the paper.
+//!
+//! Table II reports **OA** (overall accuracy) and **mAcc** (balanced
+//! accuracy, the mean of per-class recalls); Fig. 8 reports **MAPE** and the
+//! fraction of predictions within a 10 % relative-error bound.
+
+/// Index of the maximum element of a row (ties resolve to the first).
+pub fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Converts `[n, classes]` logits to predicted class indices.
+///
+/// # Panics
+///
+/// Panics if `logits.len()` is not a multiple of `classes` or `classes == 0`.
+pub fn predictions(logits: &[f32], classes: usize) -> Vec<usize> {
+    assert!(classes > 0 && logits.len() % classes == 0, "bad logits layout");
+    logits.chunks(classes).map(argmax).collect()
+}
+
+/// Overall accuracy: fraction of exact label matches.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn overall_accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+    assert!(!pred.is_empty(), "cannot score an empty evaluation set");
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Balanced accuracy (the paper's *mAcc*): the unweighted mean of per-class
+/// recalls, over the classes that appear in `truth`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn balanced_accuracy(pred: &[usize], truth: &[usize], classes: usize) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+    assert!(!pred.is_empty(), "cannot score an empty evaluation set");
+    let mut per_class_total = vec![0usize; classes];
+    let mut per_class_hit = vec![0usize; classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        per_class_total[t] += 1;
+        if p == t {
+            per_class_hit[t] += 1;
+        }
+    }
+    let mut sum = 0.0;
+    let mut seen = 0usize;
+    for c in 0..classes {
+        if per_class_total[c] > 0 {
+            sum += per_class_hit[c] as f64 / per_class_total[c] as f64;
+            seen += 1;
+        }
+    }
+    if seen == 0 {
+        0.0
+    } else {
+        sum / seen as f64
+    }
+}
+
+/// Confusion matrix `[truth][pred]` with `classes`² entries.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or any label is out of range.
+pub fn confusion_matrix(pred: &[usize], truth: &[usize], classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+    let mut m = vec![vec![0usize; classes]; classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        assert!(p < classes && t < classes, "label out of range");
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Mean absolute percentage error between predictions and targets, as a
+/// fraction (0.06 = 6 %).
+///
+/// # Panics
+///
+/// Panics if lengths differ or the set is empty.
+pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/target length mismatch");
+    assert!(!pred.is_empty(), "cannot score an empty evaluation set");
+    let s: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| ((p - t) / t.abs().max(1e-12)).abs())
+        .sum();
+    s / pred.len() as f64
+}
+
+/// Fraction of predictions whose relative error is within `bound`
+/// (Fig. 8's ">80 % within a 10 % error bound" uses `bound = 0.10`).
+///
+/// # Panics
+///
+/// Panics if lengths differ or the set is empty.
+pub fn error_bound_accuracy(pred: &[f64], truth: &[f64], bound: f64) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/target length mismatch");
+    assert!(!pred.is_empty(), "cannot score an empty evaluation set");
+    let hits = pred
+        .iter()
+        .zip(truth)
+        .filter(|(&p, &t)| ((p - t) / t.abs().max(1e-12)).abs() <= bound)
+        .count();
+    hits as f64 / pred.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_first_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn oa_and_macc_disagree_under_imbalance() {
+        // 9 of class 0 (all right), 1 of class 1 (wrong):
+        // OA = 0.9, mAcc = (1.0 + 0.0)/2 = 0.5.
+        let truth: Vec<usize> = vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let pred = vec![0usize; 10];
+        assert!((overall_accuracy(&pred, &truth) - 0.9).abs() < 1e-12);
+        assert!((balanced_accuracy(&pred, &truth, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let truth = vec![0, 1, 2, 1];
+        assert_eq!(overall_accuracy(&truth, &truth), 1.0);
+        assert_eq!(balanced_accuracy(&truth, &truth, 3), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let truth = vec![0, 0, 1];
+        let pred = vec![0, 1, 1];
+        let m = confusion_matrix(&pred, &truth, 2);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[1][0], 0);
+    }
+
+    #[test]
+    fn mape_and_bound() {
+        let truth = vec![100.0, 200.0];
+        let pred = vec![110.0, 190.0];
+        assert!((mape(&pred, &truth) - 0.075).abs() < 1e-12);
+        assert_eq!(error_bound_accuracy(&pred, &truth, 0.10), 1.0);
+        assert_eq!(error_bound_accuracy(&pred, &truth, 0.04), 0.0);
+    }
+
+    #[test]
+    fn predictions_from_logits() {
+        let logits = vec![0.1, 0.9, 0.8, 0.2];
+        assert_eq!(predictions(&logits, 2), vec![1, 0]);
+    }
+}

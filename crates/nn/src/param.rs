@@ -1,0 +1,256 @@
+//! Trainable parameters, optimizers and the module trait.
+
+use hgnas_autograd::{Tape, Var};
+use hgnas_tensor::Tensor;
+use std::cell::Cell;
+
+/// A trainable tensor with per-parameter optimizer state.
+///
+/// `Param` remembers the [`Var`] it was last bound to on a tape, so a module
+/// can apply gradient updates with no extra bookkeeping at the call site.
+#[derive(Debug)]
+pub struct Param {
+    value: Tensor,
+    /// First-moment estimate (Adam) or velocity (SGD momentum).
+    m: Tensor,
+    /// Second-moment estimate (Adam only).
+    v: Tensor,
+    /// Adam timestep.
+    t: u32,
+    bound: Cell<Option<Var>>,
+}
+
+impl Param {
+    /// Wraps an initial value as a trainable parameter.
+    pub fn new(value: Tensor) -> Self {
+        let m = Tensor::zeros(value.dims());
+        let v = Tensor::zeros(value.dims());
+        Param {
+            value,
+            m,
+            v,
+            t: 0,
+            bound: Cell::new(None),
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Overwrites the value (used for re-initialisation), resetting
+    /// optimizer state.
+    pub fn set_value(&mut self, value: Tensor) {
+        assert_eq!(value.dims(), self.value.dims(), "param shape is fixed");
+        self.m = Tensor::zeros(value.dims());
+        self.v = Tensor::zeros(value.dims());
+        self.t = 0;
+        self.value = value;
+    }
+
+    /// Element count.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Registers this parameter on `tape` and remembers the binding.
+    pub fn bind(&self, tape: &mut Tape) -> Var {
+        let var = tape.param(self.value.clone());
+        self.bound.set(Some(var));
+        var
+    }
+
+    /// Applies one optimizer step using the gradient recorded on `tape` for
+    /// the last binding, if any. Clears the binding either way.
+    pub fn apply_update(&mut self, tape: &Tape, opt: &mut Optimizer) {
+        let Some(var) = self.bound.take() else {
+            return;
+        };
+        let Some(grad) = tape.grad(var) else {
+            return;
+        };
+        opt.step(self, grad);
+    }
+}
+
+/// Gradient-descent optimizers.
+///
+/// Per-parameter state (moments, timestep) lives in [`Param`]; the optimizer
+/// only holds hyperparameters, so one instance serves a whole model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimizer {
+    /// Stochastic gradient descent with optional momentum.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (0 disables).
+        momentum: f32,
+    },
+    /// Adam (Kingma & Ba).
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// Exponential decay for the first moment.
+        beta1: f32,
+        /// Exponential decay for the second moment.
+        beta2: f32,
+        /// Division-guard epsilon.
+        eps: f32,
+    },
+}
+
+impl Optimizer {
+    /// SGD with the given learning rate and no momentum.
+    pub fn sgd(lr: f32) -> Self {
+        Optimizer::Sgd { lr, momentum: 0.0 }
+    }
+
+    /// Adam with standard betas (0.9 / 0.999).
+    pub fn adam(lr: f32) -> Self {
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Returns the learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        match self {
+            Optimizer::Sgd { lr, .. } | Optimizer::Adam { lr, .. } => *lr,
+        }
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_learning_rate(&mut self, new_lr: f32) {
+        match self {
+            Optimizer::Sgd { lr, .. } | Optimizer::Adam { lr, .. } => *lr = new_lr,
+        }
+    }
+
+    fn step(&self, p: &mut Param, grad: &Tensor) {
+        match *self {
+            Optimizer::Sgd { lr, momentum } => {
+                if momentum > 0.0 {
+                    p.m = p.m.scale(momentum).zip_map(grad, |m, g| m + g);
+                    p.value = p.value.zip_map(&p.m, |w, m| w - lr * m);
+                } else {
+                    p.value = p.value.zip_map(grad, |w, g| w - lr * g);
+                }
+            }
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                p.t += 1;
+                p.m = p.m.zip_map(grad, |m, g| beta1 * m + (1.0 - beta1) * g);
+                p.v = p.v.zip_map(grad, |v, g| beta2 * v + (1.0 - beta2) * g * g);
+                let bc1 = 1.0 - beta1.powi(p.t as i32);
+                let bc2 = 1.0 - beta2.powi(p.t as i32);
+                let mhat = p.m.scale(1.0 / bc1);
+                let vhat = p.v.scale(1.0 / bc2);
+                p.value = p
+                    .value
+                    .zip_map(&mhat.zip_map(&vhat, |m, v| m / (v.sqrt() + eps)), |w, u| {
+                        w - lr * u
+                    });
+            }
+        }
+    }
+}
+
+/// Anything with trainable parameters.
+pub trait Module {
+    /// All parameters, in a stable order.
+    fn params(&self) -> Vec<&Param>;
+
+    /// All parameters, mutably, in the same order as [`Module::params`].
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Total trainable element count.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Model size in megabytes at 4 bytes per parameter — the paper's
+    /// "Size \[MB\]" column.
+    fn size_mb(&self) -> f64 {
+        self.param_count() as f64 * 4.0 / (1024.0 * 1024.0)
+    }
+
+    /// Applies one optimizer step to every parameter bound on `tape`.
+    fn apply_updates(&mut self, tape: &Tape, opt: &mut Optimizer) {
+        for p in self.params_mut() {
+            p.apply_update(tape, opt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_step(p: &mut Param, opt: &mut Optimizer) -> f32 {
+        // loss = sum(w^2); grad = 2w
+        let mut tape = Tape::new();
+        let w = p.bind(&mut tape);
+        let sq = tape.mul(w, w);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss);
+        let l = tape.value(loss).item();
+        p.apply_update(&tape, opt);
+        l
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut p = Param::new(Tensor::from_vec(vec![2.0, -3.0], &[1, 2]));
+        let mut opt = Optimizer::sgd(0.1);
+        let first = quadratic_step(&mut p, &mut opt);
+        let mut last = first;
+        for _ in 0..50 {
+            last = quadratic_step(&mut p, &mut opt);
+        }
+        assert!(last < first * 1e-3, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut p = Param::new(Tensor::from_vec(vec![5.0], &[1, 1]));
+        let mut opt = Optimizer::adam(0.3);
+        let first = quadratic_step(&mut p, &mut opt);
+        let mut last = first;
+        for _ in 0..200 {
+            last = quadratic_step(&mut p, &mut opt);
+        }
+        assert!(last < 1e-2, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn unbound_update_is_noop() {
+        let mut p = Param::new(Tensor::ones(&[2, 2]));
+        let before = p.value().clone();
+        let tape = Tape::new();
+        p.apply_update(&tape, &mut Optimizer::sgd(1.0));
+        assert!(p.value().allclose(&before, 0.0));
+    }
+
+    #[test]
+    fn set_value_resets_state() {
+        let mut p = Param::new(Tensor::ones(&[2]));
+        let mut opt = Optimizer::adam(0.1);
+        let mut tape = Tape::new();
+        let w = p.bind(&mut tape);
+        let loss = tape.sum_all(w);
+        tape.backward(loss);
+        p.apply_update(&tape, &mut opt);
+        assert!(p.t > 0);
+        p.set_value(Tensor::zeros(&[2]));
+        assert_eq!(p.t, 0);
+        assert_eq!(p.m.sum(), 0.0);
+    }
+}

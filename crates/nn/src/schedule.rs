@@ -1,0 +1,103 @@
+//! Learning-rate schedules.
+//!
+//! The supernet's long Stage-2 pre-training (500 epochs at paper scale)
+//! benefits from decay; these schedules plug into any loop that owns an
+//! [`crate::Optimizer`] by calling `set_learning_rate(lr_at(epoch))`.
+
+/// A learning-rate schedule over epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    Step {
+        /// Decay factor per step (0 < gamma ≤ 1).
+        gamma: f32,
+        /// Epochs between decays.
+        every: usize,
+    },
+    /// Cosine annealing from the base rate down to `min_lr` over
+    /// `total_epochs`.
+    Cosine {
+        /// Floor learning rate.
+        min_lr: f32,
+        /// Annealing horizon.
+        total_epochs: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at `epoch` (0-based) given the base rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a schedule parameter is invalid (`gamma` outside `(0, 1]`,
+    /// `every == 0`, or `total_epochs == 0`).
+    pub fn lr_at(&self, base_lr: f32, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::Step { gamma, every } => {
+                assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+                assert!(every > 0, "step interval must be positive");
+                base_lr * gamma.powi((epoch / every) as i32)
+            }
+            LrSchedule::Cosine {
+                min_lr,
+                total_epochs,
+            } => {
+                assert!(total_epochs > 0, "total_epochs must be positive");
+                let t = (epoch.min(total_epochs) as f32) / total_epochs as f32;
+                min_lr + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Constant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.lr_at(0.1, 0), 0.1);
+        assert_eq!(s.lr_at(0.1, 1000), 0.1);
+    }
+
+    #[test]
+    fn step_halves_on_schedule() {
+        let s = LrSchedule::Step {
+            gamma: 0.5,
+            every: 10,
+        };
+        assert_eq!(s.lr_at(1.0, 0), 1.0);
+        assert_eq!(s.lr_at(1.0, 9), 1.0);
+        assert_eq!(s.lr_at(1.0, 10), 0.5);
+        assert_eq!(s.lr_at(1.0, 25), 0.25);
+    }
+
+    #[test]
+    fn cosine_starts_at_base_ends_at_min() {
+        let s = LrSchedule::Cosine {
+            min_lr: 0.01,
+            total_epochs: 100,
+        };
+        assert!((s.lr_at(1.0, 0) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(1.0, 100) - 0.01).abs() < 1e-6);
+        // Past the horizon it stays at the floor.
+        assert!((s.lr_at(1.0, 500) - 0.01).abs() < 1e-6);
+        // Monotone decreasing over the horizon.
+        let mut prev = f32::MAX;
+        for e in 0..=100 {
+            let lr = s.lr_at(1.0, e);
+            assert!(lr <= prev + 1e-7);
+            prev = lr;
+        }
+    }
+}

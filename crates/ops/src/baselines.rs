@@ -1,0 +1,163 @@
+//! Baseline model constructors: DGCNN \[5\], the KNN-reuse optimisation
+//! \[6\] (Li et al., ICCV'21), and the architectural simplification \[7\]
+//! (Tailor et al., ICCV'21).
+
+use crate::edgeconv::EdgeConvModel;
+use crate::ir::{Aggregator, Architecture, MessageType, Operation, SampleFn};
+use rand::Rng;
+
+/// Configuration of an EdgeConv (DGCNN-family) model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DgcnnConfig {
+    /// Per-layer `(c_in, c_out)`; the edge MLP of layer `i` maps
+    /// `2·c_in → c_out`.
+    pub layer_dims: Vec<(usize, usize)>,
+    /// Neighbour fanout.
+    pub k: usize,
+    /// Per-node embedding width applied to the concatenated layer outputs.
+    pub emb_dim: usize,
+    /// Classifier hidden widths.
+    pub head_hidden: Vec<usize>,
+    /// Output classes.
+    pub classes: usize,
+    /// Rebuild the KNN graph in feature space each layer (true DGCNN
+    /// behaviour). `false` freezes the layer-0 graph, as \[6\] does.
+    pub dynamic: bool,
+    /// Number of leading layers allowed to build their own graph; later
+    /// layers reuse the last one (Fig. 2(b)'s reuse sweep). DGCNN uses
+    /// `layer_dims.len()`.
+    pub reuse_after: usize,
+}
+
+impl DgcnnConfig {
+    /// The paper-scale DGCNN: 4 EdgeConv layers (64, 64, 128, 256), k=20.
+    /// The embedding/head widths are sized so the parameter budget lands at
+    /// the paper's reported 1.81 MB (Tab. II).
+    pub fn paper(classes: usize) -> Self {
+        DgcnnConfig {
+            layer_dims: vec![(3, 64), (64, 64), (64, 128), (128, 256)],
+            k: 20,
+            emb_dim: 512,
+            head_hidden: vec![128],
+            classes,
+            dynamic: true,
+            reuse_after: 4,
+        }
+    }
+
+    /// Reduced-scale DGCNN used by the fast harnesses: 3 layers, k=10.
+    pub fn small(classes: usize) -> Self {
+        DgcnnConfig {
+            layer_dims: vec![(3, 24), (24, 24), (24, 48)],
+            k: 10,
+            emb_dim: 96,
+            head_hidden: vec![48],
+            classes,
+            dynamic: true,
+            reuse_after: 3,
+        }
+    }
+
+    /// Number of EdgeConv layers.
+    pub fn num_layers(&self) -> usize {
+        self.layer_dims.len()
+    }
+}
+
+/// Builds the DGCNN baseline \[5\].
+pub fn dgcnn<R: Rng>(rng: &mut R, cfg: DgcnnConfig) -> EdgeConvModel {
+    EdgeConvModel::new(rng, cfg)
+}
+
+/// Paper-scale DGCNN shortcut.
+pub fn dgcnn_paper<R: Rng>(rng: &mut R, classes: usize) -> EdgeConvModel {
+    EdgeConvModel::new(rng, DgcnnConfig::paper(classes))
+}
+
+/// Baseline \[6\]: DGCNN with redundant sampling eliminated — the KNN graph
+/// is built once on the input coordinates and reused by every layer.
+pub fn knn_reuse_baseline<R: Rng>(rng: &mut R, mut cfg: DgcnnConfig) -> EdgeConvModel {
+    cfg.dynamic = false;
+    cfg.reuse_after = 1;
+    EdgeConvModel::new(rng, cfg)
+}
+
+/// Baseline \[7\]: Tailor et al.'s architectural simplification expressed in
+/// the fine-grained IR — a single feature-space graph build, then
+/// aggregate-then-combine blocks (per-node MLPs instead of per-edge MLPs)
+/// with the later blocks narrowed.
+///
+/// `scale_paper` selects paper widths (64/64/128/256-ish) versus the reduced
+/// harness widths.
+pub fn tailor_baseline(scale_paper: bool, k: usize, classes: usize) -> Architecture {
+    let (d1, d2, d3) = if scale_paper { (64, 128, 256) } else { (24, 48, 48) };
+    Architecture::new(
+        vec![
+            Operation::Sample(SampleFn::Knn),
+            Operation::Aggregate {
+                agg: Aggregator::Max,
+                msg: MessageType::TargetRel,
+            },
+            Operation::Combine { dim: d1 },
+            Operation::Aggregate {
+                agg: Aggregator::Max,
+                msg: MessageType::TargetRel,
+            },
+            Operation::Combine { dim: d2 },
+            Operation::Aggregate {
+                agg: Aggregator::Mean,
+                msg: MessageType::RelPos,
+            },
+            Operation::Combine { dim: d3 },
+        ],
+        k,
+        classes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgnas_nn::Module;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_config_matches_dgcnn_shape() {
+        let cfg = DgcnnConfig::paper(40);
+        assert_eq!(cfg.num_layers(), 4);
+        assert_eq!(cfg.k, 20);
+        assert_eq!(cfg.layer_dims[3], (128, 256));
+    }
+
+    #[test]
+    fn knn_reuse_freezes_graph() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = knn_reuse_baseline(&mut rng, DgcnnConfig::small(4));
+        assert!(!m.config().dynamic);
+        assert_eq!(m.config().reuse_after, 1);
+    }
+
+    #[test]
+    fn tailor_arch_has_single_sample() {
+        let a = tailor_baseline(true, 20, 40);
+        assert_eq!(a.count(crate::ir::OpType::Sample), 1);
+        assert_eq!(a.count(crate::ir::OpType::Aggregate), 3);
+        assert_eq!(a.out_dim(3), 256);
+    }
+
+    #[test]
+    fn baseline_sizes_ordered() {
+        // [7] (node-level combines) should be smaller than DGCNN's 1.8 MB at
+        // paper scale but the same order of magnitude.
+        let mut rng = StdRng::seed_from_u64(2);
+        let dg = dgcnn_paper(&mut rng, 40);
+        let tailor = crate::model::GnnModel::new(
+            &mut rng,
+            tailor_baseline(true, 20, 40),
+            &[128],
+        );
+        assert!(tailor.size_mb() < dg.size_mb() * 1.5);
+        assert!(tailor.size_mb() > 0.05);
+    }
+}

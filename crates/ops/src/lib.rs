@@ -1,0 +1,41 @@
+//! The fine-grained GNN operation IR at the heart of HGNAS.
+//!
+//! The paper's key design move (Motivation ①) is to *decouple* the GNN
+//! message-passing paradigm: instead of stacking monolithic layers, an
+//! architecture is a free sequence of basic operations placed at positions —
+//! [`Operation::Sample`] (KNN / random graph construction),
+//! [`Operation::Aggregate`] (message construction + neighbour reduction with
+//! a chosen message type and aggregator), [`Operation::Combine`] (per-node
+//! dense transform), and [`Operation::Connect`] (identity / skip) — exactly
+//! the choices of the paper's Table I.
+//!
+//! This crate provides:
+//!
+//! - the IR itself ([`Architecture`], [`Operation`], [`FunctionSet`]) with
+//!   dimension tracing and display (Fig. 10-style pipelines);
+//! - a trainable executor ([`GnnModel`]) over `hgnas-autograd`;
+//! - the EdgeConv family ([`EdgeConvModel`]) used by the DGCNN baseline and
+//!   the manual-optimisation baselines \[6\]/\[7\];
+//! - lowering of both to `hgnas-device` [`hgnas_device::Workload`]s;
+//! - the KNN-merge pass the paper applies before visualising found models;
+//! - a shared training/evaluation loop ([`train::fit`], [`train::evaluate`]).
+
+mod baselines;
+mod edgeconv;
+mod ir;
+mod lowering;
+mod model;
+mod passes;
+mod serial;
+pub mod train;
+
+pub use baselines::{dgcnn, dgcnn_paper, knn_reuse_baseline, tailor_baseline, DgcnnConfig};
+pub use edgeconv::EdgeConvModel;
+pub use ir::{
+    Aggregator, Architecture, ConnectFn, FunctionSet, MessageType, OpType, Operation, SampleFn,
+    COMBINE_DIMS,
+};
+pub use lowering::{lower_edgeconv, ModelScale};
+pub use model::GnnModel;
+pub use passes::{merge_adjacent_samples, strip_identity};
+pub use serial::ParseArchError;

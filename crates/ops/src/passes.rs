@@ -1,0 +1,168 @@
+//! Architecture canonicalisation passes.
+//!
+//! The paper (Fig. 10 caption) notes that "adjacent KNN operations will be
+//! merged during execution due to duplicate graph construction" — two graph
+//! builds with no feature change between them produce identical graphs, so
+//! only the last is kept. These passes implement that plus the obvious
+//! companions (identity removal, dead trailing samples).
+
+use crate::ir::{Architecture, ConnectFn, OpType, Operation};
+
+/// Merges consecutive sample operations (no feature-changing op between
+/// them): the graph from the earlier build is immediately overwritten, so
+/// only the last survives. Also drops samples whose graph is never consumed
+/// by a later aggregate.
+pub fn merge_adjacent_samples(arch: &Architecture) -> Architecture {
+    let mut ops: Vec<Operation> = Vec::with_capacity(arch.ops.len());
+    for &op in &arch.ops {
+        if op.op_type() == OpType::Sample {
+            // Connect(Identity) between two samples changes nothing either.
+            while let Some(&last) = ops.last() {
+                match last {
+                    Operation::Sample(_) | Operation::Connect(ConnectFn::Identity) => {
+                        if last.op_type() == OpType::Sample {
+                            ops.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+        ops.push(op);
+    }
+    // Dead-sample elimination: a sample with no aggregate after it is never
+    // consumed.
+    let mut keep = vec![true; ops.len()];
+    let mut consumer_seen = false;
+    for (i, op) in ops.iter().enumerate().rev() {
+        match op.op_type() {
+            OpType::Aggregate => consumer_seen = true,
+            OpType::Sample => {
+                if !consumer_seen {
+                    keep[i] = false;
+                }
+                consumer_seen = false;
+            }
+            _ => {}
+        }
+    }
+    // Re-scan: a sample is live if *any* aggregate occurs before the next
+    // sample; the loop above cleared `consumer_seen` per sample, which is
+    // exactly that.
+    let merged: Vec<Operation> = ops
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(o, k)| k.then_some(o))
+        .collect();
+    if merged.is_empty() {
+        // Never return an empty architecture; keep the original single op.
+        return arch.clone();
+    }
+    Architecture::new(merged, arch.k, arch.classes)
+}
+
+/// Removes `Connect(Identity)` no-ops (used for Fig. 10-style display).
+pub fn strip_identity(arch: &Architecture) -> Architecture {
+    let ops: Vec<Operation> = arch
+        .ops
+        .iter()
+        .copied()
+        .filter(|o| !matches!(o, Operation::Connect(ConnectFn::Identity)))
+        .collect();
+    if ops.is_empty() {
+        return arch.clone();
+    }
+    Architecture::new(ops, arch.k, arch.classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Aggregator, MessageType, SampleFn};
+
+    fn agg() -> Operation {
+        Operation::Aggregate {
+            agg: Aggregator::Max,
+            msg: MessageType::TargetRel,
+        }
+    }
+
+    #[test]
+    fn adjacent_knns_merge_to_one() {
+        let a = Architecture::new(
+            vec![
+                Operation::Sample(SampleFn::Knn),
+                Operation::Sample(SampleFn::Knn),
+                agg(),
+            ],
+            10,
+            4,
+        );
+        let m = merge_adjacent_samples(&a);
+        assert_eq!(m.count(OpType::Sample), 1);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn dead_trailing_sample_removed() {
+        let a = Architecture::new(
+            vec![agg(), Operation::Sample(SampleFn::Knn)],
+            10,
+            4,
+        );
+        let m = merge_adjacent_samples(&a);
+        assert_eq!(m.count(OpType::Sample), 0);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn separated_samples_survive() {
+        let a = Architecture::new(
+            vec![
+                Operation::Sample(SampleFn::Knn),
+                agg(),
+                Operation::Sample(SampleFn::Knn),
+                agg(),
+            ],
+            10,
+            4,
+        );
+        let m = merge_adjacent_samples(&a);
+        assert_eq!(m.count(OpType::Sample), 2);
+    }
+
+    #[test]
+    fn identity_stripped() {
+        let a = Architecture::new(
+            vec![
+                Operation::Connect(ConnectFn::Identity),
+                agg(),
+                Operation::Connect(ConnectFn::Identity),
+            ],
+            10,
+            4,
+        );
+        let s = strip_identity(&a);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn merge_preserves_semantics_dims() {
+        let a = Architecture::new(
+            vec![
+                Operation::Sample(SampleFn::Knn),
+                Operation::Sample(SampleFn::Random),
+                agg(),
+                Operation::Combine { dim: 32 },
+            ],
+            10,
+            4,
+        );
+        let m = merge_adjacent_samples(&a);
+        assert_eq!(m.out_dim(3), a.out_dim(3));
+        // The surviving sample is the *last* one (Random).
+        assert_eq!(m.ops[0], Operation::Sample(SampleFn::Random));
+    }
+}

@@ -1,0 +1,224 @@
+//! Compact text serialisation for architectures.
+//!
+//! A search outcome is only useful if it can leave the process; this module
+//! gives [`Architecture`] a stable, human-editable round-trip format:
+//!
+//! ```text
+//! k=20 classes=40 | knn > combine:64 > agg:max:target_rel > skip
+//! ```
+//!
+//! One token per operation, `>`-separated, with the execution
+//! hyperparameters up front.
+
+use crate::ir::{Aggregator, Architecture, ConnectFn, MessageType, Operation, SampleFn};
+use std::fmt;
+use std::str::FromStr;
+
+/// Error produced when parsing an architecture string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArchError {
+    /// What went wrong, human-readable.
+    msg: String,
+}
+
+impl ParseArchError {
+    fn new(msg: impl Into<String>) -> Self {
+        ParseArchError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid architecture string: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseArchError {}
+
+fn agg_token(a: Aggregator) -> &'static str {
+    match a {
+        Aggregator::Sum => "sum",
+        Aggregator::Min => "min",
+        Aggregator::Max => "max",
+        Aggregator::Mean => "mean",
+    }
+}
+
+fn msg_token(m: MessageType) -> &'static str {
+    match m {
+        MessageType::SourcePos => "source",
+        MessageType::TargetPos => "target",
+        MessageType::RelPos => "rel",
+        MessageType::Distance => "dist",
+        MessageType::SourceRel => "source_rel",
+        MessageType::TargetRel => "target_rel",
+        MessageType::Full => "full",
+    }
+}
+
+fn parse_agg(s: &str) -> Result<Aggregator, ParseArchError> {
+    Aggregator::ALL
+        .into_iter()
+        .find(|&a| agg_token(a) == s)
+        .ok_or_else(|| ParseArchError::new(format!("unknown aggregator `{s}`")))
+}
+
+fn parse_msg(s: &str) -> Result<MessageType, ParseArchError> {
+    MessageType::ALL
+        .into_iter()
+        .find(|&m| msg_token(m) == s)
+        .ok_or_else(|| ParseArchError::new(format!("unknown message type `{s}`")))
+}
+
+impl Architecture {
+    /// Serialises to the compact single-line format.
+    pub fn to_compact_string(&self) -> String {
+        let ops: Vec<String> = self
+            .ops
+            .iter()
+            .map(|op| match *op {
+                Operation::Sample(SampleFn::Knn) => "knn".to_string(),
+                Operation::Sample(SampleFn::Random) => "rand".to_string(),
+                Operation::Aggregate { agg, msg } => {
+                    format!("agg:{}:{}", agg_token(agg), msg_token(msg))
+                }
+                Operation::Combine { dim } => format!("combine:{dim}"),
+                Operation::Connect(ConnectFn::Skip) => "skip".to_string(),
+                Operation::Connect(ConnectFn::Identity) => "id".to_string(),
+            })
+            .collect();
+        format!(
+            "k={} classes={} | {}",
+            self.k,
+            self.classes,
+            ops.join(" > ")
+        )
+    }
+}
+
+impl FromStr for Architecture {
+    type Err = ParseArchError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (head, body) = s
+            .split_once('|')
+            .ok_or_else(|| ParseArchError::new("missing `|` separator"))?;
+        let mut k = None;
+        let mut classes = None;
+        for field in head.split_whitespace() {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| ParseArchError::new(format!("bad header field `{field}`")))?;
+            let parsed: usize = value
+                .parse()
+                .map_err(|_| ParseArchError::new(format!("bad number `{value}`")))?;
+            match key {
+                "k" => k = Some(parsed),
+                "classes" => classes = Some(parsed),
+                other => return Err(ParseArchError::new(format!("unknown header key `{other}`"))),
+            }
+        }
+        let k = k.ok_or_else(|| ParseArchError::new("missing k="))?;
+        let classes = classes.ok_or_else(|| ParseArchError::new("missing classes="))?;
+        if k == 0 || classes == 0 {
+            return Err(ParseArchError::new("k and classes must be positive"));
+        }
+
+        let mut ops = Vec::new();
+        for token in body.split('>').map(str::trim).filter(|t| !t.is_empty()) {
+            let mut parts = token.split(':');
+            let kind = parts.next().unwrap();
+            let op = match kind {
+                "knn" => Operation::Sample(SampleFn::Knn),
+                "rand" => Operation::Sample(SampleFn::Random),
+                "skip" => Operation::Connect(ConnectFn::Skip),
+                "id" => Operation::Connect(ConnectFn::Identity),
+                "combine" => {
+                    let dim: usize = parts
+                        .next()
+                        .ok_or_else(|| ParseArchError::new("combine needs a width"))?
+                        .parse()
+                        .map_err(|_| ParseArchError::new("bad combine width"))?;
+                    if dim == 0 {
+                        return Err(ParseArchError::new("combine width must be positive"));
+                    }
+                    Operation::Combine { dim }
+                }
+                "agg" => {
+                    let agg = parse_agg(
+                        parts
+                            .next()
+                            .ok_or_else(|| ParseArchError::new("agg needs an aggregator"))?,
+                    )?;
+                    let msg = parse_msg(
+                        parts
+                            .next()
+                            .ok_or_else(|| ParseArchError::new("agg needs a message type"))?,
+                    )?;
+                    Operation::Aggregate { agg, msg }
+                }
+                other => return Err(ParseArchError::new(format!("unknown op `{other}`"))),
+            };
+            if parts.next().is_some() {
+                return Err(ParseArchError::new(format!("trailing fields in `{token}`")));
+            }
+            ops.push(op);
+        }
+        if ops.is_empty() {
+            return Err(ParseArchError::new("architecture has no operations"));
+        }
+        Ok(Architecture::new(ops, k, classes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trips_a_known_string() {
+        let s = "k=20 classes=40 | knn > combine:64 > agg:max:target_rel > skip";
+        let a: Architecture = s.parse().unwrap();
+        assert_eq!(a.k, 20);
+        assert_eq!(a.classes, 40);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.to_compact_string(), s);
+    }
+
+    #[test]
+    fn round_trips_random_architectures() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let a = Architecture::random(&mut rng, 10, 16, 12);
+            let s = a.to_compact_string();
+            let b: Architecture = s.parse().unwrap();
+            assert_eq!(a, b, "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        for bad in [
+            "",
+            "k=20 classes=40 |",
+            "k=20 | knn",
+            "k=20 classes=40 | warp",
+            "k=20 classes=40 | combine",
+            "k=20 classes=40 | agg:max",
+            "k=20 classes=40 | agg:max:nowhere",
+            "k=0 classes=40 | knn",
+            "k=20 classes=40 | combine:0",
+            "k=20 classes=40 | knn:extra",
+        ] {
+            assert!(bad.parse::<Architecture>().is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let err = "k=20 classes=40 | warp".parse::<Architecture>().unwrap_err();
+        assert!(err.to_string().contains("warp"));
+    }
+}

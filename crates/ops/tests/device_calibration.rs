@@ -1,0 +1,112 @@
+//! Calibration regression tests: the device simulator must keep reproducing
+//! the paper's DGCNN measurements (Tab. II latency/memory, Fig. 3 breakdown,
+//! Fig. 1 OOM cliff). If a profile or cost-model change breaks these, the
+//! downstream experiment harnesses stop being a reproduction.
+
+use hgnas_device::{DeviceKind, OpClass};
+use hgnas_ops::{lower_edgeconv, DgcnnConfig};
+
+/// Paper Table II: (device, latency_ms, peak_mem_mb) for DGCNN @1024 pts.
+const TABLE2_DGCNN: [(DeviceKind, f64, f64); 4] = [
+    (DeviceKind::Rtx3080, 51.8, 144.0),
+    (DeviceKind::I78700K, 234.2, 643.0),
+    (DeviceKind::JetsonTx2, 270.4, 145.0),
+    (DeviceKind::RaspberryPi3B, 4139.1, 457.8),
+];
+
+fn rel_err(measured: f64, target: f64) -> f64 {
+    ((measured - target) / target).abs()
+}
+
+#[test]
+fn dgcnn_latency_matches_table2_within_10pct() {
+    let w = lower_edgeconv(&DgcnnConfig::paper(40), 1024);
+    for (kind, target_ms, _) in TABLE2_DGCNN {
+        let r = kind.profile().execute(&w);
+        assert!(
+            rel_err(r.latency_ms, target_ms) < 0.10,
+            "{kind}: {:.1} ms vs paper {target_ms} ms",
+            r.latency_ms
+        );
+    }
+}
+
+#[test]
+fn dgcnn_peak_memory_matches_table2_within_10pct() {
+    let w = lower_edgeconv(&DgcnnConfig::paper(40), 1024);
+    for (kind, _, target_mb) in TABLE2_DGCNN {
+        let r = kind.profile().execute(&w);
+        assert!(
+            rel_err(r.peak_mem_mb, target_mb) < 0.10,
+            "{kind}: {:.1} MB vs paper {target_mb} MB",
+            r.peak_mem_mb
+        );
+    }
+}
+
+#[test]
+fn fig3_breakdown_shapes() {
+    let w = lower_edgeconv(&DgcnnConfig::paper(40), 1024);
+    let frac = |kind: DeviceKind| kind.profile().execute(&w).breakdown_fractions();
+
+    // RTX3080 & TX2: sample occupies the majority share (Observation ③).
+    for kind in [DeviceKind::Rtx3080, DeviceKind::JetsonTx2] {
+        let f = frac(kind);
+        assert!(f[OpClass::Sample.index()] > 0.45, "{kind}: sample {:.2}", f[0]);
+        assert!(
+            f[OpClass::Sample.index()] > f[OpClass::Combine.index()],
+            "{kind}"
+        );
+    }
+
+    // i7: aggregate + sample dominate (> 80 % together), aggregate first.
+    let f = frac(DeviceKind::I78700K);
+    assert!(f[0] + f[1] > 0.80, "i7 sample+agg {:.2}", f[0] + f[1]);
+    assert!(f[1] > f[0], "i7 aggregate should lead");
+
+    // Pi: compute-bound everywhere — all three phases significant.
+    let f = frac(DeviceKind::RaspberryPi3B);
+    for (i, label) in ["sample", "aggregate", "combine"].iter().enumerate() {
+        assert!(f[i] > 0.15, "Pi {label} share {:.2}", f[i]);
+    }
+}
+
+#[test]
+fn fig1_pi_oom_cliff_past_1536_points() {
+    let pi = DeviceKind::RaspberryPi3B.profile();
+    for (n, expect_oom) in [(128, false), (512, false), (1024, false), (1536, false), (2048, true)]
+    {
+        let w = lower_edgeconv(&DgcnnConfig::paper(40), n);
+        let r = pi.execute(&w);
+        assert_eq!(r.oom, expect_oom, "n={n}: peak {:.0} MB", r.peak_mem_mb);
+    }
+}
+
+#[test]
+fn fig1_pi_latency_curve_rises_superlinearly() {
+    let pi = DeviceKind::RaspberryPi3B.profile();
+    let lat = |n: usize| pi.execute(&lower_edgeconv(&DgcnnConfig::paper(40), n)).latency_ms;
+    let (l128, l512, l1024) = (lat(128), lat(512), lat(1024));
+    assert!(l512 > 2.0 * l128);
+    // Quadratic KNN term: doubling points from 512 to 1024 should more than
+    // double latency.
+    assert!(l1024 > 2.0 * l512, "{l512} -> {l1024}");
+}
+
+#[test]
+fn knn_reuse_baseline_speedup_in_paper_range() {
+    // Paper Tab. II reports [6] at 1.1–2.5x over DGCNN depending on device.
+    let dg = lower_edgeconv(&DgcnnConfig::paper(40), 1024);
+    let mut cfg = DgcnnConfig::paper(40);
+    cfg.dynamic = false;
+    cfg.reuse_after = 1;
+    let reuse = lower_edgeconv(&cfg, 1024);
+    for kind in DeviceKind::EDGE_TARGETS {
+        let p = kind.profile();
+        let speedup = p.execute(&dg).latency_ms / p.execute(&reuse).latency_ms;
+        assert!(
+            (1.05..3.5).contains(&speedup),
+            "{kind}: speedup {speedup:.2}"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests on the IR, lowering and device-model invariants.
+
+use hgnas_device::DeviceKind;
+use hgnas_ops::{merge_adjacent_samples, Architecture, OpType};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_arch(seed: u64, positions: usize) -> Architecture {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Architecture::random(&mut rng, positions, 10, 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn dim_trace_is_positive_and_consistent(seed in 0u64..2000, positions in 1usize..12) {
+        let a = random_arch(seed, positions);
+        let dims = a.dim_trace(3);
+        prop_assert_eq!(dims.len(), a.len());
+        prop_assert!(dims.iter().all(|&d| d > 0));
+        prop_assert_eq!(*dims.last().unwrap(), a.out_dim(3));
+    }
+
+    #[test]
+    fn lowering_never_panics_and_is_positive(seed in 0u64..2000, positions in 1usize..10) {
+        let a = random_arch(seed, positions);
+        let w = a.lower(64, &[16]);
+        prop_assert!(w.total_flops() >= 0.0);
+        prop_assert!(w.param_bytes > 0.0); // at least the head
+        prop_assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn latency_positive_on_every_device(seed in 0u64..500, positions in 1usize..8) {
+        let a = random_arch(seed, positions);
+        let w = a.lower(128, &[16]);
+        for kind in DeviceKind::EDGE_TARGETS {
+            let r = kind.profile().execute(&w);
+            prop_assert!(r.latency_ms > 0.0);
+            prop_assert!(r.peak_mem_mb > 0.0);
+        }
+    }
+
+    #[test]
+    fn more_points_never_faster(seed in 0u64..300, positions in 1usize..8) {
+        let a = random_arch(seed, positions);
+        let small = a.lower(64, &[16]);
+        let big = a.lower(256, &[16]);
+        let p = DeviceKind::JetsonTx2.profile();
+        prop_assert!(p.execute(&big).latency_ms >= p.execute(&small).latency_ms);
+    }
+
+    #[test]
+    fn merge_pass_idempotent_and_dim_preserving(seed in 0u64..2000, positions in 1usize..12) {
+        let a = random_arch(seed, positions);
+        let m1 = merge_adjacent_samples(&a);
+        let m2 = merge_adjacent_samples(&m1);
+        prop_assert_eq!(&m1, &m2, "merge not idempotent");
+        prop_assert_eq!(m1.out_dim(3), a.out_dim(3));
+        // No two adjacent samples survive.
+        for w in m1.ops.windows(2) {
+            prop_assert!(
+                !(w[0].op_type() == OpType::Sample && w[1].op_type() == OpType::Sample)
+            );
+        }
+    }
+
+    #[test]
+    fn merge_never_increases_latency(seed in 0u64..300, positions in 2usize..10) {
+        let a = random_arch(seed, positions);
+        let m = merge_adjacent_samples(&a);
+        let p = DeviceKind::Rtx3080.profile();
+        let before = p.execute(&a.lower(128, &[16])).latency_ms;
+        let after = p.execute(&m.lower(128, &[16])).latency_ms;
+        prop_assert!(after <= before + 1e-9);
+    }
+
+    #[test]
+    fn genome_round_trip_types(seed in 0u64..1000, positions in 2usize..12) {
+        use hgnas_ops::FunctionSet;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let types: Vec<OpType> = (0..positions)
+            .map(|_| {
+                use rand::Rng;
+                OpType::ALL[rng.gen_range(0..4)]
+            })
+            .collect();
+        let up = FunctionSet::random(&mut rng);
+        let lo = FunctionSet::random(&mut rng);
+        let arch = Architecture::from_genome(&types, up, lo, 10, 4);
+        prop_assert_eq!(arch.op_types(), types);
+    }
+
+    #[test]
+    fn measurement_noise_stays_positive(seed in 0u64..300) {
+        let a = random_arch(seed, 6);
+        let w = a.lower(96, &[16]);
+        let p = DeviceKind::RaspberryPi3B.profile();
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok(r) = p.measure(&w, &mut rng) {
+            prop_assert!(r.latency_ms > 0.0);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Dataset assembly: splits, augmentation, normalisation and batching.
+
+use crate::shapes::{sample_class, NUM_CLASSES};
+use hgnas_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One labelled point cloud, normalised to the unit sphere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointCloud {
+    /// Flat `n*3` xyz coordinates.
+    pub points: Vec<f32>,
+    /// Class index in `0..classes`.
+    pub label: usize,
+}
+
+impl PointCloud {
+    /// Number of points.
+    pub fn num_points(&self) -> usize {
+        self.points.len() / 3
+    }
+}
+
+/// Generation parameters for [`SynthNet40`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// Number of classes used (≤ 40; smaller is faster).
+    pub classes: usize,
+    /// Points per cloud (the paper's default task uses 1024).
+    pub points: usize,
+    /// Training clouds per class.
+    pub train_per_class: usize,
+    /// *Base* test clouds per class; actual counts are imbalanced around
+    /// this (ModelNet40's test split is imbalanced, which is what makes
+    /// OA ≠ mAcc).
+    pub test_per_class: usize,
+    /// Base jitter noise σ, scaled by per-class difficulty.
+    pub noise: f32,
+    /// RNG seed; the dataset is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// Paper-scale setting: 40 classes, 1024 points.
+    pub fn paper(seed: u64) -> Self {
+        DatasetConfig {
+            classes: NUM_CLASSES,
+            points: 1024,
+            train_per_class: 80,
+            test_per_class: 25,
+            noise: 0.02,
+            seed,
+        }
+    }
+
+    /// Reduced setting used by the default harnesses: 10 classes, 128
+    /// points. Trains in seconds on a CPU while preserving the
+    /// accuracy-vs-capacity gradient the search needs.
+    pub fn small(seed: u64) -> Self {
+        DatasetConfig {
+            classes: 10,
+            points: 128,
+            train_per_class: 30,
+            test_per_class: 12,
+            noise: 0.02,
+            seed,
+        }
+    }
+
+    /// Minimal setting for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        DatasetConfig {
+            classes: 4,
+            points: 48,
+            train_per_class: 8,
+            test_per_class: 5,
+            noise: 0.02,
+            seed,
+        }
+    }
+}
+
+/// The SynthNet40 dataset: deterministic, procedurally generated point-cloud
+/// classification.
+#[derive(Debug, Clone)]
+pub struct SynthNet40 {
+    /// Training split (shuffled).
+    pub train: Vec<PointCloud>,
+    /// Test split (imbalanced per class).
+    pub test: Vec<PointCloud>,
+    /// Number of classes.
+    pub classes: usize,
+    /// Points per cloud.
+    pub points: usize,
+}
+
+fn rotate_z(pts: &mut [f32], angle: f32) {
+    let (s, c) = angle.sin_cos();
+    for p in pts.chunks_mut(3) {
+        let (x, y) = (p[0], p[1]);
+        p[0] = c * x - s * y;
+        p[1] = s * x + c * y;
+    }
+}
+
+fn normalize_unit_sphere(pts: &mut [f32]) {
+    let n = pts.len() / 3;
+    let mut centroid = [0.0f32; 3];
+    for p in pts.chunks(3) {
+        for d in 0..3 {
+            centroid[d] += p[d];
+        }
+    }
+    for c in &mut centroid {
+        *c /= n as f32;
+    }
+    let mut max_r = 1e-6f32;
+    for p in pts.chunks_mut(3) {
+        for d in 0..3 {
+            p[d] -= centroid[d];
+        }
+        let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+        max_r = max_r.max(r);
+    }
+    for v in pts.iter_mut() {
+        *v /= max_r;
+    }
+}
+
+fn make_cloud(cfg: &DatasetConfig, class: usize, rng: &mut StdRng) -> PointCloud {
+    let (mut pts, difficulty) = sample_class(class, cfg.points, rng);
+    // Augmentation: gravity-axis rotation, jitter, anisotropic scale.
+    rotate_z(&mut pts, rng.gen_range(0.0..std::f32::consts::TAU));
+    let sigma = cfg.noise * difficulty;
+    for v in pts.iter_mut() {
+        *v += rng.gen_range(-2.0 * sigma..2.0 * sigma);
+    }
+    let scale = [
+        rng.gen_range(0.9f32..1.1),
+        rng.gen_range(0.9f32..1.1),
+        rng.gen_range(0.9f32..1.1),
+    ];
+    for p in pts.chunks_mut(3) {
+        for d in 0..3 {
+            p[d] *= scale[d];
+        }
+    }
+    normalize_unit_sphere(&mut pts);
+    PointCloud {
+        points: pts,
+        label: class,
+    }
+}
+
+impl SynthNet40 {
+    /// Generates the dataset described by `cfg`. Deterministic in `cfg.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.classes` is 0 or exceeds [`NUM_CLASSES`].
+    pub fn generate(cfg: &DatasetConfig) -> Self {
+        assert!(
+            cfg.classes > 0 && cfg.classes <= NUM_CLASSES,
+            "classes must be in 1..={NUM_CLASSES}"
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for class in 0..cfg.classes {
+            for _ in 0..cfg.train_per_class {
+                train.push(make_cloud(cfg, class, &mut rng));
+            }
+            // Imbalance: test count varies deterministically by class,
+            // between 40 % and 160 % of the base count (min 2).
+            let factor = 0.4 + 1.2 * ((class * 7 + 3) % 11) as f32 / 10.0;
+            let count = ((cfg.test_per_class as f32 * factor) as usize).max(2);
+            for _ in 0..count {
+                test.push(make_cloud(cfg, class, &mut rng));
+            }
+        }
+        train.shuffle(&mut rng);
+        SynthNet40 {
+            train,
+            test,
+            classes: cfg.classes,
+            points: cfg.points,
+        }
+    }
+
+    /// Groups clouds into training batches of at most `batch_size` clouds.
+    /// Each [`Batch`] stacks points row-wise with per-cloud segment lengths.
+    pub fn batches(clouds: &[PointCloud], batch_size: usize) -> Vec<Batch> {
+        assert!(batch_size > 0, "batch size must be positive");
+        clouds
+            .chunks(batch_size)
+            .map(|chunk| {
+                let mut data = Vec::new();
+                let mut segments = Vec::with_capacity(chunk.len());
+                let mut labels = Vec::with_capacity(chunk.len());
+                for c in chunk {
+                    data.extend_from_slice(&c.points);
+                    segments.push(c.num_points());
+                    labels.push(c.label);
+                }
+                let rows: usize = segments.iter().sum();
+                Batch {
+                    points: Tensor::from_vec(data, &[rows, 3]),
+                    segments,
+                    labels,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A stacked mini-batch of point clouds.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// All points of all clouds, stacked `[sum(n_i), 3]`.
+    pub points: Tensor,
+    /// Points per cloud, in stacking order.
+    pub segments: Vec<usize>,
+    /// Label per cloud.
+    pub labels: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = DatasetConfig::tiny(9);
+        let a = SynthNet40::generate(&cfg);
+        let b = SynthNet40::generate(&cfg);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SynthNet40::generate(&DatasetConfig::tiny(1));
+        let b = SynthNet40::generate(&DatasetConfig::tiny(2));
+        assert_ne!(a.train[0].points, b.train[0].points);
+    }
+
+    #[test]
+    fn clouds_normalised_to_unit_sphere() {
+        let ds = SynthNet40::generate(&DatasetConfig::tiny(3));
+        for c in ds.train.iter().chain(&ds.test) {
+            let mut max_r = 0.0f32;
+            for p in c.points.chunks(3) {
+                max_r = max_r.max((p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt());
+            }
+            assert!(max_r <= 1.0 + 1e-4, "max radius {max_r}");
+            assert!(max_r >= 0.99, "cloud not scaled up, max radius {max_r}");
+        }
+    }
+
+    #[test]
+    fn test_split_is_imbalanced() {
+        let ds = SynthNet40::generate(&DatasetConfig::small(4));
+        let mut counts = vec![0usize; ds.classes];
+        for c in &ds.test {
+            counts[c.label] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max > min, "test split should be imbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn batches_partition_everything() {
+        let ds = SynthNet40::generate(&DatasetConfig::tiny(5));
+        let batches = SynthNet40::batches(&ds.train, 3);
+        let total: usize = batches.iter().map(|b| b.labels.len()).sum();
+        assert_eq!(total, ds.train.len());
+        for b in &batches {
+            assert_eq!(b.points.dims()[0], b.segments.iter().sum::<usize>());
+            assert_eq!(b.segments.len(), b.labels.len());
+        }
+    }
+
+    #[test]
+    fn all_labels_in_range() {
+        let ds = SynthNet40::generate(&DatasetConfig::tiny(6));
+        assert!(ds.train.iter().all(|c| c.label < ds.classes));
+        assert!(ds.test.iter().all(|c| c.label < ds.classes));
+    }
+}

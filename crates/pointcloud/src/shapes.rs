@@ -1,0 +1,618 @@
+//! Parametric shape generators: the 40 SynthNet40 classes.
+
+use rand::Rng;
+use std::f32::consts::PI;
+
+/// Number of SynthNet40 classes (matching ModelNet40).
+pub const NUM_CLASSES: usize = 40;
+
+/// A surface-sampleable primitive. All primitives are centred at the origin
+/// in their canonical pose; composites place scaled/offset copies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Primitive {
+    /// Unit sphere scaled to radii `(a, b, c)` (an ellipsoid).
+    Ellipsoid(f32, f32, f32),
+    /// Axis-aligned box with half-extents `(hx, hy, hz)`, surface sampled
+    /// area-weighted.
+    Box3(f32, f32, f32),
+    /// Cylinder of radius `r`, half-height `h`, aligned with z, with caps.
+    Cylinder(f32, f32),
+    /// Cone of base radius `r`, height `h` (apex up), with base disk.
+    Cone(f32, f32),
+    /// Torus of major radius `major` and tube radius `minor`, in the xy plane.
+    Torus(f32, f32),
+    /// Rectangular plate (half-extents `hx, hy`) in the xy plane.
+    Plane(f32, f32),
+    /// Saddle patch `z = s·(x² − y²)` over `[-1,1]²`.
+    Saddle(f32),
+    /// Paraboloid patch `z = s·(x² + y²)` over the unit disk.
+    Paraboloid(f32),
+    /// Sine sheet `z = a·sin(f·x)` over `[-1,1]²`.
+    Wave(f32, f32),
+    /// Helical tube: `turns` turns of radius `major`, pitch `pitch`, tube
+    /// radius `minor`.
+    Helix {
+        /// Helix radius.
+        major: f32,
+        /// Tube radius.
+        minor: f32,
+        /// Vertical rise per turn.
+        pitch: f32,
+        /// Number of turns.
+        turns: f32,
+    },
+    /// Regular tetrahedron with circumradius `r`.
+    Tetrahedron(f32),
+    /// Regular octahedron with circumradius `r`.
+    Octahedron(f32),
+}
+
+fn unit_sphere<R: Rng>(rng: &mut R) -> [f32; 3] {
+    loop {
+        let x = rng.gen_range(-1.0f32..1.0);
+        let y = rng.gen_range(-1.0f32..1.0);
+        let z = rng.gen_range(-1.0f32..1.0);
+        let n2 = x * x + y * y + z * z;
+        if n2 > 1e-6 && n2 <= 1.0 {
+            let n = n2.sqrt();
+            return [x / n, y / n, z / n];
+        }
+    }
+}
+
+fn triangle_point<R: Rng>(rng: &mut R, a: [f32; 3], b: [f32; 3], c: [f32; 3]) -> [f32; 3] {
+    let (mut u, mut v) = (rng.gen_range(0.0f32..1.0), rng.gen_range(0.0f32..1.0));
+    if u + v > 1.0 {
+        u = 1.0 - u;
+        v = 1.0 - v;
+    }
+    [
+        a[0] + u * (b[0] - a[0]) + v * (c[0] - a[0]),
+        a[1] + u * (b[1] - a[1]) + v * (c[1] - a[1]),
+        a[2] + u * (b[2] - a[2]) + v * (c[2] - a[2]),
+    ]
+}
+
+fn polyhedron_surface<R: Rng>(rng: &mut R, verts: &[[f32; 3]], faces: &[[usize; 3]]) -> [f32; 3] {
+    // Area-weighted face choice.
+    let area = |f: &[usize; 3]| -> f32 {
+        let (a, b, c) = (verts[f[0]], verts[f[1]], verts[f[2]]);
+        let u = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+        let v = [c[0] - a[0], c[1] - a[1], c[2] - a[2]];
+        let cx = u[1] * v[2] - u[2] * v[1];
+        let cy = u[2] * v[0] - u[0] * v[2];
+        let cz = u[0] * v[1] - u[1] * v[0];
+        0.5 * (cx * cx + cy * cy + cz * cz).sqrt()
+    };
+    let total: f32 = faces.iter().map(area).sum();
+    let mut pick = rng.gen_range(0.0..total);
+    for f in faces {
+        let a = area(f);
+        if pick <= a {
+            return triangle_point(rng, verts[f[0]], verts[f[1]], verts[f[2]]);
+        }
+        pick -= a;
+    }
+    let f = faces[faces.len() - 1];
+    triangle_point(rng, verts[f[0]], verts[f[1]], verts[f[2]])
+}
+
+impl Primitive {
+    /// Samples one point on the primitive's surface.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> [f32; 3] {
+        match *self {
+            Primitive::Ellipsoid(a, b, c) => {
+                let p = unit_sphere(rng);
+                [p[0] * a, p[1] * b, p[2] * c]
+            }
+            Primitive::Box3(hx, hy, hz) => {
+                let areas = [hy * hz, hy * hz, hx * hz, hx * hz, hx * hy, hx * hy];
+                let total: f32 = areas.iter().sum();
+                let mut pick = rng.gen_range(0.0..total);
+                let mut face = 5;
+                for (i, &a) in areas.iter().enumerate() {
+                    if pick <= a {
+                        face = i;
+                        break;
+                    }
+                    pick -= a;
+                }
+                let u = rng.gen_range(-1.0f32..1.0);
+                let v = rng.gen_range(-1.0f32..1.0);
+                match face {
+                    0 => [hx, u * hy, v * hz],
+                    1 => [-hx, u * hy, v * hz],
+                    2 => [u * hx, hy, v * hz],
+                    3 => [u * hx, -hy, v * hz],
+                    4 => [u * hx, v * hy, hz],
+                    _ => [u * hx, v * hy, -hz],
+                }
+            }
+            Primitive::Cylinder(r, h) => {
+                let lateral = 2.0 * PI * r * (2.0 * h);
+                let caps = 2.0 * PI * r * r;
+                if rng.gen_range(0.0..lateral + caps) < lateral {
+                    let t = rng.gen_range(0.0..2.0 * PI);
+                    [r * t.cos(), r * t.sin(), rng.gen_range(-h..h)]
+                } else {
+                    let t = rng.gen_range(0.0..2.0 * PI);
+                    let rr = r * rng.gen_range(0.0f32..1.0).sqrt();
+                    let z = if rng.gen_bool(0.5) { h } else { -h };
+                    [rr * t.cos(), rr * t.sin(), z]
+                }
+            }
+            Primitive::Cone(r, h) => {
+                let slant = (r * r + h * h).sqrt();
+                let lateral = PI * r * slant;
+                let base = PI * r * r;
+                if rng.gen_range(0.0..lateral + base) < lateral {
+                    let t = rng.gen_range(0.0..2.0 * PI);
+                    // Area-uniform along the slant: radius ∝ sqrt(u).
+                    let u = rng.gen_range(0.0f32..1.0).sqrt();
+                    [r * u * t.cos(), r * u * t.sin(), h * (1.0 - u) - h / 2.0]
+                } else {
+                    let t = rng.gen_range(0.0..2.0 * PI);
+                    let rr = r * rng.gen_range(0.0f32..1.0).sqrt();
+                    [rr * t.cos(), rr * t.sin(), -h / 2.0]
+                }
+            }
+            Primitive::Torus(major, minor) => {
+                let u = rng.gen_range(0.0..2.0 * PI);
+                let v = rng.gen_range(0.0..2.0 * PI);
+                [
+                    (major + minor * v.cos()) * u.cos(),
+                    (major + minor * v.cos()) * u.sin(),
+                    minor * v.sin(),
+                ]
+            }
+            Primitive::Plane(hx, hy) => {
+                [rng.gen_range(-hx..hx), rng.gen_range(-hy..hy), 0.0]
+            }
+            Primitive::Saddle(s) => {
+                let x = rng.gen_range(-1.0f32..1.0);
+                let y = rng.gen_range(-1.0f32..1.0);
+                [x, y, s * (x * x - y * y)]
+            }
+            Primitive::Paraboloid(s) => {
+                let t = rng.gen_range(0.0..2.0 * PI);
+                let r = rng.gen_range(0.0f32..1.0).sqrt();
+                let (x, y) = (r * t.cos(), r * t.sin());
+                [x, y, s * (x * x + y * y)]
+            }
+            Primitive::Wave(a, f) => {
+                let x = rng.gen_range(-1.0f32..1.0);
+                let y = rng.gen_range(-1.0f32..1.0);
+                [x, y, a * (f * x).sin()]
+            }
+            Primitive::Helix {
+                major,
+                minor,
+                pitch,
+                turns,
+            } => {
+                let t = rng.gen_range(0.0..turns * 2.0 * PI);
+                let v = rng.gen_range(0.0..2.0 * PI);
+                let cx = major * t.cos();
+                let cy = major * t.sin();
+                let cz = pitch * t / (2.0 * PI) - pitch * turns / 2.0;
+                // Tube cross-section in the (radial, z) plane, approximately.
+                [
+                    cx + minor * v.cos() * t.cos(),
+                    cy + minor * v.cos() * t.sin(),
+                    cz + minor * v.sin(),
+                ]
+            }
+            Primitive::Tetrahedron(r) => {
+                let verts = [
+                    [1.0, 1.0, 1.0],
+                    [1.0, -1.0, -1.0],
+                    [-1.0, 1.0, -1.0],
+                    [-1.0, -1.0, 1.0],
+                ]
+                .map(|v: [f32; 3]| {
+                    let n = (3.0f32).sqrt();
+                    [v[0] * r / n, v[1] * r / n, v[2] * r / n]
+                });
+                let faces = [[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]];
+                polyhedron_surface(rng, &verts, &faces)
+            }
+            Primitive::Octahedron(r) => {
+                let verts = [
+                    [r, 0.0, 0.0],
+                    [-r, 0.0, 0.0],
+                    [0.0, r, 0.0],
+                    [0.0, -r, 0.0],
+                    [0.0, 0.0, r],
+                    [0.0, 0.0, -r],
+                ];
+                let faces = [
+                    [0, 2, 4],
+                    [2, 1, 4],
+                    [1, 3, 4],
+                    [3, 0, 4],
+                    [2, 0, 5],
+                    [1, 2, 5],
+                    [3, 1, 5],
+                    [0, 3, 5],
+                ];
+                polyhedron_surface(rng, &verts, &faces)
+            }
+        }
+    }
+}
+
+/// One placed part of a composite shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Part {
+    /// The primitive to sample.
+    pub prim: Primitive,
+    /// Translation applied after scaling.
+    pub offset: [f32; 3],
+    /// Relative sampling weight (≈ surface area share).
+    pub weight: f32,
+}
+
+/// A class blueprint: a weighted union of placed primitives plus a
+/// difficulty multiplier applied to jitter noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeSpec {
+    /// Placed parts.
+    pub parts: Vec<Part>,
+    /// Per-class noise multiplier (harder classes get more jitter).
+    pub difficulty: f32,
+}
+
+fn single(prim: Primitive) -> Vec<Part> {
+    vec![Part {
+        prim,
+        offset: [0.0; 3],
+        weight: 1.0,
+    }]
+}
+
+fn part(prim: Primitive, offset: [f32; 3], weight: f32) -> Part {
+    Part {
+        prim,
+        offset,
+        weight,
+    }
+}
+
+/// Human-readable class name.
+///
+/// # Panics
+///
+/// Panics if `class >= NUM_CLASSES`.
+pub fn class_name(class: usize) -> &'static str {
+    const NAMES: [&str; NUM_CLASSES] = [
+        "sphere",
+        "ellipsoid_flat",
+        "ellipsoid_long",
+        "cube",
+        "slab",
+        "rod_box",
+        "cylinder",
+        "cylinder_tall",
+        "disk",
+        "cone",
+        "cone_flat",
+        "torus",
+        "torus_thin",
+        "plane",
+        "saddle",
+        "paraboloid",
+        "bowl",
+        "wave",
+        "wave_dense",
+        "helix",
+        "spring",
+        "tetrahedron",
+        "octahedron",
+        "capsule",
+        "dumbbell",
+        "mushroom",
+        "table",
+        "stool",
+        "lamp",
+        "bottle",
+        "cup",
+        "l_bracket",
+        "stairs",
+        "cross",
+        "ring_stack",
+        "snowman",
+        "arrow",
+        "goblet",
+        "barbell_plates",
+        "tee",
+    ];
+    NAMES[class]
+}
+
+/// Builds the blueprint for a class, with per-sample parameter jitter drawn
+/// from `rng` so no two clouds of a class are identical.
+///
+/// # Panics
+///
+/// Panics if `class >= NUM_CLASSES`.
+pub fn class_spec<R: Rng>(class: usize, rng: &mut R) -> ShapeSpec {
+    assert!(class < NUM_CLASSES, "class {class} out of range");
+    // Per-sample parameter jitter: ±15 % on the leading dimension.
+    let j = |rng: &mut R, v: f32| v * rng.gen_range(0.85f32..1.15);
+    let (parts, difficulty): (Vec<Part>, f32) = match class {
+        0 => (single(Primitive::Ellipsoid(1.0, 1.0, 1.0)), 1.0),
+        1 => (single(Primitive::Ellipsoid(1.0, 1.0, j(rng, 0.45))), 1.2),
+        2 => (single(Primitive::Ellipsoid(1.0, j(rng, 0.4), j(rng, 0.4))), 1.2),
+        3 => (single(Primitive::Box3(1.0, 1.0, 1.0)), 1.0),
+        4 => (single(Primitive::Box3(1.0, 1.0, j(rng, 0.25))), 1.1),
+        5 => (single(Primitive::Box3(1.0, j(rng, 0.28), j(rng, 0.28))), 1.1),
+        6 => (single(Primitive::Cylinder(j(rng, 0.6), 1.0)), 1.0),
+        7 => (single(Primitive::Cylinder(j(rng, 0.3), 1.3)), 1.1),
+        8 => (single(Primitive::Cylinder(1.0, j(rng, 0.12))), 1.1),
+        9 => (single(Primitive::Cone(j(rng, 0.8), 1.6)), 1.0),
+        10 => (single(Primitive::Cone(1.1, j(rng, 0.7))), 1.3),
+        11 => (single(Primitive::Torus(1.0, j(rng, 0.38))), 1.0),
+        12 => (single(Primitive::Torus(1.0, j(rng, 0.14))), 1.2),
+        13 => (single(Primitive::Plane(1.0, j(rng, 0.8))), 1.0),
+        14 => (single(Primitive::Saddle(j(rng, 0.8))), 1.3),
+        15 => (single(Primitive::Paraboloid(j(rng, 0.9))), 1.2),
+        16 => (single(Primitive::Paraboloid(j(rng, 1.7))), 1.4),
+        17 => (single(Primitive::Wave(j(rng, 0.35), 3.0)), 1.3),
+        18 => (single(Primitive::Wave(j(rng, 0.3), 6.5)), 1.5),
+        19 => (
+            single(Primitive::Helix {
+                major: 1.0,
+                minor: j(rng, 0.16),
+                pitch: 0.8,
+                turns: 2.0,
+            }),
+            1.2,
+        ),
+        20 => (
+            single(Primitive::Helix {
+                major: 0.8,
+                minor: j(rng, 0.12),
+                pitch: 0.45,
+                turns: 4.0,
+            }),
+            1.4,
+        ),
+        21 => (single(Primitive::Tetrahedron(1.2)), 1.1),
+        22 => (single(Primitive::Octahedron(1.2)), 1.1),
+        23 => (
+            // Capsule: cylinder + two sphere caps.
+            vec![
+                part(Primitive::Cylinder(j(rng, 0.42), 0.8), [0.0, 0.0, 0.0], 0.6),
+                part(Primitive::Ellipsoid(0.42, 0.42, 0.42), [0.0, 0.0, 0.8], 0.2),
+                part(Primitive::Ellipsoid(0.42, 0.42, 0.42), [0.0, 0.0, -0.8], 0.2),
+            ],
+            1.2,
+        ),
+        24 => (
+            // Dumbbell: two spheres + thin bar.
+            vec![
+                part(Primitive::Ellipsoid(0.5, 0.5, 0.5), [0.0, 0.0, 0.9], 0.4),
+                part(Primitive::Ellipsoid(0.5, 0.5, 0.5), [0.0, 0.0, -0.9], 0.4),
+                part(Primitive::Cylinder(j(rng, 0.15), 0.9), [0.0, 0.0, 0.0], 0.2),
+            ],
+            1.1,
+        ),
+        25 => (
+            // Mushroom: cone cap + cylinder stem.
+            vec![
+                part(Primitive::Cone(1.0, j(rng, 0.7)), [0.0, 0.0, 0.6], 0.55),
+                part(Primitive::Cylinder(0.25, 0.7), [0.0, 0.0, -0.4], 0.45),
+            ],
+            1.2,
+        ),
+        26 => (
+            // Table: top slab + 4 legs.
+            vec![
+                part(Primitive::Box3(1.0, 0.7, 0.08), [0.0, 0.0, 0.7], 0.45),
+                part(Primitive::Cylinder(0.09, 0.65), [0.8, 0.55, 0.0], 0.14),
+                part(Primitive::Cylinder(0.09, 0.65), [-0.8, 0.55, 0.0], 0.14),
+                part(Primitive::Cylinder(0.09, 0.65), [0.8, -0.55, 0.0], 0.14),
+                part(Primitive::Cylinder(0.09, 0.65), [-0.8, -0.55, 0.0], 0.13),
+            ],
+            1.4,
+        ),
+        27 => (
+            // Stool: round top + 3 legs.
+            vec![
+                part(Primitive::Cylinder(0.75, 0.07), [0.0, 0.0, 0.6], 0.5),
+                part(Primitive::Cylinder(0.08, 0.6), [0.5, 0.0, -0.1], 0.17),
+                part(Primitive::Cylinder(0.08, 0.6), [-0.25, 0.43, -0.1], 0.17),
+                part(Primitive::Cylinder(0.08, 0.6), [-0.25, -0.43, -0.1], 0.16),
+            ],
+            1.4,
+        ),
+        28 => (
+            // Lamp: base disk + pole + shade cone.
+            vec![
+                part(Primitive::Cylinder(0.6, 0.06), [0.0, 0.0, -1.0], 0.3),
+                part(Primitive::Cylinder(0.07, 0.85), [0.0, 0.0, -0.1], 0.25),
+                part(Primitive::Cone(0.65, j(rng, 0.6)), [0.0, 0.0, 1.0], 0.45),
+            ],
+            1.4,
+        ),
+        29 => (
+            // Bottle: body + neck.
+            vec![
+                part(Primitive::Cylinder(j(rng, 0.5), 0.85), [0.0, 0.0, -0.3], 0.7),
+                part(Primitive::Cylinder(0.18, 0.45), [0.0, 0.0, 1.0], 0.3),
+            ],
+            1.2,
+        ),
+        30 => (
+            // Cup: open cylinder + handle torus.
+            vec![
+                part(Primitive::Cylinder(0.62, 0.75), [0.0, 0.0, 0.0], 0.7),
+                part(Primitive::Torus(0.4, 0.09), [0.85, 0.0, 0.0], 0.3),
+            ],
+            1.3,
+        ),
+        31 => (
+            // L-bracket.
+            vec![
+                part(Primitive::Box3(1.0, 0.3, 0.18), [0.0, 0.0, -0.8], 0.5),
+                part(Primitive::Box3(0.18, 0.3, 1.0), [-0.8, 0.0, 0.2], 0.5),
+            ],
+            1.2,
+        ),
+        32 => (
+            // Stairs: three offset slabs.
+            vec![
+                part(Primitive::Box3(0.9, 0.55, 0.16), [0.0, 0.0, -0.66], 0.34),
+                part(Primitive::Box3(0.62, 0.55, 0.16), [0.27, 0.0, -0.22], 0.33),
+                part(Primitive::Box3(0.33, 0.55, 0.16), [0.56, 0.0, 0.22], 0.33),
+            ],
+            1.4,
+        ),
+        33 => (
+            // Cross of two rods.
+            vec![
+                part(Primitive::Box3(1.0, 0.2, 0.2), [0.0, 0.0, 0.0], 0.5),
+                part(Primitive::Box3(0.2, 1.0, 0.2), [0.0, 0.0, 0.0], 0.5),
+            ],
+            1.1,
+        ),
+        34 => (
+            // Stack of two tori.
+            vec![
+                part(Primitive::Torus(0.95, 0.2), [0.0, 0.0, 0.42], 0.5),
+                part(Primitive::Torus(0.95, 0.2), [0.0, 0.0, -0.42], 0.5),
+            ],
+            1.3,
+        ),
+        35 => (
+            // Snowman: three stacked spheres.
+            vec![
+                part(Primitive::Ellipsoid(0.62, 0.62, 0.62), [0.0, 0.0, -0.75], 0.45),
+                part(Primitive::Ellipsoid(0.45, 0.45, 0.45), [0.0, 0.0, 0.18], 0.33),
+                part(Primitive::Ellipsoid(0.3, 0.3, 0.3), [0.0, 0.0, 0.85], 0.22),
+            ],
+            1.2,
+        ),
+        36 => (
+            // Arrow: rod + cone head.
+            vec![
+                part(Primitive::Cylinder(0.14, 0.95), [0.0, 0.0, -0.35], 0.55),
+                part(Primitive::Cone(0.42, j(rng, 0.75)), [0.0, 0.0, 0.85], 0.45),
+            ],
+            1.2,
+        ),
+        37 => (
+            // Goblet: bowl + stem + base.
+            vec![
+                part(Primitive::Paraboloid(1.4), [0.0, 0.0, 0.45], 0.45),
+                part(Primitive::Cylinder(0.08, 0.5), [0.0, 0.0, -0.25], 0.2),
+                part(Primitive::Cylinder(0.5, 0.05), [0.0, 0.0, -0.85], 0.35),
+            ],
+            1.5,
+        ),
+        38 => (
+            // Barbell with plate disks.
+            vec![
+                part(Primitive::Cylinder(0.1, 1.1), [0.0, 0.0, 0.0], 0.3),
+                part(Primitive::Cylinder(0.55, 0.1), [0.0, 0.0, 0.85], 0.35),
+                part(Primitive::Cylinder(0.55, 0.1), [0.0, 0.0, -0.85], 0.35),
+            ],
+            1.3,
+        ),
+        _ => (
+            // Tee: vertical rod + horizontal top bar.
+            vec![
+                part(Primitive::Cylinder(0.16, 0.95), [0.0, 0.0, -0.25], 0.5),
+                part(Primitive::Box3(0.95, 0.2, 0.16), [0.0, 0.0, 0.8], 0.5),
+            ],
+            1.2,
+        ),
+    };
+    ShapeSpec { parts, difficulty }
+}
+
+/// Samples `n` surface points for `class` in canonical pose (no
+/// augmentation, no normalisation).
+pub fn sample_class<R: Rng>(class: usize, n: usize, rng: &mut R) -> (Vec<f32>, f32) {
+    let spec = class_spec(class, rng);
+    let total_w: f32 = spec.parts.iter().map(|p| p.weight).sum();
+    let mut pts = Vec::with_capacity(n * 3);
+    for _ in 0..n {
+        let mut pick = rng.gen_range(0.0..total_w);
+        let mut chosen = &spec.parts[spec.parts.len() - 1];
+        for p in &spec.parts {
+            if pick <= p.weight {
+                chosen = p;
+                break;
+            }
+            pick -= p.weight;
+        }
+        let s = chosen.prim.sample(rng);
+        pts.push(s[0] + chosen.offset[0]);
+        pts.push(s[1] + chosen.offset[1]);
+        pts.push(s[2] + chosen.offset[2]);
+    }
+    (pts, spec.difficulty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_class_generates_finite_points() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for c in 0..NUM_CLASSES {
+            let (pts, diff) = sample_class(c, 64, &mut rng);
+            assert_eq!(pts.len(), 64 * 3, "class {c}");
+            assert!(pts.iter().all(|v| v.is_finite()), "class {c} non-finite");
+            assert!(diff >= 1.0, "class {c} difficulty");
+        }
+    }
+
+    #[test]
+    fn sphere_points_on_unit_sphere() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (pts, _) = sample_class(0, 128, &mut rng);
+        for p in pts.chunks(3) {
+            let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+            // Per-sample parameter jitter does not apply to class 0's radii.
+            assert!((r - 1.0).abs() < 1e-3, "radius {r}");
+        }
+    }
+
+    #[test]
+    fn class_names_unique() {
+        let mut names: Vec<&str> = (0..NUM_CLASSES).map(class_name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_CLASSES);
+    }
+
+    #[test]
+    fn torus_respects_radii() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Primitive::Torus(1.0, 0.2);
+        for _ in 0..100 {
+            let p = t.sample(&mut rng);
+            let ring = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            assert!(ring >= 0.79 && ring <= 1.21, "ring distance {ring}");
+            assert!(p[2].abs() <= 0.201);
+        }
+    }
+
+    #[test]
+    fn box_points_on_surface() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let b = Primitive::Box3(1.0, 0.5, 0.25);
+        for _ in 0..200 {
+            let p = b.sample(&mut rng);
+            let on_face = (p[0].abs() - 1.0).abs() < 1e-6
+                || (p[1].abs() - 0.5).abs() < 1e-6
+                || (p[2].abs() - 0.25).abs() < 1e-6;
+            assert!(on_face, "point {p:?} not on any face");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Predictor training-set generation: random architectures labelled by
+//! (noisy) simulated on-device measurement.
+
+use hgnas_device::DeviceProfile;
+use hgnas_ops::Architecture;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One labelled sample: an architecture and its measured latency.
+#[derive(Debug, Clone)]
+pub struct LabelledArch {
+    /// The sampled architecture.
+    pub arch: Architecture,
+    /// Measured latency on the target device, milliseconds.
+    pub latency_ms: f64,
+}
+
+/// Samples `count` random architectures from the fine-grained space and
+/// labels each with a noisy measurement on `device` (paper Sec. IV-A:
+/// *"labels obtained from measurement results on various edge devices"*).
+/// Architectures that do not fit in device memory are skipped, exactly as a
+/// real measurement campaign would drop OOM runs.
+pub fn generate_dataset(
+    device: &DeviceProfile,
+    positions: usize,
+    points: usize,
+    k: usize,
+    classes: usize,
+    head_hidden: &[usize],
+    count: usize,
+    seed: u64,
+) -> Vec<LabelledArch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while out.len() < count && attempts < count * 20 {
+        attempts += 1;
+        let arch = Architecture::random(&mut rng, positions, k, classes);
+        let workload = arch.lower(points, head_hidden);
+        match device.measure(&workload, &mut rng) {
+            Ok(report) => out.push(LabelledArch {
+                arch,
+                latency_ms: report.latency_ms,
+            }),
+            Err(_) => continue, // OOM candidates yield no measurement.
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgnas_device::DeviceKind;
+
+    #[test]
+    fn dataset_has_requested_size_and_positive_labels() {
+        let d = DeviceKind::Rtx3080.profile();
+        let ds = generate_dataset(&d, 8, 128, 10, 4, &[16], 40, 7);
+        assert_eq!(ds.len(), 40);
+        assert!(ds.iter().all(|s| s.latency_ms > 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = DeviceKind::JetsonTx2.profile();
+        let a = generate_dataset(&d, 6, 128, 10, 4, &[16], 10, 3);
+        let b = generate_dataset(&d, 6, 128, 10, 4, &[16], 10, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arch, y.arch);
+            assert_eq!(x.latency_ms, y.latency_ms);
+        }
+    }
+
+    #[test]
+    fn labels_span_a_real_range() {
+        let d = DeviceKind::RaspberryPi3B.profile();
+        let ds = generate_dataset(&d, 12, 256, 10, 4, &[16], 60, 11);
+        let min = ds.iter().map(|s| s.latency_ms).fold(f64::MAX, f64::min);
+        let max = ds.iter().map(|s| s.latency_ms).fold(0.0, f64::max);
+        assert!(max > 2.0 * min, "degenerate label range {min}..{max}");
+    }
+}

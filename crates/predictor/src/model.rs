@@ -1,0 +1,115 @@
+//! The predictor network: 3 GCN layers + MLP head (paper Fig. 5).
+
+use crate::features::{ArchGraph, FEATURE_WIDTH};
+use hgnas_autograd::{Reduction, Tape, Var};
+use hgnas_nn::{Activation, GcnLayer, Mlp, Module, Param};
+use rand::Rng;
+
+/// GCN + MLP latency regressor.
+///
+/// The paper's configuration is three GCN layers with hidden widths
+/// 256·512·512 (sum aggregation over the architecture graph) followed by a
+/// 256·128·1 MLP with LeakyReLU, reading out from mean-pooled node
+/// embeddings. Widths are configurable so the reduced-scale harnesses can
+/// train in seconds.
+#[derive(Debug)]
+pub struct PredictorModel {
+    gcn: Vec<GcnLayer>,
+    mlp: Mlp,
+}
+
+impl PredictorModel {
+    /// Builds a predictor with the given GCN widths and MLP hidden widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gcn_dims` is empty.
+    pub fn new<R: Rng>(rng: &mut R, gcn_dims: &[usize], mlp_hidden: &[usize]) -> Self {
+        assert!(!gcn_dims.is_empty(), "need at least one GCN layer");
+        let mut gcn = Vec::with_capacity(gcn_dims.len());
+        let mut cur = FEATURE_WIDTH;
+        for &d in gcn_dims {
+            gcn.push(GcnLayer::new(rng, cur, d, Activation::Relu));
+            cur = d;
+        }
+        let mut dims = vec![cur];
+        dims.extend_from_slice(mlp_hidden);
+        dims.push(1);
+        let mlp = Mlp::new(rng, &dims, Activation::LeakyRelu(0.01));
+        PredictorModel { gcn, mlp }
+    }
+
+    /// Forward pass over one architecture graph, returning the scalar
+    /// (normalised) latency prediction as a `[1,1]` var.
+    pub fn forward(&self, tape: &mut Tape, graph: &ArchGraph) -> Var {
+        let adj = tape.input(graph.adjacency());
+        let mut h = tape.input(graph.features.clone());
+        for layer in &self.gcn {
+            h = layer.forward(tape, adj, h);
+        }
+        // Mean readout over all nodes (global node included).
+        let n = graph.graph.len();
+        let pooled = tape.segment_pool(h, &[n], Reduction::Mean);
+        let out = self.mlp.forward(tape, pooled);
+        // Latencies are positive; LeakyReLU keeps gradients alive when the
+        // estimate dips negative early in training.
+        tape.leaky_relu(out, 0.01)
+    }
+}
+
+impl Module for PredictorModel {
+    fn params(&self) -> Vec<&Param> {
+        let mut p: Vec<&Param> = self.gcn.iter().flat_map(Module::params).collect();
+        p.extend(self.mlp.params());
+        p
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p: Vec<&mut Param> = self.gcn.iter_mut().flat_map(Module::params_mut).collect();
+        p.extend(self.mlp.params_mut());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::arch_to_graph;
+    use hgnas_ops::Architecture;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_is_scalar_and_finite() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = PredictorModel::new(&mut rng, &[32, 32], &[16]);
+        let arch = Architecture::random(&mut rng, 8, 10, 4);
+        let g = arch_to_graph(&arch, 128);
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &g);
+        let v = tape.value(out);
+        assert_eq!(v.numel(), 1);
+        assert!(v.item().is_finite());
+    }
+
+    #[test]
+    fn paper_dims_construct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = PredictorModel::new(&mut rng, &[256, 512, 512], &[256, 128]);
+        // 3 GCN layers + 3 MLP layers = 12 params (w+b each).
+        assert_eq!(model.params().len(), 12);
+    }
+
+    #[test]
+    fn different_archs_get_different_predictions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = PredictorModel::new(&mut rng, &[32], &[16]);
+        let a1 = Architecture::random(&mut rng, 6, 10, 4);
+        let a2 = Architecture::random(&mut rng, 12, 20, 4);
+        let mut t1 = Tape::new();
+        let o1 = model.forward(&mut t1, &arch_to_graph(&a1, 128));
+        let mut t2 = Tape::new();
+        let o2 = model.forward(&mut t2, &arch_to_graph(&a2, 1024));
+        assert_ne!(t1.value(o1).item(), t2.value(o2).item());
+    }
+}

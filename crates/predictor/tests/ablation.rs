@@ -1,0 +1,71 @@
+//! Ablation: the paper's global node (Sec. III-D) materially helps the
+//! predictor — the plain chain abstraction is too sparse and lacks the
+//! input-data properties.
+
+use hgnas_device::DeviceKind;
+use hgnas_ops::Architecture;
+use hgnas_predictor::{
+    arch_to_graph_with, generate_dataset, LatencyPredictor, PredictorConfig, PredictorContext,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ctx() -> PredictorContext {
+    PredictorContext {
+        positions: 8,
+        points: 128,
+        k: 10,
+        classes: 4,
+        head_hidden: vec![16],
+    }
+}
+
+fn cfg(global_node: bool) -> PredictorConfig {
+    PredictorConfig {
+        train_samples: 300,
+        val_samples: 100,
+        epochs: 15,
+        lr: 3e-3,
+        gcn_dims: vec![32, 32],
+        mlp_hidden: vec![24],
+        seed: 5,
+        global_node,
+    }
+}
+
+#[test]
+fn graph_without_global_node_is_smaller_and_sparser() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let arch = Architecture::random(&mut rng, 8, 10, 4);
+    let with = arch_to_graph_with(&arch, 128, true);
+    let without = arch_to_graph_with(&arch, 128, false);
+    assert_eq!(with.graph.len(), without.graph.len() + 1);
+    // The global node contributes 2·(n-1) edges.
+    assert_eq!(
+        with.graph.edge_count(),
+        without.graph.edge_count() + 2 * (with.graph.len() - 1)
+    );
+    assert!(with.graph.density() > without.graph.density());
+}
+
+#[test]
+fn global_node_improves_validation_mape() {
+    let (_, with_stats) = LatencyPredictor::train(DeviceKind::Rtx3080, &ctx(), &cfg(true));
+    let (_, without_stats) = LatencyPredictor::train(DeviceKind::Rtx3080, &ctx(), &cfg(false));
+    assert!(
+        with_stats.val_mape < without_stats.val_mape,
+        "global node did not help: with {:.3} vs without {:.3}",
+        with_stats.val_mape,
+        without_stats.val_mape
+    );
+}
+
+#[test]
+fn ablated_predictor_still_produces_finite_predictions() {
+    let (p, _) = LatencyPredictor::train(DeviceKind::JetsonTx2, &ctx(), &cfg(false));
+    let profile = DeviceKind::JetsonTx2.profile();
+    let samples = generate_dataset(&profile, 8, 128, 10, 4, &[16], 20, 77);
+    let eval = p.evaluate(&samples);
+    assert!(eval.mape.is_finite());
+    assert!(eval.pairs.iter().all(|(pred, _)| pred.is_finite()));
+}

@@ -1,0 +1,36 @@
+//! Dense `f32` tensor kernels for the HGNAS reproduction.
+//!
+//! This crate is the numerical substrate underneath `hgnas-autograd` and the
+//! rest of the stack: a row-major, heap-allocated tensor with the kernels the
+//! GNN workloads actually need — blocked and multi-threaded matrix multiply,
+//! axis reductions with arg tracking (so max/min pooling is differentiable
+//! one level up), row gather/scatter for message passing, and broadcast
+//! elementwise arithmetic.
+//!
+//! The design goal is *predictable* performance without unsafe code or
+//! external BLAS: everything the paper's models require (EdgeConv-style
+//! message passing, GCN propagation, MLP heads) reduces to the kernels here.
+//!
+//! # Example
+//!
+//! ```
+//! use hgnas_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod kernels;
+pub mod matmul;
+pub mod reduce;
+pub mod shape;
+mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Absolute tolerance used by [`Tensor::allclose`] and the test-suites of the
+/// crates layered on top.
+pub const DEFAULT_ATOL: f32 = 1e-5;

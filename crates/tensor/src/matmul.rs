@@ -1,0 +1,248 @@
+//! Matrix-multiplication kernels: naive, cache-blocked, and multi-threaded.
+//!
+//! All variants compute `C = A · B` for 2-D tensors and are exact-equivalent;
+//! the blocked/threaded versions exist purely for throughput. The ablation
+//! bench `matmul_kernels` (crate `hgnas-bench`) compares them.
+
+use crate::Tensor;
+
+/// Cache-block edge length used by [`matmul_blocked`]. 64 f32 = 256 B per
+/// panel row, sized so three panels fit comfortably in L1.
+pub const BLOCK: usize = 64;
+
+/// Rows-per-thread threshold below which [`matmul_parallel`] falls back to
+/// the single-threaded blocked kernel.
+pub const PARALLEL_MIN_ROWS: usize = 128;
+
+fn check_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be 2-D, got {}", a.shape());
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be 2-D, got {}", b.shape());
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul inner dims differ: {} vs {}", a.shape(), b.shape());
+    (m, k, n)
+}
+
+/// Reference triple-loop matmul (ikj order, so the inner loop streams both
+/// `B` and `C`).
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or the inner dimensions differ.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = check_dims(a, b);
+    let (ad, bd) = (a.data(), b.data());
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+    Tensor::from_vec(c, &[m, n])
+}
+
+/// Cache-blocked matmul; identical result to [`matmul_naive`].
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or the inner dimensions differ.
+pub fn matmul_blocked(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = check_dims(a, b);
+    let mut c = vec![0.0f32; m * n];
+    matmul_blocked_into(a.data(), b.data(), &mut c, m, k, n);
+    Tensor::from_vec(c, &[m, n])
+}
+
+fn matmul_blocked_into(ad: &[f32], bd: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for p0 in (0..k).step_by(BLOCK) {
+            let p1 = (p0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let j1 = (j0 + BLOCK).min(n);
+                for i in i0..i1 {
+                    let arow = &ad[i * k..(i + 1) * k];
+                    let crow = &mut c[i * n..(i + 1) * n];
+                    for p in p0..p1 {
+                        let av = arow[p];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &bd[p * n..(p + 1) * n];
+                        for j in j0..j1 {
+                            crow[j] += av * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Multi-threaded blocked matmul. Splits rows of `A` across `threads` OS
+/// threads via crossbeam's scoped threads; falls back to the single-threaded
+/// kernel for small problems.
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D, the inner dimensions differ, or
+/// `threads == 0`.
+pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+    assert!(threads > 0, "threads must be positive");
+    let (m, k, n) = check_dims(a, b);
+    if threads == 1 || m < PARALLEL_MIN_ROWS {
+        return matmul_blocked(a, b);
+    }
+    let mut c = vec![0.0f32; m * n];
+    let rows_per = m.div_ceil(threads);
+    let (ad, bd) = (a.data(), b.data());
+    crossbeam::scope(|s| {
+        for (t, chunk) in c.chunks_mut(rows_per * n).enumerate() {
+            let i0 = t * rows_per;
+            let rows = chunk.len() / n;
+            let a_slice = &ad[i0 * k..(i0 + rows) * k];
+            s.spawn(move |_| {
+                matmul_blocked_into(a_slice, bd, chunk, rows, k, n);
+            });
+        }
+    })
+    .expect("matmul worker thread panicked");
+    Tensor::from_vec(c, &[m, n])
+}
+
+/// Computes `A · Bᵀ` without materialising the transpose. Useful for
+/// gradient kernels (`dX = dY · Wᵀ`).
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or the contraction dims differ
+/// (`a: [m,k]`, `b: [n,k]`).
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_bt lhs must be 2-D");
+    assert_eq!(b.shape().rank(), 2, "matmul_bt rhs must be 2-D");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_bt contraction dims differ");
+    let (ad, bd) = (a.data(), b.data());
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += arow[p] * brow[p];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(c, &[m, n])
+}
+
+/// Computes `Aᵀ · B` without materialising the transpose. Useful for weight
+/// gradients (`dW = Xᵀ · dY`).
+///
+/// # Panics
+///
+/// Panics if either operand is not 2-D or the row counts differ
+/// (`a: [k,m]`, `b: [k,n]`).
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_at lhs must be 2-D");
+    assert_eq!(b.shape().rank(), 2, "matmul_at rhs must be 2-D");
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_at row counts differ");
+    let (ad, bd) = (a.data(), b.data());
+    let mut c = vec![0.0f32; m * n];
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for i in 0..m {
+            let av = arow[i];
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+    Tensor::from_vec(c, &[m, n])
+}
+
+impl Tensor {
+    /// Matrix product `self · other`, dispatching to the blocked kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        matmul_blocked(self, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rand_mat(rng: &mut StdRng, r: usize, c: usize) -> Tensor {
+        Tensor::rand_uniform(rng, &[r, c], -1.0, 1.0)
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn kernels_agree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(m, k, n) in &[(1, 1, 1), (7, 13, 5), (65, 64, 66), (130, 20, 33)] {
+            let a = rand_mat(&mut rng, m, k);
+            let b = rand_mat(&mut rng, k, n);
+            let naive = matmul_naive(&a, &b);
+            assert!(matmul_blocked(&a, &b).allclose(&naive, 1e-4));
+            assert!(matmul_parallel(&a, &b, 4).allclose(&naive, 1e-4));
+        }
+    }
+
+    #[test]
+    fn transposed_variants_agree() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = rand_mat(&mut rng, 9, 6);
+        let b = rand_mat(&mut rng, 6, 11);
+        let c = a.matmul(&b);
+        assert!(matmul_bt(&a, &b.transpose2()).allclose(&c, 1e-4));
+        assert!(matmul_at(&a.transpose2(), &b).allclose(&c, 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = rand_mat(&mut rng, 12, 12);
+        assert!(a.matmul(&Tensor::eye(12)).allclose(&a, 1e-6));
+        assert!(Tensor::eye(12).matmul(&a).allclose(&a, 1e-6));
+    }
+}

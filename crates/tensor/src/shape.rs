@@ -1,0 +1,143 @@
+//! Shape bookkeeping for row-major tensors.
+
+use std::fmt;
+
+/// The dimensions of a tensor, stored outermost-first (row-major).
+///
+/// `Shape` is a thin, validated wrapper around a `Vec<usize>`; it exists so
+/// that shape errors are caught at construction time rather than deep inside
+/// a kernel.
+///
+/// # Example
+///
+/// ```
+/// use hgnas_tensor::Shape;
+///
+/// let s = Shape::new(&[4, 3]);
+/// assert_eq!(s.numel(), 12);
+/// assert_eq!(s.strides(), vec![3, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a dimension slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; empty (scalar) shapes are allowed.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape dimensions must be positive, got {dims:?}"
+        );
+        Shape(dims.to_vec())
+    }
+
+    /// Returns the dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Returns the number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns the total element count. Scalars have one element.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns the row-major strides, one per dimension.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Returns dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Returns `true` if the two shapes are elementwise-broadcast compatible
+    /// under the limited broadcasting this crate supports: identical shapes,
+    /// or `other` being a 1-D row of length `self.dims().last()` (a per-column
+    /// bias over a 2-D matrix).
+    pub fn broadcastable_from(&self, other: &Shape) -> bool {
+        if self == other {
+            return true;
+        }
+        other.rank() == 1 && self.rank() >= 1 && other.dim(0) == *self.0.last().unwrap()
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(Shape::new(&[]).numel(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        Shape::new(&[3, 0]);
+    }
+
+    #[test]
+    fn broadcast_bias_row() {
+        let m = Shape::new(&[4, 8]);
+        assert!(m.broadcastable_from(&Shape::new(&[8])));
+        assert!(!m.broadcastable_from(&Shape::new(&[4])));
+        assert!(m.broadcastable_from(&m.clone()));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2x3]");
+    }
+}

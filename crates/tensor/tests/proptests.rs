@@ -1,0 +1,104 @@
+//! Property-based tests for the tensor kernels.
+
+use hgnas_tensor::kernels::{concat_cols, fold_rows, gather_rows, repeat_rows, scatter_add_rows, split_cols};
+use hgnas_tensor::matmul::{matmul_blocked, matmul_bt, matmul_naive, matmul_parallel};
+use hgnas_tensor::reduce::{reduce_mid_axis, Reduction};
+use hgnas_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(data, &[rows, cols]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_kernels_agree(
+        m in 1usize..20, k in 1usize..20, n in 1usize..20, seed in 0u64..1000
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&mut rng, &[m, k], -2.0, 2.0);
+        let b = Tensor::rand_uniform(&mut rng, &[k, n], -2.0, 2.0);
+        let reference = matmul_naive(&a, &b);
+        prop_assert!(matmul_blocked(&a, &b).allclose(&reference, 1e-3));
+        prop_assert!(matmul_parallel(&a, &b, 3).allclose(&reference, 1e-3));
+        prop_assert!(matmul_bt(&a, &b.transpose2()).allclose(&reference, 1e-3));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..1000
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&mut rng, &[m, k], -2.0, 2.0);
+        let b = Tensor::rand_uniform(&mut rng, &[k, n], -2.0, 2.0);
+        let c = Tensor::rand_uniform(&mut rng, &[k, n], -2.0, 2.0);
+        // A(B + C) == AB + AC
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.allclose(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn transpose_is_involution(t in tensor_strategy(7, 5)) {
+        prop_assert!(t.transpose2().transpose2().allclose(&t, 0.0));
+    }
+
+    #[test]
+    fn concat_split_round_trip(a in tensor_strategy(6, 3), b in tensor_strategy(6, 4)) {
+        let cat = concat_cols(&[&a, &b]);
+        let parts = split_cols(&cat, &[3, 4]);
+        prop_assert!(parts[0].allclose(&a, 0.0));
+        prop_assert!(parts[1].allclose(&b, 0.0));
+    }
+
+    #[test]
+    fn repeat_then_fold_scales(t in tensor_strategy(5, 3), k in 1usize..6) {
+        let folded = fold_rows(&repeat_rows(&t, k), k);
+        prop_assert!(folded.allclose(&t.scale(k as f32), 1e-4));
+    }
+
+    #[test]
+    fn gather_scatter_degree_weighted(
+        t in tensor_strategy(6, 2),
+        idx in prop::collection::vec(0usize..6, 1..20)
+    ) {
+        let gathered = gather_rows(&t, &idx);
+        let scattered = scatter_add_rows(&gathered, &idx, 6);
+        // Row i of the result equals count(i in idx) * t[i].
+        for i in 0..6 {
+            let count = idx.iter().filter(|&&j| j == i).count() as f32;
+            for c in 0..2 {
+                prop_assert!((scattered.at2(i, c) - count * t.at2(i, c)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_bounded_by_extremes(
+        data in prop::collection::vec(-100.0f32..100.0, 24)
+    ) {
+        let t = Tensor::from_vec(data, &[2, 4, 3]);
+        let max = reduce_mid_axis(&t, Reduction::Max).values;
+        let min = reduce_mid_axis(&t, Reduction::Min).values;
+        let mean = reduce_mid_axis(&t, Reduction::Mean).values;
+        for i in 0..max.numel() {
+            prop_assert!(min.data()[i] <= mean.data()[i] + 1e-4);
+            prop_assert!(mean.data()[i] <= max.data()[i] + 1e-4);
+        }
+    }
+
+    #[test]
+    fn sum_reduction_matches_k_times_mean(
+        data in prop::collection::vec(-10.0f32..10.0, 30)
+    ) {
+        let t = Tensor::from_vec(data, &[2, 5, 3]);
+        let sum = reduce_mid_axis(&t, Reduction::Sum).values;
+        let mean = reduce_mid_axis(&t, Reduction::Mean).values;
+        prop_assert!(sum.allclose(&mean.scale(5.0), 1e-3));
+    }
+}

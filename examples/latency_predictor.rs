@@ -1,0 +1,66 @@
+//! The GNN-based hardware performance predictor in isolation.
+//!
+//! Trains a per-device latency predictor on randomly sampled architectures
+//! (labels from the device simulator), then shows the "perceive a GNN in
+//! milliseconds" workflow: query a handful of candidates and compare
+//! predictions against ground-truth measurement.
+//!
+//! ```sh
+//! cargo run --release --example latency_predictor
+//! ```
+
+use hgnas::device::DeviceKind;
+use hgnas::ops::Architecture;
+use hgnas::predictor::{LatencyPredictor, PredictorConfig, PredictorContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let ctx = PredictorContext::small();
+    let cfg = PredictorConfig::small();
+
+    for device in [DeviceKind::Rtx3080, DeviceKind::RaspberryPi3B] {
+        println!("== training predictor for {device} ==");
+        let t0 = Instant::now();
+        let (predictor, stats) = LatencyPredictor::train(device, &ctx, &cfg);
+        println!(
+            "trained on {} archs in {:.1}s — val MAPE {:.1}%, {:.0}% within 10% bound",
+            stats.train_size,
+            t0.elapsed().as_secs_f64(),
+            stats.val_mape * 100.0,
+            stats.val_within_10pct * 100.0
+        );
+
+        let profile = device.profile();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut noise_rng = StdRng::seed_from_u64(100);
+        println!("{:>12} {:>12} {:>9}", "predicted", "measured", "err%");
+        for _ in 0..5 {
+            let arch = Architecture::random(&mut rng, ctx.positions, ctx.k, ctx.classes);
+            let predicted = predictor.predict_ms(&arch);
+            let workload = arch.lower(ctx.points, &ctx.head_hidden);
+            match profile.measure(&workload, &mut noise_rng) {
+                Ok(r) => println!(
+                    "{:>10.2}ms {:>10.2}ms {:>8.1}%",
+                    predicted,
+                    r.latency_ms,
+                    (predicted - r.latency_ms).abs() / r.latency_ms * 100.0
+                ),
+                Err(e) => println!("{predicted:>10.2}ms   (measurement failed: {e})"),
+            }
+        }
+
+        // The paper's speed claim: prediction is a single small-GCN forward.
+        let arch = Architecture::random(&mut rng, ctx.positions, ctx.k, ctx.classes);
+        let t0 = Instant::now();
+        const QUERIES: usize = 200;
+        for _ in 0..QUERIES {
+            predictor.predict_ms(&arch);
+        }
+        println!(
+            "prediction cost: {:.2} ms/query (paper: \"within milliseconds\")\n",
+            t0.elapsed().as_secs_f64() * 1e3 / QUERIES as f64
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: search a hardware-efficient GNN for an edge device.
+//!
+//! Runs the full HGNAS pipeline at reduced scale — dataset generation,
+//! latency-predictor training, two-stage evolutionary search — then compares
+//! the found architecture against the DGCNN baseline on the target device.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hgnas::core::{Hgnas, SearchConfig, TaskConfig};
+use hgnas::device::DeviceKind;
+use hgnas::ops::merge_adjacent_samples;
+
+fn main() {
+    let device = DeviceKind::JetsonTx2;
+    let task = TaskConfig::small(42);
+    let config = SearchConfig::fast(device);
+
+    println!("== HGNAS quickstart ==");
+    println!(
+        "task: {} classes x {} points, {} supernet positions, target {}",
+        task.classes(),
+        task.points(),
+        task.positions,
+        device
+    );
+
+    let framework = Hgnas::new(task.clone(), config);
+    let outcome = framework.run();
+
+    println!(
+        "\nDGCNN reference latency on {}: {:.1} ms (constraint {:.1} ms)",
+        device, outcome.reference_ms, outcome.constraint_ms
+    );
+    if let Some(stats) = &outcome.predictor_stats {
+        println!(
+            "latency predictor: val MAPE {:.1}%, {:.0}% within the 10% bound",
+            stats.val_mape * 100.0,
+            stats.val_within_10pct * 100.0
+        );
+    }
+
+    let best = &outcome.best;
+    println!(
+        "\nbest architecture (objective {:.3}, one-shot accuracy {:.1}%, {:.1} ms on {}):",
+        best.score,
+        best.supernet_accuracy * 100.0,
+        best.latency_ms,
+        device
+    );
+    println!("{}", merge_adjacent_samples(&best.architecture));
+    println!(
+        "\nspeedup over DGCNN: {:.1}x  |  simulated search cost: {:.2} GPU hours",
+        outcome.reference_ms / best.latency_ms.max(1e-9),
+        outcome.search_hours
+    );
+}

@@ -1,0 +1,41 @@
+//! Extensibility check: HGNAS accepts user-defined device profiles — the
+//! paper positions the predictor approach as "scalable to other platforms",
+//! so the simulator layer must not be closed over the four built-ins.
+
+use hgnas::device::{DeviceKind, DeviceProfile};
+use hgnas::ops::{lower_edgeconv, DgcnnConfig};
+
+/// A hypothetical mid-range edge NPU: strong dense compute, weak gather
+/// bandwidth, tight memory.
+fn edge_npu() -> DeviceProfile {
+    let mut p = DeviceKind::JetsonTx2.profile();
+    p.rates[2].gflops = 900.0; // Combine: strong MAC array
+    p.rates[1].gbps = 2.0; // Aggregate: weak gather
+    p.avail_mem_mb = 350.0;
+    p.base_mem_mb = 60.0;
+    p.mem_factor = 4.0;
+    p
+}
+
+#[test]
+fn custom_profile_executes_and_ooms_sensibly() {
+    let npu = edge_npu();
+    let w1024 = lower_edgeconv(&DgcnnConfig::paper(40), 1024);
+    let r = npu.execute(&w1024);
+    assert!(r.latency_ms > 0.0);
+
+    // The tight memory budget should OOM before the Pi does.
+    let w2048 = lower_edgeconv(&DgcnnConfig::paper(40), 2048);
+    assert!(npu.execute(&w2048).oom);
+}
+
+#[test]
+fn custom_profile_has_distinct_bottleneck_shape() {
+    let npu = edge_npu();
+    let tx2 = DeviceKind::JetsonTx2.profile();
+    let w = lower_edgeconv(&DgcnnConfig::paper(40), 1024);
+    let npu_frac = npu.execute(&w).breakdown_fractions();
+    let tx2_frac = tx2.execute(&w).breakdown_fractions();
+    // Weaker gather should raise the aggregate share relative to the TX2.
+    assert!(npu_frac[1] > tx2_frac[1]);
+}

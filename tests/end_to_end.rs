@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: the full HGNAS pipeline at tiny scale.
+
+use hgnas::core::{Hgnas, LatencyMode, SearchConfig, Strategy, TaskConfig};
+use hgnas::device::DeviceKind;
+use hgnas::nn::Module;
+use hgnas::ops::train::{evaluate, fit, FitConfig};
+use hgnas::ops::{lower_edgeconv, merge_adjacent_samples, GnnModel};
+use hgnas::pointcloud::SynthNet40;
+use hgnas::predictor::PredictorConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_config(device: DeviceKind) -> SearchConfig {
+    let mut cfg = SearchConfig::fast(device);
+    cfg.ea_stage1.population = 3;
+    cfg.ea_stage1.iterations = 1;
+    cfg.ea_stage2.population = 6;
+    cfg.ea_stage2.iterations = 3;
+    cfg.epochs_stage1 = 1;
+    cfg.epochs_stage2 = 2;
+    cfg.eval_clouds = 20;
+    cfg.predictor = PredictorConfig {
+        train_samples: 80,
+        val_samples: 40,
+        epochs: 8,
+        lr: 3e-3,
+        gcn_dims: vec![16, 16],
+        mlp_hidden: vec![12],
+        seed: 1,
+        global_node: true,
+    };
+    cfg
+}
+
+#[test]
+fn search_works_on_every_edge_device() {
+    for device in DeviceKind::EDGE_TARGETS {
+        let outcome = Hgnas::new(TaskConfig::tiny(8), tiny_config(device)).run();
+        assert!(
+            outcome.best.latency_ms < outcome.constraint_ms,
+            "{device}: found model violates the constraint"
+        );
+        assert!(outcome.best.score.is_finite(), "{device}");
+        assert!(!outcome.history.is_empty(), "{device}");
+    }
+}
+
+#[test]
+fn found_architecture_trains_standalone_and_beats_chance() {
+    let task = TaskConfig::tiny(9);
+    let outcome = Hgnas::new(task.clone(), tiny_config(DeviceKind::Rtx3080)).run();
+    let ds = SynthNet40::generate(&task.dataset);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut model = GnnModel::new(&mut rng, outcome.best.architecture.clone(), &task.head_hidden);
+    fit(&mut model, &ds.train, &FitConfig::quick().with_epochs(10));
+    let eval = evaluate(&model, &ds.test, ds.classes, 3);
+    // 4 classes => chance is 0.25.
+    assert!(eval.overall > 0.3, "OA {}", eval.overall);
+    assert!(model.size_mb() > 0.0);
+}
+
+#[test]
+fn searched_fast_model_is_faster_than_dgcnn_on_target() {
+    let task = TaskConfig::tiny(10);
+    let mut cfg = tiny_config(DeviceKind::RaspberryPi3B);
+    cfg.beta = 1.5; // Fast flavour.
+    let outcome = Hgnas::new(task.clone(), cfg).run();
+    let profile = DeviceKind::RaspberryPi3B.profile();
+    let dgcnn_ms = profile
+        .execute(&lower_edgeconv(&task.reference_dgcnn(), task.points()))
+        .latency_ms;
+    let found_ms = profile
+        .execute(&outcome.best.architecture.lower(task.points(), &task.head_hidden))
+        .latency_ms;
+    assert!(
+        found_ms < dgcnn_ms,
+        "found {found_ms:.1} ms !< DGCNN {dgcnn_ms:.1} ms"
+    );
+}
+
+#[test]
+fn measured_mode_search_also_satisfies_constraint() {
+    let mut cfg = tiny_config(DeviceKind::I78700K);
+    cfg.latency_mode = LatencyMode::Measured;
+    let outcome = Hgnas::new(TaskConfig::tiny(11), cfg).run();
+    assert!(outcome.predictor_stats.is_none());
+    // Measured mode spends far more simulated time per query.
+    assert!(outcome.search_hours > 0.0);
+    assert!(outcome.best.latency_ms < outcome.constraint_ms);
+}
+
+#[test]
+fn one_stage_strategy_completes_but_costs_more_per_candidate() {
+    let task = TaskConfig::tiny(12);
+    let mut multi = tiny_config(DeviceKind::Rtx3080);
+    // Enough Stage-2 evaluations that the shared supernet amortises; with a
+    // handful of evals the one-time pre-training dominates both strategies.
+    multi.ea_stage2.population = 4;
+    multi.ea_stage2.iterations = 8;
+    // Disable the latency gate so every one-stage candidate pays its own
+    // supernet training (constraint-failing candidates skip it).
+    multi.constraint_ms = Some(f64::MAX);
+    let mut one = multi.clone();
+    one.strategy = Strategy::OneStage;
+    let multi_out = Hgnas::new(task.clone(), multi).run();
+    let one_out = Hgnas::new(task, one).run();
+    let per_eval_multi = multi_out.search_hours / multi_out.history.len().max(1) as f64;
+    let per_eval_one = one_out.search_hours / one_out.history.len().max(1) as f64;
+    assert!(
+        per_eval_one > per_eval_multi,
+        "one-stage {per_eval_one} !> multi {per_eval_multi} (per-candidate hours)"
+    );
+}
+
+#[test]
+fn search_is_deterministic_given_seeds() {
+    let a = Hgnas::new(TaskConfig::tiny(13), tiny_config(DeviceKind::JetsonTx2)).run();
+    let b = Hgnas::new(TaskConfig::tiny(13), tiny_config(DeviceKind::JetsonTx2)).run();
+    assert_eq!(a.best.genome, b.best.genome);
+    assert_eq!(a.best.architecture, b.best.architecture);
+    assert_eq!(a.best.score, b.best.score);
+}
+
+#[test]
+fn merge_pass_preserves_found_model_output_dim() {
+    let outcome = Hgnas::new(TaskConfig::tiny(14), tiny_config(DeviceKind::Rtx3080)).run();
+    let arch = &outcome.best.architecture;
+    let merged = merge_adjacent_samples(arch);
+    assert_eq!(merged.out_dim(3), arch.out_dim(3));
+    assert!(merged.len() <= arch.len());
+}

@@ -1,0 +1,163 @@
+//! Integration tests asserting the paper's qualitative claims hold across
+//! the stack (the "shape" of the reproduction).
+
+use hgnas::device::{DeviceKind, OpClass};
+use hgnas::nn::Module;
+use hgnas::ops::train::{evaluate, fit, FitConfig};
+use hgnas::ops::{
+    dgcnn, knn_reuse_baseline, lower_edgeconv, tailor_baseline, DgcnnConfig, GnnModel,
+};
+use hgnas::pointcloud::{DatasetConfig, SynthNet40};
+use hgnas::predictor::{LatencyPredictor, PredictorConfig, PredictorContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn observation1_knn_reuse_trades_tiny_accuracy_for_big_speedup() {
+    // Fig. 2(b): reusing sampled results cuts latency a lot, accuracy a
+    // little.
+    let ds = SynthNet40::generate(&DatasetConfig::tiny(31));
+    let fit_cfg = FitConfig::quick().with_epochs(12);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut full = dgcnn(&mut rng, DgcnnConfig::small(ds.classes));
+    fit(&mut full, &ds.train, &fit_cfg);
+    let full_eval = evaluate(&full, &ds.test, ds.classes, 3);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut reused = knn_reuse_baseline(&mut rng, DgcnnConfig::small(ds.classes));
+    fit(&mut reused, &ds.train, &fit_cfg);
+    let reused_eval = evaluate(&reused, &ds.test, ds.classes, 3);
+
+    let gpu = DeviceKind::Rtx3080.profile();
+    let mut paper_reuse = DgcnnConfig::paper(40);
+    paper_reuse.dynamic = false;
+    paper_reuse.reuse_after = 1;
+    let lat_full = gpu.execute(&lower_edgeconv(&DgcnnConfig::paper(40), 1024)).latency_ms;
+    let lat_reuse = gpu.execute(&lower_edgeconv(&paper_reuse, 1024)).latency_ms;
+
+    assert!(lat_reuse < 0.7 * lat_full, "reuse speedup too small");
+    assert!(
+        reused_eval.overall > full_eval.overall - 0.25,
+        "accuracy collapsed: {} vs {}",
+        reused_eval.overall,
+        full_eval.overall
+    );
+}
+
+#[test]
+fn observation3_same_model_different_bottlenecks_per_platform() {
+    let w = lower_edgeconv(&DgcnnConfig::paper(40), 1024);
+    let rtx = DeviceKind::Rtx3080.profile().execute(&w);
+    let i7 = DeviceKind::I78700K.profile().execute(&w);
+    // GPU: sample-bound. CPU: aggregate-bound. Same workload.
+    let rtx_f = rtx.breakdown_fractions();
+    let i7_f = i7.breakdown_fractions();
+    assert!(rtx_f[OpClass::Sample.index()] > rtx_f[OpClass::Aggregate.index()]);
+    assert!(i7_f[OpClass::Aggregate.index()] > i7_f[OpClass::Sample.index()]);
+}
+
+#[test]
+fn predictor_ranks_architectures_usefully() {
+    // The search only needs ranking fidelity: a clearly-light architecture
+    // must be predicted faster than a clearly-heavy one.
+    use hgnas::ops::{Aggregator, Architecture, MessageType, Operation, SampleFn};
+    let ctx = PredictorContext {
+        positions: 6,
+        points: 128,
+        k: 10,
+        classes: 4,
+        head_hidden: vec![16],
+    };
+    let cfg = PredictorConfig {
+        train_samples: 150,
+        val_samples: 50,
+        epochs: 12,
+        lr: 3e-3,
+        gcn_dims: vec![24, 24],
+        mlp_hidden: vec![16],
+        seed: 3,
+        global_node: true,
+    };
+    let (p, _) = LatencyPredictor::train(DeviceKind::JetsonTx2, &ctx, &cfg);
+    let light = Architecture::new(
+        vec![
+            Operation::Sample(SampleFn::Random),
+            Operation::Combine { dim: 8 },
+        ],
+        10,
+        4,
+    );
+    let heavy = Architecture::new(
+        vec![
+            Operation::Sample(SampleFn::Knn),
+            Operation::Combine { dim: 256 },
+            Operation::Aggregate {
+                agg: Aggregator::Max,
+                msg: MessageType::Full,
+            },
+            Operation::Sample(SampleFn::Knn),
+            Operation::Aggregate {
+                agg: Aggregator::Max,
+                msg: MessageType::Full,
+            },
+            Operation::Combine { dim: 256 },
+        ],
+        10,
+        4,
+    );
+    assert!(
+        p.predict_ms(&light) < p.predict_ms(&heavy),
+        "light {} !< heavy {}",
+        p.predict_ms(&light),
+        p.predict_ms(&heavy)
+    );
+}
+
+#[test]
+fn tailor_baseline_matches_paper_relationships() {
+    // [7] is faster than DGCNN on every device (Tab. II) and trains to a
+    // comparable accuracy on the synthetic task.
+    let ds = SynthNet40::generate(&DatasetConfig::tiny(32));
+    let fit_cfg = FitConfig::quick().with_epochs(12);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut dg = dgcnn(&mut rng, DgcnnConfig::small(ds.classes));
+    fit(&mut dg, &ds.train, &fit_cfg);
+    let dg_eval = evaluate(&dg, &ds.test, ds.classes, 3);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut tailor = GnnModel::new(&mut rng, tailor_baseline(false, 8, ds.classes), &[16]);
+    fit(&mut tailor, &ds.train, &fit_cfg);
+    let tailor_eval = evaluate(&tailor, &ds.test, ds.classes, 3);
+
+    assert!(
+        tailor_eval.overall > dg_eval.overall - 0.3,
+        "[7] collapsed: {} vs DGCNN {}",
+        tailor_eval.overall,
+        dg_eval.overall
+    );
+
+    let dg_w = lower_edgeconv(&DgcnnConfig::paper(40), 1024);
+    let ta_w = tailor_baseline(true, 20, 40).lower(1024, &[128]);
+    for device in DeviceKind::EDGE_TARGETS {
+        let p = device.profile();
+        assert!(p.execute(&ta_w).latency_ms < p.execute(&dg_w).latency_ms, "{device}");
+    }
+}
+
+#[test]
+fn model_size_metric_matches_workload_params() {
+    // `Module::size_mb` (live parameters) and the lowering's param_bytes
+    // must agree — Table II's size column depends on it.
+    let mut rng = StdRng::seed_from_u64(6);
+    let model = dgcnn(&mut rng, DgcnnConfig::paper(40));
+    let w = lower_edgeconv(&DgcnnConfig::paper(40), 1024);
+    let lowered_mb = w.param_bytes / (1024.0 * 1024.0);
+    assert!(
+        (model.size_mb() - lowered_mb).abs() < 0.01,
+        "{} vs {}",
+        model.size_mb(),
+        lowered_mb
+    );
+}
