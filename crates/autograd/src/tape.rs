@@ -254,7 +254,10 @@ impl Tape {
     pub fn reduce_mid(&mut self, x: Var, k: usize, how: Reduction) -> Var {
         let t = self.value(x);
         let rows = t.dims()[0];
-        assert!(k > 0 && rows % k == 0, "reduce_mid: {rows} rows not divisible by k={k}");
+        assert!(
+            k > 0 && rows.is_multiple_of(k),
+            "reduce_mid: {rows} rows not divisible by k={k}"
+        );
         let c = t.dims()[1];
         let viewed = t.reshape(&[rows / k, k, c]);
         let r = reduce_mid_axis(&viewed, how);
@@ -325,7 +328,11 @@ impl Tape {
         let mut softmax = vec![0.0f32; n * c];
         let mut loss = 0.0f32;
         for i in 0..n {
-            assert!(labels[i] < c, "label {} out of range for {c} classes", labels[i]);
+            assert!(
+                labels[i] < c,
+                "label {} out of range for {c} classes",
+                labels[i]
+            );
             let row = &d[i * c..(i + 1) * c];
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let exps: Vec<f32> = row.iter().map(|v| (v - m).exp()).collect();
@@ -702,7 +709,10 @@ mod tests {
     #[test]
     fn cross_entropy_gradient_sums_to_zero_per_row() {
         let mut tape = Tape::new();
-        let x = tape.param(Tensor::from_vec(vec![2.0, -1.0, 0.5, 0.0, 0.0, 0.0], &[2, 3]));
+        let x = tape.param(Tensor::from_vec(
+            vec![2.0, -1.0, 0.5, 0.0, 0.0, 0.0],
+            &[2, 3],
+        ));
         let loss = tape.softmax_cross_entropy(x, &[0, 2]);
         tape.backward(loss);
         let g = tape.grad(x).unwrap();

@@ -1,0 +1,93 @@
+//! Serial vs. parallel candidate evaluation on one EA generation.
+//!
+//! Scores a 16-candidate generation through the memoising `Evaluator` at
+//! increasing thread budgets (cold cache), plus the fully-memoised path.
+//! The per-candidate work is the real Stage-2 hot path: a one-shot
+//! supernet accuracy evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hgnas_core::{CandidateScorer, Evaluator, Supernet, TaskConfig};
+use hgnas_ops::{FunctionSet, OpType};
+use hgnas_pointcloud::{PointCloud, SynthNet40};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct AccuracyScorer<'a> {
+    supernet: &'a Supernet,
+    clouds: &'a [PointCloud],
+}
+
+impl CandidateScorer<Vec<OpType>> for AccuracyScorer<'_> {
+    type Output = f64;
+
+    fn score(&self, genome: &Vec<OpType>, _rng: &mut StdRng) -> f64 {
+        self.supernet.eval_genome(genome, self.clouds, 0)
+    }
+}
+
+fn distinct_genomes(sn: &Supernet, n: usize, seed: u64) -> Vec<Vec<OpType>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Vec<OpType>> = Vec::with_capacity(n);
+    while out.len() < n {
+        let g = sn.random_genome(&mut rng);
+        if !out.contains(&g) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let task = TaskConfig::small(11);
+    let ds = SynthNet40::generate(&task.dataset);
+    let mut rng = StdRng::seed_from_u64(1);
+    let sn = Supernet::new(
+        &mut rng,
+        task.positions,
+        task.supernet_hidden,
+        task.k,
+        task.classes(),
+        FunctionSet::dgcnn_like(64),
+        FunctionSet::dgcnn_like(128),
+        &task.head_hidden,
+    );
+    let clouds = &ds.test[..32.min(ds.test.len())];
+    let genomes = distinct_genomes(&sn, 16, 2);
+
+    let mut group = c.benchmark_group("evaluator/generation16");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("cold", threads), &threads, |b, &t| {
+            b.iter(|| {
+                // Fresh evaluator per iteration: every candidate is a cache
+                // miss, so this measures raw scoring throughput.
+                let mut ev = Evaluator::new(
+                    AccuracyScorer {
+                        supernet: &sn,
+                        clouds,
+                    },
+                    t,
+                    42,
+                    |_: &Vec<OpType>, f: &f64, _| *f,
+                );
+                black_box(ev.evaluate_batch(&genomes))
+            })
+        });
+    }
+    group.bench_function("warm_cache", |b| {
+        let mut ev = Evaluator::new(
+            AccuracyScorer {
+                supernet: &sn,
+                clouds,
+            },
+            1,
+            42,
+            |_: &Vec<OpType>, f: &f64, _| *f,
+        );
+        ev.evaluate_batch(&genomes);
+        b.iter(|| black_box(ev.evaluate_batch(&genomes)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

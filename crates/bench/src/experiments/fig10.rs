@@ -8,7 +8,11 @@ use hgnas_ops::{merge_adjacent_samples, strip_identity, OpType};
 
 /// Prints paper-published and freshly searched architectures per device.
 pub fn run(scale: Scale) {
-    crate::banner("fig10", "architectures designed per device (Fig. 10)", scale);
+    crate::banner(
+        "fig10",
+        "architectures designed per device (Fig. 10)",
+        scale,
+    );
     let task = scale.task(7);
 
     for device in DeviceKind::EDGE_TARGETS {

@@ -24,9 +24,7 @@ pub fn run(scale: Scale) {
     let gpu = DeviceKind::Rtx3080.profile();
     let fit_cfg = scale.fit();
 
-    println!(
-        "\nDGCNN with the first R layers building their own KNN graph; layers"
-    );
+    println!("\nDGCNN with the first R layers building their own KNN graph; layers");
     println!("beyond R reuse the last built graph (R = {layers} is vanilla DGCNN).\n");
     println!(
         "{:>3} {:>12} {:>8} {:>8}  note",

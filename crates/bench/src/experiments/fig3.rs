@@ -26,7 +26,10 @@ pub fn run(scale: Scale) {
         "\n{:14} {:>10} | {:>17} {:>17} {:>17} {:>17}",
         "device", "latency", "sample", "aggregate", "combine", "other"
     );
-    println!("{:26} | {:>17} {:>17} {:>17} {:>17}", "", "ours / paper", "ours / paper", "ours / paper", "ours / paper");
+    println!(
+        "{:26} | {:>17} {:>17} {:>17} {:>17}",
+        "", "ours / paper", "ours / paper", "ours / paper", "ours / paper"
+    );
     for (device, paper) in PAPER_BREAKDOWN {
         let r = device.profile().execute(&w);
         let f = r.breakdown_fractions();

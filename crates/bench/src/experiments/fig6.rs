@@ -14,7 +14,10 @@ pub fn run(scale: Scale) {
     );
     let results = tab2::compute(scale);
     for dr in &results {
-        println!("\n--- {} (x = latency ms @1024 pts, y = OA%) ---", dr.device);
+        println!(
+            "\n--- {} (x = latency ms @1024 pts, y = OA%) ---",
+            dr.device
+        );
         for row in &dr.rows {
             println!(
                 "  ({:>9.1}, {:>5.1})  {}",

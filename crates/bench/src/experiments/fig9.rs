@@ -26,7 +26,12 @@ fn sparkline(history: &[(f64, f64)], buckets: usize) -> String {
         }
     }
 
-    format!("final {:.3} @ {:.1} min |{}", history.last().unwrap().1, t_max, line)
+    format!(
+        "final {:.3} @ {:.1} min |{}",
+        history.last().unwrap().1,
+        t_max,
+        line
+    )
 }
 
 fn isolated_stage2(mut cfg: SearchConfig) -> SearchConfig {

@@ -1,12 +1,12 @@
 //! One module per paper artifact; each exposes `run(scale)`.
 
 pub mod fig1;
+pub mod fig10;
 pub mod fig2b;
 pub mod fig3;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
-pub mod fig10;
 pub mod tab1;
 pub mod tab2;

@@ -7,7 +7,11 @@ use hgnas_ops::{Aggregator, ConnectFn, MessageType, SampleFn, COMBINE_DIMS};
 
 /// Prints the design-space inventory (paper Tab. I) and size accounting.
 pub fn run(scale: Scale) {
-    crate::banner("tab1", "design-space inventory (Tab. I / Observation 2)", scale);
+    crate::banner(
+        "tab1",
+        "design-space inventory (Tab. I / Observation 2)",
+        scale,
+    );
 
     println!("operation   functions");
     println!(

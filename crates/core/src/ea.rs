@@ -61,7 +61,32 @@ pub struct EaResult<G> {
     pub evaluations: usize,
 }
 
-/// Runs a (μ+λ)-style evolutionary search.
+/// Scores one EA generation at a time.
+///
+/// The engine hands over a whole generation's worth of genomes per call, so
+/// implementations are free to fan the batch out across threads — the
+/// returned fitness vector must simply line up with `batch` index-for-index
+/// and must not depend on how the batch was scheduled. [`FnEvaluator`]
+/// adapts a plain per-genome closure; `hgnas_core::eval::Evaluator`
+/// provides the memoised parallel implementation.
+pub trait GenerationEvaluator<G> {
+    /// Fitness of each genome in `batch`, in order (higher is better).
+    fn evaluate(&mut self, batch: &[G]) -> Vec<f64>;
+}
+
+/// Adapts a `FnMut(&G) -> f64` closure to [`GenerationEvaluator`] by
+/// scoring candidates one at a time, in order — the serial reference
+/// behaviour.
+pub struct FnEvaluator<F>(pub F);
+
+impl<G, F: FnMut(&G) -> f64> GenerationEvaluator<G> for FnEvaluator<F> {
+    fn evaluate(&mut self, batch: &[G]) -> Vec<f64> {
+        batch.iter().map(&mut self.0).collect()
+    }
+}
+
+/// Runs a (μ+λ)-style evolutionary search with a per-genome fitness
+/// closure — the serial convenience wrapper over [`evolve_with`].
 ///
 /// - `init` seeds the initial population (cloned/topped-up to
 ///   `cfg.population` by mutation);
@@ -76,13 +101,43 @@ pub struct EaResult<G> {
 pub fn evolve<G, F, M, X>(
     init: Vec<G>,
     cfg: &EaConfig,
-    mut fitness: F,
+    fitness: F,
+    mutate: M,
+    crossover: X,
+) -> EaResult<G>
+where
+    G: Clone,
+    F: FnMut(&G) -> f64,
+    M: FnMut(&G, &mut StdRng) -> G,
+    X: FnMut(&G, &G, &mut StdRng) -> G,
+{
+    evolve_with(init, cfg, &mut FnEvaluator(fitness), mutate, crossover)
+}
+
+/// Runs a (μ+λ)-style evolutionary search, scoring whole generations
+/// through `evaluator`.
+///
+/// Child genomes for a generation are produced *before* the generation is
+/// scored (fitness never feeds back within a generation — selection uses
+/// the previous generation's elites), so the engine's RNG draw sequence is
+/// identical whether the evaluator scores candidates serially or in
+/// parallel, and [`EaResult::history`] keeps one entry per evaluation in
+/// submission order either way.
+///
+/// # Panics
+///
+/// Panics if `init` is empty, `cfg.population == 0`, or `evaluator`
+/// returns a fitness vector of the wrong length.
+pub fn evolve_with<G, E, M, X>(
+    init: Vec<G>,
+    cfg: &EaConfig,
+    evaluator: &mut E,
     mut mutate: M,
     mut crossover: X,
 ) -> EaResult<G>
 where
     G: Clone,
-    F: FnMut(&G) -> f64,
+    E: GenerationEvaluator<G> + ?Sized,
     M: FnMut(&G, &mut StdRng) -> G,
     X: FnMut(&G, &G, &mut StdRng) -> G,
 {
@@ -101,10 +156,12 @@ where
     let mut evaluations = 0usize;
     let mut history = Vec::new();
     let mut running_best = f64::NEG_INFINITY;
+    let fits = evaluator.evaluate(&pop);
+    assert_eq!(fits.len(), pop.len(), "evaluator returned wrong batch size");
     let mut scored: Vec<(G, f64)> = pop
         .into_iter()
-        .map(|g| {
-            let f = fitness(&g);
+        .zip(fits)
+        .map(|(g, f)| {
             evaluations += 1;
             running_best = running_best.max(f);
             history.push((evaluations, running_best));
@@ -114,22 +171,33 @@ where
     scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut best = scored[0].clone();
 
-    let elites = ((cfg.population as f64 * cfg.elite_fraction).ceil() as usize)
-        .clamp(1, cfg.population);
+    let elites =
+        ((cfg.population as f64 * cfg.elite_fraction).ceil() as usize).clamp(1, cfg.population);
 
     for _iter in 0..cfg.iterations {
+        // Breed the full generation first, then score it as one batch.
+        let children: Vec<G> = (elites..cfg.population)
+            .map(|_| {
+                if rng.gen_bool(cfg.mutation_prob) || elites < 2 {
+                    let parent = &scored[rng.gen_range(0..elites)].0;
+                    mutate(parent, &mut rng)
+                } else {
+                    let mut picks = scored[..elites].choose_multiple(&mut rng, 2);
+                    let a = &picks.next().unwrap().0;
+                    let b = &picks.next().unwrap().0;
+                    crossover(a, b, &mut rng)
+                }
+            })
+            .collect();
+        let fits = evaluator.evaluate(&children);
+        assert_eq!(
+            fits.len(),
+            children.len(),
+            "evaluator returned wrong batch size"
+        );
+
         let mut next: Vec<(G, f64)> = scored[..elites].to_vec();
-        while next.len() < cfg.population {
-            let child = if rng.gen_bool(cfg.mutation_prob) || elites < 2 {
-                let parent = &scored[rng.gen_range(0..elites)].0;
-                mutate(parent, &mut rng)
-            } else {
-                let mut picks = scored[..elites].choose_multiple(&mut rng, 2);
-                let a = &picks.next().unwrap().0;
-                let b = &picks.next().unwrap().0;
-                crossover(a, b, &mut rng)
-            };
-            let f = fitness(&child);
+        for (child, f) in children.into_iter().zip(fits) {
             evaluations += 1;
             if f > best.1 {
                 best = (child.clone(), f);

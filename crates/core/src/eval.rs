@@ -1,0 +1,396 @@
+//! Batched, memoised, optionally parallel candidate evaluation.
+//!
+//! The EA hot path of the search is scoring a generation of candidates.
+//! [`Evaluator`] turns that into a deterministic batch pipeline:
+//!
+//! 1. **Memoisation** — results are cached on the candidate encoding, so a
+//!    duplicate candidate (common under mutation) is never re-lowered or
+//!    re-scored, within a generation or across generations.
+//! 2. **Parallel scoring** — cache misses are fanned out across scoped
+//!    worker threads. Each candidate gets its own RNG stream derived from
+//!    the evaluator seed and the candidate's *submission index*, so scores
+//!    are bit-identical no matter how many workers run (including one).
+//! 3. **Thread-budget handoff** — the evaluator owns a total thread budget
+//!    and splits it between EA-level workers and kernel-level matmul
+//!    threads (`hgnas_tensor::threads`), so the two levels of parallelism
+//!    never oversubscribe the machine.
+//! 4. **Sequential reduction** — per-candidate outputs are folded in
+//!    submission order through a caller-supplied `reduce` closure, which is
+//!    where inherently serial bookkeeping (search clock, best-so-far
+//!    history) lives. Reduction order never depends on worker scheduling.
+
+use hgnas_tensor::threads::with_kernel_threads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Scores one candidate. Implementations must be pure up to the supplied
+/// RNG: the same `(genome, rng stream)` pair must produce the same output
+/// regardless of which thread runs it or what ran before.
+pub trait CandidateScorer<G>: Sync {
+    /// Full per-candidate result (fitness plus whatever detail the caller
+    /// needs for bookkeeping).
+    type Output: Clone + Send;
+
+    /// Scores `genome`; `rng` is this candidate's private stream.
+    fn score(&self, genome: &G, rng: &mut StdRng) -> Self::Output;
+}
+
+/// Cache and scheduling counters of an [`Evaluator`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Candidates answered from the memo cache (within- or cross-batch).
+    pub hits: u64,
+    /// Candidates actually scored (== number of lowerings/scorings).
+    pub misses: u64,
+    /// Batches evaluated.
+    pub batches: u64,
+    /// Total candidates submitted.
+    pub submitted: u64,
+}
+
+/// How one submitted candidate resolves to a scored output.
+enum Resolution {
+    /// Served by the cross-batch cache: arena slot.
+    Cached(usize),
+    /// Scored this batch: job index. `fresh` is true only for the job's
+    /// first occurrence; within-batch duplicates alias it with
+    /// `fresh == false`.
+    Job { job: usize, fresh: bool },
+}
+
+/// The batched candidate-evaluation engine. See the module docs.
+pub struct Evaluator<G, S, R>
+where
+    G: Clone + Eq + Hash + Sync,
+    S: CandidateScorer<G>,
+    R: FnMut(&G, &S::Output, bool) -> f64,
+{
+    scorer: S,
+    /// Sequential fold: `(genome, output, fresh) -> fitness`. `fresh` is
+    /// `false` when the output came from the memo cache, so the caller can
+    /// meter simulated search time for real work only.
+    reduce: R,
+    /// Total thread budget (EA workers × kernel threads).
+    threads: usize,
+    /// Base seed for per-candidate RNG streams.
+    stream_seed: u64,
+    /// Memo cache: candidate encoding -> arena slot.
+    cache: HashMap<G, usize>,
+    /// Scored outputs, append-only.
+    arena: Vec<S::Output>,
+    stats: EvalStats,
+}
+
+/// SplitMix64 finaliser: decorrelates per-candidate stream seeds.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<G, S, R> Evaluator<G, S, R>
+where
+    G: Clone + Eq + Hash + Sync,
+    S: CandidateScorer<G>,
+    R: FnMut(&G, &S::Output, bool) -> f64,
+{
+    /// Creates an evaluator with a total thread budget of `threads`
+    /// (clamped to ≥ 1). `stream_seed` roots every candidate's RNG stream.
+    pub fn new(scorer: S, threads: usize, stream_seed: u64, reduce: R) -> Self {
+        Evaluator {
+            scorer,
+            reduce,
+            threads: threads.max(1),
+            stream_seed,
+            cache: HashMap::new(),
+            arena: Vec::new(),
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// Cache / scheduling counters so far.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// The wrapped scorer.
+    pub fn scorer(&self) -> &S {
+        &self.scorer
+    }
+
+    /// Scores a batch, returning each candidate's output in submission
+    /// order. Results are bit-identical for any thread budget.
+    pub fn evaluate_batch(&mut self, batch: &[G]) -> Vec<S::Output> {
+        self.evaluate_batch_slots(batch)
+            .into_iter()
+            .map(|(slot, _)| self.arena[slot].clone())
+            .collect()
+    }
+
+    /// Core pipeline: scores a batch and returns each candidate's arena
+    /// slot plus freshness, in submission order, without cloning outputs.
+    fn evaluate_batch_slots(&mut self, batch: &[G]) -> Vec<(usize, bool)> {
+        // Stream ids are assigned by absolute submission index *before*
+        // cache resolution, so neither cache state nor worker count can
+        // shift a later candidate onto a different stream.
+        let base = self.stats.submitted;
+        self.stats.submitted += batch.len() as u64;
+        self.stats.batches += 1;
+
+        // Resolve against the cross-batch cache and collapse within-batch
+        // duplicates onto a single job.
+        let mut jobs: Vec<(usize, u64)> = Vec::new(); // (batch idx, stream seed)
+        let mut first_in_batch: HashMap<&G, usize> = HashMap::new();
+        let resolutions: Vec<Resolution> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                if let Some(&slot) = self.cache.get(g) {
+                    self.stats.hits += 1;
+                    Resolution::Cached(slot)
+                } else if let Some(&job) = first_in_batch.get(g) {
+                    self.stats.hits += 1;
+                    Resolution::Job { job, fresh: false }
+                } else {
+                    let job = jobs.len();
+                    jobs.push((i, mix(self.stream_seed, base + i as u64)));
+                    first_in_batch.insert(g, job);
+                    self.stats.misses += 1;
+                    Resolution::Job { job, fresh: true }
+                }
+            })
+            .collect();
+
+        // Fan the jobs out. With one worker the whole budget goes to the
+        // kernels; with W workers the budget is split W ways, the first
+        // `threads % W` workers taking the remainder so the full budget
+        // stays in use (kernel thread count never affects values). W is
+        // derived from the chunk count actually produced, since rounding
+        // the chunk size up can leave fewer chunks than `threads` workers.
+        let mut outputs: Vec<Option<S::Output>> = (0..jobs.len()).map(|_| None).collect();
+        let chunk = jobs.len().div_ceil(self.threads).max(1);
+        let workers = jobs.len().div_ceil(chunk).max(1);
+        let scorer = &self.scorer;
+        if workers == 1 {
+            with_kernel_threads(self.threads, || {
+                for ((i, stream), out) in jobs.iter().zip(outputs.iter_mut()) {
+                    let mut rng = StdRng::seed_from_u64(*stream);
+                    *out = Some(scorer.score(&batch[*i], &mut rng));
+                }
+            });
+        } else {
+            let base_budget = self.threads / workers;
+            let spare = self.threads % workers;
+            crossbeam::scope(|s| {
+                for (w, (job_chunk, out_chunk)) in jobs
+                    .chunks(chunk)
+                    .zip(outputs.chunks_mut(chunk))
+                    .enumerate()
+                {
+                    let kernel_budget = (base_budget + usize::from(w < spare)).max(1);
+                    s.spawn(move |_| {
+                        // The budget is thread-local: set it inside the
+                        // worker, not the coordinator.
+                        with_kernel_threads(kernel_budget, || {
+                            for ((i, stream), out) in job_chunk.iter().zip(out_chunk.iter_mut()) {
+                                let mut rng = StdRng::seed_from_u64(*stream);
+                                *out = Some(scorer.score(&batch[*i], &mut rng));
+                            }
+                        });
+                    });
+                }
+            })
+            .expect("evaluator worker thread panicked");
+        }
+
+        // Commit fresh results to the memo cache.
+        let arena_base = self.arena.len();
+        for ((i, _), out) in jobs.iter().zip(outputs) {
+            self.cache.insert(batch[*i].clone(), self.arena.len());
+            self.arena
+                .push(out.expect("every job slot is filled by its worker"));
+        }
+
+        resolutions
+            .into_iter()
+            .map(|r| match r {
+                Resolution::Cached(slot) => (slot, false),
+                Resolution::Job { job, fresh } => (arena_base + job, fresh),
+            })
+            .collect()
+    }
+
+    /// Scores a batch and folds each output through `reduce` in submission
+    /// order, returning the fitness vector the EA consumes (this is also
+    /// the [`crate::ea::GenerationEvaluator`] implementation). Outputs are
+    /// read from the arena by reference — no per-candidate clones.
+    pub fn evaluate_fitness(&mut self, batch: &[G]) -> Vec<f64> {
+        let slots = self.evaluate_batch_slots(batch);
+        let arena = &self.arena;
+        let reduce = &mut self.reduce;
+        slots
+            .into_iter()
+            .zip(batch)
+            .map(|((slot, fresh), g)| reduce(g, &arena[slot], fresh))
+            .collect()
+    }
+}
+
+impl<G, S, R> crate::ea::GenerationEvaluator<G> for Evaluator<G, S, R>
+where
+    G: Clone + Eq + Hash + Sync,
+    S: CandidateScorer<G>,
+    R: FnMut(&G, &S::Output, bool) -> f64,
+{
+    fn evaluate(&mut self, batch: &[G]) -> Vec<f64> {
+        self.evaluate_fitness(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Scorer that counts invocations and returns a value derived from the
+    /// genome and its RNG stream.
+    struct CountingScorer {
+        calls: AtomicU64,
+    }
+
+    impl CandidateScorer<u64> for CountingScorer {
+        type Output = (u64, u64);
+
+        fn score(&self, genome: &u64, rng: &mut StdRng) -> (u64, u64) {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            use rand::Rng;
+            (*genome * 10, rng.gen::<u32>() as u64)
+        }
+    }
+
+    fn run(threads: usize, batches: &[Vec<u64>]) -> (Vec<Vec<f64>>, EvalStats, u64) {
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut ev = Evaluator::new(scorer, threads, 42, |_, out: &(u64, u64), _| {
+            (out.0 + out.1 % 7) as f64
+        });
+        let fits = batches.iter().map(|b| ev.evaluate_fitness(b)).collect();
+        let stats = ev.stats();
+        let calls = ev.scorer.calls.load(Ordering::SeqCst);
+        (fits, stats, calls)
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        let batches = vec![vec![1, 2, 3, 4, 5, 6, 7, 8], vec![2, 9, 9, 10]];
+        let (f1, s1, _) = run(1, &batches);
+        let (f2, s2, _) = run(2, &batches);
+        let (f8, s8, _) = run(8, &batches);
+        assert_eq!(f1, f2);
+        assert_eq!(f1, f8);
+        assert_eq!(s1, s2);
+        assert_eq!(s1, s8);
+    }
+
+    #[test]
+    fn duplicates_are_scored_once() {
+        let batches = vec![vec![5, 5, 5, 6], vec![5, 6, 7]];
+        let (fits, stats, calls) = run(4, &batches);
+        // 3 unique genomes -> 3 scorer calls, everything else cache hits.
+        assert_eq!(calls, 3);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.submitted, 7);
+        // A cached candidate returns the identical output.
+        assert_eq!(fits[0][0], fits[0][1]);
+        assert_eq!(fits[0][0], fits[1][0]);
+    }
+
+    #[test]
+    fn streams_follow_submission_index_not_cache_state() {
+        // Genome 9 sits at submission indices 1 and 2 of the second batch
+        // in run A, but its score must come from its first-miss stream in
+        // both runs; genome 10's stream is fixed by its index regardless of
+        // what preceded it.
+        let a = run(3, &[vec![1, 2], vec![9, 9, 10]]).0;
+        let b = run(3, &[vec![1, 2], vec![9, 7, 10]]).0;
+        // Same submission index, same genome -> same fitness.
+        assert_eq!(a[1][0], b[1][0]);
+        assert_eq!(a[1][2], b[1][2]);
+    }
+
+    #[test]
+    fn kernel_budget_distributes_whole_thread_budget() {
+        use std::sync::Mutex;
+
+        /// Records the kernel budget its worker thread was handed.
+        struct BudgetProbe {
+            seen: Mutex<Vec<usize>>,
+        }
+
+        impl CandidateScorer<u64> for BudgetProbe {
+            type Output = f64;
+
+            fn score(&self, genome: &u64, _rng: &mut StdRng) -> f64 {
+                self.seen
+                    .lock()
+                    .unwrap()
+                    .push(hgnas_tensor::threads::kernel_threads());
+                *genome as f64
+            }
+        }
+
+        // 8-thread budget over 3 jobs -> 3 workers with budgets 3/3/2:
+        // the remainder is spread, not dropped.
+        let probe = BudgetProbe {
+            seen: Mutex::new(Vec::new()),
+        };
+        let mut ev = Evaluator::new(probe, 8, 0, |_: &u64, f: &f64, _| *f);
+        ev.evaluate_batch(&[1, 2, 3]);
+        let mut budgets = ev.scorer().seen.lock().unwrap().clone();
+        budgets.sort_unstable();
+        assert_eq!(budgets, vec![2, 3, 3]);
+
+        // One job -> one worker carrying the whole budget.
+        let probe = BudgetProbe {
+            seen: Mutex::new(Vec::new()),
+        };
+        let mut ev = Evaluator::new(probe, 8, 0, |_: &u64, f: &f64, _| *f);
+        ev.evaluate_batch(&[9]);
+        assert_eq!(*ev.scorer().seen.lock().unwrap(), vec![8]);
+
+        // 13 jobs over an 8-thread budget: chunking yields 7 workers (one
+        // per 2-job chunk, last chunk short), so the first worker takes
+        // the spare thread — the budget must not shrink to 7.
+        let probe = BudgetProbe {
+            seen: Mutex::new(Vec::new()),
+        };
+        let mut ev = Evaluator::new(probe, 8, 0, |_: &u64, f: &f64, _| *f);
+        let batch: Vec<u64> = (0..13).collect();
+        ev.evaluate_batch(&batch);
+        let mut budgets = ev.scorer().seen.lock().unwrap().clone();
+        budgets.sort_unstable();
+        // Worker budgets: one worker at 2 (two jobs -> two entries), six
+        // workers at 1 (eleven entries across their jobs).
+        assert_eq!(budgets, [vec![1; 11], vec![2; 2]].concat());
+    }
+
+    #[test]
+    fn reduce_runs_in_submission_order() {
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut order = Vec::new();
+        let mut ev = Evaluator::new(scorer, 8, 1, |g: &u64, _: &(u64, u64), fresh| {
+            order.push((*g, fresh));
+            0.0
+        });
+        ev.evaluate_fitness(&[3, 1, 3, 2]);
+        drop(ev);
+        assert_eq!(order, vec![(3, true), (1, true), (3, false), (2, true)]);
+    }
+}

@@ -37,6 +37,7 @@
 
 mod clock;
 mod ea;
+pub mod eval;
 mod objective;
 mod pareto;
 pub mod search;
@@ -44,7 +45,8 @@ pub mod space;
 mod supernet;
 
 pub use clock::SearchClock;
-pub use ea::{evolve, EaConfig, EaResult};
+pub use ea::{evolve, evolve_with, EaConfig, EaResult, FnEvaluator, GenerationEvaluator};
+pub use eval::{CandidateScorer, EvalStats, Evaluator};
 pub use objective::Objective;
 pub use pareto::pareto_front;
 pub use search::{

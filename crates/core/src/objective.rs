@@ -32,7 +32,10 @@ impl Objective {
     ///
     /// Panics if `reference_ms` or `constraint_ms` is not positive.
     pub fn new(alpha: f64, beta: f64, constraint_ms: f64, reference_ms: f64) -> Self {
-        assert!(constraint_ms > 0.0 && reference_ms > 0.0, "bad objective bounds");
+        assert!(
+            constraint_ms > 0.0 && reference_ms > 0.0,
+            "bad objective bounds"
+        );
         Objective {
             alpha,
             beta,

@@ -29,10 +29,10 @@ mod tests {
     fn dominated_points_excluded() {
         // (latency, accuracy)
         let pts = vec![
-            (10.0, 0.9), // frontier
-            (20.0, 0.8), // dominated by 0
-            (5.0, 0.7),  // frontier (fastest)
-            (50.0, 0.95),// frontier (most accurate)
+            (10.0, 0.9),  // frontier
+            (20.0, 0.8),  // dominated by 0
+            (5.0, 0.7),   // frontier (fastest)
+            (50.0, 0.95), // frontier (most accurate)
         ];
         assert_eq!(pareto_front(&pts), vec![0, 2, 3]);
     }

@@ -1,13 +1,15 @@
 //! The HGNAS search pipeline (paper Alg. 1 plus the Fig. 9 ablation modes).
 
 use crate::clock::SearchClock;
-use crate::ea::{evolve, EaConfig, EaResult};
+use crate::ea::{evolve, evolve_with, EaConfig, EaResult};
+use crate::eval::{CandidateScorer, EvalStats, Evaluator};
 use crate::objective::Objective;
 use crate::supernet::Supernet;
 use hgnas_device::{DeviceKind, DeviceProfile};
 use hgnas_ops::{lower_edgeconv, Architecture, DgcnnConfig, FunctionSet, OpType};
 use hgnas_pointcloud::{DatasetConfig, PointCloud, SynthNet40};
 use hgnas_predictor::{LatencyPredictor, PredictorConfig, PredictorContext, TrainStats};
+use hgnas_tensor::threads::with_kernel_threads;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -151,8 +153,20 @@ pub struct SearchConfig {
     pub predictor: PredictorConfig,
     /// Cap on validation clouds per accuracy evaluation.
     pub eval_clouds: usize,
+    /// Total thread budget for candidate evaluation: the parallel
+    /// evaluator splits it between EA-level workers and kernel-level
+    /// matmul threads. Results are bit-identical for any value ≥ 1.
+    pub eval_threads: usize,
     /// RNG seed.
     pub seed: u64,
+}
+
+/// Default total thread budget: the machine's parallelism, capped so the
+/// reduced-scale harnesses don't pay spawn overhead for tiny batches.
+fn default_eval_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(8)
 }
 
 impl SearchConfig {
@@ -184,6 +198,7 @@ impl SearchConfig {
             strategy: Strategy::MultiStage,
             predictor: PredictorConfig::small(),
             eval_clouds: 60,
+            eval_threads: default_eval_threads(),
             seed: 0,
         }
     }
@@ -205,6 +220,7 @@ impl SearchConfig {
             strategy: Strategy::MultiStage,
             predictor: PredictorConfig::paper(),
             eval_clouds: 500,
+            eval_threads: default_eval_threads(),
             seed: 0,
         }
     }
@@ -240,41 +256,110 @@ pub struct SearchOutcome {
     pub search_hours: f64,
     /// Predictor validation stats when the predictor mode was used.
     pub predictor_stats: Option<TrainStats>,
+    /// Candidate-evaluation cache/scheduling counters (multi-stage runs;
+    /// the one-stage baseline evaluates through the legacy closure path).
+    pub eval_stats: Option<EvalStats>,
     /// DGCNN reference latency on the target device, ms.
     pub reference_ms: f64,
     /// The latency constraint that was enforced, ms.
     pub constraint_ms: f64,
 }
 
-/// Latency oracle shared by both modes.
+/// Latency oracle shared by both modes. Stateless (`query` takes `&self`)
+/// so candidate evaluations can share it across scoring threads; the
+/// measurement-noise RNG is supplied per query from the candidate's own
+/// stream.
 enum LatencyOracle {
     Predictor(Box<LatencyPredictor>),
     Measured {
         profile: DeviceProfile,
         points: usize,
         head_hidden: Vec<usize>,
-        rng: StdRng,
     },
 }
 
 impl LatencyOracle {
-    /// Returns (latency_ms, simulated cost of obtaining it in ms).
-    fn query(&mut self, arch: &Architecture) -> (f64, f64) {
+    /// Returns (latency_ms, simulated cost of obtaining it in ms). `rng`
+    /// feeds the simulated measurement noise in [`LatencyMode::Measured`];
+    /// the predictor path never draws from it.
+    fn query(&self, arch: &Architecture, rng: &mut StdRng) -> (f64, f64) {
         match self {
             LatencyOracle::Predictor(p) => (p.predict_ms(arch), 2.0),
             LatencyOracle::Measured {
                 profile,
                 points,
                 head_hidden,
-                rng,
             } => {
                 let w = arch.lower(*points, head_hidden);
                 match profile.measure(&w, rng) {
                     // 10 timed runs plus the deployment round-trip.
-                    Ok(r) => (r.latency_ms, profile.measurement_roundtrip_ms + 10.0 * r.latency_ms),
+                    Ok(r) => (
+                        r.latency_ms,
+                        profile.measurement_roundtrip_ms + 10.0 * r.latency_ms,
+                    ),
                     Err(_) => (f64::INFINITY, profile.measurement_roundtrip_ms),
                 }
             }
+        }
+    }
+}
+
+/// Read-only context for scoring one Stage-2 genome, shared across the
+/// parallel evaluator's workers.
+struct Stage2Scorer<'a> {
+    task: &'a TaskConfig,
+    functions: (FunctionSet, FunctionSet),
+    supernet: &'a Supernet,
+    eval_subset: &'a [PointCloud],
+    oracle: &'a LatencyOracle,
+    objective: &'a Objective,
+    /// Simulated cost of one one-shot accuracy validation, ms.
+    eval_cost_ms: f64,
+}
+
+/// Full result of scoring one Stage-2 candidate.
+#[derive(Debug, Clone)]
+struct ScoredCandidate {
+    architecture: Architecture,
+    score: f64,
+    accuracy: f64,
+    latency_ms: f64,
+    /// Simulated search time this evaluation cost, ms.
+    cost_ms: f64,
+    valid: bool,
+}
+
+impl CandidateScorer<Vec<OpType>> for Stage2Scorer<'_> {
+    type Output = ScoredCandidate;
+
+    fn score(&self, genome: &Vec<OpType>, rng: &mut StdRng) -> ScoredCandidate {
+        let arch = Architecture::from_genome(
+            genome,
+            self.functions.0,
+            self.functions.1,
+            self.task.k,
+            self.task.classes(),
+        );
+        let (lat, mut cost) = self.oracle.query(&arch, rng);
+        let size_mb = arch.size_mb(3, &self.task.head_hidden);
+        let size_ok = self.objective.max_size_mb.is_none_or(|m| size_mb < m);
+        // Constraint gates first: failing candidates skip the (expensive)
+        // accuracy validation, as in the paper.
+        let valid = lat < self.objective.constraint_ms && size_ok;
+        let (acc, score) = if !valid {
+            (0.0, 0.0)
+        } else {
+            let acc = self.supernet.eval_genome(genome, self.eval_subset, 0);
+            cost += self.eval_cost_ms;
+            (acc, self.objective.score_sized(acc, lat, size_mb))
+        };
+        ScoredCandidate {
+            architecture: arch,
+            score,
+            accuracy: acc,
+            latency_ms: lat,
+            cost_ms: cost,
+            valid,
         }
     }
 }
@@ -344,7 +429,6 @@ impl Hgnas {
                     profile: self.config.device.profile(),
                     points: self.task.points(),
                     head_hidden: self.task.head_hidden.clone(),
-                    rng: StdRng::seed_from_u64(self.config.seed.wrapping_add(77)),
                 },
                 None,
             ),
@@ -394,10 +478,7 @@ impl Hgnas {
     /// supernet accuracy (Alg. 1 lines 4–9).
     fn stage1(&self, ds: &SynthNet40, clock: &mut SearchClock) -> (FunctionSet, FunctionSet) {
         let mut seed_rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
-        let dgcnn_like = (
-            FunctionSet::dgcnn_like(64),
-            FunctionSet::dgcnn_like(128),
-        );
+        let dgcnn_like = (FunctionSet::dgcnn_like(64), FunctionSet::dgcnn_like(128));
         let init = vec![
             dgcnn_like,
             (
@@ -440,17 +521,23 @@ impl Hgnas {
 
     /// Stage 2: fix functions, pre-train the supernet, evolve op genomes
     /// under the hardware-aware objective (Alg. 1 lines 10–15).
+    ///
+    /// Candidates are scored generation-at-a-time through the parallel
+    /// [`Evaluator`]: duplicate genomes are served from the memo cache
+    /// (never re-lowered or re-scored), and fresh genomes fan out across
+    /// `SearchConfig::eval_threads` workers with per-candidate RNG streams,
+    /// so the outcome is bit-identical for any thread count.
     #[allow(clippy::too_many_arguments)]
     fn stage2(
         &self,
         functions: (FunctionSet, FunctionSet),
         supernet: &Supernet,
         ds: &SynthNet40,
-        oracle: &mut LatencyOracle,
+        oracle: &LatencyOracle,
         objective: &Objective,
         clock: &mut SearchClock,
         history: &mut Vec<(f64, f64)>,
-    ) -> SearchedModel {
+    ) -> (SearchedModel, EvalStats) {
         let eval_subset = self.eval_subset(ds);
         let mut init_rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(2));
         let dgcnn_ish: Vec<OpType> = (0..self.task.positions)
@@ -462,63 +549,74 @@ impl Hgnas {
             .collect();
         let init = vec![dgcnn_ish, supernet.random_genome(&mut init_rng)];
 
-        let mut best_detail: Option<SearchedModel> = None;
-        let result = evolve(
-            init,
-            &self.config.ea_stage2,
-            |genome| {
-                let arch = Architecture::from_genome(
-                    genome,
-                    functions.0,
-                    functions.1,
-                    self.task.k,
-                    self.task.classes(),
-                );
-                let (lat, cost) = oracle.query(&arch);
-                clock.add_ms(cost);
-                let size_mb = arch.size_mb(3, &self.task.head_hidden);
-                let size_ok = objective.max_size_mb.map_or(true, |m| size_mb < m);
-                // Constraint gates first: failing candidates skip the
-                // (expensive) accuracy validation, as in the paper.
-                let valid = lat < objective.constraint_ms && size_ok;
-                let (acc, score) = if !valid {
-                    (0.0, 0.0)
-                } else {
-                    let acc = supernet.eval_genome(genome, eval_subset, 0);
-                    clock.add_ms(self.eval_cost_ms(eval_subset.len()));
-                    (acc, objective.score_sized(acc, lat, size_mb))
-                };
+        let scorer = Stage2Scorer {
+            task: &self.task,
+            functions,
+            supernet,
+            eval_subset,
+            oracle,
+            objective,
+            eval_cost_ms: self.eval_cost_ms(eval_subset.len()),
+        };
+        // Validity (latency *and* size constraints) travels with the best
+        // candidate rather than being re-derived from latency alone, so a
+        // size violator can never block a genuinely valid candidate.
+        let mut best_detail: Option<(SearchedModel, bool)> = None;
+        let mut evaluator = Evaluator::new(
+            scorer,
+            self.config.eval_threads,
+            self.config.seed.wrapping_add(77),
+            |genome: &Vec<OpType>, out: &ScoredCandidate, fresh: bool| {
+                // Simulated search time is only paid for fresh evaluations:
+                // a memoised candidate costs neither a latency query nor an
+                // accuracy validation.
+                if fresh {
+                    clock.add_ms(out.cost_ms);
+                }
                 // A constraint-satisfying candidate always outranks a
                 // violator, even when heavy β pushes its Eq.(3) score
                 // below the violator's hard 0.
-                let better = best_detail.as_ref().map_or(true, |b| {
-                    let best_valid = b.latency_ms < objective.constraint_ms;
-                    match (valid, best_valid) {
+                let better = best_detail.as_ref().is_none_or(|(b, best_valid)| {
+                    match (out.valid, *best_valid) {
                         (true, false) => true,
                         (false, true) => false,
-                        _ => score > b.score,
+                        _ => out.score > b.score,
                     }
                 });
                 if better {
-                    best_detail = Some(SearchedModel {
-                        architecture: arch,
-                        genome: genome.clone(),
-                        functions,
-                        score,
-                        supernet_accuracy: acc,
-                        latency_ms: lat,
-                    });
+                    best_detail = Some((
+                        SearchedModel {
+                            architecture: out.architecture.clone(),
+                            genome: genome.clone(),
+                            functions,
+                            score: out.score,
+                            supernet_accuracy: out.accuracy,
+                            latency_ms: out.latency_ms,
+                        },
+                        out.valid,
+                    ));
                 }
-                history.push((clock.elapsed_min(), best_detail.as_ref().unwrap().score));
-                score
+                history.push((clock.elapsed_min(), best_detail.as_ref().unwrap().0.score));
+                out.score
             },
+        );
+        evolve_with(
+            init,
+            &self.config.ea_stage2,
+            &mut evaluator,
             mutate_genome,
             crossover_genome,
         );
-        let mut best = best_detail.expect("stage 2 evaluated at least one candidate");
-        debug_assert_eq!(best.score, result.best_fitness);
-        best.genome = result.best;
-        best
+        let stats = evaluator.stats();
+        drop(evaluator);
+        // `best_detail` is the source of truth, not the EA's raw-fitness
+        // argmax: the valid-over-violator ranking above deliberately keeps
+        // a constraint-satisfying candidate with a negative Eq.(3) score
+        // ahead of a violator's hard 0, so the two can legitimately name
+        // different candidates. Returning `best_detail` wholesale keeps
+        // genome/architecture/score internally consistent.
+        let (best, _valid) = best_detail.expect("stage 2 evaluated at least one candidate");
+        (best, stats)
     }
 
     /// One-stage joint search (Fig. 9(b) baseline): functions and
@@ -527,13 +625,16 @@ impl Hgnas {
     fn one_stage(
         &self,
         ds: &SynthNet40,
-        oracle: &mut LatencyOracle,
+        oracle: &LatencyOracle,
         objective: &Objective,
         clock: &mut SearchClock,
         history: &mut Vec<(f64, f64)>,
     ) -> SearchedModel {
         type Joint = (FunctionSet, FunctionSet, Vec<OpType>);
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(3));
+        // Measurement-noise stream (Measured mode), matching the oracle
+        // stream the pre-evaluator implementation drew from.
+        let mut meas_rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(77));
         let genome0: Vec<OpType> = (0..self.task.positions)
             .map(|_| OpType::ALL[rng.gen_range(0..4)])
             .collect();
@@ -544,23 +645,20 @@ impl Hgnas {
         )];
         let eval_subset = self.eval_subset(ds);
         let mut candidate_idx = 0u64;
-        let mut best_detail: Option<SearchedModel> = None;
-        let result = evolve(
+        // As in stage 2, validity travels with the best candidate so the
+        // size gate participates in the valid-over-violator ranking.
+        let mut best_detail: Option<(SearchedModel, bool)> = None;
+        evolve(
             init,
             &self.config.ea_stage2,
             |(up, lo, genome)| {
                 candidate_idx += 1;
-                let arch = Architecture::from_genome(
-                    genome,
-                    *up,
-                    *lo,
-                    self.task.k,
-                    self.task.classes(),
-                );
-                let (lat, cost) = oracle.query(&arch);
+                let arch =
+                    Architecture::from_genome(genome, *up, *lo, self.task.k, self.task.classes());
+                let (lat, cost) = oracle.query(&arch, &mut meas_rng);
                 clock.add_ms(cost);
                 let size_mb = arch.size_mb(3, &self.task.head_hidden);
-                let size_ok = objective.max_size_mb.map_or(true, |m| size_mb < m);
+                let size_ok = objective.max_size_mb.is_none_or(|m| size_mb < m);
                 let valid = lat < objective.constraint_ms && size_ok;
                 let (acc, score) = if !valid {
                     (0.0, 0.0)
@@ -579,25 +677,28 @@ impl Hgnas {
                     clock.add_ms(clk.elapsed_ms());
                     (acc, objective.score_sized(acc, lat, size_mb))
                 };
-                let better = best_detail.as_ref().map_or(true, |b| {
-                    let best_valid = b.latency_ms < objective.constraint_ms;
-                    match (valid, best_valid) {
-                        (true, false) => true,
-                        (false, true) => false,
-                        _ => score > b.score,
-                    }
-                });
+                let better =
+                    best_detail
+                        .as_ref()
+                        .is_none_or(|(b, best_valid)| match (valid, *best_valid) {
+                            (true, false) => true,
+                            (false, true) => false,
+                            _ => score > b.score,
+                        });
                 if better {
-                    best_detail = Some(SearchedModel {
-                        architecture: arch,
-                        genome: genome.clone(),
-                        functions: (*up, *lo),
-                        score,
-                        supernet_accuracy: acc,
-                        latency_ms: lat,
-                    });
+                    best_detail = Some((
+                        SearchedModel {
+                            architecture: arch,
+                            genome: genome.clone(),
+                            functions: (*up, *lo),
+                            score,
+                            supernet_accuracy: acc,
+                            latency_ms: lat,
+                        },
+                        valid,
+                    ));
                 }
-                history.push((clock.elapsed_min(), best_detail.as_ref().unwrap().score));
+                history.push((clock.elapsed_min(), best_detail.as_ref().unwrap().0.score));
                 score
             },
             |(up, lo, genome), rng| {
@@ -613,13 +714,24 @@ impl Hgnas {
                 (u, l, crossover_genome(&a.2, &b.2, rng))
             },
         );
-        let mut best = best_detail.expect("one-stage evaluated at least one candidate");
-        best.genome = result.best.2;
+        // As in stage 2: `best_detail`'s valid-over-violator ranking can
+        // legitimately disagree with the EA's raw-fitness argmax, so it is
+        // returned wholesale rather than patched with the EA's genome.
+        let (best, _valid) = best_detail.expect("one-stage evaluated at least one candidate");
         best
     }
 
     /// Runs the full search and returns the outcome.
+    ///
+    /// The serial sections (supernet training, Stage 1) hand the whole
+    /// `eval_threads` budget to the matmul kernels; Stage 2 splits it
+    /// between evaluation workers and kernels. Both kernels are
+    /// bit-identical, so `eval_threads` never changes the outcome.
     pub fn run(&self) -> SearchOutcome {
+        with_kernel_threads(self.config.eval_threads, || self.run_inner())
+    }
+
+    fn run_inner(&self) -> SearchOutcome {
         let ds = self.dataset();
         let reference_ms = self.reference_ms();
         let constraint_ms = self.config.constraint_ms.unwrap_or(reference_ms);
@@ -634,9 +746,9 @@ impl Hgnas {
         }
         let mut clock = SearchClock::new();
         let mut history = Vec::new();
-        let (mut oracle, predictor_stats) = self.make_oracle();
+        let (oracle, predictor_stats) = self.make_oracle();
 
-        let best = match self.config.strategy {
+        let (best, eval_stats) = match self.config.strategy {
             Strategy::MultiStage => {
                 let functions = self.stage1(&ds, &mut clock);
                 let supernet = self.train_supernet(
@@ -646,19 +758,21 @@ impl Hgnas {
                     self.config.seed.wrapping_add(4),
                     &mut clock,
                 );
-                self.stage2(
+                let (best, stats) = self.stage2(
                     functions,
                     &supernet,
                     &ds,
-                    &mut oracle,
+                    &oracle,
                     &objective,
                     &mut clock,
                     &mut history,
-                )
+                );
+                (best, Some(stats))
             }
-            Strategy::OneStage => {
-                self.one_stage(&ds, &mut oracle, &objective, &mut clock, &mut history)
-            }
+            Strategy::OneStage => (
+                self.one_stage(&ds, &oracle, &objective, &mut clock, &mut history),
+                None,
+            ),
         };
 
         SearchOutcome {
@@ -666,6 +780,7 @@ impl Hgnas {
             history,
             search_hours: clock.elapsed_hours(),
             predictor_stats,
+            eval_stats,
             reference_ms,
             constraint_ms,
         }
@@ -705,6 +820,10 @@ fn crossover_function_pair(
     (upper, lower)
 }
 
+// The `&Vec` parameters below are dictated by the EA's genome type
+// `G = Vec<OpType>`: these functions are passed straight to `evolve_with`
+// as `FnMut(&G, ...)`.
+#[allow(clippy::ptr_arg)]
 fn mutate_genome(genome: &Vec<OpType>, rng: &mut StdRng) -> Vec<OpType> {
     let mut g = genome.clone();
     let i = rng.gen_range(0..g.len());
@@ -712,6 +831,7 @@ fn mutate_genome(genome: &Vec<OpType>, rng: &mut StdRng) -> Vec<OpType> {
     g
 }
 
+#[allow(clippy::ptr_arg)]
 fn crossover_genome(a: &Vec<OpType>, b: &Vec<OpType>, rng: &mut StdRng) -> Vec<OpType> {
     a.iter()
         .zip(b)

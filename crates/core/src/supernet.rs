@@ -38,6 +38,9 @@ impl Supernet {
     /// # Panics
     ///
     /// Panics if `positions == 0`.
+    // One over clippy's budget; the args are the supernet's geometry and
+    // all are mandatory, so a builder would only add ceremony.
+    #[allow(clippy::too_many_arguments)]
     pub fn new<R: Rng>(
         rng: &mut R,
         positions: usize,
@@ -131,9 +134,41 @@ impl Supernet {
         genome: &[OpType],
         rng: &mut StdRng,
     ) -> Var {
+        self.forward_impl(tape, batch, genome, rng, false)
+    }
+
+    /// Forward pass with weights entering the tape as plain inputs (no
+    /// gradient tracking, no parameter bindings mutated). Numerically
+    /// identical to [`Supernet::forward`]; safe to call from many threads
+    /// sharing `&self`, which is what the parallel candidate evaluator does.
+    pub fn forward_frozen(
+        &self,
+        tape: &mut Tape,
+        batch: &Batch,
+        genome: &[OpType],
+        rng: &mut StdRng,
+    ) -> Var {
+        self.forward_impl(tape, batch, genome, rng, true)
+    }
+
+    fn forward_impl(
+        &self,
+        tape: &mut Tape,
+        batch: &Batch,
+        genome: &[OpType],
+        rng: &mut StdRng,
+        frozen: bool,
+    ) -> Var {
         assert_eq!(genome.len(), self.positions, "genome length mismatch");
+        let lin = |layer: &Linear, tape: &mut Tape, x: Var| {
+            if frozen {
+                layer.forward_frozen(tape, x)
+            } else {
+                layer.forward(tape, x)
+            }
+        };
         let h0 = tape.input(batch.points.clone());
-        let mut h = self.stem.forward(tape, h0);
+        let mut h = lin(&self.stem, tape, h0);
         h = tape.relu(h);
         let mut skip = h;
         let mut neighbors: Option<Vec<usize>> = None;
@@ -191,11 +226,11 @@ impl Supernet {
                         }
                     };
                     let agg = tape.reduce_mid(message, k, fs.aggregator.reduction());
-                    h = self.aligns[p].forward(tape, agg);
+                    h = lin(&self.aligns[p], tape, agg);
                     h = tape.relu(h);
                 }
                 OpType::Combine => {
-                    h = self.combines[p].forward(tape, h);
+                    h = lin(&self.combines[p], tape, h);
                     h = tape.relu(h);
                 }
                 OpType::Connect => match fs.connect {
@@ -211,17 +246,16 @@ impl Supernet {
         let mx = tape.segment_pool(h, &batch.segments, hgnas_autograd::Reduction::Max);
         let mn = tape.segment_pool(h, &batch.segments, hgnas_autograd::Reduction::Mean);
         let pooled = tape.concat_cols(&[mx, mn]);
-        self.head.forward(tape, pooled)
+        if frozen {
+            self.head.forward_frozen(tape, pooled)
+        } else {
+            self.head.forward(tape, pooled)
+        }
     }
 
     /// One SPOS training epoch: a fresh random path per batch. Returns the
     /// mean batch loss.
-    pub fn train_epoch(
-        &mut self,
-        batches: &[Batch],
-        opt: &mut Optimizer,
-        rng: &mut StdRng,
-    ) -> f32 {
+    pub fn train_epoch(&mut self, batches: &[Batch], opt: &mut Optimizer, rng: &mut StdRng) -> f32 {
         let mut total = 0.0f32;
         for batch in batches {
             let genome = self.random_genome(rng);
@@ -242,7 +276,7 @@ impl Supernet {
         let mut truth = Vec::new();
         for batch in SynthNet40::batches(clouds, 16) {
             let mut tape = Tape::new();
-            let logits = self.forward(&mut tape, &batch, genome, &mut rng);
+            let logits = self.forward_frozen(&mut tape, &batch, genome, &mut rng);
             pred.extend(hgnas_nn::metrics::predictions(
                 tape.value(logits).data(),
                 self.classes,

@@ -1,0 +1,95 @@
+//! The evaluation cache: duplicate candidates must never be re-lowered or
+//! re-scored, and the stats struct must account for every submission.
+
+use hgnas_core::{CandidateScorer, EvalStats, Evaluator};
+use hgnas_ops::{Architecture, FunctionSet, OpType};
+use rand::rngs::StdRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A scorer that lowers the genome to a device workload — the expensive
+/// step the cache exists to avoid — and counts how often it does so.
+struct LoweringScorer {
+    lowerings: AtomicU64,
+}
+
+impl CandidateScorer<Vec<OpType>> for LoweringScorer {
+    type Output = f64;
+
+    fn score(&self, genome: &Vec<OpType>, _rng: &mut StdRng) -> f64 {
+        self.lowerings.fetch_add(1, Ordering::SeqCst);
+        let arch = Architecture::from_genome(
+            genome,
+            FunctionSet::dgcnn_like(64),
+            FunctionSet::dgcnn_like(128),
+            8,
+            4,
+        );
+        let w = arch.lower(64, &[16]);
+        w.total_flops()
+    }
+}
+
+fn genome(pattern: &[OpType]) -> Vec<OpType> {
+    pattern.to_vec()
+}
+
+#[test]
+fn duplicate_candidates_cause_zero_relowerings() {
+    use OpType::{Aggregate, Combine, Connect, Sample};
+    let scorer = LoweringScorer {
+        lowerings: AtomicU64::new(0),
+    };
+    let mut ev = Evaluator::new(scorer, 4, 7, |_: &Vec<OpType>, f: &f64, _| *f);
+
+    let a = genome(&[Sample, Aggregate, Combine, Connect]);
+    let b = genome(&[Combine, Combine, Aggregate, Sample]);
+    let c = genome(&[Connect, Sample, Sample, Combine]);
+
+    // A generation full of duplicates: 3 unique genomes in 8 slots.
+    let gen1 = vec![
+        a.clone(),
+        b.clone(),
+        a.clone(),
+        c.clone(),
+        b.clone(),
+        a.clone(),
+        c.clone(),
+        a.clone(),
+    ];
+    let fits1 = ev.evaluate_batch(&gen1);
+    let after_gen1 = ev.stats();
+    assert_eq!(after_gen1.misses, 3, "one scoring per unique genome");
+    assert_eq!(after_gen1.hits, 5);
+
+    // A later generation resubmitting only known genomes: zero new
+    // lowerings, all hits.
+    let gen2 = vec![c.clone(), a.clone(), b.clone(), a.clone()];
+    let fits2 = ev.evaluate_batch(&gen2);
+    let after_gen2 = ev.stats();
+    assert_eq!(
+        after_gen2.misses, 3,
+        "duplicate-only generation must not re-lower"
+    );
+    assert_eq!(after_gen2.hits, 9);
+    assert_eq!(after_gen2.submitted, 12);
+    assert_eq!(after_gen2.batches, 2);
+
+    // The actual lowering count agrees with the stats' miss count.
+    assert_eq!(ev.scorer().lowerings.load(Ordering::SeqCst), 3);
+
+    // Cached results are the identical outputs.
+    assert_eq!(fits1[0].to_bits(), fits1[2].to_bits());
+    assert_eq!(fits1[0].to_bits(), fits2[1].to_bits());
+    assert_eq!(fits1[1].to_bits(), fits2[2].to_bits());
+    assert_eq!(fits1[3].to_bits(), fits2[0].to_bits());
+}
+
+#[test]
+fn stats_start_at_zero() {
+    assert_eq!(EvalStats::default(), EvalStats::default());
+    let scorer = LoweringScorer {
+        lowerings: AtomicU64::new(0),
+    };
+    let ev = Evaluator::new(scorer, 1, 0, |_: &Vec<OpType>, f: &f64, _| *f);
+    assert_eq!(ev.stats(), EvalStats::default());
+}

@@ -24,8 +24,8 @@ impl ExecutionReport {
     pub fn breakdown_fractions(&self) -> [f64; 4] {
         let mut f = [0.0; 4];
         if self.latency_ms > 0.0 {
-            for i in 0..4 {
-                f[i] = self.breakdown_ms[i] / self.latency_ms;
+            for (frac, ms) in f.iter_mut().zip(&self.breakdown_ms) {
+                *frac = ms / self.latency_ms;
             }
         }
         f
@@ -63,7 +63,10 @@ pub enum MeasureError {
 impl fmt::Display for MeasureError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MeasureError::OutOfMemory { needed_mb, avail_mb } => write!(
+            MeasureError::OutOfMemory {
+                needed_mb,
+                avail_mb,
+            } => write!(
                 f,
                 "out of memory: needs {needed_mb:.0} MB, device has {avail_mb:.0} MB"
             ),
@@ -119,7 +122,9 @@ impl DeviceProfile {
         }
         // Sum of 12 uniforms ≈ N(0,1); multiplicative, floored at 3σ below.
         let gauss: f64 = (0..12).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() - 6.0;
-        let factor = (1.0 + self.noise_sigma * gauss).max(1.0 - 3.0 * self.noise_sigma).max(0.05);
+        let factor = (1.0 + self.noise_sigma * gauss)
+            .max(1.0 - 3.0 * self.noise_sigma)
+            .max(0.05);
         report.latency_ms *= factor;
         for b in &mut report.breakdown_ms {
             *b *= factor;
@@ -180,7 +185,10 @@ mod tests {
         let p = DeviceKind::RaspberryPi3B.profile();
         let mut rng = StdRng::seed_from_u64(0);
         match p.measure(&w, &mut rng) {
-            Err(MeasureError::OutOfMemory { needed_mb, avail_mb }) => {
+            Err(MeasureError::OutOfMemory {
+                needed_mb,
+                avail_mb,
+            }) => {
                 assert!(needed_mb > avail_mb);
             }
             other => panic!("expected OOM, got {other:?}"),
@@ -199,7 +207,11 @@ mod tests {
             .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let sd = (samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64).sqrt();
-        assert!((mean / clean - 1.0).abs() < 0.05, "mean drift {}", mean / clean);
+        assert!(
+            (mean / clean - 1.0).abs() < 0.05,
+            "mean drift {}",
+            mean / clean
+        );
         let rel_sd = sd / clean;
         assert!(
             (rel_sd - p.noise_sigma).abs() < 0.05,

@@ -98,10 +98,22 @@ impl DeviceProfile {
             DeviceKind::Rtx3080 => DeviceProfile {
                 kind,
                 rates: [
-                    ClassRates { gflops: 22.0, gbps: 500.0 },
-                    ClassRates { gflops: 1000.0, gbps: 8.0 },
-                    ClassRates { gflops: 1850.0, gbps: 400.0 },
-                    ClassRates { gflops: 50.0, gbps: 30.0 },
+                    ClassRates {
+                        gflops: 22.0,
+                        gbps: 500.0,
+                    },
+                    ClassRates {
+                        gflops: 1000.0,
+                        gbps: 8.0,
+                    },
+                    ClassRates {
+                        gflops: 1850.0,
+                        gbps: 400.0,
+                    },
+                    ClassRates {
+                        gflops: 50.0,
+                        gbps: 30.0,
+                    },
                 ],
                 overhead_us: 120.0,
                 base_mem_mb: 100.0,
@@ -114,10 +126,22 @@ impl DeviceProfile {
             DeviceKind::I78700K => DeviceProfile {
                 kind,
                 rates: [
-                    ClassRates { gflops: 8.2, gbps: 30.0 },
-                    ClassRates { gflops: 60.0, gbps: 0.96 },
-                    ClassRates { gflops: 300.0, gbps: 25.0 },
-                    ClassRates { gflops: 8.0, gbps: 10.0 },
+                    ClassRates {
+                        gflops: 8.2,
+                        gbps: 30.0,
+                    },
+                    ClassRates {
+                        gflops: 60.0,
+                        gbps: 0.96,
+                    },
+                    ClassRates {
+                        gflops: 300.0,
+                        gbps: 25.0,
+                    },
+                    ClassRates {
+                        gflops: 8.0,
+                        gbps: 10.0,
+                    },
                 ],
                 overhead_us: 350.0,
                 base_mem_mb: 350.0,
@@ -130,10 +154,22 @@ impl DeviceProfile {
             DeviceKind::JetsonTx2 => DeviceProfile {
                 kind,
                 rates: [
-                    ClassRates { gflops: 4.4, gbps: 20.0 },
-                    ClassRates { gflops: 120.0, gbps: 6.5 },
-                    ClassRates { gflops: 330.0, gbps: 40.0 },
-                    ClassRates { gflops: 4.0, gbps: 1.43 },
+                    ClassRates {
+                        gflops: 4.4,
+                        gbps: 20.0,
+                    },
+                    ClassRates {
+                        gflops: 120.0,
+                        gbps: 6.5,
+                    },
+                    ClassRates {
+                        gflops: 330.0,
+                        gbps: 40.0,
+                    },
+                    ClassRates {
+                        gflops: 4.0,
+                        gbps: 1.43,
+                    },
                 ],
                 overhead_us: 1_500.0,
                 base_mem_mb: 100.0,
@@ -146,10 +182,22 @@ impl DeviceProfile {
             DeviceKind::RaspberryPi3B => DeviceProfile {
                 kind,
                 rates: [
-                    ClassRates { gflops: 0.435, gbps: 1.2 },
-                    ClassRates { gflops: 3.0, gbps: 0.16 },
-                    ClassRates { gflops: 4.1, gbps: 1.5 },
-                    ClassRates { gflops: 0.35, gbps: 0.16 },
+                    ClassRates {
+                        gflops: 0.435,
+                        gbps: 1.2,
+                    },
+                    ClassRates {
+                        gflops: 3.0,
+                        gbps: 0.16,
+                    },
+                    ClassRates {
+                        gflops: 4.1,
+                        gbps: 1.5,
+                    },
+                    ClassRates {
+                        gflops: 0.35,
+                        gbps: 0.16,
+                    },
                 ],
                 overhead_us: 15_000.0,
                 base_mem_mb: 140.0,
@@ -162,10 +210,22 @@ impl DeviceProfile {
             DeviceKind::V100 => DeviceProfile {
                 kind,
                 rates: [
-                    ClassRates { gflops: 28.0, gbps: 600.0 },
-                    ClassRates { gflops: 1200.0, gbps: 10.0 },
-                    ClassRates { gflops: 2500.0, gbps: 500.0 },
-                    ClassRates { gflops: 60.0, gbps: 40.0 },
+                    ClassRates {
+                        gflops: 28.0,
+                        gbps: 600.0,
+                    },
+                    ClassRates {
+                        gflops: 1200.0,
+                        gbps: 10.0,
+                    },
+                    ClassRates {
+                        gflops: 2500.0,
+                        gbps: 500.0,
+                    },
+                    ClassRates {
+                        gflops: 60.0,
+                        gbps: 40.0,
+                    },
                 ],
                 overhead_us: 100.0,
                 base_mem_mb: 900.0,
@@ -208,7 +268,11 @@ mod tests {
     #[test]
     fn pi_is_weakest_at_dense_compute() {
         let pi = DeviceKind::RaspberryPi3B.profile();
-        for other in [DeviceKind::Rtx3080, DeviceKind::I78700K, DeviceKind::JetsonTx2] {
+        for other in [
+            DeviceKind::Rtx3080,
+            DeviceKind::I78700K,
+            DeviceKind::JetsonTx2,
+        ] {
             assert!(
                 pi.rates_for(OpClass::Combine).gflops
                     < other.profile().rates_for(OpClass::Combine).gflops
@@ -219,7 +283,9 @@ mod tests {
     #[test]
     fn pi_has_least_memory_and_most_noise() {
         let pi = DeviceKind::RaspberryPi3B.profile();
-        for other in DeviceKind::EDGE_TARGETS.iter().filter(|&&k| k != DeviceKind::RaspberryPi3B)
+        for other in DeviceKind::EDGE_TARGETS
+            .iter()
+            .filter(|&&k| k != DeviceKind::RaspberryPi3B)
         {
             assert!(pi.avail_mem_mb < other.profile().avail_mem_mb);
             assert!(pi.noise_sigma > other.profile().noise_sigma);

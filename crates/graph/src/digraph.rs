@@ -35,7 +35,10 @@ pub struct DiGraph {
 impl DiGraph {
     /// Creates a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        DiGraph { n, edges: Vec::new() }
+        DiGraph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Node count.

@@ -57,13 +57,7 @@ fn consider(best: &mut Vec<(f32, usize)>, k: usize, d: f32, j: usize) {
     }
 }
 
-fn search(
-    node: &Node,
-    points: &[f32],
-    query: usize,
-    k: usize,
-    best: &mut Vec<(f32, usize)>,
-) {
+fn search(node: &Node, points: &[f32], query: usize, k: usize, best: &mut Vec<(f32, usize)>) {
     if node.point != query {
         let d = dist2(points, query, node.point);
         consider(best, k, d, node.point);

@@ -130,7 +130,10 @@ pub fn knn_grid(points: &[f32], dim: usize, k: usize) -> NeighborList {
             candidates.clear();
             let r = ring as isize;
             let range = |c: usize| -> (isize, isize) {
-                ((c as isize - r).max(0), (c as isize + r).min(cells_per_axis as isize - 1))
+                (
+                    (c as isize - r).max(0),
+                    (c as isize + r).min(cells_per_axis as isize - 1),
+                )
             };
             let (x0, x1) = range(ci[0]);
             let (y0, y1) = range(ci[1]);
@@ -146,8 +149,7 @@ pub fn knn_grid(points: &[f32], dim: usize, k: usize) -> NeighborList {
                         if cheb != r {
                             continue;
                         }
-                        candidates
-                            .extend(&buckets[flat([x as usize, y as usize, z as usize])]);
+                        candidates.extend(&buckets[flat([x as usize, y as usize, z as usize])]);
                     }
                 }
             }
@@ -219,10 +221,19 @@ mod tests {
     fn no_self_loops() {
         let mut rng = StdRng::seed_from_u64(1);
         let pts = random_cloud(&mut rng, 50);
-        for (builder, name) in [(knn_brute as fn(&[f32], usize, usize) -> NeighborList, "brute"), (knn_grid, "grid")] {
+        for (builder, name) in [
+            (
+                knn_brute as fn(&[f32], usize, usize) -> NeighborList,
+                "brute",
+            ),
+            (knn_grid, "grid"),
+        ] {
             let nl = builder(&pts, 3, 5);
             for i in 0..50 {
-                assert!(!nl.neighbors(i).contains(&i), "{name} produced self loop at {i}");
+                assert!(
+                    !nl.neighbors(i).contains(&i),
+                    "{name} produced self loop at {i}"
+                );
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Property-based tests for graph construction.
 
-use hgnas_graph::{knn_brute, knn_grid, random_neighbors, Csr, DiGraph, AdjNorm, NeighborList};
+use hgnas_graph::{knn_brute, knn_grid, random_neighbors, AdjNorm, Csr, DiGraph, NeighborList};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

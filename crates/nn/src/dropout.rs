@@ -15,14 +15,23 @@ use rand::Rng;
 ///
 /// Panics if `p` is not in `[0, 1)`.
 pub fn dropout<R: Rng>(tape: &mut Tape, x: Var, p: f32, rng: &mut R) -> Var {
-    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "dropout probability must be in [0, 1)"
+    );
     if p == 0.0 {
         return x;
     }
     let dims = tape.value(x).dims().to_vec();
     let scale = 1.0 / (1.0 - p);
     let mask_data: Vec<f32> = (0..tape.value(x).numel())
-        .map(|_| if rng.gen_range(0.0f32..1.0) < p { 0.0 } else { scale })
+        .map(|_| {
+            if rng.gen_range(0.0f32..1.0) < p {
+                0.0
+            } else {
+                scale
+            }
+        })
         .collect();
     let mask = tape.input(Tensor::from_vec(mask_data, &dims));
     tape.mul(x, mask)

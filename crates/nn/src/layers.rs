@@ -69,12 +69,26 @@ impl Linear {
         tape.add_bias(xw, b)
     }
 
+    /// Inference-only `x·W + b`: weights enter the tape as plain inputs, so
+    /// nothing is tracked for gradients and `self` is untouched (safe to
+    /// call from many threads sharing `&self`).
+    pub fn forward_frozen(&self, tape: &mut Tape, x: Var) -> Var {
+        let w = self.w.bind_frozen(tape);
+        let b = self.b.bind_frozen(tape);
+        let xw = tape.matmul(x, w);
+        tape.add_bias(xw, b)
+    }
+
     /// Re-initialises the weights in place (used when the supernet is
     /// re-initialised between search stages).
     pub fn reinit<R: Rng>(&mut self, rng: &mut R) {
         let limit = (6.0 / self.in_dim as f32).sqrt();
-        self.w
-            .set_value(Tensor::rand_uniform(rng, &[self.in_dim, self.out_dim], -limit, limit));
+        self.w.set_value(Tensor::rand_uniform(
+            rng,
+            &[self.in_dim, self.out_dim],
+            -limit,
+            limit,
+        ));
         self.b.set_value(Tensor::zeros(&[self.out_dim]));
     }
 }
@@ -105,7 +119,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two dims are given.
     pub fn new<R: Rng>(rng: &mut R, dims: &[usize], act: Activation) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .map(|w| Linear::new(rng, w[0], w[1]))
@@ -118,6 +135,18 @@ impl Mlp {
         let n = self.layers.len();
         for (i, layer) in self.layers.iter().enumerate() {
             x = layer.forward(tape, x);
+            if i + 1 < n {
+                x = self.act.apply(tape, x);
+            }
+        }
+        x
+    }
+
+    /// Inference-only forward pass (see [`Linear::forward_frozen`]).
+    pub fn forward_frozen(&self, tape: &mut Tape, mut x: Var) -> Var {
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward_frozen(tape, x);
             if i + 1 < n {
                 x = self.act.apply(tape, x);
             }
@@ -139,7 +168,10 @@ impl Module for Mlp {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(Module::params_mut).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(Module::params_mut)
+            .collect()
     }
 }
 
@@ -167,6 +199,13 @@ impl GcnLayer {
     /// Propagates: `act(adj · (x·W + b))`.
     pub fn forward(&self, tape: &mut Tape, adj: Var, x: Var) -> Var {
         let h = self.lin.forward(tape, x);
+        let prop = tape.matmul(adj, h);
+        self.act.apply(tape, prop)
+    }
+
+    /// Inference-only propagation (see [`Linear::forward_frozen`]).
+    pub fn forward_frozen(&self, tape: &mut Tape, adj: Var, x: Var) -> Var {
+        let h = self.lin.forward_frozen(tape, x);
         let prop = tape.matmul(adj, h);
         self.act.apply(tape, prop)
     }

@@ -21,7 +21,10 @@ pub fn argmax(row: &[f32]) -> usize {
 ///
 /// Panics if `logits.len()` is not a multiple of `classes` or `classes == 0`.
 pub fn predictions(logits: &[f32], classes: usize) -> Vec<usize> {
-    assert!(classes > 0 && logits.len() % classes == 0, "bad logits layout");
+    assert!(
+        classes > 0 && logits.len().is_multiple_of(classes),
+        "bad logits layout"
+    );
     logits.chunks(classes).map(argmax).collect()
 }
 

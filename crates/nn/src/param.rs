@@ -2,12 +2,16 @@
 
 use hgnas_autograd::{Tape, Var};
 use hgnas_tensor::Tensor;
-use std::cell::Cell;
+use std::sync::Mutex;
 
 /// A trainable tensor with per-parameter optimizer state.
 ///
 /// `Param` remembers the [`Var`] it was last bound to on a tape, so a module
 /// can apply gradient updates with no extra bookkeeping at the call site.
+/// The binding lives behind a `Mutex` (bound once per forward pass, so the
+/// cost is negligible) which keeps `Param` — and therefore whole models —
+/// `Sync`, letting the parallel candidate evaluator share `&Supernet`
+/// across scoring threads.
 #[derive(Debug)]
 pub struct Param {
     value: Tensor,
@@ -17,7 +21,7 @@ pub struct Param {
     v: Tensor,
     /// Adam timestep.
     t: u32,
-    bound: Cell<Option<Var>>,
+    bound: Mutex<Option<Var>>,
 }
 
 impl Param {
@@ -30,7 +34,7 @@ impl Param {
             m,
             v,
             t: 0,
-            bound: Cell::new(None),
+            bound: Mutex::new(None),
         }
     }
 
@@ -57,14 +61,22 @@ impl Param {
     /// Registers this parameter on `tape` and remembers the binding.
     pub fn bind(&self, tape: &mut Tape) -> Var {
         let var = tape.param(self.value.clone());
-        self.bound.set(Some(var));
+        *self.bound.lock().unwrap() = Some(var);
         var
+    }
+
+    /// Registers this parameter on `tape` as a plain input: no gradient is
+    /// tracked and no binding is remembered. This is the inference path —
+    /// it leaves the parameter untouched, so frozen forward passes are safe
+    /// from many threads at once.
+    pub fn bind_frozen(&self, tape: &mut Tape) -> Var {
+        tape.input(self.value.clone())
     }
 
     /// Applies one optimizer step using the gradient recorded on `tape` for
     /// the last binding, if any. Clears the binding either way.
     pub fn apply_update(&mut self, tape: &Tape, opt: &mut Optimizer) {
-        let Some(var) = self.bound.take() else {
+        let Some(var) = self.bound.lock().unwrap().take() else {
             return;
         };
         let Some(grad) = tape.grad(var) else {

@@ -5,9 +5,10 @@
 //! [`crate::Optimizer`] by calling `set_learning_rate(lr_at(epoch))`.
 
 /// A learning-rate schedule over epochs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LrSchedule {
     /// Constant learning rate.
+    #[default]
     Constant,
     /// Multiply by `gamma` every `every` epochs.
     Step {
@@ -50,12 +51,6 @@ impl LrSchedule {
                 min_lr + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
             }
         }
-    }
-}
-
-impl Default for LrSchedule {
-    fn default() -> Self {
-        LrSchedule::Constant
     }
 }
 

@@ -90,7 +90,11 @@ pub fn knn_reuse_baseline<R: Rng>(rng: &mut R, mut cfg: DgcnnConfig) -> EdgeConv
 /// `scale_paper` selects paper widths (64/64/128/256-ish) versus the reduced
 /// harness widths.
 pub fn tailor_baseline(scale_paper: bool, k: usize, classes: usize) -> Architecture {
-    let (d1, d2, d3) = if scale_paper { (64, 128, 256) } else { (24, 48, 48) };
+    let (d1, d2, d3) = if scale_paper {
+        (64, 128, 256)
+    } else {
+        (24, 48, 48)
+    };
     Architecture::new(
         vec![
             Operation::Sample(SampleFn::Knn),
@@ -152,11 +156,7 @@ mod tests {
         // paper scale but the same order of magnitude.
         let mut rng = StdRng::seed_from_u64(2);
         let dg = dgcnn_paper(&mut rng, 40);
-        let tailor = crate::model::GnnModel::new(
-            &mut rng,
-            tailor_baseline(true, 20, 40),
-            &[128],
-        );
+        let tailor = crate::model::GnnModel::new(&mut rng, tailor_baseline(true, 20, 40), &[128]);
         assert!(tailor.size_mb() < dg.size_mb() * 1.5);
         assert!(tailor.size_mb() > 0.05);
     }

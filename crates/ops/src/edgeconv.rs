@@ -118,8 +118,11 @@ impl Module for EdgeConvModel {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        let mut p: Vec<&mut Param> =
-            self.layers.iter_mut().flat_map(Module::params_mut).collect();
+        let mut p: Vec<&mut Param> = self
+            .layers
+            .iter_mut()
+            .flat_map(Module::params_mut)
+            .collect();
         p.extend(self.emb.params_mut());
         p.extend(self.head.params_mut());
         p

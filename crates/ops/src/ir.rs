@@ -225,7 +225,12 @@ pub enum OpType {
 
 impl OpType {
     /// All operation types.
-    pub const ALL: [OpType; 4] = [OpType::Sample, OpType::Aggregate, OpType::Combine, OpType::Connect];
+    pub const ALL: [OpType; 4] = [
+        OpType::Sample,
+        OpType::Aggregate,
+        OpType::Combine,
+        OpType::Connect,
+    ];
 
     /// Stable index for feature encoding.
     pub fn index(self) -> usize {
@@ -542,7 +547,12 @@ mod tests {
 
     #[test]
     fn genome_round_trip() {
-        let types = vec![OpType::Sample, OpType::Combine, OpType::Aggregate, OpType::Connect];
+        let types = vec![
+            OpType::Sample,
+            OpType::Combine,
+            OpType::Aggregate,
+            OpType::Connect,
+        ];
         let upper = FunctionSet::dgcnn_like(64);
         let lower = FunctionSet {
             aggregator: Aggregator::Mean,

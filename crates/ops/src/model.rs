@@ -192,8 +192,11 @@ impl Module for GnnModel {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        let mut p: Vec<&mut Param> =
-            self.combines.iter_mut().flat_map(Module::params_mut).collect();
+        let mut p: Vec<&mut Param> = self
+            .combines
+            .iter_mut()
+            .flat_map(Module::params_mut)
+            .collect();
         p.extend(self.head.params_mut());
         p
     }

@@ -107,11 +107,7 @@ mod tests {
 
     #[test]
     fn dead_trailing_sample_removed() {
-        let a = Architecture::new(
-            vec![agg(), Operation::Sample(SampleFn::Knn)],
-            10,
-            4,
-        );
+        let a = Architecture::new(vec![agg(), Operation::Sample(SampleFn::Knn)], 10, 4);
         let m = merge_adjacent_samples(&a);
         assert_eq!(m.count(OpType::Sample), 0);
         assert_eq!(m.len(), 1);

@@ -218,7 +218,9 @@ mod tests {
 
     #[test]
     fn error_messages_are_descriptive() {
-        let err = "k=20 classes=40 | warp".parse::<Architecture>().unwrap_err();
+        let err = "k=20 classes=40 | warp"
+            .parse::<Architecture>()
+            .unwrap_err();
         assert!(err.to_string().contains("warp"));
     }
 }

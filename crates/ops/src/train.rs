@@ -168,10 +168,7 @@ mod tests {
                 seed: 0,
             },
         );
-        assert!(
-            report.final_loss < report.first_epoch_loss,
-            "{report:?}"
-        );
+        assert!(report.final_loss < report.first_epoch_loss, "{report:?}");
         let eval = evaluate(&model, &ds.train, ds.classes, 7);
         assert!(eval.overall > 0.5, "train OA {}", eval.overall);
     }

@@ -52,7 +52,11 @@ fn fig3_breakdown_shapes() {
     // RTX3080 & TX2: sample occupies the majority share (Observation ③).
     for kind in [DeviceKind::Rtx3080, DeviceKind::JetsonTx2] {
         let f = frac(kind);
-        assert!(f[OpClass::Sample.index()] > 0.45, "{kind}: sample {:.2}", f[0]);
+        assert!(
+            f[OpClass::Sample.index()] > 0.45,
+            "{kind}: sample {:.2}",
+            f[0]
+        );
         assert!(
             f[OpClass::Sample.index()] > f[OpClass::Combine.index()],
             "{kind}"
@@ -74,8 +78,13 @@ fn fig3_breakdown_shapes() {
 #[test]
 fn fig1_pi_oom_cliff_past_1536_points() {
     let pi = DeviceKind::RaspberryPi3B.profile();
-    for (n, expect_oom) in [(128, false), (512, false), (1024, false), (1536, false), (2048, true)]
-    {
+    for (n, expect_oom) in [
+        (128, false),
+        (512, false),
+        (1024, false),
+        (1536, false),
+        (2048, true),
+    ] {
         let w = lower_edgeconv(&DgcnnConfig::paper(40), n);
         let r = pi.execute(&w);
         assert_eq!(r.oom, expect_oom, "n={n}: peak {:.0} MB", r.peak_mem_mb);
@@ -85,7 +94,10 @@ fn fig1_pi_oom_cliff_past_1536_points() {
 #[test]
 fn fig1_pi_latency_curve_rises_superlinearly() {
     let pi = DeviceKind::RaspberryPi3B.profile();
-    let lat = |n: usize| pi.execute(&lower_edgeconv(&DgcnnConfig::paper(40), n)).latency_ms;
+    let lat = |n: usize| {
+        pi.execute(&lower_edgeconv(&DgcnnConfig::paper(40), n))
+            .latency_ms
+    };
     let (l128, l512, l1024) = (lat(128), lat(512), lat(1024));
     assert!(l512 > 2.0 * l128);
     // Quadratic KNN term: doubling points from 512 to 1024 should more than

@@ -165,9 +165,7 @@ impl Primitive {
                     minor * v.sin(),
                 ]
             }
-            Primitive::Plane(hx, hy) => {
-                [rng.gen_range(-hx..hx), rng.gen_range(-hy..hy), 0.0]
-            }
+            Primitive::Plane(hx, hy) => [rng.gen_range(-hx..hx), rng.gen_range(-hy..hy), 0.0],
             Primitive::Saddle(s) => {
                 let x = rng.gen_range(-1.0f32..1.0);
                 let y = rng.gen_range(-1.0f32..1.0);
@@ -342,10 +340,16 @@ pub fn class_spec<R: Rng>(class: usize, rng: &mut R) -> ShapeSpec {
     let (parts, difficulty): (Vec<Part>, f32) = match class {
         0 => (single(Primitive::Ellipsoid(1.0, 1.0, 1.0)), 1.0),
         1 => (single(Primitive::Ellipsoid(1.0, 1.0, j(rng, 0.45))), 1.2),
-        2 => (single(Primitive::Ellipsoid(1.0, j(rng, 0.4), j(rng, 0.4))), 1.2),
+        2 => (
+            single(Primitive::Ellipsoid(1.0, j(rng, 0.4), j(rng, 0.4))),
+            1.2,
+        ),
         3 => (single(Primitive::Box3(1.0, 1.0, 1.0)), 1.0),
         4 => (single(Primitive::Box3(1.0, 1.0, j(rng, 0.25))), 1.1),
-        5 => (single(Primitive::Box3(1.0, j(rng, 0.28), j(rng, 0.28))), 1.1),
+        5 => (
+            single(Primitive::Box3(1.0, j(rng, 0.28), j(rng, 0.28))),
+            1.1,
+        ),
         6 => (single(Primitive::Cylinder(j(rng, 0.6), 1.0)), 1.0),
         7 => (single(Primitive::Cylinder(j(rng, 0.3), 1.3)), 1.1),
         8 => (single(Primitive::Cylinder(1.0, j(rng, 0.12))), 1.1),
@@ -384,7 +388,11 @@ pub fn class_spec<R: Rng>(class: usize, rng: &mut R) -> ShapeSpec {
             vec![
                 part(Primitive::Cylinder(j(rng, 0.42), 0.8), [0.0, 0.0, 0.0], 0.6),
                 part(Primitive::Ellipsoid(0.42, 0.42, 0.42), [0.0, 0.0, 0.8], 0.2),
-                part(Primitive::Ellipsoid(0.42, 0.42, 0.42), [0.0, 0.0, -0.8], 0.2),
+                part(
+                    Primitive::Ellipsoid(0.42, 0.42, 0.42),
+                    [0.0, 0.0, -0.8],
+                    0.2,
+                ),
             ],
             1.2,
         ),
@@ -438,7 +446,11 @@ pub fn class_spec<R: Rng>(class: usize, rng: &mut R) -> ShapeSpec {
         29 => (
             // Bottle: body + neck.
             vec![
-                part(Primitive::Cylinder(j(rng, 0.5), 0.85), [0.0, 0.0, -0.3], 0.7),
+                part(
+                    Primitive::Cylinder(j(rng, 0.5), 0.85),
+                    [0.0, 0.0, -0.3],
+                    0.7,
+                ),
                 part(Primitive::Cylinder(0.18, 0.45), [0.0, 0.0, 1.0], 0.3),
             ],
             1.2,
@@ -487,8 +499,16 @@ pub fn class_spec<R: Rng>(class: usize, rng: &mut R) -> ShapeSpec {
         35 => (
             // Snowman: three stacked spheres.
             vec![
-                part(Primitive::Ellipsoid(0.62, 0.62, 0.62), [0.0, 0.0, -0.75], 0.45),
-                part(Primitive::Ellipsoid(0.45, 0.45, 0.45), [0.0, 0.0, 0.18], 0.33),
+                part(
+                    Primitive::Ellipsoid(0.62, 0.62, 0.62),
+                    [0.0, 0.0, -0.75],
+                    0.45,
+                ),
+                part(
+                    Primitive::Ellipsoid(0.45, 0.45, 0.45),
+                    [0.0, 0.0, 0.18],
+                    0.33,
+                ),
                 part(Primitive::Ellipsoid(0.3, 0.3, 0.3), [0.0, 0.0, 0.85], 0.22),
             ],
             1.2,
@@ -598,7 +618,7 @@ mod tests {
         for _ in 0..100 {
             let p = t.sample(&mut rng);
             let ring = (p[0] * p[0] + p[1] * p[1]).sqrt();
-            assert!(ring >= 0.79 && ring <= 1.21, "ring distance {ring}");
+            assert!((0.79..=1.21).contains(&ring), "ring distance {ring}");
             assert!(p[2].abs() <= 0.201);
         }
     }

@@ -55,6 +55,22 @@ impl PredictorModel {
         // estimate dips negative early in training.
         tape.leaky_relu(out, 0.01)
     }
+
+    /// Inference-only forward pass: weights enter the tape as plain inputs
+    /// (no gradient tracking, no bindings mutated), so prediction is safe
+    /// and cheap from many threads sharing `&self`. Numerically identical
+    /// to [`PredictorModel::forward`].
+    pub fn forward_frozen(&self, tape: &mut Tape, graph: &ArchGraph) -> Var {
+        let adj = tape.input(graph.adjacency());
+        let mut h = tape.input(graph.features.clone());
+        for layer in &self.gcn {
+            h = layer.forward_frozen(tape, adj, h);
+        }
+        let n = graph.graph.len();
+        let pooled = tape.segment_pool(h, &[n], Reduction::Mean);
+        let out = self.mlp.forward_frozen(tape, pooled);
+        tape.leaky_relu(out, 0.01)
+    }
 }
 
 impl Module for PredictorModel {

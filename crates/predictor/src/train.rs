@@ -166,9 +166,8 @@ impl LatencyPredictor {
         );
         let (train, val) = data.split_at(cfg.train_samples.min(data.len()));
 
-        let scale_ms = (train.iter().map(|s| s.latency_ms).sum::<f64>()
-            / train.len().max(1) as f64)
-            .max(1e-6);
+        let scale_ms =
+            (train.iter().map(|s| s.latency_ms).sum::<f64>() / train.len().max(1) as f64).max(1e-6);
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut model = PredictorModel::new(&mut rng, &cfg.gcn_dims, &cfg.mlp_hidden);
@@ -226,7 +225,7 @@ impl LatencyPredictor {
     pub fn predict_ms(&self, arch: &Architecture) -> f64 {
         let graph = arch_to_graph_with(arch, self.context.points, self.global_node);
         let mut tape = Tape::new();
-        let out = self.model.forward(&mut tape, &graph);
+        let out = self.model.forward_frozen(&mut tape, &graph);
         (tape.value(out).item() as f64 * self.scale_ms).max(0.0)
     }
 

@@ -1,0 +1,90 @@
+//! Offline shim for the `crossbeam::scope` API, backed by
+//! [`std::thread::scope`] (stabilised in Rust 1.63, so the external crate is
+//! no longer needed for plain scoped threads).
+//!
+//! Differences from real crossbeam: a panicking child thread propagates the
+//! panic out of [`scope`] (std semantics) instead of surfacing as `Err`, so
+//! the `Result` returned here is always `Ok`. Callers that `.expect()` the
+//! result behave identically either way.
+
+use std::any::Any;
+use std::thread::ScopedJoinHandle;
+
+/// Scoped-thread handle passed to the [`scope`] closure. Mirrors
+/// `crossbeam::thread::Scope`: `spawn` hands each child a reference to the
+/// scope so it can spawn siblings.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a child thread joined automatically at scope exit.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing, non-`'static` threads can be
+/// spawned; all children are joined before `scope` returns.
+///
+/// # Errors
+///
+/// Never returns `Err` in this shim (see module docs); the signature keeps
+/// crossbeam compatibility.
+///
+/// # Panics
+///
+/// Panics if a spawned thread panicked (the payload is forwarded).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// `crossbeam::thread` module alias, matching the real crate's layout.
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_can_borrow_and_mutate_disjoint_chunks() {
+        let mut data = vec![0u64; 64];
+        super::scope(|s| {
+            for (i, chunk) in data.chunks_mut(16).enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v = i as u64 + 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(data.iter().all(|&v| v > 0));
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let r = super::scope(|_| 41 + 1).unwrap();
+        assert_eq!(r, 42);
+    }
+}

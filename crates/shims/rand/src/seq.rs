@@ -1,0 +1,99 @@
+//! Slice sampling helpers (the `rand::seq` subset the workspace uses).
+
+use crate::{Rng, RngCore, SampleUniform};
+
+/// Shuffling and choosing on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` on an empty slice.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements in random order (all of them when
+    /// `amount >= len`), as an iterator of references.
+    fn choose_multiple<R: RngCore>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = usize::sample_range(rng, 0, i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: RngCore>(&self, rng: &mut R, amount: usize) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index vector: O(len) setup,
+        // O(amount) draws, no bias.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut picked = Vec::with_capacity(amount);
+        for i in 0..amount {
+            let j = usize::sample_range(rng, i, idx.len());
+            idx.swap(i, j);
+            picked.push(&self[idx[i]]);
+        }
+        picked.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements staying in order is ~impossible");
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v: Vec<u32> = (0..10).collect();
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 4).copied().collect();
+        assert_eq!(picked.len(), 4);
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4, "duplicates in {picked:?}");
+        // Asking for more than len returns everything.
+        assert_eq!(v.choose_multiple(&mut rng, 99).count(), 10);
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = [1u8, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(*v.choose(&mut rng).unwrap() - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

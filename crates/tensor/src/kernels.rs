@@ -77,7 +77,10 @@ pub fn repeat_rows(t: &Tensor, k: usize) -> Tensor {
 /// Panics if `t` is not 2-D or its row count is not a multiple of `k`.
 pub fn fold_rows(t: &Tensor, k: usize) -> Tensor {
     assert_eq!(t.shape().rank(), 2, "fold_rows requires [m,c]");
-    assert!(k > 0 && t.dims()[0] % k == 0, "row count must be a multiple of k");
+    assert!(
+        k > 0 && t.dims()[0].is_multiple_of(k),
+        "row count must be a multiple of k"
+    );
     let n = t.dims()[0] / k;
     let c = t.dims()[1];
     let d = t.data();
@@ -129,7 +132,11 @@ pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
 pub fn split_cols(t: &Tensor, widths: &[usize]) -> Vec<Tensor> {
     assert_eq!(t.shape().rank(), 2, "split_cols requires [n,c]");
     let (n, c) = (t.dims()[0], t.dims()[1]);
-    assert_eq!(widths.iter().sum::<usize>(), c, "widths must sum to column count");
+    assert_eq!(
+        widths.iter().sum::<usize>(),
+        c,
+        "widths must sum to column count"
+    );
     let d = t.data();
     let mut outs = Vec::with_capacity(widths.len());
     let mut off = 0usize;

@@ -27,6 +27,7 @@ pub mod matmul;
 pub mod reduce;
 pub mod shape;
 mod tensor;
+pub mod threads;
 
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -14,12 +14,34 @@ pub const BLOCK: usize = 64;
 /// the single-threaded blocked kernel.
 pub const PARALLEL_MIN_ROWS: usize = 128;
 
+/// Minimum total work (`m·k·n` multiply-adds) for [`matmul_parallel`] to
+/// spawn threads. Scoped threads cost ~100 µs to spawn+join; a skinny
+/// matmul over this many rows but few columns finishes faster than the
+/// spawn, so row count alone is the wrong gate.
+pub const PARALLEL_MIN_WORK: usize = 1 << 20;
+
 fn check_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
-    assert_eq!(a.shape().rank(), 2, "matmul lhs must be 2-D, got {}", a.shape());
-    assert_eq!(b.shape().rank(), 2, "matmul rhs must be 2-D, got {}", b.shape());
+    assert_eq!(
+        a.shape().rank(),
+        2,
+        "matmul lhs must be 2-D, got {}",
+        a.shape()
+    );
+    assert_eq!(
+        b.shape().rank(),
+        2,
+        "matmul rhs must be 2-D, got {}",
+        b.shape()
+    );
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (k2, n) = (b.dims()[0], b.dims()[1]);
-    assert_eq!(k, k2, "matmul inner dims differ: {} vs {}", a.shape(), b.shape());
+    assert_eq!(
+        k,
+        k2,
+        "matmul inner dims differ: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
     (m, k, n)
 }
 
@@ -98,7 +120,7 @@ fn matmul_blocked_into(ad: &[f32], bd: &[f32], c: &mut [f32], m: usize, k: usize
 pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
     assert!(threads > 0, "threads must be positive");
     let (m, k, n) = check_dims(a, b);
-    if threads == 1 || m < PARALLEL_MIN_ROWS {
+    if threads == 1 || m < PARALLEL_MIN_ROWS || m * k * n < PARALLEL_MIN_WORK {
         return matmul_blocked(a, b);
     }
     let mut c = vec![0.0f32; m * n];
@@ -180,13 +202,21 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 impl Tensor {
-    /// Matrix product `self · other`, dispatching to the blocked kernel.
+    /// Matrix product `self · other`, dispatching on the caller's kernel
+    /// thread budget (see [`crate::threads`]): the threaded kernel when the
+    /// budget allows, the blocked kernel otherwise. Both kernels produce
+    /// bit-identical results, so the budget never affects values.
     ///
     /// # Panics
     ///
     /// Panics if either operand is not 2-D or the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        matmul_blocked(self, other)
+        let budget = crate::threads::kernel_threads();
+        if budget > 1 {
+            matmul_parallel(self, other, budget)
+        } else {
+            matmul_blocked(self, other)
+        }
     }
 }
 
@@ -244,5 +274,89 @@ mod tests {
         let a = rand_mat(&mut rng, 12, 12);
         assert!(a.matmul(&Tensor::eye(12)).allclose(&a, 1e-6));
         assert!(Tensor::eye(12).matmul(&a).allclose(&a, 1e-6));
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_around_fallback_threshold() {
+        // matmul_parallel falls back to the blocked kernel below
+        // PARALLEL_MIN_ROWS rows or PARALLEL_MIN_WORK multiply-adds; on
+        // either side of both gates (and exactly at them) results must
+        // match the blocked kernel bit-for-bit, since row partitioning
+        // never changes any row's accumulation order.
+        let mut rng = StdRng::seed_from_u64(6);
+        // (k, n) = (17, 9): above the row gate but far below the work
+        // gate -> fallback. (96, 96): m=128 crosses both gates -> the
+        // threaded path actually runs.
+        for (k, n) in [(17usize, 9usize), (96, 96)] {
+            for m in [
+                PARALLEL_MIN_ROWS - 1,
+                PARALLEL_MIN_ROWS,
+                PARALLEL_MIN_ROWS + 1,
+            ] {
+                let a = rand_mat(&mut rng, m, k);
+                let b = rand_mat(&mut rng, k, n);
+                let blocked = matmul_blocked(&a, &b);
+                for threads in [1, 2, 3, 8] {
+                    let par = matmul_parallel(&a, &b, threads);
+                    assert_eq!(
+                        par.data(),
+                        blocked.data(),
+                        "m={m} k={k} n={n} threads={threads} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn work_gate_sits_at_parallel_min_work() {
+        // 128 rows passes the row gate either way; k·n decides the work
+        // gate. Both sides must agree with the blocked kernel exactly.
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = PARALLEL_MIN_ROWS;
+        let kn_under = PARALLEL_MIN_WORK / m - 1;
+        let (k, n) = (64, kn_under / 64); // m*k*n just under the gate
+        let a = rand_mat(&mut rng, m, k);
+        let b = rand_mat(&mut rng, k, n);
+        assert_eq!(
+            matmul_parallel(&a, &b, 4).data(),
+            matmul_blocked(&a, &b).data()
+        );
+        let n_over = PARALLEL_MIN_WORK / (m * k) + 1; // just over
+        let b = rand_mat(&mut rng, k, n_over);
+        assert_eq!(
+            matmul_parallel(&a, &b, 4).data(),
+            matmul_blocked(&a, &b).data()
+        );
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_safe() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = rand_mat(&mut rng, PARALLEL_MIN_ROWS, 5);
+        let b = rand_mat(&mut rng, 5, 3);
+        let par = matmul_parallel(&a, &b, PARALLEL_MIN_ROWS * 2);
+        assert_eq!(par.data(), matmul_blocked(&a, &b).data());
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be positive")]
+    fn zero_threads_panics() {
+        let a = Tensor::zeros(&[2, 2]);
+        matmul_parallel(&a, &a, 0);
+    }
+
+    #[test]
+    fn matmul_dispatches_on_kernel_budget() {
+        // Tensor::matmul consults the thread-local kernel budget; whatever
+        // the budget, values are bit-identical to the blocked kernel.
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = rand_mat(&mut rng, PARALLEL_MIN_ROWS + 3, 11);
+        let b = rand_mat(&mut rng, 11, 7);
+        let blocked = matmul_blocked(&a, &b);
+        assert_eq!(a.matmul(&b).data(), blocked.data());
+        crate::threads::with_kernel_threads(4, || {
+            assert_eq!(a.matmul(&b).data(), blocked.data());
+        });
     }
 }

@@ -61,7 +61,12 @@ impl std::fmt::Display for Reduction {
 ///
 /// Panics if `t` is not 3-D.
 pub fn reduce_mid_axis(t: &Tensor, how: Reduction) -> ArgReduce {
-    assert_eq!(t.shape().rank(), 3, "reduce_mid_axis requires [n,k,c], got {}", t.shape());
+    assert_eq!(
+        t.shape().rank(),
+        3,
+        "reduce_mid_axis requires [n,k,c], got {}",
+        t.shape()
+    );
     let (n, k, c) = (t.dims()[0], t.dims()[1], t.dims()[2]);
     let d = t.data();
     let mut values = vec![0.0f32; n * c];
@@ -119,7 +124,12 @@ pub fn reduce_mid_axis(t: &Tensor, how: Reduction) -> ArgReduce {
 ///
 /// Panics if `t` is not 2-D.
 pub fn reduce_rows(t: &Tensor, how: Reduction) -> ArgReduce {
-    assert_eq!(t.shape().rank(), 2, "reduce_rows requires [n,c], got {}", t.shape());
+    assert_eq!(
+        t.shape().rank(),
+        2,
+        "reduce_rows requires [n,c], got {}",
+        t.shape()
+    );
     let (n, c) = (t.dims()[0], t.dims()[1]);
     let view = t.reshape(&[1, n, c]);
     let r = reduce_mid_axis(&view, how);
@@ -140,8 +150,15 @@ pub fn reduce_rows(t: &Tensor, how: Reduction) -> ArgReduce {
 pub fn segment_reduce_rows(t: &Tensor, segments: &[usize], how: Reduction) -> ArgReduce {
     assert_eq!(t.shape().rank(), 2, "segment_reduce_rows requires [n,c]");
     let (n, c) = (t.dims()[0], t.dims()[1]);
-    assert_eq!(segments.iter().sum::<usize>(), n, "segment lengths must sum to row count");
-    assert!(segments.iter().all(|&s| s > 0), "segments must be non-empty");
+    assert_eq!(
+        segments.iter().sum::<usize>(),
+        n,
+        "segment lengths must sum to row count"
+    );
+    assert!(
+        segments.iter().all(|&s| s > 0),
+        "segments must be non-empty"
+    );
     let d = t.data();
     let s = segments.len();
     let mut values = vec![0.0f32; s * c];

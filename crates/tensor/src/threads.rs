@@ -1,0 +1,83 @@
+//! Kernel thread-budget handoff.
+//!
+//! Two levels of parallelism coexist in the search: the candidate evaluator
+//! fans a generation out across worker threads (EA-level), and the matmul
+//! kernels can split rows across threads (kernel-level). If both claim the
+//! whole machine they oversubscribe, so the budget is a thread-local the
+//! coordinator sets explicitly: EA workers run with a budget of
+//! `total / workers`, while serial sections hand the full budget to the
+//! kernels.
+//!
+//! The budget only selects *how many* threads [`crate::Tensor::matmul`]
+//! may use; the threaded kernel is bit-identical to the single-threaded
+//! one, so the budget never changes numeric results.
+
+use std::cell::Cell;
+
+thread_local! {
+    static KERNEL_BUDGET: Cell<usize> = const { Cell::new(1) };
+}
+
+/// The current thread's kernel budget (threads `Tensor::matmul` may use).
+/// Defaults to 1: kernel parallelism is opt-in via [`with_kernel_threads`].
+pub fn kernel_threads() -> usize {
+    KERNEL_BUDGET.with(|b| b.get())
+}
+
+/// Runs `f` with the kernel budget set to `max(n, 1)`, restoring the
+/// previous budget afterwards (also on unwind).
+pub fn with_kernel_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            KERNEL_BUDGET.with(|b| b.set(self.0));
+        }
+    }
+    let prev = KERNEL_BUDGET.with(|b| b.replace(n.max(1)));
+    let _restore = Restore(prev);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_one() {
+        assert_eq!(kernel_threads(), 1);
+    }
+
+    #[test]
+    fn budget_scopes_and_restores() {
+        with_kernel_threads(4, || {
+            assert_eq!(kernel_threads(), 4);
+            with_kernel_threads(2, || assert_eq!(kernel_threads(), 2));
+            assert_eq!(kernel_threads(), 4);
+        });
+        assert_eq!(kernel_threads(), 1);
+    }
+
+    #[test]
+    fn zero_clamps_to_one() {
+        with_kernel_threads(0, || assert_eq!(kernel_threads(), 1));
+    }
+
+    #[test]
+    fn budget_is_per_thread() {
+        with_kernel_threads(8, || {
+            std::thread::scope(|s| {
+                s.spawn(|| assert_eq!(kernel_threads(), 1));
+            });
+            assert_eq!(kernel_threads(), 8);
+        });
+    }
+
+    #[test]
+    fn restores_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_kernel_threads(6, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(kernel_threads(), 1);
+    }
+}

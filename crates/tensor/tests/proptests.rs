@@ -1,6 +1,8 @@
 //! Property-based tests for the tensor kernels.
 
-use hgnas_tensor::kernels::{concat_cols, fold_rows, gather_rows, repeat_rows, scatter_add_rows, split_cols};
+use hgnas_tensor::kernels::{
+    concat_cols, fold_rows, gather_rows, repeat_rows, scatter_add_rows, split_cols,
+};
 use hgnas_tensor::matmul::{matmul_blocked, matmul_bt, matmul_naive, matmul_parallel};
 use hgnas_tensor::reduce::{reduce_mid_axis, Reduction};
 use hgnas_tensor::Tensor;

@@ -14,8 +14,12 @@ use hgnas::ops::{lower_edgeconv, DgcnnConfig};
 fn main() {
     let cfg = DgcnnConfig::paper(40);
     let w = lower_edgeconv(&cfg, 1024);
-    println!("DGCNN @1024 points: {} lowered ops, {:.2} GFLOP, {:.0} MB moved",
-        w.len(), w.total_flops() / 1e9, w.total_bytes() / 1e6);
+    println!(
+        "DGCNN @1024 points: {} lowered ops, {:.2} GFLOP, {:.0} MB moved",
+        w.len(),
+        w.total_flops() / 1e9,
+        w.total_bytes() / 1e6
+    );
 
     println!(
         "\n{:14} {:>10} {:>8} {:>10} {:>9} {:>7} {:>9}",

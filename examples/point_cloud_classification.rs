@@ -44,7 +44,13 @@ fn main() {
     let lat = device
         .execute(&lower_edgeconv(model.config(), ds.points))
         .latency_ms;
-    print_row("DGCNN [5]", eval.overall, eval.balanced, model.size_mb(), lat);
+    print_row(
+        "DGCNN [5]",
+        eval.overall,
+        eval.balanced,
+        model.size_mb(),
+        lat,
+    );
 
     // KNN-reuse [6].
     let mut model = knn_reuse_baseline(&mut rng, DgcnnConfig::small(ds.classes));
@@ -53,7 +59,13 @@ fn main() {
     let lat = device
         .execute(&lower_edgeconv(model.config(), ds.points))
         .latency_ms;
-    print_row("KNN-reuse [6]", eval.overall, eval.balanced, model.size_mb(), lat);
+    print_row(
+        "KNN-reuse [6]",
+        eval.overall,
+        eval.balanced,
+        model.size_mb(),
+        lat,
+    );
 
     // Architectural simplification [7], expressed in the fine-grained IR.
     let arch = tailor_baseline(false, 10, ds.classes);
@@ -63,7 +75,13 @@ fn main() {
     let lat = device
         .execute(&model.architecture().lower(ds.points, &[48]))
         .latency_ms;
-    print_row("simplified [7]", eval.overall, eval.balanced, model.size_mb(), lat);
+    print_row(
+        "simplified [7]",
+        eval.overall,
+        eval.balanced,
+        model.size_mb(),
+        lat,
+    );
 
     println!("\n(reduced scale: absolute accuracies are below the paper's 1024-point runs,");
     println!(" but the ordering — similar accuracy, decreasing latency — is the point)");

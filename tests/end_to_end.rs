@@ -51,7 +51,11 @@ fn found_architecture_trains_standalone_and_beats_chance() {
     let outcome = Hgnas::new(task.clone(), tiny_config(DeviceKind::Rtx3080)).run();
     let ds = SynthNet40::generate(&task.dataset);
     let mut rng = StdRng::seed_from_u64(1);
-    let mut model = GnnModel::new(&mut rng, outcome.best.architecture.clone(), &task.head_hidden);
+    let mut model = GnnModel::new(
+        &mut rng,
+        outcome.best.architecture.clone(),
+        &task.head_hidden,
+    );
     fit(&mut model, &ds.train, &FitConfig::quick().with_epochs(10));
     let eval = evaluate(&model, &ds.test, ds.classes, 3);
     // 4 classes => chance is 0.25.
@@ -70,7 +74,12 @@ fn searched_fast_model_is_faster_than_dgcnn_on_target() {
         .execute(&lower_edgeconv(&task.reference_dgcnn(), task.points()))
         .latency_ms;
     let found_ms = profile
-        .execute(&outcome.best.architecture.lower(task.points(), &task.head_hidden))
+        .execute(
+            &outcome
+                .best
+                .architecture
+                .lower(task.points(), &task.head_hidden),
+        )
         .latency_ms;
     assert!(
         found_ms < dgcnn_ms,

@@ -33,7 +33,9 @@ fn observation1_knn_reuse_trades_tiny_accuracy_for_big_speedup() {
     let mut paper_reuse = DgcnnConfig::paper(40);
     paper_reuse.dynamic = false;
     paper_reuse.reuse_after = 1;
-    let lat_full = gpu.execute(&lower_edgeconv(&DgcnnConfig::paper(40), 1024)).latency_ms;
+    let lat_full = gpu
+        .execute(&lower_edgeconv(&DgcnnConfig::paper(40), 1024))
+        .latency_ms;
     let lat_reuse = gpu.execute(&lower_edgeconv(&paper_reuse, 1024)).latency_ms;
 
     assert!(lat_reuse < 0.7 * lat_full, "reuse speedup too small");
@@ -142,7 +144,10 @@ fn tailor_baseline_matches_paper_relationships() {
     let ta_w = tailor_baseline(true, 20, 40).lower(1024, &[128]);
     for device in DeviceKind::EDGE_TARGETS {
         let p = device.profile();
-        assert!(p.execute(&ta_w).latency_ms < p.execute(&dg_w).latency_ms, "{device}");
+        assert!(
+            p.execute(&ta_w).latency_ms < p.execute(&dg_w).latency_ms,
+            "{device}"
+        );
     }
 }
 
