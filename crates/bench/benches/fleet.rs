@@ -1,0 +1,59 @@
+//! Measurement-oracle throughput: inline measurement vs. asynchronous
+//! pipelined submission through the per-device worker pool.
+//!
+//! The oracle's win is overlap: with W workers per device, a shard can
+//! keep W measurements in flight while it scores other candidates. The
+//! `pipelined` benchmarks submit a whole batch before collecting any
+//! response; `inline` is the serial reference.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hgnas_device::{DeviceKind, Workload, WorkloadOp};
+use hgnas_fleet::{MeasurementOracle, OracleConfig, Ticket};
+
+fn probe_workload() -> Workload {
+    let mut w = Workload::new();
+    w.push(WorkloadOp::knn("knn", 1024, 20, 3));
+    w.push(WorkloadOp::gather("gather", 1024, 20, 64));
+    w.push(WorkloadOp::linear("mlp", 1024 * 20, 64, 64));
+    w.push(WorkloadOp::reduce("max", 1024, 20, 64));
+    w
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    const REQUESTS: u64 = 64;
+    let w = probe_workload();
+    let device = DeviceKind::JetsonTx2;
+
+    let mut group = c.benchmark_group("fleet/oracle64");
+    group.bench_function("inline", |b| {
+        let profile = device.profile();
+        b.iter(|| {
+            for i in 0..REQUESTS {
+                black_box(profile.measure_seeded(&w, i).unwrap());
+            }
+        })
+    });
+    for workers in [1usize, 2, 4] {
+        let cfg = OracleConfig {
+            workers_per_device: workers,
+            ..OracleConfig::default()
+        };
+        let oracle = MeasurementOracle::start(&[device], &cfg);
+        let client = oracle.client(device);
+        group.bench_with_input(BenchmarkId::new("pipelined", workers), &workers, |b, _| {
+            b.iter(|| {
+                let tickets: Vec<Ticket> =
+                    (0..REQUESTS).map(|i| client.submit(w.clone(), i)).collect();
+                for t in tickets {
+                    black_box(t.wait().unwrap());
+                }
+            })
+        });
+        drop(client);
+        oracle.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

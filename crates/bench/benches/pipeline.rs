@@ -60,6 +60,7 @@ fn bench_predictor_inference(c: &mut Criterion) {
         mlp_hidden: vec![32],
         seed: 4,
         global_node: true,
+        batch: 1,
     };
     let (predictor, _) = LatencyPredictor::train(DeviceKind::Rtx3080, &ctx, &cfg);
     let mut rng = StdRng::seed_from_u64(5);

@@ -36,6 +36,7 @@ pub fn run(scale: Scale) {
                 mlp_hidden: vec![16],
                 seed: 2,
                 global_node: true,
+                batch: 1,
             },
         ),
     };

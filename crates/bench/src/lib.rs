@@ -70,6 +70,7 @@ impl Scale {
                     mlp_hidden: vec![12],
                     seed: 1,
                     global_node: true,
+                    batch: 1,
                 };
                 cfg
             }

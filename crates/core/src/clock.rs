@@ -19,6 +19,11 @@ impl SearchClock {
         SearchClock::default()
     }
 
+    /// A clock resumed at a checkpointed elapsed time.
+    pub fn from_ms(elapsed_ms: f64) -> Self {
+        SearchClock { elapsed_ms }
+    }
+
     /// Adds `ms` of simulated work.
     pub fn add_ms(&mut self, ms: f64) {
         debug_assert!(ms >= 0.0, "negative time");

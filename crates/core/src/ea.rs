@@ -114,6 +114,199 @@ where
     evolve_with(init, cfg, &mut FnEvaluator(fitness), mutate, crossover)
 }
 
+/// A serialisable image of an in-flight EA: everything [`EaState`] needs to
+/// resume producing the exact draw sequence and selections an uninterrupted
+/// run would have produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EaSnapshot<G> {
+    /// Engine RNG mid-stream.
+    pub rng: StdRng,
+    /// The scored population, best-first.
+    pub scored: Vec<(G, f64)>,
+    /// Best genome/fitness seen so far.
+    pub best: (G, f64),
+    /// Fitness evaluations performed so far.
+    pub evaluations: usize,
+    /// Best-so-far trajectory, one entry per evaluation.
+    pub history: Vec<(usize, f64)>,
+    /// Completed generations ([`EaState::init`] counts as zero).
+    pub generation: usize,
+}
+
+/// A resumable (μ+λ) evolutionary search: [`EaState::init`] scores the seed
+/// population, each [`EaState::step`] breeds and scores one generation, and
+/// [`EaState::snapshot`] / [`EaState::restore`] checkpoint the run at any
+/// generation boundary. [`evolve_with`] is the run-to-completion wrapper and
+/// defines the reference behaviour; a restored state continues the exact
+/// RNG draw sequence, so interrupted and uninterrupted runs are
+/// bit-identical.
+#[derive(Debug)]
+pub struct EaState<G> {
+    cfg: EaConfig,
+    rng: StdRng,
+    /// Scored population, sorted best-first after every generation.
+    scored: Vec<(G, f64)>,
+    best: (G, f64),
+    evaluations: usize,
+    history: Vec<(usize, f64)>,
+    generation: usize,
+}
+
+impl<G: Clone> EaState<G> {
+    /// Seeds and scores the initial population (generation zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` is empty, `cfg.population == 0`, or `evaluator`
+    /// returns a fitness vector of the wrong length.
+    pub fn init<E, M>(init: Vec<G>, cfg: &EaConfig, evaluator: &mut E, mut mutate: M) -> Self
+    where
+        E: GenerationEvaluator<G> + ?Sized,
+        M: FnMut(&G, &mut StdRng) -> G,
+    {
+        assert!(!init.is_empty(), "EA needs at least one seed genome");
+        assert!(cfg.population > 0, "population must be positive");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Top the seed population up with mutants of the seeds.
+        let mut pop: Vec<G> = init;
+        while pop.len() < cfg.population {
+            let base = pop[rng.gen_range(0..pop.len())].clone();
+            pop.push(mutate(&base, &mut rng));
+        }
+        pop.truncate(cfg.population);
+
+        let mut evaluations = 0usize;
+        let mut history = Vec::new();
+        let mut running_best = f64::NEG_INFINITY;
+        let fits = evaluator.evaluate(&pop);
+        assert_eq!(fits.len(), pop.len(), "evaluator returned wrong batch size");
+        let mut scored: Vec<(G, f64)> = pop
+            .into_iter()
+            .zip(fits)
+            .map(|(g, f)| {
+                evaluations += 1;
+                running_best = running_best.max(f);
+                history.push((evaluations, running_best));
+                (g, f)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let best = scored[0].clone();
+        EaState {
+            cfg: *cfg,
+            rng,
+            scored,
+            best,
+            evaluations,
+            history,
+            generation: 0,
+        }
+    }
+
+    /// Completed generations (0 right after [`EaState::init`]).
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    /// Whether the configured iteration budget has been exhausted.
+    pub fn is_done(&self) -> bool {
+        self.generation >= self.cfg.iterations
+    }
+
+    /// Breeds and scores one generation. No-op when [`EaState::is_done`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evaluator` returns a fitness vector of the wrong length.
+    pub fn step<E, M, X>(&mut self, evaluator: &mut E, mut mutate: M, mut crossover: X)
+    where
+        E: GenerationEvaluator<G> + ?Sized,
+        M: FnMut(&G, &mut StdRng) -> G,
+        X: FnMut(&G, &G, &mut StdRng) -> G,
+    {
+        if self.is_done() {
+            return;
+        }
+        let cfg = &self.cfg;
+        let elites =
+            ((cfg.population as f64 * cfg.elite_fraction).ceil() as usize).clamp(1, cfg.population);
+        let (scored, rng) = (&mut self.scored, &mut self.rng);
+        // Breed the full generation first, then score it as one batch.
+        let children: Vec<G> = (elites..cfg.population)
+            .map(|_| {
+                if rng.gen_bool(cfg.mutation_prob) || elites < 2 {
+                    let parent = &scored[rng.gen_range(0..elites)].0;
+                    mutate(parent, rng)
+                } else {
+                    let mut picks = scored[..elites].choose_multiple(rng, 2);
+                    let a = &picks.next().unwrap().0;
+                    let b = &picks.next().unwrap().0;
+                    crossover(a, b, rng)
+                }
+            })
+            .collect();
+        let fits = evaluator.evaluate(&children);
+        assert_eq!(
+            fits.len(),
+            children.len(),
+            "evaluator returned wrong batch size"
+        );
+
+        let mut next: Vec<(G, f64)> = scored[..elites].to_vec();
+        for (child, f) in children.into_iter().zip(fits) {
+            self.evaluations += 1;
+            if f > self.best.1 {
+                self.best = (child.clone(), f);
+            }
+            self.history.push((self.evaluations, self.best.1));
+            next.push((child, f));
+        }
+        next.sort_by(|a, b| b.1.total_cmp(&a.1));
+        // No post-sort best re-check: every child was compared above, and
+        // the carried elites were already ≤ best when they were scored.
+        self.scored = next;
+        self.generation += 1;
+    }
+
+    /// Checkpoints the state at the current generation boundary.
+    pub fn snapshot(&self) -> EaSnapshot<G> {
+        EaSnapshot {
+            rng: self.rng.clone(),
+            scored: self.scored.clone(),
+            best: self.best.clone(),
+            evaluations: self.evaluations,
+            history: self.history.clone(),
+            generation: self.generation,
+        }
+    }
+
+    /// Rebuilds a state from a snapshot taken under the same `cfg`.
+    /// Stepping the restored state continues the interrupted run's exact
+    /// draw sequence.
+    pub fn restore(cfg: &EaConfig, snap: EaSnapshot<G>) -> Self {
+        EaState {
+            cfg: *cfg,
+            rng: snap.rng,
+            scored: snap.scored,
+            best: snap.best,
+            evaluations: snap.evaluations,
+            history: snap.history,
+            generation: snap.generation,
+        }
+    }
+
+    /// The run's outcome so far.
+    pub fn result(&self) -> EaResult<G> {
+        EaResult {
+            best: self.best.0.clone(),
+            best_fitness: self.best.1,
+            history: self.history.clone(),
+            evaluations: self.evaluations,
+        }
+    }
+}
+
 /// Runs a (μ+λ)-style evolutionary search, scoring whole generations
 /// through `evaluator`.
 ///
@@ -141,83 +334,11 @@ where
     M: FnMut(&G, &mut StdRng) -> G,
     X: FnMut(&G, &G, &mut StdRng) -> G,
 {
-    assert!(!init.is_empty(), "EA needs at least one seed genome");
-    assert!(cfg.population > 0, "population must be positive");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-    // Top the seed population up with mutants of the seeds.
-    let mut pop: Vec<G> = init;
-    while pop.len() < cfg.population {
-        let base = pop[rng.gen_range(0..pop.len())].clone();
-        pop.push(mutate(&base, &mut rng));
+    let mut state = EaState::init(init, cfg, evaluator, &mut mutate);
+    while !state.is_done() {
+        state.step(evaluator, &mut mutate, &mut crossover);
     }
-    pop.truncate(cfg.population);
-
-    let mut evaluations = 0usize;
-    let mut history = Vec::new();
-    let mut running_best = f64::NEG_INFINITY;
-    let fits = evaluator.evaluate(&pop);
-    assert_eq!(fits.len(), pop.len(), "evaluator returned wrong batch size");
-    let mut scored: Vec<(G, f64)> = pop
-        .into_iter()
-        .zip(fits)
-        .map(|(g, f)| {
-            evaluations += 1;
-            running_best = running_best.max(f);
-            history.push((evaluations, running_best));
-            (g, f)
-        })
-        .collect();
-    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
-    let mut best = scored[0].clone();
-
-    let elites =
-        ((cfg.population as f64 * cfg.elite_fraction).ceil() as usize).clamp(1, cfg.population);
-
-    for _iter in 0..cfg.iterations {
-        // Breed the full generation first, then score it as one batch.
-        let children: Vec<G> = (elites..cfg.population)
-            .map(|_| {
-                if rng.gen_bool(cfg.mutation_prob) || elites < 2 {
-                    let parent = &scored[rng.gen_range(0..elites)].0;
-                    mutate(parent, &mut rng)
-                } else {
-                    let mut picks = scored[..elites].choose_multiple(&mut rng, 2);
-                    let a = &picks.next().unwrap().0;
-                    let b = &picks.next().unwrap().0;
-                    crossover(a, b, &mut rng)
-                }
-            })
-            .collect();
-        let fits = evaluator.evaluate(&children);
-        assert_eq!(
-            fits.len(),
-            children.len(),
-            "evaluator returned wrong batch size"
-        );
-
-        let mut next: Vec<(G, f64)> = scored[..elites].to_vec();
-        for (child, f) in children.into_iter().zip(fits) {
-            evaluations += 1;
-            if f > best.1 {
-                best = (child.clone(), f);
-            }
-            history.push((evaluations, best.1));
-            next.push((child, f));
-        }
-        next.sort_by(|a, b| b.1.total_cmp(&a.1));
-        scored = next;
-        if scored[0].1 > best.1 {
-            best = scored[0].clone();
-        }
-    }
-
-    EaResult {
-        best: best.0,
-        best_fitness: best.1,
-        history,
-        evaluations,
-    }
+    state.result()
 }
 
 #[cfg(test)]
@@ -265,6 +386,61 @@ mod tests {
         let b = onemax(&EaConfig::paper(10));
         assert_eq!(a.best, b.best);
         assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_run() {
+        let cfg = EaConfig {
+            population: 12,
+            iterations: 25,
+            elite_fraction: 0.4,
+            mutation_prob: 0.8,
+            seed: 17,
+        };
+        let fitness = |g: &u32| g.count_ones() as f64;
+        let mutate = |g: &u32, rng: &mut StdRng| g ^ (1 << rng.gen_range(0..32));
+        let crossover = |a: &u32, b: &u32, rng: &mut StdRng| {
+            let mask: u32 = rng.gen();
+            (a & mask) | (b & !mask)
+        };
+
+        let full = onemax(&cfg);
+
+        // Run 10 generations, snapshot, drop the state, resume, finish.
+        let mut ev = FnEvaluator(fitness);
+        let mut state = EaState::init(vec![0u32], &cfg, &mut ev, mutate);
+        for _ in 0..10 {
+            state.step(&mut ev, mutate, crossover);
+        }
+        let snap = state.snapshot();
+        assert_eq!(snap.generation, 10);
+        drop(state);
+
+        let mut resumed = EaState::restore(&cfg, snap);
+        while !resumed.is_done() {
+            resumed.step(&mut ev, mutate, crossover);
+        }
+        let r = resumed.result();
+        assert_eq!(r.best, full.best);
+        assert_eq!(r.best_fitness.to_bits(), full.best_fitness.to_bits());
+        assert_eq!(r.history, full.history);
+        assert_eq!(r.evaluations, full.evaluations);
+    }
+
+    #[test]
+    fn step_past_budget_is_a_noop() {
+        let cfg = EaConfig::fast(2);
+        let fitness = |g: &u32| *g as f64;
+        let mutate = |g: &u32, rng: &mut StdRng| g.wrapping_add(rng.gen_range(0..3u32));
+        let mut ev = FnEvaluator(fitness);
+        let mut state = EaState::init(vec![1u32], &cfg, &mut ev, mutate);
+        while !state.is_done() {
+            state.step(&mut ev, mutate, |a, _, _| *a);
+        }
+        let before = state.result();
+        state.step(&mut ev, mutate, |a, _, _| *a);
+        assert_eq!(state.generation(), 2);
+        assert_eq!(state.result().history, before.history);
     }
 
     #[test]

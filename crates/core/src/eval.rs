@@ -121,6 +121,46 @@ where
         &self.scorer
     }
 
+    /// Exports the memo cache in arena (first-scoring) order, paired with
+    /// the stats counters. Together with [`Evaluator::import_state`] this
+    /// checkpoints the evaluator: the stats travel along because
+    /// [`EvalStats::submitted`] anchors per-candidate RNG stream ids, so a
+    /// restored evaluator assigns future candidates the exact streams the
+    /// interrupted one would have.
+    pub fn export_state(&self) -> (EvalStats, Vec<(G, S::Output)>) {
+        let mut by_slot: Vec<(&G, usize)> = self.cache.iter().map(|(g, &s)| (g, s)).collect();
+        by_slot.sort_unstable_by_key(|&(_, slot)| slot);
+        let entries = by_slot
+            .into_iter()
+            .map(|(g, slot)| (g.clone(), self.arena[slot].clone()))
+            .collect();
+        (self.stats, entries)
+    }
+
+    /// Restores a state captured by [`Evaluator::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if this evaluator has already scored anything, or if the
+    /// imported state is internally inconsistent (duplicate genomes, or
+    /// more cache entries than recorded misses).
+    pub fn import_state(&mut self, stats: EvalStats, entries: Vec<(G, S::Output)>) {
+        assert!(
+            self.stats.submitted == 0 && self.arena.is_empty(),
+            "import_state requires a fresh evaluator"
+        );
+        assert!(
+            entries.len() as u64 <= stats.misses,
+            "imported cache holds more entries than recorded misses"
+        );
+        for (g, out) in entries {
+            let prev = self.cache.insert(g, self.arena.len());
+            assert!(prev.is_none(), "imported cache has duplicate genomes");
+            self.arena.push(out);
+        }
+        self.stats = stats;
+    }
+
     /// Scores a batch, returning each candidate's output in submission
     /// order. Results are bit-identical for any thread budget.
     pub fn evaluate_batch(&mut self, batch: &[G]) -> Vec<S::Output> {
@@ -377,6 +417,53 @@ mod tests {
         // Worker budgets: one worker at 2 (two jobs -> two entries), six
         // workers at 1 (eleven entries across their jobs).
         assert_eq!(budgets, [vec![1; 11], vec![2; 2]].concat());
+    }
+
+    #[test]
+    fn export_import_resumes_streams_and_cache() {
+        // Reference: one evaluator sees both batches.
+        let batches = vec![vec![1u64, 2, 3, 2], vec![3, 4, 5, 1]];
+        let (full, full_stats, _) = run(2, &batches);
+
+        // Checkpointed: export after batch 1, import into a fresh
+        // evaluator, submit batch 2.
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut a = Evaluator::new(scorer, 2, 42, |_, out: &(u64, u64), _| {
+            (out.0 + out.1 % 7) as f64
+        });
+        a.evaluate_fitness(&batches[0]);
+        let (stats, entries) = a.export_state();
+        drop(a);
+
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut b = Evaluator::new(scorer, 2, 42, |_, out: &(u64, u64), _| {
+            (out.0 + out.1 % 7) as f64
+        });
+        b.import_state(stats, entries);
+        let resumed = b.evaluate_fitness(&batches[1]);
+        assert_eq!(resumed, full[1]);
+        // Cached genomes (3, 1) were not re-scored after import.
+        assert_eq!(b.scorer().calls.load(Ordering::SeqCst), 2);
+        let s = b.stats();
+        assert_eq!(s.submitted, full_stats.submitted);
+        assert_eq!(s.hits, full_stats.hits);
+        assert_eq!(s.misses, full_stats.misses);
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh evaluator")]
+    fn import_into_used_evaluator_rejected() {
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut ev = Evaluator::new(scorer, 1, 0, |_, out: &(u64, u64), _| out.0 as f64);
+        ev.evaluate_fitness(&[1]);
+        let (stats, entries) = ev.export_state();
+        ev.import_state(stats, entries);
     }
 
     #[test]

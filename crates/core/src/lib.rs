@@ -45,11 +45,15 @@ pub mod space;
 mod supernet;
 
 pub use clock::SearchClock;
-pub use ea::{evolve, evolve_with, EaConfig, EaResult, FnEvaluator, GenerationEvaluator};
+pub use ea::{
+    evolve, evolve_with, EaConfig, EaResult, EaSnapshot, EaState, FnEvaluator, GenerationEvaluator,
+};
 pub use eval::{CandidateScorer, EvalStats, Evaluator};
 pub use objective::Objective;
 pub use pareto::pareto_front;
 pub use search::{
-    Hgnas, LatencyMode, SearchConfig, SearchOutcome, SearchedModel, Strategy, TaskConfig,
+    Hgnas, LatencyMode, MeasureBackend, PretrainedPredictor, RunOptions, RunOutput,
+    ScoredCandidate, SearchCheckpoint, SearchConfig, SearchOutcome, SearchedModel, Strategy,
+    TaskConfig,
 };
 pub use supernet::Supernet;

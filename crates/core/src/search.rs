@@ -1,17 +1,20 @@
 //! The HGNAS search pipeline (paper Alg. 1 plus the Fig. 9 ablation modes).
 
 use crate::clock::SearchClock;
-use crate::ea::{evolve, evolve_with, EaConfig, EaResult};
+use crate::ea::{evolve_with, EaConfig, EaSnapshot, EaState};
 use crate::eval::{CandidateScorer, EvalStats, Evaluator};
 use crate::objective::Objective;
 use crate::supernet::Supernet;
-use hgnas_device::{DeviceKind, DeviceProfile};
+use hgnas_device::{DeviceKind, DeviceProfile, ExecutionReport, MeasureError, Workload};
 use hgnas_ops::{lower_edgeconv, Architecture, DgcnnConfig, FunctionSet, OpType};
 use hgnas_pointcloud::{DatasetConfig, PointCloud, SynthNet40};
 use hgnas_predictor::{LatencyPredictor, PredictorConfig, PredictorContext, TrainStats};
 use hgnas_tensor::threads::with_kernel_threads;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::Arc;
 
 /// How candidate latency is obtained during the search (Fig. 9(a)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -256,13 +259,144 @@ pub struct SearchOutcome {
     pub search_hours: f64,
     /// Predictor validation stats when the predictor mode was used.
     pub predictor_stats: Option<TrainStats>,
-    /// Candidate-evaluation cache/scheduling counters (multi-stage runs;
-    /// the one-stage baseline evaluates through the legacy closure path).
+    /// Candidate-evaluation cache/scheduling counters of the main search
+    /// loop (Stage 2, or the joint one-stage loop).
     pub eval_stats: Option<EvalStats>,
+    /// Stage-1 function-search cache/scheduling counters (multi-stage runs
+    /// only — Stage 1 runs its own memoising evaluator).
+    pub stage1_stats: Option<EvalStats>,
     /// DGCNN reference latency on the target device, ms.
     pub reference_ms: f64,
     /// The latency constraint that was enforced, ms.
     pub constraint_ms: f64,
+}
+
+/// An external measurement service the search can route latency queries
+/// through instead of invoking the device simulator inline — the hook an
+/// asynchronous measurement oracle (e.g. `hgnas-fleet`'s) plugs into.
+///
+/// Implementations must be *transparent*: given the same workload and RNG
+/// state, `measure` must return exactly what
+/// [`DeviceProfile::measure`] would, and leave `rng` in the same state —
+/// that is what keeps a search through a backend bit-identical to an inline
+/// one. Retries of transient transport failures are fine (and encouraged);
+/// retrying must not consume measurement-noise draws.
+pub trait MeasureBackend: Send + Sync + fmt::Debug {
+    /// Measures `workload` on the backend's device, drawing measurement
+    /// noise from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// [`MeasureError`] exactly as [`DeviceProfile::measure`] reports it.
+    fn measure(
+        &self,
+        workload: &Workload,
+        rng: &mut StdRng,
+    ) -> Result<ExecutionReport, MeasureError>;
+}
+
+/// A predictor trained in an earlier run (e.g. loaded from an artifact
+/// store), paired with the statistics observed when it was trained.
+/// Supplying one to [`Hgnas::run_with`] skips predictor training entirely.
+#[derive(Debug, Clone)]
+pub struct PretrainedPredictor {
+    /// The predictor; must target the search's device and task context.
+    pub predictor: Arc<LatencyPredictor>,
+    /// Training statistics to surface on [`SearchOutcome::predictor_stats`].
+    pub stats: TrainStats,
+}
+
+/// Full result of scoring one Stage-2 (or one-stage) candidate. Public so
+/// checkpoints can persist — and artifact codecs re-encode — the
+/// evaluator's score cache.
+#[derive(Debug, Clone)]
+pub struct ScoredCandidate {
+    /// The instantiated architecture (rebuildable from the genome and the
+    /// run's function sets, which is how codecs avoid storing it).
+    pub architecture: Architecture,
+    /// Objective score (Eq. 3); hard 0 for constraint violators.
+    pub score: f64,
+    /// One-shot validation accuracy (0 for constraint violators).
+    pub accuracy: f64,
+    /// Latency seen by the search, ms.
+    pub latency_ms: f64,
+    /// Simulated search time this evaluation cost, ms.
+    pub cost_ms: f64,
+    /// Whether the candidate met the latency and size constraints.
+    pub valid: bool,
+}
+
+/// A consistent image of an in-flight multi-stage search at a Stage-2
+/// generation boundary: EA state (including its RNG mid-stream), the
+/// evaluator's memo cache and stream counters, the simulated clock, the
+/// history trace and the best-so-far candidate. Restoring it via
+/// [`RunOptions::resume`] continues the search bit-identically to a run
+/// that was never interrupted.
+#[derive(Debug, Clone)]
+pub struct SearchCheckpoint {
+    /// The search seed (validated on resume).
+    pub seed: u64,
+    /// The target device (validated on resume).
+    pub device: DeviceKind,
+    /// The Stage-1 function sets the checkpointed Stage 2 runs under
+    /// (validated against the deterministic Stage-1 re-run on resume).
+    pub functions: (FunctionSet, FunctionSet),
+    /// The Stage-2 EA hyperparameters the checkpoint was taken under
+    /// (validated on resume — restoring into a different population or
+    /// breeding schedule would silently break bit-identity).
+    pub ea_config: EaConfig,
+    /// Completed Stage-2 generations.
+    pub generation: usize,
+    /// The Stage-2 EA mid-run.
+    pub ea: EaSnapshot<Vec<OpType>>,
+    /// Evaluator counters (anchor per-candidate RNG stream ids).
+    pub eval_stats: EvalStats,
+    /// The evaluator's memo cache in first-scoring order.
+    pub cache: Vec<(Vec<OpType>, ScoredCandidate)>,
+    /// Simulated elapsed time at the boundary, ms.
+    pub clock_ms: f64,
+    /// The Fig. 9 history trace so far.
+    pub history: Vec<(f64, f64)>,
+    /// Best candidate so far, with its constraint-validity flag.
+    pub best: Option<(SearchedModel, bool)>,
+}
+
+/// Optional hooks for [`Hgnas::run_with`]. [`RunOptions::default`] makes it
+/// behave exactly like [`Hgnas::run`].
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// Route [`LatencyMode::Measured`] queries through an external
+    /// measurement service instead of the inline simulator.
+    pub backend: Option<Arc<dyn MeasureBackend>>,
+    /// Reuse a previously trained latency predictor
+    /// ([`LatencyMode::Predictor`]), skipping predictor training.
+    pub predictor: Option<PretrainedPredictor>,
+    /// Resume a multi-stage search from a checkpoint instead of starting
+    /// Stage 2 from scratch.
+    pub resume: Option<SearchCheckpoint>,
+    /// Called with a fresh checkpoint at Stage-2 generation boundaries
+    /// (persist it to survive kills).
+    pub checkpoint_sink: Option<&'a mut dyn FnMut(&SearchCheckpoint)>,
+    /// Boundary stride for `checkpoint_sink`: build and deliver a
+    /// checkpoint every N generations (0 is treated as 1). Snapshotting
+    /// clones the whole score cache, so sparse strides keep long runs
+    /// cheap; the final state is always delivered regardless.
+    pub checkpoint_every: usize,
+    /// Stop after this many Stage-2 generations (the kill-mid-search test
+    /// hook): the run returns no outcome, only its last checkpoint.
+    pub abort_after_generation: Option<usize>,
+}
+
+/// What [`Hgnas::run_with`] returns.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The outcome; `None` when the run was aborted via
+    /// [`RunOptions::abort_after_generation`].
+    pub outcome: Option<SearchOutcome>,
+    /// The final Stage-2 checkpoint (multi-stage runs only): the complete
+    /// scored-candidate cache plus EA end state. This is what an artifact
+    /// store persists between runs.
+    pub checkpoint: Option<SearchCheckpoint>,
 }
 
 /// Latency oracle shared by both modes. Stateless (`query` takes `&self`)
@@ -270,11 +404,15 @@ pub struct SearchOutcome {
 /// measurement-noise RNG is supplied per query from the candidate's own
 /// stream.
 enum LatencyOracle {
-    Predictor(Box<LatencyPredictor>),
+    Predictor(Arc<LatencyPredictor>),
     Measured {
         profile: DeviceProfile,
         points: usize,
         head_hidden: Vec<usize>,
+        /// External measurement service; `None` measures inline. A
+        /// transparent backend (see [`MeasureBackend`]) never changes
+        /// query results, only who executes them.
+        backend: Option<Arc<dyn MeasureBackend>>,
     },
 }
 
@@ -289,9 +427,14 @@ impl LatencyOracle {
                 profile,
                 points,
                 head_hidden,
+                backend,
             } => {
                 let w = arch.lower(*points, head_hidden);
-                match profile.measure(&w, rng) {
+                let result = match backend {
+                    Some(b) => b.measure(&w, rng),
+                    None => profile.measure(&w, rng),
+                };
+                match result {
                     // 10 timed runs plus the deployment round-trip.
                     Ok(r) => (
                         r.latency_ms,
@@ -302,6 +445,70 @@ impl LatencyOracle {
             }
         }
     }
+}
+
+/// Read-only context for scoring one Stage-1 function-set pair, shared
+/// across the parallel evaluator's workers.
+struct Stage1Scorer<'a> {
+    hgnas: &'a Hgnas,
+    ds: &'a SynthNet40,
+    eval_subset: &'a [PointCloud],
+    /// Simulated cost of one one-shot accuracy validation, ms.
+    eval_cost_ms: f64,
+}
+
+/// Result of scoring one Stage-1 candidate.
+#[derive(Debug, Clone)]
+struct Stage1Score {
+    /// Mean one-shot accuracy over a few random supernet paths.
+    accuracy: f64,
+    /// Simulated search time the evaluation cost, ms.
+    cost_ms: f64,
+}
+
+impl CandidateScorer<(FunctionSet, FunctionSet)> for Stage1Scorer<'_> {
+    type Output = Stage1Score;
+
+    fn score(&self, fs: &(FunctionSet, FunctionSet), rng: &mut StdRng) -> Stage1Score {
+        let mut clk = SearchClock::new();
+        let sn = self.hgnas.train_supernet_with_rng(
+            *fs,
+            self.hgnas.config.epochs_stage1,
+            self.ds,
+            rng,
+            &mut clk,
+        );
+        // Mean one-shot accuracy over a few random paths.
+        let mut acc = 0.0;
+        const PATHS: usize = 3;
+        for _ in 0..PATHS {
+            let genome = sn.random_genome(rng);
+            acc += sn.eval_genome(&genome, self.eval_subset, 0);
+            clk.add_ms(self.eval_cost_ms);
+        }
+        Stage1Score {
+            accuracy: acc / PATHS as f64,
+            cost_ms: clk.elapsed_ms(),
+        }
+    }
+}
+
+/// The inherently serial Stage-2 bookkeeping the evaluator's reduce step
+/// maintains and checkpoints capture.
+struct Stage2Book {
+    clock: SearchClock,
+    history: Vec<(f64, f64)>,
+    best: Option<(SearchedModel, bool)>,
+}
+
+/// What one Stage-2 run (possibly aborted mid-way) produced.
+struct Stage2Run {
+    best: Option<(SearchedModel, bool)>,
+    eval_stats: EvalStats,
+    history: Vec<(f64, f64)>,
+    clock: SearchClock,
+    checkpoint: SearchCheckpoint,
+    aborted: bool,
 }
 
 /// Read-only context for scoring one Stage-2 genome, shared across the
@@ -315,18 +522,6 @@ struct Stage2Scorer<'a> {
     objective: &'a Objective,
     /// Simulated cost of one one-shot accuracy validation, ms.
     eval_cost_ms: f64,
-}
-
-/// Full result of scoring one Stage-2 candidate.
-#[derive(Debug, Clone)]
-struct ScoredCandidate {
-    architecture: Architecture,
-    score: f64,
-    accuracy: f64,
-    latency_ms: f64,
-    /// Simulated search time this evaluation cost, ms.
-    cost_ms: f64,
-    valid: bool,
 }
 
 impl CandidateScorer<Vec<OpType>> for Stage2Scorer<'_> {
@@ -351,6 +546,61 @@ impl CandidateScorer<Vec<OpType>> for Stage2Scorer<'_> {
         } else {
             let acc = self.supernet.eval_genome(genome, self.eval_subset, 0);
             cost += self.eval_cost_ms;
+            (acc, self.objective.score_sized(acc, lat, size_mb))
+        };
+        ScoredCandidate {
+            architecture: arch,
+            score,
+            accuracy: acc,
+            latency_ms: lat,
+            cost_ms: cost,
+            valid,
+        }
+    }
+}
+
+/// Genome of the one-stage joint baseline: both half function sets plus
+/// the op-type sequence evolve together.
+type JointGenome = (FunctionSet, FunctionSet, Vec<OpType>);
+
+/// Read-only context for scoring one joint (one-stage) candidate, shared
+/// across the parallel evaluator's workers.
+struct OneStageScorer<'a> {
+    hgnas: &'a Hgnas,
+    ds: &'a SynthNet40,
+    eval_subset: &'a [PointCloud],
+    oracle: &'a LatencyOracle,
+    objective: &'a Objective,
+    /// Simulated cost of one one-shot accuracy validation, ms.
+    eval_cost_ms: f64,
+}
+
+impl CandidateScorer<JointGenome> for OneStageScorer<'_> {
+    type Output = ScoredCandidate;
+
+    fn score(&self, (up, lo, genome): &JointGenome, rng: &mut StdRng) -> ScoredCandidate {
+        let task = &self.hgnas.task;
+        let arch = Architecture::from_genome(genome, *up, *lo, task.k, task.classes());
+        let (lat, mut cost) = self.oracle.query(&arch, rng);
+        let size_mb = arch.size_mb(3, &task.head_hidden);
+        let size_ok = self.objective.max_size_mb.is_none_or(|m| size_mb < m);
+        let valid = lat < self.objective.constraint_ms && size_ok;
+        let (acc, score) = if !valid {
+            (0.0, 0.0)
+        } else {
+            // No shared supernet: train one for this candidate, seeded
+            // from the candidate's private stream.
+            let mut clk = SearchClock::new();
+            let sn = self.hgnas.train_supernet_with_rng(
+                (*up, *lo),
+                self.hgnas.config.epochs_stage1,
+                self.ds,
+                rng,
+                &mut clk,
+            );
+            let acc = sn.eval_genome(genome, self.eval_subset, 0);
+            clk.add_ms(self.eval_cost_ms);
+            cost += clk.elapsed_ms();
             (acc, self.objective.score_sized(acc, lat, size_mb))
         };
         ScoredCandidate {
@@ -414,21 +664,38 @@ impl Hgnas {
         eval_clouds as f64 * per_cloud
     }
 
-    fn make_oracle(&self) -> (LatencyOracle, Option<TrainStats>) {
+    fn make_oracle(&self, opts: &RunOptions) -> (LatencyOracle, Option<TrainStats>) {
         match self.config.latency_mode {
             LatencyMode::Predictor => {
+                if let Some(pre) = &opts.predictor {
+                    assert_eq!(
+                        pre.predictor.device(),
+                        self.config.device,
+                        "pre-trained predictor targets the wrong device"
+                    );
+                    assert_eq!(
+                        *pre.predictor.context(),
+                        self.task.predictor_context(),
+                        "pre-trained predictor was trained for a different task context"
+                    );
+                    return (
+                        LatencyOracle::Predictor(Arc::clone(&pre.predictor)),
+                        Some(pre.stats.clone()),
+                    );
+                }
                 let (p, stats) = LatencyPredictor::train(
                     self.config.device,
                     &self.task.predictor_context(),
                     &self.config.predictor,
                 );
-                (LatencyOracle::Predictor(Box::new(p)), Some(stats))
+                (LatencyOracle::Predictor(Arc::new(p)), Some(stats))
             }
             LatencyMode::Measured => (
                 LatencyOracle::Measured {
                     profile: self.config.device.profile(),
                     points: self.task.points(),
                     head_hidden: self.task.head_hidden.clone(),
+                    backend: opts.backend.clone(),
                 },
                 None,
             ),
@@ -444,8 +711,23 @@ impl Hgnas {
         clock: &mut SearchClock,
     ) -> Supernet {
         let mut rng = StdRng::seed_from_u64(seed);
+        self.train_supernet_with_rng(functions, epochs, ds, &mut rng, clock)
+    }
+
+    /// Supernet construction + training drawing from a caller-owned stream:
+    /// the Stage-1 and one-stage scorers feed each candidate's private
+    /// stream through here so training stays deterministic per candidate
+    /// regardless of scheduling.
+    fn train_supernet_with_rng(
+        &self,
+        functions: (FunctionSet, FunctionSet),
+        epochs: usize,
+        ds: &SynthNet40,
+        rng: &mut StdRng,
+        clock: &mut SearchClock,
+    ) -> Supernet {
         let mut sn = Supernet::new(
-            &mut rng,
+            rng,
             self.task.positions,
             self.task.supernet_hidden,
             self.task.k,
@@ -463,7 +745,7 @@ impl Hgnas {
         };
         for epoch in 0..epochs {
             opt.set_learning_rate(schedule.lr_at(BASE_LR, epoch));
-            sn.train_epoch(&batches, &mut opt, &mut rng);
+            sn.train_epoch(&batches, &mut opt, rng);
             clock.add_ms(self.epoch_cost_ms(ds.train.len()));
         }
         sn
@@ -476,7 +758,17 @@ impl Hgnas {
 
     /// Stage 1: evolve the (upper, lower) function-set pair to maximise
     /// supernet accuracy (Alg. 1 lines 4–9).
-    fn stage1(&self, ds: &SynthNet40, clock: &mut SearchClock) -> (FunctionSet, FunctionSet) {
+    ///
+    /// Candidates run through their own memoising parallel [`Evaluator`]
+    /// (per-candidate supernet training is the expensive part and fans out
+    /// exactly like Stage-2 scoring): duplicate function pairs — common
+    /// under single-attribute mutation — are never re-trained, and results
+    /// are bit-identical at any `SearchConfig::eval_threads`.
+    fn stage1(
+        &self,
+        ds: &SynthNet40,
+        clock: &mut SearchClock,
+    ) -> ((FunctionSet, FunctionSet), EvalStats) {
         let mut seed_rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
         let dgcnn_like = (FunctionSet::dgcnn_like(64), FunctionSet::dgcnn_like(128));
         let init = vec![
@@ -487,36 +779,35 @@ impl Hgnas {
             ),
         ];
         let eval_subset = self.eval_subset(ds);
-        let mut candidate_idx = 0u64;
-        let result: EaResult<(FunctionSet, FunctionSet)> = evolve(
+        let scorer = Stage1Scorer {
+            hgnas: self,
+            ds,
+            eval_subset,
+            eval_cost_ms: self.eval_cost_ms(eval_subset.len()),
+        };
+        let mut evaluator = Evaluator::new(
+            scorer,
+            self.config.eval_threads,
+            self.config.seed.wrapping_add(177),
+            |_fs: &(FunctionSet, FunctionSet), out: &Stage1Score, fresh| {
+                // Memoised duplicates cost no simulated search time: the
+                // cached accuracy is reused without retraining anything.
+                if fresh {
+                    clock.add_ms(out.cost_ms);
+                }
+                out.accuracy
+            },
+        );
+        let result = evolve_with(
             init,
             &self.config.ea_stage1,
-            |fs| {
-                candidate_idx += 1;
-                let mut clk = SearchClock::new();
-                let sn = self.train_supernet(
-                    *fs,
-                    self.config.epochs_stage1,
-                    ds,
-                    self.config.seed.wrapping_add(1000 + candidate_idx),
-                    &mut clk,
-                );
-                // Mean one-shot accuracy over a few random paths.
-                let mut rng = StdRng::seed_from_u64(candidate_idx);
-                let mut acc = 0.0;
-                const PATHS: usize = 3;
-                for _ in 0..PATHS {
-                    let genome = sn.random_genome(&mut rng);
-                    acc += sn.eval_genome(&genome, eval_subset, 0);
-                    clk.add_ms(self.eval_cost_ms(eval_subset.len()));
-                }
-                clock.add_ms(clk.elapsed_ms());
-                acc / PATHS as f64
-            },
+            &mut evaluator,
             |fs, rng| mutate_function_pair(*fs, rng),
             |a, b, rng| crossover_function_pair(*a, *b, rng),
         );
-        result.best
+        let stats = evaluator.stats();
+        drop(evaluator);
+        (result.best, stats)
     }
 
     /// Stage 2: fix functions, pre-train the supernet, evolve op genomes
@@ -527,6 +818,12 @@ impl Hgnas {
     /// (never re-lowered or re-scored), and fresh genomes fan out across
     /// `SearchConfig::eval_threads` workers with per-candidate RNG streams,
     /// so the outcome is bit-identical for any thread count.
+    ///
+    /// The loop is checkpointable: at every generation boundary the
+    /// complete state (EA + evaluator cache + clock + best-so-far) can be
+    /// handed to [`RunOptions::checkpoint_sink`], and a run restored via
+    /// [`RunOptions::resume`] continues the exact RNG streams of the
+    /// interrupted one.
     #[allow(clippy::too_many_arguments)]
     fn stage2(
         &self,
@@ -535,20 +832,10 @@ impl Hgnas {
         ds: &SynthNet40,
         oracle: &LatencyOracle,
         objective: &Objective,
-        clock: &mut SearchClock,
-        history: &mut Vec<(f64, f64)>,
-    ) -> (SearchedModel, EvalStats) {
+        clock_in: SearchClock,
+        opts: &mut RunOptions,
+    ) -> Stage2Run {
         let eval_subset = self.eval_subset(ds);
-        let mut init_rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(2));
-        let dgcnn_ish: Vec<OpType> = (0..self.task.positions)
-            .map(|i| match i % 3 {
-                0 => OpType::Sample,
-                1 => OpType::Aggregate,
-                _ => OpType::Combine,
-            })
-            .collect();
-        let init = vec![dgcnn_ish, supernet.random_genome(&mut init_rng)];
-
         let scorer = Stage2Scorer {
             task: &self.task,
             functions,
@@ -558,24 +845,210 @@ impl Hgnas {
             objective,
             eval_cost_ms: self.eval_cost_ms(eval_subset.len()),
         };
-        // Validity (latency *and* size constraints) travels with the best
-        // candidate rather than being re-derived from latency alone, so a
-        // size violator can never block a genuinely valid candidate.
-        let mut best_detail: Option<(SearchedModel, bool)> = None;
+        // The serial bookkeeping (clock, history, best-so-far) lives in a
+        // RefCell so both the evaluator's reduce closure and the
+        // checkpoint builder below can reach it; the two never run at the
+        // same time.
+        let book = RefCell::new(Stage2Book {
+            clock: clock_in,
+            history: Vec::new(),
+            best: None,
+        });
         let mut evaluator = Evaluator::new(
             scorer,
             self.config.eval_threads,
             self.config.seed.wrapping_add(77),
             |genome: &Vec<OpType>, out: &ScoredCandidate, fresh: bool| {
+                let mut b = book.borrow_mut();
                 // Simulated search time is only paid for fresh evaluations:
                 // a memoised candidate costs neither a latency query nor an
                 // accuracy validation.
                 if fresh {
-                    clock.add_ms(out.cost_ms);
+                    b.clock.add_ms(out.cost_ms);
                 }
                 // A constraint-satisfying candidate always outranks a
                 // violator, even when heavy β pushes its Eq.(3) score
-                // below the violator's hard 0.
+                // below the violator's hard 0. Validity (latency *and*
+                // size constraints) travels with the best candidate rather
+                // than being re-derived from latency alone, so a size
+                // violator can never block a genuinely valid candidate.
+                let better = b.best.as_ref().is_none_or(|(best, best_valid)| {
+                    match (out.valid, *best_valid) {
+                        (true, false) => true,
+                        (false, true) => false,
+                        _ => out.score > best.score,
+                    }
+                });
+                if better {
+                    b.best = Some((
+                        SearchedModel {
+                            architecture: out.architecture.clone(),
+                            genome: genome.clone(),
+                            functions,
+                            score: out.score,
+                            supernet_accuracy: out.accuracy,
+                            latency_ms: out.latency_ms,
+                        },
+                        out.valid,
+                    ));
+                }
+                let t = b.clock.elapsed_min();
+                let best_score = b.best.as_ref().unwrap().0.score;
+                b.history.push((t, best_score));
+                out.score
+            },
+        );
+
+        let mut state = if let Some(cp) = opts.resume.take() {
+            assert_eq!(cp.seed, self.config.seed, "checkpoint seed mismatch");
+            assert_eq!(
+                cp.device, self.config.device,
+                "checkpoint targets a different device"
+            );
+            assert_eq!(
+                cp.functions, functions,
+                "checkpoint function sets disagree with the Stage-1 re-run \
+                 (different task or search configuration?)"
+            );
+            assert_eq!(
+                cp.ea_config, self.config.ea_stage2,
+                "checkpoint was taken under different Stage-2 EA hyperparameters"
+            );
+            assert!(
+                cp.generation <= self.config.ea_stage2.iterations,
+                "checkpoint is past this configuration's iteration budget"
+            );
+            evaluator.import_state(cp.eval_stats, cp.cache);
+            {
+                let mut b = book.borrow_mut();
+                b.clock = SearchClock::from_ms(cp.clock_ms);
+                b.history = cp.history;
+                b.best = cp.best;
+            }
+            EaState::restore(&self.config.ea_stage2, cp.ea)
+        } else {
+            let mut init_rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(2));
+            let dgcnn_ish: Vec<OpType> = (0..self.task.positions)
+                .map(|i| match i % 3 {
+                    0 => OpType::Sample,
+                    1 => OpType::Aggregate,
+                    _ => OpType::Combine,
+                })
+                .collect();
+            let init = vec![dgcnn_ish, supernet.random_genome(&mut init_rng)];
+            EaState::init(init, &self.config.ea_stage2, &mut evaluator, mutate_genome)
+        };
+
+        let mut last_cp: Option<SearchCheckpoint> = None;
+        let mut aborted = false;
+        loop {
+            let done = state.is_done();
+            let abort = opts
+                .abort_after_generation
+                .is_some_and(|g| state.generation() >= g);
+            // Checkpoints are built lazily: only at boundaries the sink's
+            // stride asks for, otherwise only the final state (cloning the
+            // whole score cache per generation is not free).
+            let stride = opts.checkpoint_every.max(1);
+            let sink_wants =
+                opts.checkpoint_sink.is_some() && state.generation().is_multiple_of(stride);
+            if sink_wants || done || abort {
+                let (eval_stats, cache) = evaluator.export_state();
+                let b = book.borrow();
+                let cp = SearchCheckpoint {
+                    seed: self.config.seed,
+                    device: self.config.device,
+                    functions,
+                    ea_config: self.config.ea_stage2,
+                    generation: state.generation(),
+                    ea: state.snapshot(),
+                    eval_stats,
+                    cache,
+                    clock_ms: b.clock.elapsed_ms(),
+                    history: b.history.clone(),
+                    best: b.best.clone(),
+                };
+                drop(b);
+                if sink_wants || done || abort {
+                    if let Some(sink) = opts.checkpoint_sink.as_mut() {
+                        sink(&cp);
+                    }
+                }
+                last_cp = Some(cp);
+            }
+            if abort {
+                aborted = true;
+                break;
+            }
+            if done {
+                break;
+            }
+            state.step(&mut evaluator, mutate_genome, crossover_genome);
+        }
+
+        let stats = evaluator.stats();
+        drop(evaluator);
+        let book = book.into_inner();
+        Stage2Run {
+            // `best` is the source of truth, not the EA's raw-fitness
+            // argmax: the valid-over-violator ranking above deliberately
+            // keeps a constraint-satisfying candidate with a negative
+            // Eq.(3) score ahead of a violator's hard 0, so the two can
+            // legitimately name different candidates.
+            best: book.best,
+            eval_stats: stats,
+            history: book.history,
+            clock: book.clock,
+            checkpoint: last_cp.expect("stage-2 loop always builds a final checkpoint"),
+            aborted,
+        }
+    }
+
+    /// One-stage joint search (Fig. 9(b) baseline): functions and
+    /// operations evolve together; every candidate pays its own supernet
+    /// training.
+    ///
+    /// Like the two staged paths, candidates run through the memoising
+    /// parallel [`Evaluator`] with per-candidate RNG streams (supernet
+    /// training and measurement noise both draw from the candidate's own
+    /// stream), so the baseline is bit-identical at any thread count too.
+    fn one_stage(
+        &self,
+        ds: &SynthNet40,
+        oracle: &LatencyOracle,
+        objective: &Objective,
+        clock: &mut SearchClock,
+        history: &mut Vec<(f64, f64)>,
+    ) -> (SearchedModel, EvalStats) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(3));
+        let genome0: Vec<OpType> = (0..self.task.positions)
+            .map(|_| OpType::ALL[rng.gen_range(0..4)])
+            .collect();
+        let init: Vec<JointGenome> = vec![(
+            FunctionSet::dgcnn_like(64),
+            FunctionSet::dgcnn_like(128),
+            genome0,
+        )];
+        let eval_subset = self.eval_subset(ds);
+        let scorer = OneStageScorer {
+            hgnas: self,
+            ds,
+            eval_subset,
+            oracle,
+            objective,
+            eval_cost_ms: self.eval_cost_ms(eval_subset.len()),
+        };
+        // As in stage 2, validity travels with the best candidate so the
+        // size gate participates in the valid-over-violator ranking.
+        let mut best_detail: Option<(SearchedModel, bool)> = None;
+        let mut evaluator = Evaluator::new(
+            scorer,
+            self.config.eval_threads,
+            self.config.seed.wrapping_add(77),
+            |g: &JointGenome, out: &ScoredCandidate, fresh: bool| {
+                if fresh {
+                    clock.add_ms(out.cost_ms);
+                }
                 let better = best_detail.as_ref().is_none_or(|(b, best_valid)| {
                     match (out.valid, *best_valid) {
                         (true, false) => true,
@@ -587,8 +1060,8 @@ impl Hgnas {
                     best_detail = Some((
                         SearchedModel {
                             architecture: out.architecture.clone(),
-                            genome: genome.clone(),
-                            functions,
+                            genome: g.2.clone(),
+                            functions: (g.0, g.1),
                             score: out.score,
                             supernet_accuracy: out.accuracy,
                             latency_ms: out.latency_ms,
@@ -604,103 +1077,6 @@ impl Hgnas {
             init,
             &self.config.ea_stage2,
             &mut evaluator,
-            mutate_genome,
-            crossover_genome,
-        );
-        let stats = evaluator.stats();
-        drop(evaluator);
-        // `best_detail` is the source of truth, not the EA's raw-fitness
-        // argmax: the valid-over-violator ranking above deliberately keeps
-        // a constraint-satisfying candidate with a negative Eq.(3) score
-        // ahead of a violator's hard 0, so the two can legitimately name
-        // different candidates. Returning `best_detail` wholesale keeps
-        // genome/architecture/score internally consistent.
-        let (best, _valid) = best_detail.expect("stage 2 evaluated at least one candidate");
-        (best, stats)
-    }
-
-    /// One-stage joint search (Fig. 9(b) baseline): functions and
-    /// operations evolve together; every candidate pays its own supernet
-    /// training.
-    fn one_stage(
-        &self,
-        ds: &SynthNet40,
-        oracle: &LatencyOracle,
-        objective: &Objective,
-        clock: &mut SearchClock,
-        history: &mut Vec<(f64, f64)>,
-    ) -> SearchedModel {
-        type Joint = (FunctionSet, FunctionSet, Vec<OpType>);
-        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(3));
-        // Measurement-noise stream (Measured mode), matching the oracle
-        // stream the pre-evaluator implementation drew from.
-        let mut meas_rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(77));
-        let genome0: Vec<OpType> = (0..self.task.positions)
-            .map(|_| OpType::ALL[rng.gen_range(0..4)])
-            .collect();
-        let init: Vec<Joint> = vec![(
-            FunctionSet::dgcnn_like(64),
-            FunctionSet::dgcnn_like(128),
-            genome0,
-        )];
-        let eval_subset = self.eval_subset(ds);
-        let mut candidate_idx = 0u64;
-        // As in stage 2, validity travels with the best candidate so the
-        // size gate participates in the valid-over-violator ranking.
-        let mut best_detail: Option<(SearchedModel, bool)> = None;
-        evolve(
-            init,
-            &self.config.ea_stage2,
-            |(up, lo, genome)| {
-                candidate_idx += 1;
-                let arch =
-                    Architecture::from_genome(genome, *up, *lo, self.task.k, self.task.classes());
-                let (lat, cost) = oracle.query(&arch, &mut meas_rng);
-                clock.add_ms(cost);
-                let size_mb = arch.size_mb(3, &self.task.head_hidden);
-                let size_ok = objective.max_size_mb.is_none_or(|m| size_mb < m);
-                let valid = lat < objective.constraint_ms && size_ok;
-                let (acc, score) = if !valid {
-                    (0.0, 0.0)
-                } else {
-                    // No shared supernet: train one for this candidate.
-                    let mut clk = SearchClock::new();
-                    let sn = self.train_supernet(
-                        (*up, *lo),
-                        self.config.epochs_stage1,
-                        ds,
-                        self.config.seed.wrapping_add(5000 + candidate_idx),
-                        &mut clk,
-                    );
-                    let acc = sn.eval_genome(genome, eval_subset, 0);
-                    clk.add_ms(self.eval_cost_ms(eval_subset.len()));
-                    clock.add_ms(clk.elapsed_ms());
-                    (acc, objective.score_sized(acc, lat, size_mb))
-                };
-                let better =
-                    best_detail
-                        .as_ref()
-                        .is_none_or(|(b, best_valid)| match (valid, *best_valid) {
-                            (true, false) => true,
-                            (false, true) => false,
-                            _ => score > b.score,
-                        });
-                if better {
-                    best_detail = Some((
-                        SearchedModel {
-                            architecture: arch,
-                            genome: genome.clone(),
-                            functions: (*up, *lo),
-                            score,
-                            supernet_accuracy: acc,
-                            latency_ms: lat,
-                        },
-                        valid,
-                    ));
-                }
-                history.push((clock.elapsed_min(), best_detail.as_ref().unwrap().0.score));
-                score
-            },
             |(up, lo, genome), rng| {
                 if rng.gen_bool(0.5) {
                     let (u, l) = mutate_function_pair((*up, *lo), rng);
@@ -714,24 +1090,37 @@ impl Hgnas {
                 (u, l, crossover_genome(&a.2, &b.2, rng))
             },
         );
+        let stats = evaluator.stats();
+        drop(evaluator);
         // As in stage 2: `best_detail`'s valid-over-violator ranking can
         // legitimately disagree with the EA's raw-fitness argmax, so it is
         // returned wholesale rather than patched with the EA's genome.
         let (best, _valid) = best_detail.expect("one-stage evaluated at least one candidate");
-        best
+        (best, stats)
     }
 
     /// Runs the full search and returns the outcome.
     ///
-    /// The serial sections (supernet training, Stage 1) hand the whole
-    /// `eval_threads` budget to the matmul kernels; Stage 2 splits it
-    /// between evaluation workers and kernels. Both kernels are
-    /// bit-identical, so `eval_threads` never changes the outcome.
+    /// The serial sections (supernet training) hand the whole
+    /// `eval_threads` budget to the matmul kernels; Stage 1, Stage 2 and
+    /// the one-stage baseline split it between evaluation workers and
+    /// kernels. Both kernels are bit-identical, so `eval_threads` never
+    /// changes the outcome.
     pub fn run(&self) -> SearchOutcome {
-        with_kernel_threads(self.config.eval_threads, || self.run_inner())
+        self.run_with(RunOptions::default())
+            .outcome
+            .expect("an un-aborted search always yields an outcome")
     }
 
-    fn run_inner(&self) -> SearchOutcome {
+    /// Runs the search with external hooks: a measurement backend, a
+    /// pre-trained predictor, checkpoint persistence and resume. See
+    /// [`RunOptions`]; `run_with(RunOptions::default())` is [`Hgnas::run`]
+    /// plus the final checkpoint.
+    pub fn run_with(&self, opts: RunOptions) -> RunOutput {
+        with_kernel_threads(self.config.eval_threads, || self.run_inner(opts))
+    }
+
+    fn run_inner(&self, mut opts: RunOptions) -> RunOutput {
         let ds = self.dataset();
         let reference_ms = self.reference_ms();
         let constraint_ms = self.config.constraint_ms.unwrap_or(reference_ms);
@@ -744,13 +1133,16 @@ impl Hgnas {
         if let Some(mb) = self.config.max_size_mb {
             objective = objective.with_max_size_mb(mb);
         }
-        let mut clock = SearchClock::new();
-        let mut history = Vec::new();
-        let (oracle, predictor_stats) = self.make_oracle();
+        let (oracle, predictor_stats) = self.make_oracle(&opts);
 
-        let (best, eval_stats) = match self.config.strategy {
+        match self.config.strategy {
             Strategy::MultiStage => {
-                let functions = self.stage1(&ds, &mut clock);
+                // Stage 1 and supernet pre-training are deterministic in
+                // the configuration, so a resumed run replays them (and
+                // the checkpoint cross-checks the resulting function sets)
+                // rather than persisting supernet weights.
+                let mut clock = SearchClock::new();
+                let (functions, stage1_stats) = self.stage1(&ds, &mut clock);
                 let supernet = self.train_supernet(
                     functions,
                     self.config.epochs_stage2,
@@ -758,31 +1150,55 @@ impl Hgnas {
                     self.config.seed.wrapping_add(4),
                     &mut clock,
                 );
-                let (best, stats) = self.stage2(
-                    functions,
-                    &supernet,
-                    &ds,
-                    &oracle,
-                    &objective,
-                    &mut clock,
-                    &mut history,
+                let run = self.stage2(
+                    functions, &supernet, &ds, &oracle, &objective, clock, &mut opts,
                 );
-                (best, Some(stats))
+                if run.aborted {
+                    return RunOutput {
+                        outcome: None,
+                        checkpoint: Some(run.checkpoint),
+                    };
+                }
+                let (best, _valid) = run.best.expect("stage 2 evaluated at least one candidate");
+                RunOutput {
+                    outcome: Some(SearchOutcome {
+                        best,
+                        history: run.history,
+                        search_hours: run.clock.elapsed_hours(),
+                        predictor_stats,
+                        eval_stats: Some(run.eval_stats),
+                        stage1_stats: Some(stage1_stats),
+                        reference_ms,
+                        constraint_ms,
+                    }),
+                    checkpoint: Some(run.checkpoint),
+                }
             }
-            Strategy::OneStage => (
-                self.one_stage(&ds, &oracle, &objective, &mut clock, &mut history),
-                None,
-            ),
-        };
-
-        SearchOutcome {
-            best,
-            history,
-            search_hours: clock.elapsed_hours(),
-            predictor_stats,
-            eval_stats,
-            reference_ms,
-            constraint_ms,
+            Strategy::OneStage => {
+                assert!(
+                    opts.resume.is_none()
+                        && opts.checkpoint_sink.is_none()
+                        && opts.abort_after_generation.is_none(),
+                    "checkpointing (resume/sink/abort) covers the multi-stage strategy only"
+                );
+                let mut clock = SearchClock::new();
+                let mut history = Vec::new();
+                let (best, stats) =
+                    self.one_stage(&ds, &oracle, &objective, &mut clock, &mut history);
+                RunOutput {
+                    outcome: Some(SearchOutcome {
+                        best,
+                        history,
+                        search_hours: clock.elapsed_hours(),
+                        predictor_stats,
+                        eval_stats: Some(stats),
+                        stage1_stats: None,
+                        reference_ms,
+                        constraint_ms,
+                    }),
+                    checkpoint: None,
+                }
+            }
         }
     }
 }
@@ -860,6 +1276,7 @@ mod tests {
             mlp_hidden: vec![12],
             seed: 1,
             global_node: true,
+            batch: 1,
         };
         cfg.eval_clouds = 20;
         cfg

@@ -70,6 +70,7 @@ fn tiny_config(device: DeviceKind, mode: LatencyMode, threads: usize) -> SearchC
         mlp_hidden: vec![12],
         seed: 1,
         global_node: true,
+        batch: 1,
     };
     cfg.eval_clouds = 20;
     cfg.latency_mode = mode;

@@ -2,7 +2,7 @@
 
 use crate::profiles::DeviceProfile;
 use crate::workload::Workload;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// The simulator's answer for one workload on one device.
@@ -58,6 +58,26 @@ pub enum MeasureError {
         /// What the device offers, MB.
         avail_mb: f64,
     },
+    /// The board (or its link) was transiently unavailable — the real-world
+    /// failure a measurement harness retries with backoff. The deterministic
+    /// simulator never produces this on its own; measurement *services*
+    /// inject it to model deployment-channel contention.
+    Busy {
+        /// Suggested wait before retrying, milliseconds.
+        retry_in_ms: f64,
+    },
+}
+
+impl MeasureError {
+    /// Whether retrying the measurement can ever succeed. Out-of-memory is a
+    /// property of the workload and device, so retries are futile; a busy
+    /// board clears up.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            MeasureError::OutOfMemory { .. } => false,
+            MeasureError::Busy { .. } => true,
+        }
+    }
 }
 
 impl fmt::Display for MeasureError {
@@ -70,6 +90,9 @@ impl fmt::Display for MeasureError {
                 f,
                 "out of memory: needs {needed_mb:.0} MB, device has {avail_mb:.0} MB"
             ),
+            MeasureError::Busy { retry_in_ms } => {
+                write!(f, "device busy: retry in {retry_in_ms:.0} ms")
+            }
         }
     }
 }
@@ -130,6 +153,23 @@ impl DeviceProfile {
             *b *= factor;
         }
         Ok(report)
+    }
+
+    /// Oracle-facing measurement entry point: measures under a private RNG
+    /// stream derived from `stream`, so a measurement service can give every
+    /// request its own deterministic noise stream (keyed by request id)
+    /// without threading generator state through its queues.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DeviceProfile::measure`].
+    pub fn measure_seeded(
+        &self,
+        w: &Workload,
+        stream: u64,
+    ) -> Result<ExecutionReport, MeasureError> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(stream);
+        self.measure(w, &mut rng)
     }
 }
 
@@ -218,6 +258,31 @@ mod tests {
             "relative sd {rel_sd} vs sigma {}",
             p.noise_sigma
         );
+    }
+
+    #[test]
+    fn measure_seeded_matches_equally_seeded_measure() {
+        let p = DeviceKind::JetsonTx2.profile();
+        let w = toy_workload(256);
+        let mut rng = StdRng::seed_from_u64(0xfeed);
+        let inline = p.measure(&w, &mut rng).unwrap();
+        let seeded = p.measure_seeded(&w, 0xfeed).unwrap();
+        assert_eq!(inline, seeded);
+        // Distinct streams give distinct noise.
+        let other = p.measure_seeded(&w, 0xfeed + 1).unwrap();
+        assert_ne!(seeded.latency_ms.to_bits(), other.latency_ms.to_bits());
+    }
+
+    #[test]
+    fn transiency_classification() {
+        let oom = MeasureError::OutOfMemory {
+            needed_mb: 2048.0,
+            avail_mb: 1024.0,
+        };
+        let busy = MeasureError::Busy { retry_in_ms: 50.0 };
+        assert!(!oom.is_transient());
+        assert!(busy.is_transient());
+        assert!(busy.to_string().contains("retry"));
     }
 
     #[test]

@@ -27,6 +27,22 @@ impl DeviceKind {
         DeviceKind::RaspberryPi3B,
     ];
 
+    /// Every modelled device (edge targets plus the V100 host), in a stable
+    /// order — [`DeviceKind::index`] is the position here, which binary
+    /// artifact codecs rely on staying fixed.
+    pub const ALL: [DeviceKind; 5] = [
+        DeviceKind::Rtx3080,
+        DeviceKind::I78700K,
+        DeviceKind::JetsonTx2,
+        DeviceKind::RaspberryPi3B,
+        DeviceKind::V100,
+    ];
+
+    /// Stable index into [`DeviceKind::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&k| k == self).unwrap()
+    }
+
     /// Short display name matching the paper's tables.
     pub fn name(self) -> &'static str {
         match self {

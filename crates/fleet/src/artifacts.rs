@@ -1,0 +1,624 @@
+//! The cross-run artifact store: predictor weights, search checkpoints and
+//! evaluator score caches persisted to a directory via the versioned
+//! binary [`crate::codec`].
+//!
+//! Artifacts are keyed by `(device, configuration fingerprint)` so a store
+//! can hold many tasks and search configurations side by side; writes go
+//! through a temp file + rename, so a kill mid-write can never leave a
+//! half-written artifact under a live name (and the codec's checksum
+//! rejects any other corruption at load time).
+
+use crate::codec::{fnv1a, ArtifactKind, CodecError, Decoder, Encoder};
+use hgnas_core::{
+    EaConfig, EaSnapshot, EvalStats, ScoredCandidate, SearchCheckpoint, SearchConfig,
+    SearchedModel, TaskConfig,
+};
+use hgnas_device::DeviceKind;
+use hgnas_ops::{Aggregator, Architecture, ConnectFn, FunctionSet, MessageType, OpType, SampleFn};
+use hgnas_predictor::{PredictorConfig, PredictorContext, PredictorSnapshot, TrainStats};
+use hgnas_tensor::Tensor;
+use rand::rngs::StdRng;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Errors the store surfaces.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The artifact exists but failed to decode (truncated/corrupt/foreign).
+    Codec(CodecError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "artifact store I/O error: {e}"),
+            StoreError::Codec(e) => write!(f, "artifact decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+/// Identifies one artifact slot: a device plus a configuration
+/// fingerprint (see [`predictor_fingerprint`] / [`search_fingerprint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactKey {
+    /// The device the artifact belongs to.
+    pub device: DeviceKind,
+    /// Configuration fingerprint disambiguating tasks/configs.
+    pub fingerprint: u64,
+}
+
+impl ArtifactKey {
+    fn file_name(&self, prefix: &str) -> String {
+        let slug: String = self
+            .device
+            .name()
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        format!("{prefix}-{slug}-{:016x}.hgart", self.fingerprint)
+    }
+}
+
+/// Fingerprint of everything that shapes predictor training: the task
+/// context and the full predictor configuration. Two runs with equal
+/// fingerprints train bit-identical predictors, so one can reuse the
+/// other's weights.
+pub fn predictor_fingerprint(ctx: &PredictorContext, cfg: &PredictorConfig) -> u64 {
+    // Debug formatting covers every field; cheap, deterministic, and new
+    // fields automatically invalidate old artifacts (a cache miss, never a
+    // wrong hit).
+    fnv1a(format!("{ctx:?}|{cfg:?}").as_bytes())
+}
+
+/// Fingerprint of everything that shapes a search outcome: the task and
+/// the search configuration *minus* the thread budget, which is
+/// bit-transparent by construction and must not split the artifact space.
+pub fn search_fingerprint(task: &TaskConfig, cfg: &SearchConfig) -> u64 {
+    let mut normalised = cfg.clone();
+    normalised.eval_threads = 1;
+    fnv1a(format!("{task:?}|{normalised:?}").as_bytes())
+}
+
+/// A directory of HGNAS artifacts.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<Self> {
+        fs::create_dir_all(root.as_ref())?;
+        Ok(ArtifactStore {
+            root: root.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The store's directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<PathBuf> {
+        // The temp name is unique per writer: concurrent shards (e.g. a
+        // fleet configured with the same device twice) may persist the
+        // same artifact slot at the same time, and interleaved writes to
+        // one shared temp file would rename torn bytes into place.
+        static WRITER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let w = WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let final_path = self.root.join(name);
+        let tmp = self
+            .root
+            .join(format!("{name}.{}-{w}.tmp", std::process::id()));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &final_path)?;
+        Ok(final_path)
+    }
+
+    fn read_optional(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(self.root.join(name)) {
+            Ok(b) => Ok(Some(b)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Persists trained predictor weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save_predictor(
+        &self,
+        key: &ArtifactKey,
+        snap: &PredictorSnapshot,
+    ) -> Result<PathBuf, StoreError> {
+        let mut e = Encoder::new(ArtifactKind::Predictor);
+        put_predictor(&mut e, snap);
+        Ok(self.write_atomic(&key.file_name("predictor"), &e.finish())?)
+    }
+
+    /// Loads predictor weights if the slot holds any.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures, or [`StoreError::Codec`] when the artifact is
+    /// corrupt (a missing artifact is `Ok(None)`, not an error).
+    pub fn load_predictor(
+        &self,
+        key: &ArtifactKey,
+    ) -> Result<Option<PredictorSnapshot>, StoreError> {
+        let Some(bytes) = self.read_optional(&key.file_name("predictor"))? else {
+            return Ok(None);
+        };
+        let mut d = Decoder::open(&bytes, ArtifactKind::Predictor)?;
+        Ok(Some(take_predictor(&mut d)?))
+    }
+
+    /// Persists a Stage-2 search checkpoint. `task` supplies the
+    /// architecture-rebuild parameters (`k`, classes) the compact encoding
+    /// needs at load time, plus a fingerprint cross-check.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save_checkpoint(
+        &self,
+        key: &ArtifactKey,
+        task: &TaskConfig,
+        cp: &SearchCheckpoint,
+    ) -> Result<PathBuf, StoreError> {
+        let mut e = Encoder::new(ArtifactKind::Checkpoint);
+        put_checkpoint(&mut e, task, cp);
+        Ok(self.write_atomic(&key.file_name("checkpoint"), &e.finish())?)
+    }
+
+    /// Loads a search checkpoint if the slot holds one.
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactStore::load_predictor`].
+    pub fn load_checkpoint(
+        &self,
+        key: &ArtifactKey,
+    ) -> Result<Option<SearchCheckpoint>, StoreError> {
+        let Some(bytes) = self.read_optional(&key.file_name("checkpoint"))? else {
+            return Ok(None);
+        };
+        let mut d = Decoder::open(&bytes, ArtifactKind::Checkpoint)?;
+        Ok(Some(take_checkpoint(&mut d)?))
+    }
+
+    /// Persists a finished run's evaluator score cache as a standalone
+    /// artifact. Nothing in the fleet driver consumes these yet (it builds
+    /// Pareto fronts from the in-memory final checkpoint); they exist for
+    /// external tooling and for the planned warm-cache import (see
+    /// ROADMAP.md), which needs its own equivalence story first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save_score_cache(
+        &self,
+        key: &ArtifactKey,
+        task: &TaskConfig,
+        functions: (FunctionSet, FunctionSet),
+        entries: &[(Vec<OpType>, ScoredCandidate)],
+    ) -> Result<PathBuf, StoreError> {
+        let mut e = Encoder::new(ArtifactKind::ScoreCache);
+        e.put_usize(task.k);
+        e.put_usize(task.classes());
+        put_function_set(&mut e, &functions.0);
+        put_function_set(&mut e, &functions.1);
+        put_cache_entries(&mut e, entries);
+        Ok(self.write_atomic(&key.file_name("scorecache"), &e.finish())?)
+    }
+
+    /// Loads a score cache if the slot holds one.
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactStore::load_predictor`].
+    #[allow(clippy::type_complexity)]
+    pub fn load_score_cache(
+        &self,
+        key: &ArtifactKey,
+    ) -> Result<Option<Vec<(Vec<OpType>, ScoredCandidate)>>, StoreError> {
+        let Some(bytes) = self.read_optional(&key.file_name("scorecache"))? else {
+            return Ok(None);
+        };
+        let mut d = Decoder::open(&bytes, ArtifactKind::ScoreCache)?;
+        let k = d.take_usize()?;
+        let classes = d.take_usize()?;
+        let upper = take_function_set(&mut d)?;
+        let lower = take_function_set(&mut d)?;
+        Ok(Some(take_cache_entries(&mut d, upper, lower, k, classes)?))
+    }
+}
+
+// ---- value encoders/decoders -------------------------------------------
+
+fn put_device(e: &mut Encoder, d: DeviceKind) {
+    e.put_u8(d.index() as u8);
+}
+
+fn take_device(d: &mut Decoder) -> Result<DeviceKind, CodecError> {
+    let i = usize::from(d.take_u8()?);
+    DeviceKind::ALL
+        .get(i)
+        .copied()
+        .ok_or(CodecError::Invalid("device index"))
+}
+
+fn put_genome(e: &mut Encoder, genome: &[OpType]) {
+    e.put_usize(genome.len());
+    for &op in genome {
+        e.put_u8(op.index() as u8);
+    }
+}
+
+fn take_genome(d: &mut Decoder) -> Result<Vec<OpType>, CodecError> {
+    let n = d.take_usize()?;
+    (0..n)
+        .map(|_| {
+            let i = usize::from(d.take_u8()?);
+            OpType::ALL
+                .get(i)
+                .copied()
+                .ok_or(CodecError::Invalid("op type index"))
+        })
+        .collect()
+}
+
+fn put_function_set(e: &mut Encoder, fs: &FunctionSet) {
+    e.put_u8(fs.aggregator.index() as u8);
+    e.put_u8(fs.message.index() as u8);
+    e.put_u8(fs.sample.index() as u8);
+    e.put_u8(fs.connect.index() as u8);
+    e.put_usize(fs.combine_dim);
+}
+
+fn take_function_set(d: &mut Decoder) -> Result<FunctionSet, CodecError> {
+    fn pick<T: Copy>(table: &[T], i: u8, what: &'static str) -> Result<T, CodecError> {
+        table
+            .get(usize::from(i))
+            .copied()
+            .ok_or(CodecError::Invalid(what))
+    }
+    Ok(FunctionSet {
+        aggregator: pick(&Aggregator::ALL, d.take_u8()?, "aggregator index")?,
+        message: pick(&MessageType::ALL, d.take_u8()?, "message index")?,
+        sample: pick(&SampleFn::ALL, d.take_u8()?, "sample index")?,
+        connect: pick(&ConnectFn::ALL, d.take_u8()?, "connect index")?,
+        combine_dim: d.take_usize()?,
+    })
+}
+
+fn put_tensor(e: &mut Encoder, t: &Tensor) {
+    e.put_usize_slice(t.dims());
+    e.put_usize(t.data().len());
+    for &v in t.data() {
+        e.put_f32(v);
+    }
+}
+
+fn take_tensor(d: &mut Decoder) -> Result<Tensor, CodecError> {
+    let dims = d.take_usize_vec()?;
+    let n = d.take_usize()?;
+    if n != dims.iter().product::<usize>() {
+        return Err(CodecError::Invalid("tensor element count"));
+    }
+    let data = (0..n)
+        .map(|_| d.take_f32())
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Tensor::from_vec(data, &dims))
+}
+
+fn put_train_stats(e: &mut Encoder, s: &TrainStats) {
+    e.put_f64(s.train_mape);
+    e.put_f64(s.val_mape);
+    e.put_f64(s.val_within_10pct);
+    e.put_usize(s.train_size);
+}
+
+fn take_train_stats(d: &mut Decoder) -> Result<TrainStats, CodecError> {
+    Ok(TrainStats {
+        train_mape: d.take_f64()?,
+        val_mape: d.take_f64()?,
+        val_within_10pct: d.take_f64()?,
+        train_size: d.take_usize()?,
+    })
+}
+
+fn put_context(e: &mut Encoder, c: &PredictorContext) {
+    e.put_usize(c.positions);
+    e.put_usize(c.points);
+    e.put_usize(c.k);
+    e.put_usize(c.classes);
+    e.put_usize_slice(&c.head_hidden);
+}
+
+fn take_context(d: &mut Decoder) -> Result<PredictorContext, CodecError> {
+    Ok(PredictorContext {
+        positions: d.take_usize()?,
+        points: d.take_usize()?,
+        k: d.take_usize()?,
+        classes: d.take_usize()?,
+        head_hidden: d.take_usize_vec()?,
+    })
+}
+
+fn put_predictor(e: &mut Encoder, s: &PredictorSnapshot) {
+    put_device(e, s.device);
+    put_context(e, &s.context);
+    e.put_bool(s.global_node);
+    e.put_usize_slice(&s.gcn_dims);
+    e.put_usize_slice(&s.mlp_hidden);
+    e.put_f64(s.scale_ms);
+    put_train_stats(e, &s.stats);
+    e.put_usize(s.weights.len());
+    for w in &s.weights {
+        put_tensor(e, w);
+    }
+}
+
+fn take_predictor(d: &mut Decoder) -> Result<PredictorSnapshot, CodecError> {
+    Ok(PredictorSnapshot {
+        device: take_device(d)?,
+        context: take_context(d)?,
+        global_node: d.take_bool()?,
+        gcn_dims: d.take_usize_vec()?,
+        mlp_hidden: d.take_usize_vec()?,
+        scale_ms: d.take_f64()?,
+        stats: take_train_stats(d)?,
+        weights: {
+            let n = d.take_usize()?;
+            (0..n).map(|_| take_tensor(d)).collect::<Result<_, _>>()?
+        },
+    })
+}
+
+fn put_ea_config(e: &mut Encoder, c: &EaConfig) {
+    e.put_usize(c.population);
+    e.put_usize(c.iterations);
+    e.put_f64(c.elite_fraction);
+    e.put_f64(c.mutation_prob);
+    e.put_u64(c.seed);
+}
+
+fn take_ea_config(d: &mut Decoder) -> Result<EaConfig, CodecError> {
+    Ok(EaConfig {
+        population: d.take_usize()?,
+        iterations: d.take_usize()?,
+        elite_fraction: d.take_f64()?,
+        mutation_prob: d.take_f64()?,
+        seed: d.take_u64()?,
+    })
+}
+
+fn put_eval_stats(e: &mut Encoder, s: &EvalStats) {
+    e.put_u64(s.hits);
+    e.put_u64(s.misses);
+    e.put_u64(s.batches);
+    e.put_u64(s.submitted);
+}
+
+fn take_eval_stats(d: &mut Decoder) -> Result<EvalStats, CodecError> {
+    Ok(EvalStats {
+        hits: d.take_u64()?,
+        misses: d.take_u64()?,
+        batches: d.take_u64()?,
+        submitted: d.take_u64()?,
+    })
+}
+
+fn put_rng(e: &mut Encoder, rng: &StdRng) {
+    for w in rng.state() {
+        e.put_u64(w);
+    }
+}
+
+fn take_rng(d: &mut Decoder) -> Result<StdRng, CodecError> {
+    let mut s = [0u64; 4];
+    for w in &mut s {
+        *w = d.take_u64()?;
+    }
+    if s.iter().all(|&w| w == 0) {
+        return Err(CodecError::Invalid("all-zero rng state"));
+    }
+    Ok(StdRng::from_state(s))
+}
+
+fn put_ea(e: &mut Encoder, ea: &EaSnapshot<Vec<OpType>>) {
+    put_rng(e, &ea.rng);
+    e.put_usize(ea.scored.len());
+    for (g, f) in &ea.scored {
+        put_genome(e, g);
+        e.put_f64(*f);
+    }
+    put_genome(e, &ea.best.0);
+    e.put_f64(ea.best.1);
+    e.put_usize(ea.evaluations);
+    e.put_usize(ea.history.len());
+    for &(i, f) in &ea.history {
+        e.put_usize(i);
+        e.put_f64(f);
+    }
+    e.put_usize(ea.generation);
+}
+
+fn take_ea(d: &mut Decoder) -> Result<EaSnapshot<Vec<OpType>>, CodecError> {
+    let rng = take_rng(d)?;
+    let n = d.take_usize()?;
+    let scored = (0..n)
+        .map(|_| Ok((take_genome(d)?, d.take_f64()?)))
+        .collect::<Result<Vec<_>, CodecError>>()?;
+    let best = (take_genome(d)?, d.take_f64()?);
+    let evaluations = d.take_usize()?;
+    let h = d.take_usize()?;
+    let history = (0..h)
+        .map(|_| Ok((d.take_usize()?, d.take_f64()?)))
+        .collect::<Result<Vec<_>, CodecError>>()?;
+    let generation = d.take_usize()?;
+    Ok(EaSnapshot {
+        rng,
+        scored,
+        best,
+        evaluations,
+        history,
+        generation,
+    })
+}
+
+/// Cache entries are stored without their `Architecture`: the genome plus
+/// the run's function sets and task geometry rebuild it exactly
+/// (`Architecture::from_genome` is how the search built it in the first
+/// place), which keeps checkpoints compact.
+fn put_cache_entries(e: &mut Encoder, entries: &[(Vec<OpType>, ScoredCandidate)]) {
+    e.put_usize(entries.len());
+    for (genome, c) in entries {
+        put_genome(e, genome);
+        e.put_f64(c.score);
+        e.put_f64(c.accuracy);
+        e.put_f64(c.latency_ms);
+        e.put_f64(c.cost_ms);
+        e.put_bool(c.valid);
+    }
+}
+
+fn take_cache_entries(
+    d: &mut Decoder,
+    upper: FunctionSet,
+    lower: FunctionSet,
+    k: usize,
+    classes: usize,
+) -> Result<Vec<(Vec<OpType>, ScoredCandidate)>, CodecError> {
+    let n = d.take_usize()?;
+    (0..n)
+        .map(|_| {
+            let genome = take_genome(d)?;
+            if genome.is_empty() {
+                return Err(CodecError::Invalid("empty genome"));
+            }
+            let candidate = ScoredCandidate {
+                architecture: Architecture::from_genome(&genome, upper, lower, k, classes),
+                score: d.take_f64()?,
+                accuracy: d.take_f64()?,
+                latency_ms: d.take_f64()?,
+                cost_ms: d.take_f64()?,
+                valid: d.take_bool()?,
+            };
+            Ok((genome, candidate))
+        })
+        .collect()
+}
+
+fn put_checkpoint(e: &mut Encoder, task: &TaskConfig, cp: &SearchCheckpoint) {
+    e.put_u64(cp.seed);
+    put_device(e, cp.device);
+    e.put_usize(task.k);
+    e.put_usize(task.classes());
+    put_function_set(e, &cp.functions.0);
+    put_function_set(e, &cp.functions.1);
+    put_ea_config(e, &cp.ea_config);
+    e.put_usize(cp.generation);
+    put_ea(e, &cp.ea);
+    put_eval_stats(e, &cp.eval_stats);
+    put_cache_entries(e, &cp.cache);
+    e.put_f64(cp.clock_ms);
+    e.put_usize(cp.history.len());
+    for &(t, s) in &cp.history {
+        e.put_f64(t);
+        e.put_f64(s);
+    }
+    match &cp.best {
+        None => e.put_bool(false),
+        Some((model, valid)) => {
+            e.put_bool(true);
+            put_genome(e, &model.genome);
+            e.put_f64(model.score);
+            e.put_f64(model.supernet_accuracy);
+            e.put_f64(model.latency_ms);
+            e.put_bool(*valid);
+        }
+    }
+}
+
+fn take_checkpoint(d: &mut Decoder) -> Result<SearchCheckpoint, CodecError> {
+    let seed = d.take_u64()?;
+    let device = take_device(d)?;
+    let k = d.take_usize()?;
+    let classes = d.take_usize()?;
+    let upper = take_function_set(d)?;
+    let lower = take_function_set(d)?;
+    let ea_config = take_ea_config(d)?;
+    let generation = d.take_usize()?;
+    let ea = take_ea(d)?;
+    let eval_stats = take_eval_stats(d)?;
+    let cache = take_cache_entries(d, upper, lower, k, classes)?;
+    let clock_ms = d.take_f64()?;
+    let h = d.take_usize()?;
+    let history = (0..h)
+        .map(|_| Ok((d.take_f64()?, d.take_f64()?)))
+        .collect::<Result<Vec<_>, CodecError>>()?;
+    let best = if d.take_bool()? {
+        let genome = take_genome(d)?;
+        if genome.is_empty() {
+            return Err(CodecError::Invalid("empty best genome"));
+        }
+        let architecture = Architecture::from_genome(&genome, upper, lower, k, classes);
+        let model = SearchedModel {
+            architecture,
+            genome,
+            functions: (upper, lower),
+            score: d.take_f64()?,
+            supernet_accuracy: d.take_f64()?,
+            latency_ms: d.take_f64()?,
+        };
+        let valid = d.take_bool()?;
+        Some((model, valid))
+    } else {
+        None
+    };
+    Ok(SearchCheckpoint {
+        seed,
+        device,
+        functions: (upper, lower),
+        ea_config,
+        generation,
+        ea,
+        eval_stats,
+        cache,
+        clock_ms,
+        history,
+        best,
+    })
+}

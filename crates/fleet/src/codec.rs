@@ -1,0 +1,408 @@
+//! A small self-contained versioned binary codec for on-disk artifacts.
+//!
+//! No serde — the shims stay offline. Every artifact is
+//!
+//! ```text
+//! magic "HGNA" · version u16 · kind u16 · payload · crc32(all preceding)
+//! ```
+//!
+//! with all integers little-endian and floats stored as raw IEEE-754 bits,
+//! so round-trips are bit-exact (the property the resume and warm-start
+//! guarantees rest on). The trailing CRC makes truncated or corrupted
+//! artifacts fail loudly at open time instead of resuming a search from
+//! garbage.
+
+use std::fmt;
+
+/// File magic: "HGNA".
+pub const MAGIC: [u8; 4] = *b"HGNA";
+
+/// Current format version. Readers reject anything else.
+pub const VERSION: u16 = 1;
+
+/// What an artifact contains (stored in the header so a predictor file can
+/// never be mistaken for a checkpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// Trained latency-predictor weights.
+    Predictor,
+    /// A mid-search Stage-2 checkpoint.
+    Checkpoint,
+    /// A standalone evaluator score cache.
+    ScoreCache,
+}
+
+impl ArtifactKind {
+    fn code(self) -> u16 {
+        match self {
+            ArtifactKind::Predictor => 1,
+            ArtifactKind::Checkpoint => 2,
+            ArtifactKind::ScoreCache => 3,
+        }
+    }
+
+    fn from_code(code: u16) -> Option<Self> {
+        match code {
+            1 => Some(ArtifactKind::Predictor),
+            2 => Some(ArtifactKind::Checkpoint),
+            3 => Some(ArtifactKind::ScoreCache),
+            _ => None,
+        }
+    }
+}
+
+/// Why an artifact failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The byte stream ended mid-value (truncated file).
+    UnexpectedEof,
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`VERSION`].
+    UnsupportedVersion(u16),
+    /// The header names a different artifact kind than the caller expected.
+    WrongKind {
+        /// What the caller asked for.
+        expected: u16,
+        /// What the header says.
+        found: u16,
+    },
+    /// The trailing CRC does not match the content (corruption).
+    BadChecksum,
+    /// A decoded value is out of its domain (e.g. an enum index past the
+    /// table, a length that cannot fit).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "artifact truncated"),
+            CodecError::BadMagic => write!(f, "not an HGNAS artifact (bad magic)"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported artifact version {v}"),
+            CodecError::WrongKind { expected, found } => {
+                write!(f, "artifact kind {found} where {expected} was expected")
+            }
+            CodecError::BadChecksum => write!(f, "artifact checksum mismatch (corrupted)"),
+            CodecError::Invalid(what) => write!(f, "invalid artifact field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Append-only artifact writer.
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Starts an artifact of the given kind (header written immediately).
+    pub fn new(kind: ArtifactKind) -> Self {
+        let mut e = Encoder { buf: Vec::new() };
+        e.buf.extend_from_slice(&MAGIC);
+        e.put_u16(VERSION);
+        e.put_u16(kind.code());
+        e
+    }
+
+    /// Seals the artifact: appends the CRC and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        let crc = crc32(&self.buf);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a usize as u64.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Writes an f32 as raw bits.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Writes an f64 as raw bits.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a usize slice as length + elements.
+    pub fn put_usize_slice(&mut self, vs: &[usize]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_usize(v);
+        }
+    }
+}
+
+/// Checked artifact reader over a validated payload.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Validates header + checksum and positions the reader at the payload.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] the header/trailer checks produce.
+    pub fn open(bytes: &'a [u8], kind: ArtifactKind) -> Result<Self, CodecError> {
+        // magic(4) + version(2) + kind(2) + crc(4)
+        if bytes.len() < 12 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (content, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc32(content) != stored {
+            return Err(CodecError::BadChecksum);
+        }
+        let mut d = Decoder {
+            bytes: content,
+            pos: 0,
+        };
+        let magic = d.take_bytes(4)?;
+        if magic != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = d.take_u16()?;
+        if version != VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let code = d.take_u16()?;
+        match ArtifactKind::from_code(code) {
+            Some(k) if k == kind => Ok(d),
+            _ => Err(CodecError::WrongKind {
+                expected: kind.code(),
+                found: code,
+            }),
+        }
+    }
+
+    /// Whether every payload byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::UnexpectedEof)?;
+        if end > self.bytes.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] past the payload end (also below).
+    pub fn take_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    /// Reads a u16.
+    #[allow(clippy::missing_errors_doc)]
+    pub fn take_u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take_bytes(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a u32.
+    #[allow(clippy::missing_errors_doc)]
+    pub fn take_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take_bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a u64.
+    #[allow(clippy::missing_errors_doc)]
+    pub fn take_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take_bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a usize (stored as u64).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] when the value does not fit a usize.
+    pub fn take_usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.take_u64()?).map_err(|_| CodecError::Invalid("usize overflow"))
+    }
+
+    /// Reads a bool.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] on anything but 0 or 1.
+    pub fn take_bool(&mut self) -> Result<bool, CodecError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("bool out of range")),
+        }
+    }
+
+    /// Reads an f32 from raw bits.
+    #[allow(clippy::missing_errors_doc)]
+    pub fn take_f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_bits(self.take_u32()?))
+    }
+
+    /// Reads an f64 from raw bits.
+    #[allow(clippy::missing_errors_doc)]
+    pub fn take_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a usize vector (length + elements).
+    #[allow(clippy::missing_errors_doc)]
+    pub fn take_usize_vec(&mut self) -> Result<Vec<usize>, CodecError> {
+        let n = self.take_usize()?;
+        (0..n).map(|_| self.take_usize()).collect()
+    }
+}
+
+/// FNV-1a 64-bit hash; the store keys artifacts by configuration
+/// fingerprints computed with this.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_primitives() {
+        let mut e = Encoder::new(ArtifactKind::ScoreCache);
+        e.put_u8(7);
+        e.put_u16(300);
+        e.put_u32(70_000);
+        e.put_u64(1 << 40);
+        e.put_usize(99);
+        e.put_bool(true);
+        e.put_f32(-0.0);
+        e.put_f64(f64::MIN_POSITIVE);
+        e.put_usize_slice(&[1, 2, 3]);
+        let bytes = e.finish();
+
+        let mut d = Decoder::open(&bytes, ArtifactKind::ScoreCache).unwrap();
+        assert_eq!(d.take_u8().unwrap(), 7);
+        assert_eq!(d.take_u16().unwrap(), 300);
+        assert_eq!(d.take_u32().unwrap(), 70_000);
+        assert_eq!(d.take_u64().unwrap(), 1 << 40);
+        assert_eq!(d.take_usize().unwrap(), 99);
+        assert!(d.take_bool().unwrap());
+        assert_eq!(d.take_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(d.take_f64().unwrap(), f64::MIN_POSITIVE);
+        assert_eq!(d.take_usize_vec().unwrap(), vec![1, 2, 3]);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn corruption_detected_at_every_byte() {
+        let mut e = Encoder::new(ArtifactKind::Predictor);
+        e.put_u64(0xdead_beef);
+        e.put_f64(1.25);
+        let bytes = e.finish();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                Decoder::open(&bad, ArtifactKind::Predictor).is_err(),
+                "flip at byte {i} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut e = Encoder::new(ArtifactKind::Checkpoint);
+        e.put_u64(42);
+        let bytes = e.finish();
+        for len in 0..bytes.len() {
+            assert!(
+                Decoder::open(&bytes[..len], ArtifactKind::Checkpoint).is_err(),
+                "truncation to {len} bytes went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let bytes = Encoder::new(ArtifactKind::Predictor).finish();
+        match Decoder::open(&bytes, ArtifactKind::Checkpoint) {
+            Err(CodecError::WrongKind { expected, found }) => {
+                assert_eq!(expected, 2);
+                assert_eq!(found, 1);
+            }
+            other => panic!("expected WrongKind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reading_past_payload_is_eof_not_panic() {
+        let bytes = Encoder::new(ArtifactKind::ScoreCache).finish();
+        let mut d = Decoder::open(&bytes, ArtifactKind::ScoreCache).unwrap();
+        assert_eq!(d.take_u64(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926 (IEEE test vector).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn fnv_distinguishes_inputs() {
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

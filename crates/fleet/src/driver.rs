@@ -1,0 +1,295 @@
+//! The fleet driver: shard one search configuration across N devices.
+//!
+//! Each device shard runs the full HGNAS pipeline on its own thread with
+//! the *same* task and seed, so every shard's outcome is bit-identical to
+//! a serial single-device run of that configuration — the fleet adds
+//! breadth, never noise. Shards share the asynchronous measurement oracle
+//! (measured mode) and the artifact store: predictors warm-start from
+//! persisted weights, checkpoints persist at every generation boundary,
+//! and interrupted shards resume where they were killed.
+
+use crate::artifacts::{
+    predictor_fingerprint, search_fingerprint, ArtifactKey, ArtifactStore, StoreError,
+};
+use crate::oracle::{MeasurementOracle, OracleConfig, OracleStats};
+use hgnas_core::{
+    pareto_front, Hgnas, LatencyMode, PretrainedPredictor, RunOptions, SearchCheckpoint,
+    SearchConfig, SearchOutcome, Strategy, TaskConfig,
+};
+use hgnas_device::DeviceKind;
+use hgnas_ops::OpType;
+use hgnas_predictor::LatencyPredictor;
+use hgnas_tensor::threads::with_kernel_threads;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Fleet-level configuration: which devices to shard over and how the
+/// shared oracle behaves.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Target devices, one search shard each.
+    pub devices: Vec<DeviceKind>,
+    /// Oracle tuning (measured mode only).
+    pub oracle: OracleConfig,
+    /// Persist a checkpoint every N Stage-2 generations (1 = every
+    /// boundary). Ignored without an artifact store.
+    pub checkpoint_every: usize,
+}
+
+impl FleetConfig {
+    /// Fleet over `devices` with default oracle settings and per-generation
+    /// checkpointing.
+    pub fn new(devices: impl Into<Vec<DeviceKind>>) -> Self {
+        FleetConfig {
+            devices: devices.into(),
+            oracle: OracleConfig::default(),
+            checkpoint_every: 1,
+        }
+    }
+}
+
+/// One point of a device's latency/accuracy Pareto front.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// Latency as the search saw it, ms.
+    pub latency_ms: f64,
+    /// One-shot supernet accuracy.
+    pub accuracy: f64,
+    /// The candidate's op-type genome.
+    pub genome: Vec<OpType>,
+}
+
+/// Everything one device shard produced.
+#[derive(Debug)]
+pub struct DeviceReport {
+    /// The shard's target device.
+    pub device: DeviceKind,
+    /// The shard's search outcome (identical to a serial run's).
+    pub outcome: SearchOutcome,
+    /// Latency/accuracy Pareto front over every constraint-satisfying
+    /// candidate the shard scored, fastest first.
+    pub pareto: Vec<ParetoPoint>,
+    /// Predictor-training epochs this run actually executed (0 on a
+    /// warm start from the artifact store).
+    pub predictor_epochs_run: usize,
+    /// Whether the predictor came from the artifact store.
+    pub warm_predictor: bool,
+    /// The generation this shard resumed from, when a checkpoint existed.
+    pub resumed_from_generation: Option<usize>,
+}
+
+/// The merged fleet outcome.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Per-device reports, in [`FleetConfig::devices`] order.
+    pub reports: Vec<DeviceReport>,
+    /// Oracle counters (measured mode only).
+    pub oracle_stats: Option<OracleStats>,
+}
+
+impl FleetReport {
+    /// A cross-device summary in the shape of the paper's Table 1: per
+    /// device, the found model against the DGCNN reference.
+    pub fn summary_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<14} {:>10} {:>10} {:>8} {:>7} {:>8} {:>9} {:>7}",
+            "Device", "Found ms", "DGCNN ms", "Speedup", "Acc", "Score", "Search h", "Hit %"
+        );
+        for r in &self.reports {
+            let o = &r.outcome;
+            let hit_pct = o.eval_stats.map_or(0.0, |e| {
+                100.0 * e.hits as f64 / (e.hits + e.misses).max(1) as f64
+            });
+            let _ = writeln!(
+                s,
+                "{:<14} {:>10.2} {:>10.2} {:>7.1}x {:>7.3} {:>8.3} {:>9.2} {:>6.1}%",
+                r.device.name(),
+                o.best.latency_ms,
+                o.reference_ms,
+                o.reference_ms / o.best.latency_ms.max(1e-9),
+                o.best.supernet_accuracy,
+                o.best.score,
+                o.search_hours,
+                hit_pct
+            );
+        }
+        s
+    }
+}
+
+/// Builds a shard's Pareto front from its final score cache: every valid
+/// scored candidate competes on (latency, accuracy).
+fn pareto_of(cp: &SearchCheckpoint) -> Vec<ParetoPoint> {
+    let valid: Vec<_> = cp.cache.iter().filter(|(_, c)| c.valid).collect();
+    let points: Vec<(f64, f64)> = valid
+        .iter()
+        .map(|(_, c)| (c.latency_ms, c.accuracy))
+        .collect();
+    let mut front: Vec<ParetoPoint> = pareto_front(&points)
+        .into_iter()
+        .map(|i| ParetoPoint {
+            latency_ms: valid[i].1.latency_ms,
+            accuracy: valid[i].1.accuracy,
+            genome: valid[i].0.clone(),
+        })
+        .collect();
+    front.sort_by(|a, b| a.latency_ms.total_cmp(&b.latency_ms));
+    front
+}
+
+/// Runs one device shard end to end (predictor warm-start, resume,
+/// checkpoint persistence, the search itself).
+fn run_shard(
+    task: &TaskConfig,
+    base: &SearchConfig,
+    device: DeviceKind,
+    fleet: &FleetConfig,
+    store: Option<&ArtifactStore>,
+    oracle: Option<&MeasurementOracle>,
+) -> Result<DeviceReport, StoreError> {
+    let mut cfg = base.clone();
+    cfg.device = device;
+
+    // Predictor: artifact store first, training (then persisting) second.
+    let mut warm_predictor = false;
+    let mut predictor_epochs_run = 0;
+    let mut pretrained = None;
+    if cfg.latency_mode == LatencyMode::Predictor {
+        let key = ArtifactKey {
+            device,
+            fingerprint: predictor_fingerprint(&task.predictor_context(), &cfg.predictor),
+        };
+        if let Some(store) = store {
+            if let Some(snap) = store.load_predictor(&key)? {
+                let (p, stats) = LatencyPredictor::from_snapshot(&snap);
+                pretrained = Some(PretrainedPredictor {
+                    predictor: Arc::new(p),
+                    stats,
+                });
+                warm_predictor = true;
+            }
+        }
+        if pretrained.is_none() {
+            // Training runs under the shard's full thread budget, exactly
+            // like the in-search training path, so `PredictorConfig::batch`
+            // parallelism applies to fleet cold starts too (bit-identical
+            // either way).
+            let (p, stats) = with_kernel_threads(cfg.eval_threads, || {
+                LatencyPredictor::train(device, &task.predictor_context(), &cfg.predictor)
+            });
+            predictor_epochs_run = cfg.predictor.epochs;
+            if let Some(store) = store {
+                store.save_predictor(&key, &p.snapshot(&stats))?;
+            }
+            pretrained = Some(PretrainedPredictor {
+                predictor: Arc::new(p),
+                stats,
+            });
+        }
+    }
+
+    // Checkpoint persistence and resume only exist for the multi-stage
+    // strategy; a one-stage fleet still shares the oracle and store-backed
+    // predictors but runs each shard start-to-finish.
+    let checkpointing = store.is_some() && cfg.strategy == Strategy::MultiStage;
+    let search_key = ArtifactKey {
+        device,
+        fingerprint: search_fingerprint(task, &cfg),
+    };
+    let resume = match store {
+        Some(store) if checkpointing => store.load_checkpoint(&search_key)?,
+        _ => None,
+    };
+    let resumed_from_generation = resume.as_ref().map(|cp| cp.generation);
+
+    let mut sink_err: Option<StoreError> = None;
+    let mut sink = |cp: &SearchCheckpoint| {
+        if sink_err.is_some() {
+            return;
+        }
+        if let Some(store) = store {
+            if let Err(e) = store.save_checkpoint(&search_key, task, cp) {
+                sink_err = Some(e);
+            }
+        }
+    };
+
+    let opts = RunOptions {
+        backend: oracle.map(|o| Arc::new(o.client(device)) as Arc<dyn hgnas_core::MeasureBackend>),
+        predictor: pretrained,
+        resume,
+        checkpoint_sink: checkpointing
+            .then_some(&mut sink as &mut dyn for<'a> FnMut(&'a SearchCheckpoint)),
+        checkpoint_every: fleet.checkpoint_every,
+        abort_after_generation: None,
+    };
+    let out = Hgnas::new(task.clone(), cfg).run_with(opts);
+    if let Some(e) = sink_err {
+        return Err(e);
+    }
+    let outcome = out
+        .outcome
+        .expect("fleet shards run to completion (no abort hook)");
+    let pareto = out.checkpoint.as_ref().map(pareto_of).unwrap_or_default();
+    if let (Some(store), Some(cp)) = (store, &out.checkpoint) {
+        store.save_checkpoint(&search_key, task, cp)?;
+        store.save_score_cache(&search_key, task, cp.functions, &cp.cache)?;
+    }
+    Ok(DeviceReport {
+        device,
+        outcome,
+        pareto,
+        predictor_epochs_run,
+        warm_predictor,
+        resumed_from_generation,
+    })
+}
+
+/// Shards `base` across `fleet.devices` and runs every shard concurrently
+/// against the shared oracle (measured mode) and artifact store.
+///
+/// Every shard's `SearchOutcome` is bit-identical to what a serial
+/// `Hgnas::new(task, base-with-that-device).run()` produces: the oracle is
+/// bit-transparent and warm-started predictors reproduce the trained ones
+/// exactly.
+///
+/// # Errors
+///
+/// The first [`StoreError`] any shard hit (artifact I/O or a corrupt
+/// artifact).
+///
+/// # Panics
+///
+/// Panics if `fleet.devices` is empty or a shard thread panics.
+pub fn run_fleet(
+    task: &TaskConfig,
+    base: &SearchConfig,
+    fleet: &FleetConfig,
+    store: Option<&ArtifactStore>,
+) -> Result<FleetReport, StoreError> {
+    assert!(!fleet.devices.is_empty(), "fleet needs at least one device");
+    let oracle = (base.latency_mode == LatencyMode::Measured)
+        .then(|| MeasurementOracle::start(&fleet.devices, &fleet.oracle));
+
+    let results: Vec<Result<DeviceReport, StoreError>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = fleet
+            .devices
+            .iter()
+            .map(|&device| {
+                let oracle = oracle.as_ref();
+                s.spawn(move |_| run_shard(task, base, device, fleet, store, oracle))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("fleet shard thread panicked");
+
+    let oracle_stats = oracle.map(MeasurementOracle::shutdown);
+    let reports = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(FleetReport {
+        reports,
+        oracle_stats,
+    })
+}

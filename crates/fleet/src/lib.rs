@@ -1,0 +1,54 @@
+//! `hgnas-fleet` — the multi-device HGNAS search service.
+//!
+//! The paper's headline result is one architecture *per hardware target*;
+//! this crate turns the single-device library into a service that searches
+//! a whole device fleet at once:
+//!
+//! - [`oracle`]: an **asynchronous measurement oracle** — per-device worker
+//!   pools behind request/response channels, with in-flight request
+//!   batching, deterministic per-request RNG streams, and
+//!   retry-with-backoff on transient [`hgnas_device::MeasureError`]s.
+//!   Because generator state round-trips with each request, routing a
+//!   search through the oracle is bit-transparent.
+//! - [`driver`]: the **fleet driver** — shards a
+//!   [`hgnas_core::SearchConfig`] across N [`hgnas_device::DeviceKind`]s,
+//!   runs each shard's evolutionary search on its own thread against the
+//!   shared oracle, and merges the per-device outcomes into a report with
+//!   per-device Pareto fronts and a cross-device summary table (the
+//!   paper's Table 1 shape).
+//! - [`artifacts`] + [`codec`]: the **cross-run artifact store** — a small
+//!   versioned binary codec (no serde; the shims stay offline) persisting
+//!   predictor weights, evaluator score caches and search checkpoints, so
+//!   a killed search resumes bit-identically and a second run on the same
+//!   device skips predictor training entirely.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hgnas_core::{SearchConfig, TaskConfig};
+//! use hgnas_device::DeviceKind;
+//! use hgnas_fleet::{run_fleet, ArtifactStore, FleetConfig};
+//!
+//! let task = TaskConfig::tiny(42);
+//! let base = SearchConfig::fast(DeviceKind::Rtx3080);
+//! let fleet = FleetConfig::new(vec![
+//!     DeviceKind::Rtx3080,
+//!     DeviceKind::JetsonTx2,
+//!     DeviceKind::RaspberryPi3B,
+//! ]);
+//! let store = ArtifactStore::open("fleet-artifacts").unwrap();
+//! let report = run_fleet(&task, &base, &fleet, Some(&store)).unwrap();
+//! println!("{}", report.summary_table());
+//! ```
+
+pub mod artifacts;
+pub mod codec;
+pub mod driver;
+pub mod oracle;
+
+pub use artifacts::{
+    predictor_fingerprint, search_fingerprint, ArtifactKey, ArtifactStore, StoreError,
+};
+pub use codec::{ArtifactKind, CodecError};
+pub use driver::{run_fleet, DeviceReport, FleetConfig, FleetReport, ParetoPoint};
+pub use oracle::{MeasurementOracle, OracleClient, OracleConfig, OracleStats, Ticket};

@@ -1,0 +1,483 @@
+//! The asynchronous measurement oracle: a per-device worker pool behind
+//! request/response channels.
+//!
+//! Searches submit latency queries to the oracle instead of invoking the
+//! device simulator inline. Each device gets its own queue and worker
+//! pool; workers drain several in-flight requests per wake (batching the
+//! way a real deployment harness amortises its board round-trip) and retry
+//! transient failures with exponential backoff. Measurement noise comes
+//! from a generator state that travels with the request and returns with
+//! the response, so routing through the oracle is *bit-transparent*: a
+//! search sees exactly the latencies an inline measurement would have
+//! produced, no matter how many workers race or how requests interleave
+//! across shards.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hgnas_core::MeasureBackend;
+use hgnas_device::{DeviceKind, DeviceProfile, ExecutionReport, MeasureError, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Oracle tuning knobs.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Worker threads per device queue.
+    pub workers_per_device: usize,
+    /// Measurement attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// Base backoff between attempts; attempt `n` waits `n × backoff`.
+    /// Zero (the default) skips sleeping — simulated boards clear
+    /// instantly.
+    pub backoff: Duration,
+    /// Most requests a worker drains per wake (in-flight batching).
+    pub max_batch: usize,
+    /// Fault injection: every Nth request transiently fails its first
+    /// attempt, exercising the retry path. Requires `max_attempts ≥ 2` to
+    /// stay bit-transparent (the retry then succeeds with untouched noise
+    /// draws). `None` (the default) injects nothing.
+    pub inject_busy_every: Option<u64>,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            workers_per_device: 2,
+            max_attempts: 3,
+            backoff: Duration::ZERO,
+            max_batch: 8,
+            inject_busy_every: None,
+        }
+    }
+}
+
+/// One queued measurement: the workload, the caller's generator state, and
+/// where to send the answer.
+#[derive(Debug)]
+struct Request {
+    workload: Workload,
+    rng: StdRng,
+    reply: Sender<Reply>,
+}
+
+/// What travels on a device queue: work, or a shutdown pill (one per
+/// worker, so join never waits on a client that outlives the oracle).
+#[derive(Debug)]
+enum Job {
+    Measure(Request),
+    Shutdown,
+}
+
+/// A served measurement: the report (or terminal error) plus the advanced
+/// generator state (retry counts live in the oracle stats).
+#[derive(Debug)]
+struct Reply {
+    result: Result<ExecutionReport, MeasureError>,
+    rng: StdRng,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+    retries: AtomicU64,
+    injected_faults: AtomicU64,
+}
+
+/// Aggregate oracle counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Worker wakes (each serving one in-flight batch).
+    pub batches: u64,
+    /// Largest in-flight batch one wake drained.
+    pub max_batch: u64,
+    /// Retry attempts across all requests.
+    pub retries: u64,
+    /// Transient faults injected by [`OracleConfig::inject_busy_every`].
+    pub injected_faults: u64,
+}
+
+/// The measurement service. Owns one queue + worker pool per device;
+/// dropped (or [`MeasurementOracle::shutdown`]), it closes the queues and
+/// joins every worker.
+#[derive(Debug)]
+pub struct MeasurementOracle {
+    senders: HashMap<DeviceKind, Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    workers_per_device: usize,
+    stats: Arc<StatsInner>,
+}
+
+impl MeasurementOracle {
+    /// Starts workers for every (distinct) device in `devices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty, `workers_per_device == 0`,
+    /// `max_attempts == 0`, or fault injection is enabled without retry
+    /// headroom (`max_attempts < 2`).
+    pub fn start(devices: &[DeviceKind], cfg: &OracleConfig) -> Self {
+        assert!(!devices.is_empty(), "oracle needs at least one device");
+        assert!(cfg.workers_per_device > 0, "need at least one worker");
+        assert!(cfg.max_attempts > 0, "need at least one attempt");
+        assert!(
+            cfg.inject_busy_every.is_none() || cfg.max_attempts >= 2,
+            "fault injection without retries would surface injected errors"
+        );
+        let stats = Arc::new(StatsInner::default());
+        let mut senders = HashMap::new();
+        let mut workers = Vec::new();
+        for &device in devices {
+            if senders.contains_key(&device) {
+                continue;
+            }
+            let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+            for _ in 0..cfg.workers_per_device {
+                let rx = rx.clone();
+                let cfg = cfg.clone();
+                let stats = Arc::clone(&stats);
+                let profile = device.profile();
+                workers.push(std::thread::spawn(move || {
+                    worker_loop(&profile, &rx, &cfg, &stats);
+                }));
+            }
+            senders.insert(device, tx);
+        }
+        MeasurementOracle {
+            senders,
+            workers,
+            workers_per_device: cfg.workers_per_device,
+            stats,
+        }
+    }
+
+    /// A client bound to one device's queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the oracle was not started with `device`.
+    pub fn client(&self, device: DeviceKind) -> OracleClient {
+        let tx = self
+            .senders
+            .get(&device)
+            .unwrap_or_else(|| panic!("oracle has no workers for {device}"))
+            .clone();
+        OracleClient { device, tx }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            requests: self.stats.requests.load(Ordering::SeqCst),
+            batches: self.stats.batches.load(Ordering::SeqCst),
+            max_batch: self.stats.max_batch.load(Ordering::SeqCst),
+            retries: self.stats.retries.load(Ordering::SeqCst),
+            injected_faults: self.stats.injected_faults.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stops the workers (outstanding requests are still served first)
+    /// and joins them. Clients that outlive the oracle get a transient
+    /// error on their next call.
+    pub fn shutdown(mut self) -> OracleStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        for tx in self.senders.values() {
+            for _ in 0..self.workers_per_device {
+                let _ = tx.send(Job::Shutdown);
+            }
+        }
+        self.senders.clear();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MeasurementOracle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(
+    profile: &DeviceProfile,
+    rx: &Receiver<Job>,
+    cfg: &OracleConfig,
+    stats: &StatsInner,
+) {
+    let mut running = true;
+    while running {
+        let first = match rx.recv() {
+            Ok(Job::Measure(r)) => r,
+            Ok(Job::Shutdown) | Err(_) => break,
+        };
+        // In-flight batching: drain whatever else is already queued, up to
+        // the batch cap, before touching the (simulated) board.
+        let mut batch = vec![first];
+        while batch.len() < cfg.max_batch {
+            match rx.try_recv() {
+                Ok(Job::Measure(r)) => batch.push(r),
+                Ok(Job::Shutdown) => {
+                    running = false;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        stats.batches.fetch_add(1, Ordering::SeqCst);
+        stats
+            .max_batch
+            .fetch_max(batch.len() as u64, Ordering::SeqCst);
+        for req in batch {
+            serve(profile, req, cfg, stats);
+        }
+    }
+}
+
+fn serve(profile: &DeviceProfile, mut req: Request, cfg: &OracleConfig, stats: &StatsInner) {
+    let id = stats.requests.fetch_add(1, Ordering::SeqCst) + 1;
+    let mut attempts = 0u32;
+    let result = loop {
+        attempts += 1;
+        let backoff_ms = cfg.backoff.as_secs_f64() * 1e3 * f64::from(attempts);
+        // Injected transport contention: fails before any noise is drawn,
+        // so the retry reproduces the inline measurement exactly.
+        let injected = attempts == 1 && cfg.inject_busy_every.is_some_and(|n| id.is_multiple_of(n));
+        let outcome = if injected {
+            stats.injected_faults.fetch_add(1, Ordering::SeqCst);
+            Err(MeasureError::Busy {
+                retry_in_ms: backoff_ms,
+            })
+        } else {
+            // Attempt on a scratch state; commit it only on resolution so
+            // a (hypothetical) transient failure inside `measure` cannot
+            // leak half-consumed draws into the next attempt.
+            let mut rng = req.rng.clone();
+            let r = profile.measure(&req.workload, &mut rng);
+            if r.is_ok() || !r.as_ref().is_err_and(MeasureError::is_transient) {
+                req.rng = rng;
+            }
+            r
+        };
+        match outcome {
+            Ok(r) => break Ok(r),
+            Err(e) if e.is_transient() && attempts < cfg.max_attempts => {
+                stats.retries.fetch_add(1, Ordering::SeqCst);
+                if cfg.backoff > Duration::ZERO {
+                    std::thread::sleep(cfg.backoff * attempts);
+                }
+            }
+            Err(e) => break Err(e),
+        }
+    };
+    // A dropped client (its search died) is not the oracle's problem.
+    let _ = req.reply.send(Reply {
+        result,
+        rng: req.rng,
+    });
+}
+
+/// A handle submitting measurements to one device's queue. Cloneable and
+/// cheap; implements [`MeasureBackend`] so it plugs straight into
+/// `hgnas_core::RunOptions::backend`.
+#[derive(Debug, Clone)]
+pub struct OracleClient {
+    device: DeviceKind,
+    tx: Sender<Job>,
+}
+
+/// An in-flight asynchronous measurement; redeem with [`Ticket::wait`].
+pub struct Ticket {
+    rx: Receiver<Reply>,
+}
+
+/// Error for submissions the oracle never answered (it was shut down).
+fn oracle_gone() -> MeasureError {
+    MeasureError::Busy { retry_in_ms: 0.0 }
+}
+
+impl Ticket {
+    /// Blocks until the oracle answers.
+    ///
+    /// # Errors
+    ///
+    /// The measurement's own [`MeasureError`], or a transient error when
+    /// the oracle shut down before answering.
+    pub fn wait(self) -> Result<ExecutionReport, MeasureError> {
+        match self.rx.recv() {
+            Ok(reply) => reply.result,
+            Err(_) => Err(oracle_gone()),
+        }
+    }
+}
+
+impl OracleClient {
+    /// The device this client measures on.
+    pub fn device(&self) -> DeviceKind {
+        self.device
+    }
+
+    /// Fire-and-forget submission with a deterministic per-request noise
+    /// stream derived from `stream` (callers typically pass a request
+    /// index). Pipelining submissions is how a caller keeps every worker
+    /// busy; results are independent of completion order because each
+    /// request owns its stream.
+    pub fn submit(&self, workload: Workload, stream: u64) -> Ticket {
+        let (reply, rx) = unbounded();
+        let _ = self.tx.send(Job::Measure(Request {
+            workload,
+            rng: StdRng::seed_from_u64(stream),
+            reply,
+        }));
+        Ticket { rx }
+    }
+}
+
+impl MeasureBackend for OracleClient {
+    /// Round-trips the caller's generator state through the oracle: the
+    /// returned report *and* the state `rng` is left in match an inline
+    /// `profile.measure(workload, rng)` call exactly.
+    fn measure(
+        &self,
+        workload: &Workload,
+        rng: &mut StdRng,
+    ) -> Result<ExecutionReport, MeasureError> {
+        let (reply, rx) = unbounded();
+        self.tx
+            .send(Job::Measure(Request {
+                workload: workload.clone(),
+                rng: rng.clone(),
+                reply,
+            }))
+            .map_err(|_| oracle_gone())?;
+        match rx.recv() {
+            Ok(r) => {
+                *rng = r.rng;
+                r.result
+            }
+            Err(_) => Err(oracle_gone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgnas_device::WorkloadOp;
+
+    fn toy_workload(n: usize) -> Workload {
+        let mut w = Workload::new();
+        w.push(WorkloadOp::knn("knn", n, 16, 3));
+        w.push(WorkloadOp::linear("mlp", n, 16, 32));
+        w
+    }
+
+    #[test]
+    fn backend_is_bit_transparent() {
+        let devices = [DeviceKind::JetsonTx2, DeviceKind::RaspberryPi3B];
+        let oracle = MeasurementOracle::start(&devices, &OracleConfig::default());
+        for device in devices {
+            let client = oracle.client(device);
+            let w = toy_workload(128);
+            let mut inline_rng = StdRng::seed_from_u64(99);
+            let mut oracle_rng = StdRng::seed_from_u64(99);
+            for _ in 0..10 {
+                let inline = device.profile().measure(&w, &mut inline_rng).unwrap();
+                let via = client.measure(&w, &mut oracle_rng).unwrap();
+                assert_eq!(inline, via);
+            }
+            assert_eq!(inline_rng, oracle_rng, "generator state diverged");
+        }
+        let stats = oracle.shutdown();
+        assert_eq!(stats.requests, 20);
+    }
+
+    #[test]
+    fn injected_faults_are_retried_transparently() {
+        let cfg = OracleConfig {
+            inject_busy_every: Some(2),
+            ..OracleConfig::default()
+        };
+        let oracle = MeasurementOracle::start(&[DeviceKind::I78700K], &cfg);
+        let client = oracle.client(DeviceKind::I78700K);
+        let w = toy_workload(96);
+        let mut inline_rng = StdRng::seed_from_u64(5);
+        let mut oracle_rng = StdRng::seed_from_u64(5);
+        for _ in 0..8 {
+            let inline = DeviceKind::I78700K
+                .profile()
+                .measure(&w, &mut inline_rng)
+                .unwrap();
+            let via = client.measure(&w, &mut oracle_rng).unwrap();
+            assert_eq!(inline, via, "retry changed the measurement");
+        }
+        let stats = oracle.shutdown();
+        assert_eq!(stats.injected_faults, 4, "every 2nd of 8 requests faults");
+        assert!(stats.retries >= stats.injected_faults);
+    }
+
+    #[test]
+    fn oom_is_not_retried() {
+        let mut w = Workload::new();
+        w.push(WorkloadOp::linear("huge", 4_000_000, 256, 256));
+        w.peak_live_bytes = 4e9;
+        let oracle =
+            MeasurementOracle::start(&[DeviceKind::RaspberryPi3B], &OracleConfig::default());
+        let client = oracle.client(DeviceKind::RaspberryPi3B);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rng_before = rng.clone();
+        match client.measure(&w, &mut rng) {
+            Err(MeasureError::OutOfMemory { .. }) => {}
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        // Terminal errors consume no noise draws, exactly like inline.
+        assert_eq!(rng, rng_before);
+        let stats = oracle.shutdown();
+        assert_eq!(stats.retries, 0);
+    }
+
+    #[test]
+    fn pipelined_submissions_match_sequential_results() {
+        let oracle = MeasurementOracle::start(&[DeviceKind::Rtx3080], &OracleConfig::default());
+        let client = oracle.client(DeviceKind::Rtx3080);
+        let w = toy_workload(200);
+        // Submit 32 requests before collecting any response.
+        let tickets: Vec<Ticket> = (0..32).map(|i| client.submit(w.clone(), i)).collect();
+        let async_lat: Vec<u64> = tickets
+            .into_iter()
+            .map(|t| t.wait().unwrap().latency_ms.to_bits())
+            .collect();
+        let serial_lat: Vec<u64> = (0..32)
+            .map(|i| {
+                DeviceKind::Rtx3080
+                    .profile()
+                    .measure_seeded(&w, i)
+                    .unwrap()
+                    .latency_ms
+                    .to_bits()
+            })
+            .collect();
+        assert_eq!(async_lat, serial_lat);
+        let stats = oracle.shutdown();
+        assert_eq!(stats.requests, 32);
+        assert!(stats.batches <= 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "no workers for")]
+    fn unknown_device_client_panics() {
+        let oracle = MeasurementOracle::start(&[DeviceKind::Rtx3080], &OracleConfig::default());
+        let _ = oracle.client(DeviceKind::V100);
+    }
+}

@@ -1,0 +1,376 @@
+//! Fleet acceptance tests: oracle transparency (fleet == serial per
+//! device), checkpoint kill/resume bit-identity, warm-started predictors,
+//! and artifact corruption rejection.
+
+use hgnas_core::{
+    Hgnas, LatencyMode, RunOptions, SearchCheckpoint, SearchConfig, SearchOutcome, TaskConfig,
+};
+use hgnas_device::DeviceKind;
+use hgnas_fleet::{
+    predictor_fingerprint, run_fleet, ArtifactKey, ArtifactStore, FleetConfig, OracleConfig,
+    StoreError,
+};
+use hgnas_predictor::PredictorConfig;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tiny_config(device: DeviceKind, mode: LatencyMode) -> SearchConfig {
+    let mut cfg = SearchConfig::fast(device);
+    cfg.ea_stage1.iterations = 1;
+    cfg.ea_stage1.population = 3;
+    cfg.ea_stage2.iterations = 3;
+    cfg.ea_stage2.population = 6;
+    cfg.epochs_stage1 = 1;
+    cfg.epochs_stage2 = 2;
+    cfg.predictor = PredictorConfig {
+        train_samples: 60,
+        val_samples: 20,
+        epochs: 6,
+        lr: 3e-3,
+        gcn_dims: vec![16, 16],
+        mlp_hidden: vec![12],
+        seed: 1,
+        global_node: true,
+        batch: 2,
+    };
+    cfg.eval_clouds = 20;
+    cfg.latency_mode = mode;
+    cfg
+}
+
+/// A unique, self-cleaning store directory per test.
+struct TempStore {
+    path: PathBuf,
+}
+
+impl TempStore {
+    fn new(tag: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+        let path =
+            std::env::temp_dir().join(format!("hgnas-fleet-test-{tag}-{}-{n}", std::process::id()));
+        TempStore { path }
+    }
+
+    fn open(&self) -> ArtifactStore {
+        ArtifactStore::open(&self.path).expect("store dir")
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+fn assert_outcomes_bit_identical(a: &SearchOutcome, b: &SearchOutcome) {
+    assert_eq!(a.best.genome, b.best.genome);
+    assert_eq!(a.best.architecture, b.best.architecture);
+    assert_eq!(a.best.score.to_bits(), b.best.score.to_bits());
+    assert_eq!(
+        a.best.supernet_accuracy.to_bits(),
+        b.best.supernet_accuracy.to_bits()
+    );
+    assert_eq!(a.best.latency_ms.to_bits(), b.best.latency_ms.to_bits());
+    assert_eq!(a.history.len(), b.history.len());
+    for (x, y) in a.history.iter().zip(&b.history) {
+        assert_eq!(x.0.to_bits(), y.0.to_bits(), "history time diverged");
+        assert_eq!(x.1.to_bits(), y.1.to_bits(), "history score diverged");
+    }
+    assert_eq!(a.search_hours.to_bits(), b.search_hours.to_bits());
+    assert_eq!(a.eval_stats, b.eval_stats);
+    assert_eq!(a.stage1_stats, b.stage1_stats);
+    assert_eq!(a.predictor_stats, b.predictor_stats);
+}
+
+/// Acceptance: a fleet search over 3 devices through the async oracle
+/// (with transient-fault injection enabled, so retries actually fire)
+/// produces per device the identical outcome as serial single-device runs.
+#[test]
+fn measured_fleet_matches_serial_per_device() {
+    let task = TaskConfig::tiny(7);
+    let devices = [
+        DeviceKind::Rtx3080,
+        DeviceKind::JetsonTx2,
+        DeviceKind::RaspberryPi3B,
+    ];
+    let base = tiny_config(devices[0], LatencyMode::Measured);
+    let mut fleet = FleetConfig::new(devices.to_vec());
+    fleet.oracle = OracleConfig {
+        inject_busy_every: Some(3),
+        ..OracleConfig::default()
+    };
+    let report = run_fleet(&task, &base, &fleet, None).expect("fleet run");
+    assert_eq!(report.reports.len(), devices.len());
+
+    let oracle_stats = report.oracle_stats.expect("measured mode has oracle stats");
+    assert!(
+        oracle_stats.requests > 0,
+        "searches went through the oracle"
+    );
+    assert!(
+        oracle_stats.injected_faults > 0 && oracle_stats.retries >= oracle_stats.injected_faults,
+        "fault injection exercised the retry path: {oracle_stats:?}"
+    );
+
+    for (device, shard) in devices.iter().zip(&report.reports) {
+        assert_eq!(shard.device, *device);
+        let serial = Hgnas::new(task.clone(), tiny_config(*device, LatencyMode::Measured)).run();
+        assert_outcomes_bit_identical(&shard.outcome, &serial);
+    }
+
+    // The shards genuinely target different devices: their reference
+    // latencies differ wildly (Pi vs RTX3080).
+    let ref_ms: Vec<f64> = report
+        .reports
+        .iter()
+        .map(|r| r.outcome.reference_ms)
+        .collect();
+    assert!(
+        ref_ms[2] > 10.0 * ref_ms[0],
+        "Pi vs GPU reference: {ref_ms:?}"
+    );
+}
+
+/// Acceptance: killing a search mid-generation and resuming from the
+/// persisted checkpoint reproduces the uninterrupted outcome bit-for-bit
+/// (checkpoint round-tripped through the on-disk codec).
+#[test]
+fn kill_and_resume_is_bit_identical() {
+    let task = TaskConfig::tiny(5);
+    let cfg = tiny_config(DeviceKind::JetsonTx2, LatencyMode::Predictor);
+    let full = Hgnas::new(task.clone(), cfg.clone()).run();
+
+    // "Kill" after generation 1 of 3, persisting checkpoints as we go.
+    let temp = TempStore::new("resume");
+    let store = temp.open();
+    let key = ArtifactKey {
+        device: DeviceKind::JetsonTx2,
+        fingerprint: 0x5eed,
+    };
+    let mut persisted = 0usize;
+    let mut sink = |cp: &SearchCheckpoint| {
+        store.save_checkpoint(&key, &task, cp).expect("persist");
+        persisted += 1;
+    };
+    let killed = Hgnas::new(task.clone(), cfg.clone()).run_with(RunOptions {
+        checkpoint_sink: Some(&mut sink),
+        abort_after_generation: Some(1),
+        ..RunOptions::default()
+    });
+    assert!(killed.outcome.is_none(), "aborted run yields no outcome");
+    let cp = killed.checkpoint.expect("aborted run yields a checkpoint");
+    assert_eq!(cp.generation, 1);
+    assert!(persisted >= 2, "gen 0 and gen 1 were checkpointed");
+
+    // Resume from the *disk* copy, not the in-memory one.
+    let loaded = store
+        .load_checkpoint(&key)
+        .expect("load")
+        .expect("checkpoint exists");
+    assert_eq!(loaded.generation, 1);
+    let resumed = Hgnas::new(task.clone(), cfg)
+        .run_with(RunOptions {
+            resume: Some(loaded),
+            ..RunOptions::default()
+        })
+        .outcome
+        .expect("resumed run completes");
+    assert_outcomes_bit_identical(&resumed, &full);
+}
+
+/// Acceptance: with an artifact store, the second fleet run warm-starts —
+/// zero predictor-training epochs, checkpoint resume at the final
+/// generation — and still reports the identical outcome.
+#[test]
+fn second_fleet_run_warm_starts_with_zero_predictor_epochs() {
+    let task = TaskConfig::tiny(9);
+    let devices = [
+        DeviceKind::Rtx3080,
+        DeviceKind::I78700K,
+        DeviceKind::JetsonTx2,
+    ];
+    let base = tiny_config(devices[0], LatencyMode::Predictor);
+    let fleet = FleetConfig::new(devices.to_vec());
+    let temp = TempStore::new("warm");
+    let store = temp.open();
+
+    let cold = run_fleet(&task, &base, &fleet, Some(&store)).expect("cold run");
+    for shard in &cold.reports {
+        assert!(!shard.warm_predictor, "first run trains from scratch");
+        assert_eq!(shard.predictor_epochs_run, base.predictor.epochs);
+        assert_eq!(shard.resumed_from_generation, None);
+        // Cold fleet shards equal serial runs (predictor mode).
+        let serial = Hgnas::new(
+            task.clone(),
+            tiny_config(shard.device, LatencyMode::Predictor),
+        )
+        .run();
+        assert_outcomes_bit_identical(&shard.outcome, &serial);
+        assert!(
+            !shard.pareto.is_empty(),
+            "{}: empty Pareto front",
+            shard.device
+        );
+    }
+
+    let warm = run_fleet(&task, &base, &fleet, Some(&store)).expect("warm run");
+    for (c, w) in cold.reports.iter().zip(&warm.reports) {
+        assert!(w.warm_predictor, "{}: predictor not warm-started", w.device);
+        assert_eq!(
+            w.predictor_epochs_run, 0,
+            "{}: warm start must train zero epochs",
+            w.device
+        );
+        assert_eq!(
+            w.resumed_from_generation,
+            Some(base.ea_stage2.iterations),
+            "{}: warm run resumes at the completed generation",
+            w.device
+        );
+        assert_outcomes_bit_identical(&c.outcome, &w.outcome);
+    }
+
+    // Pareto fronts are internally non-dominated.
+    for shard in &warm.reports {
+        for a in &shard.pareto {
+            for b in &shard.pareto {
+                let dominates = a.latency_ms <= b.latency_ms
+                    && a.accuracy >= b.accuracy
+                    && (a.latency_ms < b.latency_ms || a.accuracy > b.accuracy);
+                assert!(!dominates, "{}: dominated point on front", shard.device);
+            }
+        }
+    }
+    println!("{}", warm.summary_table());
+}
+
+/// Codec acceptance: corrupt or truncated artifacts are rejected instead
+/// of warm-starting a search from garbage.
+#[test]
+fn corrupt_and_truncated_artifacts_are_rejected() {
+    let task = TaskConfig::tiny(3);
+    let cfg = tiny_config(DeviceKind::RaspberryPi3B, LatencyMode::Predictor);
+    let temp = TempStore::new("corrupt");
+    let store = temp.open();
+
+    // Produce a real predictor artifact via a (tiny) training run.
+    let (p, stats) = hgnas_predictor::LatencyPredictor::train(
+        DeviceKind::RaspberryPi3B,
+        &task.predictor_context(),
+        &cfg.predictor,
+    );
+    let key = ArtifactKey {
+        device: DeviceKind::RaspberryPi3B,
+        fingerprint: predictor_fingerprint(&task.predictor_context(), &cfg.predictor),
+    };
+    let path = store
+        .save_predictor(&key, &p.snapshot(&stats))
+        .expect("save");
+
+    // Pristine artifact loads and reproduces predictions bit-for-bit.
+    let snap = store.load_predictor(&key).expect("load").expect("exists");
+    let (q, _) = hgnas_predictor::LatencyPredictor::from_snapshot(&snap);
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    for _ in 0..5 {
+        let arch = hgnas_ops::Architecture::random(&mut rng, 6, 10, 4);
+        assert_eq!(p.predict_ms(&arch).to_bits(), q.predict_ms(&arch).to_bits());
+    }
+
+    // A single flipped byte anywhere must be caught.
+    let pristine = std::fs::read(&path).expect("read artifact");
+    let mut corrupt = pristine.clone();
+    corrupt[pristine.len() / 2] ^= 0x10;
+    std::fs::write(&path, &corrupt).expect("write corrupt");
+    match store.load_predictor(&key) {
+        Err(StoreError::Codec(_)) => {}
+        other => panic!("corrupt artifact accepted: {other:?}"),
+    }
+
+    // Truncation (a torn write) must be caught too.
+    std::fs::write(&path, &pristine[..pristine.len() - 7]).expect("truncate");
+    match store.load_predictor(&key) {
+        Err(StoreError::Codec(_)) => {}
+        other => panic!("truncated artifact accepted: {other:?}"),
+    }
+
+    // Restoring the pristine bytes restores loadability.
+    std::fs::write(&path, &pristine).expect("restore");
+    assert!(store.load_predictor(&key).expect("load").is_some());
+}
+
+/// A one-stage fleet with a store must run (predictors still warm-start;
+/// checkpoint/resume simply doesn't apply) rather than tripping the
+/// multi-stage-only checkpointing guard.
+#[test]
+fn one_stage_fleet_with_store_completes() {
+    let task = TaskConfig::tiny(13);
+    let devices = [DeviceKind::Rtx3080, DeviceKind::JetsonTx2];
+    let mut base = tiny_config(devices[0], LatencyMode::Predictor);
+    base.strategy = hgnas_core::Strategy::OneStage;
+    let temp = TempStore::new("onestage");
+    let store = temp.open();
+
+    let first = run_fleet(
+        &task,
+        &base,
+        &FleetConfig::new(devices.to_vec()),
+        Some(&store),
+    )
+    .expect("one-stage fleet runs");
+    let second = run_fleet(
+        &task,
+        &base,
+        &FleetConfig::new(devices.to_vec()),
+        Some(&store),
+    )
+    .expect("one-stage fleet re-runs");
+    for (a, b) in first.reports.iter().zip(&second.reports) {
+        assert!(a.resumed_from_generation.is_none(), "no one-stage resume");
+        assert!(a.pareto.is_empty(), "no checkpoint, no cache-derived front");
+        // Predictor warm start still works across runs.
+        assert!(!a.warm_predictor);
+        assert!(b.warm_predictor);
+        assert_eq!(b.predictor_epochs_run, 0);
+        assert_outcomes_bit_identical(&a.outcome, &b.outcome);
+    }
+}
+
+/// The standalone score-cache artifact round-trips bit-exactly.
+#[test]
+fn score_cache_round_trips() {
+    let task = TaskConfig::tiny(11);
+    let cfg = tiny_config(DeviceKind::I78700K, LatencyMode::Predictor);
+    let out = Hgnas::new(task.clone(), cfg).run_with(RunOptions::default());
+    let cp = out.checkpoint.expect("multi-stage run has a checkpoint");
+    assert!(!cp.cache.is_empty());
+
+    let temp = TempStore::new("cache");
+    let store = temp.open();
+    let key = ArtifactKey {
+        device: DeviceKind::I78700K,
+        fingerprint: 1,
+    };
+    store
+        .save_score_cache(&key, &task, cp.functions, &cp.cache)
+        .expect("save");
+    let loaded = store.load_score_cache(&key).expect("load").expect("exists");
+    assert_eq!(loaded.len(), cp.cache.len());
+    for ((ga, ca), (gb, cb)) in cp.cache.iter().zip(&loaded) {
+        assert_eq!(ga, gb);
+        assert_eq!(ca.architecture, cb.architecture);
+        assert_eq!(ca.score.to_bits(), cb.score.to_bits());
+        assert_eq!(ca.accuracy.to_bits(), cb.accuracy.to_bits());
+        assert_eq!(ca.latency_ms.to_bits(), cb.latency_ms.to_bits());
+        assert_eq!(ca.cost_ms.to_bits(), cb.cost_ms.to_bits());
+        assert_eq!(ca.valid, cb.valid);
+    }
+
+    // A missing slot is None, not an error.
+    let empty_key = ArtifactKey {
+        device: DeviceKind::V100,
+        fingerprint: 2,
+    };
+    assert!(store.load_score_cache(&empty_key).expect("load").is_none());
+}

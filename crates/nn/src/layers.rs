@@ -31,7 +31,7 @@ impl Activation {
 }
 
 /// Fully connected layer `y = x·W + b`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     w: Param,
     b: Param,
@@ -105,7 +105,7 @@ impl Module for Linear {
 
 /// A stack of [`Linear`] layers with an activation between them (none after
 /// the last).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Mlp {
     layers: Vec<Linear>,
     act: Activation,
@@ -181,7 +181,7 @@ impl Module for Mlp {
 /// The paper's predictor stacks three of these with a *sum* aggregator; the
 /// normalisation choice therefore lives with the caller (identity-plus-
 /// adjacency, row-normalised, or symmetric — see `hgnas-predictor`).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GcnLayer {
     lin: Linear,
     act: Activation,

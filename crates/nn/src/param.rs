@@ -84,6 +84,39 @@ impl Param {
         };
         opt.step(self, grad);
     }
+
+    /// Takes the gradient recorded on `tape` for the last binding without
+    /// applying it, clearing the binding. This is the accumulation path:
+    /// callers gather per-sample gradients (possibly from clones of the
+    /// model on worker threads), reduce them in a deterministic order, and
+    /// apply the result once via [`Param::apply_grad`].
+    pub fn take_grad(&self, tape: &Tape) -> Option<Tensor> {
+        let var = self.bound.lock().unwrap().take()?;
+        tape.grad(var).cloned()
+    }
+
+    /// Applies one optimizer step with an explicitly supplied gradient
+    /// (e.g. a mini-batch accumulated one). Bindings are untouched.
+    pub fn apply_grad(&mut self, grad: &Tensor, opt: &mut Optimizer) {
+        opt.step(self, grad);
+    }
+}
+
+/// Cloning a parameter copies its value and optimizer state but not its
+/// tape binding: the clone starts unbound. This is what lets training
+/// workers take a private copy of a model, run forward/backward on their
+/// own tapes, and hand gradients back without racing on the original's
+/// binding slot.
+impl Clone for Param {
+    fn clone(&self) -> Self {
+        Param {
+            value: self.value.clone(),
+            m: self.m.clone(),
+            v: self.v.clone(),
+            t: self.t,
+            bound: Mutex::new(None),
+        }
+    }
 }
 
 /// Gradient-descent optimizers.
@@ -249,6 +282,53 @@ mod tests {
         let tape = Tape::new();
         p.apply_update(&tape, &mut Optimizer::sgd(1.0));
         assert!(p.value().allclose(&before, 0.0));
+    }
+
+    #[test]
+    fn take_grad_then_apply_grad_matches_apply_update() {
+        // Two identical params; one updated via the bound-binding path, the
+        // other via explicit take/apply. Trajectories must be bit-identical.
+        let init = Tensor::from_vec(vec![1.5, -2.0, 0.25], &[1, 3]);
+        let mut direct = Param::new(init.clone());
+        let mut explicit = Param::new(init);
+        let mut opt_a = Optimizer::adam(0.05);
+        let mut opt_b = Optimizer::adam(0.05);
+        for _ in 0..10 {
+            let mut tape = Tape::new();
+            let w = direct.bind(&mut tape);
+            let sq = tape.mul(w, w);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss);
+            direct.apply_update(&tape, &mut opt_a);
+
+            let mut tape = Tape::new();
+            let w = explicit.bind(&mut tape);
+            let sq = tape.mul(w, w);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss);
+            let grad = explicit.take_grad(&tape).unwrap();
+            explicit.apply_grad(&grad, &mut opt_b);
+        }
+        assert_eq!(direct.value(), explicit.value());
+    }
+
+    #[test]
+    fn clone_copies_state_but_not_binding() {
+        let mut p = Param::new(Tensor::ones(&[2]));
+        let mut tape = Tape::new();
+        let w = p.bind(&mut tape);
+        let loss = tape.sum_all(w);
+        tape.backward(loss);
+        p.apply_update(&tape, &mut Optimizer::adam(0.1));
+
+        let mut tape2 = Tape::new();
+        p.bind(&mut tape2); // leave a live binding on the original
+        let c = p.clone();
+        assert_eq!(c.value(), p.value());
+        assert_eq!(c.t, p.t);
+        // The clone is unbound; the original's binding survived the clone.
+        assert!(c.bound.lock().unwrap().is_none());
+        assert!(p.bound.lock().unwrap().is_some());
     }
 
     #[test]

@@ -36,4 +36,7 @@ mod train;
 pub use dataset::{generate_dataset, LabelledArch};
 pub use features::{arch_to_graph, arch_to_graph_with, ArchGraph, FEATURE_WIDTH};
 pub use model::PredictorModel;
-pub use train::{LatencyPredictor, PredictorConfig, PredictorContext, PredictorEval, TrainStats};
+pub use train::{
+    LatencyPredictor, PredictorConfig, PredictorContext, PredictorEval, PredictorSnapshot,
+    TrainStats,
+};

@@ -12,7 +12,7 @@ use rand::Rng;
 /// 256·128·1 MLP with LeakyReLU, reading out from mean-pooled node
 /// embeddings. Widths are configurable so the reduced-scale harnesses can
 /// train in seconds.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PredictorModel {
     gcn: Vec<GcnLayer>,
     mlp: Mlp,

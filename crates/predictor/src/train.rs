@@ -8,6 +8,8 @@ use hgnas_device::{DeviceKind, DeviceProfile};
 use hgnas_nn::metrics::{error_bound_accuracy, mape};
 use hgnas_nn::{Module, Optimizer};
 use hgnas_ops::Architecture;
+use hgnas_tensor::threads::with_kernel_threads;
+use hgnas_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -72,6 +74,12 @@ pub struct PredictorConfig {
     /// Include the global node in the architecture graph (paper default).
     /// Disabling it is the sparsity ablation from Sec. III-D.
     pub global_node: bool,
+    /// Samples per optimizer step (mini-batch gradient accumulation).
+    /// `1` reproduces the original per-sample SGD numerics exactly; larger
+    /// batches accumulate (and average) per-sample gradients, which is what
+    /// lets the epoch loop fan samples across the kernel thread budget.
+    /// Results are bit-identical at any thread count for any batch size.
+    pub batch: usize,
 }
 
 impl PredictorConfig {
@@ -86,6 +94,7 @@ impl PredictorConfig {
             mlp_hidden: vec![256, 128],
             seed: 0,
             global_node: true,
+            batch: 8,
         }
     }
 
@@ -101,6 +110,7 @@ impl PredictorConfig {
             mlp_hidden: vec![32],
             seed: 0,
             global_node: true,
+            batch: 1,
         }
     }
 }
@@ -141,6 +151,110 @@ pub struct LatencyPredictor {
     scale_ms: f64,
     context: PredictorContext,
     global_node: bool,
+    gcn_dims: Vec<usize>,
+    mlp_hidden: Vec<usize>,
+}
+
+/// A serialisable image of a trained predictor: geometry, normalisation
+/// scale, held-out statistics and raw weight tensors. Round-tripping
+/// through a snapshot reproduces predictions bit-for-bit, which is what
+/// lets an artifact store skip predictor training on warm starts.
+#[derive(Debug, Clone)]
+pub struct PredictorSnapshot {
+    /// The device the predictor perceives.
+    pub device: DeviceKind,
+    /// Task context predictions are made in.
+    pub context: PredictorContext,
+    /// Whether the architecture graph includes the global node.
+    pub global_node: bool,
+    /// GCN hidden widths.
+    pub gcn_dims: Vec<usize>,
+    /// MLP hidden widths.
+    pub mlp_hidden: Vec<usize>,
+    /// Label normalisation scale, ms.
+    pub scale_ms: f64,
+    /// Held-out statistics observed when the predictor was trained.
+    pub stats: TrainStats,
+    /// Weight tensors in [`hgnas_nn::Module::params`] order.
+    pub weights: Vec<Tensor>,
+}
+
+/// Per-sample loss and gradients (in [`hgnas_nn::Module::params`] order)
+/// produced by one forward/backward pass.
+type SampleGrads = (f64, Vec<Option<Tensor>>);
+
+/// One forward/backward pass for `sample` against `model`, returning the
+/// loss and per-parameter gradients. Pure in `model`'s weights, so it can
+/// run against the live model or a worker's clone interchangeably.
+fn sample_grads(
+    model: &PredictorModel,
+    sample: &LabelledArch,
+    points: usize,
+    global_node: bool,
+    scale_ms: f64,
+) -> SampleGrads {
+    let graph = arch_to_graph_with(&sample.arch, points, global_node);
+    let target = (sample.latency_ms / scale_ms) as f32;
+    let mut tape = Tape::new();
+    let out = model.forward(&mut tape, &graph);
+    let loss = tape.mape_loss(out, &[target]);
+    let l = tape.value(loss).item() as f64;
+    tape.backward(loss);
+    let grads = model.params().iter().map(|p| p.take_grad(&tape)).collect();
+    (l, grads)
+}
+
+/// Computes `sample_grads` for every sample of one mini-batch, fanning the
+/// samples across up to `threads` workers (each worker takes a private
+/// clone of the model, so tape bindings never race). Results come back in
+/// submission order regardless of scheduling, and the thread budget is
+/// split between workers and their matmul kernels exactly like the
+/// candidate evaluator does — so the returned values are bit-identical for
+/// any `threads`.
+fn batch_grads(
+    model: &PredictorModel,
+    train: &[LabelledArch],
+    chunk: &[usize],
+    points: usize,
+    global_node: bool,
+    scale_ms: f64,
+    threads: usize,
+) -> Vec<SampleGrads> {
+    let workers = threads.clamp(1, chunk.len());
+    if workers == 1 {
+        return chunk
+            .iter()
+            .map(|&i| sample_grads(model, &train[i], points, global_node, scale_ms))
+            .collect();
+    }
+    let per = chunk.len().div_ceil(workers);
+    let workers = chunk.len().div_ceil(per);
+    let base_budget = threads / workers;
+    let spare = threads % workers;
+    let mut out: Vec<Option<SampleGrads>> = (0..chunk.len()).map(|_| None).collect();
+    crossbeam::scope(|s| {
+        for (w, (idx_chunk, out_chunk)) in chunk.chunks(per).zip(out.chunks_mut(per)).enumerate() {
+            let kernel_budget = (base_budget + usize::from(w < spare)).max(1);
+            s.spawn(move |_| {
+                let local = model.clone();
+                with_kernel_threads(kernel_budget, || {
+                    for (&i, slot) in idx_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = Some(sample_grads(
+                            &local,
+                            &train[i],
+                            points,
+                            global_node,
+                            scale_ms,
+                        ));
+                    }
+                });
+            });
+        }
+    })
+    .expect("predictor training worker panicked");
+    out.into_iter()
+        .map(|s| s.expect("every sample slot is filled by its worker"))
+        .collect()
 }
 
 impl LatencyPredictor {
@@ -173,21 +287,49 @@ impl LatencyPredictor {
         let mut model = PredictorModel::new(&mut rng, &cfg.gcn_dims, &cfg.mlp_hidden);
         let mut opt = Optimizer::adam(cfg.lr);
 
+        // The epoch loop works in mini-batches of `cfg.batch` samples:
+        // per-sample gradients are computed (in parallel across the ambient
+        // kernel thread budget when it is > 1), summed in submission order,
+        // averaged, and applied as one optimizer step. Batch 1 degenerates
+        // to the classic per-sample SGD loop bit-for-bit.
+        let threads = hgnas_tensor::threads::kernel_threads();
+        let batch = cfg.batch.max(1);
         let mut order: Vec<usize> = (0..train.len()).collect();
         let mut train_mape = f64::NAN;
         for _epoch in 0..cfg.epochs {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f64;
-            for &i in &order {
-                let sample = &train[i];
-                let graph = arch_to_graph_with(&sample.arch, ctx.points, cfg.global_node);
-                let target = (sample.latency_ms / scale_ms) as f32;
-                let mut tape = Tape::new();
-                let out = model.forward(&mut tape, &graph);
-                let loss = tape.mape_loss(out, &[target]);
-                epoch_loss += tape.value(loss).item() as f64;
-                tape.backward(loss);
-                model.apply_updates(&tape, &mut opt);
+            for chunk in order.chunks(batch) {
+                let results = batch_grads(
+                    &model,
+                    train,
+                    chunk,
+                    ctx.points,
+                    cfg.global_node,
+                    scale_ms,
+                    threads,
+                );
+                // Reduce in submission order: worker count never reorders
+                // the floating-point sums.
+                for (l, _) in &results {
+                    epoch_loss += l;
+                }
+                let scale = 1.0 / chunk.len() as f32;
+                for (pi, p) in model.params_mut().into_iter().enumerate() {
+                    let mut acc: Option<Tensor> = None;
+                    for (_, grads) in &results {
+                        if let Some(g) = &grads[pi] {
+                            acc = Some(match acc {
+                                Some(a) => a.zip_map(g, |x, y| x + y),
+                                None => g.clone(),
+                            });
+                        }
+                    }
+                    if let Some(g) = acc {
+                        let g = if chunk.len() > 1 { g.scale(scale) } else { g };
+                        p.apply_grad(&g, &mut opt);
+                    }
+                }
             }
             train_mape = epoch_loss / train.len().max(1) as f64;
         }
@@ -198,6 +340,8 @@ impl LatencyPredictor {
             scale_ms,
             context: ctx.clone(),
             global_node: cfg.global_node,
+            gcn_dims: cfg.gcn_dims.clone(),
+            mlp_hidden: cfg.mlp_hidden.clone(),
         };
         let eval = predictor.evaluate(val);
         let stats = TrainStats {
@@ -249,6 +393,60 @@ impl LatencyPredictor {
     pub fn profile(&self) -> DeviceProfile {
         self.device.profile()
     }
+
+    /// Captures everything needed to rebuild this predictor bit-for-bit.
+    /// `stats` are the training statistics to travel with the weights (the
+    /// artifact store surfaces them on warm starts).
+    pub fn snapshot(&self, stats: &TrainStats) -> PredictorSnapshot {
+        PredictorSnapshot {
+            device: self.device,
+            context: self.context.clone(),
+            global_node: self.global_node,
+            gcn_dims: self.gcn_dims.clone(),
+            mlp_hidden: self.mlp_hidden.clone(),
+            scale_ms: self.scale_ms,
+            stats: stats.clone(),
+            weights: self
+                .model
+                .params()
+                .iter()
+                .map(|p| p.value().clone())
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a predictor from a snapshot. Predictions are bit-identical
+    /// to the snapshotted instance's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's weight count or shapes do not match the
+    /// model geometry its `gcn_dims`/`mlp_hidden` describe (a corrupt or
+    /// hand-edited artifact; the artifact codec's checksum normally rejects
+    /// these earlier).
+    pub fn from_snapshot(snap: &PredictorSnapshot) -> (Self, TrainStats) {
+        let mut init_rng = StdRng::seed_from_u64(0);
+        let mut model = PredictorModel::new(&mut init_rng, &snap.gcn_dims, &snap.mlp_hidden);
+        let params = model.params_mut();
+        assert_eq!(
+            params.len(),
+            snap.weights.len(),
+            "snapshot weight count does not match model geometry"
+        );
+        for (p, w) in params.into_iter().zip(&snap.weights) {
+            p.set_value(w.clone());
+        }
+        let predictor = LatencyPredictor {
+            device: snap.device,
+            model,
+            scale_ms: snap.scale_ms,
+            context: snap.context.clone(),
+            global_node: snap.global_node,
+            gcn_dims: snap.gcn_dims.clone(),
+            mlp_hidden: snap.mlp_hidden.clone(),
+        };
+        (predictor, snap.stats.clone())
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +463,7 @@ mod tests {
             mlp_hidden: vec![16],
             seed: 1,
             global_node: true,
+            batch: 1,
         }
     }
 
@@ -305,6 +504,70 @@ mod tests {
             let a = Architecture::random(&mut rng, 6, 10, 4);
             let ms = p.predict_ms(&a);
             assert!(ms.is_finite() && ms >= 0.0, "prediction {ms}");
+        }
+    }
+
+    #[test]
+    fn batched_training_is_bit_identical_across_thread_budgets() {
+        let mut cfg = tiny_cfg();
+        cfg.batch = 4;
+        cfg.epochs = 4;
+        let probe_archs: Vec<Architecture> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..8)
+                .map(|_| Architecture::random(&mut rng, 6, 10, 4))
+                .collect()
+        };
+        let predict_all = |threads: usize| -> Vec<u64> {
+            let (p, stats) = with_kernel_threads(threads, || {
+                LatencyPredictor::train(DeviceKind::Rtx3080, &tiny_ctx(), &cfg)
+            });
+            let mut bits: Vec<u64> = probe_archs
+                .iter()
+                .map(|a| p.predict_ms(a).to_bits())
+                .collect();
+            bits.push(stats.train_mape.to_bits());
+            bits.push(stats.val_mape.to_bits());
+            bits
+        };
+        let t1 = predict_all(1);
+        let t2 = predict_all(2);
+        let t8 = predict_all(8);
+        assert_eq!(t1, t2);
+        assert_eq!(t1, t8);
+    }
+
+    #[test]
+    fn batch_one_matches_per_sample_reference() {
+        // The per-sample loop and the accumulation path at batch 1 must be
+        // the same algorithm: same weights, same stats, bit-for-bit.
+        let cfg = tiny_cfg();
+        let (a, sa) = LatencyPredictor::train(DeviceKind::JetsonTx2, &tiny_ctx(), &cfg);
+        let (b, sb) = LatencyPredictor::train(DeviceKind::JetsonTx2, &tiny_ctx(), &cfg);
+        assert_eq!(sa, sb);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let arch = Architecture::random(&mut rng, 6, 10, 4);
+            assert_eq!(a.predict_ms(&arch).to_bits(), b.predict_ms(&arch).to_bits());
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let (p, stats) =
+            LatencyPredictor::train(DeviceKind::RaspberryPi3B, &tiny_ctx(), &tiny_cfg());
+        let snap = p.snapshot(&stats);
+        let (q, qstats) = LatencyPredictor::from_snapshot(&snap);
+        assert_eq!(stats, qstats);
+        assert_eq!(q.device(), p.device());
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let arch = Architecture::random(&mut rng, 6, 10, 4);
+            assert_eq!(
+                p.predict_ms(&arch).to_bits(),
+                q.predict_ms(&arch).to_bits(),
+                "snapshot round-trip changed a prediction"
+            );
         }
     }
 

@@ -30,6 +30,7 @@ fn cfg(global_node: bool) -> PredictorConfig {
         mlp_hidden: vec![24],
         seed: 5,
         global_node,
+        batch: 1,
     }
 }
 

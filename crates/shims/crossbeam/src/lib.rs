@@ -52,8 +52,181 @@ pub mod thread {
     pub use super::{scope, Scope};
 }
 
+/// Offline shim for `crossbeam::channel`: multi-producer *multi-consumer*
+/// unbounded channels, backed by [`std::sync::mpsc`] with the receiver
+/// shared behind a mutex so it can be cloned into a worker pool.
+///
+/// Differences from real crossbeam: no `select!`, no bounded channels, and
+/// a blocked `recv` polls with a short timeout while holding the receiver
+/// lock so sibling consumers interleave at millisecond granularity rather
+/// than truly concurrently. The workspace's oracle workers batch requests,
+/// so this costs nothing observable.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
+    /// unsent message is handed back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// No message is queued and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half; clone freely across producer threads.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message back when every receiver has been dropped.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            self.0.send(t).map_err(|mpsc::SendError(t)| SendError(t))
+        }
+    }
+
+    /// The receiving half; clone it to share one queue between several
+    /// consumers (each message is delivered to exactly one).
+    #[derive(Debug)]
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and closed.
+        ///
+        /// # Panics
+        ///
+        /// Panics if a previous consumer panicked while holding the
+        /// receiver lock.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            loop {
+                // Poll with a short timeout, releasing the lock between
+                // rounds so sibling consumers sharing the queue get a turn.
+                let rx = self.0.lock().unwrap();
+                match rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok(t) => return Ok(t),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return Err(RecvError),
+                }
+            }
+        }
+
+        /// Dequeues a message if one is ready.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when nothing is queued,
+        /// [`TryRecvError::Disconnected`] when the channel is also closed.
+        ///
+        /// # Panics
+        ///
+        /// Panics if a previous consumer panicked while holding the
+        /// receiver lock.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            match self.0.lock().unwrap().try_recv() {
+                Ok(t) => Ok(t),
+                Err(mpsc::TryRecvError::Empty) => Err(TryRecvError::Empty),
+                Err(mpsc::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
+            }
+        }
+    }
+
+    /// Creates an unbounded multi-producer multi-consumer channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn channel_round_trips_in_order_single_consumer() {
+        let (tx, rx) = super::channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(rx.recv(), Err(super::channel::RecvError));
+    }
+
+    #[test]
+    fn cloned_receivers_share_one_queue() {
+        let (tx, rx) = super::channel::unbounded();
+        let rx2 = rx.clone();
+        let total = 200u64;
+        let consumed = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            for rx in [rx, rx2] {
+                let consumed = &consumed;
+                s.spawn(move |_| {
+                    while rx.recv().is_ok() {
+                        consumed.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                });
+            }
+            for i in 0..total {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+        })
+        .unwrap();
+        // Every message is delivered to exactly one consumer.
+        assert_eq!(consumed.load(std::sync::atomic::Ordering::SeqCst), total);
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_disconnected() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(super::channel::TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.try_recv(),
+            Err(super::channel::TryRecvError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_hands_message_back() {
+        let (tx, rx) = super::channel::unbounded();
+        drop(rx);
+        assert_eq!(tx.send(42), Err(super::channel::SendError(42)));
+    }
+
     #[test]
     fn scoped_threads_can_borrow_and_mutate_disjoint_chunks() {
         let mut data = vec![0u64; 64];

@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::ops::Range;
 
-/// Length specifications accepted by [`vec`]: an exact `usize` or a
+/// Length specifications accepted by [`vec()`]: an exact `usize` or a
 /// half-open `Range<usize>`.
 pub trait IntoLenRange {
     /// Resolves to `[lo, hi)` bounds; `hi > lo`.
@@ -31,7 +31,7 @@ pub fn vec<S: Strategy, L: IntoLenRange>(element: S, len: L) -> VecStrategy<S> {
     VecStrategy { element, lo, hi }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     lo: usize,

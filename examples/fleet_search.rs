@@ -1,0 +1,83 @@
+//! Fleet search: one configuration sharded across three edge devices,
+//! with predictor weights and search checkpoints persisted to an artifact
+//! store so a second invocation warm-starts instantly.
+//!
+//! ```sh
+//! cargo run --release --example fleet_search
+//! ```
+//!
+//! Run it twice: the first run trains one latency predictor per device and
+//! persists everything under `target/fleet-artifacts/`; the second run
+//! loads the artifacts back, trains **zero** predictor epochs, resumes
+//! each shard's checkpoint at its final generation, and reports the
+//! bit-identical outcome.
+
+use hgnas::core::{SearchConfig, TaskConfig};
+use hgnas::device::DeviceKind;
+use hgnas::fleet::{run_fleet, ArtifactStore, FleetConfig};
+use hgnas::predictor::PredictorConfig;
+
+fn main() {
+    let devices = vec![
+        DeviceKind::Rtx3080,
+        DeviceKind::JetsonTx2,
+        DeviceKind::RaspberryPi3B,
+    ];
+    let task = TaskConfig::tiny(42);
+    let mut base = SearchConfig::fast(devices[0]);
+    // Reduced predictor so a cold start stays in example territory.
+    base.predictor = PredictorConfig {
+        train_samples: 150,
+        val_samples: 50,
+        epochs: 10,
+        lr: 3e-3,
+        gcn_dims: vec![24, 24],
+        mlp_hidden: vec![16],
+        seed: 1,
+        global_node: true,
+        batch: 4,
+    };
+    base.ea_stage2.iterations = 4;
+
+    let store = ArtifactStore::open("target/fleet-artifacts").expect("artifact store");
+    let fleet = FleetConfig::new(devices);
+
+    println!(
+        "== HGNAS fleet search over {} devices ==",
+        fleet.devices.len()
+    );
+    println!("artifact store: {}\n", store.root().display());
+
+    let report = run_fleet(&task, &base, &fleet, Some(&store)).expect("fleet run");
+
+    for shard in &report.reports {
+        let start = if shard.warm_predictor {
+            "warm start (0 predictor epochs)".to_string()
+        } else {
+            format!(
+                "cold start ({} predictor epochs)",
+                shard.predictor_epochs_run
+            )
+        };
+        let resumed = match shard.resumed_from_generation {
+            Some(g) => format!(", resumed from generation {g}"),
+            None => String::new(),
+        };
+        println!(
+            "{:<14} {}{resumed}; Pareto front: {} candidates",
+            shard.device.name(),
+            start,
+            shard.pareto.len()
+        );
+        for p in shard.pareto.iter().take(3) {
+            println!(
+                "    {:>8.2} ms @ {:.1}% one-shot accuracy",
+                p.latency_ms,
+                p.accuracy * 100.0
+            );
+        }
+    }
+
+    println!("\n{}", report.summary_table());
+    println!("run this example again for the warm start.");
+}

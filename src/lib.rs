@@ -19,6 +19,9 @@
 //! - [`predictor`] — the GCN-based hardware performance predictor.
 //! - [`core`] — the HGNAS framework itself: design space, SPOS supernet,
 //!   multi-stage hierarchical evolutionary search.
+//! - [`fleet`] — the multi-device search service: sharded fleet driver,
+//!   asynchronous measurement oracle, cross-run artifact store
+//!   (persisted predictors, resumable checkpoints).
 //!
 //! # Quickstart
 //!
@@ -35,6 +38,7 @@
 pub use hgnas_autograd as autograd;
 pub use hgnas_core as core;
 pub use hgnas_device as device;
+pub use hgnas_fleet as fleet;
 pub use hgnas_graph as graph;
 pub use hgnas_nn as nn;
 pub use hgnas_ops as ops;

@@ -28,6 +28,7 @@ fn tiny_config(device: DeviceKind) -> SearchConfig {
         mlp_hidden: vec![12],
         seed: 1,
         global_node: true,
+        batch: 1,
     };
     cfg
 }

@@ -80,6 +80,7 @@ fn predictor_ranks_architectures_usefully() {
         mlp_hidden: vec![16],
         seed: 3,
         global_node: true,
+        batch: 1,
     };
     let (p, _) = LatencyPredictor::train(DeviceKind::JetsonTx2, &ctx, &cfg);
     let light = Architecture::new(
