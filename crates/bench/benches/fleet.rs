@@ -1,14 +1,21 @@
-//! Measurement-oracle throughput: inline measurement vs. asynchronous
-//! pipelined submission through the per-device worker pool.
+//! Fleet-layer benchmarks: oracle throughput and scheduler shapes.
 //!
-//! The oracle's win is overlap: with W workers per device, a shard can
-//! keep W measurements in flight while it scores other candidates. The
-//! `pipelined` benchmarks submit a whole batch before collecting any
-//! response; `inline` is the serial reference.
+//! - `fleet/oracle64`: inline measurement vs. asynchronous pipelined
+//!   submission through the per-device worker pool. The oracle's win is
+//!   overlap: with W workers per device, a shard can keep W measurements
+//!   in flight while it scores other candidates.
+//! - `fleet/scheduler`: one tiny 3-shard fleet searched under different
+//!   scheduler shapes — the legacy thread-per-shard form vs. bounded
+//!   thread budgets, unpreempted vs. generation-granular slicing. Results
+//!   are bit-identical across shapes; this measures the scheduling
+//!   overhead (slice replays of Stage 1 + supernet pre-training are the
+//!   dominant cost of fine strides).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hgnas_core::{LatencyMode, SearchConfig, TaskConfig};
 use hgnas_device::{DeviceKind, Workload, WorkloadOp};
-use hgnas_fleet::{MeasurementOracle, OracleConfig, Ticket};
+use hgnas_fleet::{MeasurementOracle, OracleConfig, Scheduler, SchedulerConfig, ShardSpec, Ticket};
+use hgnas_predictor::PredictorConfig;
 
 fn probe_workload() -> Workload {
     let mut w = Workload::new();
@@ -55,5 +62,64 @@ fn bench_oracle(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_oracle);
+fn bench_scheduler(c: &mut Criterion) {
+    let task = TaskConfig::tiny(3);
+    let devices = [
+        DeviceKind::Rtx3080,
+        DeviceKind::JetsonTx2,
+        DeviceKind::RaspberryPi3B,
+    ];
+    let specs: Vec<ShardSpec> = devices
+        .iter()
+        .map(|&device| {
+            let mut cfg = SearchConfig::fast(device);
+            cfg.ea_stage1.iterations = 1;
+            cfg.ea_stage1.population = 3;
+            cfg.ea_stage2.iterations = 3;
+            cfg.ea_stage2.population = 6;
+            cfg.epochs_stage1 = 1;
+            cfg.epochs_stage2 = 2;
+            cfg.predictor = PredictorConfig {
+                train_samples: 40,
+                val_samples: 15,
+                epochs: 4,
+                lr: 3e-3,
+                gcn_dims: vec![16, 16],
+                mlp_hidden: vec![12],
+                seed: 1,
+                global_node: true,
+                batch: 2,
+            };
+            cfg.eval_clouds = 15;
+            cfg.latency_mode = LatencyMode::Predictor;
+            ShardSpec::new(task.clone(), cfg)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("fleet/scheduler3");
+    // (threads, stride): 0 threads = legacy one-worker-per-shard.
+    for (threads, stride) in [(0usize, 0usize), (2, 0), (2, 1), (1, 1)] {
+        let label = format!("t{threads}-s{stride}");
+        group.bench_with_input(
+            BenchmarkId::new("shape", label),
+            &(threads, stride),
+            |b, &(threads, stride)| {
+                b.iter(|| {
+                    let scheduler = Scheduler::new(
+                        specs.clone(),
+                        SchedulerConfig {
+                            threads,
+                            preemption_stride: stride,
+                            ..SchedulerConfig::default()
+                        },
+                    );
+                    black_box(scheduler.run(None, None).expect("storeless run"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle, bench_scheduler);
 criterion_main!(benches);

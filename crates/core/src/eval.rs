@@ -18,6 +18,16 @@
 //!    submission order through a caller-supplied `reduce` closure, which is
 //!    where inherently serial bookkeeping (search clock, best-so-far
 //!    history) lives. Reduction order never depends on worker scheduling.
+//! 5. **Warm-start imports** — a previous run's scored entries can be
+//!    imported as a side cache ([`Evaluator::import_warm_cache`]). The
+//!    first time this run submits an imported genome, the stored output is
+//!    *promoted* into the live cache instead of being re-scored: the
+//!    reduce fold still sees it as fresh (simulated search time is charged
+//!    exactly as if it had been scored), but [`EvalStats::imported`] is
+//!    bumped instead of [`EvalStats::misses`]. When imported entries come
+//!    from a run with the same configuration fingerprint (or any run whose
+//!    scorer never draws from its RNG stream, e.g. predictor-mode
+//!    scoring), a warm-started search is bit-identical to a cold one.
 
 use hgnas_tensor::threads::with_kernel_threads;
 use rand::rngs::StdRng;
@@ -40,10 +50,16 @@ pub trait CandidateScorer<G>: Sync {
 /// Cache and scheduling counters of an [`Evaluator`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalStats {
-    /// Candidates answered from the memo cache (within- or cross-batch).
+    /// Candidates answered from the memo cache (within- or cross-batch),
+    /// i.e. genomes this run had already resolved once.
     pub hits: u64,
     /// Candidates actually scored (== number of lowerings/scorings).
     pub misses: u64,
+    /// First-touch candidates served from an imported warm-start cache
+    /// ([`Evaluator::import_warm_cache`]) instead of being scored. A cold
+    /// run reports 0; every submission resolves to exactly one of `hits`,
+    /// `misses` or `imported`.
+    pub imported: u64,
     /// Batches evaluated.
     pub batches: u64,
     /// Total candidates submitted.
@@ -54,10 +70,21 @@ pub struct EvalStats {
 enum Resolution {
     /// Served by the cross-batch cache: arena slot.
     Cached(usize),
-    /// Scored this batch: job index. `fresh` is true only for the job's
-    /// first occurrence; within-batch duplicates alias it with
-    /// `fresh == false`.
-    Job { job: usize, fresh: bool },
+    /// Resolves to an arena entry created this batch (a scoring job or a
+    /// warm-cache promotion): index into the batch's new-entry list.
+    /// `fresh` is true only for the genome's first occurrence this run;
+    /// within-batch duplicates alias it with `fresh == false`.
+    New { entry: usize, fresh: bool },
+}
+
+/// An arena entry created while resolving one batch, in first-touch
+/// submission order — the same order a run without a warm cache would
+/// append them in, so warm and cold runs build identical arenas.
+enum NewEntry<G, O> {
+    /// Promoted verbatim from the warm-start side cache.
+    Promoted(G, O),
+    /// Scored this batch: job index.
+    Job(usize),
 }
 
 /// The batched candidate-evaluation engine. See the module docs.
@@ -80,6 +107,11 @@ where
     cache: HashMap<G, usize>,
     /// Scored outputs, append-only.
     arena: Vec<S::Output>,
+    /// Warm-start side cache: imported entries not yet served this run, in
+    /// import order (promotion takes the slot, leaving `None`).
+    warm_entries: Vec<Option<(G, S::Output)>>,
+    /// Genome -> `warm_entries` slot for the un-promoted imports.
+    warm_index: HashMap<G, usize>,
     stats: EvalStats,
 }
 
@@ -107,6 +139,8 @@ where
             stream_seed,
             cache: HashMap::new(),
             arena: Vec::new(),
+            warm_entries: Vec::new(),
+            warm_index: HashMap::new(),
             stats: EvalStats::default(),
         }
     }
@@ -150,8 +184,8 @@ where
             "import_state requires a fresh evaluator"
         );
         assert!(
-            entries.len() as u64 <= stats.misses,
-            "imported cache holds more entries than recorded misses"
+            entries.len() as u64 <= stats.misses + stats.imported,
+            "imported cache holds more entries than recorded misses + promotions"
         );
         for (g, out) in entries {
             let prev = self.cache.insert(g, self.arena.len());
@@ -159,6 +193,28 @@ where
             self.arena.push(out);
         }
         self.stats = stats;
+    }
+
+    /// Imports a previous run's scored entries as a *warm-start* side
+    /// cache. Entries are served verbatim on their genome's first
+    /// submission this run (see the module docs, point 5); genomes already
+    /// known — in the live cache or imported earlier — are skipped, so the
+    /// call is idempotent and composes with [`Evaluator::import_state`].
+    pub fn import_warm_cache(&mut self, entries: Vec<(G, S::Output)>) {
+        for (g, out) in entries {
+            if self.cache.contains_key(&g) || self.warm_index.contains_key(&g) {
+                continue;
+            }
+            self.warm_index.insert(g.clone(), self.warm_entries.len());
+            self.warm_entries.push(Some((g, out)));
+        }
+    }
+
+    /// The warm-start entries not yet served this run, in import order —
+    /// what a checkpoint persists so a resumed run keeps promoting (and
+    /// counting) the exact imports the interrupted one would have.
+    pub fn export_warm_cache(&self) -> Vec<(G, S::Output)> {
+        self.warm_entries.iter().flatten().cloned().collect()
     }
 
     /// Scores a batch, returning each candidate's output in submission
@@ -180,29 +236,45 @@ where
         self.stats.submitted += batch.len() as u64;
         self.stats.batches += 1;
 
-        // Resolve against the cross-batch cache and collapse within-batch
-        // duplicates onto a single job.
+        // Resolve against the cross-batch cache, promote warm-start
+        // imports on first touch, and collapse within-batch duplicates
+        // onto a single new entry.
         let mut jobs: Vec<(usize, u64)> = Vec::new(); // (batch idx, stream seed)
-        let mut first_in_batch: HashMap<&G, usize> = HashMap::new();
-        let resolutions: Vec<Resolution> = batch
-            .iter()
-            .enumerate()
-            .map(|(i, g)| {
-                if let Some(&slot) = self.cache.get(g) {
-                    self.stats.hits += 1;
-                    Resolution::Cached(slot)
-                } else if let Some(&job) = first_in_batch.get(g) {
-                    self.stats.hits += 1;
-                    Resolution::Job { job, fresh: false }
-                } else {
-                    let job = jobs.len();
-                    jobs.push((i, mix(self.stream_seed, base + i as u64)));
-                    first_in_batch.insert(g, job);
-                    self.stats.misses += 1;
-                    Resolution::Job { job, fresh: true }
+        let mut new_entries: Vec<NewEntry<G, S::Output>> = Vec::new();
+        let mut first_in_batch: HashMap<&G, usize> = HashMap::new(); // genome -> new entry
+        let mut resolutions: Vec<Resolution> = Vec::with_capacity(batch.len());
+        for (i, g) in batch.iter().enumerate() {
+            let r = if let Some(&slot) = self.cache.get(g) {
+                self.stats.hits += 1;
+                Resolution::Cached(slot)
+            } else if let Some(&entry) = first_in_batch.get(g) {
+                self.stats.hits += 1;
+                Resolution::New {
+                    entry,
+                    fresh: false,
                 }
-            })
-            .collect();
+            } else if let Some(w) = self.warm_index.remove(g) {
+                // Promote an imported entry: served without scoring, but
+                // it is this run's first touch of the genome, so the
+                // reduce fold sees it as fresh (simulated search time is
+                // charged exactly like a miss would charge it).
+                self.stats.imported += 1;
+                let (genome, out) = self.warm_entries[w].take().expect("warm slot filled");
+                let entry = new_entries.len();
+                new_entries.push(NewEntry::Promoted(genome, out));
+                first_in_batch.insert(g, entry);
+                Resolution::New { entry, fresh: true }
+            } else {
+                let job = jobs.len();
+                jobs.push((i, mix(self.stream_seed, base + i as u64)));
+                let entry = new_entries.len();
+                new_entries.push(NewEntry::Job(job));
+                first_in_batch.insert(g, entry);
+                self.stats.misses += 1;
+                Resolution::New { entry, fresh: true }
+            };
+            resolutions.push(r);
+        }
 
         // Fan the jobs out. With one worker the whole budget goes to the
         // kernels; with W workers the budget is split W ways, the first
@@ -246,19 +318,29 @@ where
             .expect("evaluator worker thread panicked");
         }
 
-        // Commit fresh results to the memo cache.
+        // Commit new entries (scored jobs and warm promotions alike) to
+        // the memo cache in first-touch submission order.
         let arena_base = self.arena.len();
-        for ((i, _), out) in jobs.iter().zip(outputs) {
-            self.cache.insert(batch[*i].clone(), self.arena.len());
-            self.arena
-                .push(out.expect("every job slot is filled by its worker"));
+        let mut outputs = outputs;
+        for entry in new_entries {
+            let (g, out) = match entry {
+                NewEntry::Promoted(g, out) => (g, out),
+                NewEntry::Job(j) => (
+                    batch[jobs[j].0].clone(),
+                    outputs[j]
+                        .take()
+                        .expect("every job slot is filled by its worker"),
+                ),
+            };
+            self.cache.insert(g, self.arena.len());
+            self.arena.push(out);
         }
 
         resolutions
             .into_iter()
             .map(|r| match r {
                 Resolution::Cached(slot) => (slot, false),
-                Resolution::Job { job, fresh } => (arena_base + job, fresh),
+                Resolution::New { entry, fresh } => (arena_base + entry, fresh),
             })
             .collect()
     }
@@ -452,6 +534,133 @@ mod tests {
         assert_eq!(s.submitted, full_stats.submitted);
         assert_eq!(s.hits, full_stats.hits);
         assert_eq!(s.misses, full_stats.misses);
+    }
+
+    #[test]
+    fn warm_cache_serves_first_touch_without_scoring() {
+        // Reference cold run over two batches.
+        let batches = vec![vec![1u64, 2, 2, 3], vec![3, 4, 1]];
+        let (cold_fits, cold_stats, cold_calls) = run(2, &batches);
+        assert_eq!(cold_calls, 4);
+
+        // A donor run scores genomes 1, 2, 4 (same stream seed, so its
+        // outputs match what the cold run computed for them at their own
+        // submission indices — here genome values are stream-dependent,
+        // so donate from an identical run to model the same-fingerprint
+        // contract).
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut donor = Evaluator::new(scorer, 2, 42, |_, out: &(u64, u64), _| {
+            (out.0 + out.1 % 7) as f64
+        });
+        donor.evaluate_fitness(&batches[0]);
+        donor.evaluate_fitness(&batches[1]);
+        let (_, donated) = donor.export_state();
+        drop(donor);
+
+        // Warm run: identical submissions, zero scorer calls.
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut warm = Evaluator::new(scorer, 2, 42, |_, out: &(u64, u64), _| {
+            (out.0 + out.1 % 7) as f64
+        });
+        warm.import_warm_cache(donated);
+        let warm_fits: Vec<Vec<f64>> = batches.iter().map(|b| warm.evaluate_fitness(b)).collect();
+        assert_eq!(warm_fits, cold_fits);
+        assert_eq!(warm.scorer().calls.load(Ordering::SeqCst), 0);
+        let s = warm.stats();
+        assert_eq!(s.imported, 4, "one promotion per unique genome");
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.hits, cold_stats.hits, "hit counting is unchanged");
+        assert_eq!(s.submitted, cold_stats.submitted);
+        assert_eq!(
+            s.misses + s.imported,
+            cold_stats.misses + cold_stats.imported
+        );
+
+        // The arenas match entry-for-entry in first-touch order.
+        let (_, warm_entries) = warm.export_state();
+        assert_eq!(warm_entries.len(), 4);
+        assert!(warm.export_warm_cache().is_empty(), "all imports promoted");
+    }
+
+    #[test]
+    fn partial_warm_cache_mixes_promotions_and_scoring() {
+        let batches = vec![vec![7u64, 8, 9]];
+        let (cold_fits, ..) = run(1, &batches);
+
+        // Donate only genome 8's entry (scored at its cold submission
+        // index so the value matches).
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut donor = Evaluator::new(scorer, 1, 42, |_, out: &(u64, u64), _| {
+            (out.0 + out.1 % 7) as f64
+        });
+        donor.evaluate_fitness(&batches[0]);
+        let (_, entries) = donor.export_state();
+        let donated: Vec<_> = entries.into_iter().filter(|(g, _)| *g == 8).collect();
+        drop(donor);
+
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut warm = Evaluator::new(scorer, 1, 42, |_, out: &(u64, u64), _| {
+            (out.0 + out.1 % 7) as f64
+        });
+        warm.import_warm_cache(donated);
+        let fits = warm.evaluate_fitness(&batches[0]);
+        assert_eq!(fits, cold_fits[0]);
+        assert_eq!(warm.scorer().calls.load(Ordering::SeqCst), 2);
+        let s = warm.stats();
+        assert_eq!((s.misses, s.imported, s.hits), (2, 1, 0));
+    }
+
+    #[test]
+    fn warm_import_is_idempotent_and_skips_known_genomes() {
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut ev = Evaluator::new(scorer, 1, 9, |_, out: &(u64, u64), _| out.0 as f64);
+        ev.evaluate_fitness(&[5]);
+        // Genome 5 is already live; 6 imported twice collapses to once.
+        ev.import_warm_cache(vec![(5, (50, 0)), (6, (60, 0)), (6, (61, 0))]);
+        ev.import_warm_cache(vec![(6, (62, 0))]);
+        assert_eq!(ev.export_warm_cache(), vec![(6, (60, 0))]);
+        ev.evaluate_fitness(&[5, 6]);
+        let s = ev.stats();
+        assert_eq!((s.misses, s.imported, s.hits), (1, 1, 1));
+    }
+
+    #[test]
+    fn export_import_round_trips_warm_remainder() {
+        // A warm evaluator interrupted mid-run: the un-promoted imports
+        // travel via export_warm_cache and keep counting as `imported`
+        // after the resume.
+        let reduce = |_: &u64, out: &(u64, u64), _: bool| (out.0 + out.1 % 7) as f64;
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut a = Evaluator::new(scorer, 1, 42, reduce);
+        a.import_warm_cache(vec![(1, (10, 3)), (2, (20, 4))]);
+        a.evaluate_fitness(&[1, 3]); // promotes 1, scores 3
+        let (stats, entries) = a.export_state();
+        let warm_rest = a.export_warm_cache();
+        assert_eq!(warm_rest, vec![(2, (20, 4))]);
+        drop(a);
+
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut b = Evaluator::new(scorer, 1, 42, reduce);
+        b.import_state(stats, entries);
+        b.import_warm_cache(warm_rest);
+        b.evaluate_fitness(&[2, 1]); // promotes 2, hits 1
+        let s = b.stats();
+        assert_eq!((s.misses, s.imported, s.hits), (1, 2, 1));
+        assert_eq!(b.scorer().calls.load(Ordering::SeqCst), 0);
     }
 
     #[test]

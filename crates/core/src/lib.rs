@@ -52,8 +52,8 @@ pub use eval::{CandidateScorer, EvalStats, Evaluator};
 pub use objective::Objective;
 pub use pareto::pareto_front;
 pub use search::{
-    Hgnas, LatencyMode, MeasureBackend, PretrainedPredictor, RunOptions, RunOutput,
-    ScoredCandidate, SearchCheckpoint, SearchConfig, SearchOutcome, SearchedModel, Strategy,
-    TaskConfig,
+    Checkpoint, Hgnas, JointGenome, LatencyMode, MeasureBackend, OneStageCheckpoint,
+    PretrainedPredictor, RunOptions, RunOutput, ScoredCandidate, SearchCheckpoint, SearchConfig,
+    SearchOutcome, SearchedModel, Strategy, TaskConfig,
 };
 pub use supernet::Supernet;

@@ -353,12 +353,131 @@ pub struct SearchCheckpoint {
     pub eval_stats: EvalStats,
     /// The evaluator's memo cache in first-scoring order.
     pub cache: Vec<(Vec<OpType>, ScoredCandidate)>,
+    /// Warm-start imports ([`RunOptions::imported_cache`]) not yet served
+    /// at the boundary; resuming re-imports them so a killed warm run
+    /// keeps promoting — and counting — the exact entries the
+    /// uninterrupted one would have. Empty for cold runs. (On-disk codecs
+    /// rebuild each entry's architecture from the checkpoint's own
+    /// function sets, which is exact for same-fingerprint imports — the
+    /// bit-identity contract; donors from a different configuration are
+    /// approximate transfer to begin with.)
+    pub warm_cache: Vec<(Vec<OpType>, ScoredCandidate)>,
     /// Simulated elapsed time at the boundary, ms.
     pub clock_ms: f64,
     /// The Fig. 9 history trace so far.
     pub history: Vec<(f64, f64)>,
     /// Best candidate so far, with its constraint-validity flag.
     pub best: Option<(SearchedModel, bool)>,
+}
+
+/// A consistent image of an in-flight one-stage (joint) search at a
+/// generation boundary: the joint EA mid-stream, the evaluator's memo
+/// cache and counters, the simulated clock, the history trace and the
+/// best-so-far candidate. The one-stage counterpart of
+/// [`SearchCheckpoint`]; restoring it via [`RunOptions::resume`] continues
+/// the baseline bit-identically to a run that was never interrupted.
+#[derive(Debug, Clone)]
+pub struct OneStageCheckpoint {
+    /// The search seed (validated on resume).
+    pub seed: u64,
+    /// The target device (validated on resume).
+    pub device: DeviceKind,
+    /// The EA hyperparameters the checkpoint was taken under (validated on
+    /// resume).
+    pub ea_config: EaConfig,
+    /// Completed generations.
+    pub generation: usize,
+    /// The joint EA mid-run.
+    pub ea: EaSnapshot<JointGenome>,
+    /// Evaluator counters (anchor per-candidate RNG stream ids).
+    pub eval_stats: EvalStats,
+    /// The evaluator's memo cache in first-scoring order.
+    pub cache: Vec<(JointGenome, ScoredCandidate)>,
+    /// Simulated elapsed time at the boundary, ms.
+    pub clock_ms: f64,
+    /// The history trace so far.
+    pub history: Vec<(f64, f64)>,
+    /// Best candidate so far, with its constraint-validity flag.
+    pub best: Option<(SearchedModel, bool)>,
+}
+
+/// A checkpoint of either search strategy — what [`RunOptions::resume`]
+/// accepts, [`RunOptions::checkpoint_sink`] receives, and
+/// [`RunOutput::checkpoint`] returns. Handing a checkpoint of one strategy
+/// to a search configured for the other panics at resume time.
+#[derive(Debug, Clone)]
+pub enum Checkpoint {
+    /// A Stage-2 boundary of the multi-stage hierarchical search.
+    MultiStage(SearchCheckpoint),
+    /// A generation boundary of the one-stage joint baseline.
+    OneStage(OneStageCheckpoint),
+}
+
+impl Checkpoint {
+    /// Completed generations at the boundary.
+    pub fn generation(&self) -> usize {
+        match self {
+            Checkpoint::MultiStage(cp) => cp.generation,
+            Checkpoint::OneStage(cp) => cp.generation,
+        }
+    }
+
+    /// The checkpointed search's target device.
+    pub fn device(&self) -> DeviceKind {
+        match self {
+            Checkpoint::MultiStage(cp) => cp.device,
+            Checkpoint::OneStage(cp) => cp.device,
+        }
+    }
+
+    /// The checkpointed search's seed.
+    pub fn seed(&self) -> u64 {
+        match self {
+            Checkpoint::MultiStage(cp) => cp.seed,
+            Checkpoint::OneStage(cp) => cp.seed,
+        }
+    }
+
+    /// Simulated elapsed time at the boundary, ms.
+    pub fn clock_ms(&self) -> f64 {
+        match self {
+            Checkpoint::MultiStage(cp) => cp.clock_ms,
+            Checkpoint::OneStage(cp) => cp.clock_ms,
+        }
+    }
+
+    /// Best objective score so far, if any candidate has been scored.
+    pub fn best_score(&self) -> Option<f64> {
+        let best = match self {
+            Checkpoint::MultiStage(cp) => &cp.best,
+            Checkpoint::OneStage(cp) => &cp.best,
+        };
+        best.as_ref().map(|(m, _)| m.score)
+    }
+
+    /// The strategy this checkpoint belongs to.
+    pub fn strategy(&self) -> Strategy {
+        match self {
+            Checkpoint::MultiStage(_) => Strategy::MultiStage,
+            Checkpoint::OneStage(_) => Strategy::OneStage,
+        }
+    }
+
+    /// The multi-stage payload, if that is what this is.
+    pub fn as_multi_stage(&self) -> Option<&SearchCheckpoint> {
+        match self {
+            Checkpoint::MultiStage(cp) => Some(cp),
+            Checkpoint::OneStage(_) => None,
+        }
+    }
+
+    /// The one-stage payload, if that is what this is.
+    pub fn as_one_stage(&self) -> Option<&OneStageCheckpoint> {
+        match self {
+            Checkpoint::MultiStage(_) => None,
+            Checkpoint::OneStage(cp) => Some(cp),
+        }
+    }
 }
 
 /// Optional hooks for [`Hgnas::run_with`]. [`RunOptions::default`] makes it
@@ -371,20 +490,31 @@ pub struct RunOptions<'a> {
     /// Reuse a previously trained latency predictor
     /// ([`LatencyMode::Predictor`]), skipping predictor training.
     pub predictor: Option<PretrainedPredictor>,
-    /// Resume a multi-stage search from a checkpoint instead of starting
-    /// Stage 2 from scratch.
-    pub resume: Option<SearchCheckpoint>,
-    /// Called with a fresh checkpoint at Stage-2 generation boundaries
-    /// (persist it to survive kills).
-    pub checkpoint_sink: Option<&'a mut dyn FnMut(&SearchCheckpoint)>,
+    /// Resume a search from a checkpoint of the matching strategy instead
+    /// of starting its main loop from scratch.
+    pub resume: Option<Checkpoint>,
+    /// Called with a fresh checkpoint at generation boundaries of the main
+    /// search loop — Stage 2 or the one-stage baseline (persist it to
+    /// survive kills).
+    pub checkpoint_sink: Option<&'a mut dyn FnMut(&Checkpoint)>,
     /// Boundary stride for `checkpoint_sink`: build and deliver a
     /// checkpoint every N generations (0 is treated as 1). Snapshotting
     /// clones the whole score cache, so sparse strides keep long runs
     /// cheap; the final state is always delivered regardless.
     pub checkpoint_every: usize,
-    /// Stop after this many Stage-2 generations (the kill-mid-search test
-    /// hook): the run returns no outcome, only its last checkpoint.
+    /// Stop after this many generations of the main search loop (the
+    /// kill-mid-search test hook and the fleet scheduler's preemption
+    /// lever): the run returns no outcome, only its last checkpoint.
     pub abort_after_generation: Option<usize>,
+    /// A prior run's score cache to warm-start the Stage-2 evaluator with
+    /// (see `Evaluator::import_warm_cache`): first-touch candidates found
+    /// here are served verbatim instead of re-scored, surfacing as
+    /// [`EvalStats::imported`]. Entries are trusted as-is — bit-identity
+    /// to a cold run holds when they come from a run with the same
+    /// configuration fingerprint, or from any predictor-mode run (whose
+    /// scoring never draws from candidate RNG streams). Multi-stage only;
+    /// the one-stage baseline asserts this is `None`.
+    pub imported_cache: Option<Vec<(Vec<OpType>, ScoredCandidate)>>,
 }
 
 /// What [`Hgnas::run_with`] returns.
@@ -393,10 +523,10 @@ pub struct RunOutput {
     /// The outcome; `None` when the run was aborted via
     /// [`RunOptions::abort_after_generation`].
     pub outcome: Option<SearchOutcome>,
-    /// The final Stage-2 checkpoint (multi-stage runs only): the complete
-    /// scored-candidate cache plus EA end state. This is what an artifact
-    /// store persists between runs.
-    pub checkpoint: Option<SearchCheckpoint>,
+    /// The final checkpoint of the main search loop (Stage 2, or the
+    /// one-stage joint loop): the complete scored-candidate cache plus EA
+    /// end state. This is what an artifact store persists between runs.
+    pub checkpoint: Option<Checkpoint>,
 }
 
 /// Latency oracle shared by both modes. Stateless (`query` takes `&self`)
@@ -511,6 +641,16 @@ struct Stage2Run {
     aborted: bool,
 }
 
+/// What one one-stage run (possibly aborted mid-way) produced.
+struct OneStageRun {
+    best: Option<(SearchedModel, bool)>,
+    eval_stats: EvalStats,
+    history: Vec<(f64, f64)>,
+    clock: SearchClock,
+    checkpoint: OneStageCheckpoint,
+    aborted: bool,
+}
+
 /// Read-only context for scoring one Stage-2 genome, shared across the
 /// parallel evaluator's workers.
 struct Stage2Scorer<'a> {
@@ -560,8 +700,9 @@ impl CandidateScorer<Vec<OpType>> for Stage2Scorer<'_> {
 }
 
 /// Genome of the one-stage joint baseline: both half function sets plus
-/// the op-type sequence evolve together.
-type JointGenome = (FunctionSet, FunctionSet, Vec<OpType>);
+/// the op-type sequence evolve together. Public so one-stage checkpoints
+/// can persist — and artifact codecs re-encode — the joint EA state.
+pub type JointGenome = (FunctionSet, FunctionSet, Vec<OpType>);
 
 /// Read-only context for scoring one joint (one-stage) candidate, shared
 /// across the parallel evaluator's workers.
@@ -899,7 +1040,19 @@ impl Hgnas {
             },
         );
 
-        let mut state = if let Some(cp) = opts.resume.take() {
+        // Restore any checkpointed evaluator state *and* apply warm-start
+        // imports before the EA scores anything (generation 0 must already
+        // see the imported entries). Imports layer on top of the resume:
+        // genomes the checkpoint already carries are skipped, so resuming
+        // a warm run and re-supplying the same import is idempotent.
+        let resume_cp = match opts.resume.take() {
+            Some(Checkpoint::MultiStage(cp)) => Some(cp),
+            Some(Checkpoint::OneStage(_)) => {
+                panic!("one-stage checkpoint handed to a multi-stage search")
+            }
+            None => None,
+        };
+        if let Some(cp) = &resume_cp {
             assert_eq!(cp.seed, self.config.seed, "checkpoint seed mismatch");
             assert_eq!(
                 cp.device, self.config.device,
@@ -918,7 +1071,14 @@ impl Hgnas {
                 cp.generation <= self.config.ea_stage2.iterations,
                 "checkpoint is past this configuration's iteration budget"
             );
+        }
+        let resumed_gen = resume_cp.as_ref().map(|cp| cp.generation);
+        let mut state = if let Some(cp) = resume_cp {
             evaluator.import_state(cp.eval_stats, cp.cache);
+            evaluator.import_warm_cache(cp.warm_cache);
+            if let Some(warm) = opts.imported_cache.take() {
+                evaluator.import_warm_cache(warm);
+            }
             {
                 let mut b = book.borrow_mut();
                 b.clock = SearchClock::from_ms(cp.clock_ms);
@@ -927,6 +1087,9 @@ impl Hgnas {
             }
             EaState::restore(&self.config.ea_stage2, cp.ea)
         } else {
+            if let Some(warm) = opts.imported_cache.take() {
+                evaluator.import_warm_cache(warm);
+            }
             let mut init_rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(2));
             let dgcnn_ish: Vec<OpType> = (0..self.task.positions)
                 .map(|i| match i % 3 {
@@ -948,14 +1111,18 @@ impl Hgnas {
                 .is_some_and(|g| state.generation() >= g);
             // Checkpoints are built lazily: only at boundaries the sink's
             // stride asks for, otherwise only the final state (cloning the
-            // whole score cache per generation is not free).
+            // whole score cache per generation is not free). The resumed
+            // entry generation is skipped — its checkpoint was already
+            // delivered by the run that produced it.
             let stride = opts.checkpoint_every.max(1);
-            let sink_wants =
-                opts.checkpoint_sink.is_some() && state.generation().is_multiple_of(stride);
+            let sink_wants = opts.checkpoint_sink.is_some()
+                && state.generation().is_multiple_of(stride)
+                && resumed_gen != Some(state.generation());
             if sink_wants || done || abort {
                 let (eval_stats, cache) = evaluator.export_state();
+                let warm_cache = evaluator.export_warm_cache();
                 let b = book.borrow();
-                let cp = SearchCheckpoint {
+                let cp = Checkpoint::MultiStage(SearchCheckpoint {
                     seed: self.config.seed,
                     device: self.config.device,
                     functions,
@@ -964,16 +1131,18 @@ impl Hgnas {
                     ea: state.snapshot(),
                     eval_stats,
                     cache,
+                    warm_cache,
                     clock_ms: b.clock.elapsed_ms(),
                     history: b.history.clone(),
                     best: b.best.clone(),
-                };
+                });
                 drop(b);
-                if sink_wants || done || abort {
-                    if let Some(sink) = opts.checkpoint_sink.as_mut() {
-                        sink(&cp);
-                    }
+                if let Some(sink) = opts.checkpoint_sink.as_mut() {
+                    sink(&cp);
                 }
+                let Checkpoint::MultiStage(cp) = cp else {
+                    unreachable!()
+                };
                 last_cp = Some(cp);
             }
             if abort {
@@ -1012,23 +1181,20 @@ impl Hgnas {
     /// parallel [`Evaluator`] with per-candidate RNG streams (supernet
     /// training and measurement noise both draw from the candidate's own
     /// stream), so the baseline is bit-identical at any thread count too.
+    ///
+    /// Mirrors [`Hgnas::stage2`]'s checkpoint protocol: the loop delivers
+    /// a [`OneStageCheckpoint`] to [`RunOptions::checkpoint_sink`] at
+    /// generation boundaries, honours
+    /// [`RunOptions::abort_after_generation`], and a run restored via
+    /// [`RunOptions::resume`] continues the exact RNG streams of the
+    /// interrupted one.
     fn one_stage(
         &self,
         ds: &SynthNet40,
         oracle: &LatencyOracle,
         objective: &Objective,
-        clock: &mut SearchClock,
-        history: &mut Vec<(f64, f64)>,
-    ) -> (SearchedModel, EvalStats) {
-        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(3));
-        let genome0: Vec<OpType> = (0..self.task.positions)
-            .map(|_| OpType::ALL[rng.gen_range(0..4)])
-            .collect();
-        let init: Vec<JointGenome> = vec![(
-            FunctionSet::dgcnn_like(64),
-            FunctionSet::dgcnn_like(128),
-            genome0,
-        )];
+        opts: &mut RunOptions,
+    ) -> OneStageRun {
         let eval_subset = self.eval_subset(ds);
         let scorer = OneStageScorer {
             hgnas: self,
@@ -1038,26 +1204,32 @@ impl Hgnas {
             objective,
             eval_cost_ms: self.eval_cost_ms(eval_subset.len()),
         };
-        // As in stage 2, validity travels with the best candidate so the
-        // size gate participates in the valid-over-violator ranking.
-        let mut best_detail: Option<(SearchedModel, bool)> = None;
+        let book = RefCell::new(Stage2Book {
+            clock: SearchClock::new(),
+            history: Vec::new(),
+            best: None,
+        });
         let mut evaluator = Evaluator::new(
             scorer,
             self.config.eval_threads,
             self.config.seed.wrapping_add(77),
             |g: &JointGenome, out: &ScoredCandidate, fresh: bool| {
+                let mut b = book.borrow_mut();
                 if fresh {
-                    clock.add_ms(out.cost_ms);
+                    b.clock.add_ms(out.cost_ms);
                 }
-                let better = best_detail.as_ref().is_none_or(|(b, best_valid)| {
+                // As in stage 2, validity travels with the best candidate
+                // so the size gate participates in the valid-over-violator
+                // ranking.
+                let better = b.best.as_ref().is_none_or(|(best, best_valid)| {
                     match (out.valid, *best_valid) {
                         (true, false) => true,
                         (false, true) => false,
-                        _ => out.score > b.score,
+                        _ => out.score > best.score,
                     }
                 });
                 if better {
-                    best_detail = Some((
+                    b.best = Some((
                         SearchedModel {
                             architecture: out.architecture.clone(),
                             genome: g.2.clone(),
@@ -1069,34 +1241,117 @@ impl Hgnas {
                         out.valid,
                     ));
                 }
-                history.push((clock.elapsed_min(), best_detail.as_ref().unwrap().0.score));
+                let t = b.clock.elapsed_min();
+                let best_score = b.best.as_ref().unwrap().0.score;
+                b.history.push((t, best_score));
                 out.score
             },
         );
-        evolve_with(
-            init,
-            &self.config.ea_stage2,
-            &mut evaluator,
-            |(up, lo, genome), rng| {
-                if rng.gen_bool(0.5) {
-                    let (u, l) = mutate_function_pair((*up, *lo), rng);
-                    (u, l, genome.clone())
-                } else {
-                    (*up, *lo, mutate_genome(genome, rng))
+
+        let resume_cp = match opts.resume.take() {
+            Some(Checkpoint::OneStage(cp)) => Some(cp),
+            Some(Checkpoint::MultiStage(_)) => {
+                panic!("multi-stage checkpoint handed to a one-stage search")
+            }
+            None => None,
+        };
+        let resumed_gen = resume_cp.as_ref().map(|cp| cp.generation);
+        let mut state = if let Some(cp) = resume_cp {
+            assert_eq!(cp.seed, self.config.seed, "checkpoint seed mismatch");
+            assert_eq!(
+                cp.device, self.config.device,
+                "checkpoint targets a different device"
+            );
+            assert_eq!(
+                cp.ea_config, self.config.ea_stage2,
+                "checkpoint was taken under different EA hyperparameters"
+            );
+            assert!(
+                cp.generation <= self.config.ea_stage2.iterations,
+                "checkpoint is past this configuration's iteration budget"
+            );
+            evaluator.import_state(cp.eval_stats, cp.cache);
+            {
+                let mut b = book.borrow_mut();
+                b.clock = SearchClock::from_ms(cp.clock_ms);
+                b.history = cp.history;
+                b.best = cp.best;
+            }
+            EaState::restore(&self.config.ea_stage2, cp.ea)
+        } else {
+            let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(3));
+            let genome0: Vec<OpType> = (0..self.task.positions)
+                .map(|_| OpType::ALL[rng.gen_range(0..4)])
+                .collect();
+            let init: Vec<JointGenome> = vec![(
+                FunctionSet::dgcnn_like(64),
+                FunctionSet::dgcnn_like(128),
+                genome0,
+            )];
+            EaState::init(init, &self.config.ea_stage2, &mut evaluator, mutate_joint)
+        };
+
+        let mut last_cp: Option<OneStageCheckpoint> = None;
+        let mut aborted = false;
+        loop {
+            let done = state.is_done();
+            let abort = opts
+                .abort_after_generation
+                .is_some_and(|g| state.generation() >= g);
+            let stride = opts.checkpoint_every.max(1);
+            // As in stage 2: the resumed entry generation's checkpoint was
+            // already delivered by the run that produced it.
+            let sink_wants = resumed_gen != Some(state.generation())
+                && opts.checkpoint_sink.is_some()
+                && state.generation().is_multiple_of(stride);
+            if sink_wants || done || abort {
+                let (eval_stats, cache) = evaluator.export_state();
+                let b = book.borrow();
+                let cp = Checkpoint::OneStage(OneStageCheckpoint {
+                    seed: self.config.seed,
+                    device: self.config.device,
+                    ea_config: self.config.ea_stage2,
+                    generation: state.generation(),
+                    ea: state.snapshot(),
+                    eval_stats,
+                    cache,
+                    clock_ms: b.clock.elapsed_ms(),
+                    history: b.history.clone(),
+                    best: b.best.clone(),
+                });
+                drop(b);
+                if let Some(sink) = opts.checkpoint_sink.as_mut() {
+                    sink(&cp);
                 }
-            },
-            |a, b, rng| {
-                let (u, l) = crossover_function_pair((a.0, a.1), (b.0, b.1), rng);
-                (u, l, crossover_genome(&a.2, &b.2, rng))
-            },
-        );
+                let Checkpoint::OneStage(cp) = cp else {
+                    unreachable!()
+                };
+                last_cp = Some(cp);
+            }
+            if abort {
+                aborted = true;
+                break;
+            }
+            if done {
+                break;
+            }
+            state.step(&mut evaluator, mutate_joint, crossover_joint);
+        }
+
         let stats = evaluator.stats();
         drop(evaluator);
-        // As in stage 2: `best_detail`'s valid-over-violator ranking can
-        // legitimately disagree with the EA's raw-fitness argmax, so it is
-        // returned wholesale rather than patched with the EA's genome.
-        let (best, _valid) = best_detail.expect("one-stage evaluated at least one candidate");
-        (best, stats)
+        let book = book.into_inner();
+        OneStageRun {
+            // As in stage 2: the valid-over-violator ranking can
+            // legitimately disagree with the EA's raw-fitness argmax, so
+            // the book's best is the source of truth.
+            best: book.best,
+            eval_stats: stats,
+            history: book.history,
+            clock: book.clock,
+            checkpoint: last_cp.expect("one-stage loop always builds a final checkpoint"),
+            aborted,
+        }
     }
 
     /// Runs the full search and returns the outcome.
@@ -1156,7 +1411,7 @@ impl Hgnas {
                 if run.aborted {
                     return RunOutput {
                         outcome: None,
-                        checkpoint: Some(run.checkpoint),
+                        checkpoint: Some(Checkpoint::MultiStage(run.checkpoint)),
                     };
                 }
                 let (best, _valid) = run.best.expect("stage 2 evaluated at least one candidate");
@@ -1171,32 +1426,36 @@ impl Hgnas {
                         reference_ms,
                         constraint_ms,
                     }),
-                    checkpoint: Some(run.checkpoint),
+                    checkpoint: Some(Checkpoint::MultiStage(run.checkpoint)),
                 }
             }
             Strategy::OneStage => {
                 assert!(
-                    opts.resume.is_none()
-                        && opts.checkpoint_sink.is_none()
-                        && opts.abort_after_generation.is_none(),
-                    "checkpointing (resume/sink/abort) covers the multi-stage strategy only"
+                    opts.imported_cache.is_none(),
+                    "imported score caches apply to the multi-stage Stage-2 loop only"
                 );
-                let mut clock = SearchClock::new();
-                let mut history = Vec::new();
-                let (best, stats) =
-                    self.one_stage(&ds, &oracle, &objective, &mut clock, &mut history);
+                let run = self.one_stage(&ds, &oracle, &objective, &mut opts);
+                if run.aborted {
+                    return RunOutput {
+                        outcome: None,
+                        checkpoint: Some(Checkpoint::OneStage(run.checkpoint)),
+                    };
+                }
+                let (best, _valid) = run
+                    .best
+                    .expect("one-stage evaluated at least one candidate");
                 RunOutput {
                     outcome: Some(SearchOutcome {
                         best,
-                        history,
-                        search_hours: clock.elapsed_hours(),
+                        history: run.history,
+                        search_hours: run.clock.elapsed_hours(),
                         predictor_stats,
-                        eval_stats: Some(stats),
+                        eval_stats: Some(run.eval_stats),
                         stage1_stats: None,
                         reference_ms,
                         constraint_ms,
                     }),
-                    checkpoint: None,
+                    checkpoint: Some(Checkpoint::OneStage(run.checkpoint)),
                 }
             }
         }
@@ -1234,6 +1493,24 @@ fn crossover_function_pair(
     let upper = if rng.gen_bool(0.5) { a.0 } else { b.0 };
     let lower = if rng.gen_bool(0.5) { a.1 } else { b.1 };
     (upper, lower)
+}
+
+/// One-stage joint mutation: perturb either the function pair or the op
+/// genome, never both (matches the Fig. 9(b) baseline's draw sequence).
+fn mutate_joint((up, lo, genome): &JointGenome, rng: &mut StdRng) -> JointGenome {
+    if rng.gen_bool(0.5) {
+        let (u, l) = mutate_function_pair((*up, *lo), rng);
+        (u, l, genome.clone())
+    } else {
+        (*up, *lo, mutate_genome(genome, rng))
+    }
+}
+
+/// One-stage joint crossover: recombine function pairs and op genomes
+/// independently.
+fn crossover_joint(a: &JointGenome, b: &JointGenome, rng: &mut StdRng) -> JointGenome {
+    let (u, l) = crossover_function_pair((a.0, a.1), (b.0, b.1), rng);
+    (u, l, crossover_genome(&a.2, &b.2, rng))
 }
 
 // The `&Vec` parameters below are dictated by the EA's genome type

@@ -10,8 +10,8 @@
 
 use crate::codec::{fnv1a, ArtifactKind, CodecError, Decoder, Encoder};
 use hgnas_core::{
-    EaConfig, EaSnapshot, EvalStats, ScoredCandidate, SearchCheckpoint, SearchConfig,
-    SearchedModel, TaskConfig,
+    EaConfig, EaSnapshot, EvalStats, JointGenome, OneStageCheckpoint, ScoredCandidate,
+    SearchCheckpoint, SearchConfig, SearchedModel, TaskConfig,
 };
 use hgnas_device::DeviceKind;
 use hgnas_ops::{Aggregator, Architecture, ConnectFn, FunctionSet, MessageType, OpType, SampleFn};
@@ -217,11 +217,46 @@ impl ArtifactStore {
         Ok(Some(take_checkpoint(&mut d)?))
     }
 
+    /// Persists a one-stage (joint baseline) checkpoint. The counterpart
+    /// of [`ArtifactStore::save_checkpoint`] for `Strategy::OneStage`
+    /// runs; the two kinds live in separate slots and can never be
+    /// mistaken for each other (distinct [`ArtifactKind`]s).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save_one_stage_checkpoint(
+        &self,
+        key: &ArtifactKey,
+        task: &TaskConfig,
+        cp: &OneStageCheckpoint,
+    ) -> Result<PathBuf, StoreError> {
+        let mut e = Encoder::new(ArtifactKind::OneStageCheckpoint);
+        put_one_stage_checkpoint(&mut e, task, cp);
+        Ok(self.write_atomic(&key.file_name("onestage"), &e.finish())?)
+    }
+
+    /// Loads a one-stage checkpoint if the slot holds one.
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactStore::load_predictor`].
+    pub fn load_one_stage_checkpoint(
+        &self,
+        key: &ArtifactKey,
+    ) -> Result<Option<OneStageCheckpoint>, StoreError> {
+        let Some(bytes) = self.read_optional(&key.file_name("onestage"))? else {
+            return Ok(None);
+        };
+        let mut d = Decoder::open(&bytes, ArtifactKind::OneStageCheckpoint)?;
+        Ok(Some(take_one_stage_checkpoint(&mut d)?))
+    }
+
     /// Persists a finished run's evaluator score cache as a standalone
-    /// artifact. Nothing in the fleet driver consumes these yet (it builds
-    /// Pareto fronts from the in-memory final checkpoint); they exist for
-    /// external tooling and for the planned warm-cache import (see
-    /// ROADMAP.md), which needs its own equivalence story first.
+    /// artifact. These are what [`hgnas_core::RunOptions::imported_cache`]
+    /// warm starts consume: a later run with the same configuration
+    /// fingerprint can promote the stored scores instead of recomputing
+    /// them, even when its checkpoint is gone.
     ///
     /// # Errors
     ///
@@ -427,6 +462,7 @@ fn take_ea_config(d: &mut Decoder) -> Result<EaConfig, CodecError> {
 fn put_eval_stats(e: &mut Encoder, s: &EvalStats) {
     e.put_u64(s.hits);
     e.put_u64(s.misses);
+    e.put_u64(s.imported);
     e.put_u64(s.batches);
     e.put_u64(s.submitted);
 }
@@ -435,6 +471,7 @@ fn take_eval_stats(d: &mut Decoder) -> Result<EvalStats, CodecError> {
     Ok(EvalStats {
         hits: d.take_u64()?,
         misses: d.take_u64()?,
+        imported: d.take_u64()?,
         batches: d.take_u64()?,
         submitted: d.take_u64()?,
     })
@@ -457,14 +494,16 @@ fn take_rng(d: &mut Decoder) -> Result<StdRng, CodecError> {
     Ok(StdRng::from_state(s))
 }
 
-fn put_ea(e: &mut Encoder, ea: &EaSnapshot<Vec<OpType>>) {
+/// Encodes an EA snapshot; `put_g` encodes one genome (the snapshot is
+/// generic over it: op genomes for Stage 2, joint genomes for one-stage).
+fn put_ea_with<G>(e: &mut Encoder, ea: &EaSnapshot<G>, put_g: impl Fn(&mut Encoder, &G)) {
     put_rng(e, &ea.rng);
     e.put_usize(ea.scored.len());
     for (g, f) in &ea.scored {
-        put_genome(e, g);
+        put_g(e, g);
         e.put_f64(*f);
     }
-    put_genome(e, &ea.best.0);
+    put_g(e, &ea.best.0);
     e.put_f64(ea.best.1);
     e.put_usize(ea.evaluations);
     e.put_usize(ea.history.len());
@@ -475,13 +514,16 @@ fn put_ea(e: &mut Encoder, ea: &EaSnapshot<Vec<OpType>>) {
     e.put_usize(ea.generation);
 }
 
-fn take_ea(d: &mut Decoder) -> Result<EaSnapshot<Vec<OpType>>, CodecError> {
+fn take_ea_with<G>(
+    d: &mut Decoder,
+    take_g: impl Fn(&mut Decoder) -> Result<G, CodecError>,
+) -> Result<EaSnapshot<G>, CodecError> {
     let rng = take_rng(d)?;
     let n = d.take_usize()?;
     let scored = (0..n)
-        .map(|_| Ok((take_genome(d)?, d.take_f64()?)))
+        .map(|_| Ok((take_g(d)?, d.take_f64()?)))
         .collect::<Result<Vec<_>, CodecError>>()?;
-    let best = (take_genome(d)?, d.take_f64()?);
+    let best = (take_g(d)?, d.take_f64()?);
     let evaluations = d.take_usize()?;
     let h = d.take_usize()?;
     let history = (0..h)
@@ -496,6 +538,22 @@ fn take_ea(d: &mut Decoder) -> Result<EaSnapshot<Vec<OpType>>, CodecError> {
         history,
         generation,
     })
+}
+
+fn put_joint_genome(e: &mut Encoder, g: &JointGenome) {
+    put_function_set(e, &g.0);
+    put_function_set(e, &g.1);
+    put_genome(e, &g.2);
+}
+
+fn take_joint_genome(d: &mut Decoder) -> Result<JointGenome, CodecError> {
+    let upper = take_function_set(d)?;
+    let lower = take_function_set(d)?;
+    let genome = take_genome(d)?;
+    if genome.is_empty() {
+        return Err(CodecError::Invalid("empty joint genome"));
+    }
+    Ok((upper, lower, genome))
 }
 
 /// Cache entries are stored without their `Architecture`: the genome plus
@@ -550,9 +608,10 @@ fn put_checkpoint(e: &mut Encoder, task: &TaskConfig, cp: &SearchCheckpoint) {
     put_function_set(e, &cp.functions.1);
     put_ea_config(e, &cp.ea_config);
     e.put_usize(cp.generation);
-    put_ea(e, &cp.ea);
+    put_ea_with(e, &cp.ea, |e, g: &Vec<OpType>| put_genome(e, g));
     put_eval_stats(e, &cp.eval_stats);
     put_cache_entries(e, &cp.cache);
+    put_cache_entries(e, &cp.warm_cache);
     e.put_f64(cp.clock_ms);
     e.put_usize(cp.history.len());
     for &(t, s) in &cp.history {
@@ -581,9 +640,10 @@ fn take_checkpoint(d: &mut Decoder) -> Result<SearchCheckpoint, CodecError> {
     let lower = take_function_set(d)?;
     let ea_config = take_ea_config(d)?;
     let generation = d.take_usize()?;
-    let ea = take_ea(d)?;
+    let ea = take_ea_with(d, take_genome)?;
     let eval_stats = take_eval_stats(d)?;
     let cache = take_cache_entries(d, upper, lower, k, classes)?;
+    let warm_cache = take_cache_entries(d, upper, lower, k, classes)?;
     let clock_ms = d.take_f64()?;
     let h = d.take_usize()?;
     let history = (0..h)
@@ -612,6 +672,128 @@ fn take_checkpoint(d: &mut Decoder) -> Result<SearchCheckpoint, CodecError> {
         seed,
         device,
         functions: (upper, lower),
+        ea_config,
+        generation,
+        ea,
+        eval_stats,
+        cache,
+        warm_cache,
+        clock_ms,
+        history,
+        best,
+    })
+}
+
+/// One-stage cache entries carry each candidate's own function sets (the
+/// joint genome), which is also what rebuilds the architecture at load
+/// time.
+fn put_joint_cache_entries(e: &mut Encoder, entries: &[(JointGenome, ScoredCandidate)]) {
+    e.put_usize(entries.len());
+    for (genome, c) in entries {
+        put_joint_genome(e, genome);
+        e.put_f64(c.score);
+        e.put_f64(c.accuracy);
+        e.put_f64(c.latency_ms);
+        e.put_f64(c.cost_ms);
+        e.put_bool(c.valid);
+    }
+}
+
+fn take_joint_cache_entries(
+    d: &mut Decoder,
+    k: usize,
+    classes: usize,
+) -> Result<Vec<(JointGenome, ScoredCandidate)>, CodecError> {
+    let n = d.take_usize()?;
+    (0..n)
+        .map(|_| {
+            let genome = take_joint_genome(d)?;
+            let candidate = ScoredCandidate {
+                architecture: Architecture::from_genome(&genome.2, genome.0, genome.1, k, classes),
+                score: d.take_f64()?,
+                accuracy: d.take_f64()?,
+                latency_ms: d.take_f64()?,
+                cost_ms: d.take_f64()?,
+                valid: d.take_bool()?,
+            };
+            Ok((genome, candidate))
+        })
+        .collect()
+}
+
+fn put_one_stage_checkpoint(e: &mut Encoder, task: &TaskConfig, cp: &OneStageCheckpoint) {
+    e.put_u64(cp.seed);
+    put_device(e, cp.device);
+    e.put_usize(task.k);
+    e.put_usize(task.classes());
+    put_ea_config(e, &cp.ea_config);
+    e.put_usize(cp.generation);
+    put_ea_with(e, &cp.ea, put_joint_genome);
+    put_eval_stats(e, &cp.eval_stats);
+    put_joint_cache_entries(e, &cp.cache);
+    e.put_f64(cp.clock_ms);
+    e.put_usize(cp.history.len());
+    for &(t, s) in &cp.history {
+        e.put_f64(t);
+        e.put_f64(s);
+    }
+    match &cp.best {
+        None => e.put_bool(false),
+        Some((model, valid)) => {
+            e.put_bool(true);
+            // The one-stage best carries its own function sets (every
+            // candidate evolves them), unlike the Stage-2 best which
+            // shares the checkpoint-level pair.
+            put_function_set(e, &model.functions.0);
+            put_function_set(e, &model.functions.1);
+            put_genome(e, &model.genome);
+            e.put_f64(model.score);
+            e.put_f64(model.supernet_accuracy);
+            e.put_f64(model.latency_ms);
+            e.put_bool(*valid);
+        }
+    }
+}
+
+fn take_one_stage_checkpoint(d: &mut Decoder) -> Result<OneStageCheckpoint, CodecError> {
+    let seed = d.take_u64()?;
+    let device = take_device(d)?;
+    let k = d.take_usize()?;
+    let classes = d.take_usize()?;
+    let ea_config = take_ea_config(d)?;
+    let generation = d.take_usize()?;
+    let ea = take_ea_with(d, take_joint_genome)?;
+    let eval_stats = take_eval_stats(d)?;
+    let cache = take_joint_cache_entries(d, k, classes)?;
+    let clock_ms = d.take_f64()?;
+    let h = d.take_usize()?;
+    let history = (0..h)
+        .map(|_| Ok((d.take_f64()?, d.take_f64()?)))
+        .collect::<Result<Vec<_>, CodecError>>()?;
+    let best = if d.take_bool()? {
+        let upper = take_function_set(d)?;
+        let lower = take_function_set(d)?;
+        let genome = take_genome(d)?;
+        if genome.is_empty() {
+            return Err(CodecError::Invalid("empty best genome"));
+        }
+        let architecture = Architecture::from_genome(&genome, upper, lower, k, classes);
+        let model = SearchedModel {
+            architecture,
+            genome,
+            functions: (upper, lower),
+            score: d.take_f64()?,
+            supernet_accuracy: d.take_f64()?,
+            latency_ms: d.take_f64()?,
+        };
+        let valid = d.take_bool()?;
+        Some((model, valid))
+    } else {
+        None
+    };
+    Ok(OneStageCheckpoint {
+        seed,
+        device,
         ea_config,
         generation,
         ea,

@@ -18,7 +18,12 @@ use std::fmt;
 pub const MAGIC: [u8; 4] = *b"HGNA";
 
 /// Current format version. Readers reject anything else.
-pub const VERSION: u16 = 1;
+///
+/// History: v2 added `EvalStats::imported`, the warm-start remainder in
+/// Stage-2 checkpoints, and one-stage checkpoints. Old artifacts are
+/// rejected as [`CodecError::UnsupportedVersion`] — a safe cold start,
+/// never a wrong decode.
+pub const VERSION: u16 = 2;
 
 /// What an artifact contains (stored in the header so a predictor file can
 /// never be mistaken for a checkpoint).
@@ -30,6 +35,8 @@ pub enum ArtifactKind {
     Checkpoint,
     /// A standalone evaluator score cache.
     ScoreCache,
+    /// A one-stage (joint baseline) checkpoint.
+    OneStageCheckpoint,
 }
 
 impl ArtifactKind {
@@ -38,6 +45,7 @@ impl ArtifactKind {
             ArtifactKind::Predictor => 1,
             ArtifactKind::Checkpoint => 2,
             ArtifactKind::ScoreCache => 3,
+            ArtifactKind::OneStageCheckpoint => 4,
         }
     }
 
@@ -46,6 +54,7 @@ impl ArtifactKind {
             1 => Some(ArtifactKind::Predictor),
             2 => Some(ArtifactKind::Checkpoint),
             3 => Some(ArtifactKind::ScoreCache),
+            4 => Some(ArtifactKind::OneStageCheckpoint),
             _ => None,
         }
     }

@@ -1,49 +1,64 @@
-//! The fleet driver: shard one search configuration across N devices.
+//! The fleet driver: the blocking one-shard-per-device API, now a thin
+//! wrapper over the [`crate::scheduler`].
 //!
-//! Each device shard runs the full HGNAS pipeline on its own thread with
-//! the *same* task and seed, so every shard's outcome is bit-identical to
-//! a serial single-device run of that configuration — the fleet adds
-//! breadth, never noise. Shards share the asynchronous measurement oracle
-//! (measured mode) and the artifact store: predictors warm-start from
-//! persisted weights, checkpoints persist at every generation boundary,
-//! and interrupted shards resume where they were killed.
+//! [`run_fleet`] shards one search configuration across N devices, runs
+//! the shards through a [`Scheduler`] (shared measurement oracle in
+//! measured mode, shared artifact store, optional preemptive time
+//! slicing under a bounded thread budget) and blocks until the merged
+//! [`FleetReport`] is ready. Every shard's outcome is bit-identical to a
+//! serial single-device run of that configuration — the fleet adds
+//! breadth, never noise. [`run_fleet_with_events`] is the same call with
+//! a live [`FleetEvent`] stream for incremental reporting.
 
-use crate::artifacts::{
-    predictor_fingerprint, search_fingerprint, ArtifactKey, ArtifactStore, StoreError,
-};
-use crate::oracle::{MeasurementOracle, OracleConfig, OracleStats};
-use hgnas_core::{
-    pareto_front, Hgnas, LatencyMode, PretrainedPredictor, RunOptions, SearchCheckpoint,
-    SearchConfig, SearchOutcome, Strategy, TaskConfig,
-};
+use crate::artifacts::{search_fingerprint, ArtifactKey, ArtifactStore, StoreError};
+use crate::events::FleetEvent;
+use crate::oracle::{OracleConfig, OracleStats};
+use crate::scheduler::{Scheduler, SchedulerConfig, ShardSpec};
+use crossbeam::channel::Sender;
+use hgnas_core::{SearchConfig, SearchOutcome, Strategy, TaskConfig};
 use hgnas_device::DeviceKind;
 use hgnas_ops::OpType;
-use hgnas_predictor::LatencyPredictor;
-use hgnas_tensor::threads::with_kernel_threads;
 use std::fmt::Write as _;
-use std::sync::Arc;
 
-/// Fleet-level configuration: which devices to shard over and how the
-/// shared oracle behaves.
+/// Fleet-level configuration: which devices to shard over, how the shared
+/// oracle behaves, and how the scheduler multiplexes the shards.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// Target devices, one search shard each.
     pub devices: Vec<DeviceKind>,
     /// Oracle tuning (measured mode only).
     pub oracle: OracleConfig,
-    /// Persist a checkpoint every N Stage-2 generations (1 = every
-    /// boundary). Ignored without an artifact store.
+    /// Persist a checkpoint every N generations (1 = every boundary).
+    /// Ignored without an artifact store (events still fire per boundary).
     pub checkpoint_every: usize,
+    /// Total kernel-thread budget the scheduler multiplexes shards over.
+    /// `0` (the default) keeps the legacy shape: one worker per shard,
+    /// each with the base config's own `eval_threads`.
+    pub threads: usize,
+    /// Generations per scheduler time slice; `0` (the default) runs every
+    /// shard to completion unpreempted. Results are bit-identical either
+    /// way — slicing only changes scheduling.
+    pub preemption_stride: usize,
+    /// Warm-start each shard from the score cache a prior run *with this
+    /// seed* persisted (per shard device, same task and configuration
+    /// otherwise). Predictor-mode multi-stage fleets consume it
+    /// bit-transparently; entries are reused verbatim, surfacing as
+    /// `eval_stats.imported`. Needs an artifact store; a missing source
+    /// cache is simply a cold start.
+    pub warm_start_seed: Option<u64>,
 }
 
 impl FleetConfig {
-    /// Fleet over `devices` with default oracle settings and per-generation
-    /// checkpointing.
+    /// Fleet over `devices` with default oracle settings, per-generation
+    /// checkpointing, and no preemption.
     pub fn new(devices: impl Into<Vec<DeviceKind>>) -> Self {
         FleetConfig {
             devices: devices.into(),
             oracle: OracleConfig::default(),
             checkpoint_every: 1,
+            threads: 0,
+            preemption_stride: 0,
+            warm_start_seed: None,
         }
     }
 }
@@ -76,6 +91,8 @@ pub struct DeviceReport {
     pub warm_predictor: bool,
     /// The generation this shard resumed from, when a checkpoint existed.
     pub resumed_from_generation: Option<usize>,
+    /// Scheduler time slices the shard consumed (1 without preemption).
+    pub slices: u64,
 }
 
 /// The merged fleet outcome.
@@ -89,7 +106,9 @@ pub struct FleetReport {
 
 impl FleetReport {
     /// A cross-device summary in the shape of the paper's Table 1: per
-    /// device, the found model against the DGCNN reference.
+    /// device, the found model against the DGCNN reference. "Hit %"
+    /// counts both memo-cache hits and warm-start imports over total
+    /// submissions.
     pub fn summary_table(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(
@@ -100,7 +119,7 @@ impl FleetReport {
         for r in &self.reports {
             let o = &r.outcome;
             let hit_pct = o.eval_stats.map_or(0.0, |e| {
-                100.0 * e.hits as f64 / (e.hits + e.misses).max(1) as f64
+                100.0 * (e.hits + e.imported) as f64 / e.submitted.max(1) as f64
             });
             let _ = writeln!(
                 s,
@@ -119,141 +138,15 @@ impl FleetReport {
     }
 }
 
-/// Builds a shard's Pareto front from its final score cache: every valid
-/// scored candidate competes on (latency, accuracy).
-fn pareto_of(cp: &SearchCheckpoint) -> Vec<ParetoPoint> {
-    let valid: Vec<_> = cp.cache.iter().filter(|(_, c)| c.valid).collect();
-    let points: Vec<(f64, f64)> = valid
-        .iter()
-        .map(|(_, c)| (c.latency_ms, c.accuracy))
-        .collect();
-    let mut front: Vec<ParetoPoint> = pareto_front(&points)
-        .into_iter()
-        .map(|i| ParetoPoint {
-            latency_ms: valid[i].1.latency_ms,
-            accuracy: valid[i].1.accuracy,
-            genome: valid[i].0.clone(),
-        })
-        .collect();
-    front.sort_by(|a, b| a.latency_ms.total_cmp(&b.latency_ms));
-    front
-}
-
-/// Runs one device shard end to end (predictor warm-start, resume,
-/// checkpoint persistence, the search itself).
-fn run_shard(
-    task: &TaskConfig,
-    base: &SearchConfig,
-    device: DeviceKind,
-    fleet: &FleetConfig,
-    store: Option<&ArtifactStore>,
-    oracle: Option<&MeasurementOracle>,
-) -> Result<DeviceReport, StoreError> {
-    let mut cfg = base.clone();
-    cfg.device = device;
-
-    // Predictor: artifact store first, training (then persisting) second.
-    let mut warm_predictor = false;
-    let mut predictor_epochs_run = 0;
-    let mut pretrained = None;
-    if cfg.latency_mode == LatencyMode::Predictor {
-        let key = ArtifactKey {
-            device,
-            fingerprint: predictor_fingerprint(&task.predictor_context(), &cfg.predictor),
-        };
-        if let Some(store) = store {
-            if let Some(snap) = store.load_predictor(&key)? {
-                let (p, stats) = LatencyPredictor::from_snapshot(&snap);
-                pretrained = Some(PretrainedPredictor {
-                    predictor: Arc::new(p),
-                    stats,
-                });
-                warm_predictor = true;
-            }
-        }
-        if pretrained.is_none() {
-            // Training runs under the shard's full thread budget, exactly
-            // like the in-search training path, so `PredictorConfig::batch`
-            // parallelism applies to fleet cold starts too (bit-identical
-            // either way).
-            let (p, stats) = with_kernel_threads(cfg.eval_threads, || {
-                LatencyPredictor::train(device, &task.predictor_context(), &cfg.predictor)
-            });
-            predictor_epochs_run = cfg.predictor.epochs;
-            if let Some(store) = store {
-                store.save_predictor(&key, &p.snapshot(&stats))?;
-            }
-            pretrained = Some(PretrainedPredictor {
-                predictor: Arc::new(p),
-                stats,
-            });
-        }
-    }
-
-    // Checkpoint persistence and resume only exist for the multi-stage
-    // strategy; a one-stage fleet still shares the oracle and store-backed
-    // predictors but runs each shard start-to-finish.
-    let checkpointing = store.is_some() && cfg.strategy == Strategy::MultiStage;
-    let search_key = ArtifactKey {
-        device,
-        fingerprint: search_fingerprint(task, &cfg),
-    };
-    let resume = match store {
-        Some(store) if checkpointing => store.load_checkpoint(&search_key)?,
-        _ => None,
-    };
-    let resumed_from_generation = resume.as_ref().map(|cp| cp.generation);
-
-    let mut sink_err: Option<StoreError> = None;
-    let mut sink = |cp: &SearchCheckpoint| {
-        if sink_err.is_some() {
-            return;
-        }
-        if let Some(store) = store {
-            if let Err(e) = store.save_checkpoint(&search_key, task, cp) {
-                sink_err = Some(e);
-            }
-        }
-    };
-
-    let opts = RunOptions {
-        backend: oracle.map(|o| Arc::new(o.client(device)) as Arc<dyn hgnas_core::MeasureBackend>),
-        predictor: pretrained,
-        resume,
-        checkpoint_sink: checkpointing
-            .then_some(&mut sink as &mut dyn for<'a> FnMut(&'a SearchCheckpoint)),
-        checkpoint_every: fleet.checkpoint_every,
-        abort_after_generation: None,
-    };
-    let out = Hgnas::new(task.clone(), cfg).run_with(opts);
-    if let Some(e) = sink_err {
-        return Err(e);
-    }
-    let outcome = out
-        .outcome
-        .expect("fleet shards run to completion (no abort hook)");
-    let pareto = out.checkpoint.as_ref().map(pareto_of).unwrap_or_default();
-    if let (Some(store), Some(cp)) = (store, &out.checkpoint) {
-        store.save_checkpoint(&search_key, task, cp)?;
-        store.save_score_cache(&search_key, task, cp.functions, &cp.cache)?;
-    }
-    Ok(DeviceReport {
-        device,
-        outcome,
-        pareto,
-        predictor_epochs_run,
-        warm_predictor,
-        resumed_from_generation,
-    })
-}
-
-/// Shards `base` across `fleet.devices` and runs every shard concurrently
-/// against the shared oracle (measured mode) and artifact store.
+/// Shards `base` across `fleet.devices` and runs every shard through the
+/// scheduler against the shared oracle (measured mode) and artifact
+/// store, blocking until all of them finish.
 ///
 /// Every shard's `SearchOutcome` is bit-identical to what a serial
 /// `Hgnas::new(task, base-with-that-device).run()` produces: the oracle is
-/// bit-transparent and warm-started predictors reproduce the trained ones
-/// exactly.
+/// bit-transparent, warm-started predictors reproduce the trained ones
+/// exactly, preemption resumes checkpoints bit-identically, and imported
+/// score caches only skip re-scoring work.
 ///
 /// # Errors
 ///
@@ -262,34 +155,87 @@ fn run_shard(
 ///
 /// # Panics
 ///
-/// Panics if `fleet.devices` is empty or a shard thread panics.
+/// Panics if `fleet.devices` is empty or a scheduler worker panics.
 pub fn run_fleet(
     task: &TaskConfig,
     base: &SearchConfig,
     fleet: &FleetConfig,
     store: Option<&ArtifactStore>,
 ) -> Result<FleetReport, StoreError> {
+    run_fleet_with_events(task, base, fleet, store, None)
+}
+
+/// [`run_fleet`] with a live event stream: every scheduler event is
+/// forwarded to `events` as it happens, so a consumer thread (e.g. a
+/// [`crate::StreamingReporter`] loop) can render incremental fleet
+/// reports while the search is still running. Dropping the receiver
+/// never blocks the fleet.
+///
+/// # Errors
+///
+/// As [`run_fleet`].
+///
+/// # Panics
+///
+/// As [`run_fleet`].
+pub fn run_fleet_with_events(
+    task: &TaskConfig,
+    base: &SearchConfig,
+    fleet: &FleetConfig,
+    store: Option<&ArtifactStore>,
+    events: Option<Sender<FleetEvent>>,
+) -> Result<FleetReport, StoreError> {
     assert!(!fleet.devices.is_empty(), "fleet needs at least one device");
-    let oracle = (base.latency_mode == LatencyMode::Measured)
-        .then(|| MeasurementOracle::start(&fleet.devices, &fleet.oracle));
-
-    let results: Vec<Result<DeviceReport, StoreError>> = crossbeam::scope(|s| {
-        let handles: Vec<_> = fleet
-            .devices
-            .iter()
-            .map(|&device| {
-                let oracle = oracle.as_ref();
-                s.spawn(move |_| run_shard(task, base, device, fleet, store, oracle))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("fleet shard thread panicked");
-
-    let oracle_stats = oracle.map(MeasurementOracle::shutdown);
-    let reports = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let mut specs = Vec::with_capacity(fleet.devices.len());
+    for &device in &fleet.devices {
+        let mut cfg = base.clone();
+        cfg.device = device;
+        let imported_cache = match (fleet.warm_start_seed, store) {
+            (Some(seed), Some(store)) if base.strategy == Strategy::MultiStage => {
+                let mut source = cfg.clone();
+                source.seed = seed;
+                let key = ArtifactKey {
+                    device,
+                    fingerprint: search_fingerprint(task, &source),
+                };
+                store.load_score_cache(&key)?
+            }
+            _ => None,
+        };
+        specs.push(ShardSpec {
+            task: task.clone(),
+            config: cfg,
+            imported_cache,
+        });
+    }
+    let scheduler = Scheduler::new(
+        specs,
+        SchedulerConfig {
+            threads: fleet.threads,
+            preemption_stride: fleet.preemption_stride,
+            checkpoint_every: fleet.checkpoint_every,
+            oracle: fleet.oracle.clone(),
+            max_slices: None,
+        },
+    );
+    let report = scheduler.run(store, events)?;
+    let reports = report
+        .shards
+        .into_iter()
+        .map(|s| DeviceReport {
+            device: s.device,
+            outcome: s
+                .outcome
+                .expect("an unbudgeted scheduler runs every shard to completion"),
+            pareto: s.pareto,
+            predictor_epochs_run: s.predictor_epochs_run,
+            warm_predictor: s.warm_predictor,
+            resumed_from_generation: s.resumed_from_generation,
+            slices: s.slices,
+        })
+        .collect();
     Ok(FleetReport {
         reports,
-        oracle_stats,
+        oracle_stats: report.oracle_stats,
     })
 }

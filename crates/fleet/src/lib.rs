@@ -10,17 +10,28 @@
 //!   retry-with-backoff on transient [`hgnas_device::MeasureError`]s.
 //!   Because generator state round-trips with each request, routing a
 //!   search through the oracle is bit-transparent.
-//! - [`driver`]: the **fleet driver** — shards a
-//!   [`hgnas_core::SearchConfig`] across N [`hgnas_device::DeviceKind`]s,
-//!   runs each shard's evolutionary search on its own thread against the
-//!   shared oracle, and merges the per-device outcomes into a report with
-//!   per-device Pareto fronts and a cross-device summary table (the
-//!   paper's Table 1 shape).
+//! - [`scheduler`]: the **fleet scheduler** — multiplexes N search shards
+//!   (possibly many per device: seeds, tasks, constraint sets) over a
+//!   bounded kernel-thread budget with work-stealing, generation-granular
+//!   preemptive time slices. Checkpoint/resume at slice boundaries makes
+//!   preemption transparent: every cell of (shard count × thread budget ×
+//!   stride) is bit-identical to serial runs.
+//! - [`events`]: **streaming fleet reports** — the scheduler publishes
+//!   [`FleetEvent`]s (shard started / generation done / Pareto updated /
+//!   preempted / finished) over a channel; [`StreamingReporter`] folds
+//!   them into incremental Table-1-style snapshots.
+//! - [`driver`]: the **fleet driver** — the blocking one-shard-per-device
+//!   API, a thin wrapper over the scheduler, merging per-device outcomes
+//!   into a report with Pareto fronts and a cross-device summary table
+//!   (the paper's Table 1 shape).
 //! - [`artifacts`] + [`codec`]: the **cross-run artifact store** — a small
 //!   versioned binary codec (no serde; the shims stay offline) persisting
-//!   predictor weights, evaluator score caches and search checkpoints, so
-//!   a killed search resumes bit-identically and a second run on the same
-//!   device skips predictor training entirely.
+//!   predictor weights, evaluator score caches and search checkpoints
+//!   (multi-stage *and* one-stage), so a killed search resumes
+//!   bit-identically, a second run on the same device skips predictor
+//!   training entirely, and a later run can warm-start its evaluator from
+//!   a prior run's score cache (`eval_stats.imported`) without changing
+//!   the searched Pareto front.
 //!
 //! # Example
 //!
@@ -44,11 +55,17 @@
 pub mod artifacts;
 pub mod codec;
 pub mod driver;
+pub mod events;
 pub mod oracle;
+pub mod scheduler;
 
 pub use artifacts::{
     predictor_fingerprint, search_fingerprint, ArtifactKey, ArtifactStore, StoreError,
 };
 pub use codec::{ArtifactKind, CodecError};
-pub use driver::{run_fleet, DeviceReport, FleetConfig, FleetReport, ParetoPoint};
+pub use driver::{
+    run_fleet, run_fleet_with_events, DeviceReport, FleetConfig, FleetReport, ParetoPoint,
+};
+pub use events::{channel as event_channel, FleetEvent, ShardId, StreamingReporter};
 pub use oracle::{MeasurementOracle, OracleClient, OracleConfig, OracleStats, Ticket};
+pub use scheduler::{Scheduler, SchedulerConfig, SchedulerReport, ShardResult, ShardSpec};

@@ -1,0 +1,621 @@
+//! The fleet scheduler: multiplex N search shards over one host's kernel
+//! thread budget with generation-granular preemptive time slices.
+//!
+//! PR 3's fleet driver ran one thread per device shard — fine for one
+//! shard per [`DeviceKind`], oversubscribed the moment a tenant queues
+//! more shards (several seeds or tasks per device) than the host has
+//! cores. The scheduler fixes the shape: shards wait in a shared ready
+//! queue, a bounded pool of workers pulls the next ready shard
+//! (work-stealing at shard granularity — an idle worker always takes the
+//! oldest runnable shard), runs it for a *time slice* of
+//! [`SchedulerConfig::preemption_stride`] generations, checkpoints it at
+//! the boundary, and re-queues it behind its peers. Because
+//! checkpoint/resume is bit-identical (the core contract every prior PR
+//! locked in), preemption is transparent: any (shard count × thread
+//! budget × stride) cell produces per-shard results bit-identical to a
+//! serial [`Hgnas::run_with`] of the same options.
+//!
+//! Each worker hands its slice a proportional share of the total kernel
+//! thread budget ([`SchedulerConfig::threads`]), so the two levels of
+//! parallelism — shards across workers, matmuls inside a shard — never
+//! oversubscribe the machine. `eval_threads` is bit-transparent, so the
+//! split never changes results either.
+//!
+//! Progress streams out as [`FleetEvent`]s; [`crate::StreamingReporter`]
+//! renders them incrementally, and the blocking [`crate::run_fleet`] API
+//! is a thin wrapper over `Scheduler::run`.
+
+use crate::artifacts::{
+    predictor_fingerprint, search_fingerprint, ArtifactKey, ArtifactStore, StoreError,
+};
+use crate::driver::ParetoPoint;
+use crate::events::{FleetEvent, ShardId};
+use crate::oracle::{MeasurementOracle, OracleConfig, OracleStats};
+use crossbeam::channel::Sender;
+use hgnas_core::{
+    pareto_front, Checkpoint, Hgnas, LatencyMode, MeasureBackend, PretrainedPredictor, RunOptions,
+    ScoredCandidate, SearchConfig, SearchOutcome, Strategy, TaskConfig,
+};
+use hgnas_device::DeviceKind;
+use hgnas_ops::OpType;
+use hgnas_predictor::LatencyPredictor;
+use hgnas_tensor::threads::with_kernel_threads;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One unit of schedulable work: a full HGNAS search of `task` under
+/// `config` (the device and seed live inside the config, so a fleet can
+/// queue many shards per device — different seeds, tasks, constraint
+/// sets).
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// The task to search.
+    pub task: TaskConfig,
+    /// The search configuration (device, seed, EA budgets, ...).
+    pub config: SearchConfig,
+    /// A prior run's score cache to warm-start the shard's Stage-2
+    /// evaluator with (see `hgnas_core::RunOptions::imported_cache` for
+    /// the bit-identity contract). Multi-stage shards only.
+    pub imported_cache: Option<Vec<(Vec<OpType>, ScoredCandidate)>>,
+}
+
+impl ShardSpec {
+    /// A shard with no warm-start import.
+    pub fn new(task: TaskConfig, config: SearchConfig) -> Self {
+        ShardSpec {
+            task,
+            config,
+            imported_cache: None,
+        }
+    }
+}
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Total kernel-thread budget multiplexed across shards. `0` (the
+    /// default) runs one worker per shard, each with its spec's own
+    /// `eval_threads` — the pre-scheduler fleet behaviour.
+    pub threads: usize,
+    /// Generations per time slice. `0` (the default) disables preemption:
+    /// a worker runs its shard to completion before taking the next one.
+    pub preemption_stride: usize,
+    /// Persist (and announce) a checkpoint every N generations within a
+    /// slice (0 is treated as 1). Slice boundaries always checkpoint.
+    pub checkpoint_every: usize,
+    /// Measurement-oracle tuning (shards in [`LatencyMode::Measured`]).
+    pub oracle: OracleConfig,
+    /// Total slice budget across all shards; when it runs out, unfinished
+    /// shards stay parked (their checkpoints persisted to the store) and
+    /// [`Scheduler::run`] returns them with `outcome: None`. `None` (the
+    /// default) runs every shard to completion. This is the budgeted
+    /// scheduling-round lever — and the mid-run-kill test hook.
+    pub max_slices: Option<u64>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            threads: 0,
+            preemption_stride: 0,
+            checkpoint_every: 1,
+            oracle: OracleConfig::default(),
+            max_slices: None,
+        }
+    }
+}
+
+/// What one shard produced.
+#[derive(Debug)]
+pub struct ShardResult {
+    /// The shard's index in the spec list.
+    pub shard: ShardId,
+    /// Its target device.
+    pub device: DeviceKind,
+    /// The search outcome — bit-identical to a serial
+    /// [`Hgnas::run_with`] of the same options. `None` only when the
+    /// slice budget ran out first.
+    pub outcome: Option<SearchOutcome>,
+    /// Latency/accuracy Pareto front over every constraint-satisfying
+    /// candidate the shard scored so far, fastest first.
+    pub pareto: Vec<ParetoPoint>,
+    /// Predictor-training epochs this run actually executed (0 on a warm
+    /// start from the artifact store).
+    pub predictor_epochs_run: usize,
+    /// Whether the predictor came from the artifact store.
+    pub warm_predictor: bool,
+    /// The generation a persisted checkpoint resumed the shard from.
+    pub resumed_from_generation: Option<usize>,
+    /// Time slices the shard consumed this run.
+    pub slices: u64,
+}
+
+/// Everything a scheduler run produced.
+#[derive(Debug)]
+pub struct SchedulerReport {
+    /// Per-shard results, in spec order.
+    pub shards: Vec<ShardResult>,
+    /// Oracle counters (when any shard measured).
+    pub oracle_stats: Option<OracleStats>,
+}
+
+/// Mutable per-shard state carried between time slices.
+#[derive(Default)]
+struct ShardState {
+    predictor: Option<PretrainedPredictor>,
+    warm_predictor: bool,
+    predictor_epochs_run: usize,
+    /// In-memory checkpoint between slices (faster than a store
+    /// round-trip and present even without a store).
+    checkpoint: Option<Checkpoint>,
+    /// Whether the store has been probed for a resume checkpoint.
+    store_probed: bool,
+    resumed_from_generation: Option<usize>,
+    started: bool,
+    slices: u64,
+    /// `(latency bits, accuracy bits)` signature of the last announced
+    /// Pareto front, for change detection.
+    last_front: Vec<(u64, u64)>,
+    finished: Option<ShardResult>,
+}
+
+/// What the ready queue carries.
+enum Job {
+    /// Run one slice of this shard.
+    Slice(ShardId),
+    /// Worker shutdown pill.
+    Stop,
+}
+
+/// The fleet scheduler. See the module docs.
+#[derive(Debug)]
+pub struct Scheduler {
+    specs: Vec<ShardSpec>,
+    cfg: SchedulerConfig,
+}
+
+/// Builds the latency/accuracy Pareto front from a checkpoint's score
+/// cache: every valid scored candidate competes on (latency, accuracy).
+pub(crate) fn checkpoint_pareto(cp: &Checkpoint) -> Vec<ParetoPoint> {
+    let entries: Vec<(&[OpType], &ScoredCandidate)> = match cp {
+        Checkpoint::MultiStage(cp) => cp.cache.iter().map(|(g, c)| (g.as_slice(), c)).collect(),
+        Checkpoint::OneStage(cp) => cp.cache.iter().map(|(g, c)| (g.2.as_slice(), c)).collect(),
+    };
+    let valid: Vec<_> = entries.into_iter().filter(|(_, c)| c.valid).collect();
+    let points: Vec<(f64, f64)> = valid
+        .iter()
+        .map(|(_, c)| (c.latency_ms, c.accuracy))
+        .collect();
+    let mut front: Vec<ParetoPoint> = pareto_front(&points)
+        .into_iter()
+        .map(|i| ParetoPoint {
+            latency_ms: valid[i].1.latency_ms,
+            accuracy: valid[i].1.accuracy,
+            genome: valid[i].0.to_vec(),
+        })
+        .collect();
+    front.sort_by(|a, b| a.latency_ms.total_cmp(&b.latency_ms));
+    front
+}
+
+fn emit(events: Option<&Sender<FleetEvent>>, ev: FleetEvent) {
+    if let Some(tx) = events {
+        // A consumer that hung up is not the scheduler's problem.
+        let _ = tx.send(ev);
+    }
+}
+
+impl Scheduler {
+    /// A scheduler over `specs` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn new(specs: Vec<ShardSpec>, cfg: SchedulerConfig) -> Self {
+        assert!(!specs.is_empty(), "scheduler needs at least one shard");
+        Scheduler { specs, cfg }
+    }
+
+    /// The shard specs, in the order results are reported.
+    pub fn specs(&self) -> &[ShardSpec] {
+        &self.specs
+    }
+
+    /// Runs every shard (within the slice budget, if one is set) and
+    /// returns per-shard results in spec order. `store` enables
+    /// predictor/checkpoint/score-cache persistence and store-based
+    /// resume; `events` streams [`FleetEvent`]s to a consumer on another
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// The first [`StoreError`] any shard hit; remaining shards are
+    /// stopped at their next slice boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn run(
+        &self,
+        store: Option<&ArtifactStore>,
+        events: Option<Sender<FleetEvent>>,
+    ) -> Result<SchedulerReport, StoreError> {
+        let n = self.specs.len();
+        let measured: Vec<DeviceKind> = {
+            let mut seen = Vec::new();
+            for s in &self.specs {
+                if s.config.latency_mode == LatencyMode::Measured
+                    && !seen.contains(&s.config.device)
+                {
+                    seen.push(s.config.device);
+                }
+            }
+            seen
+        };
+        let oracle =
+            (!measured.is_empty()).then(|| MeasurementOracle::start(&measured, &self.cfg.oracle));
+
+        let workers = if self.cfg.threads == 0 {
+            n
+        } else {
+            self.cfg.threads.min(n).max(1)
+        };
+        let states: Vec<Mutex<ShardState>> = (0..n).map(|_| Mutex::default()).collect();
+        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+        for i in 0..n {
+            let _ = tx.send(Job::Slice(i));
+        }
+        let remaining = AtomicUsize::new(n);
+        let budget = self.cfg.max_slices.map(AtomicU64::new);
+        let failure: Mutex<Option<StoreError>> = Mutex::new(None);
+        let abort = AtomicBool::new(false);
+
+        crossbeam::scope(|s| {
+            for w in 0..workers {
+                let rx = rx.clone();
+                let tx = tx.clone();
+                let events = events.clone();
+                let (states, remaining, budget, failure, abort, oracle) = (
+                    &states,
+                    &remaining,
+                    &budget,
+                    &failure,
+                    &abort,
+                    oracle.as_ref(),
+                );
+                // 0 tells the slice to use the spec's own eval_threads
+                // (legacy one-worker-per-shard mode); otherwise split the
+                // budget, spreading the remainder over the first workers.
+                let kernel_budget = if self.cfg.threads == 0 {
+                    0
+                } else {
+                    (self.cfg.threads / workers + usize::from(w < self.cfg.threads % workers))
+                        .max(1)
+                };
+                s.spawn(move |_| {
+                    let finish_one = || {
+                        if remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                            for _ in 0..workers {
+                                let _ = tx.send(Job::Stop);
+                            }
+                        }
+                    };
+                    // Exit on a Stop pill or channel teardown alike.
+                    while let Ok(Job::Slice(i)) = rx.recv() {
+                        let budget_left = budget.as_ref().is_none_or(|b| {
+                            b.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                                .is_ok()
+                        });
+                        if abort.load(Ordering::SeqCst) || !budget_left {
+                            // Parked: leaves the rotation with its latest
+                            // checkpoint persisted/retained.
+                            finish_one();
+                            continue;
+                        }
+                        let mut st = states[i].lock().unwrap();
+                        match self.run_slice(
+                            i,
+                            &mut st,
+                            kernel_budget,
+                            store,
+                            oracle,
+                            events.as_ref(),
+                        ) {
+                            Ok(true) => {
+                                drop(st);
+                                finish_one();
+                            }
+                            Ok(false) => {
+                                drop(st);
+                                let _ = tx.send(Job::Slice(i));
+                            }
+                            Err(e) => {
+                                emit(
+                                    events.as_ref(),
+                                    FleetEvent::ShardFailed {
+                                        shard: i,
+                                        device: self.specs[i].config.device,
+                                        error: e.to_string(),
+                                    },
+                                );
+                                failure.lock().unwrap().get_or_insert(e);
+                                abort.store(true, Ordering::SeqCst);
+                                drop(st);
+                                finish_one();
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("scheduler worker panicked");
+
+        let oracle_stats = oracle.map(MeasurementOracle::shutdown);
+        if let Some(e) = failure.into_inner().unwrap() {
+            return Err(e);
+        }
+        let shards = states
+            .into_iter()
+            .enumerate()
+            .map(|(i, st)| {
+                let st = st.into_inner().unwrap();
+                st.finished.unwrap_or_else(|| ShardResult {
+                    shard: i,
+                    device: self.specs[i].config.device,
+                    outcome: None,
+                    pareto: st
+                        .checkpoint
+                        .as_ref()
+                        .map(checkpoint_pareto)
+                        .unwrap_or_default(),
+                    predictor_epochs_run: st.predictor_epochs_run,
+                    warm_predictor: st.warm_predictor,
+                    resumed_from_generation: st.resumed_from_generation,
+                    slices: st.slices,
+                })
+            })
+            .collect();
+        Ok(SchedulerReport {
+            shards,
+            oracle_stats,
+        })
+    }
+
+    /// Runs one time slice of shard `i`. Returns `Ok(true)` when the
+    /// shard finished, `Ok(false)` when it was preempted and should be
+    /// re-queued.
+    fn run_slice(
+        &self,
+        i: ShardId,
+        st: &mut ShardState,
+        kernel_budget: usize,
+        store: Option<&ArtifactStore>,
+        oracle: Option<&MeasurementOracle>,
+        events: Option<&Sender<FleetEvent>>,
+    ) -> Result<bool, StoreError> {
+        let spec = &self.specs[i];
+        let mut cfg = spec.config.clone();
+        if kernel_budget > 0 {
+            // Bit-transparent by the evaluator contract, so the scheduler
+            // is free to re-split the budget as the worker pool shrinks.
+            cfg.eval_threads = kernel_budget;
+        }
+        let device = cfg.device;
+
+        // Predictor: once per shard, reused across every later slice
+        // (artifact store first, training second — exactly the serial
+        // path, so warm or cold the outcome is unchanged).
+        if cfg.latency_mode == LatencyMode::Predictor && st.predictor.is_none() {
+            let key = ArtifactKey {
+                device,
+                fingerprint: predictor_fingerprint(&spec.task.predictor_context(), &cfg.predictor),
+            };
+            let mut pretrained = None;
+            if let Some(store) = store {
+                if let Some(snap) = store.load_predictor(&key)? {
+                    let (p, stats) = LatencyPredictor::from_snapshot(&snap);
+                    pretrained = Some(PretrainedPredictor {
+                        predictor: Arc::new(p),
+                        stats,
+                    });
+                    st.warm_predictor = true;
+                }
+            }
+            if pretrained.is_none() {
+                let (p, stats) = with_kernel_threads(cfg.eval_threads, || {
+                    LatencyPredictor::train(device, &spec.task.predictor_context(), &cfg.predictor)
+                });
+                st.predictor_epochs_run = cfg.predictor.epochs;
+                if let Some(store) = store {
+                    store.save_predictor(&key, &p.snapshot(&stats))?;
+                }
+                pretrained = Some(PretrainedPredictor {
+                    predictor: Arc::new(p),
+                    stats,
+                });
+            }
+            st.predictor = pretrained;
+        }
+
+        let search_key = ArtifactKey {
+            device,
+            fingerprint: search_fingerprint(&spec.task, &cfg),
+        };
+
+        // Resume source: the in-memory checkpoint from the previous slice,
+        // else (first slice only) whatever the store persisted.
+        let resume = match st.checkpoint.take() {
+            Some(cp) => Some(cp),
+            None if !st.store_probed => {
+                st.store_probed = true;
+                match store {
+                    Some(store) => {
+                        let cp = match cfg.strategy {
+                            Strategy::MultiStage => store
+                                .load_checkpoint(&search_key)?
+                                .map(Checkpoint::MultiStage),
+                            Strategy::OneStage => store
+                                .load_one_stage_checkpoint(&search_key)?
+                                .map(Checkpoint::OneStage),
+                        };
+                        st.resumed_from_generation = cp.as_ref().map(Checkpoint::generation);
+                        cp
+                    }
+                    None => None,
+                }
+            }
+            None => None,
+        };
+
+        if !st.started {
+            st.started = true;
+            emit(
+                events,
+                FleetEvent::ShardStarted {
+                    shard: i,
+                    device,
+                    resumed_from: st.resumed_from_generation,
+                    warm_predictor: st.warm_predictor,
+                },
+            );
+        }
+
+        let start_gen = resume.as_ref().map(Checkpoint::generation).unwrap_or(0);
+        let iterations = cfg.ea_stage2.iterations;
+        let abort_after = (self.cfg.preemption_stride > 0)
+            .then(|| start_gen + self.cfg.preemption_stride)
+            .filter(|&g| g < iterations);
+
+        let mut sink_err: Option<StoreError> = None;
+        let mut sink = |cp: &Checkpoint| {
+            if sink_err.is_none() {
+                if let Some(store) = store {
+                    let r = match cp {
+                        Checkpoint::MultiStage(cp) => store
+                            .save_checkpoint(&search_key, &spec.task, cp)
+                            .map(|_| ()),
+                        Checkpoint::OneStage(cp) => store
+                            .save_one_stage_checkpoint(&search_key, &spec.task, cp)
+                            .map(|_| ()),
+                    };
+                    if let Err(e) = r {
+                        sink_err = Some(e);
+                    }
+                }
+            }
+            emit(
+                events,
+                FleetEvent::GenerationDone {
+                    shard: i,
+                    device,
+                    generation: cp.generation(),
+                    iterations,
+                    best_score: cp.best_score(),
+                    clock_hours: cp.clock_ms() / 3.6e6,
+                },
+            );
+        };
+        let want_sink = store.is_some() || events.is_some();
+        // The import is only needed on the shard's first slice: from then
+        // on the un-promoted remainder rides in the resume checkpoint's
+        // warm cache, so re-cloning the donor every slice would be pure
+        // overhead (re-importing is idempotent but not free).
+        let imported = match (&spec.imported_cache, cfg.strategy, st.slices) {
+            (Some(c), Strategy::MultiStage, 0) => Some(c.clone()),
+            _ => None,
+        };
+        let out = Hgnas::new(spec.task.clone(), cfg).run_with(RunOptions {
+            backend: oracle.map(|o| Arc::new(o.client(device)) as Arc<dyn MeasureBackend>),
+            predictor: st.predictor.clone(),
+            resume,
+            checkpoint_sink: want_sink.then_some(&mut sink as &mut dyn FnMut(&Checkpoint)),
+            checkpoint_every: self.cfg.checkpoint_every,
+            abort_after_generation: abort_after,
+            imported_cache: imported,
+        });
+        if let Some(e) = sink_err {
+            return Err(e);
+        }
+        st.slices += 1;
+
+        // Announce front changes at every slice boundary.
+        if let Some(cp) = &out.checkpoint {
+            if events.is_some() {
+                let front = checkpoint_pareto(cp);
+                let sig: Vec<(u64, u64)> = front
+                    .iter()
+                    .map(|p| (p.latency_ms.to_bits(), p.accuracy.to_bits()))
+                    .collect();
+                if sig != st.last_front {
+                    st.last_front = sig;
+                    emit(
+                        events,
+                        FleetEvent::ParetoUpdated {
+                            shard: i,
+                            device,
+                            front,
+                        },
+                    );
+                }
+            }
+        }
+
+        match out.outcome {
+            None => {
+                emit(
+                    events,
+                    FleetEvent::ShardPreempted {
+                        shard: i,
+                        device,
+                        generation: out.checkpoint.as_ref().map_or(0, Checkpoint::generation),
+                    },
+                );
+                st.checkpoint = out.checkpoint;
+                Ok(false)
+            }
+            Some(outcome) => {
+                // Final persistence: the sink already wrote the last
+                // checkpoint; multi-stage runs also publish their score
+                // cache for future warm starts.
+                if let (Some(store), Some(Checkpoint::MultiStage(cp))) =
+                    (store, out.checkpoint.as_ref())
+                {
+                    store.save_score_cache(&search_key, &spec.task, cp.functions, &cp.cache)?;
+                }
+                let pareto = out
+                    .checkpoint
+                    .as_ref()
+                    .map(checkpoint_pareto)
+                    .unwrap_or_default();
+                let stats = outcome.eval_stats;
+                emit(
+                    events,
+                    FleetEvent::ShardFinished {
+                        shard: i,
+                        device,
+                        latency_ms: outcome.best.latency_ms,
+                        accuracy: outcome.best.supernet_accuracy,
+                        score: outcome.best.score,
+                        reference_ms: outcome.reference_ms,
+                        search_hours: outcome.search_hours,
+                        hit_pct: stats.map_or(0.0, |e| {
+                            100.0 * (e.hits + e.imported) as f64 / e.submitted.max(1) as f64
+                        }),
+                        imported: stats.map_or(0, |e| e.imported),
+                    },
+                );
+                st.finished = Some(ShardResult {
+                    shard: i,
+                    device,
+                    outcome: Some(outcome),
+                    pareto,
+                    predictor_epochs_run: st.predictor_epochs_run,
+                    warm_predictor: st.warm_predictor,
+                    resumed_from_generation: st.resumed_from_generation,
+                    slices: st.slices,
+                });
+                Ok(true)
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the artifact codec (via the offline proptest shim):
+//! arbitrary payloads round-trip bit-exactly, and arbitrary single-byte
+//! corruption or truncation is always rejected with an error — never a
+//! wrong decode that could warm-start a search from garbage.
+
+use hgnas_fleet::codec::{ArtifactKind, Decoder, Encoder};
+use proptest::prelude::*;
+
+/// Encodes an opaque byte payload as a sealed artifact.
+fn encode(kind: ArtifactKind, payload: &[u8]) -> Vec<u8> {
+    let mut e = Encoder::new(kind);
+    for &b in payload {
+        e.put_u8(b);
+    }
+    e.finish()
+}
+
+/// Strategy for an arbitrary payload (possibly empty).
+fn payload() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u32..256, 0usize..160)
+        .prop_map(|v| v.into_iter().map(|x| x as u8).collect())
+}
+
+/// Strategy for an artifact kind.
+fn kind() -> impl Strategy<Value = ArtifactKind> {
+    (0usize..4).prop_map(|i| {
+        [
+            ArtifactKind::Predictor,
+            ArtifactKind::Checkpoint,
+            ArtifactKind::ScoreCache,
+            ArtifactKind::OneStageCheckpoint,
+        ][i]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_payloads_round_trip(p in (kind(), payload())) {
+        let (kind, payload) = p;
+        let bytes = encode(kind, &payload);
+        let mut d = Decoder::open(&bytes, kind).unwrap();
+        for &b in &payload {
+            prop_assert_eq!(d.take_u8().unwrap(), b);
+        }
+        prop_assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn mixed_primitives_round_trip_bit_exactly(
+        v in (0u64..u64::MAX, 0u32..u32::MAX, 0usize..1_000_000)
+    ) {
+        let (a, b, n) = v;
+        let mut e = Encoder::new(ArtifactKind::Checkpoint);
+        e.put_u64(a);
+        // Arbitrary bit patterns (including NaNs and negative zero) must
+        // survive the float round-trip exactly.
+        e.put_f64(f64::from_bits(a));
+        e.put_f32(f32::from_bits(b));
+        e.put_usize(n);
+        e.put_bool(n % 2 == 0);
+        let bytes = e.finish();
+        let mut d = Decoder::open(&bytes, ArtifactKind::Checkpoint).unwrap();
+        prop_assert_eq!(d.take_u64().unwrap(), a);
+        prop_assert_eq!(d.take_f64().unwrap().to_bits(), a);
+        prop_assert_eq!(d.take_f32().unwrap().to_bits(), b);
+        prop_assert_eq!(d.take_usize().unwrap(), n);
+        prop_assert_eq!(d.take_bool().unwrap(), n % 2 == 0);
+        prop_assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn single_byte_corruption_is_always_rejected(
+        c in (kind(), payload(), 0usize..4096, 1u32..256)
+    ) {
+        let (kind, payload, pos, flip) = c;
+        let bytes = encode(kind, &payload);
+        let mut bad = bytes.clone();
+        let pos = pos % bad.len();
+        bad[pos] ^= flip as u8; // flip != 0: the byte genuinely changes
+        prop_assert!(
+            Decoder::open(&bad, kind).is_err(),
+            "flip 0x{:02x} at byte {} of {} accepted",
+            flip,
+            pos,
+            bad.len()
+        );
+    }
+
+    #[test]
+    fn truncation_is_always_rejected(c in (kind(), payload(), 0usize..4096)) {
+        let (kind, payload, cut) = c;
+        let bytes = encode(kind, &payload);
+        let cut = cut % bytes.len(); // strictly shorter than the artifact
+        prop_assert!(
+            Decoder::open(&bytes[..cut], kind).is_err(),
+            "truncation to {} of {} bytes accepted",
+            cut,
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn foreign_kind_is_always_rejected(c in (kind(), payload())) {
+        let (kind, payload) = c;
+        let bytes = encode(kind, &payload);
+        let other = match kind {
+            ArtifactKind::Predictor => ArtifactKind::Checkpoint,
+            ArtifactKind::Checkpoint => ArtifactKind::ScoreCache,
+            ArtifactKind::ScoreCache => ArtifactKind::OneStageCheckpoint,
+            ArtifactKind::OneStageCheckpoint => ArtifactKind::Predictor,
+        };
+        prop_assert!(Decoder::open(&bytes, other).is_err());
+    }
+}

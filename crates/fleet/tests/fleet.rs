@@ -3,7 +3,7 @@
 //! and artifact corruption rejection.
 
 use hgnas_core::{
-    Hgnas, LatencyMode, RunOptions, SearchCheckpoint, SearchConfig, SearchOutcome, TaskConfig,
+    Checkpoint, Hgnas, LatencyMode, RunOptions, SearchConfig, SearchOutcome, TaskConfig,
 };
 use hgnas_device::DeviceKind;
 use hgnas_fleet::{
@@ -149,7 +149,8 @@ fn kill_and_resume_is_bit_identical() {
         fingerprint: 0x5eed,
     };
     let mut persisted = 0usize;
-    let mut sink = |cp: &SearchCheckpoint| {
+    let mut sink = |cp: &Checkpoint| {
+        let cp = cp.as_multi_stage().expect("multi-stage run, stage-2 cp");
         store.save_checkpoint(&key, &task, cp).expect("persist");
         persisted += 1;
     };
@@ -160,7 +161,7 @@ fn kill_and_resume_is_bit_identical() {
     });
     assert!(killed.outcome.is_none(), "aborted run yields no outcome");
     let cp = killed.checkpoint.expect("aborted run yields a checkpoint");
-    assert_eq!(cp.generation, 1);
+    assert_eq!(cp.generation(), 1);
     assert!(persisted >= 2, "gen 0 and gen 1 were checkpointed");
 
     // Resume from the *disk* copy, not the in-memory one.
@@ -171,12 +172,177 @@ fn kill_and_resume_is_bit_identical() {
     assert_eq!(loaded.generation, 1);
     let resumed = Hgnas::new(task.clone(), cfg)
         .run_with(RunOptions {
-            resume: Some(loaded),
+            resume: Some(Checkpoint::MultiStage(loaded)),
             ..RunOptions::default()
         })
         .outcome
         .expect("resumed run completes");
     assert_outcomes_bit_identical(&resumed, &full);
+}
+
+/// Acceptance (ROADMAP gap closed): the one-stage baseline has the same
+/// kill/resume story as Stage 2 — killing it mid-generation and resuming
+/// from the persisted checkpoint reproduces the uninterrupted outcome
+/// bit-for-bit, through the on-disk codec.
+#[test]
+fn one_stage_kill_and_resume_is_bit_identical() {
+    let task = TaskConfig::tiny(6);
+    let mut cfg = tiny_config(DeviceKind::I78700K, LatencyMode::Predictor);
+    cfg.strategy = hgnas_core::Strategy::OneStage;
+    let full = Hgnas::new(task.clone(), cfg.clone()).run();
+
+    let temp = TempStore::new("onestage-resume");
+    let store = temp.open();
+    let key = ArtifactKey {
+        device: DeviceKind::I78700K,
+        fingerprint: 0x1057,
+    };
+    let mut persisted = 0usize;
+    let mut sink = |cp: &Checkpoint| {
+        let cp = cp.as_one_stage().expect("one-stage run, one-stage cp");
+        store
+            .save_one_stage_checkpoint(&key, &task, cp)
+            .expect("persist");
+        persisted += 1;
+    };
+    let killed = Hgnas::new(task.clone(), cfg.clone()).run_with(RunOptions {
+        checkpoint_sink: Some(&mut sink),
+        abort_after_generation: Some(1),
+        ..RunOptions::default()
+    });
+    assert!(killed.outcome.is_none(), "aborted run yields no outcome");
+    let cp = killed.checkpoint.expect("aborted run yields a checkpoint");
+    assert_eq!(cp.generation(), 1);
+    assert!(persisted >= 2, "gen 0 and gen 1 were checkpointed");
+
+    let loaded = store
+        .load_one_stage_checkpoint(&key)
+        .expect("load")
+        .expect("checkpoint exists");
+    assert_eq!(loaded.generation, 1);
+    let resumed = Hgnas::new(task.clone(), cfg)
+        .run_with(RunOptions {
+            resume: Some(Checkpoint::OneStage(loaded)),
+            ..RunOptions::default()
+        })
+        .outcome
+        .expect("resumed run completes");
+    assert_outcomes_bit_identical(&resumed, &full);
+}
+
+/// Acceptance: importing a prior run's score cache (same seeds) leaves
+/// the outcome and the final checkpoint's cache — hence the Pareto front
+/// — bit-identical to a cold run, while `eval_stats.imported` records the
+/// promotions and `misses` shrinks by exactly that amount. Also killed
+/// mid-run: the warm remainder travels through the persisted checkpoint.
+#[test]
+fn warm_started_score_cache_is_bit_identical_to_cold() {
+    let task = TaskConfig::tiny(17);
+    let cfg = tiny_config(DeviceKind::JetsonTx2, LatencyMode::Predictor);
+
+    // Donor run persists its score cache (what a prior fleet run leaves
+    // in the store).
+    let temp = TempStore::new("warmcache");
+    let store = temp.open();
+    let key = ArtifactKey {
+        device: DeviceKind::JetsonTx2,
+        fingerprint: 0xcafe,
+    };
+    let cold = Hgnas::new(task.clone(), cfg.clone()).run_with(RunOptions::default());
+    let cold_cp = cold
+        .checkpoint
+        .as_ref()
+        .and_then(Checkpoint::as_multi_stage)
+        .expect("multi-stage checkpoint");
+    store
+        .save_score_cache(&key, &task, cold_cp.functions, &cold_cp.cache)
+        .expect("persist donor cache");
+    let cold_outcome = cold.outcome.as_ref().expect("cold run completes");
+    let cold_stats = cold_outcome.eval_stats.expect("stats");
+    assert_eq!(cold_stats.imported, 0, "cold runs import nothing");
+
+    // Warm run: same task/config, imported cache, zero re-scoring of
+    // known genomes.
+    let imported = store
+        .load_score_cache(&key)
+        .expect("load")
+        .expect("cache exists");
+    let warm = Hgnas::new(task.clone(), cfg.clone()).run_with(RunOptions {
+        imported_cache: Some(imported.clone()),
+        ..RunOptions::default()
+    });
+    let warm_outcome = warm.outcome.expect("warm run completes");
+    let warm_stats = warm_outcome.eval_stats.expect("stats");
+    assert!(warm_stats.imported > 0, "imports were consumed");
+    assert_eq!(
+        warm_stats.misses + warm_stats.imported,
+        cold_stats.misses,
+        "every import replaces exactly one cold miss"
+    );
+    assert_eq!(warm_stats.hits, cold_stats.hits);
+    assert_eq!(warm_stats.submitted, cold_stats.submitted);
+
+    // Everything except the miss/imported split is bit-identical —
+    // including the final cache (the Pareto front's source of truth).
+    assert_eq!(warm_outcome.best.genome, cold_outcome.best.genome);
+    assert_eq!(
+        warm_outcome.best.score.to_bits(),
+        cold_outcome.best.score.to_bits()
+    );
+    assert_eq!(warm_outcome.history.len(), cold_outcome.history.len());
+    for (a, b) in warm_outcome.history.iter().zip(&cold_outcome.history) {
+        assert_eq!(a.0.to_bits(), b.0.to_bits(), "simulated clock diverged");
+        assert_eq!(a.1.to_bits(), b.1.to_bits(), "best trace diverged");
+    }
+    let warm_cp = warm
+        .checkpoint
+        .as_ref()
+        .and_then(Checkpoint::as_multi_stage)
+        .expect("multi-stage checkpoint");
+    assert_eq!(warm_cp.cache.len(), cold_cp.cache.len());
+    for ((ga, ca), (gb, cb)) in warm_cp.cache.iter().zip(&cold_cp.cache) {
+        assert_eq!(ga, gb, "cache order diverged");
+        assert_eq!(ca.score.to_bits(), cb.score.to_bits());
+        assert_eq!(ca.latency_ms.to_bits(), cb.latency_ms.to_bits());
+        assert_eq!(ca.accuracy.to_bits(), cb.accuracy.to_bits());
+    }
+
+    // Kill the warm run mid-way; the un-promoted imports ride along in
+    // the checkpoint (through the codec) and the resumed run finishes
+    // with the same stats split as the uninterrupted warm run.
+    let cp_key = ArtifactKey {
+        device: DeviceKind::JetsonTx2,
+        fingerprint: 0xcafe + 1,
+    };
+    let mut sink = |cp: &Checkpoint| {
+        let cp = cp.as_multi_stage().expect("stage-2 cp");
+        store.save_checkpoint(&cp_key, &task, cp).expect("persist");
+    };
+    let killed = Hgnas::new(task.clone(), cfg.clone()).run_with(RunOptions {
+        imported_cache: Some(imported),
+        checkpoint_sink: Some(&mut sink),
+        abort_after_generation: Some(1),
+        ..RunOptions::default()
+    });
+    assert!(killed.outcome.is_none());
+    let loaded = store
+        .load_checkpoint(&cp_key)
+        .expect("load")
+        .expect("checkpoint exists");
+    let resumed = Hgnas::new(task.clone(), cfg)
+        .run_with(RunOptions {
+            resume: Some(Checkpoint::MultiStage(loaded)),
+            ..RunOptions::default()
+        })
+        .outcome
+        .expect("resumed warm run completes");
+    let resumed_stats = resumed.eval_stats.expect("stats");
+    assert_eq!(resumed_stats, warm_stats, "kill/resume preserved the split");
+    assert_eq!(resumed.best.genome, warm_outcome.best.genome);
+    assert_eq!(
+        resumed.search_hours.to_bits(),
+        warm_outcome.search_hours.to_bits()
+    );
 }
 
 /// Acceptance: with an artifact store, the second fleet run warm-starts —
@@ -300,11 +466,11 @@ fn corrupt_and_truncated_artifacts_are_rejected() {
     assert!(store.load_predictor(&key).expect("load").is_some());
 }
 
-/// A one-stage fleet with a store must run (predictors still warm-start;
-/// checkpoint/resume simply doesn't apply) rather than tripping the
-/// multi-stage-only checkpointing guard.
+/// A one-stage fleet now enjoys the full artifact story: Pareto fronts
+/// from the joint cache, predictor warm starts, and checkpoint resume at
+/// the final generation on the second run.
 #[test]
-fn one_stage_fleet_with_store_completes() {
+fn one_stage_fleet_with_store_completes_and_resumes() {
     let task = TaskConfig::tiny(13);
     let devices = [DeviceKind::Rtx3080, DeviceKind::JetsonTx2];
     let mut base = tiny_config(devices[0], LatencyMode::Predictor);
@@ -327,12 +493,24 @@ fn one_stage_fleet_with_store_completes() {
     )
     .expect("one-stage fleet re-runs");
     for (a, b) in first.reports.iter().zip(&second.reports) {
-        assert!(a.resumed_from_generation.is_none(), "no one-stage resume");
-        assert!(a.pareto.is_empty(), "no checkpoint, no cache-derived front");
-        // Predictor warm start still works across runs.
+        assert!(a.resumed_from_generation.is_none(), "first run is cold");
+        assert!(
+            !a.pareto.is_empty(),
+            "{}: one-stage front from the joint cache",
+            a.device
+        );
+        // Predictor warm start still works across runs, and the second
+        // run resumes the persisted one-stage checkpoint at its final
+        // generation.
         assert!(!a.warm_predictor);
         assert!(b.warm_predictor);
         assert_eq!(b.predictor_epochs_run, 0);
+        assert_eq!(
+            b.resumed_from_generation,
+            Some(base.ea_stage2.iterations),
+            "{}: one-stage resume at the completed generation",
+            b.device
+        );
         assert_outcomes_bit_identical(&a.outcome, &b.outcome);
     }
 }
@@ -344,6 +522,7 @@ fn score_cache_round_trips() {
     let cfg = tiny_config(DeviceKind::I78700K, LatencyMode::Predictor);
     let out = Hgnas::new(task.clone(), cfg).run_with(RunOptions::default());
     let cp = out.checkpoint.expect("multi-stage run has a checkpoint");
+    let cp = cp.as_multi_stage().expect("stage-2 checkpoint").clone();
     assert!(!cp.cache.is_empty());
 
     let temp = TempStore::new("cache");

@@ -159,6 +159,43 @@ pub mod channel {
                 Err(mpsc::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
             }
         }
+
+        /// A non-blocking iterator over the messages currently queued:
+        /// stops at the first [`Receiver::try_recv`] miss (empty *or*
+        /// disconnected), never waits.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter(self)
+        }
+
+        /// A blocking iterator: yields messages until the channel is empty
+        /// and every sender is gone (the streaming-consumer loop).
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self)
+        }
+    }
+
+    /// Iterator returned by [`Receiver::try_iter`].
+    #[derive(Debug)]
+    pub struct TryIter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    #[derive(Debug)]
+    pub struct Iter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
     }
 
     /// Creates an unbounded multi-producer multi-consumer channel.
@@ -218,6 +255,36 @@ mod tests {
             rx.try_recv(),
             Err(super::channel::TryRecvError::Disconnected)
         );
+    }
+
+    #[test]
+    fn try_iter_drains_ready_messages_without_blocking() {
+        let (tx, rx) = super::channel::unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let drained: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        // Channel still open: try_iter stops instead of waiting.
+        assert_eq!(rx.try_iter().next(), None);
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn blocking_iter_ends_on_disconnect() {
+        let (tx, rx) = super::channel::unbounded();
+        super::scope(|s| {
+            s.spawn(move |_| {
+                for i in 0..20 {
+                    tx.send(i).unwrap();
+                }
+                // tx dropped here; iter() must terminate.
+            });
+            let got: Vec<i32> = rx.iter().collect();
+            assert_eq!(got, (0..20).collect::<Vec<_>>());
+        })
+        .unwrap();
     }
 
     #[test]

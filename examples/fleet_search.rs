@@ -1,6 +1,7 @@
 //! Fleet search: one configuration sharded across three edge devices,
-//! with predictor weights and search checkpoints persisted to an artifact
-//! store so a second invocation warm-starts instantly.
+//! scheduled over a bounded thread budget with generation-granular
+//! preemption, streaming live progress reports, and persisting artifacts
+//! so a second invocation warm-starts instantly.
 //!
 //! ```sh
 //! cargo run --release --example fleet_search
@@ -14,7 +15,9 @@
 
 use hgnas::core::{SearchConfig, TaskConfig};
 use hgnas::device::DeviceKind;
-use hgnas::fleet::{run_fleet, ArtifactStore, FleetConfig};
+use hgnas::fleet::{
+    event_channel, run_fleet_with_events, ArtifactStore, FleetConfig, FleetEvent, StreamingReporter,
+};
 use hgnas::predictor::PredictorConfig;
 
 fn main() {
@@ -40,16 +43,79 @@ fn main() {
     base.ea_stage2.iterations = 4;
 
     let store = ArtifactStore::open("target/fleet-artifacts").expect("artifact store");
-    let fleet = FleetConfig::new(devices);
+    let mut fleet = FleetConfig::new(devices);
+    // Scheduler shape: multiplex the three shards over a 2-thread kernel
+    // budget, preempting every generation. Bit-identical to any other
+    // shape — this just shows the slicing in the event stream.
+    fleet.threads = 2;
+    fleet.preemption_stride = 1;
 
     println!(
-        "== HGNAS fleet search over {} devices ==",
-        fleet.devices.len()
+        "== HGNAS fleet search over {} devices (threads: {}, stride: {}) ==",
+        fleet.devices.len(),
+        fleet.threads,
+        fleet.preemption_stride
     );
     println!("artifact store: {}\n", store.root().display());
 
-    let report = run_fleet(&task, &base, &fleet, Some(&store)).expect("fleet run");
+    // Stream events into an incremental reporter on a consumer thread
+    // while the scheduler runs the fleet.
+    let (tx, rx) = event_channel();
+    let shard_count = fleet.devices.len();
+    let (report, final_snapshot) = std::thread::scope(|s| {
+        let consumer = s.spawn(move || {
+            let mut reporter = StreamingReporter::new(shard_count);
+            for ev in rx.iter() {
+                // Fold first so a ShardFinished snapshot includes the row.
+                reporter.observe(&ev);
+                match &ev {
+                    FleetEvent::ShardStarted {
+                        device,
+                        resumed_from,
+                        warm_predictor,
+                        ..
+                    } => {
+                        let warm = if *warm_predictor {
+                            "warm predictor"
+                        } else {
+                            "cold predictor"
+                        };
+                        match resumed_from {
+                            Some(g) => {
+                                println!(
+                                    "[{:<14}] started ({warm}), resumed at generation {g}",
+                                    device.name()
+                                );
+                            }
+                            None => println!("[{:<14}] started ({warm})", device.name()),
+                        }
+                    }
+                    FleetEvent::ShardPreempted {
+                        device, generation, ..
+                    } => println!(
+                        "[{:<14}] preempted at generation {generation}, re-queued",
+                        device.name()
+                    ),
+                    FleetEvent::ParetoUpdated { device, front, .. } => println!(
+                        "[{:<14}] Pareto front now {} candidates",
+                        device.name(),
+                        front.len()
+                    ),
+                    FleetEvent::ShardFinished { device, .. } => {
+                        println!("[{:<14}] finished\n", device.name());
+                        println!("{}", reporter.snapshot());
+                    }
+                    _ => {}
+                }
+            }
+            reporter.snapshot()
+        });
+        let report = run_fleet_with_events(&task, &base, &fleet, Some(&store), Some(tx));
+        (report, consumer.join().expect("reporter thread"))
+    });
+    let report = report.expect("fleet run");
 
+    println!("== final streaming snapshot ==\n{final_snapshot}");
     for shard in &report.reports {
         let start = if shard.warm_predictor {
             "warm start (0 predictor epochs)".to_string()
@@ -64,9 +130,10 @@ fn main() {
             None => String::new(),
         };
         println!(
-            "{:<14} {}{resumed}; Pareto front: {} candidates",
+            "{:<14} {}{resumed}; {} slices; Pareto front: {} candidates",
             shard.device.name(),
             start,
+            shard.slices,
             shard.pareto.len()
         );
         for p in shard.pareto.iter().take(3) {

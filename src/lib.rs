@@ -19,9 +19,11 @@
 //! - [`predictor`] — the GCN-based hardware performance predictor.
 //! - [`core`] — the HGNAS framework itself: design space, SPOS supernet,
 //!   multi-stage hierarchical evolutionary search.
-//! - [`fleet`] — the multi-device search service: sharded fleet driver,
-//!   asynchronous measurement oracle, cross-run artifact store
-//!   (persisted predictors, resumable checkpoints).
+//! - [`fleet`] — the multi-device search service: preemptive fleet
+//!   scheduler (shards × thread budget, generation-granular time
+//!   slices), streaming fleet reports, asynchronous measurement oracle,
+//!   cross-run artifact store (persisted predictors, resumable
+//!   checkpoints, warm-start score caches).
 //!
 //! # Quickstart
 //!

@@ -1,0 +1,463 @@
+//! Fleet-grade equivalence harness: the scheduler matrix.
+//!
+//! The scheduler's contract is absolute — any (shard count × thread
+//! budget × preemption stride) cell must produce per-shard results
+//! bit-identical to serial `Hgnas::run_with` runs, through transient
+//! measurement-fault storms, slice-budget kills resumed via the artifact
+//! store, and warm-started score caches.
+
+use hgnas::core::{Hgnas, LatencyMode, SearchConfig, SearchOutcome, TaskConfig};
+use hgnas::device::DeviceKind;
+use hgnas::fleet::{
+    event_channel, run_fleet, run_fleet_with_events, ArtifactStore, FleetConfig, FleetEvent,
+    OracleConfig, ParetoPoint, Scheduler, SchedulerConfig, ShardSpec, StreamingReporter,
+};
+use hgnas::predictor::PredictorConfig;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tiny_config(device: DeviceKind, mode: LatencyMode) -> SearchConfig {
+    let mut cfg = SearchConfig::fast(device);
+    cfg.ea_stage1.iterations = 1;
+    cfg.ea_stage1.population = 3;
+    cfg.ea_stage2.iterations = 3;
+    cfg.ea_stage2.population = 6;
+    cfg.epochs_stage1 = 1;
+    cfg.epochs_stage2 = 2;
+    cfg.predictor = PredictorConfig {
+        train_samples: 60,
+        val_samples: 20,
+        epochs: 6,
+        lr: 3e-3,
+        gcn_dims: vec![16, 16],
+        mlp_hidden: vec![12],
+        seed: 1,
+        global_node: true,
+        batch: 2,
+    };
+    cfg.eval_clouds = 20;
+    cfg.latency_mode = mode;
+    cfg
+}
+
+/// A unique, self-cleaning store directory per test.
+struct TempStore {
+    path: PathBuf,
+}
+
+impl TempStore {
+    fn new(tag: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+        let path =
+            std::env::temp_dir().join(format!("hgnas-equiv-test-{tag}-{}-{n}", std::process::id()));
+        TempStore { path }
+    }
+
+    fn open(&self) -> ArtifactStore {
+        ArtifactStore::open(&self.path).expect("store dir")
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+fn shard(task: &TaskConfig, device: DeviceKind, seed: u64, mode: LatencyMode) -> ShardSpec {
+    let mut cfg = tiny_config(device, mode);
+    cfg.seed = seed;
+    ShardSpec::new(task.clone(), cfg)
+}
+
+/// Serial references, computed once per distinct (device, seed, mode).
+struct References {
+    task: TaskConfig,
+    cache: HashMap<(DeviceKind, u64, bool), SearchOutcome>,
+}
+
+impl References {
+    fn new(task: TaskConfig) -> Self {
+        References {
+            task,
+            cache: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, device: DeviceKind, seed: u64, mode: LatencyMode) -> &SearchOutcome {
+        let task = &self.task;
+        self.cache
+            .entry((device, seed, mode == LatencyMode::Measured))
+            .or_insert_with(|| {
+                let mut cfg = tiny_config(device, mode);
+                cfg.seed = seed;
+                Hgnas::new(task.clone(), cfg).run()
+            })
+    }
+}
+
+fn assert_outcomes_bit_identical(a: &SearchOutcome, b: &SearchOutcome) {
+    assert_eq!(a.best.genome, b.best.genome);
+    assert_eq!(a.best.architecture, b.best.architecture);
+    assert_eq!(a.best.score.to_bits(), b.best.score.to_bits());
+    assert_eq!(
+        a.best.supernet_accuracy.to_bits(),
+        b.best.supernet_accuracy.to_bits()
+    );
+    assert_eq!(a.best.latency_ms.to_bits(), b.best.latency_ms.to_bits());
+    assert_eq!(a.history.len(), b.history.len());
+    for (x, y) in a.history.iter().zip(&b.history) {
+        assert_eq!(x.0.to_bits(), y.0.to_bits(), "history time diverged");
+        assert_eq!(x.1.to_bits(), y.1.to_bits(), "history score diverged");
+    }
+    assert_eq!(a.search_hours.to_bits(), b.search_hours.to_bits());
+    assert_eq!(a.eval_stats, b.eval_stats);
+    assert_eq!(a.stage1_stats, b.stage1_stats);
+    assert_eq!(a.predictor_stats, b.predictor_stats);
+}
+
+/// Bit-level signature of one Pareto point: latency, accuracy, genome.
+type FrontSignature = Vec<(u64, u64, Vec<u8>)>;
+
+fn front_signature(front: &[ParetoPoint]) -> FrontSignature {
+    front
+        .iter()
+        .map(|p| {
+            (
+                p.latency_ms.to_bits(),
+                p.accuracy.to_bits(),
+                p.genome.iter().map(|op| op.index() as u8).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Tentpole acceptance: every (shard count × thread budget × preemption
+/// stride) cell — shards ≫ devices included — yields per-shard outcomes
+/// bit-identical to serial runs, and Pareto fronts identical across
+/// cells.
+#[test]
+fn scheduler_matrix_is_bit_identical_to_serial() {
+    let task = TaskConfig::tiny(21);
+    // Five shards over three devices: two devices carry multiple seeds,
+    // so the fleet is wider than `DeviceKind` could ever make it.
+    let shards: Vec<(DeviceKind, u64)> = vec![
+        (DeviceKind::Rtx3080, 0),
+        (DeviceKind::JetsonTx2, 0),
+        (DeviceKind::RaspberryPi3B, 0),
+        (DeviceKind::Rtx3080, 1),
+        (DeviceKind::JetsonTx2, 2),
+    ];
+    let mut refs = References::new(task.clone());
+    // (shard count, thread budget, preemption stride): a budget smaller
+    // than the shard count, a fully serial worker, and an unpreempted
+    // bounded pool.
+    let cells = [(5usize, 2usize, 1usize), (3, 1, 2), (4, 3, 0)];
+    let mut fronts: HashMap<(DeviceKind, u64), FrontSignature> = HashMap::new();
+
+    for (nshards, threads, stride) in cells {
+        let specs: Vec<ShardSpec> = shards[..nshards]
+            .iter()
+            .map(|&(d, s)| shard(&task, d, s, LatencyMode::Predictor))
+            .collect();
+        let scheduler = Scheduler::new(
+            specs,
+            SchedulerConfig {
+                threads,
+                preemption_stride: stride,
+                ..SchedulerConfig::default()
+            },
+        );
+        let report = scheduler.run(None, None).expect("no store, no errors");
+        assert_eq!(report.shards.len(), nshards);
+        for (result, &(device, seed)) in report.shards.iter().zip(&shards) {
+            assert_eq!(result.device, device);
+            let outcome = result
+                .outcome
+                .as_ref()
+                .expect("unbudgeted scheduler finishes every shard");
+            assert_outcomes_bit_identical(outcome, refs.get(device, seed, LatencyMode::Predictor));
+            if stride > 0 {
+                assert!(
+                    result.slices > 1,
+                    "cell ({nshards},{threads},{stride}): preemption never fired"
+                );
+            } else {
+                assert_eq!(result.slices, 1, "unpreempted shards run in one slice");
+            }
+            assert!(!result.pareto.is_empty());
+            let sig = front_signature(&result.pareto);
+            match fronts.entry((device, seed)) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    assert_eq!(
+                        e.get(),
+                        &sig,
+                        "cell ({nshards},{threads},{stride}): Pareto front diverged"
+                    );
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(sig);
+                }
+            }
+        }
+    }
+}
+
+/// Fault injection: a transient `MeasureError::Busy` storm (every request
+/// fails its first attempt) through preempted measured-mode shards stays
+/// bit-transparent.
+#[test]
+fn preempted_measured_shards_survive_busy_storms() {
+    let task = TaskConfig::tiny(23);
+    let shards = [
+        (DeviceKind::Rtx3080, 0u64),
+        (DeviceKind::JetsonTx2, 0),
+        (DeviceKind::Rtx3080, 5),
+    ];
+    let specs: Vec<ShardSpec> = shards
+        .iter()
+        .map(|&(d, s)| shard(&task, d, s, LatencyMode::Measured))
+        .collect();
+    let scheduler = Scheduler::new(
+        specs,
+        SchedulerConfig {
+            threads: 2,
+            preemption_stride: 1,
+            oracle: OracleConfig {
+                inject_busy_every: Some(1), // the storm: every request faults
+                ..OracleConfig::default()
+            },
+            ..SchedulerConfig::default()
+        },
+    );
+    let report = scheduler.run(None, None).expect("storms are transient");
+    let stats = report.oracle_stats.expect("measured mode has oracle stats");
+    assert!(stats.requests > 0);
+    assert_eq!(
+        stats.injected_faults, stats.requests,
+        "every request hit the storm"
+    );
+    assert!(stats.retries >= stats.injected_faults);
+
+    let mut refs = References::new(task);
+    for (result, &(device, seed)) in report.shards.iter().zip(&shards) {
+        assert!(result.slices > 1, "preemption fired under the storm");
+        assert_outcomes_bit_identical(
+            result.outcome.as_ref().expect("all shards finish"),
+            refs.get(device, seed, LatencyMode::Measured),
+        );
+    }
+}
+
+/// Mid-slice kill/resume through the store: exhausting the slice budget
+/// parks every unfinished shard with a persisted checkpoint; a second
+/// scheduler run picks them all up and finishes bit-identically to
+/// serial.
+#[test]
+fn slice_budget_kill_and_resume_through_store() {
+    let task = TaskConfig::tiny(29);
+    let shards = [
+        (DeviceKind::Rtx3080, 0u64),
+        (DeviceKind::JetsonTx2, 0),
+        (DeviceKind::RaspberryPi3B, 0),
+        (DeviceKind::Rtx3080, 9),
+    ];
+    let specs: Vec<ShardSpec> = shards
+        .iter()
+        .map(|&(d, s)| shard(&task, d, s, LatencyMode::Predictor))
+        .collect();
+    let temp = TempStore::new("budget");
+    let store = temp.open();
+
+    // Round 1: 5 slices across 4 shards needing 3 slices each — the
+    // budget dies mid-fleet.
+    let round1 = Scheduler::new(
+        specs.clone(),
+        SchedulerConfig {
+            threads: 2,
+            preemption_stride: 1,
+            max_slices: Some(5),
+            ..SchedulerConfig::default()
+        },
+    )
+    .run(Some(&store), None)
+    .expect("parking is not an error");
+    let unfinished = round1.shards.iter().filter(|s| s.outcome.is_none()).count();
+    assert!(unfinished > 0, "the budget genuinely interrupted the fleet");
+    let sliced: u64 = round1.shards.iter().map(|s| s.slices).sum();
+    assert_eq!(sliced, 5, "exactly the budget was consumed");
+
+    // Round 2: unbudgeted, same store — every shard resumes (or cold
+    // starts, if round 1 never reached it) and finishes.
+    let round2 = Scheduler::new(
+        specs,
+        SchedulerConfig {
+            threads: 2,
+            preemption_stride: 1,
+            ..SchedulerConfig::default()
+        },
+    )
+    .run(Some(&store), None)
+    .expect("resume round");
+    let mut refs = References::new(task);
+    let mut resumed = 0;
+    for (result, &(device, seed)) in round2.shards.iter().zip(&shards) {
+        if let Some(g) = result.resumed_from_generation {
+            assert!(g >= 1, "store checkpoints are generation boundaries");
+            resumed += 1;
+        }
+        assert_outcomes_bit_identical(
+            result
+                .outcome
+                .as_ref()
+                .expect("round 2 finishes everything"),
+            refs.get(device, seed, LatencyMode::Predictor),
+        );
+    }
+    assert!(
+        resumed > 0,
+        "at least one shard resumed a round-1 checkpoint"
+    );
+}
+
+/// Warm-start through the driver: after the checkpoints are gone (e.g.
+/// GC'd), a warm-started fleet rebuilds the identical result from the
+/// persisted score caches, consuming `eval_stats.imported` promotions
+/// instead of re-scoring.
+#[test]
+fn fleet_warm_start_consumes_imported_cache_without_changing_results() {
+    let task = TaskConfig::tiny(31);
+    let devices = [DeviceKind::Rtx3080, DeviceKind::JetsonTx2];
+    let base = tiny_config(devices[0], LatencyMode::Predictor);
+    let temp = TempStore::new("warmfleet");
+    let store = temp.open();
+    let fleet = FleetConfig::new(devices.to_vec());
+
+    let cold = run_fleet(&task, &base, &fleet, Some(&store)).expect("cold fleet");
+
+    // Lose the checkpoints (keep predictors and score caches): the warm
+    // start must rebuild from imports alone.
+    for entry in std::fs::read_dir(store.root()).expect("store dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("checkpoint-") || name.starts_with("onestage-") {
+            std::fs::remove_file(entry.path()).expect("drop checkpoint");
+        }
+    }
+
+    let mut warm_fleet = fleet.clone();
+    warm_fleet.warm_start_seed = Some(base.seed);
+    let warm = run_fleet(&task, &base, &warm_fleet, Some(&store)).expect("warm fleet");
+
+    for (c, w) in cold.reports.iter().zip(&warm.reports) {
+        assert_eq!(
+            w.resumed_from_generation, None,
+            "{}: checkpoints were deleted",
+            w.device
+        );
+        let (cs, ws) = (
+            c.outcome.eval_stats.expect("stats"),
+            w.outcome.eval_stats.expect("stats"),
+        );
+        assert!(ws.imported > 0, "{}: imports consumed", w.device);
+        assert_eq!(
+            ws.misses + ws.imported,
+            cs.misses,
+            "{}: every import replaces one cold miss",
+            w.device
+        );
+        assert_eq!(ws.hits, cs.hits);
+        assert_eq!(ws.submitted, cs.submitted);
+        // The searched result is bit-identical.
+        assert_eq!(w.outcome.best.genome, c.outcome.best.genome);
+        assert_eq!(
+            w.outcome.best.score.to_bits(),
+            c.outcome.best.score.to_bits()
+        );
+        assert_eq!(
+            w.outcome.search_hours.to_bits(),
+            c.outcome.search_hours.to_bits()
+        );
+        assert_eq!(front_signature(&w.pareto), front_signature(&c.pareto));
+    }
+}
+
+/// Streaming reports: the event stream covers the whole fleet lifecycle
+/// in a sane order, and the reporter's snapshot reflects it.
+#[test]
+fn streaming_reports_cover_the_fleet_lifecycle() {
+    let task = TaskConfig::tiny(37);
+    let devices = [DeviceKind::Rtx3080, DeviceKind::RaspberryPi3B];
+    let base = tiny_config(devices[0], LatencyMode::Predictor);
+    let mut fleet = FleetConfig::new(devices.to_vec());
+    fleet.threads = 1; // deterministic single-worker interleaving
+    fleet.preemption_stride = 1;
+
+    let (tx, rx) = event_channel();
+    let (report, events) = std::thread::scope(|s| {
+        let consumer = s.spawn(move || rx.iter().collect::<Vec<FleetEvent>>());
+        let report = run_fleet_with_events(&task, &base, &fleet, None, Some(tx));
+        (report, consumer.join().expect("consumer thread"))
+    });
+    let report = report.expect("fleet run");
+    assert_eq!(report.reports.len(), devices.len());
+
+    // Per-shard ordering: started first, generations non-decreasing,
+    // finished exactly once at the end.
+    for shard in 0..devices.len() {
+        let mine: Vec<&FleetEvent> = events.iter().filter(|e| e.shard() == shard).collect();
+        assert!(
+            matches!(mine.first(), Some(FleetEvent::ShardStarted { .. })),
+            "shard {shard}: first event is ShardStarted"
+        );
+        assert!(
+            matches!(mine.last(), Some(FleetEvent::ShardFinished { .. })),
+            "shard {shard}: last event is ShardFinished"
+        );
+        let mut last_gen = 0;
+        let mut finished = 0;
+        let mut preemptions = 0;
+        for ev in &mine {
+            match ev {
+                FleetEvent::GenerationDone { generation, .. } => {
+                    assert!(*generation >= last_gen, "generations ran backwards");
+                    last_gen = *generation;
+                }
+                FleetEvent::ShardPreempted { .. } => preemptions += 1,
+                FleetEvent::ShardFinished { .. } => finished += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(finished, 1);
+        assert!(preemptions > 0, "stride 1 preempts every shard");
+        assert_eq!(last_gen, base.ea_stage2.iterations);
+    }
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, FleetEvent::ParetoUpdated { front, .. } if !front.is_empty())),
+        "at least one non-empty Pareto update streamed"
+    );
+
+    // The reporter folds the same stream into a complete snapshot.
+    let mut reporter = StreamingReporter::new(devices.len());
+    for ev in &events {
+        reporter.observe(ev);
+    }
+    assert!(reporter.is_complete());
+    let snap = reporter.snapshot();
+    for d in devices {
+        assert!(
+            snap.contains(d.name()),
+            "snapshot lists {}: {snap}",
+            d.name()
+        );
+    }
+    assert!(
+        snap.contains("done in"),
+        "snapshot shows terminal rows: {snap}"
+    );
+}
