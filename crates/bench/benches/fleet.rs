@@ -8,10 +8,16 @@
 //!   scheduler shapes — the legacy thread-per-shard form vs. bounded
 //!   thread budgets, unpreempted vs. generation-granular slicing. Results
 //!   are bit-identical across shapes; this measures the scheduling
-//!   overhead (slice replays of Stage 1 + supernet pre-training are the
-//!   dominant cost of fine strides).
+//!   overhead. With the session cache (PR 5) fine strides no longer
+//!   replay Stage 1 + supernet pre-training per slice.
+//!
+//! Besides the criterion sweep, the bench always writes a
+//! machine-readable `BENCH_fleet.json` (slice-replay vs. session-cache
+//! wall-clock on a stride-1 fleet) so CI can track the perf trajectory;
+//! `HGNAS_BENCH_JSON=only` skips the sweep and emits just the record,
+//! `HGNAS_BENCH_OUT` overrides the output path.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use hgnas_core::{LatencyMode, SearchConfig, TaskConfig};
 use hgnas_device::{DeviceKind, Workload, WorkloadOp};
 use hgnas_fleet::{MeasurementOracle, OracleConfig, Scheduler, SchedulerConfig, ShardSpec, Ticket};
@@ -62,16 +68,12 @@ fn bench_oracle(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_scheduler(c: &mut Criterion) {
+/// One tiny predictor-mode shard per (device, seed).
+fn tiny_specs(shards: &[(DeviceKind, u64)]) -> Vec<ShardSpec> {
     let task = TaskConfig::tiny(3);
-    let devices = [
-        DeviceKind::Rtx3080,
-        DeviceKind::JetsonTx2,
-        DeviceKind::RaspberryPi3B,
-    ];
-    let specs: Vec<ShardSpec> = devices
+    shards
         .iter()
-        .map(|&device| {
+        .map(|&(device, seed)| {
             let mut cfg = SearchConfig::fast(device);
             cfg.ea_stage1.iterations = 1;
             cfg.ea_stage1.population = 3;
@@ -92,9 +94,18 @@ fn bench_scheduler(c: &mut Criterion) {
             };
             cfg.eval_clouds = 15;
             cfg.latency_mode = LatencyMode::Predictor;
+            cfg.seed = seed;
             ShardSpec::new(task.clone(), cfg)
         })
-        .collect();
+        .collect()
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let specs = tiny_specs(&[
+        (DeviceKind::Rtx3080, 0),
+        (DeviceKind::JetsonTx2, 0),
+        (DeviceKind::RaspberryPi3B, 0),
+    ]);
 
     let mut group = c.benchmark_group("fleet/scheduler3");
     // (threads, stride): 0 threads = legacy one-worker-per-shard.
@@ -121,5 +132,66 @@ fn bench_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
+/// Times one stride-1 scheduler run of `specs` under a session budget;
+/// returns (wall-clock ms, total prefix builds across shards).
+fn time_fleet(specs: &[ShardSpec], session_memory_budget: Option<u64>) -> (f64, u64) {
+    let scheduler = Scheduler::new(
+        specs.to_vec(),
+        SchedulerConfig {
+            threads: 2,
+            preemption_stride: 1,
+            session_memory_budget,
+            ..SchedulerConfig::default()
+        },
+    );
+    let t = std::time::Instant::now();
+    let report = scheduler.run(None, None).expect("storeless run");
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let builds = report.shards.iter().map(|s| s.prefix_builds).sum();
+    (ms, builds)
+}
+
+/// Writes the machine-readable perf record CI uploads: the same stride-1
+/// 4-shard fleet timed with the prefix replayed every slice (session
+/// budget 0, no store — the pre-PR-5 behaviour) vs. the session cache.
+fn emit_bench_json() {
+    let specs = tiny_specs(&[
+        (DeviceKind::Rtx3080, 0),
+        (DeviceKind::JetsonTx2, 0),
+        (DeviceKind::RaspberryPi3B, 0),
+        (DeviceKind::Rtx3080, 1),
+    ]);
+    let (replay_ms, replay_builds) = time_fleet(&specs, Some(0));
+    let (session_ms, session_builds) = time_fleet(&specs, None);
+    let json = format!(
+        "{{\n  \"bench\": \"fleet/session-vs-replay\",\n  \"shards\": {},\n  \
+         \"preemption_stride\": 1,\n  \"threads\": 2,\n  \
+         \"slice_replay_ms\": {replay_ms:.3},\n  \"session_cache_ms\": {session_ms:.3},\n  \
+         \"speedup\": {:.3},\n  \"replay_prefix_builds\": {replay_builds},\n  \
+         \"session_prefix_builds\": {session_builds}\n}}\n",
+        specs.len(),
+        replay_ms / session_ms.max(1e-9),
+    );
+    // Cargo runs benches with cwd = the *package* dir (crates/bench), so a
+    // bare relative default would land where CI's upload step never looks;
+    // anchor it to the workspace root instead.
+    let path = std::env::var("HGNAS_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json").into());
+    std::fs::write(&path, json).expect("write bench json");
+    println!(
+        "{path}: slice-replay {replay_ms:.0} ms ({replay_builds} prefix builds) vs \
+         session-cache {session_ms:.0} ms ({session_builds} prefix builds)"
+    );
+}
+
 criterion_group!(benches, bench_oracle, bench_scheduler);
-criterion_main!(benches);
+
+fn main() {
+    // HGNAS_BENCH_JSON=only skips the criterion sweep (CI's quick path);
+    // the JSON record is emitted either way.
+    let json_only = std::env::var("HGNAS_BENCH_JSON").is_ok_and(|v| v == "only");
+    if !json_only {
+        benches();
+    }
+    emit_bench_json();
+}

@@ -28,6 +28,23 @@
 //!    from a run with the same configuration fingerprint (or any run whose
 //!    scorer never draws from its RNG stream, e.g. predictor-mode
 //!    scoring), a warm-started search is bit-identical to a cold one.
+//! 6. **Import validation** — donor entries are *not* trusted verbatim:
+//!    a deterministic sample of promotions (the first
+//!    [`WARM_VALIDATION_SAMPLE`], then every
+//!    [`WARM_VALIDATION_PERIOD`]th) is re-scored on its own promotion
+//!    stream and compared. A match promotes as usual (counted in
+//!    [`EvalStats::validated`]); any drift condemns the whole import —
+//!    the drifting entry is served as the freshly scored miss it is, the
+//!    un-promoted remainder is discarded (counted in
+//!    [`EvalStats::rejected`]), and the run continues cold. A genuinely
+//!    mismatched donor (different RNG streams, e.g. a cross-seed
+//!    measured-mode transfer) drifts on essentially every entry and is
+//!    caught by the first sample; a donor whose drift is confined to
+//!    entries the sample skips can still be served, so the guarantee is
+//!    probabilistic — but every *validated* entry is bit-identical to
+//!    scoring by construction, and same-fingerprint or
+//!    stream-independent donors (the documented warm-start contract)
+//!    always pass.
 
 use hgnas_tensor::threads::with_kernel_threads;
 use rand::rngs::StdRng;
@@ -60,10 +77,39 @@ pub struct EvalStats {
     /// run reports 0; every submission resolves to exactly one of `hits`,
     /// `misses` or `imported`.
     pub imported: u64,
+    /// Warm-start promotions that were re-scored for validation (the
+    /// first [`WARM_VALIDATION_SAMPLE`] of them) and matched the donor
+    /// entry bit-for-bit. Always ≤ `imported`.
+    pub validated: u64,
+    /// Warm-start entries discarded after a validation drift: the
+    /// drifting entry plus the whole un-promoted remainder of the import.
+    /// Non-zero means the donor cache was condemned and the run fell back
+    /// cold from that point on.
+    pub rejected: u64,
     /// Batches evaluated.
     pub batches: u64,
     /// Total candidates submitted.
     pub submitted: u64,
+}
+
+/// How many leading warm-start promotions are re-scored against their own
+/// promotion RNG stream before the rest of an import is trusted. Entries
+/// from a same-fingerprint donor (or any stream-independent scorer, e.g.
+/// predictor-mode scoring) reproduce exactly and pass; a mismatched donor
+/// drifts, condemning the import and falling back cold.
+pub const WARM_VALIDATION_SAMPLE: u64 = 2;
+
+/// After the leading sample, every `WARM_VALIDATION_PERIOD`th promotion is
+/// re-scored too, so drift that first appears deep inside a donor cache is
+/// still caught (at ~1/16th of the scoring cost the import saves). The
+/// schedule depends only on [`EvalStats::imported`], which rides in
+/// checkpoints, so killed-and-resumed warm runs validate the exact same
+/// promotions an uninterrupted one would.
+pub const WARM_VALIDATION_PERIOD: u64 = 16;
+
+/// Whether the promotion with `imported` predecessors gets re-scored.
+fn validate_this_promotion(imported: u64) -> bool {
+    imported < WARM_VALIDATION_SAMPLE || (imported + 1).is_multiple_of(WARM_VALIDATION_PERIOD)
 }
 
 /// How one submitted candidate resolves to a scored output.
@@ -127,6 +173,7 @@ impl<G, S, R> Evaluator<G, S, R>
 where
     G: Clone + Eq + Hash + Sync,
     S: CandidateScorer<G>,
+    S::Output: PartialEq,
     R: FnMut(&G, &S::Output, bool) -> f64,
 {
     /// Creates an evaluator with a total thread budget of `threads`
@@ -200,7 +247,14 @@ where
     /// submission this run (see the module docs, point 5); genomes already
     /// known — in the live cache or imported earlier — are skipped, so the
     /// call is idempotent and composes with [`Evaluator::import_state`].
+    /// Once a validation drift has condemned an import
+    /// ([`EvalStats::rejected`] > 0) further imports are ignored: the run
+    /// committed to finishing cold, and a resumed run restoring that state
+    /// stays cold too.
     pub fn import_warm_cache(&mut self, entries: Vec<(G, S::Output)>) {
+        if self.stats.rejected > 0 {
+            return;
+        }
         for (g, out) in entries {
             if self.cache.contains_key(&g) || self.warm_index.contains_key(&g) {
                 continue;
@@ -257,9 +311,36 @@ where
                 // Promote an imported entry: served without scoring, but
                 // it is this run's first touch of the genome, so the
                 // reduce fold sees it as fresh (simulated search time is
-                // charged exactly like a miss would charge it).
-                self.stats.imported += 1;
+                // charged exactly like a miss would charge it). The first
+                // few promotions are validated by re-scoring on the
+                // promotion's own stream — a same-fingerprint or
+                // stream-independent donor reproduces exactly; drift
+                // condemns the whole import and the run continues cold.
                 let (genome, out) = self.warm_entries[w].take().expect("warm slot filled");
+                let out = if validate_this_promotion(self.stats.imported) {
+                    let mut rng = StdRng::seed_from_u64(mix(self.stream_seed, base + i as u64));
+                    let scorer = &self.scorer;
+                    let rescored =
+                        with_kernel_threads(self.threads, || scorer.score(&genome, &mut rng));
+                    if rescored == out {
+                        self.stats.validated += 1;
+                        self.stats.imported += 1;
+                        out
+                    } else {
+                        // The drifting entry was re-scored anyway, so it
+                        // is served as the miss it would have been; the
+                        // rest of the import is discarded unserved.
+                        let dropped: u64 = self.warm_entries.iter().flatten().count() as u64;
+                        self.stats.rejected += 1 + dropped;
+                        self.warm_entries.clear();
+                        self.warm_index.clear();
+                        self.stats.misses += 1;
+                        rescored
+                    }
+                } else {
+                    self.stats.imported += 1;
+                    out
+                };
                 let entry = new_entries.len();
                 new_entries.push(NewEntry::Promoted(genome, out));
                 first_in_batch.insert(g, entry);
@@ -365,6 +446,7 @@ impl<G, S, R> crate::ea::GenerationEvaluator<G> for Evaluator<G, S, R>
 where
     G: Clone + Eq + Hash + Sync,
     S: CandidateScorer<G>,
+    S::Output: PartialEq,
     R: FnMut(&G, &S::Output, bool) -> f64,
 {
     fn evaluate(&mut self, batch: &[G]) -> Vec<f64> {
@@ -569,9 +651,16 @@ mod tests {
         warm.import_warm_cache(donated);
         let warm_fits: Vec<Vec<f64>> = batches.iter().map(|b| warm.evaluate_fitness(b)).collect();
         assert_eq!(warm_fits, cold_fits);
-        assert_eq!(warm.scorer().calls.load(Ordering::SeqCst), 0);
+        // The only scorer calls are the validation re-scores of the first
+        // promotions — which matched, so nothing fell back to a miss.
+        assert_eq!(
+            warm.scorer().calls.load(Ordering::SeqCst),
+            WARM_VALIDATION_SAMPLE
+        );
         let s = warm.stats();
         assert_eq!(s.imported, 4, "one promotion per unique genome");
+        assert_eq!(s.validated, WARM_VALIDATION_SAMPLE);
+        assert_eq!(s.rejected, 0);
         assert_eq!(s.misses, 0);
         assert_eq!(s.hits, cold_stats.hits, "hit counting is unchanged");
         assert_eq!(s.submitted, cold_stats.submitted);
@@ -613,42 +702,70 @@ mod tests {
         warm.import_warm_cache(donated);
         let fits = warm.evaluate_fitness(&batches[0]);
         assert_eq!(fits, cold_fits[0]);
-        assert_eq!(warm.scorer().calls.load(Ordering::SeqCst), 2);
+        // Two genuine misses plus one validation re-score of the promotion.
+        assert_eq!(warm.scorer().calls.load(Ordering::SeqCst), 3);
         let s = warm.stats();
         assert_eq!((s.misses, s.imported, s.hits), (2, 1, 0));
+        assert_eq!((s.validated, s.rejected), (1, 0));
     }
 
     #[test]
     fn warm_import_is_idempotent_and_skips_known_genomes() {
+        // A genuine donor (same stream seed, same submission sequence) so
+        // the validated promotion reproduces exactly.
+        let reduce = |_: &u64, out: &(u64, u64), _: bool| out.0 as f64;
         let scorer = CountingScorer {
             calls: AtomicU64::new(0),
         };
-        let mut ev = Evaluator::new(scorer, 1, 9, |_, out: &(u64, u64), _| out.0 as f64);
+        let mut donor = Evaluator::new(scorer, 1, 9, reduce);
+        donor.evaluate_fitness(&[5]);
+        donor.evaluate_fitness(&[5, 6]);
+        let (_, donated) = donor.export_state();
+        drop(donor);
+
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut ev = Evaluator::new(scorer, 1, 9, reduce);
         ev.evaluate_fitness(&[5]);
-        // Genome 5 is already live; 6 imported twice collapses to once.
-        ev.import_warm_cache(vec![(5, (50, 0)), (6, (60, 0)), (6, (61, 0))]);
-        ev.import_warm_cache(vec![(6, (62, 0))]);
-        assert_eq!(ev.export_warm_cache(), vec![(6, (60, 0))]);
+        // Genome 5 is already live; genome 6 imported twice collapses to
+        // one pending warm entry.
+        ev.import_warm_cache(donated.clone());
+        ev.import_warm_cache(donated);
+        assert_eq!(ev.export_warm_cache().len(), 1);
         ev.evaluate_fitness(&[5, 6]);
         let s = ev.stats();
         assert_eq!((s.misses, s.imported, s.hits), (1, 1, 1));
+        assert_eq!((s.validated, s.rejected), (1, 0));
     }
 
     #[test]
     fn export_import_round_trips_warm_remainder() {
         // A warm evaluator interrupted mid-run: the un-promoted imports
         // travel via export_warm_cache and keep counting as `imported`
-        // after the resume.
+        // (and `validated`) after the resume. The donor runs the same
+        // submission sequence so validation reproduces its entries.
         let reduce = |_: &u64, out: &(u64, u64), _: bool| (out.0 + out.1 % 7) as f64;
         let scorer = CountingScorer {
             calls: AtomicU64::new(0),
         };
+        let mut donor = Evaluator::new(scorer, 1, 42, reduce);
+        donor.evaluate_fitness(&[1, 3]);
+        donor.evaluate_fitness(&[2, 1]);
+        let (_, entries) = donor.export_state();
+        let donated: Vec<_> = entries.into_iter().filter(|(g, _)| *g != 3).collect();
+        drop(donor);
+
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
         let mut a = Evaluator::new(scorer, 1, 42, reduce);
-        a.import_warm_cache(vec![(1, (10, 3)), (2, (20, 4))]);
-        a.evaluate_fitness(&[1, 3]); // promotes 1, scores 3
+        a.import_warm_cache(donated);
+        a.evaluate_fitness(&[1, 3]); // promotes 1 (validated), scores 3
         let (stats, entries) = a.export_state();
+        assert_eq!(stats.validated, 1);
         let warm_rest = a.export_warm_cache();
-        assert_eq!(warm_rest, vec![(2, (20, 4))]);
+        assert_eq!(warm_rest.len(), 1, "genome 2 still pending");
         drop(a);
 
         let scorer = CountingScorer {
@@ -657,10 +774,85 @@ mod tests {
         let mut b = Evaluator::new(scorer, 1, 42, reduce);
         b.import_state(stats, entries);
         b.import_warm_cache(warm_rest);
-        b.evaluate_fitness(&[2, 1]); // promotes 2, hits 1
+        b.evaluate_fitness(&[2, 1]); // promotes 2 (validated), hits 1
         let s = b.stats();
         assert_eq!((s.misses, s.imported, s.hits), (1, 2, 1));
-        assert_eq!(b.scorer().calls.load(Ordering::SeqCst), 0);
+        assert_eq!((s.validated, s.rejected), (2, 0));
+        // The resumed evaluator's only scorer call is the validation
+        // re-score of genome 2's promotion.
+        assert_eq!(b.scorer().calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn drifting_import_is_rejected_and_falls_back_cold() {
+        let reduce = |_: &u64, out: &(u64, u64), _: bool| (out.0 + out.1 % 7) as f64;
+        let batches = vec![vec![1u64, 2], vec![3, 1]];
+        let (cold_fits, cold_stats, _) = run(2, &batches);
+
+        // A genuine donor, with one entry's output tampered (a cross-seed
+        // or measured-mode transfer would drift the same way).
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut donor = Evaluator::new(scorer, 2, 42, reduce);
+        for b in &batches {
+            donor.evaluate_fitness(b);
+        }
+        let (_, mut donated) = donor.export_state();
+        drop(donor);
+        donated[0].1 .1 ^= 1; // poison the first entry's stream-dependent half
+
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut warm = Evaluator::new(scorer, 2, 42, reduce);
+        warm.import_warm_cache(donated.clone());
+        let warm_fits: Vec<Vec<f64>> = batches.iter().map(|b| warm.evaluate_fitness(b)).collect();
+        // Results are bit-identical to cold anyway: the drifting entry was
+        // served as its freshly scored self and the rest scored normally.
+        assert_eq!(warm_fits, cold_fits);
+        let s = warm.stats();
+        assert_eq!(s.imported, 0, "no poisoned entry was served verbatim");
+        assert_eq!(s.rejected, donated.len() as u64, "whole import condemned");
+        assert_eq!(s.misses, cold_stats.misses);
+        assert_eq!(s.hits, cold_stats.hits);
+        assert!(warm.export_warm_cache().is_empty());
+
+        // Post-rejection imports are ignored: the run committed to cold.
+        warm.import_warm_cache(donated);
+        assert!(warm.export_warm_cache().is_empty());
+    }
+
+    #[test]
+    fn periodic_validation_catches_drift_deep_in_the_import() {
+        // 20 single-genome batches: promotions land at imported counts
+        // 0..19, so the periodic re-score fires at count 15 (the 16th
+        // promotion). Poison exactly that entry: the leading sample
+        // passes, the periodic check catches the drift, and the remainder
+        // is discarded.
+        let reduce = |_: &u64, out: &(u64, u64), _: bool| (out.0 + out.1 % 7) as f64;
+        let batches: Vec<Vec<u64>> = (0..20u64).map(|g| vec![g]).collect();
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut donor = Evaluator::new(scorer, 1, 7, reduce);
+        let cold_fits: Vec<Vec<f64>> = batches.iter().map(|b| donor.evaluate_fitness(b)).collect();
+        let (_, mut donated) = donor.export_state();
+        drop(donor);
+        donated[15].1 .1 ^= 1;
+
+        let scorer = CountingScorer {
+            calls: AtomicU64::new(0),
+        };
+        let mut warm = Evaluator::new(scorer, 1, 7, reduce);
+        warm.import_warm_cache(donated);
+        let warm_fits: Vec<Vec<f64>> = batches.iter().map(|b| warm.evaluate_fitness(b)).collect();
+        assert_eq!(warm_fits, cold_fits, "results stayed bit-identical");
+        let s = warm.stats();
+        assert_eq!(s.imported, 15, "promotions up to the drift were served");
+        assert_eq!(s.validated, WARM_VALIDATION_SAMPLE, "leading sample passed");
+        assert_eq!(s.rejected, 5, "the drifting entry and the remainder");
+        assert_eq!(s.misses, 5);
     }
 
     #[test]

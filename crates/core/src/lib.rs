@@ -54,6 +54,6 @@ pub use pareto::pareto_front;
 pub use search::{
     Checkpoint, Hgnas, JointGenome, LatencyMode, MeasureBackend, OneStageCheckpoint,
     PretrainedPredictor, RunOptions, RunOutput, ScoredCandidate, SearchCheckpoint, SearchConfig,
-    SearchOutcome, SearchedModel, Strategy, TaskConfig,
+    SearchOutcome, SearchedModel, SessionSnapshot, SessionState, Strategy, TaskConfig,
 };
 pub use supernet::Supernet;

@@ -308,8 +308,9 @@ pub struct PretrainedPredictor {
 
 /// Full result of scoring one Stage-2 (or one-stage) candidate. Public so
 /// checkpoints can persist — and artifact codecs re-encode — the
-/// evaluator's score cache.
-#[derive(Debug, Clone)]
+/// evaluator's score cache. `PartialEq` is what warm-start import
+/// validation compares with, so it must (and does) cover every field.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScoredCandidate {
     /// The instantiated architecture (rebuildable from the genome and the
     /// run's function sets, which is how codecs avoid storing it).
@@ -480,6 +481,182 @@ impl Checkpoint {
     }
 }
 
+/// The deterministic prefix of a search, computed once and resumable: the
+/// generated dataset plus — for multi-stage runs — the Stage-1 winning
+/// function sets and the pre-trained [`Supernet`].
+///
+/// Every multi-stage [`Hgnas::run_with`] call used to replay this prefix
+/// even when resuming a checkpoint, which made generation-granular
+/// preemption cost O(slices × pre-training). Building the prefix once via
+/// [`Hgnas::prepare_session`] and handing it back through
+/// [`RunOptions::session`] drops that to O(pre-training) per configuration:
+/// the run skips straight to the (possibly checkpointed) main search loop.
+///
+/// A session is immutable and `Sync` (the supernet is only ever run
+/// frozen), so shards sharing a configuration fingerprint can share one
+/// session behind an `Arc`. Runs through a session are bit-identical to
+/// full replays — the invariant `cached_prefix_resume_matches_full_replay`
+/// pins down.
+#[derive(Debug)]
+pub struct SessionState {
+    task: TaskConfig,
+    config: SearchConfig,
+    ds: SynthNet40,
+    prefix: SessionPrefix,
+}
+
+/// Strategy-specific part of a [`SessionState`].
+#[derive(Debug)]
+enum SessionPrefix {
+    /// Multi-stage: the Stage-1 outcome and the pre-trained supernet.
+    MultiStage {
+        functions: (FunctionSet, FunctionSet),
+        stage1_stats: EvalStats,
+        /// Boxed so the one-stage variant does not carry the supernet's
+        /// footprint.
+        supernet: Box<Supernet>,
+        /// Simulated elapsed time after Stage 1 + pre-training, ms.
+        clock_ms: f64,
+    },
+    /// One-stage: no prefix beyond the dataset (every candidate trains its
+    /// own supernet inside the main loop).
+    OneStage,
+}
+
+/// The serialisable image of a multi-stage [`SessionState`]: everything a
+/// spilled session needs that is not deterministically rebuildable from
+/// the task/config pair (the dataset is, the trained weights are not).
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    /// The Stage-1 winning (upper, lower) function sets.
+    pub functions: (FunctionSet, FunctionSet),
+    /// Stage-1 evaluator counters, surfaced on
+    /// [`SearchOutcome::stage1_stats`].
+    pub stage1_stats: EvalStats,
+    /// Simulated elapsed time after the prefix, ms.
+    pub clock_ms: f64,
+    /// Pre-trained supernet weights ([`Supernet::export_weights`] order).
+    pub weights: Vec<hgnas_tensor::Tensor>,
+}
+
+impl SessionState {
+    /// The strategy the session was prepared for.
+    pub fn strategy(&self) -> Strategy {
+        match self.prefix {
+            SessionPrefix::MultiStage { .. } => Strategy::MultiStage,
+            SessionPrefix::OneStage => Strategy::OneStage,
+        }
+    }
+
+    /// The Stage-1 winning function sets (multi-stage sessions only).
+    pub fn functions(&self) -> Option<(FunctionSet, FunctionSet)> {
+        match &self.prefix {
+            SessionPrefix::MultiStage { functions, .. } => Some(*functions),
+            SessionPrefix::OneStage => None,
+        }
+    }
+
+    /// Approximate resident size in bytes — what a memory-budgeted session
+    /// cache accounts against. Counts the supernet parameters (value +
+    /// Adam moments: 12 bytes each) and the dataset floats; the small
+    /// fixed-size fields ride in the constant.
+    pub fn approx_bytes(&self) -> u64 {
+        let dataset_floats: usize = self
+            .ds
+            .train
+            .iter()
+            .chain(&self.ds.test)
+            .map(|c| c.points.len())
+            .sum();
+        let supernet_params = match &self.prefix {
+            SessionPrefix::MultiStage { supernet, .. } => {
+                hgnas_nn::Module::param_count(supernet.as_ref())
+            }
+            SessionPrefix::OneStage => 0,
+        };
+        (dataset_floats * 4 + supernet_params * 12 + 1024) as u64
+    }
+
+    /// Exports the spillable image of a multi-stage session; `None` for
+    /// one-stage sessions, whose entire prefix is deterministically
+    /// rebuildable from the task/config pair.
+    pub fn export(&self) -> Option<SessionSnapshot> {
+        match &self.prefix {
+            SessionPrefix::MultiStage {
+                functions,
+                stage1_stats,
+                supernet,
+                clock_ms,
+            } => Some(SessionSnapshot {
+                functions: *functions,
+                stage1_stats: *stage1_stats,
+                clock_ms: *clock_ms,
+                weights: supernet.export_weights(),
+            }),
+            SessionPrefix::OneStage => None,
+        }
+    }
+
+    /// Rebuilds a multi-stage session from a spilled snapshot: the dataset
+    /// is regenerated from the task (deterministic), the supernet is
+    /// reconstructed and overwritten with the snapshot weights. The result
+    /// drives searches bit-identically to the session it was exported
+    /// from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is not a multi-stage configuration or the
+    /// weights disagree with the supernet geometry `task` describes.
+    pub fn restore(task: TaskConfig, config: SearchConfig, snap: SessionSnapshot) -> SessionState {
+        assert_eq!(
+            config.strategy,
+            Strategy::MultiStage,
+            "session snapshots exist for multi-stage searches only"
+        );
+        let ds = SynthNet40::generate(&task.dataset);
+        // The init draw is immediately overwritten; any seed works.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut supernet = Supernet::new(
+            &mut rng,
+            task.positions,
+            task.supernet_hidden,
+            task.k,
+            task.classes(),
+            snap.functions.0,
+            snap.functions.1,
+            &task.head_hidden,
+        );
+        supernet.import_weights(&snap.weights);
+        SessionState {
+            task,
+            config,
+            ds,
+            prefix: SessionPrefix::MultiStage {
+                functions: snap.functions,
+                stage1_stats: snap.stage1_stats,
+                supernet: Box::new(supernet),
+                clock_ms: snap.clock_ms,
+            },
+        }
+    }
+
+    /// Asserts the session was prepared for exactly this task/config pair
+    /// (modulo the bit-transparent thread budget).
+    fn validate(&self, task: &TaskConfig, config: &SearchConfig) {
+        assert_eq!(&self.task, task, "session was prepared for another task");
+        let mut a = self.config.clone();
+        let mut b = config.clone();
+        // The thread budget is bit-transparent and the scheduler re-splits
+        // it per slice, so it must not invalidate a session.
+        a.eval_threads = 1;
+        b.eval_threads = 1;
+        assert_eq!(
+            a, b,
+            "session was prepared under a different search configuration"
+        );
+    }
+}
+
 /// Optional hooks for [`Hgnas::run_with`]. [`RunOptions::default`] makes it
 /// behave exactly like [`Hgnas::run`].
 #[derive(Default)]
@@ -515,6 +692,13 @@ pub struct RunOptions<'a> {
     /// scoring never draws from candidate RNG streams). Multi-stage only;
     /// the one-stage baseline asserts this is `None`.
     pub imported_cache: Option<Vec<(Vec<OpType>, ScoredCandidate)>>,
+    /// A prepared [`SessionState`] for this exact task/config pair
+    /// ([`Hgnas::prepare_session`]): the run reuses its dataset, Stage-1
+    /// function sets and pre-trained supernet instead of replaying the
+    /// deterministic prefix. Bit-identical to running without one; the
+    /// lever that makes fine-grained preemption O(pre-training) per
+    /// configuration instead of per slice.
+    pub session: Option<&'a SessionState>,
 }
 
 /// What [`Hgnas::run_with`] returns.
@@ -588,7 +772,7 @@ struct Stage1Scorer<'a> {
 }
 
 /// Result of scoring one Stage-1 candidate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Stage1Score {
     /// Mean one-shot accuracy over a few random supernet paths.
     accuracy: f64,
@@ -1375,8 +1559,62 @@ impl Hgnas {
         with_kernel_threads(self.config.eval_threads, || self.run_inner(opts))
     }
 
-    fn run_inner(&self, mut opts: RunOptions) -> RunOutput {
+    /// Computes the deterministic prefix of this configuration — dataset
+    /// generation, and for multi-stage searches the Stage-1 function
+    /// search plus supernet pre-training — as a resumable
+    /// [`SessionState`]. Handing it to [`RunOptions::session`] makes
+    /// `run_with` skip straight to the main search loop; results are
+    /// bit-identical to a run that replayed the prefix itself.
+    pub fn prepare_session(&self) -> SessionState {
+        with_kernel_threads(self.config.eval_threads, || self.prepare_session_inner())
+    }
+
+    fn prepare_session_inner(&self) -> SessionState {
         let ds = self.dataset();
+        let prefix = match self.config.strategy {
+            Strategy::MultiStage => {
+                let mut clock = SearchClock::new();
+                let (functions, stage1_stats) = self.stage1(&ds, &mut clock);
+                let supernet = self.train_supernet(
+                    functions,
+                    self.config.epochs_stage2,
+                    &ds,
+                    self.config.seed.wrapping_add(4),
+                    &mut clock,
+                );
+                SessionPrefix::MultiStage {
+                    functions,
+                    stage1_stats,
+                    supernet: Box::new(supernet),
+                    clock_ms: clock.elapsed_ms(),
+                }
+            }
+            Strategy::OneStage => SessionPrefix::OneStage,
+        };
+        SessionState {
+            task: self.task.clone(),
+            config: self.config.clone(),
+            ds,
+            prefix,
+        }
+    }
+
+    fn run_inner(&self, mut opts: RunOptions) -> RunOutput {
+        // The deterministic prefix: reuse a prepared session when the
+        // caller supplies one, replay it inline otherwise (the two are
+        // bit-identical by the session invariant).
+        let owned_session;
+        let session = match opts.session.take() {
+            Some(s) => {
+                s.validate(&self.task, &self.config);
+                s
+            }
+            None => {
+                owned_session = self.prepare_session_inner();
+                &owned_session
+            }
+        };
+        let ds = &session.ds;
         let reference_ms = self.reference_ms();
         let constraint_ms = self.config.constraint_ms.unwrap_or(reference_ms);
         let mut objective = Objective::new(
@@ -1392,21 +1630,22 @@ impl Hgnas {
 
         match self.config.strategy {
             Strategy::MultiStage => {
-                // Stage 1 and supernet pre-training are deterministic in
-                // the configuration, so a resumed run replays them (and
-                // the checkpoint cross-checks the resulting function sets)
-                // rather than persisting supernet weights.
-                let mut clock = SearchClock::new();
-                let (functions, stage1_stats) = self.stage1(&ds, &mut clock);
-                let supernet = self.train_supernet(
+                // The prefix came from the session (freshly replayed or
+                // cached); the checkpoint cross-checks the function sets
+                // on resume either way.
+                let SessionPrefix::MultiStage {
                     functions,
-                    self.config.epochs_stage2,
-                    &ds,
-                    self.config.seed.wrapping_add(4),
-                    &mut clock,
-                );
+                    stage1_stats,
+                    supernet,
+                    clock_ms,
+                } = &session.prefix
+                else {
+                    unreachable!("validated session matches the strategy")
+                };
+                let (functions, stage1_stats) = (*functions, *stage1_stats);
+                let clock = SearchClock::from_ms(*clock_ms);
                 let run = self.stage2(
-                    functions, &supernet, &ds, &oracle, &objective, clock, &mut opts,
+                    functions, supernet, ds, &oracle, &objective, clock, &mut opts,
                 );
                 if run.aborted {
                     return RunOutput {
@@ -1434,7 +1673,7 @@ impl Hgnas {
                     opts.imported_cache.is_none(),
                     "imported score caches apply to the multi-stage Stage-2 loop only"
                 );
-                let run = self.one_stage(&ds, &oracle, &objective, &mut opts);
+                let run = self.one_stage(ds, &oracle, &objective, &mut opts);
                 if run.aborted {
                     return RunOutput {
                         outcome: None,
@@ -1600,6 +1839,116 @@ mod tests {
             let size = outcome.best.architecture.size_mb(3, &task.head_hidden);
             assert!(size < 0.05, "found {size} MB model despite 0.05 MB budget");
         }
+    }
+
+    fn assert_outcomes_identical(a: &SearchOutcome, b: &SearchOutcome) {
+        assert_eq!(a.best.genome, b.best.genome);
+        assert_eq!(a.best.score.to_bits(), b.best.score.to_bits());
+        assert_eq!(
+            a.best.supernet_accuracy.to_bits(),
+            b.best.supernet_accuracy.to_bits()
+        );
+        assert_eq!(a.best.latency_ms.to_bits(), b.best.latency_ms.to_bits());
+        assert_eq!(a.history.len(), b.history.len());
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(x.0.to_bits(), y.0.to_bits());
+            assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+        assert_eq!(a.search_hours.to_bits(), b.search_hours.to_bits());
+        assert_eq!(a.eval_stats, b.eval_stats);
+        assert_eq!(a.stage1_stats, b.stage1_stats);
+    }
+
+    /// The session invariant: a run through a prepared session — including
+    /// one rebuilt from an exported snapshot — is bit-identical to a full
+    /// replay, and a mid-run kill resumed through the session matches too.
+    #[test]
+    fn cached_prefix_resume_matches_full_replay() {
+        let task = TaskConfig::tiny(5);
+        let cfg = tiny_config(DeviceKind::JetsonTx2);
+        let hgnas = Hgnas::new(task.clone(), cfg.clone());
+        let full = hgnas.run();
+
+        let session = hgnas.prepare_session();
+        assert_eq!(session.strategy(), Strategy::MultiStage);
+        assert!(session.functions().is_some());
+        assert!(session.approx_bytes() > 0);
+        let via_session = hgnas
+            .run_with(RunOptions {
+                session: Some(&session),
+                ..RunOptions::default()
+            })
+            .outcome
+            .expect("session run completes");
+        assert_outcomes_identical(&via_session, &full);
+
+        // Kill after one generation, resume through the session: the
+        // prefix never replays and the outcome is unchanged.
+        let killed = hgnas.run_with(RunOptions {
+            session: Some(&session),
+            abort_after_generation: Some(1),
+            ..RunOptions::default()
+        });
+        assert!(killed.outcome.is_none());
+        let resumed = hgnas
+            .run_with(RunOptions {
+                session: Some(&session),
+                resume: killed.checkpoint,
+                ..RunOptions::default()
+            })
+            .outcome
+            .expect("resumed run completes");
+        assert_outcomes_identical(&resumed, &full);
+
+        // A session restored from its exported snapshot drives the search
+        // bit-identically to the live one.
+        let snap = session.export().expect("multi-stage sessions export");
+        let restored = SessionState::restore(task, cfg, snap);
+        let via_restored = hgnas
+            .run_with(RunOptions {
+                session: Some(&restored),
+                ..RunOptions::default()
+            })
+            .outcome
+            .expect("restored-session run completes");
+        assert_outcomes_identical(&via_restored, &full);
+    }
+
+    /// One-stage sessions carry the dataset only and have nothing to
+    /// spill, but still drive bit-identical runs.
+    #[test]
+    fn one_stage_session_matches_full_replay() {
+        let task = TaskConfig::tiny(7);
+        let mut cfg = tiny_config(DeviceKind::Rtx3080);
+        cfg.strategy = Strategy::OneStage;
+        let hgnas = Hgnas::new(task, cfg);
+        let full = hgnas.run();
+        let session = hgnas.prepare_session();
+        assert_eq!(session.strategy(), Strategy::OneStage);
+        assert!(session.functions().is_none());
+        assert!(session.export().is_none());
+        let via_session = hgnas
+            .run_with(RunOptions {
+                session: Some(&session),
+                ..RunOptions::default()
+            })
+            .outcome
+            .expect("session run completes");
+        assert_outcomes_identical(&via_session, &full);
+    }
+
+    #[test]
+    #[should_panic(expected = "different search configuration")]
+    fn session_for_other_config_is_rejected() {
+        let task = TaskConfig::tiny(5);
+        let cfg = tiny_config(DeviceKind::JetsonTx2);
+        let session = Hgnas::new(task.clone(), cfg.clone()).prepare_session();
+        let mut other = cfg;
+        other.seed ^= 1;
+        Hgnas::new(task, other).run_with(RunOptions {
+            session: Some(&session),
+            ..RunOptions::default()
+        });
     }
 
     #[test]

@@ -253,6 +253,35 @@ impl Supernet {
         }
     }
 
+    /// The weight tensors in [`Module::params`] order — what a session
+    /// spill persists so a pre-trained supernet can be rebuilt without
+    /// retraining. Optimizer state (moments, timestep) is deliberately
+    /// excluded: a session snapshot is only taken after pre-training ends,
+    /// when the optimizer is already gone.
+    pub fn export_weights(&self) -> Vec<hgnas_tensor::Tensor> {
+        self.params().iter().map(|p| p.value().clone()).collect()
+    }
+
+    /// Overwrites every parameter with weights captured by
+    /// [`Supernet::export_weights`] from a supernet of the same geometry.
+    /// Frozen forward passes (the only thing a restored session runs) are
+    /// bit-identical to the exporting supernet's.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a parameter-count or shape mismatch.
+    pub fn import_weights(&mut self, weights: &[hgnas_tensor::Tensor]) {
+        let mut params = self.params_mut();
+        assert_eq!(
+            params.len(),
+            weights.len(),
+            "supernet weight count mismatch"
+        );
+        for (p, w) in params.iter_mut().zip(weights) {
+            p.set_value(w.clone());
+        }
+    }
+
     /// One SPOS training epoch: a fresh random path per batch. Returns the
     /// mean batch loss.
     pub fn train_epoch(&mut self, batches: &[Batch], opt: &mut Optimizer, rng: &mut StdRng) -> f32 {
@@ -367,6 +396,31 @@ mod tests {
         let a = sn.eval_genome(&genome, &ds.test, 1);
         let b = sn.eval_genome(&genome, &ds.test, 99);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exported_weights_rebuild_a_bit_identical_supernet() {
+        let (mut sn, ds) = tiny_supernet(8);
+        let batches = SynthNet40::batches(&ds.train, 8);
+        let mut opt = Optimizer::adam(3e-3);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..2 {
+            sn.train_epoch(&batches, &mut opt, &mut rng);
+        }
+        let weights = sn.export_weights();
+
+        // A freshly initialised clone of the geometry, overwritten with the
+        // trained weights, evaluates every path bit-identically.
+        let (mut other, _) = tiny_supernet(999);
+        other.import_weights(&weights);
+        let mut path_rng = StdRng::seed_from_u64(10);
+        for _ in 0..4 {
+            let genome = sn.random_genome(&mut path_rng);
+            assert_eq!(
+                sn.eval_genome(&genome, &ds.test, 0).to_bits(),
+                other.eval_genome(&genome, &ds.test, 0).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::codec::{fnv1a, ArtifactKind, CodecError, Decoder, Encoder};
 use hgnas_core::{
     EaConfig, EaSnapshot, EvalStats, JointGenome, OneStageCheckpoint, ScoredCandidate,
-    SearchCheckpoint, SearchConfig, SearchedModel, TaskConfig,
+    SearchCheckpoint, SearchConfig, SearchedModel, SessionSnapshot, TaskConfig,
 };
 use hgnas_device::DeviceKind;
 use hgnas_ops::{Aggregator, Architecture, ConnectFn, FunctionSet, MessageType, OpType, SampleFn};
@@ -66,7 +66,10 @@ pub struct ArtifactKey {
 }
 
 impl ArtifactKey {
-    fn file_name(&self, prefix: &str) -> String {
+    /// The `-{device}-{fingerprint}.hgart` suffix every artifact of this
+    /// key's slots carries, whatever the kind prefix — what the
+    /// stale-fingerprint sweep matches on.
+    fn file_suffix(&self) -> String {
         let slug: String = self
             .device
             .name()
@@ -79,7 +82,11 @@ impl ArtifactKey {
                 }
             })
             .collect();
-        format!("{prefix}-{slug}-{:016x}.hgart", self.fingerprint)
+        format!("-{slug}-{:016x}.hgart", self.fingerprint)
+    }
+
+    fn file_name(&self, prefix: &str) -> String {
+        format!("{prefix}{}", self.file_suffix())
     }
 }
 
@@ -110,6 +117,12 @@ pub struct ArtifactStore {
 }
 
 impl ArtifactStore {
+    /// Temp files younger than this survive [`ArtifactStore::prune`]: they
+    /// may belong to a concurrent writer between its `write` and `rename`.
+    /// Any real write completes in well under a minute; anything older is
+    /// a torn write's leftover.
+    pub const TMP_GC_AGE: std::time::Duration = std::time::Duration::from_secs(60);
+
     /// Opens (creating if needed) a store rooted at `root`.
     ///
     /// # Errors
@@ -151,6 +164,22 @@ impl ArtifactStore {
         }
     }
 
+    /// Opens a decoder over `bytes`, mapping a version mismatch to `None`:
+    /// an artifact written by an older (or newer) format is a safe cold
+    /// start for its slot — the documented versioning contract — not a
+    /// run-killing error. Anything else (corruption, wrong kind) still
+    /// fails loudly.
+    fn open_current<'a>(
+        bytes: &'a [u8],
+        kind: ArtifactKind,
+    ) -> Result<Option<Decoder<'a>>, StoreError> {
+        match Decoder::open(bytes, kind) {
+            Ok(d) => Ok(Some(d)),
+            Err(CodecError::UnsupportedVersion(_)) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
     /// Persists trained predictor weights.
     ///
     /// # Errors
@@ -179,7 +208,9 @@ impl ArtifactStore {
         let Some(bytes) = self.read_optional(&key.file_name("predictor"))? else {
             return Ok(None);
         };
-        let mut d = Decoder::open(&bytes, ArtifactKind::Predictor)?;
+        let Some(mut d) = Self::open_current(&bytes, ArtifactKind::Predictor)? else {
+            return Ok(None);
+        };
         Ok(Some(take_predictor(&mut d)?))
     }
 
@@ -213,7 +244,9 @@ impl ArtifactStore {
         let Some(bytes) = self.read_optional(&key.file_name("checkpoint"))? else {
             return Ok(None);
         };
-        let mut d = Decoder::open(&bytes, ArtifactKind::Checkpoint)?;
+        let Some(mut d) = Self::open_current(&bytes, ArtifactKind::Checkpoint)? else {
+            return Ok(None);
+        };
         Ok(Some(take_checkpoint(&mut d)?))
     }
 
@@ -248,7 +281,9 @@ impl ArtifactStore {
         let Some(bytes) = self.read_optional(&key.file_name("onestage"))? else {
             return Ok(None);
         };
-        let mut d = Decoder::open(&bytes, ArtifactKind::OneStageCheckpoint)?;
+        let Some(mut d) = Self::open_current(&bytes, ArtifactKind::OneStageCheckpoint)? else {
+            return Ok(None);
+        };
         Ok(Some(take_one_stage_checkpoint(&mut d)?))
     }
 
@@ -290,13 +325,175 @@ impl ArtifactStore {
         let Some(bytes) = self.read_optional(&key.file_name("scorecache"))? else {
             return Ok(None);
         };
-        let mut d = Decoder::open(&bytes, ArtifactKind::ScoreCache)?;
+        let Some(mut d) = Self::open_current(&bytes, ArtifactKind::ScoreCache)? else {
+            return Ok(None);
+        };
         let k = d.take_usize()?;
         let classes = d.take_usize()?;
         let upper = take_function_set(&mut d)?;
         let lower = take_function_set(&mut d)?;
         Ok(Some(take_cache_entries(&mut d, upper, lower, k, classes)?))
     }
+
+    /// Persists a spilled session (`hgnas_core::SessionState::export`):
+    /// the Stage-1 outcome plus the pre-trained supernet weights. What the
+    /// scheduler's session cache writes when a memory budget evicts a
+    /// parked shard's session, so the next slice restores it instead of
+    /// replaying Stage 1 + pre-training.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save_session(
+        &self,
+        key: &ArtifactKey,
+        snap: &SessionSnapshot,
+    ) -> Result<PathBuf, StoreError> {
+        let mut e = Encoder::new(ArtifactKind::Session);
+        put_function_set(&mut e, &snap.functions.0);
+        put_function_set(&mut e, &snap.functions.1);
+        put_eval_stats(&mut e, &snap.stage1_stats);
+        e.put_f64(snap.clock_ms);
+        e.put_usize(snap.weights.len());
+        for w in &snap.weights {
+            put_tensor(&mut e, w);
+        }
+        Ok(self.write_atomic(&key.file_name("session"), &e.finish())?)
+    }
+
+    /// Loads a spilled session if the slot holds one.
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactStore::load_predictor`].
+    pub fn load_session(&self, key: &ArtifactKey) -> Result<Option<SessionSnapshot>, StoreError> {
+        let Some(bytes) = self.read_optional(&key.file_name("session"))? else {
+            return Ok(None);
+        };
+        let Some(mut d) = Self::open_current(&bytes, ArtifactKind::Session)? else {
+            return Ok(None);
+        };
+        let upper = take_function_set(&mut d)?;
+        let lower = take_function_set(&mut d)?;
+        let stage1_stats = take_eval_stats(&mut d)?;
+        let clock_ms = d.take_f64()?;
+        let n = d.take_usize()?;
+        let weights = (0..n)
+            .map(|_| take_tensor(&mut d))
+            .collect::<Result<_, _>>()?;
+        Ok(Some(SessionSnapshot {
+            functions: (upper, lower),
+            stage1_stats,
+            clock_ms,
+            weights,
+        }))
+    }
+
+    /// Deletes leftover temp files (torn writes) and then the
+    /// oldest-modified artifacts until the store holds at most `max_bytes`
+    /// — the size-budget half of the GC story for long-lived fleet hosts,
+    /// whose stores otherwise only grow. Dropping an artifact is always
+    /// safe: the next run that wants it cold-starts that slot. Only temp
+    /// files older than [`ArtifactStore::TMP_GC_AGE`] are touched, so a GC
+    /// pass can run alongside a live fleet without racing an in-flight
+    /// `write → rename` out of its temp file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn prune(&self, max_bytes: u64) -> Result<PruneReport, StoreError> {
+        let now = std::time::SystemTime::now();
+        let mut report = PruneReport::default();
+        let mut artifacts: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let path = entry.path();
+            let meta = entry.metadata()?;
+            if !meta.is_file() {
+                continue;
+            }
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.ends_with(".tmp") {
+                // A torn write's leftovers are garbage at any budget — but
+                // a *young* temp file may be a concurrent writer mid
+                // `write → rename`; deleting it would fail that save.
+                let stale = now
+                    .duration_since(meta.modified()?)
+                    .is_ok_and(|age| age >= Self::TMP_GC_AGE);
+                if stale {
+                    fs::remove_file(&path)?;
+                    report.removed_files += 1;
+                    report.removed_bytes += meta.len();
+                }
+            } else if name.ends_with(".hgart") {
+                artifacts.push((path, meta.len(), meta.modified()?));
+            }
+        }
+        // Oldest first; the name tie-break keeps the order deterministic
+        // under coarse filesystem mtime granularity.
+        artifacts.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        let mut total: u64 = artifacts.iter().map(|a| a.1).sum();
+        for (path, len, _) in &artifacts {
+            if total <= max_bytes {
+                break;
+            }
+            fs::remove_file(path)?;
+            report.removed_files += 1;
+            report.removed_bytes += len;
+            total -= len;
+        }
+        report.retained_bytes = total;
+        Ok(report)
+    }
+
+    /// Deletes every artifact (all kinds) whose `(device, fingerprint)`
+    /// key is not in `live` — the stale-fingerprint sweep: a task or
+    /// configuration change re-fingerprints its slots and strands the old
+    /// artifacts forever, since nothing will ever look them up again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn sweep_stale(&self, live: &[ArtifactKey]) -> Result<PruneReport, StoreError> {
+        let suffixes: Vec<String> = live.iter().map(ArtifactKey::file_suffix).collect();
+        let mut report = PruneReport::default();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let path = entry.path();
+            let meta = entry.metadata()?;
+            if !meta.is_file() {
+                continue;
+            }
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if !name.ends_with(".hgart") {
+                continue;
+            }
+            if suffixes.iter().any(|s| name.ends_with(s.as_str())) {
+                report.retained_bytes += meta.len();
+            } else {
+                fs::remove_file(&path)?;
+                report.removed_files += 1;
+                report.removed_bytes += meta.len();
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// What a GC pass ([`ArtifactStore::prune`] / [`ArtifactStore::sweep_stale`])
+/// removed and kept.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Files deleted.
+    pub removed_files: usize,
+    /// Bytes reclaimed.
+    pub removed_bytes: u64,
+    /// Artifact bytes still in the store after the pass.
+    pub retained_bytes: u64,
 }
 
 // ---- value encoders/decoders -------------------------------------------
@@ -463,6 +660,8 @@ fn put_eval_stats(e: &mut Encoder, s: &EvalStats) {
     e.put_u64(s.hits);
     e.put_u64(s.misses);
     e.put_u64(s.imported);
+    e.put_u64(s.validated);
+    e.put_u64(s.rejected);
     e.put_u64(s.batches);
     e.put_u64(s.submitted);
 }
@@ -472,6 +671,8 @@ fn take_eval_stats(d: &mut Decoder) -> Result<EvalStats, CodecError> {
         hits: d.take_u64()?,
         misses: d.take_u64()?,
         imported: d.take_u64()?,
+        validated: d.take_u64()?,
+        rejected: d.take_u64()?,
         batches: d.take_u64()?,
         submitted: d.take_u64()?,
     })

@@ -20,10 +20,13 @@ pub const MAGIC: [u8; 4] = *b"HGNA";
 /// Current format version. Readers reject anything else.
 ///
 /// History: v2 added `EvalStats::imported`, the warm-start remainder in
-/// Stage-2 checkpoints, and one-stage checkpoints. Old artifacts are
-/// rejected as [`CodecError::UnsupportedVersion`] — a safe cold start,
-/// never a wrong decode.
-pub const VERSION: u16 = 2;
+/// Stage-2 checkpoints, and one-stage checkpoints; v3 added the
+/// warm-import validation counters (`EvalStats::validated`/`rejected`)
+/// and the [`ArtifactKind::Session`] spill (pre-trained supernet weights
+/// plus the Stage-1 outcome). Old artifacts are rejected as
+/// [`CodecError::UnsupportedVersion`] — a safe cold start, never a wrong
+/// decode.
+pub const VERSION: u16 = 3;
 
 /// What an artifact contains (stored in the header so a predictor file can
 /// never be mistaken for a checkpoint).
@@ -37,6 +40,10 @@ pub enum ArtifactKind {
     ScoreCache,
     /// A one-stage (joint baseline) checkpoint.
     OneStageCheckpoint,
+    /// A spilled search session: the Stage-1 outcome plus pre-trained
+    /// supernet weights, so an evicted session resumes without replaying
+    /// the deterministic prefix.
+    Session,
 }
 
 impl ArtifactKind {
@@ -46,6 +53,7 @@ impl ArtifactKind {
             ArtifactKind::Checkpoint => 2,
             ArtifactKind::ScoreCache => 3,
             ArtifactKind::OneStageCheckpoint => 4,
+            ArtifactKind::Session => 5,
         }
     }
 
@@ -55,6 +63,7 @@ impl ArtifactKind {
             2 => Some(ArtifactKind::Checkpoint),
             3 => Some(ArtifactKind::ScoreCache),
             4 => Some(ArtifactKind::OneStageCheckpoint),
+            5 => Some(ArtifactKind::Session),
             _ => None,
         }
     }

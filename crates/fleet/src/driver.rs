@@ -46,6 +46,14 @@ pub struct FleetConfig {
     /// `eval_stats.imported`. Needs an artifact store; a missing source
     /// cache is simply a cold start.
     pub warm_start_seed: Option<u64>,
+    /// Approximate byte budget for the scheduler's session cache (the
+    /// per-shard Stage-1 outcome + pre-trained supernet kept resident
+    /// across preemption slices). `None` (the default) keeps every
+    /// session; a budget evicts least-recently-used sessions — spilled to
+    /// the artifact store when one is attached, replayed otherwise.
+    /// Results are bit-identical at any budget; see
+    /// [`crate::SchedulerConfig::session_memory_budget`].
+    pub session_memory_budget: Option<u64>,
 }
 
 impl FleetConfig {
@@ -59,6 +67,7 @@ impl FleetConfig {
             threads: 0,
             preemption_stride: 0,
             warm_start_seed: None,
+            session_memory_budget: None,
         }
     }
 }
@@ -93,6 +102,10 @@ pub struct DeviceReport {
     pub resumed_from_generation: Option<usize>,
     /// Scheduler time slices the shard consumed (1 without preemption).
     pub slices: u64,
+    /// How many times the shard's deterministic prefix (Stage 1 +
+    /// supernet pre-training) was computed; 1 unless a session memory
+    /// budget forced replays.
+    pub prefix_builds: u64,
 }
 
 /// The merged fleet outcome.
@@ -216,6 +229,7 @@ pub fn run_fleet_with_events(
             checkpoint_every: fleet.checkpoint_every,
             oracle: fleet.oracle.clone(),
             max_slices: None,
+            session_memory_budget: fleet.session_memory_budget,
         },
     );
     let report = scheduler.run(store, events)?;
@@ -232,6 +246,7 @@ pub fn run_fleet_with_events(
             warm_predictor: s.warm_predictor,
             resumed_from_generation: s.resumed_from_generation,
             slices: s.slices,
+            prefix_builds: s.prefix_builds,
         })
         .collect();
     Ok(FleetReport {

@@ -26,6 +26,30 @@ pub fn channel() -> (Sender<FleetEvent>, Receiver<FleetEvent>) {
 /// [`crate::Scheduler::run`] reports results in).
 pub type ShardId = usize;
 
+/// What the scheduler's per-shard session cache did at a slice boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionAction {
+    /// The shard's deterministic prefix (Stage 1 + supernet pre-training
+    /// for multi-stage shards) was computed and cached. Exactly one of
+    /// these per shard means preemption never replayed the prefix; more
+    /// than one means the memory budget forced replays.
+    Built,
+    /// A resident session was reused — the slice skipped the prefix
+    /// entirely and resumed straight at its checkpointed generation.
+    Hit,
+    /// A session spilled to the artifact store was reloaded (weights
+    /// decoded, nothing retrained).
+    Restored,
+    /// The session memory budget pushed this shard's session out of the
+    /// cache; `spilled` says whether it went to the artifact store (a
+    /// later slice restores it) or was dropped (a later slice replays —
+    /// today's degraded path, bit-identical either way).
+    Evicted {
+        /// Whether the evicted session was persisted to the store.
+        spilled: bool,
+    },
+}
+
 /// One observable step of a fleet run.
 #[derive(Debug, Clone)]
 pub enum FleetEvent {
@@ -107,6 +131,17 @@ pub enum FleetEvent {
         /// The error, stringified.
         error: String,
     },
+    /// Session-cache activity: built / hit / restored when a slice
+    /// resumed, evicted when the memory budget pushed a parked shard's
+    /// session out.
+    SessionCache {
+        /// The shard the session belongs to.
+        shard: ShardId,
+        /// Its target device.
+        device: DeviceKind,
+        /// What happened.
+        action: SessionAction,
+    },
 }
 
 impl FleetEvent {
@@ -118,7 +153,8 @@ impl FleetEvent {
             | FleetEvent::ParetoUpdated { shard, .. }
             | FleetEvent::ShardPreempted { shard, .. }
             | FleetEvent::ShardFinished { shard, .. }
-            | FleetEvent::ShardFailed { shard, .. } => *shard,
+            | FleetEvent::ShardFailed { shard, .. }
+            | FleetEvent::SessionCache { shard, .. } => *shard,
         }
     }
 }
@@ -133,6 +169,9 @@ struct Row {
     clock_hours: f64,
     front_size: usize,
     preemptions: u64,
+    session_builds: u64,
+    session_hits: u64,
+    session_evictions: u64,
     resumed_from: Option<usize>,
     warm_predictor: bool,
     finished: Option<Finished>,
@@ -189,7 +228,8 @@ impl StreamingReporter {
             | FleetEvent::ParetoUpdated { device, .. }
             | FleetEvent::ShardPreempted { device, .. }
             | FleetEvent::ShardFinished { device, .. }
-            | FleetEvent::ShardFailed { device, .. } => *device,
+            | FleetEvent::ShardFailed { device, .. }
+            | FleetEvent::SessionCache { device, .. } => *device,
         };
         let row = self.rows[shard].get_or_insert(Row {
             device,
@@ -199,6 +239,9 @@ impl StreamingReporter {
             clock_hours: 0.0,
             front_size: 0,
             preemptions: 0,
+            session_builds: 0,
+            session_hits: 0,
+            session_evictions: 0,
             resumed_from: None,
             warm_predictor: false,
             finished: None,
@@ -253,7 +296,23 @@ impl StreamingReporter {
                 });
             }
             FleetEvent::ShardFailed { error, .. } => row.failed = Some(error.clone()),
+            FleetEvent::SessionCache { action, .. } => match action {
+                SessionAction::Built => row.session_builds += 1,
+                SessionAction::Hit | SessionAction::Restored => row.session_hits += 1,
+                SessionAction::Evicted { .. } => row.session_evictions += 1,
+            },
         }
+    }
+
+    /// Prefix computations (session builds) per shard so far — the
+    /// "supernet pre-training ran N times" counter. With an adequate
+    /// session memory budget this stays at 1 per shard no matter how
+    /// finely the scheduler slices.
+    pub fn session_builds(&self, shard: ShardId) -> u64 {
+        self.rows
+            .get(shard)
+            .and_then(Option::as_ref)
+            .map_or(0, |r| r.session_builds)
     }
 
     /// Events folded so far.
@@ -337,11 +396,16 @@ impl StreamingReporter {
                 let best = r
                     .best_score
                     .map_or_else(|| "-".to_string(), |b| format!("{b:.3}"));
-                let status = if r.preemptions > 0 {
+                let mut status = if r.preemptions > 0 {
                     format!("searching ({}x preempted)", r.preemptions)
                 } else {
                     "searching".to_string()
                 };
+                // More than one build means the memory budget forced the
+                // prefix (Stage 1 + pre-training) to replay.
+                if r.session_builds > 1 {
+                    let _ = write!(status, " [{}x prefix replay]", r.session_builds - 1);
+                }
                 let _ = writeln!(
                     s,
                     "{:<6} {:<14} {:>9} {:>10} {:>8} {:>7} {:>7} {:>6} {:>7}  {status}",
@@ -388,9 +452,26 @@ mod tests {
             device: DeviceKind::Rtx3080,
             generation: 2,
         });
+        // Session-cache lifecycle: one build, one hit, then a budget
+        // eviction forcing a second build — a prefix replay.
+        for action in [
+            SessionAction::Built,
+            SessionAction::Hit,
+            SessionAction::Evicted { spilled: false },
+            SessionAction::Built,
+        ] {
+            rep.observe(&FleetEvent::SessionCache {
+                shard: 0,
+                device: DeviceKind::Rtx3080,
+                action,
+            });
+        }
+        assert_eq!(rep.session_builds(0), 2);
+        assert_eq!(rep.session_builds(1), 0, "untouched shard");
         let snap = rep.snapshot();
         assert!(snap.contains("2/8"), "snapshot: {snap}");
         assert!(snap.contains("preempted"), "snapshot: {snap}");
+        assert!(snap.contains("1x prefix replay"), "snapshot: {snap}");
         assert!(snap.contains("queued"), "shard 1 not yet started: {snap}");
 
         rep.observe(&FleetEvent::ShardFinished {
@@ -415,6 +496,6 @@ mod tests {
         assert!(snap.contains("3.0x"), "speedup rendered: {snap}");
         assert!(snap.contains("(3 imported)"), "imports rendered: {snap}");
         assert!(snap.contains("FAILED: disk on fire"), "snapshot: {snap}");
-        assert_eq!(rep.events_seen(), 5);
+        assert_eq!(rep.events_seen(), 9);
     }
 }

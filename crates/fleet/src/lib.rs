@@ -15,7 +15,12 @@
 //!   bounded kernel-thread budget with work-stealing, generation-granular
 //!   preemptive time slices. Checkpoint/resume at slice boundaries makes
 //!   preemption transparent: every cell of (shard count × thread budget ×
-//!   stride) is bit-identical to serial runs.
+//!   stride) is bit-identical to serial runs. A budgeted **session
+//!   cache** ([`SchedulerConfig::session_memory_budget`]) keeps each
+//!   configuration's deterministic prefix — Stage-1 winners plus the
+//!   pre-trained supernet — resident across slices, so fine strides cost
+//!   O(pre-training) per shard instead of per slice; evicted sessions
+//!   spill to the artifact store and restore without retraining.
 //! - [`events`]: **streaming fleet reports** — the scheduler publishes
 //!   [`FleetEvent`]s (shard started / generation done / Pareto updated /
 //!   preempted / finished) over a channel; [`StreamingReporter`] folds
@@ -60,12 +65,14 @@ pub mod oracle;
 pub mod scheduler;
 
 pub use artifacts::{
-    predictor_fingerprint, search_fingerprint, ArtifactKey, ArtifactStore, StoreError,
+    predictor_fingerprint, search_fingerprint, ArtifactKey, ArtifactStore, PruneReport, StoreError,
 };
 pub use codec::{ArtifactKind, CodecError};
 pub use driver::{
     run_fleet, run_fleet_with_events, DeviceReport, FleetConfig, FleetReport, ParetoPoint,
 };
-pub use events::{channel as event_channel, FleetEvent, ShardId, StreamingReporter};
+pub use events::{channel as event_channel, FleetEvent, SessionAction, ShardId, StreamingReporter};
 pub use oracle::{MeasurementOracle, OracleClient, OracleConfig, OracleStats, Ticket};
-pub use scheduler::{Scheduler, SchedulerConfig, SchedulerReport, ShardResult, ShardSpec};
+pub use scheduler::{
+    Scheduler, SchedulerConfig, SchedulerReport, SessionCacheStats, ShardResult, ShardSpec,
+};

@@ -29,12 +29,12 @@ use crate::artifacts::{
     predictor_fingerprint, search_fingerprint, ArtifactKey, ArtifactStore, StoreError,
 };
 use crate::driver::ParetoPoint;
-use crate::events::{FleetEvent, ShardId};
+use crate::events::{FleetEvent, SessionAction, ShardId};
 use crate::oracle::{MeasurementOracle, OracleConfig, OracleStats};
 use crossbeam::channel::Sender;
 use hgnas_core::{
     pareto_front, Checkpoint, Hgnas, LatencyMode, MeasureBackend, PretrainedPredictor, RunOptions,
-    ScoredCandidate, SearchConfig, SearchOutcome, Strategy, TaskConfig,
+    ScoredCandidate, SearchConfig, SearchOutcome, SessionState, Strategy, TaskConfig,
 };
 use hgnas_device::DeviceKind;
 use hgnas_ops::OpType;
@@ -91,6 +91,17 @@ pub struct SchedulerConfig {
     /// default) runs every shard to completion. This is the budgeted
     /// scheduling-round lever — and the mid-run-kill test hook.
     pub max_slices: Option<u64>,
+    /// Approximate byte budget for the session cache — the LRU of
+    /// per-configuration [`SessionState`]s (dataset + Stage-1 outcome +
+    /// pre-trained supernet) kept resident across time slices so a
+    /// resumed shard never replays its deterministic prefix. `None` (the
+    /// default) keeps every session for the run's lifetime; under a
+    /// budget, least-recently-used sessions are evicted — spilled to the
+    /// artifact store when one is attached, dropped otherwise (the next
+    /// slice then restores or replays; results are bit-identical in every
+    /// case). `Some(0)` disables residency entirely, which without a
+    /// store is exactly the pre-session replay-per-slice behaviour.
+    pub session_memory_budget: Option<u64>,
 }
 
 impl Default for SchedulerConfig {
@@ -101,7 +112,145 @@ impl Default for SchedulerConfig {
             checkpoint_every: 1,
             oracle: OracleConfig::default(),
             max_slices: None,
+            session_memory_budget: None,
         }
+    }
+}
+
+/// Aggregate counters of the scheduler's session cache.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SessionCacheStats {
+    /// Slices that reused a resident session (no prefix work at all).
+    pub hits: u64,
+    /// Sessions computed from scratch (Stage 1 + supernet pre-training
+    /// for multi-stage shards). One per distinct configuration means
+    /// preemption never replayed the expensive prefix.
+    pub builds: u64,
+    /// Sessions reloaded from an artifact-store spill (weights decoded,
+    /// nothing retrained).
+    pub restores: u64,
+    /// Sessions evicted under the memory budget.
+    pub evictions: u64,
+    /// Evictions that wrote a spill artifact (the remainder were dropped:
+    /// one-stage sessions, or no store attached).
+    pub spills: u64,
+}
+
+/// One resident session.
+struct SessionEntry {
+    key: ArtifactKey,
+    /// The shard whose slice created the entry (used to attribute
+    /// eviction events).
+    owner: ShardId,
+    session: Arc<SessionState>,
+    bytes: u64,
+    /// Whether a spill artifact for this session already exists — sessions
+    /// are immutable, so one write is enough for any number of evictions.
+    on_disk: bool,
+}
+
+/// The budgeted LRU of [`SessionState`]s the scheduler keeps across time
+/// slices, keyed by configuration fingerprint so shards sharing a
+/// configuration share one session.
+struct SessionCache {
+    budget: Option<u64>,
+    inner: Mutex<SessionCacheState>,
+}
+
+#[derive(Default)]
+struct SessionCacheState {
+    /// LRU order: front is the least recently used.
+    entries: Vec<SessionEntry>,
+    stats: SessionCacheStats,
+}
+
+impl SessionCache {
+    fn new(budget: Option<u64>) -> Self {
+        SessionCache {
+            budget,
+            inner: Mutex::default(),
+        }
+    }
+
+    /// Looks a session up, refreshing its LRU position.
+    fn get(&self, key: &ArtifactKey) -> Option<Arc<SessionState>> {
+        let mut st = self.inner.lock().unwrap();
+        let pos = st.entries.iter().position(|e| e.key == *key)?;
+        let entry = st.entries.remove(pos);
+        let session = Arc::clone(&entry.session);
+        st.entries.push(entry);
+        st.stats.hits += 1;
+        Some(session)
+    }
+
+    fn note_built(&self) {
+        self.inner.lock().unwrap().stats.builds += 1;
+    }
+
+    fn note_restored(&self) {
+        self.inner.lock().unwrap().stats.restores += 1;
+    }
+
+    /// Inserts a session (a concurrent builder of the same key may lose
+    /// the race; that only wastes the duplicate build) and applies the
+    /// byte budget, spilling evicted sessions to `store` when possible.
+    /// Returns `(owner, spilled)` per eviction for event emission.
+    fn insert(
+        &self,
+        key: ArtifactKey,
+        owner: ShardId,
+        session: Arc<SessionState>,
+        on_disk: bool,
+        store: Option<&ArtifactStore>,
+    ) -> Result<Vec<(ShardId, bool)>, StoreError> {
+        let bytes = session.approx_bytes();
+        // Evictions are decided under the lock but *spilled* outside it:
+        // serializing supernet weights to disk under the only cache mutex
+        // would stall every other worker's slice boundary. A racing worker
+        // that misses the evicted key before its spill lands simply
+        // rebuilds — bit-identical, like any other cache miss.
+        let mut to_spill = Vec::new();
+        {
+            let mut st = self.inner.lock().unwrap();
+            if !st.entries.iter().any(|e| e.key == key) {
+                st.entries.push(SessionEntry {
+                    key,
+                    owner,
+                    session,
+                    bytes,
+                    on_disk,
+                });
+            }
+            if let Some(budget) = self.budget {
+                while st.entries.iter().map(|e| e.bytes).sum::<u64>() > budget
+                    && !st.entries.is_empty()
+                {
+                    let e = st.entries.remove(0);
+                    st.stats.evictions += 1;
+                    to_spill.push(e);
+                }
+            }
+        }
+        let mut evicted = Vec::new();
+        let mut spills = 0;
+        for mut e in to_spill {
+            if !e.on_disk {
+                if let (Some(store), Some(snap)) = (store, e.session.export()) {
+                    store.save_session(&e.key, &snap)?;
+                    e.on_disk = true;
+                    spills += 1;
+                }
+            }
+            evicted.push((e.owner, e.on_disk));
+        }
+        if spills > 0 {
+            self.inner.lock().unwrap().stats.spills += spills;
+        }
+        Ok(evicted)
+    }
+
+    fn stats(&self) -> SessionCacheStats {
+        self.inner.lock().unwrap().stats
     }
 }
 
@@ -128,6 +277,14 @@ pub struct ShardResult {
     pub resumed_from_generation: Option<usize>,
     /// Time slices the shard consumed this run.
     pub slices: u64,
+    /// How many times this shard's slices computed the deterministic
+    /// prefix from scratch (Stage 1 + supernet pre-training for
+    /// multi-stage shards). 1 with an adequate session memory budget —
+    /// the tentpole invariant; every extra unit is a replay the budget
+    /// forced.
+    pub prefix_builds: u64,
+    /// Slices that reused a resident (or store-restored) session.
+    pub session_hits: u64,
 }
 
 /// Everything a scheduler run produced.
@@ -137,6 +294,8 @@ pub struct SchedulerReport {
     pub shards: Vec<ShardResult>,
     /// Oracle counters (when any shard measured).
     pub oracle_stats: Option<OracleStats>,
+    /// Session-cache counters for the whole run.
+    pub session_stats: SessionCacheStats,
 }
 
 /// Mutable per-shard state carried between time slices.
@@ -153,6 +312,8 @@ struct ShardState {
     resumed_from_generation: Option<usize>,
     started: bool,
     slices: u64,
+    prefix_builds: u64,
+    session_hits: u64,
     /// `(latency bits, accuracy bits)` signature of the last announced
     /// Pareto front, for change detection.
     last_front: Vec<(u64, u64)>,
@@ -260,6 +421,7 @@ impl Scheduler {
         } else {
             self.cfg.threads.min(n).max(1)
         };
+        let sessions = SessionCache::new(self.cfg.session_memory_budget);
         let states: Vec<Mutex<ShardState>> = (0..n).map(|_| Mutex::default()).collect();
         let (tx, rx) = crossbeam::channel::unbounded::<Job>();
         for i in 0..n {
@@ -275,13 +437,14 @@ impl Scheduler {
                 let rx = rx.clone();
                 let tx = tx.clone();
                 let events = events.clone();
-                let (states, remaining, budget, failure, abort, oracle) = (
+                let (states, remaining, budget, failure, abort, oracle, sessions) = (
                     &states,
                     &remaining,
                     &budget,
                     &failure,
                     &abort,
                     oracle.as_ref(),
+                    &sessions,
                 );
                 // 0 tells the slice to use the spec's own eval_threads
                 // (legacy one-worker-per-shard mode); otherwise split the
@@ -319,6 +482,7 @@ impl Scheduler {
                             kernel_budget,
                             store,
                             oracle,
+                            sessions,
                             events.as_ref(),
                         ) {
                             Ok(true) => {
@@ -372,18 +536,22 @@ impl Scheduler {
                     warm_predictor: st.warm_predictor,
                     resumed_from_generation: st.resumed_from_generation,
                     slices: st.slices,
+                    prefix_builds: st.prefix_builds,
+                    session_hits: st.session_hits,
                 })
             })
             .collect();
         Ok(SchedulerReport {
             shards,
             oracle_stats,
+            session_stats: sessions.stats(),
         })
     }
 
     /// Runs one time slice of shard `i`. Returns `Ok(true)` when the
     /// shard finished, `Ok(false)` when it was preempted and should be
     /// re-queued.
+    #[allow(clippy::too_many_arguments)]
     fn run_slice(
         &self,
         i: ShardId,
@@ -391,6 +559,7 @@ impl Scheduler {
         kernel_budget: usize,
         store: Option<&ArtifactStore>,
         oracle: Option<&MeasurementOracle>,
+        sessions: &SessionCache,
         events: Option<&Sender<FleetEvent>>,
     ) -> Result<bool, StoreError> {
         let spec = &self.specs[i];
@@ -480,8 +649,75 @@ impl Scheduler {
             );
         }
 
+        // Session: the shard's deterministic prefix (dataset, Stage-1
+        // winners, pre-trained supernet), resident across slices so a
+        // resumed slice skips straight to its checkpointed generation.
+        // Cache → store spill → fresh build, in that order; every path is
+        // bit-identical, later ones just pay more.
+        let hgnas = Hgnas::new(spec.task.clone(), cfg);
+        let session = match sessions.get(&search_key) {
+            Some(session) => {
+                st.session_hits += 1;
+                emit(
+                    events,
+                    FleetEvent::SessionCache {
+                        shard: i,
+                        device,
+                        action: SessionAction::Hit,
+                    },
+                );
+                session
+            }
+            None => {
+                let mut restored = None;
+                if let Some(store) = store {
+                    if let Some(snap) = store.load_session(&search_key)? {
+                        restored = Some(Arc::new(SessionState::restore(
+                            spec.task.clone(),
+                            hgnas.config().clone(),
+                            snap,
+                        )));
+                    }
+                }
+                let on_disk = restored.is_some();
+                let (session, action) = match restored {
+                    Some(session) => {
+                        st.session_hits += 1;
+                        sessions.note_restored();
+                        (session, SessionAction::Restored)
+                    }
+                    None => {
+                        st.prefix_builds += 1;
+                        sessions.note_built();
+                        (Arc::new(hgnas.prepare_session()), SessionAction::Built)
+                    }
+                };
+                emit(
+                    events,
+                    FleetEvent::SessionCache {
+                        shard: i,
+                        device,
+                        action,
+                    },
+                );
+                let evicted =
+                    sessions.insert(search_key, i, Arc::clone(&session), on_disk, store)?;
+                for (owner, spilled) in evicted {
+                    emit(
+                        events,
+                        FleetEvent::SessionCache {
+                            shard: owner,
+                            device: self.specs[owner].config.device,
+                            action: SessionAction::Evicted { spilled },
+                        },
+                    );
+                }
+                session
+            }
+        };
+
         let start_gen = resume.as_ref().map(Checkpoint::generation).unwrap_or(0);
-        let iterations = cfg.ea_stage2.iterations;
+        let iterations = hgnas.config().ea_stage2.iterations;
         let abort_after = (self.cfg.preemption_stride > 0)
             .then(|| start_gen + self.cfg.preemption_stride)
             .filter(|&g| g < iterations);
@@ -520,11 +756,11 @@ impl Scheduler {
         // on the un-promoted remainder rides in the resume checkpoint's
         // warm cache, so re-cloning the donor every slice would be pure
         // overhead (re-importing is idempotent but not free).
-        let imported = match (&spec.imported_cache, cfg.strategy, st.slices) {
+        let imported = match (&spec.imported_cache, hgnas.config().strategy, st.slices) {
             (Some(c), Strategy::MultiStage, 0) => Some(c.clone()),
             _ => None,
         };
-        let out = Hgnas::new(spec.task.clone(), cfg).run_with(RunOptions {
+        let out = hgnas.run_with(RunOptions {
             backend: oracle.map(|o| Arc::new(o.client(device)) as Arc<dyn MeasureBackend>),
             predictor: st.predictor.clone(),
             resume,
@@ -532,6 +768,7 @@ impl Scheduler {
             checkpoint_every: self.cfg.checkpoint_every,
             abort_after_generation: abort_after,
             imported_cache: imported,
+            session: Some(&session),
         });
         if let Some(e) = sink_err {
             return Err(e);
@@ -613,6 +850,8 @@ impl Scheduler {
                     warm_predictor: st.warm_predictor,
                     resumed_from_generation: st.resumed_from_generation,
                     slices: st.slices,
+                    prefix_builds: st.prefix_builds,
+                    session_hits: st.session_hits,
                 });
                 Ok(true)
             }

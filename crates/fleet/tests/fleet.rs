@@ -345,6 +345,146 @@ fn warm_started_score_cache_is_bit_identical_to_cold() {
     );
 }
 
+/// Validating import (ROADMAP item): a tampered donor entry drifts under
+/// the promotion-time re-score, condemning the whole import — the run
+/// falls back cold with bit-identical results and counts the rejection in
+/// `EvalStats`.
+#[test]
+fn poisoned_warm_import_is_rejected_and_run_stays_cold() {
+    let task = TaskConfig::tiny(19);
+    let cfg = tiny_config(DeviceKind::Rtx3080, LatencyMode::Predictor);
+    let cold = Hgnas::new(task.clone(), cfg.clone()).run();
+    let cold_stats = cold.eval_stats.expect("stats");
+
+    // A genuine donor cache with its first entry's score poisoned — the
+    // shape of an unsafe cross-seed / measured-mode transfer.
+    let donor = Hgnas::new(task.clone(), cfg.clone()).run_with(RunOptions::default());
+    let cp = donor.checkpoint.expect("checkpoint");
+    let mut donated = cp.as_multi_stage().expect("stage-2 cp").cache.clone();
+    donated[0].1.score += 0.125;
+
+    let n_donated = donated.len() as u64;
+    let warm = Hgnas::new(task.clone(), cfg)
+        .run_with(RunOptions {
+            imported_cache: Some(donated),
+            ..RunOptions::default()
+        })
+        .outcome
+        .expect("warm run completes");
+    let warm_stats = warm.eval_stats.expect("stats");
+    assert_eq!(warm_stats.imported, 0, "no poisoned entry served verbatim");
+    assert_eq!(
+        warm_stats.rejected, n_donated,
+        "the whole import was condemned"
+    );
+    assert_eq!(warm_stats.misses, cold_stats.misses, "fell back fully cold");
+    // And the searched result is exactly the cold one (stats aside — the
+    // rejection counters legitimately differ from a cold run's zeros).
+    assert_eq!(warm.best.genome, cold.best.genome);
+    assert_eq!(warm.best.score.to_bits(), cold.best.score.to_bits());
+    assert_eq!(warm.history.len(), cold.history.len());
+    for (a, b) in warm.history.iter().zip(&cold.history) {
+        assert_eq!(a.0.to_bits(), b.0.to_bits(), "simulated clock diverged");
+        assert_eq!(a.1.to_bits(), b.1.to_bits(), "best trace diverged");
+    }
+    assert_eq!(warm.search_hours.to_bits(), cold.search_hours.to_bits());
+}
+
+/// The artifact store's GC: `prune` enforces a byte budget (oldest
+/// artifacts and torn-write leftovers go first), `sweep_stale` drops every
+/// fingerprint no live configuration references. Pruned slots are cold
+/// starts, never errors.
+#[test]
+fn store_prune_and_stale_sweep_reclaim_space() {
+    let task = TaskConfig::tiny(23);
+    let base = tiny_config(DeviceKind::Rtx3080, LatencyMode::Predictor);
+    let temp = TempStore::new("gc");
+    let store = temp.open();
+    let fleet = FleetConfig::new(vec![DeviceKind::Rtx3080, DeviceKind::JetsonTx2]);
+    run_fleet(&task, &base, &fleet, Some(&store)).expect("seed the store");
+
+    let total_bytes = || -> u64 {
+        std::fs::read_dir(store.root())
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum()
+    };
+    let file_count = || std::fs::read_dir(store.root()).unwrap().count();
+    let before_files = file_count();
+    let before_bytes = total_bytes();
+    assert!(before_files > 0);
+
+    // A fresh temp file could be a concurrent writer mid write→rename:
+    // prune must leave it alone. Aged past TMP_GC_AGE it is a torn
+    // write's leftover and goes at any budget.
+    let tmp = store.root().join("checkpoint-x.123.tmp");
+    std::fs::write(&tmp, b"torn").unwrap();
+    let report = store.prune(u64::MAX).expect("prune");
+    assert_eq!(report.removed_files, 0, "young .tmp survives");
+    std::fs::File::options()
+        .write(true)
+        .open(&tmp)
+        .unwrap()
+        .set_modified(std::time::SystemTime::now() - 2 * ArtifactStore::TMP_GC_AGE)
+        .unwrap();
+    let report = store.prune(u64::MAX).expect("prune");
+    assert_eq!(report.removed_files, 1, "only the stale .tmp went");
+    assert_eq!(report.retained_bytes, before_bytes);
+    assert_eq!(file_count(), before_files);
+
+    // The live-key sweep keeps every slot a current configuration owns.
+    let live: Vec<ArtifactKey> = fleet
+        .devices
+        .iter()
+        .map(|&device| {
+            let mut cfg = base.clone();
+            cfg.device = device;
+            ArtifactKey {
+                device,
+                fingerprint: hgnas_fleet::search_fingerprint(&task, &cfg),
+            }
+        })
+        .chain(fleet.devices.iter().map(|&device| {
+            let mut cfg = base.clone();
+            cfg.device = device;
+            ArtifactKey {
+                device,
+                fingerprint: predictor_fingerprint(&task.predictor_context(), &cfg.predictor),
+            }
+        }))
+        .collect();
+    let report = store.sweep_stale(&live).expect("sweep");
+    assert_eq!(report.removed_files, 0, "everything in the store is live");
+    assert_eq!(report.retained_bytes, before_bytes);
+
+    // Re-fingerprint the world (a config change): every old slot is stale.
+    let mut changed = base.clone();
+    changed.seed ^= 0xff;
+    let stale_live = [ArtifactKey {
+        device: DeviceKind::Rtx3080,
+        fingerprint: hgnas_fleet::search_fingerprint(&task, &changed),
+    }];
+    let report = store.sweep_stale(&stale_live).expect("sweep");
+    assert_eq!(report.removed_files, before_files);
+    assert_eq!(report.retained_bytes, 0);
+    assert_eq!(file_count(), 0);
+
+    // Byte-budget prune: reseed, then shrink to a budget below the total —
+    // the store ends under budget and a pruned slot reloads as None.
+    run_fleet(&task, &base, &fleet, Some(&store)).expect("reseed the store");
+    let full = total_bytes();
+    let report = store.prune(full / 2).expect("prune");
+    assert!(report.removed_files > 0);
+    assert!(report.retained_bytes <= full / 2);
+    assert_eq!(total_bytes(), report.retained_bytes);
+    let report = store.prune(0).expect("prune all");
+    assert_eq!(report.retained_bytes, 0);
+    assert!(store
+        .load_predictor(&live[2])
+        .expect("a pruned slot is a cold start, not an error")
+        .is_none());
+}
+
 /// Acceptance: with an artifact store, the second fleet run warm-starts —
 /// zero predictor-training epochs, checkpoint resume at the final
 /// generation — and still reports the identical outcome.
@@ -464,6 +604,24 @@ fn corrupt_and_truncated_artifacts_are_rejected() {
     // Restoring the pristine bytes restores loadability.
     std::fs::write(&path, &pristine).expect("restore");
     assert!(store.load_predictor(&key).expect("load").is_some());
+
+    // An artifact from an older format version (version field rewritten,
+    // CRC re-sealed so it is not corruption) is a cold start for its slot
+    // — `Ok(None)` — not a run-killing error. This is what keeps a store
+    // carrying pre-upgrade artifacts usable after a codec bump.
+    let mut old = pristine.clone();
+    old[4..6].copy_from_slice(&1u16.to_le_bytes());
+    let n = old.len();
+    let crc = hgnas_fleet::codec::crc32(&old[..n - 4]);
+    old[n - 4..].copy_from_slice(&crc.to_le_bytes());
+    std::fs::write(&path, &old).expect("write old-version artifact");
+    assert!(
+        store
+            .load_predictor(&key)
+            .expect("old version is not an error")
+            .is_none(),
+        "old-version artifact must cold-start, not decode"
+    );
 }
 
 /// A one-stage fleet now enjoys the full artifact story: Pareto fronts

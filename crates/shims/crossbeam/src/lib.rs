@@ -53,18 +53,17 @@ pub mod thread {
 }
 
 /// Offline shim for `crossbeam::channel`: multi-producer *multi-consumer*
-/// unbounded channels, backed by [`std::sync::mpsc`] with the receiver
-/// shared behind a mutex so it can be cloned into a worker pool.
+/// unbounded channels, backed by a `Mutex<VecDeque>` + `Condvar` queue.
 ///
-/// Differences from real crossbeam: no `select!`, no bounded channels, and
-/// a blocked `recv` polls with a short timeout while holding the receiver
-/// lock so sibling consumers interleave at millisecond granularity rather
-/// than truly concurrently. The workspace's oracle workers batch requests,
-/// so this costs nothing observable.
+/// Differences from real crossbeam: no `select!` and no bounded channels.
+/// A blocked `recv` *sleeps on the condvar with the lock released* — a
+/// send wakes exactly one waiter, and sibling consumers sharing the queue
+/// interleave at the OS scheduler's granularity. (An earlier revision
+/// polled `std::sync::mpsc` with a 1 ms timeout while holding the shared
+/// receiver mutex, which serialized worker pools on multi-core hosts.)
 pub mod channel {
-    use std::sync::mpsc;
-    use std::sync::{Arc, Mutex};
-    use std::time::Duration;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
 
     /// Error returned by [`Sender::send`] when every receiver is gone; the
     /// unsent message is handed back.
@@ -85,13 +84,42 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Queue state behind the channel mutex.
+    #[derive(Debug)]
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// The shared channel core.
+    #[derive(Debug)]
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        /// Signalled on every send (one waiter) and on the last sender
+        /// hanging up (all waiters, so blocked `recv`s observe disconnect).
+        ready: Condvar,
+    }
+
     /// The sending half; clone freely across producer threads.
     #[derive(Debug)]
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T>(Arc<Chan<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Every blocked consumer must wake to report disconnect.
+                self.0.ready.notify_all();
+            }
         }
     }
 
@@ -101,24 +129,44 @@ pub mod channel {
         /// # Errors
         ///
         /// Returns the message back when every receiver has been dropped.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the channel mutex was poisoned by a panicking peer.
         pub fn send(&self, t: T) -> Result<(), SendError<T>> {
-            self.0.send(t).map_err(|mpsc::SendError(t)| SendError(t))
+            let mut st = self.0.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(SendError(t));
+            }
+            st.queue.push_back(t);
+            drop(st);
+            self.0.ready.notify_one();
+            Ok(())
         }
     }
 
     /// The receiving half; clone it to share one queue between several
     /// consumers (each message is delivered to exactly one).
     #[derive(Debug)]
-    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+    pub struct Receiver<T>(Arc<Chan<T>>);
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().receivers += 1;
             Receiver(Arc::clone(&self.0))
         }
     }
 
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.state.lock().unwrap().receivers -= 1;
+        }
+    }
+
     impl<T> Receiver<T> {
-        /// Blocks until a message arrives or every sender is gone.
+        /// Blocks until a message arrives or every sender is gone. The
+        /// wait releases the channel lock, so sibling consumers run truly
+        /// concurrently.
         ///
         /// # Errors
         ///
@@ -126,18 +174,17 @@ pub mod channel {
         ///
         /// # Panics
         ///
-        /// Panics if a previous consumer panicked while holding the
-        /// receiver lock.
+        /// Panics if the channel mutex was poisoned by a panicking peer.
         pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().unwrap();
             loop {
-                // Poll with a short timeout, releasing the lock between
-                // rounds so sibling consumers sharing the queue get a turn.
-                let rx = self.0.lock().unwrap();
-                match rx.recv_timeout(Duration::from_millis(1)) {
-                    Ok(t) => return Ok(t),
-                    Err(mpsc::RecvTimeoutError::Timeout) => {}
-                    Err(mpsc::RecvTimeoutError::Disconnected) => return Err(RecvError),
+                if let Some(t) = st.queue.pop_front() {
+                    return Ok(t);
                 }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.ready.wait(st).unwrap();
             }
         }
 
@@ -150,13 +197,13 @@ pub mod channel {
         ///
         /// # Panics
         ///
-        /// Panics if a previous consumer panicked while holding the
-        /// receiver lock.
+        /// Panics if the channel mutex was poisoned by a panicking peer.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            match self.0.lock().unwrap().try_recv() {
-                Ok(t) => Ok(t),
-                Err(mpsc::TryRecvError::Empty) => Err(TryRecvError::Empty),
-                Err(mpsc::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
+            let mut st = self.0.state.lock().unwrap();
+            match st.queue.pop_front() {
+                Some(t) => Ok(t),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
             }
         }
 
@@ -200,8 +247,15 @@ pub mod channel {
 
     /// Creates an unbounded multi-producer multi-consumer channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
     }
 }
 
@@ -292,6 +346,48 @@ mod tests {
         let (tx, rx) = super::channel::unbounded();
         drop(rx);
         assert_eq!(tx.send(42), Err(super::channel::SendError(42)));
+    }
+
+    #[test]
+    fn parked_sibling_consumers_wake_one_per_message() {
+        // Both consumers block on an empty queue first (no messages to
+        // grab eagerly), then each send must wake exactly one of them —
+        // the condvar handoff the old poll-under-lock recv serialized.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Barrier;
+        let (tx, rx) = super::channel::unbounded();
+        let rx2 = rx.clone();
+        let parked = Barrier::new(3);
+        let consumed = AtomicU64::new(0);
+        super::scope(|s| {
+            for rx in [rx, rx2] {
+                let (consumed, parked) = (&consumed, &parked);
+                s.spawn(move |_| {
+                    parked.wait();
+                    while rx.recv().is_ok() {
+                        consumed.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            parked.wait();
+            for i in 0..100u64 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+        })
+        .unwrap();
+        assert_eq!(consumed.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn sender_clone_and_drop_tracks_disconnect() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(1).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(super::channel::RecvError));
     }
 
     #[test]

@@ -205,6 +205,253 @@ fn scheduler_matrix_is_bit_identical_to_serial() {
     }
 }
 
+/// Tentpole acceptance (PR 5): with a fine preemption stride and an
+/// unbounded session memory budget, the scheduler computes each shard's
+/// deterministic prefix (Stage 1 + supernet pre-training) exactly once —
+/// every later slice is a session-cache hit — and stays bit-identical to
+/// serial; with `session_memory_budget: Some(0)` and no store the cache
+/// degrades to the old replay-per-slice path, still bit-identical, with
+/// the same Pareto fronts.
+#[test]
+fn session_cache_pretrains_once_per_shard_and_budget_zero_replays() {
+    let task = TaskConfig::tiny(41);
+    let shards = [
+        (DeviceKind::Rtx3080, 0u64),
+        (DeviceKind::JetsonTx2, 0),
+        (DeviceKind::RaspberryPi3B, 0),
+        (DeviceKind::Rtx3080, 3),
+    ];
+    let specs: Vec<ShardSpec> = shards
+        .iter()
+        .map(|&(d, s)| shard(&task, d, s, LatencyMode::Predictor))
+        .collect();
+    let mut refs = References::new(task.clone());
+    let mut fronts: HashMap<(DeviceKind, u64), FrontSignature> = HashMap::new();
+
+    // Unbounded budget: stride 1 over 4 shards, prefix built once each.
+    let report = Scheduler::new(
+        specs.clone(),
+        SchedulerConfig {
+            threads: 2,
+            preemption_stride: 1,
+            ..SchedulerConfig::default()
+        },
+    )
+    .run(None, None)
+    .expect("storeless run");
+    assert_eq!(report.session_stats.builds, shards.len() as u64);
+    assert_eq!(report.session_stats.evictions, 0);
+    assert!(report.session_stats.hits > 0, "later slices hit the cache");
+    for (result, &(device, seed)) in report.shards.iter().zip(&shards) {
+        assert!(result.slices > 1, "stride 1 slices every shard");
+        assert_eq!(
+            result.prefix_builds, 1,
+            "shard {}: supernet pre-training must run exactly once",
+            result.shard
+        );
+        assert_eq!(
+            result.session_hits,
+            result.slices - 1,
+            "every slice after the first reuses the session"
+        );
+        let outcome = result.outcome.as_ref().expect("all shards finish");
+        assert_outcomes_bit_identical(outcome, refs.get(device, seed, LatencyMode::Predictor));
+        fronts.insert((device, seed), front_signature(&result.pareto));
+    }
+
+    // Budget 0, no store: every slice evicts immediately and the next one
+    // replays — today's degraded path, bit-identical with equal fronts.
+    let report = Scheduler::new(
+        specs,
+        SchedulerConfig {
+            threads: 2,
+            preemption_stride: 1,
+            session_memory_budget: Some(0),
+            ..SchedulerConfig::default()
+        },
+    )
+    .run(None, None)
+    .expect("storeless run");
+    assert!(report.session_stats.evictions > 0, "budget 0 evicts");
+    assert_eq!(report.session_stats.spills, 0, "no store, nothing spilled");
+    assert_eq!(report.session_stats.hits, 0, "nothing stays resident");
+    for (result, &(device, seed)) in report.shards.iter().zip(&shards) {
+        assert_eq!(
+            result.prefix_builds, result.slices,
+            "budget 0 without a store replays the prefix every slice"
+        );
+        let outcome = result.outcome.as_ref().expect("all shards finish");
+        assert_outcomes_bit_identical(outcome, refs.get(device, seed, LatencyMode::Predictor));
+        assert_eq!(
+            fronts[&(device, seed)],
+            front_signature(&result.pareto),
+            "replay cell changed a Pareto front"
+        );
+    }
+}
+
+/// Mid-run eviction under a budget that fits roughly one session: parked
+/// shards lose their sessions while running ones proceed. With a store
+/// attached the evictions spill and later slices restore from disk — the
+/// prefix still runs exactly once per shard; results stay bit-identical
+/// either way.
+#[test]
+fn tight_session_budget_evicts_mid_run_without_changing_results() {
+    let task = TaskConfig::tiny(43);
+    let shards = [
+        (DeviceKind::Rtx3080, 0u64),
+        (DeviceKind::JetsonTx2, 0),
+        (DeviceKind::RaspberryPi3B, 0),
+    ];
+    let specs: Vec<ShardSpec> = shards
+        .iter()
+        .map(|&(d, s)| shard(&task, d, s, LatencyMode::Predictor))
+        .collect();
+    // A budget that holds one session but never two.
+    let one_session = Hgnas::new(task.clone(), specs[0].config.clone())
+        .prepare_session()
+        .approx_bytes();
+    let budget = one_session * 3 / 2;
+    let mut refs = References::new(task.clone());
+
+    // Without a store: evictions degrade to replays.
+    let report = Scheduler::new(
+        specs.clone(),
+        SchedulerConfig {
+            threads: 1,
+            preemption_stride: 1,
+            session_memory_budget: Some(budget),
+            ..SchedulerConfig::default()
+        },
+    )
+    .run(None, None)
+    .expect("storeless run");
+    assert!(
+        report.session_stats.evictions > 0,
+        "the budget genuinely evicted mid-run: {:?}",
+        report.session_stats
+    );
+    for (result, &(device, seed)) in report.shards.iter().zip(&shards) {
+        assert_outcomes_bit_identical(
+            result.outcome.as_ref().expect("all shards finish"),
+            refs.get(device, seed, LatencyMode::Predictor),
+        );
+    }
+
+    // With a store: evictions spill (once per immutable session) and later
+    // slices restore — pre-training still runs exactly once per shard.
+    let temp = TempStore::new("tight-budget");
+    let store = temp.open();
+    let report = Scheduler::new(
+        specs,
+        SchedulerConfig {
+            threads: 1,
+            preemption_stride: 1,
+            session_memory_budget: Some(budget),
+            ..SchedulerConfig::default()
+        },
+    )
+    .run(Some(&store), None)
+    .expect("stored run");
+    assert!(report.session_stats.evictions > 0);
+    assert!(report.session_stats.spills > 0, "evictions spilled to disk");
+    assert!(report.session_stats.restores > 0, "spills were restored");
+    for (result, &(device, seed)) in report.shards.iter().zip(&shards) {
+        assert_eq!(
+            result.prefix_builds, 1,
+            "spill/restore keeps pre-training at once per shard"
+        );
+        assert_outcomes_bit_identical(
+            result.outcome.as_ref().expect("all shards finish"),
+            refs.get(device, seed, LatencyMode::Predictor),
+        );
+    }
+}
+
+/// Kill/resume through a spilled `ArtifactKind::Session`: round 1 runs
+/// out of slice budget with sessions force-spilled to the store; round 2
+/// (a fresh scheduler, empty in-memory cache) restores them from disk
+/// instead of re-running Stage 1 + pre-training, and finishes
+/// bit-identically to serial.
+#[test]
+fn kill_and_resume_through_spilled_session_artifacts() {
+    let task = TaskConfig::tiny(47);
+    let shards = [
+        (DeviceKind::Rtx3080, 0u64),
+        (DeviceKind::JetsonTx2, 0),
+        (DeviceKind::Rtx3080, 7),
+    ];
+    let specs: Vec<ShardSpec> = shards
+        .iter()
+        .map(|&(d, s)| shard(&task, d, s, LatencyMode::Predictor))
+        .collect();
+    let temp = TempStore::new("spilled-session");
+    let store = temp.open();
+
+    // Round 1: budget 0 forces every built session straight to disk; the
+    // slice budget parks the fleet mid-run.
+    let round1 = Scheduler::new(
+        specs.clone(),
+        SchedulerConfig {
+            threads: 1,
+            preemption_stride: 1,
+            max_slices: Some(4),
+            session_memory_budget: Some(0),
+            ..SchedulerConfig::default()
+        },
+    )
+    .run(Some(&store), None)
+    .expect("parking is not an error");
+    assert!(
+        round1.shards.iter().any(|s| s.outcome.is_none()),
+        "the slice budget interrupted the fleet"
+    );
+    assert!(round1.session_stats.spills > 0, "sessions spilled");
+    let spilled_sessions = std::fs::read_dir(store.root())
+        .expect("store dir")
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .starts_with("session-")
+        })
+        .count();
+    assert!(spilled_sessions > 0, "session artifacts exist on disk");
+
+    // Round 2: fresh scheduler, unbounded cache. Shards round 1 touched
+    // restore their sessions from the spill — zero prefix builds.
+    let round2 = Scheduler::new(
+        specs,
+        SchedulerConfig {
+            threads: 1,
+            preemption_stride: 1,
+            ..SchedulerConfig::default()
+        },
+    )
+    .run(Some(&store), None)
+    .expect("resume round");
+    assert!(
+        round2.session_stats.restores > 0,
+        "round 2 restored spilled sessions: {:?}",
+        round2.session_stats
+    );
+    assert!(
+        round2.session_stats.builds < shards.len() as u64,
+        "at least one shard skipped its prefix entirely"
+    );
+    let mut refs = References::new(task);
+    for (result, &(device, seed)) in round2.shards.iter().zip(&shards) {
+        assert_outcomes_bit_identical(
+            result
+                .outcome
+                .as_ref()
+                .expect("round 2 finishes everything"),
+            refs.get(device, seed, LatencyMode::Predictor),
+        );
+    }
+}
+
 /// Fault injection: a transient `MeasureError::Busy` storm (every request
 /// fails its first attempt) through preempted measured-mode shards stays
 /// bit-transparent.
@@ -363,6 +610,11 @@ fn fleet_warm_start_consumes_imported_cache_without_changing_results() {
             w.outcome.eval_stats.expect("stats"),
         );
         assert!(ws.imported > 0, "{}: imports consumed", w.device);
+        assert!(
+            ws.validated > 0 && ws.rejected == 0,
+            "{}: the import survived its validation sample: {ws:?}",
+            w.device
+        );
         assert_eq!(
             ws.misses + ws.imported,
             cs.misses,
