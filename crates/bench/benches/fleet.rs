@@ -133,8 +133,12 @@ fn bench_scheduler(c: &mut Criterion) {
 }
 
 /// Times one stride-1 scheduler run of `specs` under a session budget;
-/// returns (wall-clock ms, total prefix builds across shards).
-fn time_fleet(specs: &[ShardSpec], session_memory_budget: Option<u64>) -> (f64, u64) {
+/// returns (wall-clock ms, total prefix builds across shards, phase
+/// breakdown).
+fn time_fleet(
+    specs: &[ShardSpec],
+    session_memory_budget: Option<u64>,
+) -> (f64, u64, hgnas_fleet::PhaseTimings) {
     let scheduler = Scheduler::new(
         specs.to_vec(),
         SchedulerConfig {
@@ -148,7 +152,7 @@ fn time_fleet(specs: &[ShardSpec], session_memory_budget: Option<u64>) -> (f64, 
     let report = scheduler.run(None, None).expect("storeless run");
     let ms = t.elapsed().as_secs_f64() * 1e3;
     let builds = report.shards.iter().map(|s| s.prefix_builds).sum();
-    (ms, builds)
+    (ms, builds, report.phase_timings)
 }
 
 /// Writes the machine-readable perf record CI uploads: the same stride-1
@@ -161,16 +165,26 @@ fn emit_bench_json() {
         (DeviceKind::RaspberryPi3B, 0),
         (DeviceKind::Rtx3080, 1),
     ]);
-    let (replay_ms, replay_builds) = time_fleet(&specs, Some(0));
-    let (session_ms, session_builds) = time_fleet(&specs, None);
+    let (replay_ms, replay_builds, _) = time_fleet(&specs, Some(0));
+    let (session_ms, session_builds, phases) = time_fleet(&specs, None);
+    // The coarse where-did-the-time-go breakdown for the session-cache run
+    // (the shipping configuration): the re-profiling signal that names the
+    // next optimisation target.
     let json = format!(
         "{{\n  \"bench\": \"fleet/session-vs-replay\",\n  \"shards\": {},\n  \
          \"preemption_stride\": 1,\n  \"threads\": 2,\n  \
          \"slice_replay_ms\": {replay_ms:.3},\n  \"session_cache_ms\": {session_ms:.3},\n  \
          \"speedup\": {:.3},\n  \"replay_prefix_builds\": {replay_builds},\n  \
-         \"session_prefix_builds\": {session_builds}\n}}\n",
+         \"session_prefix_builds\": {session_builds},\n  \
+         \"phases\": {{\"predictor_train_ms\": {:.3}, \"session_build_ms\": {:.3}, \
+         \"session_restore_ms\": {:.3}, \"search_ms\": {:.3}, \"persist_ms\": {:.3}}}\n}}\n",
         specs.len(),
         replay_ms / session_ms.max(1e-9),
+        phases.predictor_train_ms,
+        phases.session_build_ms,
+        phases.session_restore_ms,
+        phases.search_ms,
+        phases.persist_ms,
     );
     // Cargo runs benches with cwd = the *package* dir (crates/bench), so a
     // bare relative default would land where CI's upload step never looks;

@@ -1,10 +1,21 @@
 //! Criterion micro-benches for the numerical substrate, including the two
 //! ablations DESIGN.md calls out: blocked vs naive matmul and brute-force
 //! vs grid KNN.
+//!
+//! Besides the criterion sweep, the bench always writes a machine-readable
+//! `BENCH_kernels.json` comparing the scalar and lane (AVX2) paths of every
+//! kernel ported to the `simd` layer, one record per kernel × shape. The
+//! two paths are bit-identical by construction, so the record is purely a
+//! perf trajectory for CI (`bench_diff` compares it against the committed
+//! baseline). `HGNAS_BENCH_JSON=only` skips the criterion sweep and emits
+//! just the record; `HGNAS_BENCH_OUT` overrides the output path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use hgnas_graph::{knn_brute, knn_grid, knn_kdtree};
-use hgnas_tensor::matmul::{matmul_blocked, matmul_naive, matmul_parallel};
+use hgnas_tensor::kernels::{fold_rows, scatter_add_rows};
+use hgnas_tensor::matmul::{matmul_at, matmul_blocked, matmul_bt, matmul_naive, matmul_parallel};
+use hgnas_tensor::reduce::{reduce_mid_axis, Reduction};
+use hgnas_tensor::simd::{self, LanePath};
 use hgnas_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -47,5 +58,109 @@ fn bench_knn(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// scalar-vs-lane JSON record
+// ---------------------------------------------------------------------------
+
+/// Times `f` and returns the best-of-`reps` wall-clock in milliseconds.
+/// Best-of (not mean) because the record is meant for a noisy CI runner:
+/// the minimum is the least contaminated estimate of the kernel's cost.
+fn time_best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: page in buffers, settle the lane-path OnceLock
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// One kernel × shape, timed on the scalar path and on the detected lane
+/// path. When the host has no AVX2 (or `HGNAS_SIMD=scalar`) both legs run
+/// scalar and the speedup hovers around 1.0 — `lane_path` in the header
+/// records which case the file describes.
+fn time_both(name: &str, shape: &str, reps: usize, mut f: impl FnMut()) -> String {
+    let scalar_ms = simd::with_path(LanePath::Scalar, || time_best_ms(reps, &mut f));
+    let lane_ms = simd::with_path(LanePath::Avx2, || time_best_ms(reps, &mut f));
+    format!(
+        "{{\"kernel\": \"{name}\", \"shape\": \"{shape}\", \
+         \"scalar_ms\": {scalar_ms:.4}, \"lane_ms\": {lane_ms:.4}, \
+         \"speedup\": {:.3}}}",
+        scalar_ms / lane_ms.max(1e-9)
+    )
+}
+
+/// Writes the machine-readable perf record CI uploads and diffs against
+/// `BENCH_kernels.baseline.json` (one kernel record per line so `bench_diff`
+/// can parse it without a JSON dependency).
+fn emit_bench_json() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut entries: Vec<String> = Vec::new();
+
+    // Matmul family: one square shape and one ragged shape (remainder lanes).
+    for &(m, k, n) in &[(256usize, 256usize, 256usize), (192, 100, 232)] {
+        let shape = format!("{m}x{k}x{n}");
+        let a = Tensor::rand_uniform(&mut rng, &[m, k], -1.0, 1.0);
+        let b = Tensor::rand_uniform(&mut rng, &[k, n], -1.0, 1.0);
+        let at = a.transpose2();
+        let bt = b.transpose2();
+        entries.push(time_both("matmul_blocked", &shape, 7, || {
+            black_box(matmul_blocked(black_box(&a), black_box(&b)));
+        }));
+        entries.push(time_both("matmul_bt", &shape, 7, || {
+            black_box(matmul_bt(black_box(&a), black_box(&bt)));
+        }));
+        entries.push(time_both("matmul_at", &shape, 7, || {
+            black_box(matmul_at(black_box(&at), black_box(&b)));
+        }));
+    }
+
+    // Message-passing shapes: [points, neighbours, channels] EdgeConv-style.
+    let t = Tensor::rand_uniform(&mut rng, &[1024, 20, 64], -1.0, 1.0);
+    entries.push(time_both("reduce_mid_sum", "1024x20x64", 9, || {
+        black_box(reduce_mid_axis(black_box(&t), Reduction::Sum));
+    }));
+    let flat = Tensor::rand_uniform(&mut rng, &[1024 * 20, 64], -1.0, 1.0);
+    let idx: Vec<usize> = (0..1024 * 20).map(|i| i % 1024).collect();
+    entries.push(time_both("scatter_add_rows", "20480x64->1024", 9, || {
+        black_box(scatter_add_rows(black_box(&flat), black_box(&idx), 1024));
+    }));
+    entries.push(time_both("fold_rows", "20480x64/20", 9, || {
+        black_box(fold_rows(black_box(&flat), 20));
+    }));
+
+    // KNN graph construction (the grid path is what the pipeline uses).
+    let pts: Vec<f32> = (0..1024 * 3).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    entries.push(time_both("knn_grid", "1024x3 k=20", 7, || {
+        black_box(knn_grid(black_box(&pts), 3, 20));
+    }));
+
+    let json = format!(
+        "{{\n  \"bench\": \"kernels/scalar-vs-lane\",\n  \"lane_path\": \"{}\",\n  \
+         \"lane_width\": {},\n  \"kernels\": [\n    {}\n  ]\n}}\n",
+        simd::detected(),
+        simd::LANES,
+        entries.join(",\n    "),
+    );
+    // Cargo runs benches with cwd = the *package* dir (crates/bench), so a
+    // bare relative default would land where CI's upload step never looks;
+    // anchor it to the workspace root instead.
+    let path = std::env::var("HGNAS_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").into()
+    });
+    std::fs::write(&path, &json).expect("write bench json");
+    println!("{path}:\n{json}");
+}
+
 criterion_group!(benches, bench_matmul, bench_knn);
-criterion_main!(benches);
+
+fn main() {
+    // HGNAS_BENCH_JSON=only skips the criterion sweep (CI's quick path);
+    // the JSON record is emitted either way.
+    let json_only = std::env::var("HGNAS_BENCH_JSON").is_ok_and(|v| v == "only");
+    if !json_only {
+        benches();
+    }
+    emit_bench_json();
+}

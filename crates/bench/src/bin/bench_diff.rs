@@ -1,0 +1,132 @@
+//! Compares a `BENCH_kernels.json` against a committed baseline.
+//!
+//! ```text
+//! bench_diff <current.json> <baseline.json> [--fail-over <ratio>]
+//! ```
+//!
+//! Both files are the one-record-per-line format `benches/kernels.rs`
+//! emits, so a dependency-free line parser is enough. For every kernel ×
+//! shape present in both files the tool prints the lane-path wall-clock
+//! ratio (current / baseline) alongside both files' scalar→lane speedups.
+//!
+//! The default mode is report-only: kernel micro-timings on shared CI
+//! runners are noisy, and a hard gate would flake. `--fail-over R` opts
+//! into failing (exit 1) when any kernel's lane time regressed by more
+//! than `R`× against the baseline — useful locally, where the noise floor
+//! is known.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One kernel record: (scalar_ms, lane_ms, speedup).
+type Record = (f64, f64, f64);
+
+/// Extracts `"key": <string-or-number>` from a single JSON line. Enough for
+/// the flat records our benches emit; not a general JSON parser.
+fn field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let rest = rest.trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        Some(stripped[..stripped.find('"')?].to_string())
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    }
+}
+
+/// Parses a kernels bench file into (lane_path, records keyed by
+/// "kernel shape").
+fn parse(path: &str) -> Result<(String, BTreeMap<String, Record>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut lane_path = String::from("?");
+    let mut records = BTreeMap::new();
+    for line in text.lines() {
+        if line.contains("\"lane_path\"") {
+            if let Some(v) = field(line, "lane_path") {
+                lane_path = v;
+            }
+        }
+        if !line.contains("\"kernel\"") {
+            continue;
+        }
+        let (Some(kernel), Some(shape)) = (field(line, "kernel"), field(line, "shape")) else {
+            continue;
+        };
+        let num = |key: &str| field(line, key).and_then(|v| v.parse::<f64>().ok());
+        let (Some(s), Some(l), Some(sp)) = (num("scalar_ms"), num("lane_ms"), num("speedup"))
+        else {
+            return Err(format!("{path}: malformed record: {line}"));
+        };
+        records.insert(format!("{kernel} {shape}"), (s, l, sp));
+    }
+    if records.is_empty() {
+        return Err(format!("{path}: no kernel records found"));
+    }
+    Ok((lane_path, records))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fail_over: Option<f64> = None;
+    let mut files: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--fail-over" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(r) => fail_over = Some(r),
+                None => {
+                    eprintln!("--fail-over needs a ratio, e.g. --fail-over 1.5");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            files.push(a);
+        }
+    }
+    let [current, baseline] = files[..] else {
+        eprintln!("usage: bench_diff <current.json> <baseline.json> [--fail-over <ratio>]");
+        return ExitCode::FAILURE;
+    };
+
+    let ((cur_path, cur), (base_path, base)) = match (parse(current), parse(baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cur_path != base_path {
+        println!("note: lane paths differ (current={cur_path}, baseline={base_path}); ratios compare different code paths");
+    }
+
+    println!(
+        "{:<34} {:>9} {:>9} {:>7}   {:>8} {:>8}",
+        "kernel", "base_ms", "cur_ms", "ratio", "base_spd", "cur_spd"
+    );
+    let mut worst: Option<(String, f64)> = None;
+    for (key, &(_, cur_lane, cur_spd)) in &cur {
+        let Some(&(_, base_lane, base_spd)) = base.get(key) else {
+            println!("{key:<34} (not in baseline)");
+            continue;
+        };
+        let ratio = cur_lane / base_lane.max(1e-9);
+        println!(
+            "{key:<34} {base_lane:>9.4} {cur_lane:>9.4} {ratio:>6.2}x   {base_spd:>7.2}x {cur_spd:>7.2}x"
+        );
+        if worst.as_ref().is_none_or(|(_, w)| ratio > *w) {
+            worst = Some((key.clone(), ratio));
+        }
+    }
+    for key in base.keys().filter(|k| !cur.contains_key(*k)) {
+        println!("{key:<34} (dropped from current)");
+    }
+
+    if let (Some(limit), Some((key, ratio))) = (fail_over, &worst) {
+        if *ratio > limit {
+            eprintln!("bench_diff: {key} regressed {ratio:.2}x > --fail-over {limit}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

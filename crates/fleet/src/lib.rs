@@ -74,5 +74,6 @@ pub use driver::{
 pub use events::{channel as event_channel, FleetEvent, SessionAction, ShardId, StreamingReporter};
 pub use oracle::{MeasurementOracle, OracleClient, OracleConfig, OracleStats, Ticket};
 pub use scheduler::{
-    Scheduler, SchedulerConfig, SchedulerReport, SessionCacheStats, ShardResult, ShardSpec,
+    PhaseTimings, Scheduler, SchedulerConfig, SchedulerReport, SessionCacheStats, ShardResult,
+    ShardSpec,
 };

@@ -136,6 +136,63 @@ pub struct SessionCacheStats {
     pub spills: u64,
 }
 
+/// Coarse wall-clock breakdown of a scheduler run, aggregated across all
+/// workers and shards (phases running on two workers at once both count,
+/// so the sum can exceed the run's wall-clock).
+///
+/// This is the re-profiling instrument for the perf roadmap: after each
+/// optimisation lands, the fleet bench records these numbers so the next
+/// bottleneck is measured, not guessed.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct PhaseTimings {
+    /// Cold latency-predictor training (zero when every shard warm-started
+    /// from the artifact store).
+    pub predictor_train_ms: f64,
+    /// Deterministic-prefix builds (dataset + Stage 1 + supernet
+    /// pre-training) the session cache could not avoid.
+    pub session_build_ms: f64,
+    /// Sessions decoded from artifact-store spills.
+    pub session_restore_ms: f64,
+    /// The search itself (`Hgnas::run_with`), minus checkpoint-sink
+    /// persistence performed inside it.
+    pub search_ms: f64,
+    /// Artifact-store writes: checkpoint sink, predictor snapshots, score
+    /// caches.
+    pub persist_ms: f64,
+}
+
+/// Lock-free nanosecond accumulators behind [`PhaseTimings`]; workers add
+/// into these concurrently.
+#[derive(Default)]
+struct PhaseClock {
+    predictor_train: AtomicU64,
+    session_build: AtomicU64,
+    session_restore: AtomicU64,
+    search: AtomicU64,
+    persist: AtomicU64,
+}
+
+impl PhaseClock {
+    /// Runs `f`, adding its wall-clock to `slot`.
+    fn time<R>(slot: &AtomicU64, f: impl FnOnce() -> R) -> R {
+        let t = std::time::Instant::now();
+        let out = f();
+        slot.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+
+    fn snapshot(&self) -> PhaseTimings {
+        let ms = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64 / 1e6;
+        PhaseTimings {
+            predictor_train_ms: ms(&self.predictor_train),
+            session_build_ms: ms(&self.session_build),
+            session_restore_ms: ms(&self.session_restore),
+            search_ms: ms(&self.search),
+            persist_ms: ms(&self.persist),
+        }
+    }
+}
+
 /// One resident session.
 struct SessionEntry {
     key: ArtifactKey,
@@ -296,6 +353,8 @@ pub struct SchedulerReport {
     pub oracle_stats: Option<OracleStats>,
     /// Session-cache counters for the whole run.
     pub session_stats: SessionCacheStats,
+    /// Where the run's wall-clock went, summed across workers.
+    pub phase_timings: PhaseTimings,
 }
 
 /// Mutable per-shard state carried between time slices.
@@ -422,6 +481,7 @@ impl Scheduler {
             self.cfg.threads.min(n).max(1)
         };
         let sessions = SessionCache::new(self.cfg.session_memory_budget);
+        let phases = PhaseClock::default();
         let states: Vec<Mutex<ShardState>> = (0..n).map(|_| Mutex::default()).collect();
         let (tx, rx) = crossbeam::channel::unbounded::<Job>();
         for i in 0..n {
@@ -437,7 +497,7 @@ impl Scheduler {
                 let rx = rx.clone();
                 let tx = tx.clone();
                 let events = events.clone();
-                let (states, remaining, budget, failure, abort, oracle, sessions) = (
+                let (states, remaining, budget, failure, abort, oracle, sessions, phases) = (
                     &states,
                     &remaining,
                     &budget,
@@ -445,6 +505,7 @@ impl Scheduler {
                     &abort,
                     oracle.as_ref(),
                     &sessions,
+                    &phases,
                 );
                 // 0 tells the slice to use the spec's own eval_threads
                 // (legacy one-worker-per-shard mode); otherwise split the
@@ -483,6 +544,7 @@ impl Scheduler {
                             store,
                             oracle,
                             sessions,
+                            phases,
                             events.as_ref(),
                         ) {
                             Ok(true) => {
@@ -545,6 +607,7 @@ impl Scheduler {
             shards,
             oracle_stats,
             session_stats: sessions.stats(),
+            phase_timings: phases.snapshot(),
         })
     }
 
@@ -560,6 +623,7 @@ impl Scheduler {
         store: Option<&ArtifactStore>,
         oracle: Option<&MeasurementOracle>,
         sessions: &SessionCache,
+        phases: &PhaseClock,
         events: Option<&Sender<FleetEvent>>,
     ) -> Result<bool, StoreError> {
         let spec = &self.specs[i];
@@ -591,12 +655,20 @@ impl Scheduler {
                 }
             }
             if pretrained.is_none() {
-                let (p, stats) = with_kernel_threads(cfg.eval_threads, || {
-                    LatencyPredictor::train(device, &spec.task.predictor_context(), &cfg.predictor)
+                let (p, stats) = PhaseClock::time(&phases.predictor_train, || {
+                    with_kernel_threads(cfg.eval_threads, || {
+                        LatencyPredictor::train(
+                            device,
+                            &spec.task.predictor_context(),
+                            &cfg.predictor,
+                        )
+                    })
                 });
                 st.predictor_epochs_run = cfg.predictor.epochs;
                 if let Some(store) = store {
-                    store.save_predictor(&key, &p.snapshot(&stats))?;
+                    PhaseClock::time(&phases.persist, || {
+                        store.save_predictor(&key, &p.snapshot(&stats))
+                    })?;
                 }
                 pretrained = Some(PretrainedPredictor {
                     predictor: Arc::new(p),
@@ -672,11 +744,13 @@ impl Scheduler {
                 let mut restored = None;
                 if let Some(store) = store {
                     if let Some(snap) = store.load_session(&search_key)? {
-                        restored = Some(Arc::new(SessionState::restore(
-                            spec.task.clone(),
-                            hgnas.config().clone(),
-                            snap,
-                        )));
+                        restored = Some(PhaseClock::time(&phases.session_restore, || {
+                            Arc::new(SessionState::restore(
+                                spec.task.clone(),
+                                hgnas.config().clone(),
+                                snap,
+                            ))
+                        }));
                     }
                 }
                 let on_disk = restored.is_some();
@@ -689,7 +763,10 @@ impl Scheduler {
                     None => {
                         st.prefix_builds += 1;
                         sessions.note_built();
-                        (Arc::new(hgnas.prepare_session()), SessionAction::Built)
+                        let built = PhaseClock::time(&phases.session_build, || {
+                            Arc::new(hgnas.prepare_session())
+                        });
+                        (built, SessionAction::Built)
                     }
                 };
                 emit(
@@ -723,9 +800,14 @@ impl Scheduler {
             .filter(|&g| g < iterations);
 
         let mut sink_err: Option<StoreError> = None;
+        // Local persist accumulator: `phases.persist` is shared with the
+        // other workers, so a cross-run delta of it would charge *their*
+        // store writes against *this* shard's search time.
+        let mut sink_persist_ns: u64 = 0;
         let mut sink = |cp: &Checkpoint| {
             if sink_err.is_none() {
                 if let Some(store) = store {
+                    let t = std::time::Instant::now();
                     let r = match cp {
                         Checkpoint::MultiStage(cp) => store
                             .save_checkpoint(&search_key, &spec.task, cp)
@@ -734,6 +816,9 @@ impl Scheduler {
                             .save_one_stage_checkpoint(&search_key, &spec.task, cp)
                             .map(|_| ()),
                     };
+                    let ns = t.elapsed().as_nanos() as u64;
+                    sink_persist_ns += ns;
+                    phases.persist.fetch_add(ns, Ordering::Relaxed);
                     if let Err(e) = r {
                         sink_err = Some(e);
                     }
@@ -760,6 +845,9 @@ impl Scheduler {
             (Some(c), Strategy::MultiStage, 0) => Some(c.clone()),
             _ => None,
         };
+        // Search time is run_with's wall-clock minus whatever the sink
+        // spent persisting checkpoints inside it.
+        let search_t = std::time::Instant::now();
         let out = hgnas.run_with(RunOptions {
             backend: oracle.map(|o| Arc::new(o.client(device)) as Arc<dyn MeasureBackend>),
             predictor: st.predictor.clone(),
@@ -770,6 +858,8 @@ impl Scheduler {
             imported_cache: imported,
             session: Some(&session),
         });
+        let search_ns = (search_t.elapsed().as_nanos() as u64).saturating_sub(sink_persist_ns);
+        phases.search.fetch_add(search_ns, Ordering::Relaxed);
         if let Some(e) = sink_err {
             return Err(e);
         }
@@ -817,7 +907,9 @@ impl Scheduler {
                 if let (Some(store), Some(Checkpoint::MultiStage(cp))) =
                     (store, out.checkpoint.as_ref())
                 {
-                    store.save_score_cache(&search_key, &spec.task, cp.functions, &cp.cache)?;
+                    PhaseClock::time(&phases.persist, || {
+                        store.save_score_cache(&search_key, &spec.task, cp.functions, &cp.cache)
+                    })?;
                 }
                 let pareto = out
                     .checkpoint

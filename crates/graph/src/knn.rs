@@ -5,8 +5,19 @@
 //! the point counts the paper sweeps (128–2048, Fig. 1). Both return
 //! identical neighbour sets (modulo exact-tie ordering); the property test
 //! below and the `knn` criterion bench compare them.
+//!
+//! The distance loop is split from the selection loop: distances for a
+//! whole candidate batch are computed first through the lane kernels in
+//! [`hgnas_tensor::simd`] (`squared_distances_3d` for the brute-force
+//! 0..n sweep, the gathered `_indexed` variant for grid-shell candidate
+//! lists), then the bounded insertion-select consumes the scored batch in
+//! the original candidate order. The lane kernels compute each distance
+//! with the exact association the old scalar fold used
+//! (`(dx²+dy²)+dz²`), so neighbour sets — ties included — are
+//! bit-identical to both the scalar fallback and the pre-lane code.
 
 use crate::neighbors::NeighborList;
+use hgnas_tensor::simd;
 use rand::Rng;
 
 #[inline]
@@ -23,22 +34,21 @@ fn validate(points: &[f32], dim: usize, k: usize) -> usize {
     n
 }
 
-/// Selects the `k` smallest-distance candidates (excluding `i` itself) via a
-/// bounded insertion sort — fast for the small `k` (≈20) GNNs use.
-fn select_k(
+/// Selects the `k` smallest-distance candidates (excluding `i` itself) from
+/// pre-scored `(index, distance)` pairs via a bounded insertion sort — fast
+/// for the small `k` (≈20) GNNs use. Consuming candidates in their batch
+/// order keeps exact-tie resolution identical to the fused scalar loop this
+/// replaced.
+fn select_k_scored(
     i: usize,
-    candidates: impl Iterator<Item = usize>,
-    points: &[f32],
-    dim: usize,
+    scored: impl Iterator<Item = (usize, f32)>,
     k: usize,
 ) -> Vec<(f32, usize)> {
-    let pi = &points[i * dim..(i + 1) * dim];
     let mut best: Vec<(f32, usize)> = Vec::with_capacity(k + 1);
-    for j in candidates {
+    for (j, d) in scored {
         if j == i {
             continue;
         }
-        let d = dist2(pi, &points[j * dim..(j + 1) * dim]);
         if best.len() == k && d >= best[k - 1].0 {
             continue;
         }
@@ -51,6 +61,20 @@ fn select_k(
     best
 }
 
+/// Fills `dists[j] = |points[i] - points[j]|²` for every point, through the
+/// lane kernel when the cloud is 3-D, the scalar [`dist2`] otherwise (both
+/// produce the same bits for 3-D inputs).
+fn fill_dists(i: usize, points: &[f32], dim: usize, dists: &mut [f32]) {
+    let pi = &points[i * dim..(i + 1) * dim];
+    if dim == 3 {
+        simd::squared_distances_3d(pi, points, dists);
+    } else {
+        for (j, d) in dists.iter_mut().enumerate() {
+            *d = dist2(pi, &points[j * dim..(j + 1) * dim]);
+        }
+    }
+}
+
 /// Brute-force exact KNN over `n` points of dimension `dim`.
 ///
 /// Each point's `k` nearest *other* points, nearest first.
@@ -61,8 +85,10 @@ fn select_k(
 pub fn knn_brute(points: &[f32], dim: usize, k: usize) -> NeighborList {
     let n = validate(points, dim, k);
     let mut idx = vec![0usize; n * k];
+    let mut dists = vec![0.0f32; n];
     for i in 0..n {
-        let best = select_k(i, 0..n, points, dim, k);
+        fill_dists(i, points, dim, &mut dists);
+        let best = select_k_scored(i, dists.iter().copied().enumerate(), k);
         for (slot, &(_, j)) in best.iter().enumerate() {
             idx[i * k + slot] = j;
         }
@@ -114,6 +140,7 @@ pub fn knn_grid(points: &[f32], dim: usize, k: usize) -> NeighborList {
 
     let mut idx = vec![0usize; n * k];
     let mut candidates: Vec<usize> = Vec::new();
+    let mut cand_dists: Vec<f32> = Vec::new();
     for i in 0..n {
         let pi = &points[i * 3..i * 3 + 3];
         let ci = cell_of(pi);
@@ -156,7 +183,13 @@ pub fn knn_grid(points: &[f32], dim: usize, k: usize) -> NeighborList {
             if candidates.is_empty() {
                 continue;
             }
-            let merged = select_k(i, candidates.iter().copied(), points, 3, k);
+            cand_dists.resize(candidates.len(), 0.0);
+            simd::squared_distances_3d_indexed(pi, points, &candidates, &mut cand_dists);
+            let merged = select_k_scored(
+                i,
+                candidates.iter().copied().zip(cand_dists.iter().copied()),
+                k,
+            );
             for (d, j) in merged {
                 if best.len() == k && d >= best[k - 1].0 {
                     continue;
@@ -283,5 +316,27 @@ mod tests {
     #[should_panic(expected = "more than k")]
     fn too_few_points_panics() {
         knn_brute(&[0.0; 9], 3, 4);
+    }
+
+    #[test]
+    fn lane_and_scalar_paths_build_identical_graphs() {
+        // The KNN distance loop runs through the lane kernels; neighbour
+        // sets (exact indices, ties included) must not depend on the path.
+        use hgnas_tensor::simd::{with_path, LanePath};
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [30usize, 97, 300] {
+            let pts = random_cloud(&mut rng, n);
+            for (builder, name) in [
+                (
+                    knn_brute as fn(&[f32], usize, usize) -> NeighborList,
+                    "brute",
+                ),
+                (knn_grid, "grid"),
+            ] {
+                let scalar = with_path(LanePath::Scalar, || builder(&pts, 3, 7));
+                let lane = with_path(LanePath::Avx2, || builder(&pts, 3, 7));
+                assert_eq!(scalar, lane, "{name} n={n} diverged across lane paths");
+            }
+        }
     }
 }

@@ -1,5 +1,12 @@
 //! Row gather/scatter and layout kernels used by graph message passing.
+//!
+//! The accumulating kernels ([`scatter_add_rows`], [`fold_rows`]) run their
+//! per-row feature loop through [`crate::simd::add_assign`] — elementwise
+//! over the feature axis, so the lane path never changes a bit.
+//! [`row_norms`] contracts with [`crate::simd::dot`]'s fixed
+//! multi-accumulator schedule (same on every path).
 
+use crate::simd;
 use crate::Tensor;
 
 /// Gathers rows of a `[n, c]` tensor: `out[i] = t[idx[i]]`, producing
@@ -38,11 +45,7 @@ pub fn scatter_add_rows(src: &Tensor, idx: &[usize], n: usize) -> Tensor {
     let mut out = vec![0.0f32; n * c];
     for (i, &dst) in idx.iter().enumerate() {
         assert!(dst < n, "scatter index {dst} out of bounds for {n} rows");
-        let row = &d[i * c..(i + 1) * c];
-        let acc = &mut out[dst * c..(dst + 1) * c];
-        for j in 0..c {
-            acc[j] += row[j];
-        }
+        simd::add_assign(&mut out[dst * c..(dst + 1) * c], &d[i * c..(i + 1) * c]);
     }
     Tensor::from_vec(out, &[n, c])
 }
@@ -88,10 +91,7 @@ pub fn fold_rows(t: &Tensor, k: usize) -> Tensor {
     for i in 0..n {
         let acc = &mut out[i * c..(i + 1) * c];
         for kk in 0..k {
-            let row = &d[(i * k + kk) * c..(i * k + kk + 1) * c];
-            for j in 0..c {
-                acc[j] += row[j];
-            }
+            simd::add_assign(acc, &d[(i * k + kk) * c..(i * k + kk + 1) * c]);
         }
     }
     Tensor::from_vec(out, &[n, c])
@@ -163,7 +163,7 @@ pub fn row_norms(t: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; n];
     for i in 0..n {
         let row = &d[i * c..(i + 1) * c];
-        out[i] = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+        out[i] = simd::dot(row, row).sqrt();
     }
     Tensor::from_vec(out, &[n, 1])
 }

@@ -7,9 +7,14 @@
 //! one level up), row gather/scatter for message passing, and broadcast
 //! elementwise arithmetic.
 //!
-//! The design goal is *predictable* performance without unsafe code or
-//! external BLAS: everything the paper's models require (EdgeConv-style
-//! message passing, GCN propagation, MLP heads) reduces to the kernels here.
+//! The design goal is *predictable* performance without external BLAS:
+//! everything the paper's models require (EdgeConv-style message passing,
+//! GCN propagation, MLP heads) reduces to the kernels here. The hot inner
+//! loops run through the [`simd`] lane layer — AVX2 behind runtime feature
+//! detection (cargo feature `simd`, on by default), with a scalar fallback
+//! executing the same lane/remainder schedule so every path is
+//! bit-identical. The only `unsafe` in the crate is the feature-gated
+//! intrinsics leg of that module.
 //!
 //! # Example
 //!
@@ -26,6 +31,7 @@ pub mod kernels;
 pub mod matmul;
 pub mod reduce;
 pub mod shape;
+pub mod simd;
 mod tensor;
 pub mod threads;
 

@@ -1,24 +1,67 @@
-//! Matrix-multiplication kernels: naive, cache-blocked, and multi-threaded.
+//! Matrix-multiplication kernels: naive, cache-blocked, multi-threaded, and
+//! lane-parallel (see [`crate::simd`]).
 //!
-//! All variants compute `C = A · B` for 2-D tensors and are exact-equivalent;
-//! the blocked/threaded versions exist purely for throughput. The ablation
-//! bench `matmul_kernels` (crate `hgnas-bench`) compares them.
+//! All variants compute `C = A · B` (or a transposed flavour) and are
+//! exact-equivalent; the blocked/threaded/lane versions exist purely for
+//! throughput. The kernels bench (`hgnas-bench`, `BENCH_kernels.json`)
+//! tracks scalar-vs-lane wall clock per shape.
+//!
+//! # Dispatch decision tree
+//!
+//! Every entry point walks the same gates, so tiny matmuls never pay
+//! thread-spawn or lane-dispatch overhead:
+//!
+//! 1. **Threads** ([`Tensor::matmul`], [`matmul_bt`], [`matmul_at`]): use
+//!    the caller's kernel budget ([`crate::threads::kernel_threads`]) only
+//!    when `budget > 1` **and** the output has at least
+//!    [`PARALLEL_MIN_ROWS`] rows **and** the total multiply-add count is at
+//!    least [`PARALLEL_MIN_WORK`]; otherwise run single-threaded. Scoped
+//!    threads cost ~100 µs to spawn+join, so row count alone is the wrong
+//!    gate for skinny shapes.
+//! 2. **Blocking**: each thread (or the single-threaded fall-through) runs
+//!    the cache-blocked kernel ([`BLOCK`]-edge tiles).
+//! 3. **Lanes**: the innermost contiguous loop dispatches through
+//!    [`crate::simd`], which itself falls back to scalar below one lane
+//!    width ([`crate::simd::LANES`]) or when AVX2 is unavailable.
+//!
+//! Every gate is value-neutral: threading partitions output rows without
+//! reordering any row's accumulation, and the lane kernels are bit-identical
+//! to their scalar fallbacks by construction. The only numeric decision is
+//! baked into the kernel itself: [`matmul_bt`] contracts with the fixed
+//! multi-accumulator schedule of [`crate::simd::dot`] on *every* path.
+//!
+//! # Zero-skip removal (IEEE semantics)
+//!
+//! Earlier revisions skipped `A` elements equal to `0.0` in the axpy
+//! kernels. The branch blocked vectorisation and made latency data-dependent
+//! (a denial-of-determinism for perf baselines), so it is gone; as a
+//! consequence `0·x` now *participates*: a zero row of `A` against a `NaN`/
+//! `∞` in `B` produces `NaN` (IEEE), where the skip used to hide it. The
+//! `zero_times_special_values_propagate` test pins the new contract.
 
+use crate::simd;
 use crate::Tensor;
 
 /// Cache-block edge length used by [`matmul_blocked`]. 64 f32 = 256 B per
 /// panel row, sized so three panels fit comfortably in L1.
 pub const BLOCK: usize = 64;
 
-/// Rows-per-thread threshold below which [`matmul_parallel`] falls back to
+/// Rows-per-thread threshold below which the threaded kernels fall back to
 /// the single-threaded blocked kernel.
 pub const PARALLEL_MIN_ROWS: usize = 128;
 
-/// Minimum total work (`m·k·n` multiply-adds) for [`matmul_parallel`] to
+/// Minimum total work (`m·k·n` multiply-adds) for the threaded kernels to
 /// spawn threads. Scoped threads cost ~100 µs to spawn+join; a skinny
 /// matmul over this many rows but few columns finishes faster than the
 /// spawn, so row count alone is the wrong gate.
 pub const PARALLEL_MIN_WORK: usize = 1 << 20;
+
+/// Whether the work-size gates allow threading `rows × work` across the
+/// given budget (step 1 of the module's decision tree).
+#[inline]
+fn threads_pay_off(threads: usize, rows: usize, work: usize) -> bool {
+    threads > 1 && rows >= PARALLEL_MIN_ROWS && work >= PARALLEL_MIN_WORK
+}
 
 fn check_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
     assert_eq!(
@@ -46,7 +89,9 @@ fn check_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
 }
 
 /// Reference triple-loop matmul (ikj order, so the inner loop streams both
-/// `B` and `C`).
+/// `B` and `C`). Kept deliberately scalar and branch-free: it is the
+/// independent reference the lane kernels are asserted bit-identical
+/// against (per-element accumulation order over `p` is the same).
 ///
 /// # Panics
 ///
@@ -58,20 +103,19 @@ pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
     for i in 0..m {
         for p in 0..k {
             let av = ad[i * k + p];
-            if av == 0.0 {
-                continue;
-            }
             let brow = &bd[p * n..(p + 1) * n];
             let crow = &mut c[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] += av * brow[j];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
             }
         }
     }
     Tensor::from_vec(c, &[m, n])
 }
 
-/// Cache-blocked matmul; identical result to [`matmul_naive`].
+/// Cache-blocked, lane-parallel matmul; bit-identical to [`matmul_naive`]
+/// (blocking only regroups the `p` loop in increasing order, and the lane
+/// axpy preserves per-element operation order).
 ///
 /// # Panics
 ///
@@ -92,16 +136,9 @@ fn matmul_blocked_into(ad: &[f32], bd: &[f32], c: &mut [f32], m: usize, k: usize
                 let j1 = (j0 + BLOCK).min(n);
                 for i in i0..i1 {
                     let arow = &ad[i * k..(i + 1) * k];
-                    let crow = &mut c[i * n..(i + 1) * n];
+                    let crow = &mut c[i * n + j0..i * n + j1];
                     for p in p0..p1 {
-                        let av = arow[p];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let brow = &bd[p * n..(p + 1) * n];
-                        for j in j0..j1 {
-                            crow[j] += av * brow[j];
-                        }
+                        simd::axpy(crow, arow[p], &bd[p * n + j0..p * n + j1]);
                     }
                 }
             }
@@ -111,7 +148,7 @@ fn matmul_blocked_into(ad: &[f32], bd: &[f32], c: &mut [f32], m: usize, k: usize
 
 /// Multi-threaded blocked matmul. Splits rows of `A` across `threads` OS
 /// threads via crossbeam's scoped threads; falls back to the single-threaded
-/// kernel for small problems.
+/// kernel below the work-size gates (see the module docs).
 ///
 /// # Panics
 ///
@@ -120,7 +157,7 @@ fn matmul_blocked_into(ad: &[f32], bd: &[f32], c: &mut [f32], m: usize, k: usize
 pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
     assert!(threads > 0, "threads must be positive");
     let (m, k, n) = check_dims(a, b);
-    if threads == 1 || m < PARALLEL_MIN_ROWS || m * k * n < PARALLEL_MIN_WORK {
+    if !threads_pay_off(threads, m, m * k * n) {
         return matmul_blocked(a, b);
     }
     let mut c = vec![0.0f32; m * n];
@@ -141,7 +178,16 @@ pub fn matmul_parallel(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
 }
 
 /// Computes `A · Bᵀ` without materialising the transpose. Useful for
-/// gradient kernels (`dX = dY · Wᵀ`).
+/// gradient kernels (`dX = dY · Wᵀ`) — it sits on the autograd hot path, so
+/// it gets the full blocked + threaded + lane treatment: tiles of `C` are
+/// filled with [`crate::simd::dot`] contractions (both operands stream
+/// contiguously along `k`), and output rows split across the caller's
+/// kernel budget behind the standard work-size gates.
+///
+/// Each element is one `simd::dot`, i.e. the fixed multi-accumulator
+/// schedule on every path — *not* the sequential fold earlier revisions
+/// used. Threading never reorders it, so results are bit-identical at any
+/// budget.
 ///
 /// # Panics
 ///
@@ -155,22 +201,50 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul_bt contraction dims differ");
     let (ad, bd) = (a.data(), b.data());
     let mut c = vec![0.0f32; m * n];
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for p in 0..k {
-                acc += arow[p] * brow[p];
+    let threads = crate::threads::kernel_threads();
+    if !threads_pay_off(threads, m, m * k * n) {
+        matmul_bt_into(ad, bd, &mut c, k, n);
+    } else {
+        let rows_per = m.div_ceil(threads);
+        crossbeam::scope(|s| {
+            for (t, chunk) in c.chunks_mut(rows_per * n).enumerate() {
+                let i0 = t * rows_per;
+                let rows = chunk.len() / n;
+                let a_slice = &ad[i0 * k..(i0 + rows) * k];
+                s.spawn(move |_| {
+                    matmul_bt_into(a_slice, bd, chunk, k, n);
+                });
             }
-            c[i * n + j] = acc;
-        }
+        })
+        .expect("matmul_bt worker thread panicked");
     }
     Tensor::from_vec(c, &[m, n])
 }
 
+/// `c[i,j] = dot(a[i], b[j])` over `c`'s rows, tiled so a [`BLOCK`]-wide
+/// panel of `B` rows stays cache-hot while `A` streams past it.
+fn matmul_bt_into(ad: &[f32], bd: &[f32], c: &mut [f32], k: usize, n: usize) {
+    let m = ad.len() / k; // dims are positive: Shape forbids zero dims
+
+    for j0 in (0..n).step_by(BLOCK) {
+        let j1 = (j0 + BLOCK).min(n);
+        for i in 0..m {
+            let arow = &ad[i * k..(i + 1) * k];
+            for j in j0..j1 {
+                c[i * n + j] = simd::dot(arow, &bd[j * k..(j + 1) * k]);
+            }
+        }
+    }
+}
+
 /// Computes `Aᵀ · B` without materialising the transpose. Useful for weight
-/// gradients (`dW = Xᵀ · dY`).
+/// gradients (`dW = Xᵀ · dY`) — like [`matmul_bt`] it is an autograd hot
+/// path and gets the blocked + threaded + lane treatment: the inner loop is
+/// the same lane axpy as [`matmul_blocked`] (elementwise over `j`, so
+/// per-element accumulation order over `p` is preserved exactly), output
+/// rows tile by [`BLOCK`] for cache reuse and split across the caller's
+/// kernel budget behind the standard work-size gates. Bit-identical at any
+/// budget and on every lane path.
 ///
 /// # Panics
 ///
@@ -184,28 +258,48 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul_at row counts differ");
     let (ad, bd) = (a.data(), b.data());
     let mut c = vec![0.0f32; m * n];
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for i in 0..m {
-            let av = arow[i];
-            if av == 0.0 {
-                continue;
+    let threads = crate::threads::kernel_threads();
+    if !threads_pay_off(threads, m, m * k * n) {
+        matmul_at_into(ad, bd, &mut c, k, m, n, 0);
+    } else {
+        let rows_per = m.div_ceil(threads);
+        crossbeam::scope(|s| {
+            for (t, chunk) in c.chunks_mut(rows_per * n).enumerate() {
+                let i0 = t * rows_per;
+                s.spawn(move |_| {
+                    matmul_at_into(ad, bd, chunk, k, m, n, i0);
+                });
             }
-            let crow = &mut c[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] += av * brow[j];
-            }
-        }
+        })
+        .expect("matmul_at worker thread panicked");
     }
     Tensor::from_vec(c, &[m, n])
 }
 
+/// Accumulates output rows `i0 .. i0 + c.len()/n` of `Aᵀ·B` into `c`
+/// (`a: [k,m]` column-major for the output, `b: [k,n]`), tiling the rows by
+/// [`BLOCK`] so the active slab of `c` stays cache-resident while `B`
+/// streams past it once per tile.
+fn matmul_at_into(ad: &[f32], bd: &[f32], c: &mut [f32], k: usize, m: usize, n: usize, i0: usize) {
+    let rows = c.len() / n; // dims are positive: Shape forbids zero dims
+    for r0 in (0..rows).step_by(BLOCK) {
+        let r1 = (r0 + BLOCK).min(rows);
+        for p in 0..k {
+            let arow = &ad[p * m..(p + 1) * m];
+            let brow = &bd[p * n..(p + 1) * n];
+            for r in r0..r1 {
+                simd::axpy(&mut c[r * n..(r + 1) * n], arow[i0 + r], brow);
+            }
+        }
+    }
+}
+
 impl Tensor {
     /// Matrix product `self · other`, dispatching on the caller's kernel
-    /// thread budget (see [`crate::threads`]): the threaded kernel when the
-    /// budget allows, the blocked kernel otherwise. Both kernels produce
-    /// bit-identical results, so the budget never affects values.
+    /// thread budget (see [`crate::threads`]) and the work-size gates — the
+    /// full decision tree is in the [module docs](self). All paths produce
+    /// bit-identical results, so neither the budget nor the lane path ever
+    /// affects values.
     ///
     /// # Panics
     ///
@@ -223,6 +317,7 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simd::LanePath;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -245,8 +340,11 @@ mod tests {
             let a = rand_mat(&mut rng, m, k);
             let b = rand_mat(&mut rng, k, n);
             let naive = matmul_naive(&a, &b);
-            assert!(matmul_blocked(&a, &b).allclose(&naive, 1e-4));
-            assert!(matmul_parallel(&a, &b, 4).allclose(&naive, 1e-4));
+            // Blocked (and therefore parallel) is bit-identical to naive,
+            // not merely close: blocking regroups the p loop in increasing
+            // order and the lane axpy preserves per-element op order.
+            assert_eq!(matmul_blocked(&a, &b).data(), naive.data());
+            assert_eq!(matmul_parallel(&a, &b, 4).data(), naive.data());
         }
     }
 
@@ -282,7 +380,9 @@ mod tests {
         // PARALLEL_MIN_ROWS rows or PARALLEL_MIN_WORK multiply-adds; on
         // either side of both gates (and exactly at them) results must
         // match the blocked kernel bit-for-bit, since row partitioning
-        // never changes any row's accumulation order.
+        // never changes any row's accumulation order. The lane path must
+        // not change values either, so the whole matrix re-runs per path
+        // (threads × lanes).
         let mut rng = StdRng::seed_from_u64(6);
         // (k, n) = (17, 9): above the row gate but far below the work
         // gate -> fallback. (96, 96): m=128 crosses both gates -> the
@@ -295,15 +395,44 @@ mod tests {
             ] {
                 let a = rand_mat(&mut rng, m, k);
                 let b = rand_mat(&mut rng, k, n);
-                let blocked = matmul_blocked(&a, &b);
-                for threads in [1, 2, 3, 8] {
-                    let par = matmul_parallel(&a, &b, threads);
-                    assert_eq!(
-                        par.data(),
-                        blocked.data(),
-                        "m={m} k={k} n={n} threads={threads} diverged"
-                    );
+                let blocked = crate::simd::with_path(LanePath::Scalar, || matmul_blocked(&a, &b));
+                for path in [LanePath::Scalar, LanePath::Avx2] {
+                    for threads in [1, 2, 3, 8] {
+                        let par = crate::simd::with_path(path, || matmul_parallel(&a, &b, threads));
+                        assert_eq!(
+                            par.data(),
+                            blocked.data(),
+                            "m={m} k={k} n={n} threads={threads} path={path} diverged"
+                        );
+                    }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_variants_bit_identical_across_threads_and_lanes() {
+        // matmul_bt / matmul_at consult the kernel budget themselves; every
+        // (budget × lane path) cell must match the serial scalar run
+        // bit-for-bit. m crosses the row gate so the threaded path runs.
+        let mut rng = StdRng::seed_from_u64(10);
+        let m = PARALLEL_MIN_ROWS + 5;
+        let (k, n) = (96, 96);
+        let a_bt = rand_mat(&mut rng, m, k);
+        let b_bt = rand_mat(&mut rng, n, k);
+        let a_at = rand_mat(&mut rng, k, m);
+        let b_at = rand_mat(&mut rng, k, n);
+        let bt_ref = crate::simd::with_path(LanePath::Scalar, || matmul_bt(&a_bt, &b_bt));
+        let at_ref = crate::simd::with_path(LanePath::Scalar, || matmul_at(&a_at, &b_at));
+        for path in [LanePath::Scalar, LanePath::Avx2] {
+            for threads in [1usize, 2, 3, 8] {
+                let (bt, at) = crate::simd::with_path(path, || {
+                    crate::threads::with_kernel_threads(threads, || {
+                        (matmul_bt(&a_bt, &b_bt), matmul_at(&a_at, &b_at))
+                    })
+                });
+                assert_eq!(bt.data(), bt_ref.data(), "bt threads={threads} path={path}");
+                assert_eq!(at.data(), at_ref.data(), "at threads={threads} path={path}");
             }
         }
     }
@@ -358,5 +487,36 @@ mod tests {
         crate::threads::with_kernel_threads(4, || {
             assert_eq!(a.matmul(&b).data(), blocked.data());
         });
+    }
+
+    #[test]
+    fn zero_times_special_values_propagate() {
+        // The zero-skip branches are gone: 0·x participates per IEEE-754.
+        // A zero row of A against NaN/∞ in B is NaN, and the sign of a
+        // 0·(-x) product no longer survives (-0.0 + 0.0 == +0.0).
+        let a = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, 1.0, -2.0], &[2, 2]);
+        for (name, c) in [
+            ("naive", matmul_naive(&a, &b)),
+            ("blocked", matmul_blocked(&a, &b)),
+            ("at", matmul_at(&a.transpose2(), &b)),
+        ] {
+            assert!(c.data()[0].is_nan(), "{name}: 0·NaN must propagate NaN");
+            assert!(c.data()[1].is_nan(), "{name}: 0·∞ + 0·(-2) must be NaN");
+        }
+        // All-finite: 0·(-x) yields -0.0, which the accumulation folds to
+        // +0.0 (never -0.0) because every sum starts from the +0.0 in C.
+        let b = Tensor::from_vec(vec![-1.0, -0.0, -3.0, -4.0], &[2, 2]);
+        for c in [
+            matmul_naive(&a, &b),
+            matmul_blocked(&a, &b),
+            matmul_at(&a.transpose2(), &b),
+        ] {
+            assert_eq!(c.data()[0].to_bits(), 0.0f32.to_bits());
+            assert_eq!(c.data()[1].to_bits(), 0.0f32.to_bits());
+        }
+        // matmul_bt contracts NaN the same way: dot([0,0], [NaN,1]) is NaN.
+        let bt = matmul_bt(&a, &Tensor::from_vec(vec![f32::NAN, 1.0], &[1, 2]));
+        assert!(bt.data()[0].is_nan());
     }
 }

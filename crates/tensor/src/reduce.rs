@@ -4,7 +4,15 @@
 //! the middle axis, and pools per-cloud node features `[n, c]` over the rows.
 //! Max/min reductions also return the winning indices so that the autograd
 //! layer can route gradients.
+//!
+//! Sum/mean accumulate through the lane kernels in [`crate::simd`]
+//! (elementwise over the feature axis, so per-element accumulation order —
+//! and therefore every bit of the result — is independent of the lane
+//! path). Max/min stay scalar: the winning-index tracking is inherently
+//! branchy, and the comparison loop is cheap next to the matmuls feeding
+//! it.
 
+use crate::simd;
 use crate::Tensor;
 
 /// Result of an arg-tracked reduction: the reduced values plus, for max/min,
@@ -76,17 +84,11 @@ pub fn reduce_mid_axis(t: &Tensor, how: Reduction) -> ArgReduce {
             for i in 0..n {
                 for kk in 0..k {
                     let row = &d[(i * k + kk) * c..(i * k + kk + 1) * c];
-                    let out = &mut values[i * c..(i + 1) * c];
-                    for j in 0..c {
-                        out[j] += row[j];
-                    }
+                    simd::add_assign(&mut values[i * c..(i + 1) * c], row);
                 }
             }
             if how == Reduction::Mean {
-                let inv = 1.0 / k as f32;
-                for v in &mut values {
-                    *v *= inv;
-                }
+                simd::scale(&mut values, 1.0 / k as f32);
             }
         }
         Reduction::Max | Reduction::Min => {
@@ -173,16 +175,10 @@ pub fn segment_reduce_rows(t: &Tensor, segments: &[usize], how: Reduction) -> Ar
         match how {
             Reduction::Sum | Reduction::Mean => {
                 for r in row0..row0 + len {
-                    let row = &d[r * c..(r + 1) * c];
-                    for j in 0..c {
-                        out[j] += row[j];
-                    }
+                    simd::add_assign(out, &d[r * c..(r + 1) * c]);
                 }
                 if how == Reduction::Mean {
-                    let inv = 1.0 / len as f32;
-                    for v in out.iter_mut() {
-                        *v *= inv;
-                    }
+                    simd::scale(out, 1.0 / len as f32);
                 }
             }
             Reduction::Max | Reduction::Min => {

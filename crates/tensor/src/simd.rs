@@ -1,0 +1,568 @@
+//! Portable `f32` lane kernels with a **bit-identical** scalar fallback.
+//!
+//! Every kernel in this module has two implementations: an 8-lane AVX2 path
+//! (`core::arch::x86_64` intrinsics behind runtime feature detection) and a
+//! pure-scalar path that executes the *same lane/remainder schedule*. The
+//! load-bearing invariant — the one the fleet layer's whole bit-identity
+//! matrix rests on — is that **both paths produce bit-identical results for
+//! every input**:
+//!
+//! - Elementwise kernels ([`axpy`], [`add_assign`], [`scale`], and the
+//!   distance kernels) compute each output element with exactly the same
+//!   sequence of IEEE-754 operations on either path; vectorising over
+//!   independent elements never reorders any element's own computation, and
+//!   `_mm256_mul_ps`/`_mm256_add_ps` round identically to scalar `*`/`+`.
+//!   No FMA is used anywhere — fused rounding would break the equality.
+//! - The reduction kernel ([`dot`]) uses a *fixed multi-accumulator
+//!   schedule*: [`LANES`] parallel partial sums filled chunk-by-chunk, the
+//!   remainder folded into the leading accumulators, then a fixed binary
+//!   tree (`hsum_tree` order) — mirrored literally in the scalar path, so
+//!   the floating-point association is the same on both.
+//!
+//! Path selection: [`detected`] probes AVX2 once (the `HGNAS_SIMD=scalar`
+//! environment variable, or building without the `simd` cargo feature,
+//! forces the scalar path — the latter keeps the offline-shim builds free
+//! of any `core::arch` surface). [`with_path`] is a process-global
+//! test/bench hook for comparing the two paths in one process; because
+//! results are path-independent, a concurrent override can never change
+//! what another thread computes, only how fast.
+//!
+//! Work-size gates: every kernel falls through to the scalar loop when the
+//! contiguous run is shorter than [`LANES`], so tiny inputs never pay lane
+//! dispatch overhead. The gate is value-neutral by the invariant above.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Lane width of the portable `f32` vector: 8 lanes (one AVX2 `__m256`).
+/// The scalar fallback mirrors this width in its accumulator schedule.
+pub const LANES: usize = 8;
+
+/// Which implementation the lane kernels run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LanePath {
+    /// 8-lane `core::arch::x86_64` AVX2 intrinsics.
+    Avx2,
+    /// Pure-scalar loops executing the same lane/remainder schedule.
+    Scalar,
+}
+
+impl std::fmt::Display for LanePath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LanePath::Avx2 => "avx2",
+            LanePath::Scalar => "scalar",
+        })
+    }
+}
+
+fn detect() -> LanePath {
+    if std::env::var("HGNAS_SIMD").is_ok_and(|v| v == "scalar" || v == "off") {
+        return LanePath::Scalar;
+    }
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return LanePath::Avx2;
+        }
+    }
+    LanePath::Scalar
+}
+
+/// The lane path this host supports (probed once; `HGNAS_SIMD=scalar` or a
+/// build without the `simd` feature pins it to [`LanePath::Scalar`]).
+pub fn detected() -> LanePath {
+    static DETECTED: OnceLock<LanePath> = OnceLock::new();
+    *DETECTED.get_or_init(detect)
+}
+
+/// 0 = no override, 1 = force scalar, 2 = force lanes (degrades to whatever
+/// [`detected`] supports).
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// The path kernels dispatch to right now: the [`with_path`] override if one
+/// is active, [`detected`] otherwise.
+pub fn active() -> LanePath {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => LanePath::Scalar,
+        _ => detected(),
+    }
+}
+
+/// Runs `f` with the kernel path forced to `path`, restoring the previous
+/// override afterwards (also on unwind). Forcing [`LanePath::Avx2`] on a
+/// host without AVX2 degrades to scalar.
+///
+/// The override is **process-global** (so it reaches kernel worker threads
+/// spawned inside `f`, e.g. by `matmul_parallel`); it is a test/bench hook,
+/// not a tuning knob. Overlapping overrides from concurrent tests can
+/// interleave arbitrarily — harmless, because both paths are bit-identical.
+pub fn with_path<R>(path: LanePath, f: impl FnOnce() -> R) -> R {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let code = match path {
+        LanePath::Scalar => 1,
+        LanePath::Avx2 => 2,
+    };
+    let prev = OVERRIDE.swap(code, Ordering::Relaxed);
+    let _restore = Restore(prev);
+    f()
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+macro_rules! lane_dispatch {
+    ($len:expr, $avx2:expr, $scalar:expr) => {
+        // Gate: below one lane there is nothing to vectorise; skip even the
+        // path lookup. Value-neutral either way.
+        if $len >= LANES && active() == LanePath::Avx2 {
+            // SAFETY: `active()` only returns Avx2 when `detected()` probed
+            // AVX2 support at runtime.
+            unsafe { $avx2 }
+        } else {
+            $scalar
+        }
+    };
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+macro_rules! lane_dispatch {
+    ($len:expr, $avx2:expr, $scalar:expr) => {
+        $scalar
+    };
+}
+
+/// `acc[i] += a * x[i]` — the matmul axpy inner loop. Lane-parallel over
+/// `i`; per-element operation order is `mul` then `add` on both paths.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn axpy(acc: &mut [f32], a: f32, x: &[f32]) {
+    assert_eq!(acc.len(), x.len(), "axpy length mismatch");
+    lane_dispatch!(acc.len(), avx2::axpy(acc, a, x), axpy_scalar(acc, a, x))
+}
+
+fn axpy_scalar(acc: &mut [f32], a: f32, x: &[f32]) {
+    for (c, &v) in acc.iter_mut().zip(x) {
+        *c += a * v;
+    }
+}
+
+/// `acc[i] += x[i]` — the reduction/scatter accumulate loop.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn add_assign(acc: &mut [f32], x: &[f32]) {
+    assert_eq!(acc.len(), x.len(), "add_assign length mismatch");
+    lane_dispatch!(
+        acc.len(),
+        avx2::add_assign(acc, x),
+        add_assign_scalar(acc, x)
+    )
+}
+
+fn add_assign_scalar(acc: &mut [f32], x: &[f32]) {
+    for (c, &v) in acc.iter_mut().zip(x) {
+        *c += v;
+    }
+}
+
+/// `buf[i] *= s` — the mean-normalisation loop.
+pub fn scale(buf: &mut [f32], s: f32) {
+    lane_dispatch!(buf.len(), avx2::scale(buf, s), scale_scalar(buf, s))
+}
+
+fn scale_scalar(buf: &mut [f32], s: f32) {
+    for v in buf.iter_mut() {
+        *v *= s;
+    }
+}
+
+/// Fixed-order horizontal sum of the [`LANES`] partial accumulators:
+/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`. Shared verbatim by both paths
+/// of [`dot`], so the reduction tree is part of the kernel's contract.
+#[inline]
+fn hsum_tree(l: &[f32; LANES]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// Dot product with the fixed multi-accumulator schedule: [`LANES`] partial
+/// sums over full chunks (`lanes[l] += a[c*8+l] * b[c*8+l]` in chunk
+/// order), the tail folded into `lanes[0..tail]`, then `hsum_tree`.
+///
+/// This is **not** the same association as a sequential `fold` — callers
+/// switching to `dot` accept a one-time numeric re-baselining in exchange
+/// for a schedule both paths can execute bit-identically (and ~`LANES`×
+/// more ILP even in scalar form).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut lanes = [0.0f32; LANES];
+    lane_dispatch!(
+        a.len(),
+        avx2::dot_lanes(a, b, &mut lanes),
+        dot_lanes_scalar(a, b, &mut lanes)
+    );
+    hsum_tree(&lanes)
+}
+
+fn dot_lanes_scalar(a: &[f32], b: &[f32], lanes: &mut [f32; LANES]) {
+    let full = a.len() / LANES * LANES;
+    let mut i = 0;
+    while i < full {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane += a[i + l] * b[i + l];
+        }
+        i += LANES;
+    }
+    for (t, i) in (full..a.len()).enumerate() {
+        lanes[t] += a[i] * b[i];
+    }
+}
+
+/// Squared Euclidean distances from one 3-D query point to every point in
+/// an interleaved `xyz` buffer: `out[j] = |q - points[j]|²`, computed as
+/// `(dx·dx + dy·dy) + dz·dz` per point — the exact association a sequential
+/// 3-term fold produces, so results match the pre-lane scalar `dist2`
+/// bit-for-bit. Elementwise over `j`, hence path-independent.
+///
+/// # Panics
+///
+/// Panics if `q` is not 3 floats or `points` is not `3 * out.len()` floats.
+pub fn squared_distances_3d(q: &[f32], points: &[f32], out: &mut [f32]) {
+    assert_eq!(q.len(), 3, "query must be a 3-D point");
+    assert_eq!(
+        points.len(),
+        out.len() * 3,
+        "points must be [n,3] for out [n]"
+    );
+    lane_dispatch!(
+        out.len(),
+        avx2::sqdist3(q, points, out, 0),
+        sqdist3_scalar(q, points, out)
+    )
+}
+
+fn sqdist3_scalar(q: &[f32], points: &[f32], out: &mut [f32]) {
+    for (o, p) in out.iter_mut().zip(points.chunks_exact(3)) {
+        *o = sqdist3_one(q, p);
+    }
+}
+
+#[inline]
+fn sqdist3_one(q: &[f32], p: &[f32]) -> f32 {
+    let dx = q[0] - p[0];
+    let dy = q[1] - p[1];
+    let dz = q[2] - p[2];
+    (dx * dx + dy * dy) + dz * dz
+}
+
+/// [`squared_distances_3d`] over a gathered candidate set:
+/// `out[j] = |q - points[idx[j]]|²`. Same per-element schedule, so it is
+/// bit-identical to computing each distance scalar in `idx` order.
+///
+/// # Panics
+///
+/// Panics if `q` is not 3 floats, `idx` and `out` differ in length, or any
+/// index reaches past `points`.
+pub fn squared_distances_3d_indexed(q: &[f32], points: &[f32], idx: &[usize], out: &mut [f32]) {
+    assert_eq!(q.len(), 3, "query must be a 3-D point");
+    assert_eq!(idx.len(), out.len(), "idx/out length mismatch");
+    let n = points.len() / 3;
+    assert!(
+        idx.iter().all(|&j| j < n),
+        "candidate index out of bounds for {n} points"
+    );
+    lane_dispatch!(
+        out.len(),
+        avx2::sqdist3_indexed(q, points, idx, out),
+        sqdist3_indexed_scalar(q, points, idx, out)
+    )
+}
+
+fn sqdist3_indexed_scalar(q: &[f32], points: &[f32], idx: &[usize], out: &mut [f32]) {
+    for (o, &j) in out.iter_mut().zip(idx) {
+        *o = sqdist3_one(q, &points[j * 3..j * 3 + 3]);
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    //! The AVX2 legs. Every function requires the `avx2` target feature
+    //! (guaranteed by the runtime dispatch in the parent module) and mirrors
+    //! its scalar sibling's schedule exactly: `_mm256_mul_ps` and
+    //! `_mm256_add_ps` round per-lane exactly like scalar `*`/`+`, and no
+    //! FMA contraction is ever emitted from explicit intrinsics.
+
+    use super::LANES;
+    use core::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy(acc: &mut [f32], a: f32, x: &[f32]) {
+        let n = acc.len();
+        let va = _mm256_set1_ps(a);
+        let mut i = 0;
+        while i + LANES <= n {
+            let vx = _mm256_loadu_ps(x.as_ptr().add(i));
+            let vc = _mm256_loadu_ps(acc.as_ptr().add(i));
+            let r = _mm256_add_ps(vc, _mm256_mul_ps(va, vx));
+            _mm256_storeu_ps(acc.as_mut_ptr().add(i), r);
+            i += LANES;
+        }
+        super::axpy_scalar(&mut acc[i..], a, &x[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn add_assign(acc: &mut [f32], x: &[f32]) {
+        let n = acc.len();
+        let mut i = 0;
+        while i + LANES <= n {
+            let vx = _mm256_loadu_ps(x.as_ptr().add(i));
+            let vc = _mm256_loadu_ps(acc.as_ptr().add(i));
+            _mm256_storeu_ps(acc.as_mut_ptr().add(i), _mm256_add_ps(vc, vx));
+            i += LANES;
+        }
+        super::add_assign_scalar(&mut acc[i..], &x[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale(buf: &mut [f32], s: f32) {
+        let n = buf.len();
+        let vs = _mm256_set1_ps(s);
+        let mut i = 0;
+        while i + LANES <= n {
+            let v = _mm256_loadu_ps(buf.as_ptr().add(i));
+            _mm256_storeu_ps(buf.as_mut_ptr().add(i), _mm256_mul_ps(v, vs));
+            i += LANES;
+        }
+        super::scale_scalar(&mut buf[i..], s);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_lanes(a: &[f32], b: &[f32], lanes: &mut [f32; LANES]) {
+        let full = a.len() / LANES * LANES;
+        let mut acc = _mm256_loadu_ps(lanes.as_ptr());
+        let mut i = 0;
+        while i < full {
+            let va = _mm256_loadu_ps(a.as_ptr().add(i));
+            let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+            i += LANES;
+        }
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        for (t, i) in (full..a.len()).enumerate() {
+            lanes[t] += a[i] * b[i];
+        }
+    }
+
+    /// Distances to 8 interleaved-`xyz` points at a time via stride-3
+    /// gathers; `base` offsets the candidate range (contiguous case).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sqdist3(q: &[f32], points: &[f32], out: &mut [f32], base: usize) {
+        let n = out.len();
+        let qx = _mm256_set1_ps(q[0]);
+        let qy = _mm256_set1_ps(q[1]);
+        let qz = _mm256_set1_ps(q[2]);
+        let step = _mm256_setr_epi32(0, 3, 6, 9, 12, 15, 18, 21);
+        let mut j = 0;
+        while j + LANES <= n {
+            let ix = _mm256_add_epi32(_mm256_set1_epi32(((base + j) * 3) as i32), step);
+            let d = sqdist3_gather(qx, qy, qz, points.as_ptr(), ix);
+            _mm256_storeu_ps(out.as_mut_ptr().add(j), d);
+            j += LANES;
+        }
+        super::sqdist3_scalar(q, &points[(base + j) * 3..(base + n) * 3], &mut out[j..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sqdist3_indexed(
+        q: &[f32],
+        points: &[f32],
+        idx: &[usize],
+        out: &mut [f32],
+    ) {
+        let n = out.len();
+        let qx = _mm256_set1_ps(q[0]);
+        let qy = _mm256_set1_ps(q[1]);
+        let qz = _mm256_set1_ps(q[2]);
+        let mut j = 0;
+        while j + LANES <= n {
+            let ix = _mm256_setr_epi32(
+                (idx[j] * 3) as i32,
+                (idx[j + 1] * 3) as i32,
+                (idx[j + 2] * 3) as i32,
+                (idx[j + 3] * 3) as i32,
+                (idx[j + 4] * 3) as i32,
+                (idx[j + 5] * 3) as i32,
+                (idx[j + 6] * 3) as i32,
+                (idx[j + 7] * 3) as i32,
+            );
+            let d = sqdist3_gather(qx, qy, qz, points.as_ptr(), ix);
+            _mm256_storeu_ps(out.as_mut_ptr().add(j), d);
+            j += LANES;
+        }
+        super::sqdist3_indexed_scalar(q, points, &idx[j..], &mut out[j..]);
+    }
+
+    /// `(dx·dx + dy·dy) + dz·dz` for 8 points whose `x` components sit at
+    /// float offsets `ix` (with `y`/`z` at `+1`/`+2`).
+    #[target_feature(enable = "avx2")]
+    unsafe fn sqdist3_gather(
+        qx: __m256,
+        qy: __m256,
+        qz: __m256,
+        points: *const f32,
+        ix: __m256i,
+    ) -> __m256 {
+        let px = _mm256_i32gather_ps::<4>(points, ix);
+        let py = _mm256_i32gather_ps::<4>(points.add(1), ix);
+        let pz = _mm256_i32gather_ps::<4>(points.add(2), ix);
+        let dx = _mm256_sub_ps(qx, px);
+        let dy = _mm256_sub_ps(qy, py);
+        let dz = _mm256_sub_ps(qz, pz);
+        _mm256_add_ps(
+            _mm256_add_ps(_mm256_mul_ps(dx, dx), _mm256_mul_ps(dy, dy)),
+            _mm256_mul_ps(dz, dz),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ragged lengths exercising the empty, sub-lane, exact-lane, and
+    /// lane-plus-tail schedules.
+    const RAGGED: [usize; 10] = [0, 1, 3, 7, 8, 9, 16, 17, 31, 100];
+
+    fn seq(len: usize, salt: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| (i as f32 * 0.37 + salt).sin() * 2.0)
+            .collect()
+    }
+
+    #[test]
+    fn detected_is_stable() {
+        assert_eq!(detected(), detected());
+    }
+
+    #[test]
+    fn with_path_forces_and_restores() {
+        let outer = active();
+        with_path(LanePath::Scalar, || {
+            assert_eq!(active(), LanePath::Scalar);
+        });
+        assert_eq!(active(), outer);
+    }
+
+    #[test]
+    fn axpy_matches_across_paths_and_raw_loop() {
+        for len in RAGGED {
+            let x = seq(len, 0.1);
+            let mut expect = seq(len, 0.7);
+            let mut scalar = expect.clone();
+            let mut lane = expect.clone();
+            for (c, &v) in expect.iter_mut().zip(&x) {
+                *c += 1.25 * v;
+            }
+            with_path(LanePath::Scalar, || axpy(&mut scalar, 1.25, &x));
+            with_path(LanePath::Avx2, || axpy(&mut lane, 1.25, &x));
+            assert_eq!(scalar, expect, "len {len}");
+            assert_eq!(lane, expect, "len {len}");
+        }
+    }
+
+    #[test]
+    fn add_assign_and_scale_match_across_paths() {
+        for len in RAGGED {
+            let x = seq(len, 0.3);
+            let base = seq(len, 0.9);
+            let (mut s1, mut l1) = (base.clone(), base.clone());
+            with_path(LanePath::Scalar, || add_assign(&mut s1, &x));
+            with_path(LanePath::Avx2, || add_assign(&mut l1, &x));
+            assert_eq!(s1, l1, "add_assign len {len}");
+            with_path(LanePath::Scalar, || scale(&mut s1, 0.77));
+            with_path(LanePath::Avx2, || scale(&mut l1, 0.77));
+            assert_eq!(s1, l1, "scale len {len}");
+        }
+    }
+
+    #[test]
+    fn dot_matches_across_paths() {
+        for len in RAGGED {
+            let a = seq(len, 0.2);
+            let b = seq(len, 0.5);
+            let s = with_path(LanePath::Scalar, || dot(&a, &b));
+            let l = with_path(LanePath::Avx2, || dot(&a, &b));
+            assert_eq!(s.to_bits(), l.to_bits(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_schedule_is_the_documented_one() {
+        // One full chunk plus a 3-long tail: lanes fill per the fixed
+        // schedule, then the tree sums them in the documented order.
+        let a: Vec<f32> = (0..11).map(|i| i as f32 + 0.5).collect();
+        let b: Vec<f32> = (0..11).map(|i| (i as f32).cos()).collect();
+        let mut lanes = [0.0f32; LANES];
+        for l in 0..LANES {
+            lanes[l] += a[l] * b[l];
+        }
+        for t in 0..3 {
+            lanes[t] += a[LANES + t] * b[LANES + t];
+        }
+        assert_eq!(dot(&a, &b).to_bits(), hsum_tree(&lanes).to_bits());
+    }
+
+    #[test]
+    fn distances_match_across_paths() {
+        let pts = seq(64 * 3, 0.4);
+        let q = &pts[9..12];
+        let mut s = vec![0.0f32; 64];
+        let mut l = vec![0.0f32; 64];
+        with_path(LanePath::Scalar, || squared_distances_3d(q, &pts, &mut s));
+        with_path(LanePath::Avx2, || squared_distances_3d(q, &pts, &mut l));
+        assert_eq!(s, l);
+        // Indexed variant, deliberately shuffled + duplicated indices.
+        let idx: Vec<usize> = (0..64).map(|i| (i * 13 + 5) % 64).collect();
+        let mut si = vec![0.0f32; idx.len()];
+        let mut li = vec![0.0f32; idx.len()];
+        with_path(LanePath::Scalar, || {
+            squared_distances_3d_indexed(q, &pts, &idx, &mut si)
+        });
+        with_path(LanePath::Avx2, || {
+            squared_distances_3d_indexed(q, &pts, &idx, &mut li)
+        });
+        assert_eq!(si, li);
+        for (t, &j) in idx.iter().enumerate() {
+            assert_eq!(si[t].to_bits(), s[j].to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn indexed_distances_check_bounds() {
+        let pts = [0.0f32; 9];
+        let mut out = [0.0f32; 1];
+        squared_distances_3d_indexed(&pts[0..3], &pts, &[3], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        axpy(&mut [0.0; 3], 1.0, &[0.0; 4]);
+    }
+}

@@ -1,16 +1,36 @@
 //! Property-based tests for the tensor kernels.
 
 use hgnas_tensor::kernels::{
-    concat_cols, fold_rows, gather_rows, repeat_rows, scatter_add_rows, split_cols,
+    concat_cols, fold_rows, gather_rows, repeat_rows, row_norms, scatter_add_rows, split_cols,
 };
-use hgnas_tensor::matmul::{matmul_blocked, matmul_bt, matmul_naive, matmul_parallel};
-use hgnas_tensor::reduce::{reduce_mid_axis, Reduction};
+use hgnas_tensor::matmul::{matmul_at, matmul_blocked, matmul_bt, matmul_naive, matmul_parallel};
+use hgnas_tensor::reduce::{reduce_mid_axis, segment_reduce_rows, Reduction};
+use hgnas_tensor::simd::{self, LanePath};
+use hgnas_tensor::threads::with_kernel_threads;
 use hgnas_tensor::Tensor;
 use proptest::prelude::*;
 
 fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
     prop::collection::vec(-10.0f32..10.0, rows * cols)
         .prop_map(move |data| Tensor::from_vec(data, &[rows, cols]))
+}
+
+/// Runs `f` once on the scalar path and once on the lane path (which degrades
+/// to scalar on hosts without AVX2) and returns both results for bitwise
+/// comparison.
+fn on_both_paths<R>(mut f: impl FnMut() -> R) -> (R, R) {
+    let scalar = simd::with_path(LanePath::Scalar, &mut f);
+    let lanes = simd::with_path(LanePath::Avx2, &mut f);
+    (scalar, lanes)
+}
+
+/// Bitwise equality of two tensors (NaN == NaN, -0.0 != +0.0).
+fn bits_eq(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 proptest! {
@@ -102,5 +122,131 @@ proptest! {
         let sum = reduce_mid_axis(&t, Reduction::Sum).values;
         let mean = reduce_mid_axis(&t, Reduction::Mean).values;
         prop_assert!(sum.allclose(&mean.scale(5.0), 1e-3));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scalar == lane bit-identity
+//
+// Every kernel ported to the `simd` lane layer must produce the exact same
+// bits whether the AVX2 leg or the scalar fallback runs, at every thread
+// budget. Shapes are deliberately ragged (not multiples of the 8-wide lane)
+// so the remainder schedule is exercised too.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simd_primitives_bit_identical(
+        len in 1usize..70, seed in 0u64..1000
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(&mut rng, &[1, len], -3.0, 3.0);
+        let y = Tensor::rand_uniform(&mut rng, &[1, len], -3.0, 3.0);
+        let acc0 = Tensor::rand_uniform(&mut rng, &[1, len], -3.0, 3.0);
+
+        let (s, l) = on_both_paths(|| {
+            let mut acc = acc0.data().to_vec();
+            simd::axpy(&mut acc, 1.7, x.data());
+            simd::add_assign(&mut acc, y.data());
+            simd::scale(&mut acc, 0.3);
+            (acc, simd::dot(x.data(), y.data()))
+        });
+        prop_assert!(s.0.iter().zip(&l.0).all(|(a, b)| a.to_bits() == b.to_bits()));
+        prop_assert_eq!(s.1.to_bits(), l.1.to_bits());
+    }
+
+    #[test]
+    fn distances_3d_bit_identical(
+        n in 1usize..40, seed in 0u64..1000
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = Tensor::rand_uniform(&mut rng, &[1, 3], -1.0, 1.0);
+        let pts = Tensor::rand_uniform(&mut rng, &[n, 3], -1.0, 1.0);
+        // Every other point, reversed: a ragged, non-contiguous index set.
+        let idx: Vec<usize> = (0..n).rev().step_by(2).collect();
+
+        let (s, l) = on_both_paths(|| {
+            let mut d = vec![0.0f32; n];
+            simd::squared_distances_3d(q.data(), pts.data(), &mut d);
+            let mut di = vec![0.0f32; idx.len()];
+            simd::squared_distances_3d_indexed(q.data(), pts.data(), &idx, &mut di);
+            (d, di)
+        });
+        prop_assert!(s.0.iter().zip(&l.0).all(|(a, b)| a.to_bits() == b.to_bits()));
+        prop_assert!(s.1.iter().zip(&l.1).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn matmul_family_bit_identical(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24,
+        threads in 1usize..5, seed in 0u64..1000
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&mut rng, &[m, k], -2.0, 2.0);
+        let b = Tensor::rand_uniform(&mut rng, &[k, n], -2.0, 2.0);
+        let at = a.transpose2();
+        let bt = b.transpose2();
+
+        let (s, l) = on_both_paths(|| with_kernel_threads(threads, || (
+            matmul_blocked(&a, &b),
+            matmul_parallel(&a, &b, threads),
+            matmul_bt(&a, &bt),
+            matmul_at(&at, &b),
+        )));
+        prop_assert!(bits_eq(&s.0, &l.0), "blocked diverged");
+        prop_assert!(bits_eq(&s.1, &l.1), "parallel diverged");
+        prop_assert!(bits_eq(&s.2, &l.2), "bt diverged");
+        prop_assert!(bits_eq(&s.3, &l.3), "at diverged");
+        // The serial blocked kernel is also the parallel kernel's per-chunk
+        // body: same bits at any thread budget.
+        prop_assert!(bits_eq(&s.0, &s.1), "threads changed bits");
+    }
+
+    #[test]
+    fn reductions_bit_identical(
+        rows in 1usize..6, mid in 1usize..12, cols in 1usize..12, seed in 0u64..1000
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::rand_uniform(&mut rng, &[rows, mid, cols], -5.0, 5.0);
+        let flat = Tensor::rand_uniform(&mut rng, &[mid, cols], -5.0, 5.0);
+        // Ragged segment lengths (3,3,...,remainder) summing to the row count.
+        let mut segments = vec![3usize; mid / 3];
+        if mid % 3 != 0 {
+            segments.push(mid % 3);
+        }
+
+        for how in [Reduction::Sum, Reduction::Mean] {
+            let (s, l) = on_both_paths(|| (
+                reduce_mid_axis(&t, how).values,
+                segment_reduce_rows(&flat, &segments, how).values,
+            ));
+            prop_assert!(bits_eq(&s.0, &l.0), "reduce_mid_axis diverged");
+            prop_assert!(bits_eq(&s.1, &l.1), "segment_reduce_rows diverged");
+        }
+    }
+
+    #[test]
+    fn row_kernels_bit_identical(
+        rows in 1usize..10, cols in 1usize..20, k in 1usize..5, seed in 0u64..1000
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::rand_uniform(&mut rng, &[rows * k, cols], -4.0, 4.0);
+        let idx: Vec<usize> = (0..rows * k).map(|i| i % rows).collect();
+
+        let (s, l) = on_both_paths(|| (
+            scatter_add_rows(&t, &idx, rows),
+            fold_rows(&t, k),
+            row_norms(&t),
+        ));
+        prop_assert!(bits_eq(&s.0, &l.0), "scatter_add_rows diverged");
+        prop_assert!(bits_eq(&s.1, &l.1), "fold_rows diverged");
+        prop_assert!(bits_eq(&s.2, &l.2), "row_norms diverged");
     }
 }
