@@ -4,7 +4,7 @@ use hgnas_tensor::kernels::{
     concat_cols, fold_rows, gather_rows, repeat_rows, row_norms, scatter_add_rows, split_cols,
 };
 use hgnas_tensor::reduce::{reduce_mid_axis, segment_reduce_rows, Reduction};
-use hgnas_tensor::Tensor;
+use hgnas_tensor::{simd, Tensor};
 
 /// Handle to a value recorded on a [`Tape`].
 ///
@@ -415,7 +415,10 @@ impl Tape {
             return;
         }
         match &mut self.nodes[v.0].grad {
-            Some(existing) => *existing = existing.zip_map(&g, |a, b| a + b),
+            // In-place lane-kernel accumulate: elementwise `+` in the same
+            // per-element order as the zip_map it replaced, minus the
+            // intermediate allocation.
+            Some(existing) => simd::add_assign(existing.data_mut(), g.data()),
             slot @ None => *slot = Some(g),
         }
     }

@@ -4,8 +4,14 @@
 //! increasing thread budgets (cold cache), plus the fully-memoised path.
 //! The per-candidate work is the real Stage-2 hot path: a one-shot
 //! supernet accuracy evaluation.
+//!
+//! Besides the criterion sweep, the bench always writes a
+//! machine-readable `BENCH_evaluator.json` (cold serial vs. cold 4-thread
+//! vs. fully-memoised wall-clock) so CI can track the perf trajectory;
+//! `HGNAS_BENCH_JSON=only` skips the sweep and emits just the record,
+//! `HGNAS_BENCH_OUT` overrides the output path.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use hgnas_core::{CandidateScorer, Evaluator, Supernet, TaskConfig};
 use hgnas_ops::{FunctionSet, OpType};
 use hgnas_pointcloud::{PointCloud, SynthNet40};
@@ -89,5 +95,90 @@ fn bench_generation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Best-of-3 wall-clock of `f`, in milliseconds.
+fn time_best_ms(mut f: impl FnMut()) -> f64 {
+    (0..3)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Writes the machine-readable perf record CI uploads: one 16-candidate
+/// generation scored cold serially, cold at 4 threads, and fully memoised.
+fn emit_bench_json() {
+    let task = TaskConfig::small(11);
+    let ds = SynthNet40::generate(&task.dataset);
+    let mut rng = StdRng::seed_from_u64(1);
+    let sn = Supernet::new(
+        &mut rng,
+        task.positions,
+        task.supernet_hidden,
+        task.k,
+        task.classes(),
+        FunctionSet::dgcnn_like(64),
+        FunctionSet::dgcnn_like(128),
+        &task.head_hidden,
+    );
+    let clouds = &ds.test[..32.min(ds.test.len())];
+    let genomes = distinct_genomes(&sn, 16, 2);
+    let cold = |threads: usize| {
+        time_best_ms(|| {
+            let mut ev = Evaluator::new(
+                AccuracyScorer {
+                    supernet: &sn,
+                    clouds,
+                },
+                threads,
+                42,
+                |_: &Vec<OpType>, f: &f64, _| *f,
+            );
+            black_box(ev.evaluate_batch(&genomes));
+        })
+    };
+    let (cold_serial_ms, cold_parallel4_ms) = (cold(1), cold(4));
+    let mut warm_ev = Evaluator::new(
+        AccuracyScorer {
+            supernet: &sn,
+            clouds,
+        },
+        1,
+        42,
+        |_: &Vec<OpType>, f: &f64, _| *f,
+    );
+    warm_ev.evaluate_batch(&genomes);
+    let warm_cache_ms = time_best_ms(|| {
+        black_box(warm_ev.evaluate_batch(&genomes));
+    });
+    let json = format!(
+        "{{\n  \"bench\": \"evaluator/generation16\",\n  \"candidates\": {},\n  \
+         \"cold_serial_ms\": {cold_serial_ms:.3},\n  \
+         \"cold_parallel4_ms\": {cold_parallel4_ms:.3},\n  \
+         \"warm_cache_ms\": {warm_cache_ms:.3},\n  \
+         \"parallel_speedup\": {:.3}\n}}\n",
+        genomes.len(),
+        cold_serial_ms / cold_parallel4_ms.max(1e-9),
+    );
+    let path = std::env::var("HGNAS_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_evaluator.json").into()
+    });
+    std::fs::write(&path, json).expect("write bench json");
+    println!(
+        "{path}: cold serial {cold_serial_ms:.0} ms, cold 4-thread {cold_parallel4_ms:.0} ms, \
+         warm {warm_cache_ms:.3} ms"
+    );
+}
+
 criterion_group!(benches, bench_generation);
-criterion_main!(benches);
+
+fn main() {
+    // HGNAS_BENCH_JSON=only skips the criterion sweep (CI's quick path);
+    // the JSON record is emitted either way.
+    let json_only = std::env::var("HGNAS_BENCH_JSON").is_ok_and(|v| v == "only");
+    if !json_only {
+        benches();
+    }
+    emit_bench_json();
+}

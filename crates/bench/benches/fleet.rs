@@ -11,11 +11,14 @@
 //!   overhead. With the session cache (PR 5) fine strides no longer
 //!   replay Stage 1 + supernet pre-training per slice.
 //!
-//! Besides the criterion sweep, the bench always writes a
-//! machine-readable `BENCH_fleet.json` (slice-replay vs. session-cache
-//! wall-clock on a stride-1 fleet) so CI can track the perf trajectory;
-//! `HGNAS_BENCH_JSON=only` skips the sweep and emits just the record,
-//! `HGNAS_BENCH_OUT` overrides the output path.
+//! Besides the criterion sweep, the bench always writes two
+//! machine-readable records so CI can track the perf trajectory:
+//! `BENCH_fleet.json` (slice-replay vs. session-cache wall-clock on a
+//! stride-1 fleet whose same-seed shards share prefix-keyed sessions
+//! across devices) and `BENCH_oracle.json` (inline vs. pipelined
+//! measurement throughput). `HGNAS_BENCH_JSON=only` skips the sweep and
+//! emits just the records, `HGNAS_BENCH_OUT` overrides the fleet record's
+//! output path.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use hgnas_core::{LatencyMode, SearchConfig, TaskConfig};
@@ -155,9 +158,69 @@ fn time_fleet(
     (ms, builds, report.phase_timings)
 }
 
+/// Best-of-3 wall-clock of `f`, in milliseconds.
+fn time_best_ms(mut f: impl FnMut()) -> f64 {
+    (0..3)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Writes the oracle throughput record: 64 inline measurements vs. the
+/// same batch pipelined through 1/2/4-worker per-device pools.
+fn emit_oracle_json() {
+    const REQUESTS: u64 = 64;
+    let w = probe_workload();
+    let device = DeviceKind::JetsonTx2;
+    let profile = device.profile();
+    let inline_ms = time_best_ms(|| {
+        for i in 0..REQUESTS {
+            black_box(profile.measure_seeded(&w, i).unwrap());
+        }
+    });
+    let pipelined: Vec<(usize, f64)> = [1usize, 2, 4]
+        .iter()
+        .map(|&workers| {
+            let cfg = OracleConfig {
+                workers_per_device: workers,
+                ..OracleConfig::default()
+            };
+            let oracle = MeasurementOracle::start(&[device], &cfg);
+            let client = oracle.client(device);
+            let ms = time_best_ms(|| {
+                let tickets: Vec<Ticket> =
+                    (0..REQUESTS).map(|i| client.submit(w.clone(), i)).collect();
+                for t in tickets {
+                    black_box(t.wait().unwrap());
+                }
+            });
+            drop(client);
+            oracle.shutdown();
+            (workers, ms)
+        })
+        .collect();
+    let mut json = format!(
+        "{{\n  \"bench\": \"fleet/oracle64\",\n  \"requests\": {REQUESTS},\n  \
+         \"inline_ms\": {inline_ms:.3}"
+    );
+    for &(workers, ms) in &pipelined {
+        json.push_str(&format!(",\n  \"pipelined{workers}_ms\": {ms:.3}"));
+    }
+    json.push_str("\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_oracle.json");
+    std::fs::write(path, json).expect("write bench json");
+    println!("{path}: inline {inline_ms:.1} ms, pipelined {pipelined:?}");
+}
+
 /// Writes the machine-readable perf record CI uploads: the same stride-1
 /// 4-shard fleet timed with the prefix replayed every slice (session
-/// budget 0, no store — the pre-PR-5 behaviour) vs. the session cache.
+/// budget 0, no store — the pre-PR-5 behaviour) vs. the prefix-keyed
+/// session cache. Three of the four shards share one prefix fingerprint
+/// (same seed, different devices), so the cached run performs 2 builds
+/// for 4 shards — the PR-7 sharing win on top of the PR-5 residency win.
 fn emit_bench_json() {
     let specs = tiny_specs(&[
         (DeviceKind::Rtx3080, 0),
@@ -208,4 +271,5 @@ fn main() {
         benches();
     }
     emit_bench_json();
+    emit_oracle_json();
 }

@@ -1,19 +1,25 @@
-//! Compares a `BENCH_kernels.json` against a committed baseline.
+//! Compares a `BENCH_*.json` perf record against a committed baseline.
 //!
 //! ```text
 //! bench_diff <current.json> <baseline.json> [--fail-over <ratio>]
 //! ```
 //!
-//! Both files are the one-record-per-line format `benches/kernels.rs`
-//! emits, so a dependency-free line parser is enough. For every kernel ×
-//! shape present in both files the tool prints the lane-path wall-clock
-//! ratio (current / baseline) alongside both files' scalar→lane speedups.
+//! Two formats are auto-detected:
 //!
-//! The default mode is report-only: kernel micro-timings on shared CI
-//! runners are noisy, and a hard gate would flake. `--fail-over R` opts
-//! into failing (exit 1) when any kernel's lane time regressed by more
-//! than `R`× against the baseline — useful locally, where the noise floor
-//! is known.
+//! - **kernels** (`benches/kernels.rs`): one record per line with
+//!   `"kernel"`/`"shape"`/`"scalar_ms"`/`"lane_ms"` fields. For every
+//!   kernel × shape present in both files the tool prints the lane-path
+//!   wall-clock ratio (current / baseline) alongside both files'
+//!   scalar→lane speedups.
+//! - **flat timings** (`benches/fleet.rs`, `benches/evaluator.rs`): any
+//!   JSON whose interesting numbers are `*_ms` fields — including nested
+//!   phase breakdowns like `session_build_ms` — plus `speedup`. Every
+//!   `*_ms` metric present in both files is compared current / baseline.
+//!
+//! The default mode is report-only: timings on shared CI runners are
+//! noisy, and a hard gate would flake. `--fail-over R` opts into failing
+//! (exit 1) when any compared time regressed by more than `R`× against
+//! the baseline — useful locally, where the noise floor is known.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -35,10 +41,64 @@ fn field(line: &str, key: &str) -> Option<String> {
     }
 }
 
+/// Extracts every `"<name>_ms": <number>` (and `"speedup"`) from the whole
+/// text, nested objects included — the flat-timings format of the fleet
+/// and evaluator bench records.
+fn parse_timings(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut rest = text;
+    while let Some(q) = rest.find('"') {
+        let after = &rest[q + 1..];
+        let Some(endq) = after.find('"') else { break };
+        let key = &after[..endq];
+        let tail = &after[endq + 1..];
+        if key.ends_with("_ms") || key == "speedup" {
+            if let Some(value) = tail.trim_start().strip_prefix(':') {
+                let value = value.trim_start();
+                let end = value
+                    .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+                    .unwrap_or(value.len());
+                if let Ok(n) = value[..end].parse::<f64>() {
+                    out.insert(key.to_string(), n);
+                }
+            }
+        }
+        rest = tail;
+    }
+    out
+}
+
+/// Compares two flat-timings records; returns the worst `_ms` ratio.
+fn diff_timings(
+    cur: &BTreeMap<String, f64>,
+    base: &BTreeMap<String, f64>,
+) -> Option<(String, f64)> {
+    println!(
+        "{:<34} {:>10} {:>10} {:>7}",
+        "metric", "base", "cur", "ratio"
+    );
+    let mut worst: Option<(String, f64)> = None;
+    for (key, &cur_v) in cur {
+        let Some(&base_v) = base.get(key) else {
+            println!("{key:<34} (not in baseline)");
+            continue;
+        };
+        let ratio = cur_v / base_v.max(1e-9);
+        println!("{key:<34} {base_v:>10.3} {cur_v:>10.3} {ratio:>6.2}x");
+        // Only wall-clock metrics gate; `speedup` going *up* is good.
+        if key.ends_with("_ms") && worst.as_ref().is_none_or(|(_, w)| ratio > *w) {
+            worst = Some((key.clone(), ratio));
+        }
+    }
+    for key in base.keys().filter(|k| !cur.contains_key(*k)) {
+        println!("{key:<34} (dropped from current)");
+    }
+    worst
+}
+
 /// Parses a kernels bench file into (lane_path, records keyed by
 /// "kernel shape").
-fn parse(path: &str) -> Result<(String, BTreeMap<String, Record>), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+fn parse(text: &str, path: &str) -> Result<(String, BTreeMap<String, Record>), String> {
     let mut lane_path = String::from("?");
     let mut records = BTreeMap::new();
     for line in text.lines() {
@@ -89,13 +149,46 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let ((cur_path, cur), (base_path, base)) = match (parse(current), parse(baseline)) {
+    let (cur_text, base_text) = match (
+        std::fs::read_to_string(current),
+        std::fs::read_to_string(baseline),
+    ) {
         (Ok(c), Ok(b)) => (c, b),
-        (Err(e), _) | (_, Err(e)) => {
-            eprintln!("bench_diff: {e}");
+        (Err(e), _) => {
+            eprintln!("bench_diff: {current}: {e}");
+            return ExitCode::FAILURE;
+        }
+        (_, Err(e)) => {
+            eprintln!("bench_diff: {baseline}: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    // Format auto-detection: per-kernel records vs. flat `*_ms` timings.
+    if !cur_text.contains("\"kernel\"") {
+        let (cur, base) = (parse_timings(&cur_text), parse_timings(&base_text));
+        if cur.is_empty() || base.is_empty() {
+            eprintln!("bench_diff: no *_ms metrics found to compare");
+            return ExitCode::FAILURE;
+        }
+        let worst = diff_timings(&cur, &base);
+        if let (Some(limit), Some((key, ratio))) = (fail_over, &worst) {
+            if *ratio > limit {
+                eprintln!("bench_diff: {key} regressed {ratio:.2}x > --fail-over {limit}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ((cur_path, cur), (base_path, base)) =
+        match (parse(&cur_text, current), parse(&base_text, baseline)) {
+            (Ok(c), Ok(b)) => (c, b),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench_diff: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     if cur_path != base_path {
         println!("note: lane paths differ (current={cur_path}, baseline={base_path}); ratios compare different code paths");
     }

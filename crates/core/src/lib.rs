@@ -52,7 +52,7 @@ pub use eval::{CandidateScorer, EvalStats, Evaluator};
 pub use objective::Objective;
 pub use pareto::pareto_front;
 pub use search::{
-    Checkpoint, Hgnas, JointGenome, LatencyMode, MeasureBackend, OneStageCheckpoint,
+    Checkpoint, Hgnas, JointGenome, LatencyMode, MeasureBackend, OneStageCheckpoint, PrefixParams,
     PretrainedPredictor, RunOptions, RunOutput, ScoredCandidate, SearchCheckpoint, SearchConfig,
     SearchOutcome, SearchedModel, SessionSnapshot, SessionState, Strategy, TaskConfig,
 };

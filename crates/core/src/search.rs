@@ -227,6 +227,58 @@ impl SearchConfig {
             seed: 0,
         }
     }
+
+    /// The prefix-relevant slice of this configuration: exactly the
+    /// fields [`Hgnas::prepare_session`] reads. Two configurations with
+    /// equal `prefix_params()` (and equal tasks) build bit-identical
+    /// [`SessionState`]s, whatever their device, α/β weights,
+    /// constraints, Stage-2 EA settings, latency mode, predictor settings
+    /// or thread budget — the single source of truth for session sharing
+    /// (`SessionState::validate` and the fleet layer's prefix fingerprint
+    /// both consume it).
+    pub fn prefix_params(&self) -> PrefixParams {
+        PrefixParams {
+            strategy: self.strategy,
+            ea_stage1: self.ea_stage1,
+            epochs_stage1: self.epochs_stage1,
+            epochs_stage2: self.epochs_stage2,
+            eval_clouds: self.eval_clouds,
+            seed: self.seed,
+        }
+    }
+}
+
+/// The deterministic-prefix inputs of a [`SearchConfig`] — what
+/// [`SearchConfig::prefix_params`] extracts. Field inventory, and why
+/// each is here:
+///
+/// - `strategy`: selects the prefix shape (Stage 1 + pre-training vs.
+///   the one-stage trivial prefix).
+/// - `ea_stage1`: drives the Stage-1 function search entirely.
+/// - `epochs_stage1` / `epochs_stage2`: Stage-1 candidate training and
+///   supernet pre-training depth.
+/// - `eval_clouds`: the Stage-1 scorer's validation subset size.
+/// - `seed`: every prefix RNG derives from it (Stage-1 seeding, the
+///   Stage-1 evaluator, pre-training).
+///
+/// Deliberately absent: the device (Stage-1 scoring never reads it —
+/// simulated clock costs use a fixed reference profile), α/β, the
+/// latency/size constraints, `ea_stage2`, the latency mode, the predictor
+/// settings and the bit-transparent thread budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefixParams {
+    /// Traversal strategy.
+    pub strategy: Strategy,
+    /// Stage-1 EA settings.
+    pub ea_stage1: EaConfig,
+    /// Supernet epochs per Stage-1 candidate.
+    pub epochs_stage1: usize,
+    /// Pre-training epochs before Stage 2.
+    pub epochs_stage2: usize,
+    /// Validation clouds per accuracy evaluation.
+    pub eval_clouds: usize,
+    /// Base RNG seed.
+    pub seed: u64,
 }
 
 /// A model found by the search.
@@ -640,18 +692,17 @@ impl SessionState {
         }
     }
 
-    /// Asserts the session was prepared for exactly this task/config pair
-    /// (modulo the bit-transparent thread budget).
+    /// Asserts the session is usable for this task/config pair: the task
+    /// must match exactly, but of the search configuration only the
+    /// *prefix-relevant* fields ([`SearchConfig::prefix_params`]) matter —
+    /// the prefix build never reads the device, α/β weights, constraints,
+    /// Stage-2 EA settings, latency mode, predictor settings or thread
+    /// budget, so configurations differing only there share sessions.
     fn validate(&self, task: &TaskConfig, config: &SearchConfig) {
         assert_eq!(&self.task, task, "session was prepared for another task");
-        let mut a = self.config.clone();
-        let mut b = config.clone();
-        // The thread budget is bit-transparent and the scheduler re-splits
-        // it per slice, so it must not invalidate a session.
-        a.eval_threads = 1;
-        b.eval_threads = 1;
         assert_eq!(
-            a, b,
+            self.config.prefix_params(),
+            config.prefix_params(),
             "session was prepared under a different search configuration"
         );
     }

@@ -2,16 +2,49 @@
 //! evaluator score caches persisted to a directory via the versioned
 //! binary [`crate::codec`].
 //!
-//! Artifacts are keyed by `(device, configuration fingerprint)` so a store
-//! can hold many tasks and search configurations side by side; writes go
-//! through a temp file + rename, so a kill mid-write can never leave a
-//! half-written artifact under a live name (and the codec's checksum
-//! rejects any other corruption at load time).
+//! Most artifacts are keyed by `(device, configuration fingerprint)` so a
+//! store can hold many tasks and search configurations side by side;
+//! writes go through a temp file + rename, so a kill mid-write can never
+//! leave a half-written artifact under a live name (and the codec's
+//! checksum rejects any other corruption at load time).
+//!
+//! # Fingerprints: prefix vs. search
+//!
+//! Two structured fingerprints partition the configuration space:
+//!
+//! - [`search_fingerprint`] covers **everything that shapes a search
+//!   outcome** (minus the bit-transparent thread budget). Checkpoints,
+//!   score caches and one-stage checkpoints are keyed by it, per device:
+//!   two shards share a checkpoint slot only when they would run the
+//!   byte-identical search.
+//! - [`prefix_fingerprint`] covers **exactly the inputs
+//!   `Hgnas::prepare_session` consumes**: the task, the strategy, the
+//!   Stage-1 EA settings, the Stage-1/Stage-2 epoch counts, the base seed
+//!   (the prefix RNG derivations all flow from it) and the eval-cloud
+//!   budget. It deliberately excludes the device (Stage-1 scoring never
+//!   reads it — clock costing uses a fixed reference profile), α/β
+//!   weights, constraints, the Stage-2 EA, the latency mode and the
+//!   predictor settings, because the session a prefix build produces is
+//!   bit-identical across all of them. [`ArtifactKind::Session`] spills
+//!   and the scheduler's resident session LRU are keyed by it (via
+//!   [`PrefixKey`]), so N shards differing only in Stage-2 seed, α/β, or
+//!   eval budget share **one** pre-trained supernet instead of N.
+//!
+//! The session-sharing rule, in one line: a session may serve any shard
+//! whose `(task, SearchConfig::prefix_params())` matches the builder's —
+//! which is exactly what `SessionState::validate` re-checks at run time.
+//!
+//! Fingerprints are *structured*, not Debug-string hashes: every field is
+//! folded with a stable numeric tag and type code through [`FieldHasher`],
+//! so a pure Rust field rename (or doc churn) never re-keys a warm store,
+//! while adding or removing a hashed field — or bumping
+//! [`FINGERPRINT_SCHEMA`] — always does (a cache miss, never a wrong hit).
+//! Golden-value tests pin the exact values.
 
-use crate::codec::{fnv1a, ArtifactKind, CodecError, Decoder, Encoder};
+use crate::codec::{ArtifactKind, CodecError, Decoder, Encoder};
 use hgnas_core::{
-    EaConfig, EaSnapshot, EvalStats, JointGenome, OneStageCheckpoint, ScoredCandidate,
-    SearchCheckpoint, SearchConfig, SearchedModel, SessionSnapshot, TaskConfig,
+    EaConfig, EaSnapshot, EvalStats, JointGenome, LatencyMode, OneStageCheckpoint, ScoredCandidate,
+    SearchCheckpoint, SearchConfig, SearchedModel, SessionSnapshot, Strategy, TaskConfig,
 };
 use hgnas_device::DeviceKind;
 use hgnas_ops::{Aggregator, Architecture, ConnectFn, FunctionSet, MessageType, OpType, SampleFn};
@@ -90,24 +123,246 @@ impl ArtifactKey {
     }
 }
 
-/// Fingerprint of everything that shapes predictor training: the task
-/// context and the full predictor configuration. Two runs with equal
-/// fingerprints train bit-identical predictors, so one can reuse the
-/// other's weights.
-pub fn predictor_fingerprint(ctx: &PredictorContext, cfg: &PredictorConfig) -> u64 {
-    // Debug formatting covers every field; cheap, deterministic, and new
-    // fields automatically invalidate old artifacts (a cache miss, never a
-    // wrong hit).
-    fnv1a(format!("{ctx:?}|{cfg:?}").as_bytes())
+/// Identifies one *shared* session slot: the device-free prefix
+/// fingerprint (see [`prefix_fingerprint`]). [`ArtifactKind::Session`]
+/// spills and the scheduler's resident session LRU use this key, so
+/// shards that agree on the deterministic prefix share one supernet
+/// whatever their device, Stage-2 seed, or objective weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrefixKey {
+    /// The prefix fingerprint.
+    pub fingerprint: u64,
+}
+
+impl PrefixKey {
+    /// The `-shared-{fingerprint}.hgart` suffix of this key's session
+    /// artifact. "shared" can never collide with a device slug
+    /// (device names are alphanumeric, and none slugifies to it), so the
+    /// stale sweep can tell prefix-keyed files from device-keyed ones.
+    fn file_suffix(&self) -> String {
+        format!("-shared-{:016x}.hgart", self.fingerprint)
+    }
+
+    fn file_name(&self) -> String {
+        format!("session{}", self.file_suffix())
+    }
+}
+
+/// Version of the fingerprint *schema* — the tag assignment and field
+/// coverage below. Folded into every fingerprint, so bumping it re-keys
+/// every artifact at once (the escape hatch when coverage must change
+/// without any Rust field changing).
+pub const FINGERPRINT_SCHEMA: u16 = 1;
+
+/// Incremental FNV-1a hasher folding `(tag, type-code, payload)` triples.
+///
+/// This is what makes the fingerprints *structural* rather than textual:
+/// field **names never enter the hash** — only the stable numeric tag the
+/// caller assigns (protobuf-style) plus a type code and the value's
+/// little-endian bytes. Renaming a Rust field therefore keeps its
+/// fingerprint, while adding a field (a new tag) or changing a value
+/// always changes it. Each fingerprint function below owns a tag
+/// namespace; tags are append-only and must never be reused for a
+/// different meaning — retire a field's tag with the field.
+#[derive(Debug, Clone)]
+pub struct FieldHasher {
+    hash: u64,
+}
+
+impl FieldHasher {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher for one fingerprint domain (e.g. `"prefix"`); the domain
+    /// string and [`FINGERPRINT_SCHEMA`] are folded first, so equal field
+    /// sequences in different domains can never collide by construction.
+    pub fn new(domain: &str) -> Self {
+        let mut h = FieldHasher {
+            hash: Self::FNV_OFFSET,
+        };
+        h.raw(&FINGERPRINT_SCHEMA.to_le_bytes());
+        h.raw(domain.as_bytes());
+        h
+    }
+
+    fn raw(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(Self::FNV_PRIME);
+        }
+    }
+
+    fn field(&mut self, tag: u16, type_code: u8, payload: &[u8]) {
+        self.raw(&tag.to_le_bytes());
+        self.raw(&[type_code]);
+        self.raw(payload);
+    }
+
+    /// Folds an unsigned integer field (usize values widen losslessly).
+    pub fn uint(&mut self, tag: u16, v: u64) {
+        self.field(tag, 1, &v.to_le_bytes());
+    }
+
+    /// Folds an `f64` field by IEEE-754 bit pattern.
+    pub fn float64(&mut self, tag: u16, v: f64) {
+        self.field(tag, 2, &v.to_bits().to_le_bytes());
+    }
+
+    /// Folds an `f32` field by IEEE-754 bit pattern.
+    pub fn float32(&mut self, tag: u16, v: f32) {
+        self.field(tag, 3, &v.to_bits().to_le_bytes());
+    }
+
+    /// Folds a bool field.
+    pub fn boolean(&mut self, tag: u16, v: bool) {
+        self.field(tag, 4, &[u8::from(v)]);
+    }
+
+    /// Folds an enum discriminant. Callers must pass a *stable* code (an
+    /// explicit match, or an index into a frozen table) — never a compiler
+    /// discriminant that variant reordering could move.
+    pub fn code(&mut self, tag: u16, v: u32) {
+        self.field(tag, 5, &v.to_le_bytes());
+    }
+
+    /// Folds an optional `f64` (presence byte, then the bits if present).
+    pub fn opt_float64(&mut self, tag: u16, v: Option<f64>) {
+        match v {
+            None => self.field(tag, 6, &[0]),
+            Some(x) => {
+                let mut payload = [0u8; 9];
+                payload[0] = 1;
+                payload[1..].copy_from_slice(&x.to_bits().to_le_bytes());
+                self.field(tag, 6, &payload);
+            }
+        }
+    }
+
+    /// Folds a length-prefixed slice of unsigned integers.
+    pub fn uint_slice(&mut self, tag: u16, v: &[usize]) {
+        let mut payload = Vec::with_capacity(8 * (v.len() + 1));
+        payload.extend_from_slice(&(v.len() as u64).to_le_bytes());
+        for &x in v {
+            payload.extend_from_slice(&(x as u64).to_le_bytes());
+        }
+        self.field(tag, 7, &payload);
+    }
+
+    /// The finished fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Tags 1–6: the dataset; 10–14: the supernet geometry. Shared by the
+/// prefix and search fingerprints (same tags — the task means the same
+/// thing in both domains).
+fn hash_task(h: &mut FieldHasher, task: &TaskConfig) {
+    h.uint(1, task.dataset.classes as u64);
+    h.uint(2, task.dataset.points as u64);
+    h.uint(3, task.dataset.train_per_class as u64);
+    h.uint(4, task.dataset.test_per_class as u64);
+    h.float32(5, task.dataset.noise);
+    h.uint(6, task.dataset.seed);
+    h.uint(10, task.positions as u64);
+    h.uint(11, task.k as u64);
+    h.uint(12, task.supernet_hidden as u64);
+    h.uint_slice(13, &task.head_hidden);
+    h.uint(14, task.seed);
+}
+
+/// Folds one EA config at tags `base..base+4`.
+fn hash_ea(h: &mut FieldHasher, base: u16, ea: &EaConfig) {
+    h.uint(base, ea.population as u64);
+    h.uint(base + 1, ea.iterations as u64);
+    h.float64(base + 2, ea.elite_fraction);
+    h.float64(base + 3, ea.mutation_prob);
+    h.uint(base + 4, ea.seed);
+}
+
+/// Stable wire code for a strategy (not the compiler discriminant).
+fn strategy_code(s: Strategy) -> u32 {
+    match s {
+        Strategy::MultiStage => 0,
+        Strategy::OneStage => 1,
+    }
+}
+
+/// Fingerprint of exactly the inputs `Hgnas::prepare_session` consumes —
+/// see the module docs for the field inventory and the sharing rule it
+/// encodes. Two configurations with equal prefix fingerprints build
+/// bit-identical [`hgnas_core::SessionState`]s, so either can use a
+/// session the other built, resident or spilled.
+pub fn prefix_fingerprint(task: &TaskConfig, cfg: &SearchConfig) -> u64 {
+    let mut h = FieldHasher::new("prefix");
+    hash_task(&mut h, task);
+    let p = cfg.prefix_params();
+    h.code(20, strategy_code(p.strategy));
+    hash_ea(&mut h, 30, &p.ea_stage1);
+    h.uint(40, p.epochs_stage1 as u64);
+    h.uint(41, p.epochs_stage2 as u64);
+    h.uint(42, p.seed);
+    h.uint(43, p.eval_clouds as u64);
+    h.finish()
 }
 
 /// Fingerprint of everything that shapes a search outcome: the task and
 /// the search configuration *minus* the thread budget, which is
 /// bit-transparent by construction and must not split the artifact space.
+/// (The device is hashed too even though the key carries it — the
+/// fingerprint alone identifies the configuration.)
 pub fn search_fingerprint(task: &TaskConfig, cfg: &SearchConfig) -> u64 {
-    let mut normalised = cfg.clone();
-    normalised.eval_threads = 1;
-    fnv1a(format!("{task:?}|{normalised:?}").as_bytes())
+    let mut h = FieldHasher::new("search");
+    hash_task(&mut h, task);
+    h.code(20, strategy_code(cfg.strategy));
+    hash_ea(&mut h, 30, &cfg.ea_stage1);
+    hash_ea(&mut h, 35, &cfg.ea_stage2);
+    h.uint(40, cfg.epochs_stage1 as u64);
+    h.uint(41, cfg.epochs_stage2 as u64);
+    h.uint(42, cfg.seed);
+    h.uint(43, cfg.eval_clouds as u64);
+    h.code(50, cfg.device.index() as u32);
+    h.float64(51, cfg.alpha);
+    h.float64(52, cfg.beta);
+    h.opt_float64(53, cfg.constraint_ms);
+    h.opt_float64(54, cfg.max_size_mb);
+    h.code(
+        55,
+        match cfg.latency_mode {
+            LatencyMode::Predictor => 0,
+            LatencyMode::Measured => 1,
+        },
+    );
+    hash_predictor_config(&mut h, 60, &cfg.predictor);
+    h.finish()
+}
+
+/// Folds a predictor config at tags `base..base+8`.
+fn hash_predictor_config(h: &mut FieldHasher, base: u16, cfg: &PredictorConfig) {
+    h.uint(base, cfg.train_samples as u64);
+    h.uint(base + 1, cfg.val_samples as u64);
+    h.uint(base + 2, cfg.epochs as u64);
+    h.float32(base + 3, cfg.lr);
+    h.uint_slice(base + 4, &cfg.gcn_dims);
+    h.uint_slice(base + 5, &cfg.mlp_hidden);
+    h.uint(base + 6, cfg.seed);
+    h.boolean(base + 7, cfg.global_node);
+    h.uint(base + 8, cfg.batch as u64);
+}
+
+/// Fingerprint of everything that shapes predictor training: the task
+/// context and the full predictor configuration. Two runs with equal
+/// fingerprints train bit-identical predictors, so one can reuse the
+/// other's weights (the target device lives in the [`ArtifactKey`]).
+pub fn predictor_fingerprint(ctx: &PredictorContext, cfg: &PredictorConfig) -> u64 {
+    let mut h = FieldHasher::new("predictor");
+    h.uint(1, ctx.positions as u64);
+    h.uint(2, ctx.points as u64);
+    h.uint(3, ctx.k as u64);
+    h.uint(4, ctx.classes as u64);
+    h.uint_slice(5, &ctx.head_hidden);
+    hash_predictor_config(&mut h, 10, cfg);
+    h.finish()
 }
 
 /// A directory of HGNAS artifacts.
@@ -339,14 +594,16 @@ impl ArtifactStore {
     /// the Stage-1 outcome plus the pre-trained supernet weights. What the
     /// scheduler's session cache writes when a memory budget evicts a
     /// parked shard's session, so the next slice restores it instead of
-    /// replaying Stage 1 + pre-training.
+    /// replaying Stage 1 + pre-training. Keyed by [`PrefixKey`] — no
+    /// device — so any shard sharing the prefix restores it (see the
+    /// module docs for the sharing rule).
     ///
     /// # Errors
     ///
     /// Propagates filesystem failures.
     pub fn save_session(
         &self,
-        key: &ArtifactKey,
+        key: &PrefixKey,
         snap: &SessionSnapshot,
     ) -> Result<PathBuf, StoreError> {
         let mut e = Encoder::new(ArtifactKind::Session);
@@ -358,7 +615,7 @@ impl ArtifactStore {
         for w in &snap.weights {
             put_tensor(&mut e, w);
         }
-        Ok(self.write_atomic(&key.file_name("session"), &e.finish())?)
+        Ok(self.write_atomic(&key.file_name(), &e.finish())?)
     }
 
     /// Loads a spilled session if the slot holds one.
@@ -366,8 +623,8 @@ impl ArtifactStore {
     /// # Errors
     ///
     /// As [`ArtifactStore::load_predictor`].
-    pub fn load_session(&self, key: &ArtifactKey) -> Result<Option<SessionSnapshot>, StoreError> {
-        let Some(bytes) = self.read_optional(&key.file_name("session"))? else {
+    pub fn load_session(&self, key: &PrefixKey) -> Result<Option<SessionSnapshot>, StoreError> {
+        let Some(bytes) = self.read_optional(&key.file_name())? else {
             return Ok(None);
         };
         let Some(mut d) = Self::open_current(&bytes, ArtifactKind::Session)? else {
@@ -449,15 +706,23 @@ impl ArtifactStore {
     }
 
     /// Deletes every artifact (all kinds) whose `(device, fingerprint)`
-    /// key is not in `live` — the stale-fingerprint sweep: a task or
+    /// key is not in `live` and whose prefix key is not in
+    /// `live_sessions` — the stale-fingerprint sweep: a task or
     /// configuration change re-fingerprints its slots and strands the old
     /// artifacts forever, since nothing will ever look them up again.
+    /// Session artifacts are device-free ([`PrefixKey`]), hence the
+    /// second live list.
     ///
     /// # Errors
     ///
     /// Propagates filesystem failures.
-    pub fn sweep_stale(&self, live: &[ArtifactKey]) -> Result<PruneReport, StoreError> {
-        let suffixes: Vec<String> = live.iter().map(ArtifactKey::file_suffix).collect();
+    pub fn sweep_stale(
+        &self,
+        live: &[ArtifactKey],
+        live_sessions: &[PrefixKey],
+    ) -> Result<PruneReport, StoreError> {
+        let mut suffixes: Vec<String> = live.iter().map(ArtifactKey::file_suffix).collect();
+        suffixes.extend(live_sessions.iter().map(PrefixKey::file_suffix));
         let mut report = PruneReport::default();
         for entry in fs::read_dir(&self.root)? {
             let entry = entry?;

@@ -23,10 +23,13 @@ pub const MAGIC: [u8; 4] = *b"HGNA";
 /// Stage-2 checkpoints, and one-stage checkpoints; v3 added the
 /// warm-import validation counters (`EvalStats::validated`/`rejected`)
 /// and the [`ArtifactKind::Session`] spill (pre-trained supernet weights
-/// plus the Stage-1 outcome). Old artifacts are rejected as
-/// [`CodecError::UnsupportedVersion`] — a safe cold start, never a wrong
-/// decode.
-pub const VERSION: u16 = 3;
+/// plus the Stage-1 outcome); v4 re-keyed [`ArtifactKind::Session`]
+/// spills by the device-free *prefix* fingerprint (structured
+/// field-tagged hashing replaced the Debug-string FNV throughout), so
+/// shards sharing a deterministic prefix share one spilled supernet. Old
+/// artifacts are rejected as [`CodecError::UnsupportedVersion`] — a safe
+/// cold start, never a wrong decode.
+pub const VERSION: u16 = 4;
 
 /// What an artifact contains (stored in the header so a predictor file can
 /// never be mistaken for a checkpoint).

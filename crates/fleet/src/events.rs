@@ -40,6 +40,11 @@ pub enum SessionAction {
     /// A session spilled to the artifact store was reloaded (weights
     /// decoded, nothing retrained).
     Restored,
+    /// Another shard was already building the same prefix, so this slice
+    /// stepped aside: it re-queued (budget refunded) and its worker moved
+    /// on to other ready shards while the build finished — the overlap
+    /// that keeps single-flight dedup from serialising the fleet.
+    Deferred,
     /// The session memory budget pushed this shard's session out of the
     /// cache; `spilled` says whether it went to the artifact store (a
     /// later slice restores it) or was dropped (a later slice replays —
@@ -131,9 +136,9 @@ pub enum FleetEvent {
         /// The error, stringified.
         error: String,
     },
-    /// Session-cache activity: built / hit / restored when a slice
-    /// resumed, evicted when the memory budget pushed a parked shard's
-    /// session out.
+    /// Session-cache activity: built / hit / restored / deferred when a
+    /// slice resumed, evicted when the memory budget pushed a parked
+    /// shard's session out.
     SessionCache {
         /// The shard the session belongs to.
         shard: ShardId,
@@ -171,6 +176,8 @@ struct Row {
     preemptions: u64,
     session_builds: u64,
     session_hits: u64,
+    session_restores: u64,
+    session_deferrals: u64,
     session_evictions: u64,
     resumed_from: Option<usize>,
     warm_predictor: bool,
@@ -241,6 +248,8 @@ impl StreamingReporter {
             preemptions: 0,
             session_builds: 0,
             session_hits: 0,
+            session_restores: 0,
+            session_deferrals: 0,
             session_evictions: 0,
             resumed_from: None,
             warm_predictor: false,
@@ -296,9 +305,14 @@ impl StreamingReporter {
                 });
             }
             FleetEvent::ShardFailed { error, .. } => row.failed = Some(error.clone()),
+            // Hits, restores and builds are three *disjoint* outcomes of
+            // claiming a session at a slice boundary; deferrals are the
+            // fourth (the slice stepped aside and will claim again).
             FleetEvent::SessionCache { action, .. } => match action {
                 SessionAction::Built => row.session_builds += 1,
-                SessionAction::Hit | SessionAction::Restored => row.session_hits += 1,
+                SessionAction::Hit => row.session_hits += 1,
+                SessionAction::Restored => row.session_restores += 1,
+                SessionAction::Deferred => row.session_deferrals += 1,
                 SessionAction::Evicted { .. } => row.session_evictions += 1,
             },
         }
@@ -313,6 +327,24 @@ impl StreamingReporter {
             .get(shard)
             .and_then(Option::as_ref)
             .map_or(0, |r| r.session_builds)
+    }
+
+    /// Slices of `shard` that resumed from a session restored off the
+    /// artifact store (disjoint from hits and builds).
+    pub fn session_restores(&self, shard: ShardId) -> u64 {
+        self.rows
+            .get(shard)
+            .and_then(Option::as_ref)
+            .map_or(0, |r| r.session_restores)
+    }
+
+    /// Slices of `shard` that stepped aside while another shard built the
+    /// shared prefix (each re-queued and ran later).
+    pub fn session_deferrals(&self, shard: ShardId) -> u64 {
+        self.rows
+            .get(shard)
+            .and_then(Option::as_ref)
+            .map_or(0, |r| r.session_deferrals)
     }
 
     /// Events folded so far.
@@ -452,11 +484,14 @@ mod tests {
             device: DeviceKind::Rtx3080,
             generation: 2,
         });
-        // Session-cache lifecycle: one build, one hit, then a budget
-        // eviction forcing a second build — a prefix replay.
+        // Session-cache lifecycle: a deferral behind another shard's
+        // build, one build, one hit, one restore off the store, then a
+        // budget eviction forcing a second build — a prefix replay.
         for action in [
+            SessionAction::Deferred,
             SessionAction::Built,
             SessionAction::Hit,
+            SessionAction::Restored,
             SessionAction::Evicted { spilled: false },
             SessionAction::Built,
         ] {
@@ -467,6 +502,8 @@ mod tests {
             });
         }
         assert_eq!(rep.session_builds(0), 2);
+        assert_eq!(rep.session_restores(0), 1, "restores counted apart");
+        assert_eq!(rep.session_deferrals(0), 1);
         assert_eq!(rep.session_builds(1), 0, "untouched shard");
         let snap = rep.snapshot();
         assert!(snap.contains("2/8"), "snapshot: {snap}");
@@ -496,6 +533,6 @@ mod tests {
         assert!(snap.contains("3.0x"), "speedup rendered: {snap}");
         assert!(snap.contains("(3 imported)"), "imports rendered: {snap}");
         assert!(snap.contains("FAILED: disk on fire"), "snapshot: {snap}");
-        assert_eq!(rep.events_seen(), 9);
+        assert_eq!(rep.events_seen(), 11);
     }
 }

@@ -17,10 +17,13 @@
 //!   preemption transparent: every cell of (shard count × thread budget ×
 //!   stride) is bit-identical to serial runs. A budgeted **session
 //!   cache** ([`SchedulerConfig::session_memory_budget`]) keeps each
-//!   configuration's deterministic prefix — Stage-1 winners plus the
-//!   pre-trained supernet — resident across slices, so fine strides cost
-//!   O(pre-training) per shard instead of per slice; evicted sessions
-//!   spill to the artifact store and restore without retraining.
+//!   deterministic prefix — Stage-1 winners plus the pre-trained
+//!   supernet — resident across slices, keyed by [`prefix_fingerprint`]
+//!   so every shard sharing a prefix (same task + Stage-1 parameters,
+//!   any device/objective/Stage-2 seed) shares one session. Builds are
+//!   single-flight: concurrent claimants of the same prefix defer and
+//!   run other shards while one build proceeds. Evicted sessions spill
+//!   to the artifact store and restore without retraining.
 //! - [`events`]: **streaming fleet reports** — the scheduler publishes
 //!   [`FleetEvent`]s (shard started / generation done / Pareto updated /
 //!   preempted / finished) over a channel; [`StreamingReporter`] folds
@@ -65,7 +68,8 @@ pub mod oracle;
 pub mod scheduler;
 
 pub use artifacts::{
-    predictor_fingerprint, search_fingerprint, ArtifactKey, ArtifactStore, PruneReport, StoreError,
+    predictor_fingerprint, prefix_fingerprint, search_fingerprint, ArtifactKey, ArtifactStore,
+    FieldHasher, PrefixKey, PruneReport, StoreError, FINGERPRINT_SCHEMA,
 };
 pub use codec::{ArtifactKind, CodecError};
 pub use driver::{

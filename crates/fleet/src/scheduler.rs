@@ -21,12 +21,25 @@
 //! oversubscribe the machine. `eval_threads` is bit-transparent, so the
 //! split never changes results either.
 //!
+//! The deterministic prefix (dataset + Stage 1 + supernet pre-training)
+//! is kept in a budgeted **session cache keyed by prefix fingerprint**
+//! ([`prefix_fingerprint`]): every shard whose prefix-relevant inputs
+//! match — same task, strategy, Stage-1 EA, epoch counts, seed, eval
+//! budget, whatever its device, objective weights or Stage-2 seed —
+//! shares one resident (or spilled) session, so a K-shard sweep over one
+//! prefix builds it exactly once. Builds are **single-flight**: while one
+//! worker builds a prefix, any other slice wanting it defers — it
+//! re-queues (its budget unit refunded) and its worker takes other work,
+//! which is what lets a prefix build overlap other shards' search slices
+//! instead of serialising the fleet behind it.
+//!
 //! Progress streams out as [`FleetEvent`]s; [`crate::StreamingReporter`]
 //! renders them incrementally, and the blocking [`crate::run_fleet`] API
 //! is a thin wrapper over `Scheduler::run`.
 
 use crate::artifacts::{
-    predictor_fingerprint, search_fingerprint, ArtifactKey, ArtifactStore, StoreError,
+    predictor_fingerprint, prefix_fingerprint, search_fingerprint, ArtifactKey, ArtifactStore,
+    PrefixKey, StoreError,
 };
 use crate::driver::ParetoPoint;
 use crate::events::{FleetEvent, SessionAction, ShardId};
@@ -40,8 +53,9 @@ use hgnas_device::DeviceKind;
 use hgnas_ops::OpType;
 use hgnas_predictor::LatencyPredictor;
 use hgnas_tensor::threads::with_kernel_threads;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// One unit of schedulable work: a full HGNAS search of `task` under
 /// `config` (the device and seed live inside the config, so a fleet can
@@ -92,9 +106,10 @@ pub struct SchedulerConfig {
     /// scheduling-round lever — and the mid-run-kill test hook.
     pub max_slices: Option<u64>,
     /// Approximate byte budget for the session cache — the LRU of
-    /// per-configuration [`SessionState`]s (dataset + Stage-1 outcome +
-    /// pre-trained supernet) kept resident across time slices so a
-    /// resumed shard never replays its deterministic prefix. `None` (the
+    /// prefix-keyed [`SessionState`]s (dataset + Stage-1 outcome +
+    /// pre-trained supernet), each shared by every shard whose
+    /// [`prefix_fingerprint`] matches, kept resident across time slices
+    /// so a resumed shard never replays its deterministic prefix. `None` (the
     /// default) keeps every session for the run's lifetime; under a
     /// budget, least-recently-used sessions are evicted — spilled to the
     /// artifact store when one is attached, dropped otherwise (the next
@@ -117,14 +132,18 @@ impl Default for SchedulerConfig {
     }
 }
 
-/// Aggregate counters of the scheduler's session cache.
+/// Aggregate counters of the scheduler's session cache. `hits`, `builds`
+/// and `restores` are **disjoint**: every executed slice claims its
+/// session through exactly one of the three, so they sum to the executed
+/// slice count.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SessionCacheStats {
     /// Slices that reused a resident session (no prefix work at all).
     pub hits: u64,
     /// Sessions computed from scratch (Stage 1 + supernet pre-training
-    /// for multi-stage shards). One per distinct configuration means
-    /// preemption never replayed the expensive prefix.
+    /// for multi-stage shards). One per distinct *prefix* means
+    /// preemption never replayed the expensive work — shards differing
+    /// only in non-prefix fields share a single build.
     pub builds: u64,
     /// Sessions reloaded from an artifact-store spill (weights decoded,
     /// nothing retrained).
@@ -134,6 +153,10 @@ pub struct SessionCacheStats {
     /// Evictions that wrote a spill artifact (the remainder were dropped:
     /// one-stage sessions, or no store attached).
     pub spills: u64,
+    /// Slices re-queued because their prefix was already being built by
+    /// another worker (single-flight): no duplicate work, no budget
+    /// consumed — the worker went on to other shards.
+    pub deferrals: u64,
 }
 
 /// Coarse wall-clock breakdown of a scheduler run, aggregated across all
@@ -195,7 +218,6 @@ impl PhaseClock {
 
 /// One resident session.
 struct SessionEntry {
-    key: ArtifactKey,
     /// The shard whose slice created the entry (used to attribute
     /// eviction events).
     owner: ShardId,
@@ -207,37 +229,198 @@ struct SessionEntry {
 }
 
 /// The budgeted LRU of [`SessionState`]s the scheduler keeps across time
-/// slices, keyed by configuration fingerprint so shards sharing a
-/// configuration share one session.
+/// slices, keyed by **prefix fingerprint** so every shard sharing a
+/// deterministic prefix (same task, strategy, Stage-1 EA, epoch counts,
+/// seed, eval budget — whatever its device, Stage-2 seed or objective
+/// weights) shares one resident session.
+///
+/// Builds are **single-flight**: [`SessionCache::claim`] hands exactly
+/// one caller a [`BuildGuard`] per missing key; every other worker
+/// wanting that key while the build is in flight gets
+/// [`SessionClaim::Deferred`] and re-queues its slice instead of building
+/// a duplicate — which is also what lets a prefix build overlap other
+/// shards' search slices on the worker budget.
 struct SessionCache {
     budget: Option<u64>,
     inner: Mutex<SessionCacheState>,
+    /// Signalled whenever an in-flight build publishes or aborts.
+    build_done: Condvar,
 }
 
 #[derive(Default)]
 struct SessionCacheState {
-    /// LRU order: front is the least recently used.
-    entries: Vec<SessionEntry>,
+    /// Resident sessions by prefix fingerprint — O(1) lookups however
+    /// many shards the fleet multiplexes.
+    entries: HashMap<u64, SessionEntry>,
+    /// LRU order over `entries` keys: front is the least recently used.
+    /// Kept separately so eviction order is exactly the old Vec cache's
+    /// (insertion order, refreshed on hit).
+    order: Vec<u64>,
+    /// Total resident bytes (maintained incrementally).
+    resident_bytes: u64,
+    /// Prefix fingerprints some worker is currently building.
+    in_flight: HashSet<u64>,
     stats: SessionCacheStats,
 }
 
+/// What [`SessionCache::claim`] resolved to.
+enum SessionClaim<'a> {
+    /// A resident session; the LRU position was refreshed and the hit
+    /// counted.
+    Ready(Arc<SessionState>),
+    /// The key is absent and the caller is now its only builder: restore
+    /// or build the session, then [`BuildGuard::fulfil`]. Dropping the
+    /// guard un-fulfilled (store error, panic) releases the key so
+    /// another worker can claim it.
+    Build(BuildGuard<'a>),
+    /// Another worker is building the key right now; the caller should
+    /// re-queue the slice (budget-neutral) and take other work.
+    Deferred,
+}
+
+/// Exclusive build permission for one prefix key (see
+/// [`SessionClaim::Build`]).
+struct BuildGuard<'a> {
+    cache: &'a SessionCache,
+    key: PrefixKey,
+    fulfilled: bool,
+}
+
+impl BuildGuard<'_> {
+    /// Publishes the built/restored session, releases the in-flight
+    /// claim, wakes deferred waiters, and applies the byte budget
+    /// (spilling evicted sessions to `store` when possible). Returns
+    /// `(owner, spilled)` per eviction for event emission.
+    fn fulfil(
+        mut self,
+        owner: ShardId,
+        session: Arc<SessionState>,
+        on_disk: bool,
+        store: Option<&ArtifactStore>,
+    ) -> Result<Vec<(ShardId, bool)>, StoreError> {
+        self.fulfilled = true;
+        let bytes = session.approx_bytes();
+        let fp = self.key.fingerprint;
+        // Evictions are decided under the lock but *spilled* outside it:
+        // serializing supernet weights to disk under the only cache mutex
+        // would stall every other worker's slice boundary. A racing worker
+        // that misses the evicted key before its spill lands simply
+        // rebuilds — bit-identical, like any other cache miss.
+        let mut to_spill = Vec::new();
+        {
+            let mut st = self.cache.inner.lock().unwrap();
+            st.in_flight.remove(&fp);
+            if let std::collections::hash_map::Entry::Vacant(slot) = st.entries.entry(fp) {
+                slot.insert(SessionEntry {
+                    owner,
+                    session,
+                    bytes,
+                    on_disk,
+                });
+                st.order.push(fp);
+                st.resident_bytes += bytes;
+            }
+            if let Some(budget) = self.cache.budget {
+                while st.resident_bytes > budget && !st.order.is_empty() {
+                    let victim = st.order.remove(0);
+                    let e = st.entries.remove(&victim).expect("order tracks entries");
+                    st.resident_bytes -= e.bytes;
+                    st.stats.evictions += 1;
+                    to_spill.push((victim, e));
+                }
+            }
+        }
+        self.cache.build_done.notify_all();
+        let mut evicted = Vec::new();
+        let mut spills = 0;
+        for (victim, mut e) in to_spill {
+            if !e.on_disk {
+                if let (Some(store), Some(snap)) = (store, e.session.export()) {
+                    store.save_session(
+                        &PrefixKey {
+                            fingerprint: victim,
+                        },
+                        &snap,
+                    )?;
+                    e.on_disk = true;
+                    spills += 1;
+                }
+            }
+            evicted.push((e.owner, e.on_disk));
+        }
+        if spills > 0 {
+            self.cache.inner.lock().unwrap().stats.spills += spills;
+        }
+        Ok(evicted)
+    }
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if !self.fulfilled {
+            self.cache
+                .inner
+                .lock()
+                .unwrap()
+                .in_flight
+                .remove(&self.key.fingerprint);
+            self.cache.build_done.notify_all();
+        }
+    }
+}
+
 impl SessionCache {
+    /// Grace window a claimant waits for an in-flight build before
+    /// deferring its slice — long enough to absorb a build that is just
+    /// publishing, short enough that the worker gets back to useful work.
+    const IN_FLIGHT_GRACE: std::time::Duration = std::time::Duration::from_millis(2);
+
     fn new(budget: Option<u64>) -> Self {
         SessionCache {
             budget,
             inner: Mutex::default(),
+            build_done: Condvar::new(),
         }
     }
 
-    /// Looks a session up, refreshing its LRU position.
-    fn get(&self, key: &ArtifactKey) -> Option<Arc<SessionState>> {
+    /// Resolves `key` to a resident session, a build permission, or a
+    /// deferral (see [`SessionClaim`]).
+    fn claim(&self, key: PrefixKey) -> SessionClaim<'_> {
+        let fp = key.fingerprint;
         let mut st = self.inner.lock().unwrap();
-        let pos = st.entries.iter().position(|e| e.key == *key)?;
-        let entry = st.entries.remove(pos);
-        let session = Arc::clone(&entry.session);
-        st.entries.push(entry);
-        st.stats.hits += 1;
-        Some(session)
+        loop {
+            if let Some(entry) = st.entries.get(&fp) {
+                let session = Arc::clone(&entry.session);
+                // Refresh the LRU position (same order discipline as the
+                // pre-map Vec cache: move-to-back on hit).
+                let pos = st.order.iter().position(|&f| f == fp).expect("order");
+                st.order.remove(pos);
+                st.order.push(fp);
+                st.stats.hits += 1;
+                return SessionClaim::Ready(session);
+            }
+            if !st.in_flight.contains(&fp) {
+                st.in_flight.insert(fp);
+                return SessionClaim::Build(BuildGuard {
+                    cache: self,
+                    key,
+                    fulfilled: false,
+                });
+            }
+            // Someone else is building this prefix. Wait out one short
+            // grace window in case it is about to publish; if it is still
+            // in flight after that, defer the slice instead of blocking a
+            // worker on another worker's build.
+            let (guard, timeout) = self
+                .build_done
+                .wait_timeout(st, Self::IN_FLIGHT_GRACE)
+                .unwrap();
+            st = guard;
+            if timeout.timed_out() && !st.entries.contains_key(&fp) && st.in_flight.contains(&fp) {
+                st.stats.deferrals += 1;
+                return SessionClaim::Deferred;
+            }
+        }
     }
 
     fn note_built(&self) {
@@ -246,64 +429,6 @@ impl SessionCache {
 
     fn note_restored(&self) {
         self.inner.lock().unwrap().stats.restores += 1;
-    }
-
-    /// Inserts a session (a concurrent builder of the same key may lose
-    /// the race; that only wastes the duplicate build) and applies the
-    /// byte budget, spilling evicted sessions to `store` when possible.
-    /// Returns `(owner, spilled)` per eviction for event emission.
-    fn insert(
-        &self,
-        key: ArtifactKey,
-        owner: ShardId,
-        session: Arc<SessionState>,
-        on_disk: bool,
-        store: Option<&ArtifactStore>,
-    ) -> Result<Vec<(ShardId, bool)>, StoreError> {
-        let bytes = session.approx_bytes();
-        // Evictions are decided under the lock but *spilled* outside it:
-        // serializing supernet weights to disk under the only cache mutex
-        // would stall every other worker's slice boundary. A racing worker
-        // that misses the evicted key before its spill lands simply
-        // rebuilds — bit-identical, like any other cache miss.
-        let mut to_spill = Vec::new();
-        {
-            let mut st = self.inner.lock().unwrap();
-            if !st.entries.iter().any(|e| e.key == key) {
-                st.entries.push(SessionEntry {
-                    key,
-                    owner,
-                    session,
-                    bytes,
-                    on_disk,
-                });
-            }
-            if let Some(budget) = self.budget {
-                while st.entries.iter().map(|e| e.bytes).sum::<u64>() > budget
-                    && !st.entries.is_empty()
-                {
-                    let e = st.entries.remove(0);
-                    st.stats.evictions += 1;
-                    to_spill.push(e);
-                }
-            }
-        }
-        let mut evicted = Vec::new();
-        let mut spills = 0;
-        for mut e in to_spill {
-            if !e.on_disk {
-                if let (Some(store), Some(snap)) = (store, e.session.export()) {
-                    store.save_session(&e.key, &snap)?;
-                    e.on_disk = true;
-                    spills += 1;
-                }
-            }
-            evicted.push((e.owner, e.on_disk));
-        }
-        if spills > 0 {
-            self.inner.lock().unwrap().stats.spills += spills;
-        }
-        Ok(evicted)
     }
 
     fn stats(&self) -> SessionCacheStats {
@@ -332,16 +457,25 @@ pub struct ShardResult {
     pub warm_predictor: bool,
     /// The generation a persisted checkpoint resumed the shard from.
     pub resumed_from_generation: Option<usize>,
-    /// Time slices the shard consumed this run.
+    /// Time slices the shard consumed this run (deferred slices are not
+    /// counted — they did no work and their budget unit was refunded).
     pub slices: u64,
     /// How many times this shard's slices computed the deterministic
     /// prefix from scratch (Stage 1 + supernet pre-training for
-    /// multi-stage shards). 1 with an adequate session memory budget —
-    /// the tentpole invariant; every extra unit is a replay the budget
-    /// forced.
+    /// multi-stage shards). With an adequate session memory budget, at
+    /// most 1 across **all shards sharing the prefix** — the tentpole
+    /// invariant; every extra unit is a replay the budget forced.
     pub prefix_builds: u64,
-    /// Slices that reused a resident (or store-restored) session.
+    /// Slices that reused a *resident* session. Disjoint from
+    /// `session_restores` and `prefix_builds`; the three sum to `slices`.
     pub session_hits: u64,
+    /// Slices that reloaded a spilled session from the artifact store
+    /// (weights decoded, nothing retrained). Counted separately from
+    /// `session_hits` so hit-rates reflect true cache residency.
+    pub session_restores: u64,
+    /// Slices re-queued because another worker was already building this
+    /// shard's prefix (single-flight). Not part of the `slices` sum.
+    pub session_deferrals: u64,
 }
 
 /// Everything a scheduler run produced.
@@ -373,6 +507,8 @@ struct ShardState {
     slices: u64,
     prefix_builds: u64,
     session_hits: u64,
+    session_restores: u64,
+    session_deferrals: u64,
     /// `(latency bits, accuracy bits)` signature of the last announced
     /// Pareto front, for change detection.
     last_front: Vec<(u64, u64)>,
@@ -385,6 +521,19 @@ enum Job {
     Slice(ShardId),
     /// Worker shutdown pill.
     Stop,
+}
+
+/// What one call to `run_slice` did.
+enum SliceOutcome {
+    /// The shard ran to completion.
+    Finished,
+    /// The slice expired; the shard re-queues behind its peers with its
+    /// checkpoint retained.
+    Preempted,
+    /// Another worker was building this shard's prefix (single-flight):
+    /// nothing ran, the shard re-queues, and the consumed budget unit is
+    /// refunded.
+    Deferred,
 }
 
 /// The fleet scheduler. See the module docs.
@@ -547,12 +696,23 @@ impl Scheduler {
                             phases,
                             events.as_ref(),
                         ) {
-                            Ok(true) => {
+                            Ok(SliceOutcome::Finished) => {
                                 drop(st);
                                 finish_one();
                             }
-                            Ok(false) => {
+                            Ok(SliceOutcome::Preempted) => {
                                 drop(st);
+                                let _ = tx.send(Job::Slice(i));
+                            }
+                            Ok(SliceOutcome::Deferred) => {
+                                drop(st);
+                                // The slice did no work: hand its budget
+                                // unit back before re-queueing, so a
+                                // deferral can never starve a budgeted
+                                // run of real slices.
+                                if let Some(b) = budget.as_ref() {
+                                    b.fetch_add(1, Ordering::SeqCst);
+                                }
                                 let _ = tx.send(Job::Slice(i));
                             }
                             Err(e) => {
@@ -600,6 +760,8 @@ impl Scheduler {
                     slices: st.slices,
                     prefix_builds: st.prefix_builds,
                     session_hits: st.session_hits,
+                    session_restores: st.session_restores,
+                    session_deferrals: st.session_deferrals,
                 })
             })
             .collect();
@@ -611,9 +773,8 @@ impl Scheduler {
         })
     }
 
-    /// Runs one time slice of shard `i`. Returns `Ok(true)` when the
-    /// shard finished, `Ok(false)` when it was preempted and should be
-    /// re-queued.
+    /// Runs one time slice of shard `i`. See [`SliceOutcome`] for the
+    /// three ways it can return.
     #[allow(clippy::too_many_arguments)]
     fn run_slice(
         &self,
@@ -625,7 +786,7 @@ impl Scheduler {
         sessions: &SessionCache,
         phases: &PhaseClock,
         events: Option<&Sender<FleetEvent>>,
-    ) -> Result<bool, StoreError> {
+    ) -> Result<SliceOutcome, StoreError> {
         let spec = &self.specs[i];
         let mut cfg = spec.config.clone();
         if kernel_budget > 0 {
@@ -722,13 +883,19 @@ impl Scheduler {
         }
 
         // Session: the shard's deterministic prefix (dataset, Stage-1
-        // winners, pre-trained supernet), resident across slices so a
-        // resumed slice skips straight to its checkpointed generation.
+        // winners, pre-trained supernet), resident across slices AND
+        // shared across every shard with the same prefix fingerprint, so
+        // a resumed slice skips straight to its checkpointed generation.
         // Cache → store spill → fresh build, in that order; every path is
-        // bit-identical, later ones just pay more.
+        // bit-identical, later ones just pay more. Builds are
+        // single-flight: a second shard wanting an in-flight prefix
+        // defers its slice instead of duplicating the work.
+        let prefix_key = PrefixKey {
+            fingerprint: prefix_fingerprint(&spec.task, &cfg),
+        };
         let hgnas = Hgnas::new(spec.task.clone(), cfg);
-        let session = match sessions.get(&search_key) {
-            Some(session) => {
+        let session = match sessions.claim(prefix_key) {
+            SessionClaim::Ready(session) => {
                 st.session_hits += 1;
                 emit(
                     events,
@@ -740,10 +907,25 @@ impl Scheduler {
                 );
                 session
             }
-            None => {
+            SessionClaim::Deferred => {
+                // Put the resume checkpoint back untouched — the deferred
+                // slice re-runs from exactly this state later.
+                st.checkpoint = resume;
+                st.session_deferrals += 1;
+                emit(
+                    events,
+                    FleetEvent::SessionCache {
+                        shard: i,
+                        device,
+                        action: SessionAction::Deferred,
+                    },
+                );
+                return Ok(SliceOutcome::Deferred);
+            }
+            SessionClaim::Build(guard) => {
                 let mut restored = None;
                 if let Some(store) = store {
-                    if let Some(snap) = store.load_session(&search_key)? {
+                    if let Some(snap) = store.load_session(&prefix_key)? {
                         restored = Some(PhaseClock::time(&phases.session_restore, || {
                             Arc::new(SessionState::restore(
                                 spec.task.clone(),
@@ -756,7 +938,7 @@ impl Scheduler {
                 let on_disk = restored.is_some();
                 let (session, action) = match restored {
                     Some(session) => {
-                        st.session_hits += 1;
+                        st.session_restores += 1;
                         sessions.note_restored();
                         (session, SessionAction::Restored)
                     }
@@ -777,8 +959,7 @@ impl Scheduler {
                         action,
                     },
                 );
-                let evicted =
-                    sessions.insert(search_key, i, Arc::clone(&session), on_disk, store)?;
+                let evicted = guard.fulfil(i, Arc::clone(&session), on_disk, store)?;
                 for (owner, spilled) in evicted {
                     emit(
                         events,
@@ -898,7 +1079,7 @@ impl Scheduler {
                     },
                 );
                 st.checkpoint = out.checkpoint;
-                Ok(false)
+                Ok(SliceOutcome::Preempted)
             }
             Some(outcome) => {
                 // Final persistence: the sink already wrote the last
@@ -944,8 +1125,10 @@ impl Scheduler {
                     slices: st.slices,
                     prefix_builds: st.prefix_builds,
                     session_hits: st.session_hits,
+                    session_restores: st.session_restores,
+                    session_deferrals: st.session_deferrals,
                 });
-                Ok(true)
+                Ok(SliceOutcome::Finished)
             }
         }
     }

@@ -453,7 +453,12 @@ fn store_prune_and_stale_sweep_reclaim_space() {
             }
         }))
         .collect();
-    let report = store.sweep_stale(&live).expect("sweep");
+    // Sessions are keyed by the device-free prefix fingerprint: one key
+    // covers every device shard of the same task + base config.
+    let live_sessions = [hgnas_fleet::PrefixKey {
+        fingerprint: hgnas_fleet::prefix_fingerprint(&task, &base),
+    }];
+    let report = store.sweep_stale(&live, &live_sessions).expect("sweep");
     assert_eq!(report.removed_files, 0, "everything in the store is live");
     assert_eq!(report.retained_bytes, before_bytes);
 
@@ -464,7 +469,7 @@ fn store_prune_and_stale_sweep_reclaim_space() {
         device: DeviceKind::Rtx3080,
         fingerprint: hgnas_fleet::search_fingerprint(&task, &changed),
     }];
-    let report = store.sweep_stale(&stale_live).expect("sweep");
+    let report = store.sweep_stale(&stale_live, &[]).expect("sweep");
     assert_eq!(report.removed_files, before_files);
     assert_eq!(report.retained_bytes, 0);
     assert_eq!(file_count(), 0);
@@ -710,4 +715,176 @@ fn score_cache_round_trips() {
         fingerprint: 2,
     };
     assert!(store.load_score_cache(&empty_key).expect("load").is_none());
+}
+
+/// Golden fingerprint values: the structured field-tagged hashes are a
+/// persistence format (artifact file names embed them), so their values
+/// for a fixed configuration are pinned here. If this test fails you
+/// changed the fingerprint schema — bump [`hgnas_fleet::FINGERPRINT_SCHEMA`]
+/// (or the codec version) deliberately and update the golden values, and
+/// know that every existing artifact store goes cold.
+#[test]
+fn fingerprints_match_committed_golden_values() {
+    let task = TaskConfig::tiny(42);
+    let cfg = tiny_config(DeviceKind::JetsonTx2, LatencyMode::Predictor);
+
+    let prefix = hgnas_fleet::prefix_fingerprint(&task, &cfg);
+    let search = hgnas_fleet::search_fingerprint(&task, &cfg);
+    let predictor = predictor_fingerprint(&task.predictor_context(), &cfg.predictor);
+
+    assert_eq!(prefix, 0x14e8_b71e_d8c3_8eb8, "prefix fingerprint drifted");
+    assert_eq!(search, 0x14c4_2cbf_b095_567e, "search fingerprint drifted");
+    assert_eq!(
+        predictor, 0xd9e9_0c5e_1d8f_8e36,
+        "predictor fingerprint drifted"
+    );
+}
+
+/// The prefix fingerprint covers exactly the inputs `prepare_session`
+/// consumes: anything Stage 2 / objective / device-only must NOT move
+/// it (those shards share a session), and every prefix-relevant field
+/// must.
+#[test]
+fn prefix_fingerprint_ignores_exactly_the_non_prefix_fields() {
+    let task = TaskConfig::tiny(42);
+    let base = tiny_config(DeviceKind::JetsonTx2, LatencyMode::Predictor);
+    let fp = |cfg: &SearchConfig| hgnas_fleet::prefix_fingerprint(&task, cfg);
+    let baseline = fp(&base);
+
+    // Not prefix-relevant: the session is shared across all of these.
+    let mut c = base.clone();
+    c.device = DeviceKind::RaspberryPi3B;
+    assert_eq!(fp(&c), baseline, "device must not split sessions");
+    let mut c = base.clone();
+    c.alpha *= 2.0;
+    c.beta *= 0.5;
+    assert_eq!(fp(&c), baseline, "objective weights are stage-2 only");
+    let mut c = base.clone();
+    c.constraint_ms = Some(123.0);
+    c.max_size_mb = Some(4.0);
+    assert_eq!(fp(&c), baseline, "constraints are stage-2 only");
+    let mut c = base.clone();
+    c.ea_stage2.seed ^= 1;
+    c.ea_stage2.population += 2;
+    assert_eq!(fp(&c), baseline, "stage-2 EA params are not the prefix");
+    let mut c = base.clone();
+    c.latency_mode = LatencyMode::Measured;
+    assert_eq!(fp(&c), baseline, "latency mode is eval-side only");
+    let mut c = base.clone();
+    c.predictor.epochs += 1;
+    assert_eq!(fp(&c), baseline, "the latency predictor is not the prefix");
+    let mut c = base.clone();
+    c.eval_threads = 7;
+    assert_eq!(fp(&c), baseline, "eval threads are an execution knob");
+
+    // Prefix-relevant: any of these must produce a different session.
+    let mut c = base.clone();
+    c.seed ^= 1;
+    assert_ne!(fp(&c), baseline, "the search seed derives the prefix RNG");
+    let mut c = base.clone();
+    c.ea_stage1.seed ^= 1;
+    assert_ne!(fp(&c), baseline, "stage-1 EA seed");
+    let mut c = base.clone();
+    c.epochs_stage1 += 1;
+    assert_ne!(fp(&c), baseline, "stage-1 epochs");
+    let mut c = base.clone();
+    c.epochs_stage2 += 1;
+    assert_ne!(fp(&c), baseline, "pre-training epochs");
+    let mut c = base.clone();
+    c.eval_clouds += 1;
+    assert_ne!(fp(&c), baseline, "eval cloud count feeds supernet eval");
+    let other_task = TaskConfig::tiny(43);
+    assert_ne!(
+        hgnas_fleet::prefix_fingerprint(&other_task, &base),
+        baseline,
+        "the task is always prefix-relevant"
+    );
+
+    // The search fingerprint keeps full sensitivity where the prefix is
+    // deliberately blind.
+    let sfp = |cfg: &SearchConfig| hgnas_fleet::search_fingerprint(&task, cfg);
+    let sbase = sfp(&base);
+    let mut c = base.clone();
+    c.device = DeviceKind::RaspberryPi3B;
+    assert_ne!(sfp(&c), sbase, "checkpoints stay per-device");
+    let mut c = base.clone();
+    c.alpha *= 2.0;
+    assert_ne!(sfp(&c), sbase);
+    let mut c = base.clone();
+    c.ea_stage2.seed ^= 1;
+    assert_ne!(sfp(&c), sbase);
+}
+
+/// The [`hgnas_fleet::FieldHasher`] contract behind the golden values:
+/// field *names* never enter the hash (a pure rename is free), while
+/// *adding* a field — even one whose value is zero — changes it, as does
+/// moving a value to a different tag or domain.
+#[test]
+fn field_hasher_is_rename_stable_and_addition_sensitive() {
+    use hgnas_fleet::FieldHasher;
+
+    // "Version A" of a struct hash…
+    fn hash_with_old_names(population: u64, elite_fraction: f64) -> u64 {
+        let mut h = FieldHasher::new("demo");
+        h.uint(1, population);
+        h.float64(2, elite_fraction);
+        h.finish()
+    }
+    // …and the same struct after renaming both fields: only tags and
+    // values feed the hasher, so the fingerprint cannot move.
+    fn hash_with_new_names(pop_size: u64, elitism: f64) -> u64 {
+        let mut h = FieldHasher::new("demo");
+        h.uint(1, pop_size);
+        h.float64(2, elitism);
+        h.finish()
+    }
+    assert_eq!(
+        hash_with_old_names(24, 0.25),
+        hash_with_new_names(24, 0.25),
+        "a pure rename must not invalidate stored artifacts"
+    );
+
+    // Adding a field changes the fingerprint even at a "default" value…
+    let mut h = FieldHasher::new("demo");
+    h.uint(1, 24);
+    h.float64(2, 0.25);
+    h.uint(3, 0);
+    assert_ne!(h.finish(), hash_with_old_names(24, 0.25));
+
+    // …as does re-tagging the same value, a type change at the same tag,
+    // or the same fields under another domain.
+    let mut h = FieldHasher::new("demo");
+    h.uint(4, 24);
+    h.float64(2, 0.25);
+    assert_ne!(h.finish(), hash_with_old_names(24, 0.25));
+    let mut h = FieldHasher::new("demo");
+    h.uint(1, 24);
+    h.float32(2, 0.25);
+    assert_ne!(h.finish(), hash_with_old_names(24, 0.25));
+    let mut h = FieldHasher::new("other");
+    h.uint(1, 24);
+    h.float64(2, 0.25);
+    assert_ne!(h.finish(), hash_with_old_names(24, 0.25));
+
+    // Option presence is a field of its own: None hashes differently
+    // from an absent field and from Some(0.0).
+    let absent = {
+        let mut h = FieldHasher::new("demo");
+        h.uint(1, 1);
+        h.finish()
+    };
+    let none = {
+        let mut h = FieldHasher::new("demo");
+        h.uint(1, 1);
+        h.opt_float64(2, None);
+        h.finish()
+    };
+    let some_zero = {
+        let mut h = FieldHasher::new("demo");
+        h.uint(1, 1);
+        h.opt_float64(2, Some(0.0));
+        h.finish()
+    };
+    assert_ne!(absent, none);
+    assert_ne!(none, some_zero);
 }

@@ -1,7 +1,7 @@
 //! Trainable parameters, optimizers and the module trait.
 
 use hgnas_autograd::{Tape, Var};
-use hgnas_tensor::Tensor;
+use hgnas_tensor::{simd, Tensor};
 use std::sync::Mutex;
 
 /// A trainable tensor with per-parameter optimizer state.
@@ -192,17 +192,26 @@ impl Optimizer {
                 eps,
             } => {
                 p.t += 1;
-                p.m = p.m.zip_map(grad, |m, g| beta1 * m + (1.0 - beta1) * g);
-                p.v = p.v.zip_map(grad, |v, g| beta2 * v + (1.0 - beta2) * g * g);
                 let bc1 = 1.0 - beta1.powi(p.t as i32);
                 let bc2 = 1.0 - beta2.powi(p.t as i32);
-                let mhat = p.m.scale(1.0 / bc1);
-                let vhat = p.v.scale(1.0 / bc2);
-                p.value = p
-                    .value
-                    .zip_map(&mhat.zip_map(&vhat, |m, v| m / (v.sqrt() + eps)), |w, u| {
-                        w - lr * u
-                    });
+                // Fused lane kernel; per element it performs the exact
+                // IEEE-754 sequence of the old tensor-at-a-time code
+                // (m/v decay, reciprocal bias correction, `w - lr·u`),
+                // so trajectories stay bit-identical to pre-lane runs.
+                simd::adam_step(
+                    p.value.data_mut(),
+                    p.m.data_mut(),
+                    p.v.data_mut(),
+                    grad.data(),
+                    simd::AdamParams {
+                        lr,
+                        beta1,
+                        beta2,
+                        eps,
+                        inv_bc1: 1.0 / bc1,
+                        inv_bc2: 1.0 / bc2,
+                    },
+                );
             }
         }
     }

@@ -228,6 +228,70 @@ fn dot_lanes_scalar(a: &[f32], b: &[f32], lanes: &mut [f32; LANES]) {
     }
 }
 
+/// Scalar hyper-parameters of one [`adam_step`] call. Bias correction is
+/// pre-inverted by the caller (`inv_bc1 = 1/(1-β₁ᵗ)`) so the kernel scales
+/// by a reciprocal exactly like the tensor-level code it replaced did.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamParams {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Denominator stabiliser ε.
+    pub eps: f32,
+    /// `1 / (1 - β₁ᵗ)` — first-moment bias correction, inverted.
+    pub inv_bc1: f32,
+    /// `1 / (1 - β₂ᵗ)` — second-moment bias correction, inverted.
+    pub inv_bc2: f32,
+}
+
+/// One fused Adam update over a parameter tensor — the supernet/predictor
+/// training inner loop. Per element, in this exact IEEE-754 order (the
+/// sequence the pre-lane tensor code performed, so switching to the fused
+/// kernel re-baselines nothing):
+///
+/// ```text
+/// m  = β₁·m + (1-β₁)·g
+/// v  = β₂·v + ((1-β₂)·g)·g        // left-associated, as Rust parses it
+/// m̂  = m · inv_bc1
+/// v̂  = v · inv_bc2
+/// w -= lr · (m̂ / (√v̂ + ε))
+/// ```
+///
+/// Elementwise over `i` with no FMA on either path, hence bit-identical
+/// between [`LanePath::Avx2`] and [`LanePath::Scalar`].
+///
+/// # Panics
+///
+/// Panics if the four slices differ in length.
+pub fn adam_step(w: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], p: AdamParams) {
+    assert_eq!(w.len(), g.len(), "adam_step length mismatch");
+    assert_eq!(m.len(), g.len(), "adam_step length mismatch");
+    assert_eq!(v.len(), g.len(), "adam_step length mismatch");
+    lane_dispatch!(
+        w.len(),
+        avx2::adam_step(w, m, v, g, p),
+        adam_step_scalar(w, m, v, g, p)
+    )
+}
+
+fn adam_step_scalar(w: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], p: AdamParams) {
+    let omb1 = 1.0 - p.beta1;
+    let omb2 = 1.0 - p.beta2;
+    for i in 0..w.len() {
+        let gi = g[i];
+        let mi = p.beta1 * m[i] + omb1 * gi;
+        let vi = p.beta2 * v[i] + omb2 * gi * gi;
+        m[i] = mi;
+        v[i] = vi;
+        let mhat = mi * p.inv_bc1;
+        let vhat = vi * p.inv_bc2;
+        w[i] -= p.lr * (mhat / (vhat.sqrt() + p.eps));
+    }
+}
+
 /// Squared Euclidean distances from one 3-D query point to every point in
 /// an interleaved `xyz` buffer: `out[j] = |q - points[j]|²`, computed as
 /// `(dx·dx + dy·dy) + dz·dz` per point — the exact association a sequential
@@ -298,9 +362,10 @@ fn sqdist3_indexed_scalar(q: &[f32], points: &[f32], idx: &[usize], out: &mut [f
 mod avx2 {
     //! The AVX2 legs. Every function requires the `avx2` target feature
     //! (guaranteed by the runtime dispatch in the parent module) and mirrors
-    //! its scalar sibling's schedule exactly: `_mm256_mul_ps` and
-    //! `_mm256_add_ps` round per-lane exactly like scalar `*`/`+`, and no
-    //! FMA contraction is ever emitted from explicit intrinsics.
+    //! its scalar sibling's schedule exactly: `_mm256_mul_ps`,
+    //! `_mm256_add_ps`, `_mm256_div_ps` and `_mm256_sqrt_ps` are all
+    //! correctly rounded per lane exactly like scalar `*`/`+`/`/`/`sqrt`,
+    //! and no FMA contraction is ever emitted from explicit intrinsics.
 
     use super::LANES;
     use core::arch::x86_64::*;
@@ -344,6 +409,46 @@ mod avx2 {
             i += LANES;
         }
         super::scale_scalar(&mut buf[i..], s);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn adam_step(
+        w: &mut [f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        g: &[f32],
+        p: super::AdamParams,
+    ) {
+        let n = w.len();
+        let vb1 = _mm256_set1_ps(p.beta1);
+        let vb2 = _mm256_set1_ps(p.beta2);
+        let vomb1 = _mm256_set1_ps(1.0 - p.beta1);
+        let vomb2 = _mm256_set1_ps(1.0 - p.beta2);
+        let vib1 = _mm256_set1_ps(p.inv_bc1);
+        let vib2 = _mm256_set1_ps(p.inv_bc2);
+        let vlr = _mm256_set1_ps(p.lr);
+        let veps = _mm256_set1_ps(p.eps);
+        let mut i = 0;
+        while i + LANES <= n {
+            let vg = _mm256_loadu_ps(g.as_ptr().add(i));
+            let vm = _mm256_add_ps(
+                _mm256_mul_ps(vb1, _mm256_loadu_ps(m.as_ptr().add(i))),
+                _mm256_mul_ps(vomb1, vg),
+            );
+            let vv = _mm256_add_ps(
+                _mm256_mul_ps(vb2, _mm256_loadu_ps(v.as_ptr().add(i))),
+                _mm256_mul_ps(_mm256_mul_ps(vomb2, vg), vg),
+            );
+            _mm256_storeu_ps(m.as_mut_ptr().add(i), vm);
+            _mm256_storeu_ps(v.as_mut_ptr().add(i), vv);
+            let mhat = _mm256_mul_ps(vm, vib1);
+            let vhat = _mm256_mul_ps(vv, vib2);
+            let u = _mm256_div_ps(mhat, _mm256_add_ps(_mm256_sqrt_ps(vhat), veps));
+            let vw = _mm256_sub_ps(_mm256_loadu_ps(w.as_ptr().add(i)), _mm256_mul_ps(vlr, u));
+            _mm256_storeu_ps(w.as_mut_ptr().add(i), vw);
+            i += LANES;
+        }
+        super::adam_step_scalar(&mut w[i..], &mut m[i..], &mut v[i..], &g[i..], p);
     }
 
     #[target_feature(enable = "avx2")]
@@ -525,6 +630,67 @@ mod tests {
             lanes[t] += a[LANES + t] * b[LANES + t];
         }
         assert_eq!(dot(&a, &b).to_bits(), hsum_tree(&lanes).to_bits());
+    }
+
+    #[test]
+    fn adam_step_matches_across_paths_and_raw_sequence() {
+        let p = AdamParams {
+            lr: 3e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            inv_bc1: 1.0 / (1.0 - 0.9f32.powi(3)),
+            inv_bc2: 1.0 / (1.0 - 0.999f32.powi(3)),
+        };
+        for len in RAGGED {
+            let g = seq(len, 0.11);
+            let w0 = seq(len, 0.23);
+            let m0 = seq(len, 0.41);
+            // Second moments are non-negative in real runs; keep v ≥ 0 so
+            // sqrt stays in-domain.
+            let v0: Vec<f32> = seq(len, 0.59).iter().map(|x| x * x).collect();
+
+            // The documented per-element sequence, written straight.
+            let mut we = w0.clone();
+            let mut me = m0.clone();
+            let mut ve = v0.clone();
+            for i in 0..len {
+                me[i] = p.beta1 * me[i] + (1.0 - p.beta1) * g[i];
+                ve[i] = p.beta2 * ve[i] + (1.0 - p.beta2) * g[i] * g[i];
+                let mhat = me[i] * p.inv_bc1;
+                let vhat = ve[i] * p.inv_bc2;
+                we[i] -= p.lr * (mhat / (vhat.sqrt() + p.eps));
+            }
+
+            let (mut ws, mut ms, mut vs) = (w0.clone(), m0.clone(), v0.clone());
+            with_path(LanePath::Scalar, || {
+                adam_step(&mut ws, &mut ms, &mut vs, &g, p)
+            });
+            let (mut wl, mut ml, mut vl) = (w0.clone(), m0.clone(), v0.clone());
+            with_path(LanePath::Avx2, || {
+                adam_step(&mut wl, &mut ml, &mut vl, &g, p)
+            });
+            assert_eq!(ws, we, "scalar w, len {len}");
+            assert_eq!(ms, me, "scalar m, len {len}");
+            assert_eq!(vs, ve, "scalar v, len {len}");
+            assert_eq!(wl, we, "lane w, len {len}");
+            assert_eq!(ml, me, "lane m, len {len}");
+            assert_eq!(vl, ve, "lane v, len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn adam_step_length_mismatch_panics() {
+        let p = AdamParams {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            inv_bc1: 1.0,
+            inv_bc2: 1.0,
+        };
+        adam_step(&mut [0.0; 3], &mut [0.0; 3], &mut [0.0; 4], &[0.0; 3], p);
     }
 
     #[test]

@@ -159,6 +159,37 @@ proptest! {
     }
 
     #[test]
+    fn adam_step_bit_identical(
+        len in 1usize..70, t in 1u32..50, seed in 0u64..1000
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w0 = Tensor::rand_uniform(&mut rng, &[1, len], -3.0, 3.0);
+        let m0 = Tensor::rand_uniform(&mut rng, &[1, len], -1.0, 1.0);
+        // Second moments are sums of squares: non-negative by construction.
+        let v0 = Tensor::rand_uniform(&mut rng, &[1, len], 0.0, 2.0);
+        let g = Tensor::rand_uniform(&mut rng, &[1, len], -5.0, 5.0);
+        let p = simd::AdamParams {
+            lr: 3e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            inv_bc1: 1.0 / (1.0 - 0.9f32.powi(t as i32)),
+            inv_bc2: 1.0 / (1.0 - 0.999f32.powi(t as i32)),
+        };
+
+        let (s, l) = on_both_paths(|| {
+            let (mut w, mut m, mut v) =
+                (w0.data().to_vec(), m0.data().to_vec(), v0.data().to_vec());
+            simd::adam_step(&mut w, &mut m, &mut v, g.data(), p);
+            (w, m, v)
+        });
+        prop_assert!(s.0.iter().zip(&l.0).all(|(a, b)| a.to_bits() == b.to_bits()), "w diverged");
+        prop_assert!(s.1.iter().zip(&l.1).all(|(a, b)| a.to_bits() == b.to_bits()), "m diverged");
+        prop_assert!(s.2.iter().zip(&l.2).all(|(a, b)| a.to_bits() == b.to_bits()), "v diverged");
+    }
+
+    #[test]
     fn distances_3d_bit_identical(
         n in 1usize..40, seed in 0u64..1000
     ) {

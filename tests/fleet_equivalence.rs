@@ -205,13 +205,15 @@ fn scheduler_matrix_is_bit_identical_to_serial() {
     }
 }
 
-/// Tentpole acceptance (PR 5): with a fine preemption stride and an
-/// unbounded session memory budget, the scheduler computes each shard's
-/// deterministic prefix (Stage 1 + supernet pre-training) exactly once —
-/// every later slice is a session-cache hit — and stays bit-identical to
-/// serial; with `session_memory_budget: Some(0)` and no store the cache
-/// degrades to the old replay-per-slice path, still bit-identical, with
-/// the same Pareto fronts.
+/// Tentpole acceptance (PR 5, re-keyed in PR 7): with a fine preemption
+/// stride and an unbounded session memory budget, the scheduler computes
+/// each *distinct prefix* (Stage 1 + supernet pre-training) exactly once
+/// — the three seed-0 shards share one session across their different
+/// devices, the seed-3 shard owns its own — every later slice is a
+/// session-cache hit — and stays bit-identical to serial; with
+/// `session_memory_budget: Some(0)` and no store the cache degrades to
+/// the old replay-per-slice path, still bit-identical, with the same
+/// Pareto fronts.
 #[test]
 fn session_cache_pretrains_once_per_shard_and_budget_zero_replays() {
     let task = TaskConfig::tiny(41);
@@ -228,7 +230,9 @@ fn session_cache_pretrains_once_per_shard_and_budget_zero_replays() {
     let mut refs = References::new(task.clone());
     let mut fronts: HashMap<(DeviceKind, u64), FrontSignature> = HashMap::new();
 
-    // Unbounded budget: stride 1 over 4 shards, prefix built once each.
+    // Unbounded budget: stride 1 over 4 shards, 2 distinct prefixes
+    // (seeds 0 and 3 — the device is not prefix-relevant), so exactly 2
+    // builds fleet-wide.
     let report = Scheduler::new(
         specs.clone(),
         SchedulerConfig {
@@ -239,20 +243,28 @@ fn session_cache_pretrains_once_per_shard_and_budget_zero_replays() {
     )
     .run(None, None)
     .expect("storeless run");
-    assert_eq!(report.session_stats.builds, shards.len() as u64);
+    assert_eq!(
+        report.session_stats.builds, 2,
+        "one build per distinct prefix, not per shard"
+    );
     assert_eq!(report.session_stats.evictions, 0);
     assert!(report.session_stats.hits > 0, "later slices hit the cache");
+    let total_builds: u64 = report.shards.iter().map(|r| r.prefix_builds).sum();
+    assert_eq!(total_builds, 2, "per-shard builds sum to distinct prefixes");
     for (result, &(device, seed)) in report.shards.iter().zip(&shards) {
         assert!(result.slices > 1, "stride 1 slices every shard");
-        assert_eq!(
-            result.prefix_builds, 1,
-            "shard {}: supernet pre-training must run exactly once",
+        assert!(
+            result.prefix_builds <= 1,
+            "shard {}: supernet pre-training ran at most once",
             result.shard
         );
+        // Hits, restores and builds are three disjoint claim outcomes;
+        // every executed slice resolves to exactly one of them.
         assert_eq!(
-            result.session_hits,
-            result.slices - 1,
-            "every slice after the first reuses the session"
+            result.prefix_builds + result.session_hits + result.session_restores,
+            result.slices,
+            "shard {}: disjoint session outcomes cover every slice",
+            result.shard
         );
         let outcome = result.outcome.as_ref().expect("all shards finish");
         assert_outcomes_bit_identical(outcome, refs.get(device, seed, LatencyMode::Predictor));
@@ -294,14 +306,16 @@ fn session_cache_pretrains_once_per_shard_and_budget_zero_replays() {
 /// shards lose their sessions while running ones proceed. With a store
 /// attached the evictions spill and later slices restore from disk — the
 /// prefix still runs exactly once per shard; results stay bit-identical
-/// either way.
+/// either way. The seeds differ so the three shards own three *distinct*
+/// prefixes — same-seed shards would share a single session and the
+/// budget would never fire.
 #[test]
 fn tight_session_budget_evicts_mid_run_without_changing_results() {
     let task = TaskConfig::tiny(43);
     let shards = [
         (DeviceKind::Rtx3080, 0u64),
-        (DeviceKind::JetsonTx2, 0),
-        (DeviceKind::RaspberryPi3B, 0),
+        (DeviceKind::JetsonTx2, 1),
+        (DeviceKind::RaspberryPi3B, 2),
     ];
     let specs: Vec<ShardSpec> = shards
         .iter()
@@ -364,6 +378,124 @@ fn tight_session_budget_evicts_mid_run_without_changing_results() {
         assert_outcomes_bit_identical(
             result.outcome.as_ref().expect("all shards finish"),
             refs.get(device, seed, LatencyMode::Predictor),
+        );
+    }
+}
+
+/// Tentpole acceptance (PR 7): K shards differing only in their EA
+/// stage-2 seed share one prefix fingerprint, so a stride-1 fleet
+/// performs exactly ONE prefix build fleet-wide (single-flight dedup) no
+/// matter the thread budget; outcomes stay bit-identical to serial
+/// across a (threads × stride) matrix; and the shared session survives a
+/// kill/resume through an `ArtifactKind::Session` spill with zero
+/// rebuilds in the resume round.
+#[test]
+fn shared_prefix_fleet_builds_the_prefix_exactly_once() {
+    let task = TaskConfig::tiny(53);
+    let device = DeviceKind::JetsonTx2;
+    let seeds = [0u64, 1, 2, 3];
+    let specs: Vec<ShardSpec> = seeds
+        .iter()
+        .map(|&s| {
+            let mut cfg = tiny_config(device, LatencyMode::Predictor);
+            cfg.ea_stage2.seed = s;
+            ShardSpec::new(task.clone(), cfg)
+        })
+        .collect();
+    // Serial references, one per stage-2 seed.
+    let refs: Vec<SearchOutcome> = specs
+        .iter()
+        .map(|sp| Hgnas::new(sp.task.clone(), sp.config.clone()).run())
+        .collect();
+
+    // Thread budgets above 1 race claimants into the single-flight path
+    // (defer + re-queue); the build count must stay at one regardless.
+    for (threads, stride) in [(1usize, 1usize), (2, 1), (3, 1), (2, 2)] {
+        let report = Scheduler::new(
+            specs.clone(),
+            SchedulerConfig {
+                threads,
+                preemption_stride: stride,
+                ..SchedulerConfig::default()
+            },
+        )
+        .run(None, None)
+        .expect("storeless run");
+        let built: u64 = report.shards.iter().map(|r| r.prefix_builds).sum();
+        assert_eq!(
+            built, 1,
+            "cell ({threads},{stride}): the shared prefix was built exactly once"
+        );
+        assert_eq!(report.session_stats.builds, 1);
+        assert_eq!(report.session_stats.evictions, 0);
+        for (result, reference) in report.shards.iter().zip(&refs) {
+            assert_eq!(
+                result.prefix_builds + result.session_hits + result.session_restores,
+                result.slices,
+                "cell ({threads},{stride}) shard {}: disjoint outcomes cover every slice",
+                result.shard
+            );
+            assert_outcomes_bit_identical(
+                result.outcome.as_ref().expect("all shards finish"),
+                reference,
+            );
+        }
+    }
+
+    // Kill mid-fleet with the shared session force-spilled (budget 0 +
+    // store); a fresh scheduler restores it off disk — zero prefix
+    // rebuilds in round 2.
+    let temp = TempStore::new("shared-prefix");
+    let store = temp.open();
+    let round1 = Scheduler::new(
+        specs.clone(),
+        SchedulerConfig {
+            threads: 1,
+            preemption_stride: 1,
+            max_slices: Some(3),
+            session_memory_budget: Some(0),
+            ..SchedulerConfig::default()
+        },
+    )
+    .run(Some(&store), None)
+    .expect("parking is not an error");
+    assert!(
+        round1.shards.iter().any(|s| s.outcome.is_none()),
+        "the slice budget interrupted the fleet"
+    );
+    assert!(
+        round1.session_stats.spills > 0,
+        "the shared session spilled"
+    );
+    let built: u64 = round1.shards.iter().map(|r| r.prefix_builds).sum();
+    assert_eq!(built, 1, "even forced spills rebuild nothing: one build");
+
+    let round2 = Scheduler::new(
+        specs,
+        SchedulerConfig {
+            threads: 1,
+            preemption_stride: 1,
+            ..SchedulerConfig::default()
+        },
+    )
+    .run(Some(&store), None)
+    .expect("resume round");
+    assert_eq!(
+        round2.session_stats.builds, 0,
+        "round 2 restored the spilled shared session instead of rebuilding: {:?}",
+        round2.session_stats
+    );
+    assert_eq!(
+        round2.session_stats.restores, 1,
+        "one restore re-seeded the cache for every shard"
+    );
+    for (result, reference) in round2.shards.iter().zip(&refs) {
+        assert_outcomes_bit_identical(
+            result
+                .outcome
+                .as_ref()
+                .expect("round 2 finishes everything"),
+            reference,
         );
     }
 }
