@@ -1,0 +1,189 @@
+//! Daemon-path benchmarks: what does serving a search through
+//! `hgnas-serve` cost over calling `run_fleet` directly?
+//!
+//! The daemon adds admission rounds (one scheduler construction per
+//! round), wire-frame encoding of every event, and channel hops between
+//! the engine and connection threads. This bench times the same two-shard
+//! cold search both ways and splits out the client-visible latencies:
+//! submit→first-event (how quickly a tenant sees life) and submit→report.
+//!
+//! Besides the criterion sweep, the bench always writes
+//! `BENCH_daemon.json` (flat `*_ms` keys for `bench_diff`):
+//! `direct_run_fleet_ms`, `daemon_request_to_report_ms`,
+//! `daemon_request_to_first_event_ms`, `admission_overhead_ms`.
+//! `HGNAS_BENCH_JSON=only` skips the sweep and emits just the record.
+
+use criterion::{black_box, criterion_group, Criterion};
+use hgnas_core::{LatencyMode, SearchConfig, TaskConfig};
+use hgnas_device::DeviceKind;
+use hgnas_fleet::{run_fleet, ArtifactStore, FleetConfig};
+use hgnas_predictor::PredictorConfig;
+use hgnas_serve::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const DEVICES: [DeviceKind; 2] = [DeviceKind::Rtx3080, DeviceKind::JetsonTx2];
+const TICK: Duration = Duration::from_secs(30);
+const SEARCH: Duration = Duration::from_secs(600);
+
+fn tiny_task() -> TaskConfig {
+    TaskConfig::tiny(3)
+}
+
+fn tiny_config() -> SearchConfig {
+    let mut cfg = SearchConfig::fast(DEVICES[0]);
+    cfg.ea_stage1.iterations = 1;
+    cfg.ea_stage1.population = 3;
+    cfg.ea_stage2.iterations = 3;
+    cfg.ea_stage2.population = 6;
+    cfg.epochs_stage1 = 1;
+    cfg.epochs_stage2 = 2;
+    cfg.predictor = PredictorConfig {
+        train_samples: 40,
+        val_samples: 15,
+        epochs: 4,
+        lr: 3e-3,
+        gcn_dims: vec![16, 16],
+        mlp_hidden: vec![12],
+        seed: 1,
+        global_node: true,
+        batch: 2,
+    };
+    cfg.eval_clouds = 15;
+    cfg.latency_mode = LatencyMode::Predictor;
+    cfg
+}
+
+/// A unique throwaway store directory (fresh per run: every timing below
+/// is a cold search, so the daemon/direct comparison is apples to apples).
+struct TempStore {
+    path: PathBuf,
+}
+
+impl TempStore {
+    fn new() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+        TempStore {
+            path: std::env::temp_dir()
+                .join(format!("hgnas-bench-daemon-{}-{n}", std::process::id())),
+        }
+    }
+
+    fn open(&self) -> ArtifactStore {
+        ArtifactStore::open(&self.path).expect("store dir")
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// The scheduler shape both paths share: 2 threads, stride 1.
+fn fleet_config() -> FleetConfig {
+    let mut fleet = FleetConfig::new(DEVICES.to_vec());
+    fleet.threads = 2;
+    fleet.preemption_stride = 1;
+    fleet
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        threads: 2,
+        preemption_stride: 1,
+        slices_per_round: 4,
+        ..ServeConfig::default()
+    }
+}
+
+/// One cold direct run; wall-clock ms.
+fn time_direct() -> f64 {
+    let temp = TempStore::new();
+    let store = temp.open();
+    let t = Instant::now();
+    black_box(run_fleet(&tiny_task(), &tiny_config(), &fleet_config(), Some(&store)).unwrap());
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// One cold daemon-served run; (submit→first-event ms, submit→report ms).
+fn time_daemon() -> (f64, f64) {
+    let temp = TempStore::new();
+    let server = Server::start(temp.open(), serve_config());
+    let mut client = server.connect();
+    client.hello("bench", 1, TICK).unwrap();
+    let t = Instant::now();
+    let (request, _) = client
+        .submit(&tiny_task(), &tiny_config(), &DEVICES, TICK)
+        .unwrap();
+    let mut first_event_ms = None;
+    let report = client
+        .wait_report(request, SEARCH, |_, _| {
+            first_event_ms.get_or_insert_with(|| t.elapsed().as_secs_f64() * 1e3);
+        })
+        .unwrap();
+    let report_ms = t.elapsed().as_secs_f64() * 1e3;
+    black_box(report);
+    drop(client);
+    server.shutdown();
+    (
+        first_event_ms.expect("events precede the report"),
+        report_ms,
+    )
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/daemon2");
+    group.sample_size(10);
+    group.bench_function("direct", |b| b.iter(time_direct));
+    group.bench_function("daemon", |b| b.iter(time_daemon));
+    group.finish();
+}
+
+/// Best-of-3 over `f`, which returns its own measured milliseconds.
+fn best_of_3(mut f: impl FnMut() -> f64) -> f64 {
+    (0..3).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn emit_bench_json() {
+    let direct_ms = best_of_3(time_direct);
+    let (mut first_event_ms, mut report_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        let (fe, rp) = time_daemon();
+        if rp < report_ms {
+            report_ms = rp;
+            first_event_ms = fe;
+        }
+    }
+    let overhead_ms = report_ms - direct_ms;
+    let json = format!(
+        "{{\n  \"bench\": \"serve/daemon-vs-direct\",\n  \"shards\": {},\n  \
+         \"preemption_stride\": 1,\n  \"threads\": 2,\n  \"slices_per_round\": 4,\n  \
+         \"direct_run_fleet_ms\": {direct_ms:.3},\n  \
+         \"daemon_request_to_first_event_ms\": {first_event_ms:.3},\n  \
+         \"daemon_request_to_report_ms\": {report_ms:.3},\n  \
+         \"admission_overhead_ms\": {overhead_ms:.3}\n}}\n",
+        DEVICES.len(),
+    );
+    let path = std::env::var("HGNAS_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_daemon.json").into());
+    std::fs::write(&path, json).expect("write bench json");
+    println!(
+        "{path}: direct {direct_ms:.0} ms, daemon {report_ms:.0} ms \
+         (first event {first_event_ms:.0} ms, overhead {overhead_ms:.0} ms)"
+    );
+}
+
+criterion_group!(benches, bench_paths);
+
+fn main() {
+    // HGNAS_BENCH_JSON=only skips the criterion sweep (CI's quick path);
+    // the JSON record is emitted either way.
+    let json_only = std::env::var("HGNAS_BENCH_JSON").is_ok_and(|v| v == "only");
+    if !json_only {
+        benches();
+    }
+    emit_bench_json();
+}

@@ -763,11 +763,11 @@ pub struct PruneReport {
 
 // ---- value encoders/decoders -------------------------------------------
 
-fn put_device(e: &mut Encoder, d: DeviceKind) {
+pub(crate) fn put_device(e: &mut Encoder, d: DeviceKind) {
     e.put_u8(d.index() as u8);
 }
 
-fn take_device(d: &mut Decoder) -> Result<DeviceKind, CodecError> {
+pub(crate) fn take_device(d: &mut Decoder) -> Result<DeviceKind, CodecError> {
     let i = usize::from(d.take_u8()?);
     DeviceKind::ALL
         .get(i)
@@ -775,14 +775,14 @@ fn take_device(d: &mut Decoder) -> Result<DeviceKind, CodecError> {
         .ok_or(CodecError::Invalid("device index"))
 }
 
-fn put_genome(e: &mut Encoder, genome: &[OpType]) {
+pub(crate) fn put_genome(e: &mut Encoder, genome: &[OpType]) {
     e.put_usize(genome.len());
     for &op in genome {
         e.put_u8(op.index() as u8);
     }
 }
 
-fn take_genome(d: &mut Decoder) -> Result<Vec<OpType>, CodecError> {
+pub(crate) fn take_genome(d: &mut Decoder) -> Result<Vec<OpType>, CodecError> {
     let n = d.take_usize()?;
     (0..n)
         .map(|_| {
@@ -795,7 +795,7 @@ fn take_genome(d: &mut Decoder) -> Result<Vec<OpType>, CodecError> {
         .collect()
 }
 
-fn put_function_set(e: &mut Encoder, fs: &FunctionSet) {
+pub(crate) fn put_function_set(e: &mut Encoder, fs: &FunctionSet) {
     e.put_u8(fs.aggregator.index() as u8);
     e.put_u8(fs.message.index() as u8);
     e.put_u8(fs.sample.index() as u8);
@@ -803,7 +803,7 @@ fn put_function_set(e: &mut Encoder, fs: &FunctionSet) {
     e.put_usize(fs.combine_dim);
 }
 
-fn take_function_set(d: &mut Decoder) -> Result<FunctionSet, CodecError> {
+pub(crate) fn take_function_set(d: &mut Decoder) -> Result<FunctionSet, CodecError> {
     fn pick<T: Copy>(table: &[T], i: u8, what: &'static str) -> Result<T, CodecError> {
         table
             .get(usize::from(i))
@@ -839,14 +839,14 @@ fn take_tensor(d: &mut Decoder) -> Result<Tensor, CodecError> {
     Ok(Tensor::from_vec(data, &dims))
 }
 
-fn put_train_stats(e: &mut Encoder, s: &TrainStats) {
+pub(crate) fn put_train_stats(e: &mut Encoder, s: &TrainStats) {
     e.put_f64(s.train_mape);
     e.put_f64(s.val_mape);
     e.put_f64(s.val_within_10pct);
     e.put_usize(s.train_size);
 }
 
-fn take_train_stats(d: &mut Decoder) -> Result<TrainStats, CodecError> {
+pub(crate) fn take_train_stats(d: &mut Decoder) -> Result<TrainStats, CodecError> {
     Ok(TrainStats {
         train_mape: d.take_f64()?,
         val_mape: d.take_f64()?,
@@ -903,7 +903,7 @@ fn take_predictor(d: &mut Decoder) -> Result<PredictorSnapshot, CodecError> {
     })
 }
 
-fn put_ea_config(e: &mut Encoder, c: &EaConfig) {
+pub(crate) fn put_ea_config(e: &mut Encoder, c: &EaConfig) {
     e.put_usize(c.population);
     e.put_usize(c.iterations);
     e.put_f64(c.elite_fraction);
@@ -911,7 +911,7 @@ fn put_ea_config(e: &mut Encoder, c: &EaConfig) {
     e.put_u64(c.seed);
 }
 
-fn take_ea_config(d: &mut Decoder) -> Result<EaConfig, CodecError> {
+pub(crate) fn take_ea_config(d: &mut Decoder) -> Result<EaConfig, CodecError> {
     Ok(EaConfig {
         population: d.take_usize()?,
         iterations: d.take_usize()?,
@@ -921,7 +921,7 @@ fn take_ea_config(d: &mut Decoder) -> Result<EaConfig, CodecError> {
     })
 }
 
-fn put_eval_stats(e: &mut Encoder, s: &EvalStats) {
+pub(crate) fn put_eval_stats(e: &mut Encoder, s: &EvalStats) {
     e.put_u64(s.hits);
     e.put_u64(s.misses);
     e.put_u64(s.imported);
@@ -931,7 +931,7 @@ fn put_eval_stats(e: &mut Encoder, s: &EvalStats) {
     e.put_u64(s.submitted);
 }
 
-fn take_eval_stats(d: &mut Decoder) -> Result<EvalStats, CodecError> {
+pub(crate) fn take_eval_stats(d: &mut Decoder) -> Result<EvalStats, CodecError> {
     Ok(EvalStats {
         hits: d.take_u64()?,
         misses: d.take_u64()?,

@@ -11,6 +11,16 @@
 //! guarantees rest on). The trailing CRC makes truncated or corrupted
 //! artifacts fail loudly at open time instead of resuming a search from
 //! garbage.
+//!
+//! The same machinery frames the `hgnas-serve` wire protocol:
+//!
+//! ```text
+//! magic "HGNW" · protocol u8 · kind u16 · payload · crc32(all preceding)
+//! ```
+//!
+//! built by [`Encoder::frame`] and validated by [`Decoder::open_frame`].
+//! Distinct magics keep the two namespaces apart; the single protocol byte
+//! is checked before anything in the payload is believed.
 
 use std::fmt;
 
@@ -72,6 +82,95 @@ impl ArtifactKind {
     }
 }
 
+/// Wire-frame magic: "HGNW". Distinct from the artifact [`MAGIC`] so a
+/// frame pasted into the store (or an artifact replayed at a socket) is
+/// rejected by the first four bytes, before any payload is trusted.
+pub const WIRE_MAGIC: [u8; 4] = *b"HGNW";
+
+/// Current wire-protocol version, carried as a single byte in every frame
+/// header. Readers reject anything else as
+/// [`CodecError::UnsupportedProtocol`] — a daemon never half-decodes a
+/// frame from a newer client.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// What a wire frame carries (stored in the frame header, mirroring
+/// [`ArtifactKind`] for on-disk artifacts).
+///
+/// Codes 1–4 are client→server, 5–11 server→client. Codes are part of the
+/// protocol: never reuse a retired number.
+///
+/// # Examples
+///
+/// ```
+/// use hgnas_fleet::codec::{Decoder, Encoder, FrameKind};
+///
+/// let mut e = Encoder::frame(FrameKind::Hello);
+/// e.put_u8(3); // priority
+/// let bytes = e.finish();
+/// let (kind, _payload) = Decoder::open_frame(&bytes).unwrap();
+/// assert_eq!(kind, FrameKind::Hello);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client introduces itself: tenant name + priority.
+    Hello,
+    /// Client submits a search request.
+    Submit,
+    /// Client re-attaches to an earlier request after a disconnect.
+    Attach,
+    /// Client is done; the server may close the connection.
+    Bye,
+    /// Server accepts a Hello.
+    HelloAck,
+    /// Server accepted a Submit and assigned a request id.
+    Accepted,
+    /// Server refused a frame (bad tenant, unknown request, drain, …).
+    Rejected,
+    /// One streamed `FleetEvent`, tagged with request id + sequence number.
+    Event,
+    /// The final per-request report (outcomes + Pareto fronts).
+    Report,
+    /// The idle-loop garbage collector ran; carries the `PruneReport`.
+    Pruned,
+    /// The daemon is draining: lists the request ids parked at shutdown.
+    Drain,
+}
+
+impl FrameKind {
+    fn code(self) -> u16 {
+        match self {
+            FrameKind::Hello => 1,
+            FrameKind::Submit => 2,
+            FrameKind::Attach => 3,
+            FrameKind::Bye => 4,
+            FrameKind::HelloAck => 5,
+            FrameKind::Accepted => 6,
+            FrameKind::Rejected => 7,
+            FrameKind::Event => 8,
+            FrameKind::Report => 9,
+            FrameKind::Pruned => 10,
+            FrameKind::Drain => 11,
+        }
+    }
+
+    fn from_code(code: u16) -> Option<Self> {
+        match code {
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::Submit),
+            3 => Some(FrameKind::Attach),
+            4 => Some(FrameKind::Bye),
+            5 => Some(FrameKind::HelloAck),
+            6 => Some(FrameKind::Accepted),
+            7 => Some(FrameKind::Rejected),
+            8 => Some(FrameKind::Event),
+            9 => Some(FrameKind::Report),
+            10 => Some(FrameKind::Pruned),
+            11 => Some(FrameKind::Drain),
+            _ => None,
+        }
+    }
+}
+
 /// Why an artifact failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
@@ -81,6 +180,10 @@ pub enum CodecError {
     BadMagic,
     /// The file's format version is not [`VERSION`].
     UnsupportedVersion(u16),
+    /// A wire frame's protocol byte is not [`PROTOCOL_VERSION`].
+    UnsupportedProtocol(u8),
+    /// A wire frame's kind code is not in the [`FrameKind`] table.
+    UnknownFrame(u16),
     /// The header names a different artifact kind than the caller expected.
     WrongKind {
         /// What the caller asked for.
@@ -101,6 +204,10 @@ impl fmt::Display for CodecError {
             CodecError::UnexpectedEof => write!(f, "artifact truncated"),
             CodecError::BadMagic => write!(f, "not an HGNAS artifact (bad magic)"),
             CodecError::UnsupportedVersion(v) => write!(f, "unsupported artifact version {v}"),
+            CodecError::UnsupportedProtocol(v) => {
+                write!(f, "unsupported wire protocol version {v}")
+            }
+            CodecError::UnknownFrame(code) => write!(f, "unknown wire frame kind {code}"),
             CodecError::WrongKind { expected, found } => {
                 write!(f, "artifact kind {found} where {expected} was expected")
             }
@@ -136,6 +243,17 @@ impl Encoder {
         let mut e = Encoder { buf: Vec::new() };
         e.buf.extend_from_slice(&MAGIC);
         e.put_u16(VERSION);
+        e.put_u16(kind.code());
+        e
+    }
+
+    /// Starts a wire frame of the given kind: `WIRE_MAGIC · protocol u8 ·
+    /// kind u16 · payload · crc32`, sealed by the same [`Encoder::finish`]
+    /// as artifacts.
+    pub fn frame(kind: FrameKind) -> Self {
+        let mut e = Encoder { buf: Vec::new() };
+        e.buf.extend_from_slice(&WIRE_MAGIC);
+        e.put_u8(PROTOCOL_VERSION);
         e.put_u16(kind.code());
         e
     }
@@ -194,6 +312,18 @@ impl Encoder {
             self.put_usize(v);
         }
     }
+
+    /// Writes a byte blob as length + raw bytes (strings go through this
+    /// as UTF-8).
+    pub fn put_blob(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a string as a UTF-8 blob.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_blob(s.as_bytes());
+    }
 }
 
 /// Checked artifact reader over a validated payload.
@@ -239,6 +369,46 @@ impl<'a> Decoder<'a> {
                 found: code,
             }),
         }
+    }
+
+    /// Validates a wire frame (CRC, magic, protocol byte, kind table) and
+    /// returns its kind plus a reader positioned at the payload.
+    ///
+    /// Unlike [`Decoder::open`], the kind is returned instead of demanded:
+    /// a connection loop dispatches on whatever arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`]/[`CodecError::BadChecksum`] on
+    /// truncation or corruption, [`CodecError::BadMagic`] when the frame
+    /// does not start with [`WIRE_MAGIC`],
+    /// [`CodecError::UnsupportedProtocol`] on a foreign protocol byte, and
+    /// [`CodecError::UnknownFrame`] on an unassigned kind code.
+    pub fn open_frame(bytes: &'a [u8]) -> Result<(FrameKind, Self), CodecError> {
+        // magic(4) + protocol(1) + kind(2) + crc(4)
+        if bytes.len() < 11 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (content, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc32(content) != stored {
+            return Err(CodecError::BadChecksum);
+        }
+        let mut d = Decoder {
+            bytes: content,
+            pos: 0,
+        };
+        let magic = d.take_bytes(4)?;
+        if magic != WIRE_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let protocol = d.take_u8()?;
+        if protocol != PROTOCOL_VERSION {
+            return Err(CodecError::UnsupportedProtocol(protocol));
+        }
+        let code = d.take_u16()?;
+        let kind = FrameKind::from_code(code).ok_or(CodecError::UnknownFrame(code))?;
+        Ok((kind, d))
     }
 
     /// Whether every payload byte has been consumed.
@@ -322,6 +492,26 @@ impl<'a> Decoder<'a> {
     pub fn take_usize_vec(&mut self) -> Result<Vec<usize>, CodecError> {
         let n = self.take_usize()?;
         (0..n).map(|_| self.take_usize()).collect()
+    }
+
+    /// Reads a byte blob (length + raw bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] when the declared length runs past
+    /// the payload end.
+    pub fn take_blob(&mut self) -> Result<Vec<u8>, CodecError> {
+        let n = self.take_usize()?;
+        Ok(self.take_bytes(n)?.to_vec())
+    }
+
+    /// Reads a UTF-8 string (blob-encoded).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] when the bytes are not valid UTF-8.
+    pub fn take_string(&mut self) -> Result<String, CodecError> {
+        String::from_utf8(self.take_blob()?).map_err(|_| CodecError::Invalid("non-UTF-8 string"))
     }
 }
 
@@ -413,6 +603,93 @@ mod tests {
         let bytes = Encoder::new(ArtifactKind::ScoreCache).finish();
         let mut d = Decoder::open(&bytes, ArtifactKind::ScoreCache).unwrap();
         assert_eq!(d.take_u64(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn frame_round_trips_kind_and_payload() {
+        let mut e = Encoder::frame(FrameKind::Submit);
+        e.put_str("tenant-a");
+        e.put_u64(42);
+        let bytes = e.finish();
+        let (kind, mut d) = Decoder::open_frame(&bytes).unwrap();
+        assert_eq!(kind, FrameKind::Submit);
+        assert_eq!(d.take_string().unwrap(), "tenant-a");
+        assert_eq!(d.take_u64().unwrap(), 42);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn frame_kind_codes_round_trip() {
+        for kind in [
+            FrameKind::Hello,
+            FrameKind::Submit,
+            FrameKind::Attach,
+            FrameKind::Bye,
+            FrameKind::HelloAck,
+            FrameKind::Accepted,
+            FrameKind::Rejected,
+            FrameKind::Event,
+            FrameKind::Report,
+            FrameKind::Pruned,
+            FrameKind::Drain,
+        ] {
+            assert_eq!(FrameKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(FrameKind::from_code(0), None);
+        assert_eq!(FrameKind::from_code(12), None);
+    }
+
+    #[test]
+    fn frame_rejects_foreign_protocol_version() {
+        let bytes = Encoder::frame(FrameKind::Hello).finish();
+        // Patch the protocol byte (offset 4) and re-seal the CRC so only
+        // the version check can object.
+        let mut bad = bytes[..bytes.len() - 4].to_vec();
+        bad[4] = PROTOCOL_VERSION + 1;
+        let crc = crc32(&bad);
+        bad.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            Decoder::open_frame(&bad).unwrap_err(),
+            CodecError::UnsupportedProtocol(PROTOCOL_VERSION + 1)
+        );
+    }
+
+    #[test]
+    fn frame_rejects_unknown_kind_code() {
+        let bytes = Encoder::frame(FrameKind::Hello).finish();
+        let mut bad = bytes[..bytes.len() - 4].to_vec();
+        bad[5..7].copy_from_slice(&999u16.to_le_bytes());
+        let crc = crc32(&bad);
+        bad.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            Decoder::open_frame(&bad).unwrap_err(),
+            CodecError::UnknownFrame(999)
+        );
+    }
+
+    #[test]
+    fn frame_and_artifact_magics_are_mutually_exclusive() {
+        let mut e = Encoder::frame(FrameKind::Report);
+        e.put_u64(0); // payload so the frame clears the artifact min length
+        let frame = e.finish();
+        assert_eq!(
+            Decoder::open(&frame, ArtifactKind::Checkpoint).unwrap_err(),
+            CodecError::BadMagic
+        );
+        let artifact = Encoder::new(ArtifactKind::Checkpoint).finish();
+        assert_eq!(
+            Decoder::open_frame(&artifact).unwrap_err(),
+            CodecError::BadMagic
+        );
+    }
+
+    #[test]
+    fn blob_truncation_is_eof_not_panic() {
+        let mut e = Encoder::frame(FrameKind::Hello);
+        e.put_usize(1 << 40); // declared blob length far past the payload
+        let bytes = e.finish();
+        let (_, mut d) = Decoder::open_frame(&bytes).unwrap();
+        assert_eq!(d.take_blob(), Err(CodecError::UnexpectedEof));
     }
 
     #[test]

@@ -230,6 +230,7 @@ pub fn run_fleet_with_events(
             oracle: fleet.oracle.clone(),
             max_slices: None,
             session_memory_budget: fleet.session_memory_budget,
+            stop: None,
         },
     );
     let report = scheduler.run(store, events)?;

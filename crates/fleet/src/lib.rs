@@ -40,6 +40,11 @@
 //!   training entirely, and a later run can warm-start its evaluator from
 //!   a prior run's score cache (`eval_stats.imported`) without changing
 //!   the searched Pareto front.
+//! - [`wire`]: the **serve wire protocol** — typed client/server frames
+//!   (hello, submit, attach, streamed events, final reports) over the
+//!   same CRC-sealed codec, with a one-byte protocol version checked
+//!   before any payload is believed. The `hgnas-serve` daemon speaks
+//!   this over an in-process duplex transport or TCP.
 //!
 //! # Example
 //!
@@ -66,12 +71,13 @@ pub mod driver;
 pub mod events;
 pub mod oracle;
 pub mod scheduler;
+pub mod wire;
 
 pub use artifacts::{
     predictor_fingerprint, prefix_fingerprint, search_fingerprint, ArtifactKey, ArtifactStore,
     FieldHasher, PrefixKey, PruneReport, StoreError, FINGERPRINT_SCHEMA,
 };
-pub use codec::{ArtifactKind, CodecError};
+pub use codec::{ArtifactKind, CodecError, FrameKind, PROTOCOL_VERSION, WIRE_MAGIC};
 pub use driver::{
     run_fleet, run_fleet_with_events, DeviceReport, FleetConfig, FleetReport, ParetoPoint,
 };
@@ -81,3 +87,4 @@ pub use scheduler::{
     PhaseTimings, Scheduler, SchedulerConfig, SchedulerReport, SessionCacheStats, ShardResult,
     ShardSpec,
 };
+pub use wire::{ClientFrame, ServerFrame, WireReport, WireShardReport};

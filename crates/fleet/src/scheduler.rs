@@ -117,6 +117,14 @@ pub struct SchedulerConfig {
     /// case). `Some(0)` disables residency entirely, which without a
     /// store is exactly the pre-session replay-per-slice behaviour.
     pub session_memory_budget: Option<u64>,
+    /// External drain flag: when set mid-run, workers stop picking up new
+    /// slices at the next boundary — *before* decrementing `max_slices` —
+    /// and unfinished shards park exactly as if the slice budget had run
+    /// out (checkpoints persisted, `outcome: None`). The `hgnas-serve`
+    /// daemon uses this for graceful shutdown; a parked shard resumed
+    /// through the same store later is bit-identical. `None` (the
+    /// default) never stops early.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl Default for SchedulerConfig {
@@ -128,6 +136,7 @@ impl Default for SchedulerConfig {
             oracle: OracleConfig::default(),
             max_slices: None,
             session_memory_budget: None,
+            stop: None,
         }
     }
 }
@@ -675,11 +684,24 @@ impl Scheduler {
                     };
                     // Exit on a Stop pill or channel teardown alike.
                     while let Ok(Job::Slice(i)) = rx.recv() {
-                        let budget_left = budget.as_ref().is_none_or(|b| {
-                            b.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                        // The drain flag is checked *before* the budget
+                        // decrement so a drained round leaves the
+                        // remaining grant intact (nothing is charged for
+                        // slices that never ran).
+                        let stopping = abort.load(Ordering::SeqCst)
+                            || self
+                                .cfg
+                                .stop
+                                .as_ref()
+                                .is_some_and(|s| s.load(Ordering::SeqCst));
+                        let budget_left = !stopping
+                            && budget.as_ref().is_none_or(|b| {
+                                b.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                                    v.checked_sub(1)
+                                })
                                 .is_ok()
-                        });
-                        if abort.load(Ordering::SeqCst) || !budget_left {
+                            });
+                        if stopping || !budget_left {
                             // Parked: leaves the rotation with its latest
                             // checkpoint persisted/retained.
                             finish_one();

@@ -2,8 +2,12 @@
 //! arbitrary payloads round-trip bit-exactly, and arbitrary single-byte
 //! corruption or truncation is always rejected with an error — never a
 //! wrong decode that could warm-start a search from garbage.
+//!
+//! The same guarantees hold for the serve wire frames: round trips are
+//! exact, truncation/corruption always reject, and a foreign protocol
+//! version is refused even under a valid CRC.
 
-use hgnas_fleet::codec::{ArtifactKind, Decoder, Encoder};
+use hgnas_fleet::codec::{crc32, ArtifactKind, Decoder, Encoder, FrameKind, PROTOCOL_VERSION};
 use proptest::prelude::*;
 
 /// Encodes an opaque byte payload as a sealed artifact.
@@ -30,6 +34,34 @@ fn kind() -> impl Strategy<Value = ArtifactKind> {
             ArtifactKind::ScoreCache,
             ArtifactKind::OneStageCheckpoint,
             ArtifactKind::Session,
+        ][i]
+    })
+}
+
+/// Encodes an opaque byte payload as a sealed wire frame.
+fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut e = Encoder::frame(kind);
+    for &b in payload {
+        e.put_u8(b);
+    }
+    e.finish()
+}
+
+/// Strategy for a wire frame kind.
+fn frame_kind() -> impl Strategy<Value = FrameKind> {
+    (0usize..11).prop_map(|i| {
+        [
+            FrameKind::Hello,
+            FrameKind::Submit,
+            FrameKind::Attach,
+            FrameKind::Bye,
+            FrameKind::HelloAck,
+            FrameKind::Accepted,
+            FrameKind::Rejected,
+            FrameKind::Event,
+            FrameKind::Report,
+            FrameKind::Pruned,
+            FrameKind::Drain,
         ][i]
     })
 }
@@ -114,5 +146,68 @@ proptest! {
             ArtifactKind::Session => ArtifactKind::Predictor,
         };
         prop_assert!(Decoder::open(&bytes, other).is_err());
+    }
+
+    #[test]
+    fn arbitrary_frame_payloads_round_trip(p in (frame_kind(), payload())) {
+        let (kind, payload) = p;
+        let bytes = encode_frame(kind, &payload);
+        let (got_kind, mut d) = Decoder::open_frame(&bytes).unwrap();
+        prop_assert_eq!(got_kind, kind);
+        for &b in &payload {
+            prop_assert_eq!(d.take_u8().unwrap(), b);
+        }
+        prop_assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn frame_truncation_is_always_rejected(c in (frame_kind(), payload(), 0usize..4096)) {
+        let (kind, payload, cut) = c;
+        let bytes = encode_frame(kind, &payload);
+        let cut = cut % bytes.len(); // strictly shorter than the frame
+        prop_assert!(
+            Decoder::open_frame(&bytes[..cut]).is_err(),
+            "truncation to {} of {} bytes accepted",
+            cut,
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn frame_single_byte_corruption_is_always_rejected(
+        c in (frame_kind(), payload(), 0usize..4096, 1u32..256)
+    ) {
+        let (kind, payload, pos, flip) = c;
+        let bytes = encode_frame(kind, &payload);
+        let mut bad = bytes.clone();
+        let pos = pos % bad.len();
+        bad[pos] ^= flip as u8; // flip != 0: the byte genuinely changes
+        prop_assert!(
+            Decoder::open_frame(&bad).is_err(),
+            "flip 0x{:02x} at byte {} of {} accepted",
+            flip,
+            pos,
+            bad.len()
+        );
+    }
+
+    #[test]
+    fn frame_foreign_protocol_version_is_always_rejected(
+        c in (frame_kind(), payload(), 1u32..256)
+    ) {
+        let (kind, payload, bump) = c;
+        // Patch the protocol byte to any *other* value and re-seal the
+        // CRC, so only the version check can object.
+        let sealed = encode_frame(kind, &payload);
+        let mut bad = sealed[..sealed.len() - 4].to_vec();
+        bad[4] = PROTOCOL_VERSION.wrapping_add(bump as u8);
+        let crc = crc32(&bad);
+        bad.extend_from_slice(&crc.to_le_bytes());
+        match Decoder::open_frame(&bad) {
+            Err(hgnas_fleet::CodecError::UnsupportedProtocol(v)) => {
+                prop_assert_eq!(v, bad[4]);
+            }
+            other => prop_assert!(false, "expected UnsupportedProtocol, got {:?}", other.is_ok()),
+        }
     }
 }

@@ -64,6 +64,7 @@ pub mod thread {
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     /// Error returned by [`Sender::send`] when every receiver is gone; the
     /// unsent message is handed back.
@@ -74,6 +75,15 @@ pub mod channel {
     /// every sender is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message queued.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
 
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +195,45 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 st = self.0.ready.wait(st).unwrap();
+            }
+        }
+
+        /// Blocks like [`Receiver::recv`], but gives up once `timeout` has
+        /// elapsed with nothing queued. The deadline is absolute (computed
+        /// once up front), so spurious condvar wakeups do not extend the
+        /// wait.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] when the deadline passes,
+        /// [`RecvTimeoutError::Disconnected`] when the channel is empty and
+        /// every sender is gone.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the channel mutex was poisoned by a panicking peer.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now().checked_add(timeout);
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(t) = st.queue.pop_front() {
+                    return Ok(t);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                // None: the deadline overflowed Instant — wait unbounded,
+                // matching `recv` (effectively "forever").
+                let Some(deadline) = deadline else {
+                    st = self.0.ready.wait(st).unwrap();
+                    continue;
+                };
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self.0.ready.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
             }
         }
 
@@ -377,6 +426,52 @@ mod tests {
         })
         .unwrap();
         assert_eq!(consumed.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn recv_timeout_returns_queued_message_immediately() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(5));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_open_empty_channel() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        let start = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(30)),
+            Err(super::channel::RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= std::time::Duration::from_millis(30));
+        // The channel is still usable afterwards.
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(1));
+    }
+
+    #[test]
+    fn recv_timeout_reports_disconnect_not_timeout() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)),
+            Err(super::channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_send_before_deadline() {
+        let (tx, rx) = super::channel::unbounded();
+        super::scope(|s| {
+            s.spawn(move |_| {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                tx.send(77).unwrap();
+            });
+            // Far longer than the send delay: a condvar wakeup, not the
+            // deadline, must deliver the message.
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(30)), Ok(77));
+        })
+        .unwrap();
     }
 
     #[test]

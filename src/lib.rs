@@ -24,6 +24,9 @@
 //!   slices), streaming fleet reports, asynchronous measurement oracle,
 //!   cross-run artifact store (persisted predictors, resumable
 //!   checkpoints, warm-start score caches).
+//! - [`serve`] — search-as-a-service: a daemon speaking a framed wire
+//!   protocol with multi-tenant fair-share admission, event streaming
+//!   with disconnect/re-attach, idle-loop store GC and graceful drain.
 //!
 //! # Quickstart
 //!
@@ -46,4 +49,5 @@ pub use hgnas_nn as nn;
 pub use hgnas_ops as ops;
 pub use hgnas_pointcloud as pointcloud;
 pub use hgnas_predictor as predictor;
+pub use hgnas_serve as serve;
 pub use hgnas_tensor as tensor;

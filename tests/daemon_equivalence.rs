@@ -1,0 +1,262 @@
+//! Tentpole acceptance: daemon-served searches are bit-identical to
+//! direct `run_fleet` runs.
+//!
+//! Two tenants with different priorities contend for the daemon's thread
+//! budget across a (threads × stride) matrix. Every request's report —
+//! produced through fair-share admission, budgeted rounds, parking and
+//! resumption, and in one cell a client that disconnects mid-search and
+//! re-attaches — must match the direct fleet run bit for bit.
+
+use hgnas::core::{SearchConfig, SearchOutcome, TaskConfig};
+use hgnas::device::DeviceKind;
+use hgnas::fleet::{run_fleet, ArtifactStore, FleetConfig, ParetoPoint, WireReport};
+use hgnas::predictor::PredictorConfig;
+use hgnas::serve::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const TICK: Duration = Duration::from_secs(10);
+/// Per-frame wait: whole rounds for the other tenant can sit between two
+/// of our frames.
+const SEARCH: Duration = Duration::from_secs(600);
+
+fn tiny_config(device: DeviceKind, seed: u64) -> SearchConfig {
+    let mut cfg = SearchConfig::fast(device);
+    cfg.ea_stage1.iterations = 1;
+    cfg.ea_stage1.population = 3;
+    cfg.ea_stage2.iterations = 3;
+    cfg.ea_stage2.population = 6;
+    cfg.epochs_stage1 = 1;
+    cfg.epochs_stage2 = 2;
+    cfg.predictor = PredictorConfig {
+        train_samples: 60,
+        val_samples: 20,
+        epochs: 6,
+        lr: 3e-3,
+        gcn_dims: vec![16, 16],
+        mlp_hidden: vec![12],
+        seed: 1,
+        global_node: true,
+        batch: 2,
+    };
+    cfg.eval_clouds = 20;
+    cfg.seed = seed;
+    cfg
+}
+
+struct TempStore {
+    path: PathBuf,
+}
+
+impl TempStore {
+    fn new(tag: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+        let path = std::env::temp_dir().join(format!(
+            "hgnas-daemon-equiv-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        TempStore { path }
+    }
+
+    fn open(&self) -> ArtifactStore {
+        ArtifactStore::open(&self.path).expect("store dir")
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+fn assert_outcomes_bit_identical(a: &SearchOutcome, b: &SearchOutcome) {
+    assert_eq!(a.best.genome, b.best.genome);
+    assert_eq!(a.best.architecture, b.best.architecture);
+    assert_eq!(a.best.score.to_bits(), b.best.score.to_bits());
+    assert_eq!(
+        a.best.supernet_accuracy.to_bits(),
+        b.best.supernet_accuracy.to_bits()
+    );
+    assert_eq!(a.best.latency_ms.to_bits(), b.best.latency_ms.to_bits());
+    assert_eq!(a.history.len(), b.history.len());
+    for (x, y) in a.history.iter().zip(&b.history) {
+        assert_eq!(x.0.to_bits(), y.0.to_bits(), "history time diverged");
+        assert_eq!(x.1.to_bits(), y.1.to_bits(), "history score diverged");
+    }
+    assert_eq!(a.search_hours.to_bits(), b.search_hours.to_bits());
+    assert_eq!(a.reference_ms.to_bits(), b.reference_ms.to_bits());
+    assert_eq!(a.eval_stats, b.eval_stats);
+    assert_eq!(a.stage1_stats, b.stage1_stats);
+    assert_eq!(a.predictor_stats, b.predictor_stats);
+}
+
+fn front_signature(front: &[ParetoPoint]) -> Vec<(u64, u64, Vec<u8>)> {
+    front
+        .iter()
+        .map(|p| {
+            (
+                p.latency_ms.to_bits(),
+                p.accuracy.to_bits(),
+                p.genome.iter().map(|op| op.index() as u8).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Daemon report vs direct fleet report, shard by shard, bit for bit.
+fn assert_report_matches_fleet(got: &WireReport, want: &hgnas::fleet::FleetReport) {
+    assert_eq!(got.shards.len(), want.reports.len());
+    for (g, w) in got.shards.iter().zip(&want.reports) {
+        assert_eq!(g.device, w.device);
+        assert_outcomes_bit_identical(&g.outcome, &w.outcome);
+        assert_eq!(front_signature(&g.pareto), front_signature(&w.pareto));
+    }
+}
+
+/// The acceptance matrix: alice (priority 3) and bob (priority 1) contend
+/// on every (threads × stride) cell; each report must equal the direct
+/// `run_fleet` of the same configuration. The (2, 1) cell additionally
+/// drops alice's connection mid-search and re-attaches from sequence 0,
+/// checking the replayed stream is gapless and the report unchanged.
+#[test]
+fn contended_tenants_match_run_fleet_across_matrix() {
+    let task = TaskConfig::tiny(73);
+    let alice_cfg = tiny_config(DeviceKind::Rtx3080, 0);
+    let alice_devices = [DeviceKind::Rtx3080, DeviceKind::JetsonTx2];
+    let bob_cfg = tiny_config(DeviceKind::RaspberryPi3B, 7);
+    let bob_devices = [DeviceKind::RaspberryPi3B, DeviceKind::Rtx3080];
+
+    // Direct references, once per request shape: run_fleet results are
+    // scheduling-invariant (pinned by the fleet equivalence matrix), so
+    // one unpreempted reference serves every daemon cell.
+    let alice_ref = run_fleet(
+        &task,
+        &alice_cfg,
+        &FleetConfig::new(alice_devices.to_vec()),
+        None,
+    )
+    .expect("alice reference");
+    let bob_ref = run_fleet(
+        &task,
+        &bob_cfg,
+        &FleetConfig::new(bob_devices.to_vec()),
+        None,
+    )
+    .expect("bob reference");
+
+    for (threads, stride) in [(1usize, 1usize), (1, 2), (2, 1), (2, 2)] {
+        let temp = TempStore::new(&format!("m{threads}x{stride}"));
+        let server = Server::start(
+            temp.open(),
+            ServeConfig {
+                threads,
+                preemption_stride: stride,
+                slices_per_round: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let mut alice = server.connect();
+        alice.hello("alice", 3, TICK).unwrap();
+        let (alice_req, shards) = alice
+            .submit(&task, &alice_cfg, &alice_devices, TICK)
+            .unwrap();
+        assert_eq!(shards, alice_devices.len());
+        let mut bob = server.connect();
+        bob.hello("bob", 1, TICK).unwrap();
+        let (bob_req, _) = bob.submit(&task, &bob_cfg, &bob_devices, TICK).unwrap();
+
+        let alice_report = if (threads, stride) == (2, 1) {
+            // Disconnect mid-search: read a few live events, vanish, then
+            // re-attach from scratch on a fresh connection.
+            let mut seen = 0;
+            while seen < 3 {
+                match alice.next_event(alice_req, SEARCH).unwrap() {
+                    Ok(_) => seen += 1,
+                    Err(report) => panic!(
+                        "search finished after {seen} events — too fast to
+                         exercise the disconnect: {report:?}"
+                    ),
+                }
+            }
+            drop(alice); // the daemon sees a dead connection and detaches
+            let mut alice2 = server.connect();
+            alice2.hello("alice", 3, TICK).unwrap();
+            alice2.attach(alice_req, "alice", 0).unwrap();
+            // The replayed-then-live stream must be gapless from 0.
+            let mut next_seq = 0u64;
+            let report = alice2
+                .wait_report(alice_req, SEARCH, |seq, _event| {
+                    assert_eq!(seq, next_seq, "replayed stream has a gap");
+                    next_seq += 1;
+                })
+                .unwrap();
+            assert!(next_seq > 3, "replay covered the pre-disconnect events");
+            report
+        } else {
+            let mut next_seq = 0u64;
+            alice
+                .wait_report(alice_req, SEARCH, |seq, _event| {
+                    assert_eq!(seq, next_seq, "live stream has a gap");
+                    next_seq += 1;
+                })
+                .unwrap()
+        };
+        let bob_report = bob.wait_report(bob_req, SEARCH, |_, _| {}).unwrap();
+
+        // Both requests were genuinely sliced into multiple contended
+        // rounds, and the fair share favored alice.
+        assert!(
+            alice_report.rounds > 1 && bob_report.rounds > 1,
+            "cell ({threads},{stride}): contention split both requests \
+             across rounds (alice {}, bob {})",
+            alice_report.rounds,
+            bob_report.rounds
+        );
+        assert_report_matches_fleet(&alice_report, &alice_ref);
+        assert_report_matches_fleet(&bob_report, &bob_ref);
+
+        drop(bob);
+        server.shutdown();
+    }
+}
+
+/// A tenant cannot attach to another tenant's request.
+#[test]
+fn attach_enforces_tenant_ownership() {
+    let temp = TempStore::new("ownership");
+    let server = Server::start(
+        temp.open(),
+        ServeConfig {
+            threads: 1,
+            preemption_stride: 1,
+            slices_per_round: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let mut alice = server.connect();
+    alice.hello("alice", 1, TICK).unwrap();
+    let task = TaskConfig::tiny(79);
+    let cfg = tiny_config(DeviceKind::JetsonTx2, 0);
+    let (request, _) = alice
+        .submit(&task, &cfg, &[DeviceKind::JetsonTx2], TICK)
+        .unwrap();
+
+    let mut mallory = server.connect();
+    mallory.hello("mallory", 5, TICK).unwrap();
+    mallory.attach(request, "mallory", 0).unwrap();
+    match mallory.next_event(request, SEARCH) {
+        Err(hgnas::serve::ClientError::Rejected { request_id, reason }) => {
+            assert_eq!(request_id, request);
+            assert!(reason.contains("tenant"), "{reason}");
+        }
+        other => panic!("expected tenant rejection, got {other:?}"),
+    }
+    // Alice's search is unharmed.
+    let report = alice.wait_report(request, SEARCH, |_, _| {}).unwrap();
+    assert_eq!(report.shards.len(), 1);
+    drop(alice);
+    drop(mallory);
+    server.shutdown();
+}
