@@ -169,8 +169,17 @@ impl Tape {
     }
 
     /// Elementwise sum of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ (the broadcast form is [`Tape::add_bias`]).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).zip_map(self.value(b), |x, y| x + y);
+        assert_eq!(
+            self.value(a).shape(),
+            self.value(b).shape(),
+            "add requires same shapes"
+        );
+        let value = self.value(a).add(self.value(b));
         let rg = self.requires(a) || self.requires(b);
         self.push(value, Op::Add(a, b), rg)
     }
@@ -196,16 +205,17 @@ impl Tape {
         self.push(value, Op::Scale(x, s), rg)
     }
 
-    /// Rectified linear unit.
+    /// Rectified linear unit (lane-kernel forward; anything not strictly
+    /// positive — NaN included — maps to `+0.0`, matching the backward mask).
     pub fn relu(&mut self, x: Var) -> Var {
-        let value = self.value(x).map(|v| v.max(0.0));
+        let value = self.value(x).relu();
         let rg = self.requires(x);
         self.push(value, Op::Relu(x), rg)
     }
 
-    /// Leaky ReLU with the given negative slope.
+    /// Leaky ReLU with the given negative slope (lane-kernel forward).
     pub fn leaky_relu(&mut self, x: Var, slope: f32) -> Var {
-        let value = self.value(x).map(|v| if v > 0.0 { v } else { slope * v });
+        let value = self.value(x).leaky_relu(slope);
         let rg = self.requires(x);
         self.push(value, Op::LeakyRelu(x, slope), rg)
     }
@@ -456,9 +466,12 @@ impl Tape {
                 Op::AddBias(x, bias) => {
                     let (x, bias) = (*x, *bias);
                     let cols = self.value(bias).dims()[0];
+                    // Row-at-a-time lane accumulate: visits every element in
+                    // the same order as the old `db[idx % cols] += g` loop, so
+                    // the per-slot addition sequence is unchanged.
                     let mut db = vec![0.0f32; cols];
-                    for (idx, g) in gout.data().iter().enumerate() {
-                        db[idx % cols] += g;
+                    for row in gout.data().chunks_exact(cols) {
+                        simd::add_assign(&mut db, row);
                     }
                     self.accumulate(x, gout.clone());
                     self.accumulate(bias, Tensor::from_vec(db, &[cols]));
@@ -486,13 +499,17 @@ impl Tape {
                 }
                 Op::Relu(x) => {
                     let x = *x;
-                    let mask = self.value(x).map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-                    self.accumulate(x, gout.mul(&mask));
+                    // Fused mask-multiply lane kernel — one pass instead of a
+                    // mask tensor plus a Hadamard product, same g·{1,0} bits.
+                    let mut dx = gout;
+                    simd::relu_grad(dx.data_mut(), self.nodes[x.0].value.data());
+                    self.accumulate(x, dx);
                 }
                 Op::LeakyRelu(x, slope) => {
                     let (x, slope) = (*x, *slope);
-                    let mask = self.value(x).map(|v| if v > 0.0 { 1.0 } else { slope });
-                    self.accumulate(x, gout.mul(&mask));
+                    let mut dx = gout;
+                    simd::leaky_relu_grad(dx.data_mut(), self.nodes[x.0].value.data(), slope);
+                    self.accumulate(x, dx);
                 }
                 Op::Tanh(x) => {
                     let x = *x;
@@ -525,22 +542,26 @@ impl Tape {
                     let (n, c) = (gout.dims()[0], gout.dims()[1]);
                     let mut dx = vec![0.0f32; n * k * c];
                     match how {
+                        // Sum broadcast is a straight row copy; Mean scales
+                        // each row once (`g·inv`, same per-element bits as
+                        // scaling on every duplicate) and then copies it.
                         Reduction::Sum => {
-                            for i2 in 0..n {
+                            for (i2, row) in gout.data().chunks_exact(c).enumerate() {
                                 for kk in 0..k {
-                                    for j in 0..c {
-                                        dx[(i2 * k + kk) * c + j] = gout.data()[i2 * c + j];
-                                    }
+                                    dx[(i2 * k + kk) * c..(i2 * k + kk + 1) * c]
+                                        .copy_from_slice(row);
                                 }
                             }
                         }
                         Reduction::Mean => {
                             let inv = 1.0 / k as f32;
-                            for i2 in 0..n {
+                            let mut scaled = vec![0.0f32; c];
+                            for (i2, row) in gout.data().chunks_exact(c).enumerate() {
+                                scaled.copy_from_slice(row);
+                                simd::scale(&mut scaled, inv);
                                 for kk in 0..k {
-                                    for j in 0..c {
-                                        dx[(i2 * k + kk) * c + j] = gout.data()[i2 * c + j] * inv;
-                                    }
+                                    dx[(i2 * k + kk) * c..(i2 * k + kk + 1) * c]
+                                        .copy_from_slice(&scaled);
                                 }
                             }
                         }
@@ -569,18 +590,20 @@ impl Tape {
                     let total: usize = segments.iter().sum();
                     let mut dx = vec![0.0f32; total * c];
                     let mut row0 = 0usize;
+                    let mut scaled = vec![0.0f32; c];
                     for (si, &len) in segments.iter().enumerate() {
                         match how {
+                            // Sum broadcast copies the segment's row (the old
+                            // `g · 1.0` multiply is a bitwise no-op for the
+                            // quiet values gradients carry); Mean scales the
+                            // row once on the lane layer, then copies it.
                             Reduction::Sum | Reduction::Mean => {
-                                let w = if how == Reduction::Mean {
-                                    1.0 / len as f32
-                                } else {
-                                    1.0
-                                };
+                                scaled.copy_from_slice(&gout.data()[si * c..(si + 1) * c]);
+                                if how == Reduction::Mean {
+                                    simd::scale(&mut scaled, 1.0 / len as f32);
+                                }
                                 for r in row0..row0 + len {
-                                    for j in 0..c {
-                                        dx[r * c + j] = gout.data()[si * c + j] * w;
-                                    }
+                                    dx[r * c..(r + 1) * c].copy_from_slice(&scaled);
                                 }
                             }
                             Reduction::Max | Reduction::Min => {

@@ -11,11 +11,11 @@
 //! just the record; `HGNAS_BENCH_OUT` overrides the output path.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
+use hgnas_bench::record::{emit_bench_json, json_only, time_both};
 use hgnas_graph::{knn_brute, knn_grid, knn_kdtree};
 use hgnas_tensor::kernels::{fold_rows, scatter_add_rows};
 use hgnas_tensor::matmul::{matmul_at, matmul_blocked, matmul_bt, matmul_naive, matmul_parallel};
 use hgnas_tensor::reduce::{reduce_mid_axis, Reduction};
-use hgnas_tensor::simd::{self, LanePath};
 use hgnas_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,39 +62,10 @@ fn bench_knn(c: &mut Criterion) {
 // scalar-vs-lane JSON record
 // ---------------------------------------------------------------------------
 
-/// Times `f` and returns the best-of-`reps` wall-clock in milliseconds.
-/// Best-of (not mean) because the record is meant for a noisy CI runner:
-/// the minimum is the least contaminated estimate of the kernel's cost.
-fn time_best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
-    f(); // warm-up: page in buffers, settle the lane-path OnceLock
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t = std::time::Instant::now();
-        f();
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
-    }
-    best
-}
-
-/// One kernel × shape, timed on the scalar path and on the detected lane
-/// path. When the host has no AVX2 (or `HGNAS_SIMD=scalar`) both legs run
-/// scalar and the speedup hovers around 1.0 — `lane_path` in the header
-/// records which case the file describes.
-fn time_both(name: &str, shape: &str, reps: usize, mut f: impl FnMut()) -> String {
-    let scalar_ms = simd::with_path(LanePath::Scalar, || time_best_ms(reps, &mut f));
-    let lane_ms = simd::with_path(LanePath::Avx2, || time_best_ms(reps, &mut f));
-    format!(
-        "{{\"kernel\": \"{name}\", \"shape\": \"{shape}\", \
-         \"scalar_ms\": {scalar_ms:.4}, \"lane_ms\": {lane_ms:.4}, \
-         \"speedup\": {:.3}}}",
-        scalar_ms / lane_ms.max(1e-9)
-    )
-}
-
 /// Writes the machine-readable perf record CI uploads and diffs against
 /// `BENCH_kernels.baseline.json` (one kernel record per line so `bench_diff`
 /// can parse it without a JSON dependency).
-fn emit_bench_json() {
+fn emit_kernels_json() {
     let mut rng = StdRng::seed_from_u64(7);
     let mut entries: Vec<String> = Vec::new();
 
@@ -136,21 +107,7 @@ fn emit_bench_json() {
         black_box(knn_grid(black_box(&pts), 3, 20));
     }));
 
-    let json = format!(
-        "{{\n  \"bench\": \"kernels/scalar-vs-lane\",\n  \"lane_path\": \"{}\",\n  \
-         \"lane_width\": {},\n  \"kernels\": [\n    {}\n  ]\n}}\n",
-        simd::detected(),
-        simd::LANES,
-        entries.join(",\n    "),
-    );
-    // Cargo runs benches with cwd = the *package* dir (crates/bench), so a
-    // bare relative default would land where CI's upload step never looks;
-    // anchor it to the workspace root instead.
-    let path = std::env::var("HGNAS_BENCH_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").into()
-    });
-    std::fs::write(&path, &json).expect("write bench json");
-    println!("{path}:\n{json}");
+    emit_bench_json("kernels/scalar-vs-lane", "BENCH_kernels.json", &entries);
 }
 
 criterion_group!(benches, bench_matmul, bench_knn);
@@ -158,9 +115,8 @@ criterion_group!(benches, bench_matmul, bench_knn);
 fn main() {
     // HGNAS_BENCH_JSON=only skips the criterion sweep (CI's quick path);
     // the JSON record is emitted either way.
-    let json_only = std::env::var("HGNAS_BENCH_JSON").is_ok_and(|v| v == "only");
-    if !json_only {
+    if !json_only() {
         benches();
     }
-    emit_bench_json();
+    emit_kernels_json();
 }

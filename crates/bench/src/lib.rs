@@ -10,6 +10,7 @@
 
 pub mod experiments;
 pub mod fig10_archs;
+pub mod record;
 
 use hgnas_core::{SearchConfig, TaskConfig};
 use hgnas_device::DeviceKind;

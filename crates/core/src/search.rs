@@ -7,7 +7,7 @@ use crate::objective::Objective;
 use crate::supernet::Supernet;
 use hgnas_device::{DeviceKind, DeviceProfile, ExecutionReport, MeasureError, Workload};
 use hgnas_ops::{lower_edgeconv, Architecture, DgcnnConfig, FunctionSet, OpType};
-use hgnas_pointcloud::{DatasetConfig, PointCloud, SynthNet40};
+use hgnas_pointcloud::{Batch, DatasetConfig, PointCloud, SynthNet40};
 use hgnas_predictor::{LatencyPredictor, PredictorConfig, PredictorContext, TrainStats};
 use hgnas_tensor::threads::with_kernel_threads;
 use rand::rngs::StdRng;
@@ -817,7 +817,10 @@ impl LatencyOracle {
 struct Stage1Scorer<'a> {
     hgnas: &'a Hgnas,
     ds: &'a SynthNet40,
-    eval_subset: &'a [PointCloud],
+    /// Evaluation split, stacked into batches once at construction so
+    /// every candidate (and every worker) reuses the same batch tensors
+    /// instead of re-stacking the clouds per genome.
+    eval_batches: Vec<Batch>,
     /// Simulated cost of one one-shot accuracy validation, ms.
     eval_cost_ms: f64,
 }
@@ -848,7 +851,7 @@ impl CandidateScorer<(FunctionSet, FunctionSet)> for Stage1Scorer<'_> {
         const PATHS: usize = 3;
         for _ in 0..PATHS {
             let genome = sn.random_genome(rng);
-            acc += sn.eval_genome(&genome, self.eval_subset, 0);
+            acc += sn.eval_genome_batched(&genome, &self.eval_batches, 0);
             clk.add_ms(self.eval_cost_ms);
         }
         Stage1Score {
@@ -892,7 +895,11 @@ struct Stage2Scorer<'a> {
     task: &'a TaskConfig,
     functions: (FunctionSet, FunctionSet),
     supernet: &'a Supernet,
-    eval_subset: &'a [PointCloud],
+    /// Evaluation split, stacked into batches once at construction. Besides
+    /// hoisting the per-candidate re-stacking, sharing the batches means the
+    /// frozen supernet's per-batch KNN caches (keyed by its weight version)
+    /// pay off across every candidate and worker thread in the generation.
+    eval_batches: Vec<Batch>,
     oracle: &'a LatencyOracle,
     objective: &'a Objective,
     /// Simulated cost of one one-shot accuracy validation, ms.
@@ -919,7 +926,9 @@ impl CandidateScorer<Vec<OpType>> for Stage2Scorer<'_> {
         let (acc, score) = if !valid {
             (0.0, 0.0)
         } else {
-            let acc = self.supernet.eval_genome(genome, self.eval_subset, 0);
+            let acc = self
+                .supernet
+                .eval_genome_batched(genome, &self.eval_batches, 0);
             cost += self.eval_cost_ms;
             (acc, self.objective.score_sized(acc, lat, size_mb))
         };
@@ -944,7 +953,9 @@ pub type JointGenome = (FunctionSet, FunctionSet, Vec<OpType>);
 struct OneStageScorer<'a> {
     hgnas: &'a Hgnas,
     ds: &'a SynthNet40,
-    eval_subset: &'a [PointCloud],
+    /// Evaluation split, stacked into batches once at construction (each
+    /// candidate trains its own supernet, but the eval batches are shared).
+    eval_batches: Vec<Batch>,
     oracle: &'a LatencyOracle,
     objective: &'a Objective,
     /// Simulated cost of one one-shot accuracy validation, ms.
@@ -974,7 +985,7 @@ impl CandidateScorer<JointGenome> for OneStageScorer<'_> {
                 rng,
                 &mut clk,
             );
-            let acc = sn.eval_genome(genome, self.eval_subset, 0);
+            let acc = sn.eval_genome_batched(genome, &self.eval_batches, 0);
             clk.add_ms(self.eval_cost_ms);
             cost += clk.elapsed_ms();
             (acc, self.objective.score_sized(acc, lat, size_mb))
@@ -1158,7 +1169,7 @@ impl Hgnas {
         let scorer = Stage1Scorer {
             hgnas: self,
             ds,
-            eval_subset,
+            eval_batches: SynthNet40::batches(eval_subset, 16),
             eval_cost_ms: self.eval_cost_ms(eval_subset.len()),
         };
         let mut evaluator = Evaluator::new(
@@ -1216,7 +1227,7 @@ impl Hgnas {
             task: &self.task,
             functions,
             supernet,
-            eval_subset,
+            eval_batches: SynthNet40::batches(eval_subset, 16),
             oracle,
             objective,
             eval_cost_ms: self.eval_cost_ms(eval_subset.len()),
@@ -1434,7 +1445,7 @@ impl Hgnas {
         let scorer = OneStageScorer {
             hgnas: self,
             ds,
-            eval_subset,
+            eval_batches: SynthNet40::batches(eval_subset, 16),
             oracle,
             objective,
             eval_cost_ms: self.eval_cost_ms(eval_subset.len()),

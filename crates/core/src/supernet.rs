@@ -12,9 +12,10 @@ use hgnas_autograd::{Tape, Var};
 use hgnas_graph::{knn_brute, random_neighbors};
 use hgnas_nn::{Activation, Linear, Mlp, Module, Optimizer, Param};
 use hgnas_ops::{ConnectFn, FunctionSet, MessageType, OpType, SampleFn};
-use hgnas_pointcloud::{Batch, PointCloud, SynthNet40};
+use hgnas_pointcloud::{fresh_cache_source, Batch, PointCloud, SynthNet40};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// A weight-sharing supernet over the operation space, with the function
 /// space fixed to an (upper, lower) pair of [`FunctionSet`]s.
@@ -30,6 +31,12 @@ pub struct Supernet {
     aligns: Vec<Linear>,
     combines: Vec<Linear>,
     head: Mlp,
+    /// Cache-source token identifying the current weight version (see
+    /// [`fresh_cache_source`]). Frozen forwards key per-batch neighbor
+    /// caches under it; the token is re-drawn by every code path that
+    /// mutates weights ([`Supernet::train_epoch`],
+    /// [`Supernet::import_weights`]), which retires all stale entries.
+    version: u64,
 }
 
 impl Supernet {
@@ -76,6 +83,7 @@ impl Supernet {
             aligns,
             combines,
             head,
+            version: fresh_cache_source(),
         }
     }
 
@@ -100,21 +108,28 @@ impl Supernet {
             .collect()
     }
 
-    fn build_neighbors(
-        data: &[f32],
-        segments: &[usize],
-        c: usize,
-        k: usize,
-        func: SampleFn,
-        rng: &mut StdRng,
-    ) -> Vec<usize> {
+    /// Per-cloud brute-force KNN over the stacked `c`-dim features, offset
+    /// into the batch row space. Deterministic, hence cacheable whenever its
+    /// input features are stable.
+    fn build_knn_neighbors(data: &[f32], segments: &[usize], c: usize, k: usize) -> Vec<usize> {
         let mut flat = Vec::new();
         let mut row0 = 0usize;
         for &n in segments {
-            let nl = match func {
-                SampleFn::Knn => knn_brute(&data[row0 * c..(row0 + n) * c], c, k),
-                SampleFn::Random => random_neighbors(rng, n, k),
-            };
+            let nl = knn_brute(&data[row0 * c..(row0 + n) * c], c, k);
+            flat.extend(nl.flat().iter().map(|&j| j + row0));
+            row0 += n;
+        }
+        flat
+    }
+
+    /// Random-neighbour counterpart: consumes `rng` on every call, so a
+    /// cache hit would skip the draws and desynchronise the RNG stream —
+    /// never cached.
+    fn build_random_neighbors(segments: &[usize], k: usize, rng: &mut StdRng) -> Vec<usize> {
+        let mut flat = Vec::new();
+        let mut row0 = 0usize;
+        for &n in segments {
+            let nl = random_neighbors(rng, n, k);
             flat.extend(nl.flat().iter().map(|&j| j + row0));
             row0 += n;
         }
@@ -171,37 +186,42 @@ impl Supernet {
         let mut h = lin(&self.stem, tape, h0);
         h = tape.relu(h);
         let mut skip = h;
-        let mut neighbors: Option<Vec<usize>> = None;
+        let mut neighbors: Option<Arc<Vec<usize>>> = None;
         let hd = self.hidden;
         let k = self.k;
+        // While true, `h` is exactly `relu(stem(points))` — a pure function
+        // of (batch, current weights). Under a *frozen* forward the weights
+        // are pinned to `self.version`, so KNN graphs over pristine `h` are
+        // cacheable per batch under that token. Training-mode forwards
+        // mutate weights step to step and never consult the cache.
+        let mut h_pristine = true;
+        let build_stem_knn = |tape: &Tape, h: Var| {
+            Self::build_knn_neighbors(tape.value(h).data(), &batch.segments, hd, k)
+        };
 
         for (p, &ty) in genome.iter().enumerate() {
             let fs = self.function_set(p);
             match ty {
                 OpType::Sample => {
-                    let data = tape.value(h).data().to_vec();
-                    neighbors = Some(Self::build_neighbors(
-                        &data,
-                        &batch.segments,
-                        hd,
-                        k,
-                        fs.sample,
-                        rng,
-                    ));
+                    neighbors = Some(match fs.sample {
+                        SampleFn::Knn if frozen && h_pristine => {
+                            batch.cached_neighbors(self.version, k, || build_stem_knn(tape, h))
+                        }
+                        SampleFn::Knn => Arc::new(build_stem_knn(tape, h)),
+                        SampleFn::Random => {
+                            Arc::new(Self::build_random_neighbors(&batch.segments, k, rng))
+                        }
+                    });
                 }
                 OpType::Aggregate => {
                     if neighbors.is_none() {
-                        let data = tape.value(h).data().to_vec();
-                        neighbors = Some(Self::build_neighbors(
-                            &data,
-                            &batch.segments,
-                            hd,
-                            k,
-                            SampleFn::Knn,
-                            rng,
-                        ));
+                        neighbors = Some(if frozen && h_pristine {
+                            batch.cached_neighbors(self.version, k, || build_stem_knn(tape, h))
+                        } else {
+                            Arc::new(build_stem_knn(tape, h))
+                        });
                     }
-                    let idx = neighbors.as_ref().unwrap();
+                    let idx: &[usize] = neighbors.as_ref().unwrap();
                     let nbr = tape.gather_rows(h, idx);
                     let ctr = tape.repeat_rows(h, k);
                     let message = match fs.message {
@@ -228,16 +248,19 @@ impl Supernet {
                     let agg = tape.reduce_mid(message, k, fs.aggregator.reduction());
                     h = lin(&self.aligns[p], tape, agg);
                     h = tape.relu(h);
+                    h_pristine = false;
                 }
                 OpType::Combine => {
                     h = lin(&self.combines[p], tape, h);
                     h = tape.relu(h);
+                    h_pristine = false;
                 }
                 OpType::Connect => match fs.connect {
                     ConnectFn::Identity => {}
                     ConnectFn::Skip => {
                         h = tape.add(h, skip);
                         skip = h;
+                        h_pristine = false;
                     }
                 },
             }
@@ -280,6 +303,7 @@ impl Supernet {
         for (p, w) in params.iter_mut().zip(weights) {
             p.set_value(w.clone());
         }
+        self.version = fresh_cache_source();
     }
 
     /// One SPOS training epoch: a fresh random path per batch. Returns the
@@ -295,17 +319,33 @@ impl Supernet {
             tape.backward(loss);
             self.apply_updates(&tape, opt);
         }
+        // Weights changed: retire every frozen-graph cache entry keyed under
+        // the old version token.
+        self.version = fresh_cache_source();
         total / batches.len().max(1) as f32
     }
 
     /// One-shot accuracy of a fixed path on an evaluation split.
+    ///
+    /// Stacks the clouds into fresh batches on every call; candidate loops
+    /// scoring many genomes against the same split should pre-build batches
+    /// once and use [`Supernet::eval_genome_batched`], which also lets the
+    /// per-batch frozen-graph caches pay off across candidates.
     pub fn eval_genome(&self, genome: &[OpType], clouds: &[PointCloud], seed: u64) -> f64 {
+        self.eval_genome_batched(genome, &SynthNet40::batches(clouds, 16), seed)
+    }
+
+    /// [`Supernet::eval_genome`] over pre-built batches. Frozen forwards
+    /// only, so pristine-stem KNN graphs land in each batch's neighbor cache
+    /// keyed by the current weight version — shared across every candidate
+    /// (and every thread) evaluated against the same batches.
+    pub fn eval_genome_batched(&self, genome: &[OpType], batches: &[Batch], seed: u64) -> f64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut pred = Vec::new();
         let mut truth = Vec::new();
-        for batch in SynthNet40::batches(clouds, 16) {
+        for batch in batches {
             let mut tape = Tape::new();
-            let logits = self.forward_frozen(&mut tape, &batch, genome, &mut rng);
+            let logits = self.forward_frozen(&mut tape, batch, genome, &mut rng);
             pred.extend(hgnas_nn::metrics::predictions(
                 tape.value(logits).data(),
                 self.classes,

@@ -1,0 +1,63 @@
+//! End-to-end golden test for the lane port: a full supernet training run
+//! (SPOS `train_epoch` — forwards, backwards, Adam steps — plus one-shot
+//! genome evaluation) must produce bit-identical results on the AVX2 lane
+//! path and the pure-scalar fallback.
+//!
+//! `with_path` flips a process-global override, so this file holds exactly
+//! one test in its own integration-test binary: a concurrently running
+//! override could mask a divergence between the paths.
+
+use hgnas_core::Supernet;
+use hgnas_nn::Optimizer;
+use hgnas_ops::FunctionSet;
+use hgnas_pointcloud::{DatasetConfig, SynthNet40};
+use hgnas_tensor::simd::{with_path, LanePath};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Trains a tiny supernet for three epochs and evaluates a few random
+/// paths, all under the given lane path. Everything RNG-dependent is
+/// re-seeded identically per invocation.
+fn train_and_eval(path: LanePath) -> (Vec<u32>, Vec<u64>, Vec<Vec<u32>>) {
+    with_path(path, || {
+        let ds = SynthNet40::generate(&DatasetConfig::tiny(21));
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut sn = Supernet::new(
+            &mut rng,
+            6,
+            16,
+            8,
+            ds.classes,
+            FunctionSet::dgcnn_like(16),
+            FunctionSet::dgcnn_like(16),
+            &[16],
+        );
+        let batches = SynthNet40::batches(&ds.train, 8);
+        let mut opt = Optimizer::adam(3e-3);
+        let losses: Vec<u32> = (0..3)
+            .map(|_| sn.train_epoch(&batches, &mut opt, &mut rng).to_bits())
+            .collect();
+        let mut path_rng = StdRng::seed_from_u64(22);
+        let accs: Vec<u64> = (0..4)
+            .map(|_| {
+                let genome = sn.random_genome(&mut path_rng);
+                sn.eval_genome(&genome, &ds.test, 0).to_bits()
+            })
+            .collect();
+        let weights: Vec<Vec<u32>> = sn
+            .export_weights()
+            .iter()
+            .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        (losses, accs, weights)
+    })
+}
+
+#[test]
+fn supernet_training_is_bit_identical_scalar_vs_lane() {
+    let (scalar_loss, scalar_acc, scalar_w) = train_and_eval(LanePath::Scalar);
+    let (lane_loss, lane_acc, lane_w) = train_and_eval(LanePath::Avx2);
+    assert_eq!(scalar_loss, lane_loss, "per-epoch losses diverged");
+    assert_eq!(scalar_acc, lane_acc, "one-shot accuracies diverged");
+    assert_eq!(scalar_w, lane_w, "trained weights diverged");
+}

@@ -19,6 +19,19 @@
 use crate::neighbors::NeighborList;
 use hgnas_tensor::simd;
 use rand::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide count of [`knn_brute`] invocations. Purely observational —
+/// the ops layer's graph-reuse tests pin "the static KNN graph is built once
+/// per batch, not once per epoch" against this counter.
+static KNN_BRUTE_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of times [`knn_brute`] has run in this process. Purely
+/// observational; tests sampling it must own their process (a dedicated
+/// integration-test binary), since parallel tests all bump the same counter.
+pub fn knn_brute_calls() -> usize {
+    KNN_BRUTE_CALLS.load(Ordering::Relaxed)
+}
 
 #[inline]
 fn dist2(a: &[f32], b: &[f32]) -> f32 {
@@ -83,6 +96,7 @@ fn fill_dists(i: usize, points: &[f32], dim: usize, dists: &mut [f32]) {
 ///
 /// Panics if the buffer is ragged, `k == 0`, or `n <= k`.
 pub fn knn_brute(points: &[f32], dim: usize, k: usize) -> NeighborList {
+    KNN_BRUTE_CALLS.fetch_add(1, Ordering::Relaxed);
     let n = validate(points, dim, k);
     let mut idx = vec![0usize; n * k];
     let mut dists = vec![0.0f32; n];

@@ -27,5 +27,5 @@ mod neighbors;
 
 pub use digraph::{AdjNorm, DiGraph};
 pub use kdtree::knn_kdtree;
-pub use knn::{knn_brute, knn_grid, random_neighbors};
+pub use knn::{knn_brute, knn_brute_calls, knn_grid, random_neighbors};
 pub use neighbors::{Csr, NeighborList};

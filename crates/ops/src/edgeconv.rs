@@ -13,6 +13,7 @@ use hgnas_nn::{Activation, Linear, Mlp, Module, Param};
 use hgnas_pointcloud::Batch;
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::sync::Arc;
 
 /// DGCNN-style model: a stack of EdgeConv layers (per-edge MLP on
 /// `x_i ‖ (x_j − x_i)`, max aggregation), per-node embedding over the
@@ -65,25 +66,31 @@ impl EdgeConvModel {
 
     /// Forward pass over a stacked batch, returning `[clouds, classes]`
     /// logits.
+    ///
+    /// Layer 0's graph is a function of the immutable `batch.points` only, so
+    /// it comes from the batch's neighbor cache — a multi-epoch train loop
+    /// (or a `dynamic == false` config, whose *only* graph is layer 0's) pays
+    /// the O(n²) KNN once per batch, not once per forward.
     pub fn forward(&self, tape: &mut Tape, batch: &Batch, _rng: &mut StdRng) -> Var {
         let k = self.cfg.k;
         let mut h = tape.input(batch.points.clone());
         let mut cur_dim = 3usize;
-        let mut neighbors: Option<Vec<usize>> = None;
+        let mut neighbors: Option<Arc<Vec<usize>>> = None;
         let mut outputs = Vec::with_capacity(self.layers.len());
 
         for (li, ((ci, co), lin)) in self.cfg.layer_dims.iter().zip(&self.layers).enumerate() {
             debug_assert_eq!(*ci, cur_dim, "layer {li} input width mismatch");
-            let rebuild = if li == 0 {
-                true
-            } else {
-                self.cfg.dynamic && li < self.cfg.reuse_after
-            };
-            if rebuild {
+            if li == 0 {
+                neighbors = Some(batch.cached_neighbors(Batch::RAW_POINTS_SOURCE, k, || {
+                    Self::knn_flat(batch.points.data(), &batch.segments, cur_dim, k)
+                }));
+            } else if self.cfg.dynamic && li < self.cfg.reuse_after {
+                // Dynamic graphs depend on the evolving features (and thus
+                // the weights) — never cacheable across forwards.
                 let data = tape.value(h).data().to_vec();
-                neighbors = Some(Self::knn_flat(&data, &batch.segments, cur_dim, k));
+                neighbors = Some(Arc::new(Self::knn_flat(&data, &batch.segments, cur_dim, k)));
             }
-            let idx = neighbors.as_ref().expect("graph built at layer 0");
+            let idx: &[usize] = neighbors.as_ref().expect("graph built at layer 0");
             let nbr = tape.gather_rows(h, idx);
             let ctr = tape.repeat_rows(h, k);
             let rel = tape.sub(nbr, ctr);

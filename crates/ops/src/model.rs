@@ -7,6 +7,7 @@ use hgnas_nn::{Activation, Linear, Mlp, Module, Param};
 use hgnas_pointcloud::Batch;
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::sync::Arc;
 
 /// A concrete, trainable instantiation of an [`Architecture`]: one
 /// [`Linear`] per combine op plus a pooled classifier head.
@@ -64,25 +65,30 @@ impl GnnModel {
         &self.arch
     }
 
-    /// Builds the flat neighbour index table for a stacked batch: per-cloud
-    /// KNN over `c`-dim features (or random neighbours), offset into the
-    /// stacked row space.
-    fn build_neighbors(
-        data: &[f32],
-        segments: &[usize],
-        c: usize,
-        k: usize,
-        func: SampleFn,
-        rng: &mut StdRng,
-    ) -> Vec<usize> {
+    /// Builds the flat KNN index table for a stacked batch: per-cloud
+    /// brute-force KNN over `c`-dim features, offset into the stacked row
+    /// space. Deterministic in its inputs, hence cacheable per batch when
+    /// the features are.
+    fn build_knn_neighbors(data: &[f32], segments: &[usize], c: usize, k: usize) -> Vec<usize> {
         let mut flat = Vec::with_capacity(data.len() / c * k);
         let mut row0 = 0usize;
         for &n in segments {
-            let slice = &data[row0 * c..(row0 + n) * c];
-            let nl = match func {
-                SampleFn::Knn => knn_brute(slice, c, k),
-                SampleFn::Random => random_neighbors(rng, n, k),
-            };
+            let nl = knn_brute(&data[row0 * c..(row0 + n) * c], c, k);
+            flat.extend(nl.flat().iter().map(|&j| j + row0));
+            row0 += n;
+        }
+        flat
+    }
+
+    /// Random-neighbour counterpart of [`Self::build_knn_neighbors`]. Draws
+    /// from `rng` every call, so it must never be cached — a cache hit would
+    /// skip the draws and desynchronise the RNG stream.
+    fn build_random_neighbors(segments: &[usize], k: usize, rng: &mut StdRng) -> Vec<usize> {
+        let total: usize = segments.iter().sum();
+        let mut flat = Vec::with_capacity(total * k);
+        let mut row0 = 0usize;
+        for &n in segments {
+            let nl = random_neighbors(rng, n, k);
             flat.extend(nl.flat().iter().map(|&j| j + row0));
             row0 += n;
         }
@@ -101,35 +107,56 @@ impl GnnModel {
         let mut cur_dim = self.in_dim;
         let mut skip = h;
         let mut skip_dim = cur_dim;
-        let mut neighbors: Option<Vec<usize>> = None;
+        let mut neighbors: Option<Arc<Vec<usize>>> = None;
         let mut combine_idx = 0usize;
+        // True until an op overwrites `h`: while it holds, `h` is exactly
+        // `batch.points`, so a KNN over it is a pure function of the batch
+        // and comes from the per-batch cache.
+        let mut h_is_raw = true;
 
         for op in &self.arch.ops {
             match *op {
                 Operation::Sample(func) => {
-                    let data = tape.value(h).data().to_vec();
-                    neighbors = Some(Self::build_neighbors(
-                        &data,
-                        &batch.segments,
-                        cur_dim,
-                        k,
-                        func,
-                        rng,
-                    ));
+                    neighbors = Some(match func {
+                        SampleFn::Knn if h_is_raw => {
+                            batch.cached_neighbors(Batch::RAW_POINTS_SOURCE, k, || {
+                                Self::build_knn_neighbors(
+                                    batch.points.data(),
+                                    &batch.segments,
+                                    cur_dim,
+                                    k,
+                                )
+                            })
+                        }
+                        SampleFn::Knn => {
+                            let data = tape.value(h).data().to_vec();
+                            Arc::new(Self::build_knn_neighbors(
+                                &data,
+                                &batch.segments,
+                                cur_dim,
+                                k,
+                            ))
+                        }
+                        SampleFn::Random => {
+                            Arc::new(Self::build_random_neighbors(&batch.segments, k, rng))
+                        }
+                    });
                 }
                 Operation::Aggregate { agg, msg } => {
                     if neighbors.is_none() {
-                        // Implicit graph on raw input coordinates.
-                        neighbors = Some(Self::build_neighbors(
-                            batch.points.data(),
-                            &batch.segments,
-                            self.in_dim,
-                            k,
-                            SampleFn::Knn,
-                            rng,
-                        ));
+                        // Implicit graph on raw input coordinates — always a
+                        // pure function of the batch, so always cacheable.
+                        neighbors =
+                            Some(batch.cached_neighbors(Batch::RAW_POINTS_SOURCE, k, || {
+                                Self::build_knn_neighbors(
+                                    batch.points.data(),
+                                    &batch.segments,
+                                    self.in_dim,
+                                    k,
+                                )
+                            }));
                     }
-                    let idx = neighbors.as_ref().unwrap();
+                    let idx: &[usize] = neighbors.as_ref().unwrap();
                     let nbr = tape.gather_rows(h, idx);
                     let ctr = tape.repeat_rows(h, k);
                     let message = match msg {
@@ -155,6 +182,7 @@ impl GnnModel {
                     };
                     h = tape.reduce_mid(message, k, agg.reduction());
                     cur_dim = msg.width(cur_dim);
+                    h_is_raw = false;
                 }
                 Operation::Combine { dim } => {
                     let lin = &self.combines[combine_idx];
@@ -162,6 +190,7 @@ impl GnnModel {
                     h = lin.forward(tape, h);
                     h = tape.relu(h);
                     cur_dim = dim;
+                    h_is_raw = false;
                 }
                 Operation::Connect(ConnectFn::Identity) => {}
                 Operation::Connect(ConnectFn::Skip) => {
@@ -173,6 +202,7 @@ impl GnnModel {
                     }
                     skip = h;
                     skip_dim = cur_dim;
+                    h_is_raw = false;
                 }
             }
         }

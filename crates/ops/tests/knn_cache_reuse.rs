@@ -1,0 +1,92 @@
+//! Pins the per-batch KNN cache: static-graph models build their layer-0
+//! neighbor graph **once per batch**, not once per forward pass.
+//!
+//! These assertions sample the process-global `knn_brute_calls` counter, so
+//! the whole file runs as one test in its own integration-test binary (its
+//! own process) — in-crate unit tests run in parallel and would pollute the
+//! count.
+
+use hgnas_autograd::Tape;
+use hgnas_graph::knn_brute_calls;
+use hgnas_nn::{Module, Optimizer};
+use hgnas_ops::{
+    Aggregator, Architecture, DgcnnConfig, EdgeConvModel, GnnModel, MessageType, Operation,
+    SampleFn,
+};
+use hgnas_pointcloud::{Batch, DatasetConfig, SynthNet40};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn toy_batch() -> Batch {
+    let ds = SynthNet40::generate(&DatasetConfig::tiny(11));
+    SynthNet40::batches(&ds.train[..3], 3).remove(0)
+}
+
+#[test]
+fn static_graph_knn_is_built_once_per_batch() {
+    // --- EdgeConv, dynamic == false: the only graph is layer 0's. ---------
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut cfg = DgcnnConfig::small(4);
+    cfg.dynamic = false;
+    let mut model = EdgeConvModel::new(&mut rng, cfg);
+    let batch = toy_batch();
+    let clouds = batch.segments.len();
+
+    let mut opt = Optimizer::adam(5e-3);
+    let before = knn_brute_calls();
+    let (mut first, mut last) = (None, 0.0);
+    for _ in 0..6 {
+        let mut tape = Tape::new();
+        let logits = model.forward(&mut tape, &batch, &mut rng);
+        let loss = tape.softmax_cross_entropy(logits, &batch.labels);
+        last = tape.value(loss).item();
+        first.get_or_insert(last);
+        tape.backward(loss);
+        model.apply_updates(&tape, &mut opt);
+    }
+    assert!(last < first.unwrap(), "loss {first:?} -> {last}");
+    // One knn_brute per cloud on the first forward; every later epoch hits
+    // the batch cache.
+    assert_eq!(
+        knn_brute_calls() - before,
+        clouds,
+        "multi-epoch train loop re-derived the static KNN graph"
+    );
+
+    // A clone shares the cache (batch identity is the Arc), so it is free.
+    let clone = batch.clone();
+    let at = knn_brute_calls();
+    let mut tape = Tape::new();
+    model.forward(&mut tape, &clone, &mut rng);
+    assert_eq!(
+        knn_brute_calls(),
+        at,
+        "batch clone rebuilt the cached graph"
+    );
+
+    // --- GnnModel: leading Sample(Knn) / implicit Aggregate are static. ---
+    let arch = Architecture::new(
+        vec![
+            Operation::Sample(SampleFn::Knn),
+            Operation::Combine { dim: 16 },
+            Operation::Aggregate {
+                agg: Aggregator::Max,
+                msg: MessageType::TargetRel,
+            },
+        ],
+        8,
+        4,
+    );
+    let gnn = GnnModel::new(&mut rng, arch, &[16]);
+    let fresh = toy_batch();
+    let before = knn_brute_calls();
+    for _ in 0..4 {
+        let mut tape = Tape::new();
+        gnn.forward(&mut tape, &fresh, &mut rng);
+    }
+    assert_eq!(
+        knn_brute_calls() - before,
+        fresh.segments.len(),
+        "leading Sample(Knn) graph not cached across forwards"
+    );
+}

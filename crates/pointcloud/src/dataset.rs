@@ -5,6 +5,9 @@ use hgnas_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One labelled point cloud, normalised to the unit sphere.
 #[derive(Debug, Clone, PartialEq)]
@@ -204,17 +207,20 @@ impl SynthNet40 {
                     labels.push(c.label);
                 }
                 let rows: usize = segments.iter().sum();
-                Batch {
-                    points: Tensor::from_vec(data, &[rows, 3]),
-                    segments,
-                    labels,
-                }
+                Batch::new(Tensor::from_vec(data, &[rows, 3]), segments, labels)
             })
             .collect()
     }
 }
 
 /// A stacked mini-batch of point clouds.
+///
+/// Besides its data, a batch carries a shared per-batch neighbor-list cache
+/// ([`Batch::cached_neighbors`]): KNN graphs derived from inputs that do not
+/// change across epochs — the raw `points`, or frozen-weight stem features —
+/// are built once per batch instead of once per forward pass. Clones share
+/// the cache (batch identity is the `Arc`), so pre-built eval batches reused
+/// across candidates amortise graph construction too.
 #[derive(Debug, Clone)]
 pub struct Batch {
     /// All points of all clouds, stacked `[sum(n_i), 3]`.
@@ -223,6 +229,71 @@ pub struct Batch {
     pub segments: Vec<usize>,
     /// Label per cloud.
     pub labels: Vec<usize>,
+    /// Lazily filled neighbor lists keyed by `(source token, k)`.
+    neighbor_cache: NeighborCache,
+}
+
+/// Shared `(source, k) → flat neighbor indices` map behind a batch.
+///
+/// The mutex is held across a miss's build closure, which doubles as
+/// single-flight: worker threads scoring different candidates against the
+/// same eval batch compute each graph exactly once. Builders must be
+/// deterministic functions of the batch data and the source token — that is
+/// what makes a cache hit bit-identical to a rebuild.
+#[derive(Debug, Clone, Default)]
+struct NeighborCache(Arc<Mutex<NeighborMap>>);
+
+/// `(source token, k) → flat neighbor indices`.
+type NeighborMap = HashMap<(u64, usize), Arc<Vec<usize>>>;
+
+/// Allocates a fresh, process-unique cache-source token (never
+/// [`Batch::RAW_POINTS_SOURCE`]). Owners of weight-dependent-but-currently-
+/// frozen inputs (e.g. a supernet's stem output) take a token per weight
+/// version; bumping to a new token on any weight change retires all cached
+/// graphs keyed under the old one.
+pub fn fresh_cache_source() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Batch {
+    /// Cache-source token for neighbor lists built from the batch's own raw
+    /// `points` — immutable for the batch's lifetime, so entries under this
+    /// token never expire.
+    pub const RAW_POINTS_SOURCE: u64 = 0;
+
+    /// Creates a batch with an empty neighbor cache.
+    pub fn new(points: Tensor, segments: Vec<usize>, labels: Vec<usize>) -> Self {
+        Batch {
+            points,
+            segments,
+            labels,
+            neighbor_cache: NeighborCache::default(),
+        }
+    }
+
+    /// Returns the cached flat neighbor list for `(source, k)`, running
+    /// `build` on the first request. `build` must be a deterministic function
+    /// of the batch plus whatever state `source` stands for; see
+    /// [`fresh_cache_source`] for the token discipline.
+    pub fn cached_neighbors(
+        &self,
+        source: u64,
+        k: usize,
+        build: impl FnOnce() -> Vec<usize>,
+    ) -> Arc<Vec<usize>> {
+        let mut map = self
+            .neighbor_cache
+            .0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = map.get(&(source, k)) {
+            return Arc::clone(hit);
+        }
+        let built = Arc::new(build());
+        map.insert((source, k), Arc::clone(&built));
+        built
+    }
 }
 
 #[cfg(test)]

@@ -31,5 +31,5 @@
 mod dataset;
 mod shapes;
 
-pub use dataset::{Batch, DatasetConfig, PointCloud, SynthNet40};
+pub use dataset::{fresh_cache_source, Batch, DatasetConfig, PointCloud, SynthNet40};
 pub use shapes::{class_name, class_spec, sample_class, NUM_CLASSES};

@@ -4,7 +4,11 @@
 //! per-row feature loop through [`crate::simd::add_assign`] — elementwise
 //! over the feature axis, so the lane path never changes a bit.
 //! [`row_norms`] contracts with [`crate::simd::dot`]'s fixed
-//! multi-accumulator schedule (same on every path).
+//! multi-accumulator schedule (same on every path). The pure-copy kernels
+//! ([`gather_rows`], [`repeat_rows`], [`concat_cols`], [`split_cols`])
+//! append straight into uninitialised capacity (`extend_from_slice`) — a
+//! single `memcpy` pass per row instead of a zero-fill followed by a copy;
+//! copies move bits, so no lane/scalar distinction exists for them.
 
 use crate::simd;
 use crate::Tensor;
@@ -22,10 +26,10 @@ pub fn gather_rows(t: &Tensor, idx: &[usize]) -> Tensor {
     assert_eq!(t.shape().rank(), 2, "gather_rows requires [n,c]");
     let (n, c) = (t.dims()[0], t.dims()[1]);
     let d = t.data();
-    let mut out = vec![0.0f32; idx.len() * c];
-    for (i, &src) in idx.iter().enumerate() {
+    let mut out = Vec::with_capacity(idx.len() * c);
+    for &src in idx {
         assert!(src < n, "gather index {src} out of bounds for {n} rows");
-        out[i * c..(i + 1) * c].copy_from_slice(&d[src * c..(src + 1) * c]);
+        out.extend_from_slice(&d[src * c..(src + 1) * c]);
     }
     Tensor::from_vec(out, &[idx.len(), c])
 }
@@ -62,11 +66,11 @@ pub fn repeat_rows(t: &Tensor, k: usize) -> Tensor {
     assert!(k > 0, "k must be positive");
     let (n, c) = (t.dims()[0], t.dims()[1]);
     let d = t.data();
-    let mut out = vec![0.0f32; n * k * c];
+    let mut out = Vec::with_capacity(n * k * c);
     for i in 0..n {
         let row = &d[i * c..(i + 1) * c];
-        for kk in 0..k {
-            out[(i * k + kk) * c..(i * k + kk + 1) * c].copy_from_slice(row);
+        for _ in 0..k {
+            out.extend_from_slice(row);
         }
     }
     Tensor::from_vec(out, &[n * k, c])
@@ -110,14 +114,11 @@ pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
         assert_eq!(p.dims()[0], n, "concat_cols row counts differ");
     }
     let total_c: usize = parts.iter().map(|p| p.dims()[1]).sum();
-    let mut out = vec![0.0f32; n * total_c];
+    let mut out = Vec::with_capacity(n * total_c);
     for i in 0..n {
-        let mut off = 0usize;
         for p in parts {
             let c = p.dims()[1];
-            out[i * total_c + off..i * total_c + off + c]
-                .copy_from_slice(&p.data()[i * c..(i + 1) * c]);
-            off += c;
+            out.extend_from_slice(&p.data()[i * c..(i + 1) * c]);
         }
     }
     Tensor::from_vec(out, &[n, total_c])
@@ -141,9 +142,9 @@ pub fn split_cols(t: &Tensor, widths: &[usize]) -> Vec<Tensor> {
     let mut outs = Vec::with_capacity(widths.len());
     let mut off = 0usize;
     for &w in widths {
-        let mut data = vec![0.0f32; n * w];
+        let mut data = Vec::with_capacity(n * w);
         for i in 0..n {
-            data[i * w..(i + 1) * w].copy_from_slice(&d[i * c + off..i * c + off + w]);
+            data.extend_from_slice(&d[i * c + off..i * c + off + w]);
         }
         outs.push(Tensor::from_vec(data, &[n, w]));
         off += w;

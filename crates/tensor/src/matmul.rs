@@ -4,7 +4,9 @@
 //! All variants compute `C = A · B` (or a transposed flavour) and are
 //! exact-equivalent; the blocked/threaded/lane versions exist purely for
 //! throughput. The kernels bench (`hgnas-bench`, `BENCH_kernels.json`)
-//! tracks scalar-vs-lane wall clock per shape.
+//! tracks scalar-vs-lane wall clock per shape; the elementwise and
+//! activation kernels that surround these matmuls on the tape live in
+//! [`crate::simd`] directly and are tracked by `BENCH_ops.json`.
 //!
 //! # Dispatch decision tree
 //!
@@ -22,7 +24,12 @@
 //!    the cache-blocked kernel ([`BLOCK`]-edge tiles).
 //! 3. **Lanes**: the innermost contiguous loop dispatches through
 //!    [`crate::simd`], which itself falls back to scalar below one lane
-//!    width ([`crate::simd::LANES`]) or when AVX2 is unavailable.
+//!    width ([`crate::simd::LANES`]) or when AVX2 is unavailable. The
+//!    same gate serves the non-matmul tape ops: elementwise
+//!    add/sub/mul/scale and the relu/leaky-relu forwards and gradients
+//!    dispatch per row (or per flat buffer) through the identical
+//!    lane/remainder schedule, so a tensor narrower than one lane runs
+//!    the scalar leg with zero dispatch overhead.
 //!
 //! Every gate is value-neutral: threading partitions output rows without
 //! reordering any row's accumulation, and the lane kernels are bit-identical

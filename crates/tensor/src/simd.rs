@@ -172,6 +172,48 @@ fn add_assign_scalar(acc: &mut [f32], x: &[f32]) {
     }
 }
 
+/// `acc[i] -= x[i]` — elementwise subtraction (autograd `sub` forward and
+/// residual backward).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn sub_assign(acc: &mut [f32], x: &[f32]) {
+    assert_eq!(acc.len(), x.len(), "sub_assign length mismatch");
+    lane_dispatch!(
+        acc.len(),
+        avx2::sub_assign(acc, x),
+        sub_assign_scalar(acc, x)
+    )
+}
+
+fn sub_assign_scalar(acc: &mut [f32], x: &[f32]) {
+    for (c, &v) in acc.iter_mut().zip(x) {
+        *c -= v;
+    }
+}
+
+/// `acc[i] *= x[i]` — the Hadamard-product loop (autograd `mul` forward and
+/// its product-rule backward).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul_assign(acc: &mut [f32], x: &[f32]) {
+    assert_eq!(acc.len(), x.len(), "mul_assign length mismatch");
+    lane_dispatch!(
+        acc.len(),
+        avx2::mul_assign(acc, x),
+        mul_assign_scalar(acc, x)
+    )
+}
+
+fn mul_assign_scalar(acc: &mut [f32], x: &[f32]) {
+    for (c, &v) in acc.iter_mut().zip(x) {
+        *c *= v;
+    }
+}
+
 /// `buf[i] *= s` — the mean-normalisation loop.
 pub fn scale(buf: &mut [f32], s: f32) {
     lane_dispatch!(buf.len(), avx2::scale(buf, s), scale_scalar(buf, s))
@@ -180,6 +222,82 @@ pub fn scale(buf: &mut [f32], s: f32) {
 fn scale_scalar(buf: &mut [f32], s: f32) {
     for v in buf.iter_mut() {
         *v *= s;
+    }
+}
+
+/// In-place ReLU: `buf[i] = if buf[i] > 0 { buf[i] } else { +0.0 }`.
+///
+/// The lane leg is `and_ps(v, cmp_gt(v, 0))` — **not** `max_ps` — because
+/// `max_ps` returns the second operand on NaN while the scalar `>` test
+/// sends NaN (and `-0.0`) to `+0.0`; the mask-and form matches the scalar
+/// branch bit-for-bit on every input, NaN and signed zero included.
+pub fn relu(buf: &mut [f32]) {
+    lane_dispatch!(buf.len(), avx2::relu(buf), relu_scalar(buf))
+}
+
+fn relu_scalar(buf: &mut [f32]) {
+    for v in buf.iter_mut() {
+        *v = if *v > 0.0 { *v } else { 0.0 };
+    }
+}
+
+/// In-place LeakyReLU: `buf[i] = if buf[i] > 0 { buf[i] } else { slope * buf[i] }`.
+///
+/// Lane leg: `blendv(slope·v, v, cmp_gt(v, 0))`. Both paths compute the
+/// negative leg as the same single multiply, so NaN payloads, `slope·∞` and
+/// `slope·(-0.0)` propagate identically.
+pub fn leaky_relu(buf: &mut [f32], slope: f32) {
+    lane_dispatch!(
+        buf.len(),
+        avx2::leaky_relu(buf, slope),
+        leaky_relu_scalar(buf, slope)
+    )
+}
+
+fn leaky_relu_scalar(buf: &mut [f32], slope: f32) {
+    for v in buf.iter_mut() {
+        *v = if *v > 0.0 { *v } else { slope * *v };
+    }
+}
+
+/// ReLU backward: `g[i] *= if x[i] > 0 { 1.0 } else { 0.0 }`, where `x` is
+/// the forward *input*. The mask value is multiplied (not selected) so the
+/// IEEE edge cases the PR 6 contract pinned — `0.0 · NaN = NaN`,
+/// `0.0 · ∞ = NaN`, sign of zero — behave exactly like the pre-lane
+/// mask-tensor multiply this replaces.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn relu_grad(g: &mut [f32], x: &[f32]) {
+    assert_eq!(g.len(), x.len(), "relu_grad length mismatch");
+    lane_dispatch!(g.len(), avx2::relu_grad(g, x), relu_grad_scalar(g, x))
+}
+
+fn relu_grad_scalar(g: &mut [f32], x: &[f32]) {
+    for (gv, &xv) in g.iter_mut().zip(x) {
+        *gv *= if xv > 0.0 { 1.0 } else { 0.0 };
+    }
+}
+
+/// LeakyReLU backward: `g[i] *= if x[i] > 0 { 1.0 } else { slope }` with `x`
+/// the forward input. Same literal-multiply contract as [`relu_grad`].
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn leaky_relu_grad(g: &mut [f32], x: &[f32], slope: f32) {
+    assert_eq!(g.len(), x.len(), "leaky_relu_grad length mismatch");
+    lane_dispatch!(
+        g.len(),
+        avx2::leaky_relu_grad(g, x, slope),
+        leaky_relu_grad_scalar(g, x, slope)
+    )
+}
+
+fn leaky_relu_grad_scalar(g: &mut [f32], x: &[f32], slope: f32) {
+    for (gv, &xv) in g.iter_mut().zip(x) {
+        *gv *= if xv > 0.0 { 1.0 } else { slope };
     }
 }
 
@@ -399,6 +517,100 @@ mod avx2 {
     }
 
     #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sub_assign(acc: &mut [f32], x: &[f32]) {
+        let n = acc.len();
+        let mut i = 0;
+        while i + LANES <= n {
+            let vx = _mm256_loadu_ps(x.as_ptr().add(i));
+            let vc = _mm256_loadu_ps(acc.as_ptr().add(i));
+            _mm256_storeu_ps(acc.as_mut_ptr().add(i), _mm256_sub_ps(vc, vx));
+            i += LANES;
+        }
+        super::sub_assign_scalar(&mut acc[i..], &x[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mul_assign(acc: &mut [f32], x: &[f32]) {
+        let n = acc.len();
+        let mut i = 0;
+        while i + LANES <= n {
+            let vx = _mm256_loadu_ps(x.as_ptr().add(i));
+            let vc = _mm256_loadu_ps(acc.as_ptr().add(i));
+            _mm256_storeu_ps(acc.as_mut_ptr().add(i), _mm256_mul_ps(vc, vx));
+            i += LANES;
+        }
+        super::mul_assign_scalar(&mut acc[i..], &x[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn relu(buf: &mut [f32]) {
+        let n = buf.len();
+        let zero = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + LANES <= n {
+            let v = _mm256_loadu_ps(buf.as_ptr().add(i));
+            // gt-mask AND value: NaN and -0.0 compare false and land on +0.0,
+            // exactly like the scalar `if v > 0.0` branch.
+            let mask = _mm256_cmp_ps::<_CMP_GT_OQ>(v, zero);
+            _mm256_storeu_ps(buf.as_mut_ptr().add(i), _mm256_and_ps(v, mask));
+            i += LANES;
+        }
+        super::relu_scalar(&mut buf[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn leaky_relu(buf: &mut [f32], slope: f32) {
+        let n = buf.len();
+        let zero = _mm256_setzero_ps();
+        let vs = _mm256_set1_ps(slope);
+        let mut i = 0;
+        while i + LANES <= n {
+            let v = _mm256_loadu_ps(buf.as_ptr().add(i));
+            let mask = _mm256_cmp_ps::<_CMP_GT_OQ>(v, zero);
+            let neg = _mm256_mul_ps(vs, v);
+            _mm256_storeu_ps(buf.as_mut_ptr().add(i), _mm256_blendv_ps(neg, v, mask));
+            i += LANES;
+        }
+        super::leaky_relu_scalar(&mut buf[i..], slope);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn relu_grad(g: &mut [f32], x: &[f32]) {
+        let n = g.len();
+        let zero = _mm256_setzero_ps();
+        let one = _mm256_set1_ps(1.0);
+        let mut i = 0;
+        while i + LANES <= n {
+            let vx = _mm256_loadu_ps(x.as_ptr().add(i));
+            let vg = _mm256_loadu_ps(g.as_ptr().add(i));
+            // Literal multiply by the 1.0/0.0 mask — keeps 0·NaN and 0·∞
+            // producing NaN like the scalar sibling.
+            let mask = _mm256_and_ps(one, _mm256_cmp_ps::<_CMP_GT_OQ>(vx, zero));
+            _mm256_storeu_ps(g.as_mut_ptr().add(i), _mm256_mul_ps(vg, mask));
+            i += LANES;
+        }
+        super::relu_grad_scalar(&mut g[i..], &x[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn leaky_relu_grad(g: &mut [f32], x: &[f32], slope: f32) {
+        let n = g.len();
+        let zero = _mm256_setzero_ps();
+        let one = _mm256_set1_ps(1.0);
+        let vs = _mm256_set1_ps(slope);
+        let mut i = 0;
+        while i + LANES <= n {
+            let vx = _mm256_loadu_ps(x.as_ptr().add(i));
+            let vg = _mm256_loadu_ps(g.as_ptr().add(i));
+            let mask = _mm256_cmp_ps::<_CMP_GT_OQ>(vx, zero);
+            let factor = _mm256_blendv_ps(vs, one, mask);
+            _mm256_storeu_ps(g.as_mut_ptr().add(i), _mm256_mul_ps(vg, factor));
+            i += LANES;
+        }
+        super::leaky_relu_grad_scalar(&mut g[i..], &x[i..], slope);
+    }
+
+    #[target_feature(enable = "avx2")]
     pub(super) unsafe fn scale(buf: &mut [f32], s: f32) {
         let n = buf.len();
         let vs = _mm256_set1_ps(s);
@@ -598,6 +810,105 @@ mod tests {
             with_path(LanePath::Avx2, || scale(&mut l1, 0.77));
             assert_eq!(s1, l1, "scale len {len}");
         }
+    }
+
+    /// Special values the IEEE contract pins: NaN, ±∞, ±0.0 and ordinary
+    /// magnitudes, cycled through a buffer of length `len`.
+    fn specials(len: usize, salt: usize) -> Vec<f32> {
+        const S: [f32; 8] = [
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            0.0,
+            1.5,
+            -2.25,
+            1e-30,
+        ];
+        (0..len).map(|i| S[(i + salt) % S.len()]).collect()
+    }
+
+    #[test]
+    fn sub_and_mul_assign_match_across_paths() {
+        for len in RAGGED {
+            let x = seq(len, 0.13);
+            let base = seq(len, 0.83);
+            let (mut s, mut l) = (base.clone(), base.clone());
+            with_path(LanePath::Scalar, || sub_assign(&mut s, &x));
+            with_path(LanePath::Avx2, || sub_assign(&mut l, &x));
+            assert_eq!(s, l, "sub_assign len {len}");
+            with_path(LanePath::Scalar, || mul_assign(&mut s, &x));
+            with_path(LanePath::Avx2, || mul_assign(&mut l, &x));
+            assert_eq!(s, l, "mul_assign len {len}");
+        }
+    }
+
+    #[test]
+    fn relu_family_matches_across_paths_on_specials() {
+        for len in RAGGED {
+            for salt in 0..8 {
+                let x = specials(len, salt);
+                let g = seq(len, 0.29);
+
+                let (mut s, mut l) = (x.clone(), x.clone());
+                with_path(LanePath::Scalar, || relu(&mut s));
+                with_path(LanePath::Avx2, || relu(&mut l));
+                assert_eq!(bits(&s), bits(&l), "relu len {len} salt {salt}");
+
+                let (mut s, mut l) = (x.clone(), x.clone());
+                with_path(LanePath::Scalar, || leaky_relu(&mut s, 0.2));
+                with_path(LanePath::Avx2, || leaky_relu(&mut l, 0.2));
+                assert_eq!(bits(&s), bits(&l), "leaky_relu len {len} salt {salt}");
+
+                let (mut s, mut l) = (g.clone(), g.clone());
+                with_path(LanePath::Scalar, || relu_grad(&mut s, &x));
+                with_path(LanePath::Avx2, || relu_grad(&mut l, &x));
+                assert_eq!(bits(&s), bits(&l), "relu_grad len {len} salt {salt}");
+
+                let (mut s, mut l) = (g.clone(), g.clone());
+                with_path(LanePath::Scalar, || leaky_relu_grad(&mut s, &x, 0.2));
+                with_path(LanePath::Avx2, || leaky_relu_grad(&mut l, &x, 0.2));
+                assert_eq!(bits(&s), bits(&l), "leaky_relu_grad len {len} salt {salt}");
+            }
+        }
+    }
+
+    /// Bit views so NaN-carrying buffers can be compared exactly.
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn relu_sends_nan_and_negative_zero_to_positive_zero() {
+        // The documented semantics, checked on the active path: anything not
+        // strictly greater than zero becomes +0.0 — including NaN and -0.0.
+        let mut buf = vec![
+            f32::NAN,
+            -0.0,
+            -3.0,
+            f32::NEG_INFINITY,
+            2.0,
+            0.0,
+            1.0,
+            4.0,
+            -1.0,
+        ];
+        relu(&mut buf);
+        assert_eq!(bits(&buf[0..4]), vec![0u32; 4]);
+        assert_eq!(buf[4], 2.0);
+        assert_eq!(buf[5].to_bits(), 0);
+    }
+
+    #[test]
+    fn grad_kernels_are_literal_multiplies() {
+        // g·0 for a NaN/∞ gradient must stay NaN — the mask is multiplied,
+        // never used to select zero directly.
+        let x = vec![-1.0f32; 9];
+        let mut g = vec![f32::NAN, f32::INFINITY, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        relu_grad(&mut g, &x);
+        assert!(g[0].is_nan());
+        assert!(g[1].is_nan()); // ∞ · 0 = NaN
+        assert_eq!(&g[2..], &[0.0; 7]);
     }
 
     #[test]

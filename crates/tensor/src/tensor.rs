@@ -1,6 +1,7 @@
 //! The core dense tensor type.
 
 use crate::shape::Shape;
+use crate::simd;
 use rand::Rng;
 use std::fmt;
 
@@ -209,14 +210,18 @@ impl Tensor {
     }
 
     /// Elementwise addition, supporting a 1-D bias row broadcast over the last
-    /// dimension of `self`.
+    /// dimension of `self`. Both the same-shape and bias-broadcast legs run
+    /// through the [`crate::simd`] lane layer (per row in the broadcast case,
+    /// preserving the per-element order of the old modulo loop).
     ///
     /// # Panics
     ///
     /// Panics if the shapes are not broadcast compatible.
     pub fn add(&self, other: &Tensor) -> Tensor {
+        let mut out = self.clone();
         if self.shape == other.shape {
-            return self.zip_map(other, |a, b| a + b);
+            simd::add_assign(&mut out.data, &other.data);
+            return out;
         }
         assert!(
             self.shape.broadcastable_from(&other.shape),
@@ -225,26 +230,64 @@ impl Tensor {
             self.shape
         );
         let cols = other.shape.dim(0);
-        let mut out = self.clone();
-        for (i, v) in out.data.iter_mut().enumerate() {
-            *v += other.data[i % cols];
+        for row in out.data.chunks_exact_mut(cols) {
+            simd::add_assign(row, &other.data);
         }
         out
     }
 
-    /// Elementwise subtraction (same shapes only).
+    /// Elementwise subtraction (same shapes only), on the lane layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        self.zip_map(other, |a, b| a - b)
+        assert_eq!(
+            self.shape, other.shape,
+            "sub shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        let mut out = self.clone();
+        simd::sub_assign(&mut out.data, &other.data);
+        out
     }
 
-    /// Elementwise (Hadamard) product (same shapes only).
+    /// Elementwise (Hadamard) product (same shapes only), on the lane layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        self.zip_map(other, |a, b| a * b)
+        assert_eq!(
+            self.shape, other.shape,
+            "mul shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        let mut out = self.clone();
+        simd::mul_assign(&mut out.data, &other.data);
+        out
     }
 
-    /// Multiplies every element by `s`.
+    /// Multiplies every element by `s`, on the lane layer.
     pub fn scale(&self, s: f32) -> Tensor {
-        self.map(|v| v * s)
+        let mut out = self.clone();
+        simd::scale(&mut out.data, s);
+        out
+    }
+
+    /// Elementwise ReLU (`max`-free: anything not strictly positive becomes
+    /// `+0.0`, NaN included — see [`crate::simd::relu`]), on the lane layer.
+    pub fn relu(&self) -> Tensor {
+        let mut out = self.clone();
+        simd::relu(&mut out.data);
+        out
+    }
+
+    /// Elementwise LeakyReLU with the given negative slope, on the lane layer.
+    pub fn leaky_relu(&self, slope: f32) -> Tensor {
+        let mut out = self.clone();
+        simd::leaky_relu(&mut out.data, slope);
+        out
     }
 
     /// Sums all elements.

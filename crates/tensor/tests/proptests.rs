@@ -24,6 +24,20 @@ fn on_both_paths<R>(mut f: impl FnMut() -> R) -> (R, R) {
     (scalar, lanes)
 }
 
+/// Single-float strategy that mixes finite values with the IEEE specials
+/// the lane kernels must reproduce exactly: NaN, ±∞, and −0.0.
+fn special_f32() -> impl Strategy<Value = f32> {
+    (0usize..14, -10.0f32..10.0).prop_map(|(pick, v)| match pick {
+        0 => f32::NAN,
+        1 => f32::INFINITY,
+        2 => f32::NEG_INFINITY,
+        3 => -0.0,
+        4 => 0.0,
+        5 => 1e-30,
+        _ => v,
+    })
+}
+
 /// Bitwise equality of two tensors (NaN == NaN, -0.0 != +0.0).
 fn bits_eq(a: &Tensor, b: &Tensor) -> bool {
     a.shape() == b.shape()
@@ -156,6 +170,46 @@ proptest! {
         });
         prop_assert!(s.0.iter().zip(&l.0).all(|(a, b)| a.to_bits() == b.to_bits()));
         prop_assert_eq!(s.1.to_bits(), l.1.to_bits());
+    }
+
+    #[test]
+    fn elementwise_kernels_bit_identical(
+        len in 1usize..70,
+        data in prop::collection::vec(special_f32(), 3 * 70),
+        slope in 0.01f32..0.5,
+    ) {
+        // Three ragged slices drawn from the same special-laden pool: the
+        // IEEE contract (NaN, ±∞, −0.0 behaviour) must hold bit-for-bit on
+        // both paths, including the sub-8-lane remainder.
+        let x = &data[..len];
+        let y = &data[70..70 + len];
+        let g0 = &data[140..140 + len];
+
+        let (s, l) = on_both_paths(|| {
+            let mut a = x.to_vec();
+            simd::sub_assign(&mut a, y);
+            let mut b = x.to_vec();
+            simd::mul_assign(&mut b, y);
+            let mut r = x.to_vec();
+            simd::relu(&mut r);
+            let mut lr = x.to_vec();
+            simd::leaky_relu(&mut lr, slope);
+            let mut gr = g0.to_vec();
+            simd::relu_grad(&mut gr, x);
+            let mut glr = g0.to_vec();
+            simd::leaky_relu_grad(&mut glr, x, slope);
+            (a, b, r, lr, gr, glr)
+        });
+        let pairs: [(&[f32], &[f32]); 6] = [
+            (&s.0, &l.0), (&s.1, &l.1), (&s.2, &l.2),
+            (&s.3, &l.3), (&s.4, &l.4), (&s.5, &l.5),
+        ];
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            prop_assert!(
+                a.iter().zip(b.iter()).all(|(p, q)| p.to_bits() == q.to_bits()),
+                "elementwise kernel {} diverged between paths", i
+            );
+        }
     }
 
     #[test]
