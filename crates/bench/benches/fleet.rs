@@ -15,15 +15,20 @@
 //! machine-readable records so CI can track the perf trajectory:
 //! `BENCH_fleet.json` (slice-replay vs. session-cache wall-clock on a
 //! stride-1 fleet whose same-seed shards share prefix-keyed sessions
-//! across devices) and `BENCH_oracle.json` (inline vs. pipelined
-//! measurement throughput). `HGNAS_BENCH_JSON=only` skips the sweep and
+//! across devices, plus per-scenario phase rows for the
+//! {task × objective} cross on the builtin Jetson TX2 persona) and
+//! `BENCH_oracle.json` (inline vs. pipelined measurement throughput). `HGNAS_BENCH_JSON=only` skips the sweep and
 //! emits just the records, `HGNAS_BENCH_OUT` overrides the fleet record's
 //! output path.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use hgnas_core::{LatencyMode, SearchConfig, TaskConfig};
-use hgnas_device::{DeviceKind, Workload, WorkloadOp};
-use hgnas_fleet::{MeasurementOracle, OracleConfig, Scheduler, SchedulerConfig, ShardSpec, Ticket};
+use hgnas_device::{builtin_slug, DeviceKind, PersonaRegistry, Workload, WorkloadOp};
+use hgnas_fleet::{
+    cross_scenarios, MeasurementOracle, ObjectiveSpec, OracleConfig, Scheduler, SchedulerConfig,
+    ShardSpec, Ticket,
+};
+use hgnas_pointcloud::TaskKind;
 use hgnas_predictor::PredictorConfig;
 
 fn probe_workload() -> Workload {
@@ -71,35 +76,39 @@ fn bench_oracle(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tiny predictor-mode search configuration every fleet bench shard
+/// uses: one Stage-1 iteration, a 40-sample predictor, 15 eval clouds.
+fn tiny_config(device: DeviceKind, seed: u64) -> SearchConfig {
+    let mut cfg = SearchConfig::fast(device);
+    cfg.ea_stage1.iterations = 1;
+    cfg.ea_stage1.population = 3;
+    cfg.ea_stage2.iterations = 3;
+    cfg.ea_stage2.population = 6;
+    cfg.epochs_stage1 = 1;
+    cfg.epochs_stage2 = 2;
+    cfg.predictor = PredictorConfig {
+        train_samples: 40,
+        val_samples: 15,
+        epochs: 4,
+        lr: 3e-3,
+        gcn_dims: vec![16, 16],
+        mlp_hidden: vec![12],
+        seed: 1,
+        global_node: true,
+        batch: 2,
+    };
+    cfg.eval_clouds = 15;
+    cfg.latency_mode = LatencyMode::Predictor;
+    cfg.seed = seed;
+    cfg
+}
+
 /// One tiny predictor-mode shard per (device, seed).
 fn tiny_specs(shards: &[(DeviceKind, u64)]) -> Vec<ShardSpec> {
     let task = TaskConfig::tiny(3);
     shards
         .iter()
-        .map(|&(device, seed)| {
-            let mut cfg = SearchConfig::fast(device);
-            cfg.ea_stage1.iterations = 1;
-            cfg.ea_stage1.population = 3;
-            cfg.ea_stage2.iterations = 3;
-            cfg.ea_stage2.population = 6;
-            cfg.epochs_stage1 = 1;
-            cfg.epochs_stage2 = 2;
-            cfg.predictor = PredictorConfig {
-                train_samples: 40,
-                val_samples: 15,
-                epochs: 4,
-                lr: 3e-3,
-                gcn_dims: vec![16, 16],
-                mlp_hidden: vec![12],
-                seed: 1,
-                global_node: true,
-                batch: 2,
-            };
-            cfg.eval_clouds = 15;
-            cfg.latency_mode = LatencyMode::Predictor;
-            cfg.seed = seed;
-            ShardSpec::new(task.clone(), cfg)
-        })
+        .map(|&(device, seed)| ShardSpec::new(task.clone(), tiny_config(device, seed)))
         .collect()
 }
 
@@ -215,12 +224,69 @@ fn emit_oracle_json() {
     println!("{path}: inline {inline_ms:.1} ms, pipelined {pipelined:?}");
 }
 
+/// Per-scenario phase rows for the {task × objective} cross on the
+/// builtin Jetson TX2 persona. Each scenario runs as its own stride-1
+/// single-shard fleet so the phase breakdown (predictor training, prefix
+/// build, search) is attributable to that scenario alone: the
+/// segmentation rows carry the wider-head supernet, the multi-metric
+/// rows the energy/peak-memory costing on every candidate. Keys are
+/// prefixed with the scenario label so `bench_diff` tracks each row
+/// independently.
+fn scenario_rows() -> String {
+    let task = TaskConfig::tiny(3);
+    let base = tiny_config(DeviceKind::JetsonTx2, 0);
+    let jetson = PersonaRegistry::builtin()
+        .get(builtin_slug(DeviceKind::JetsonTx2))
+        .expect("builtin persona")
+        .clone();
+    let scenarios = cross_scenarios(
+        &task,
+        &base,
+        &[TaskKind::Classification, TaskKind::Segmentation],
+        &[
+            ObjectiveSpec::accuracy_latency("acc-lat", base.alpha, base.beta),
+            ObjectiveSpec::accuracy_latency("multi", base.alpha, base.beta)
+                .with_energy(0.2, None)
+                .with_peak_mem(0.05, None),
+        ],
+        &[jetson],
+    );
+    let mut rows = String::new();
+    for s in &scenarios {
+        let spec = ShardSpec::new(s.task.clone(), s.config.clone()).with_scenario(s.label.clone());
+        let t = std::time::Instant::now();
+        let scheduler = Scheduler::new(
+            vec![spec],
+            SchedulerConfig {
+                threads: 1,
+                preemption_stride: 1,
+                ..SchedulerConfig::default()
+            },
+        );
+        let report = scheduler.run(None, None).expect("scenario shard");
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let ph = &report.phase_timings;
+        let front = report.shards[0].pareto.len();
+        rows.push_str(&format!(
+            ",\n  \"{label}\": {{\"{label} wall_ms\": {wall_ms:.3}, \
+             \"{label} predictor_train_ms\": {:.3}, \"{label} session_build_ms\": {:.3}, \
+             \"{label} search_ms\": {:.3}, \"front\": {front}}}",
+            ph.predictor_train_ms,
+            ph.session_build_ms,
+            ph.search_ms,
+            label = s.label,
+        ));
+    }
+    rows
+}
+
 /// Writes the machine-readable perf record CI uploads: the same stride-1
 /// 4-shard fleet timed with the prefix replayed every slice (session
 /// budget 0, no store — the pre-PR-5 behaviour) vs. the prefix-keyed
-/// session cache. Three of the four shards share one prefix fingerprint
-/// (same seed, different devices), so the cached run performs 2 builds
-/// for 4 shards — the PR-7 sharing win on top of the PR-5 residency win.
+/// session cache, plus one phase row per {task × objective} scenario.
+/// Three of the four shards share one prefix fingerprint (same seed,
+/// different devices), so the cached run performs 2 builds for 4 shards
+/// — the PR-7 sharing win on top of the PR-5 residency win.
 fn emit_bench_json() {
     let specs = tiny_specs(&[
         (DeviceKind::Rtx3080, 0),
@@ -240,7 +306,7 @@ fn emit_bench_json() {
          \"speedup\": {:.3},\n  \"replay_prefix_builds\": {replay_builds},\n  \
          \"session_prefix_builds\": {session_builds},\n  \
          \"phases\": {{\"predictor_train_ms\": {:.3}, \"session_build_ms\": {:.3}, \
-         \"session_restore_ms\": {:.3}, \"search_ms\": {:.3}, \"persist_ms\": {:.3}}}\n}}\n",
+         \"session_restore_ms\": {:.3}, \"search_ms\": {:.3}, \"persist_ms\": {:.3}}}{scenarios}\n}}\n",
         specs.len(),
         replay_ms / session_ms.max(1e-9),
         phases.predictor_train_ms,
@@ -248,6 +314,7 @@ fn emit_bench_json() {
         phases.session_restore_ms,
         phases.search_ms,
         phases.persist_ms,
+        scenarios = scenario_rows(),
     );
     // Cargo runs benches with cwd = the *package* dir (crates/bench), so a
     // bare relative default would land where CI's upload step never looks;

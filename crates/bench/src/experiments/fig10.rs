@@ -3,7 +3,6 @@
 
 use crate::{fig10_archs::fig10_fast, Scale};
 use hgnas_core::Hgnas;
-use hgnas_device::DeviceKind;
 use hgnas_ops::{merge_adjacent_samples, strip_identity, OpType};
 
 /// Prints paper-published and freshly searched architectures per device.
@@ -15,7 +14,8 @@ pub fn run(scale: Scale) {
     );
     let task = scale.task(7);
 
-    for device in DeviceKind::EDGE_TARGETS {
+    for persona in hgnas_device::PersonaRegistry::builtin().edge_targets() {
+        let device = persona.base_kind();
         println!("\n=== {device} ===");
         println!("paper's published Fast model:");
         println!("{}", fig10_fast(device, task.k, task.classes()));

@@ -76,8 +76,9 @@ pub fn compute(scale: Scale) -> Vec<DeviceResults> {
     let tailor_deploy = tailor_baseline(true, 20, 40).lower(1024, &[128]);
 
     let mut results = Vec::new();
-    for device in DeviceKind::EDGE_TARGETS {
-        let profile = device.profile();
+    for persona in hgnas_device::PersonaRegistry::builtin().edge_targets() {
+        let device = persona.base_kind();
+        let profile = &persona.profile;
         let mut rows = vec![
             Row {
                 name: "DGCNN [5]".into(),

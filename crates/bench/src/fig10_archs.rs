@@ -78,11 +78,11 @@ mod tests {
     #[test]
     fn all_fast_archs_beat_dgcnn_on_their_device() {
         let dg = lower_edgeconv(&DgcnnConfig::paper(40), 1024);
-        for device in DeviceKind::EDGE_TARGETS {
-            let profile = device.profile();
-            let fast = fig10_fast(device, 20, 40).lower(1024, &[128]);
+        for persona in hgnas_device::PersonaRegistry::builtin().edge_targets() {
+            let profile = &persona.profile;
+            let fast = fig10_fast(persona.base_kind(), 20, 40).lower(1024, &[128]);
             let speedup = profile.execute(&dg).latency_ms / profile.execute(&fast).latency_ms;
-            assert!(speedup > 2.0, "{device}: speedup {speedup:.1}");
+            assert!(speedup > 2.0, "{}: speedup {speedup:.1}", persona.name);
         }
     }
 

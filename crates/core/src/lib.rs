@@ -49,8 +49,8 @@ pub use ea::{
     evolve, evolve_with, EaConfig, EaResult, EaSnapshot, EaState, FnEvaluator, GenerationEvaluator,
 };
 pub use eval::{CandidateScorer, EvalStats, Evaluator};
-pub use objective::Objective;
-pub use pareto::pareto_front;
+pub use objective::{CandidateMetrics, Objective};
+pub use pareto::{pareto_front, pareto_front_nd};
 pub use search::{
     Checkpoint, Hgnas, JointGenome, LatencyMode, MeasureBackend, OneStageCheckpoint, PrefixParams,
     PretrainedPredictor, RunOptions, RunOutput, ScoredCandidate, SearchCheckpoint, SearchConfig,

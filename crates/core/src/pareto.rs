@@ -21,6 +21,43 @@ pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
         .collect()
 }
 
+/// N-axis generalisation: `points[i]` is one candidate's metric vector and
+/// `maximize[k]` says whether axis `k` is maximised (accuracy) or minimised
+/// (latency, energy, peak memory). A point dominates another if it is
+/// no-worse on every axis and strictly better on at least one. Output
+/// preserves input order; with two axes `(minimised, maximised)` the
+/// membership matches [`pareto_front`] exactly.
+///
+/// # Panics
+///
+/// Panics if any point's dimension disagrees with `maximize.len()`.
+pub fn pareto_front_nd(points: &[Vec<f64>], maximize: &[bool]) -> Vec<usize> {
+    for p in points {
+        assert_eq!(p.len(), maximize.len(), "metric vector dimension mismatch");
+    }
+    // Signed view: negate minimised axes so domination is uniformly
+    // "greater-or-equal everywhere, greater somewhere".
+    let signed = |i: usize, k: usize| {
+        if maximize[k] {
+            points[i][k]
+        } else {
+            -points[i][k]
+        }
+    };
+    (0..points.len())
+        .filter(|&i| {
+            !(0..points.len()).any(|j| {
+                if i == j {
+                    return false;
+                }
+                let no_worse = (0..maximize.len()).all(|k| signed(j, k) >= signed(i, k));
+                let better = (0..maximize.len()).any(|k| signed(j, k) > signed(i, k));
+                no_worse && better
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +95,30 @@ mod tests {
         // Faster is less accurate: nothing dominates anything.
         let pts = vec![(1.0, 0.1), (2.0, 0.2), (3.0, 0.3)];
         assert_eq!(pareto_front(&pts).len(), 3);
+    }
+
+    #[test]
+    fn nd_front_with_two_axes_matches_2d() {
+        let pts = vec![(10.0, 0.9), (20.0, 0.8), (5.0, 0.7), (50.0, 0.95)];
+        let nd: Vec<Vec<f64>> = pts.iter().map(|&(l, a)| vec![l, a]).collect();
+        assert_eq!(pareto_front_nd(&nd, &[false, true]), pareto_front(&pts));
+    }
+
+    #[test]
+    fn extra_axis_can_rescue_a_2d_dominated_point() {
+        // Point 1 is slower and less accurate than point 0, but uses far
+        // less energy — non-dominated once energy joins the front.
+        let pts = vec![
+            vec![10.0, 0.9, 100.0],
+            vec![20.0, 0.8, 10.0],
+            vec![30.0, 0.7, 200.0], // worse than 0 on all three axes
+        ];
+        assert_eq!(pareto_front_nd(&pts, &[false, true, false]), vec![0, 1]);
+    }
+
+    #[test]
+    fn nd_identical_points_all_kept() {
+        let pts = vec![vec![1.0, 0.5, 2.0], vec![1.0, 0.5, 2.0]];
+        assert_eq!(pareto_front_nd(&pts, &[false, true, false]), vec![0, 1]);
     }
 }

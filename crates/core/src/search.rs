@@ -3,11 +3,13 @@
 use crate::clock::SearchClock;
 use crate::ea::{evolve_with, EaConfig, EaSnapshot, EaState};
 use crate::eval::{CandidateScorer, EvalStats, Evaluator};
-use crate::objective::Objective;
+use crate::objective::{CandidateMetrics, Objective};
 use crate::supernet::Supernet;
-use hgnas_device::{DeviceKind, DeviceProfile, ExecutionReport, MeasureError, Workload};
+use hgnas_device::{
+    DeviceKind, DevicePersona, DeviceProfile, ExecutionReport, MeasureError, Workload,
+};
 use hgnas_ops::{lower_edgeconv, Architecture, DgcnnConfig, FunctionSet, OpType};
-use hgnas_pointcloud::{Batch, DatasetConfig, PointCloud, SynthNet40};
+use hgnas_pointcloud::{Batch, DatasetConfig, PointCloud, SynthNet40, Task, TaskKind};
 use hgnas_predictor::{LatencyPredictor, PredictorConfig, PredictorContext, TrainStats};
 use hgnas_tensor::threads::with_kernel_threads;
 use rand::rngs::StdRng;
@@ -37,9 +39,14 @@ pub enum Strategy {
     OneStage,
 }
 
-/// Task definition: the dataset plus the supernet geometry.
+/// Task definition: what is learned (the [`TaskKind`]), the dataset, and
+/// the supernet geometry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskConfig {
+    /// Which task family the search optimises for (classification,
+    /// segmentation, robustness). Selects dataset generation, batching,
+    /// the model's output head and the labels accuracy is scored against.
+    pub task_kind: TaskKind,
     /// Dataset generation parameters.
     pub dataset: DatasetConfig,
     /// Supernet positions (paper: 12).
@@ -58,6 +65,7 @@ impl TaskConfig {
     /// Minimal task for unit tests (4 classes, 48 points).
     pub fn tiny(seed: u64) -> Self {
         TaskConfig {
+            task_kind: TaskKind::Classification,
             dataset: DatasetConfig::tiny(seed),
             positions: 6,
             k: 8,
@@ -71,6 +79,7 @@ impl TaskConfig {
     /// harnesses; runs end-to-end in tens of seconds.
     pub fn small(seed: u64) -> Self {
         TaskConfig {
+            task_kind: TaskKind::Classification,
             dataset: DatasetConfig::small(seed),
             positions: 8,
             k: 10,
@@ -83,6 +92,7 @@ impl TaskConfig {
     /// Paper-scale task (40 classes, 1024 points, 12 positions).
     pub fn paper(seed: u64) -> Self {
         TaskConfig {
+            task_kind: TaskKind::Classification,
             dataset: DatasetConfig::paper(seed),
             positions: 12,
             k: 20,
@@ -100,6 +110,18 @@ impl TaskConfig {
     /// Classes in the dataset.
     pub fn classes(&self) -> usize {
         self.dataset.classes
+    }
+
+    /// The pluggable task implementation behind [`TaskConfig::task_kind`].
+    pub fn task(&self) -> &'static dyn Task {
+        self.task_kind.task()
+    }
+
+    /// Output width of the searched model's head under this task — the
+    /// dataset's class count for per-cloud tasks, the part count for
+    /// segmentation.
+    pub fn out_classes(&self) -> usize {
+        self.task().out_classes(&self.dataset)
     }
 
     /// The matching-scale DGCNN baseline configuration (the latency
@@ -120,7 +142,7 @@ impl TaskConfig {
             positions: self.positions,
             points: self.points(),
             k: self.k,
-            classes: self.classes(),
+            classes: self.out_classes(),
             head_hidden: self.head_hidden.clone(),
         }
     }
@@ -131,15 +153,32 @@ impl TaskConfig {
 pub struct SearchConfig {
     /// Target edge device.
     pub device: DeviceKind,
+    /// A custom device persona overriding the builtin profile of `device`.
+    /// When set, `device` must equal the persona's base kind
+    /// ([`SearchConfig::with_persona`] maintains this) — kind-keyed
+    /// artifacts and codecs keep working, while every latency, energy and
+    /// memory number comes from the persona's profile.
+    pub persona: Option<DevicePersona>,
     /// Accuracy weight α (Eq. 1/3).
     pub alpha: f64,
     /// Latency weight β (Eq. 1/3).
     pub beta: f64,
+    /// Inference-energy weight γ: `0.0` (the default) prices energy out of
+    /// the objective entirely — scoring then does bit-identical arithmetic
+    /// to the pre-multi-metric pipeline. Non-zero weights subtract
+    /// `γ·energy/reference_energy` per Eq. (3)'s latency term shape.
+    pub gamma: f64,
+    /// Peak-inference-memory weight δ; same contract as `gamma`.
+    pub delta: f64,
     /// Hard latency constraint in ms; defaults to the DGCNN reference
     /// latency when `None` (a found model must at least beat the baseline).
     pub constraint_ms: Option<f64>,
     /// Optional hard model-size constraint in MB.
     pub max_size_mb: Option<f64>,
+    /// Optional hard inference-energy constraint in mJ.
+    pub max_energy_mj: Option<f64>,
+    /// Optional hard peak-inference-memory constraint in MB.
+    pub max_peak_mem_mb: Option<f64>,
     /// EA settings for Stage 1 (function search).
     pub ea_stage1: EaConfig,
     /// EA settings for Stage 2 (operation search).
@@ -177,10 +216,15 @@ impl SearchConfig {
     pub fn fast(device: DeviceKind) -> Self {
         SearchConfig {
             device,
+            persona: None,
             alpha: 1.0,
             beta: 0.6,
+            gamma: 0.0,
+            delta: 0.0,
             constraint_ms: None,
             max_size_mb: None,
+            max_energy_mj: None,
+            max_peak_mem_mb: None,
             ea_stage1: EaConfig {
                 population: 6,
                 iterations: 2,
@@ -211,10 +255,15 @@ impl SearchConfig {
     pub fn paper(device: DeviceKind) -> Self {
         SearchConfig {
             device,
+            persona: None,
             alpha: 1.0,
             beta: 0.6,
+            gamma: 0.0,
+            delta: 0.0,
             constraint_ms: None,
             max_size_mb: None,
+            max_energy_mj: None,
+            max_peak_mem_mb: None,
             ea_stage1: EaConfig::paper(1000),
             ea_stage2: EaConfig::paper(1000),
             epochs_stage1: 50,
@@ -231,9 +280,10 @@ impl SearchConfig {
     /// The prefix-relevant slice of this configuration: exactly the
     /// fields [`Hgnas::prepare_session`] reads. Two configurations with
     /// equal `prefix_params()` (and equal tasks) build bit-identical
-    /// [`SessionState`]s, whatever their device, α/β weights,
-    /// constraints, Stage-2 EA settings, latency mode, predictor settings
-    /// or thread budget — the single source of truth for session sharing
+    /// [`SessionState`]s, whatever their device or persona, α/β/γ/δ
+    /// weights, constraints, Stage-2 EA settings, latency mode, predictor
+    /// settings or thread budget — the single source of truth for session
+    /// sharing
     /// (`SessionState::validate` and the fleet layer's prefix fingerprint
     /// both consume it).
     pub fn prefix_params(&self) -> PrefixParams {
@@ -244,6 +294,33 @@ impl SearchConfig {
             epochs_stage2: self.epochs_stage2,
             eval_clouds: self.eval_clouds,
             seed: self.seed,
+        }
+    }
+
+    /// Installs a custom device persona: the search targets the persona's
+    /// profile, and `device` is pinned to the persona's base kind (what
+    /// kind-keyed artifacts and codecs continue to see).
+    pub fn with_persona(mut self, persona: DevicePersona) -> Self {
+        self.device = persona.base_kind();
+        self.persona = Some(persona);
+        self
+    }
+
+    /// The device profile the search executes against: the persona's when
+    /// one is set, else the builtin profile of `device`.
+    pub fn device_profile(&self) -> DeviceProfile {
+        match &self.persona {
+            Some(p) => p.profile.clone(),
+            None => self.device.profile(),
+        }
+    }
+
+    /// Human-readable target label for reports: the persona's name when
+    /// one is set, else the builtin device name.
+    pub fn device_label(&self) -> String {
+        match &self.persona {
+            Some(p) => p.name.clone(),
+            None => self.device.name().to_string(),
         }
     }
 }
@@ -261,10 +338,12 @@ impl SearchConfig {
 /// - `seed`: every prefix RNG derives from it (Stage-1 seeding, the
 ///   Stage-1 evaluator, pre-training).
 ///
-/// Deliberately absent: the device (Stage-1 scoring never reads it —
-/// simulated clock costs use a fixed reference profile), α/β, the
-/// latency/size constraints, `ea_stage2`, the latency mode, the predictor
-/// settings and the bit-transparent thread budget.
+/// Deliberately absent: the device and persona (Stage-1 scoring never
+/// reads them — simulated clock costs use a fixed reference profile), the
+/// α/β/γ/δ weights, the latency/size/energy/memory constraints,
+/// `ea_stage2`, the latency mode, the predictor settings and the
+/// bit-transparent thread budget. The *task* (including its kind) is part
+/// of [`TaskConfig`] and always compared exactly.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrefixParams {
     /// Traversal strategy.
@@ -375,8 +454,16 @@ pub struct ScoredCandidate {
     pub latency_ms: f64,
     /// Simulated search time this evaluation cost, ms.
     pub cost_ms: f64,
-    /// Whether the candidate met the latency and size constraints.
+    /// Whether the candidate met the latency, size, energy and memory
+    /// constraints.
     pub valid: bool,
+    /// Simulated inference energy on the target, mJ. `None` unless the
+    /// objective prices energy or memory (execution metrics are only
+    /// computed when something consumes them).
+    pub energy_mj: Option<f64>,
+    /// Simulated peak inference memory on the target, MB. Present exactly
+    /// when `energy_mj` is.
+    pub peak_mem_mb: Option<f64>,
 }
 
 /// A consistent image of an in-flight multi-stage search at a Stage-2
@@ -665,15 +752,16 @@ impl SessionState {
             Strategy::MultiStage,
             "session snapshots exist for multi-stage searches only"
         );
-        let ds = SynthNet40::generate(&task.dataset);
+        let ds = task.task().generate(&task.dataset);
         // The init draw is immediately overwritten; any seed works.
         let mut rng = StdRng::seed_from_u64(0);
-        let mut supernet = Supernet::new(
+        let mut supernet = Supernet::for_task(
             &mut rng,
+            task.task_kind,
             task.positions,
             task.supernet_hidden,
             task.k,
-            task.classes(),
+            task.out_classes(),
             snap.functions.0,
             snap.functions.1,
             &task.head_hidden,
@@ -902,8 +990,27 @@ struct Stage2Scorer<'a> {
     eval_batches: Vec<Batch>,
     oracle: &'a LatencyOracle,
     objective: &'a Objective,
+    /// Target profile for energy/peak-memory costing — `Some` exactly when
+    /// the objective prices those axes ([`Objective::needs_execution_metrics`]);
+    /// plain latency×accuracy configs never pay the per-candidate lowering.
+    exec_profile: Option<DeviceProfile>,
     /// Simulated cost of one one-shot accuracy validation, ms.
     eval_cost_ms: f64,
+}
+
+/// Lowers `arch` on the target profile and fills the energy/peak-memory
+/// metrics. Deterministic (the roofline simulator draws no RNG), so adding
+/// these axes never perturbs candidate RNG streams.
+fn fill_execution_metrics(
+    metrics: &mut CandidateMetrics,
+    profile: &DeviceProfile,
+    arch: &Architecture,
+    points: usize,
+    head_hidden: &[usize],
+) {
+    let report = profile.execute(&arch.lower(points, head_hidden));
+    metrics.energy_mj = Some(report.energy_mj(profile.power_w));
+    metrics.peak_mem_mb = Some(report.peak_mem_mb);
 }
 
 impl CandidateScorer<Vec<OpType>> for Stage2Scorer<'_> {
@@ -915,14 +1022,28 @@ impl CandidateScorer<Vec<OpType>> for Stage2Scorer<'_> {
             self.functions.0,
             self.functions.1,
             self.task.k,
-            self.task.classes(),
+            self.task.out_classes(),
         );
         let (lat, mut cost) = self.oracle.query(&arch, rng);
-        let size_mb = arch.size_mb(3, &self.task.head_hidden);
-        let size_ok = self.objective.max_size_mb.is_none_or(|m| size_mb < m);
+        let mut metrics = CandidateMetrics {
+            accuracy: 0.0,
+            latency_ms: lat,
+            size_mb: Some(arch.size_mb(3, &self.task.head_hidden)),
+            energy_mj: None,
+            peak_mem_mb: None,
+        };
+        if let Some(profile) = &self.exec_profile {
+            fill_execution_metrics(
+                &mut metrics,
+                profile,
+                &arch,
+                self.task.points(),
+                &self.task.head_hidden,
+            );
+        }
         // Constraint gates first: failing candidates skip the (expensive)
         // accuracy validation, as in the paper.
-        let valid = lat < self.objective.constraint_ms && size_ok;
+        let valid = self.objective.admits(&metrics);
         let (acc, score) = if !valid {
             (0.0, 0.0)
         } else {
@@ -930,7 +1051,8 @@ impl CandidateScorer<Vec<OpType>> for Stage2Scorer<'_> {
                 .supernet
                 .eval_genome_batched(genome, &self.eval_batches, 0);
             cost += self.eval_cost_ms;
-            (acc, self.objective.score_sized(acc, lat, size_mb))
+            metrics.accuracy = acc;
+            (acc, self.objective.evaluate(&metrics))
         };
         ScoredCandidate {
             architecture: arch,
@@ -939,6 +1061,8 @@ impl CandidateScorer<Vec<OpType>> for Stage2Scorer<'_> {
             latency_ms: lat,
             cost_ms: cost,
             valid,
+            energy_mj: metrics.energy_mj,
+            peak_mem_mb: metrics.peak_mem_mb,
         }
     }
 }
@@ -958,6 +1082,9 @@ struct OneStageScorer<'a> {
     eval_batches: Vec<Batch>,
     oracle: &'a LatencyOracle,
     objective: &'a Objective,
+    /// Target profile for energy/peak-memory costing — see
+    /// [`Stage2Scorer::exec_profile`].
+    exec_profile: Option<DeviceProfile>,
     /// Simulated cost of one one-shot accuracy validation, ms.
     eval_cost_ms: f64,
 }
@@ -967,11 +1094,25 @@ impl CandidateScorer<JointGenome> for OneStageScorer<'_> {
 
     fn score(&self, (up, lo, genome): &JointGenome, rng: &mut StdRng) -> ScoredCandidate {
         let task = &self.hgnas.task;
-        let arch = Architecture::from_genome(genome, *up, *lo, task.k, task.classes());
+        let arch = Architecture::from_genome(genome, *up, *lo, task.k, task.out_classes());
         let (lat, mut cost) = self.oracle.query(&arch, rng);
-        let size_mb = arch.size_mb(3, &task.head_hidden);
-        let size_ok = self.objective.max_size_mb.is_none_or(|m| size_mb < m);
-        let valid = lat < self.objective.constraint_ms && size_ok;
+        let mut metrics = CandidateMetrics {
+            accuracy: 0.0,
+            latency_ms: lat,
+            size_mb: Some(arch.size_mb(3, &task.head_hidden)),
+            energy_mj: None,
+            peak_mem_mb: None,
+        };
+        if let Some(profile) = &self.exec_profile {
+            fill_execution_metrics(
+                &mut metrics,
+                profile,
+                &arch,
+                task.points(),
+                &task.head_hidden,
+            );
+        }
+        let valid = self.objective.admits(&metrics);
         let (acc, score) = if !valid {
             (0.0, 0.0)
         } else {
@@ -988,7 +1129,8 @@ impl CandidateScorer<JointGenome> for OneStageScorer<'_> {
             let acc = sn.eval_genome_batched(genome, &self.eval_batches, 0);
             clk.add_ms(self.eval_cost_ms);
             cost += clk.elapsed_ms();
-            (acc, self.objective.score_sized(acc, lat, size_mb))
+            metrics.accuracy = acc;
+            (acc, self.objective.evaluate(&metrics))
         };
         ScoredCandidate {
             architecture: arch,
@@ -997,6 +1139,8 @@ impl CandidateScorer<JointGenome> for OneStageScorer<'_> {
             latency_ms: lat,
             cost_ms: cost,
             valid,
+            energy_mj: metrics.energy_mj,
+            peak_mem_mb: metrics.peak_mem_mb,
         }
     }
 }
@@ -1024,15 +1168,24 @@ impl Hgnas {
         &self.config
     }
 
-    /// Generates the task dataset (deterministic in the task seed).
+    /// Generates the task dataset (deterministic in the task seed), via
+    /// the task's own generator — classification delegates straight to
+    /// [`SynthNet40::generate`].
     pub fn dataset(&self) -> SynthNet40 {
-        SynthNet40::generate(&self.task.dataset)
+        self.task.task().generate(&self.task.dataset)
     }
 
-    /// DGCNN reference latency on the target device.
-    pub fn reference_ms(&self) -> f64 {
+    /// Full execution report of the DGCNN reference on the target profile
+    /// — the normalisation source for every objective axis (latency,
+    /// energy, peak memory).
+    fn reference_report(&self) -> ExecutionReport {
         let w = lower_edgeconv(&self.task.reference_dgcnn(), self.task.points());
-        self.config.device.profile().execute(&w).latency_ms
+        self.config.device_profile().execute(&w)
+    }
+
+    /// DGCNN reference latency on the target device (or persona).
+    pub fn reference_ms(&self) -> f64 {
+        self.reference_report().latency_ms
     }
 
     /// Simulated cost of one supernet training epoch on the V100 host:
@@ -1070,8 +1223,8 @@ impl Hgnas {
                         Some(pre.stats.clone()),
                     );
                 }
-                let (p, stats) = LatencyPredictor::train(
-                    self.config.device,
+                let (p, stats) = LatencyPredictor::train_with_profile(
+                    &self.config.device_profile(),
                     &self.task.predictor_context(),
                     &self.config.predictor,
                 );
@@ -1079,7 +1232,7 @@ impl Hgnas {
             }
             LatencyMode::Measured => (
                 LatencyOracle::Measured {
-                    profile: self.config.device.profile(),
+                    profile: self.config.device_profile(),
                     points: self.task.points(),
                     head_hidden: self.task.head_hidden.clone(),
                     backend: opts.backend.clone(),
@@ -1113,17 +1266,18 @@ impl Hgnas {
         rng: &mut StdRng,
         clock: &mut SearchClock,
     ) -> Supernet {
-        let mut sn = Supernet::new(
+        let mut sn = Supernet::for_task(
             rng,
+            self.task.task_kind,
             self.task.positions,
             self.task.supernet_hidden,
             self.task.k,
-            self.task.classes(),
+            self.task.out_classes(),
             functions.0,
             functions.1,
             &self.task.head_hidden,
         );
-        let batches = SynthNet40::batches(&ds.train, 8);
+        let batches = self.task.task().batches(&ds.train, 8);
         const BASE_LR: f32 = 3e-3;
         let mut opt = hgnas_nn::Optimizer::adam(BASE_LR);
         let schedule = hgnas_nn::LrSchedule::Cosine {
@@ -1169,7 +1323,7 @@ impl Hgnas {
         let scorer = Stage1Scorer {
             hgnas: self,
             ds,
-            eval_batches: SynthNet40::batches(eval_subset, 16),
+            eval_batches: self.task.task().batches(eval_subset, 16),
             eval_cost_ms: self.eval_cost_ms(eval_subset.len()),
         };
         let mut evaluator = Evaluator::new(
@@ -1227,9 +1381,12 @@ impl Hgnas {
             task: &self.task,
             functions,
             supernet,
-            eval_batches: SynthNet40::batches(eval_subset, 16),
+            eval_batches: self.task.task().batches(eval_subset, 16),
             oracle,
             objective,
+            exec_profile: objective
+                .needs_execution_metrics()
+                .then(|| self.config.device_profile()),
             eval_cost_ms: self.eval_cost_ms(eval_subset.len()),
         };
         // The serial bookkeeping (clock, history, best-so-far) lives in a
@@ -1445,9 +1602,12 @@ impl Hgnas {
         let scorer = OneStageScorer {
             hgnas: self,
             ds,
-            eval_batches: SynthNet40::batches(eval_subset, 16),
+            eval_batches: self.task.task().batches(eval_subset, 16),
             oracle,
             objective,
+            exec_profile: objective
+                .needs_execution_metrics()
+                .then(|| self.config.device_profile()),
             eval_cost_ms: self.eval_cost_ms(eval_subset.len()),
         };
         let book = RefCell::new(Stage2Book {
@@ -1662,6 +1822,15 @@ impl Hgnas {
     }
 
     fn run_inner(&self, mut opts: RunOptions) -> RunOutput {
+        if let Some(p) = &self.config.persona {
+            assert_eq!(
+                p.base_kind(),
+                self.config.device,
+                "persona '{}' is based on another device kind than config.device \
+                 (use SearchConfig::with_persona to keep them aligned)",
+                p.name
+            );
+        }
         // The deterministic prefix: reuse a prepared session when the
         // caller supplies one, replay it inline otherwise (the two are
         // bit-identical by the session invariant).
@@ -1677,7 +1846,11 @@ impl Hgnas {
             }
         };
         let ds = &session.ds;
-        let reference_ms = self.reference_ms();
+        // Every objective axis normalises against the same DGCNN reference
+        // run on the target profile; a zero-weight axis never touches the
+        // arithmetic (the classification bit-identity contract).
+        let reference = self.reference_report();
+        let reference_ms = reference.latency_ms;
         let constraint_ms = self.config.constraint_ms.unwrap_or(reference_ms);
         let mut objective = Objective::new(
             self.config.alpha,
@@ -1687,6 +1860,19 @@ impl Hgnas {
         );
         if let Some(mb) = self.config.max_size_mb {
             objective = objective.with_max_size_mb(mb);
+        }
+        if self.config.gamma != 0.0 {
+            let power_w = self.config.device_profile().power_w;
+            objective = objective.with_energy(self.config.gamma, reference.energy_mj(power_w));
+        }
+        if let Some(mj) = self.config.max_energy_mj {
+            objective = objective.with_max_energy_mj(mj);
+        }
+        if self.config.delta != 0.0 {
+            objective = objective.with_peak_mem(self.config.delta, reference.peak_mem_mb);
+        }
+        if let Some(mb) = self.config.max_peak_mem_mb {
+            objective = objective.with_max_peak_mem_mb(mb);
         }
         let (oracle, predictor_stats) = self.make_oracle(&opts);
 
@@ -2011,6 +2197,121 @@ mod tests {
             session: Some(&session),
             ..RunOptions::default()
         });
+    }
+
+    #[test]
+    fn segmentation_search_runs_end_to_end_and_is_deterministic() {
+        let mut task = TaskConfig::tiny(5);
+        task.task_kind = TaskKind::Segmentation;
+        let hgnas = Hgnas::new(task, tiny_config(DeviceKind::JetsonTx2));
+        let a = hgnas.run();
+        assert!(a.best.score.is_finite());
+        assert!(a.best.supernet_accuracy >= 0.0 && a.best.supernet_accuracy <= 1.0);
+        assert!(a.best.latency_ms < a.constraint_ms);
+        let b = hgnas.run();
+        assert_outcomes_identical(&a, &b);
+    }
+
+    #[test]
+    fn robustness_search_consumes_the_corrupted_split() {
+        // The task-dispatched dataset: training stays clean (supernet
+        // pre-training is unchanged) while the evaluation split carries the
+        // corruption — and the search still completes on it.
+        let mut task = TaskConfig::tiny(5);
+        task.task_kind = TaskKind::Robustness;
+        let hgnas = Hgnas::new(task.clone(), tiny_config(DeviceKind::JetsonTx2));
+        let noisy = hgnas.dataset();
+        task.task_kind = TaskKind::Classification;
+        let clean = Hgnas::new(task, tiny_config(DeviceKind::JetsonTx2)).dataset();
+        assert_eq!(noisy.train, clean.train, "train split must stay clean");
+        assert_ne!(noisy.test, clean.test, "test split must be corrupted");
+        let outcome = hgnas.run();
+        assert!(outcome.best.score.is_finite());
+        assert!(outcome.best.latency_ms < outcome.constraint_ms);
+    }
+
+    #[test]
+    fn energy_and_memory_terms_flow_into_scoring() {
+        let task = TaskConfig::tiny(5);
+        let mut cfg = tiny_config(DeviceKind::JetsonTx2);
+        cfg.gamma = 0.3;
+        cfg.delta = 0.2;
+        let out = Hgnas::new(task, cfg).run_with(RunOptions::default());
+        let outcome = out.outcome.expect("search completes");
+        assert!(outcome.best.score.is_finite());
+        // Every scored candidate carries the execution metrics the
+        // objective consumed.
+        let cp = out.checkpoint.expect("final checkpoint");
+        let cp = cp.as_multi_stage().expect("multi-stage checkpoint");
+        assert!(!cp.cache.is_empty());
+        for (_, c) in &cp.cache {
+            let mj = c.energy_mj.expect("energy computed for every candidate");
+            let mem = c.peak_mem_mb.expect("peak memory computed");
+            assert!(mj > 0.0 && mem > 0.0);
+        }
+    }
+
+    #[test]
+    fn classification_candidates_skip_execution_metrics() {
+        let out = Hgnas::new(TaskConfig::tiny(5), tiny_config(DeviceKind::JetsonTx2))
+            .run_with(RunOptions::default());
+        let cp = out.checkpoint.expect("final checkpoint");
+        let cp = cp.as_multi_stage().expect("multi-stage checkpoint");
+        assert!(cp
+            .cache
+            .iter()
+            .all(|(_, c)| c.energy_mj.is_none() && c.peak_mem_mb.is_none()));
+    }
+
+    #[test]
+    fn identity_persona_is_bit_identical_to_its_base_kind() {
+        let task = TaskConfig::tiny(5);
+        let base = tiny_config(DeviceKind::JetsonTx2);
+        let persona = DevicePersona {
+            name: "tx2-bench-rig".into(),
+            profile: DeviceKind::JetsonTx2.profile(),
+        };
+        let cfg = base.clone().with_persona(persona);
+        assert_eq!(cfg.device, DeviceKind::JetsonTx2);
+        assert_eq!(cfg.device_label(), "tx2-bench-rig");
+        let a = Hgnas::new(task.clone(), base).run();
+        let b = Hgnas::new(task, cfg).run();
+        assert_outcomes_identical(&a, &b);
+    }
+
+    #[test]
+    fn slowed_persona_shifts_the_reference_latency() {
+        let task = TaskConfig::tiny(5);
+        let base = tiny_config(DeviceKind::JetsonTx2);
+        // Tiny workloads are dispatch-overhead-dominated, so throttle both
+        // the rates and the per-op overhead.
+        let mut profile = DeviceKind::JetsonTx2.profile();
+        for r in &mut profile.rates {
+            r.gflops /= 2.0;
+            r.gbps /= 2.0;
+        }
+        profile.overhead_us *= 2.0;
+        let slow = base.clone().with_persona(DevicePersona {
+            name: "tx2-throttled".into(),
+            profile,
+        });
+        let fast_ref = Hgnas::new(task.clone(), base).reference_ms();
+        let slow_ref = Hgnas::new(task, slow).reference_ms();
+        assert!(
+            slow_ref > 1.5 * fast_ref,
+            "throttled persona reference {slow_ref} vs builtin {fast_ref}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "based on another device kind")]
+    fn mismatched_persona_base_kind_is_rejected() {
+        let mut cfg = tiny_config(DeviceKind::Rtx3080);
+        cfg.persona = Some(DevicePersona {
+            name: "pi-ish".into(),
+            profile: DeviceKind::RaspberryPi3B.profile(),
+        });
+        Hgnas::new(TaskConfig::tiny(5), cfg).run();
     }
 
     #[test]

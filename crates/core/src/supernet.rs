@@ -12,7 +12,7 @@ use hgnas_autograd::{Tape, Var};
 use hgnas_graph::{knn_brute, random_neighbors};
 use hgnas_nn::{Activation, Linear, Mlp, Module, Optimizer, Param};
 use hgnas_ops::{ConnectFn, FunctionSet, MessageType, OpType, SampleFn};
-use hgnas_pointcloud::{fresh_cache_source, Batch, PointCloud, SynthNet40};
+use hgnas_pointcloud::{fresh_cache_source, Batch, PointCloud, TaskKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -25,6 +25,7 @@ pub struct Supernet {
     hidden: usize,
     k: usize,
     classes: usize,
+    task: TaskKind,
     upper: FunctionSet,
     lower: FunctionSet,
     stem: Linear,
@@ -40,7 +41,9 @@ pub struct Supernet {
 }
 
 impl Supernet {
-    /// Builds a supernet with `positions` slots of width `hidden`.
+    /// Builds a classification supernet with `positions` slots of width
+    /// `hidden`. Weight initialisation (and hence every downstream number)
+    /// is bit-identical to the pre-task-trait constructor.
     ///
     /// # Panics
     ///
@@ -58,7 +61,44 @@ impl Supernet {
         lower: FunctionSet,
         head_hidden: &[usize],
     ) -> Self {
+        Self::for_task(
+            rng,
+            TaskKind::Classification,
+            positions,
+            hidden,
+            k,
+            classes,
+            upper,
+            lower,
+            head_hidden,
+        )
+    }
+
+    /// Builds a supernet for an arbitrary task. Per-cloud tasks get the
+    /// classic max‖mean-pooled head (in-width `2·hidden`); per-point tasks
+    /// keep per-point features and concatenate the pooled global descriptor
+    /// onto every row, so the head reads `3·hidden` and emits one logit row
+    /// per point. `classes` is the task's output width
+    /// ([`hgnas_pointcloud::Task::out_classes`]), not necessarily the
+    /// dataset's class count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_task<R: Rng>(
+        rng: &mut R,
+        task: TaskKind,
+        positions: usize,
+        hidden: usize,
+        k: usize,
+        classes: usize,
+        upper: FunctionSet,
+        lower: FunctionSet,
+        head_hidden: &[usize],
+    ) -> Self {
         assert!(positions > 0, "need at least one position");
+        let per_point = task.task().per_point();
         let stem = Linear::new(rng, 3, hidden);
         let half = positions / 2;
         let mut aligns = Vec::with_capacity(positions);
@@ -68,7 +108,7 @@ impl Supernet {
             aligns.push(Linear::new(rng, fs.message.width(hidden), hidden));
             combines.push(Linear::new(rng, hidden, hidden));
         }
-        let mut head_dims = vec![2 * hidden];
+        let mut head_dims = vec![if per_point { 3 * hidden } else { 2 * hidden }];
         head_dims.extend_from_slice(head_hidden);
         head_dims.push(classes);
         let head = Mlp::new(rng, &head_dims, Activation::Relu);
@@ -77,6 +117,7 @@ impl Supernet {
             hidden,
             k,
             classes,
+            task,
             upper,
             lower,
             stem,
@@ -85,6 +126,11 @@ impl Supernet {
             head,
             version: fresh_cache_source(),
         }
+    }
+
+    /// The task this supernet's head was built for.
+    pub fn task_kind(&self) -> TaskKind {
+        self.task
     }
 
     /// Number of positions.
@@ -269,10 +315,44 @@ impl Supernet {
         let mx = tape.segment_pool(h, &batch.segments, hgnas_autograd::Reduction::Max);
         let mn = tape.segment_pool(h, &batch.segments, hgnas_autograd::Reduction::Mean);
         let pooled = tape.concat_cols(&[mx, mn]);
-        if frozen {
-            self.head.forward_frozen(tape, pooled)
+        let feat = if self.task.task().per_point() {
+            // Per-point head: broadcast each cloud's pooled global
+            // descriptor back onto its rows and append it to the per-point
+            // features (the PointNet-style segmentation head shape).
+            let mut cloud_of_row = Vec::with_capacity(batch.points.dims()[0]);
+            for (ci, &n) in batch.segments.iter().enumerate() {
+                cloud_of_row.extend(std::iter::repeat_n(ci, n));
+            }
+            let global = tape.gather_rows(pooled, &cloud_of_row);
+            tape.concat_cols(&[h, global])
         } else {
-            self.head.forward(tape, pooled)
+            pooled
+        };
+        if frozen {
+            self.head.forward_frozen(tape, feat)
+        } else {
+            self.head.forward(tape, feat)
+        }
+    }
+
+    /// The label vector a batch is scored against under this supernet's
+    /// task: per-cloud labels, or per-point labels for per-point tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is per-point but the batch was stacked without
+    /// point labels (i.e. not via the task's own
+    /// [`hgnas_pointcloud::Task::batches`]).
+    fn targets<'b>(&self, batch: &'b Batch) -> &'b [usize] {
+        if self.task.task().per_point() {
+            assert!(
+                !batch.point_labels.is_empty(),
+                "per-point task scored against a batch with no point labels; \
+                 stack batches via the task's `batches`"
+            );
+            &batch.point_labels
+        } else {
+            &batch.labels
         }
     }
 
@@ -314,7 +394,7 @@ impl Supernet {
             let genome = self.random_genome(rng);
             let mut tape = Tape::new();
             let logits = self.forward(&mut tape, batch, &genome, rng);
-            let loss = tape.softmax_cross_entropy(logits, &batch.labels);
+            let loss = tape.softmax_cross_entropy(logits, self.targets(batch));
             total += tape.value(loss).item();
             tape.backward(loss);
             self.apply_updates(&tape, opt);
@@ -332,7 +412,7 @@ impl Supernet {
     /// once and use [`Supernet::eval_genome_batched`], which also lets the
     /// per-batch frozen-graph caches pay off across candidates.
     pub fn eval_genome(&self, genome: &[OpType], clouds: &[PointCloud], seed: u64) -> f64 {
-        self.eval_genome_batched(genome, &SynthNet40::batches(clouds, 16), seed)
+        self.eval_genome_batched(genome, &self.task.task().batches(clouds, 16), seed)
     }
 
     /// [`Supernet::eval_genome`] over pre-built batches. Frozen forwards
@@ -350,7 +430,7 @@ impl Supernet {
                 tape.value(logits).data(),
                 self.classes,
             ));
-            truth.extend_from_slice(&batch.labels);
+            truth.extend_from_slice(self.targets(batch));
         }
         hgnas_nn::metrics::overall_accuracy(&pred, &truth)
     }
@@ -377,7 +457,7 @@ impl Module for Supernet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hgnas_pointcloud::DatasetConfig;
+    use hgnas_pointcloud::{DatasetConfig, SynthNet40};
 
     fn tiny_supernet(seed: u64) -> (Supernet, SynthNet40) {
         let ds = SynthNet40::generate(&DatasetConfig::tiny(seed));
@@ -461,6 +541,105 @@ mod tests {
                 other.eval_genome(&genome, &ds.test, 0).to_bits()
             );
         }
+    }
+
+    #[test]
+    fn for_task_classification_matches_new_bit_for_bit() {
+        let mut a_rng = StdRng::seed_from_u64(31);
+        let mut b_rng = StdRng::seed_from_u64(31);
+        let fs = FunctionSet::dgcnn_like(16);
+        let a = Supernet::new(&mut a_rng, 6, 16, 8, 4, fs, fs, &[16]);
+        let b = Supernet::for_task(
+            &mut b_rng,
+            TaskKind::Classification,
+            6,
+            16,
+            8,
+            4,
+            fs,
+            fs,
+            &[16],
+        );
+        for (x, y) in a.export_weights().iter().zip(&b.export_weights()) {
+            assert_eq!(x.dims(), y.dims());
+            for (u, v) in x.data().iter().zip(y.data()) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn per_point_supernet_learns_the_octant_task() {
+        let ds = SynthNet40::generate(&DatasetConfig::tiny(21));
+        let task = TaskKind::Segmentation;
+        let parts = hgnas_pointcloud::SEGMENTATION_PARTS;
+        let mut rng = StdRng::seed_from_u64(21);
+        let fs = FunctionSet::dgcnn_like(16);
+        let mut sn = Supernet::for_task(&mut rng, task, 6, 16, 8, parts, fs, fs, &[16]);
+        let batches = task.task().batches(&ds.train, 8);
+
+        // Per-point logits: one row per stacked point, one column per part.
+        let genome = vec![
+            OpType::Sample,
+            OpType::Aggregate,
+            OpType::Combine,
+            OpType::Connect,
+            OpType::Aggregate,
+            OpType::Combine,
+        ];
+        let mut tape = Tape::new();
+        let mut f_rng = StdRng::seed_from_u64(0);
+        let logits = sn.forward_frozen(&mut tape, &batches[0], &genome, &mut f_rng);
+        assert_eq!(
+            tape.value(logits).dims(),
+            &[batches[0].points.dims()[0], parts]
+        );
+
+        let mut opt = Optimizer::adam(1e-2);
+        let mut t_rng = StdRng::seed_from_u64(22);
+        let first = sn.train_epoch(&batches, &mut opt, &mut t_rng);
+        let mut last = first;
+        for _ in 0..24 {
+            last = sn.train_epoch(&batches, &mut opt, &mut t_rng);
+        }
+        assert!(last < first, "seg loss {first} -> {last}");
+
+        // Octants are sign patterns of xyz — a few epochs beat chance, and
+        // the KNN-only path evaluates deterministically.
+        let acc = sn.eval_genome(&genome, &ds.test, 0);
+        assert!(acc > 1.5 / parts as f64, "octant accuracy {acc}");
+        assert_eq!(
+            acc.to_bits(),
+            sn.eval_genome(&genome, &ds.test, 5).to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no point labels")]
+    fn per_point_eval_rejects_unlabelled_batches() {
+        let ds = SynthNet40::generate(&DatasetConfig::tiny(23));
+        let mut rng = StdRng::seed_from_u64(23);
+        let fs = FunctionSet::dgcnn_like(16);
+        let sn = Supernet::for_task(
+            &mut rng,
+            TaskKind::Segmentation,
+            4,
+            16,
+            8,
+            hgnas_pointcloud::SEGMENTATION_PARTS,
+            fs,
+            fs,
+            &[16],
+        );
+        // Plain classification batches lack point labels.
+        let batches = SynthNet40::batches(&ds.test, 16);
+        let genome = vec![
+            OpType::Sample,
+            OpType::Aggregate,
+            OpType::Combine,
+            OpType::Connect,
+        ];
+        sn.eval_genome_batched(&genome, &batches, 0);
     }
 
     #[test]

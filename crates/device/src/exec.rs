@@ -20,6 +20,15 @@ pub struct ExecutionReport {
 }
 
 impl ExecutionReport {
+    /// Inference energy at a given board power, millijoules. The analytical
+    /// model treats board power as constant over the inference window
+    /// (`W × ms = mJ`), which is what the paper's power-efficiency
+    /// comparison does too — energy objectives cost this against a
+    /// same-device reference, so the constant-power approximation cancels.
+    pub fn energy_mj(&self, power_w: f64) -> f64 {
+        power_w * self.latency_ms
+    }
+
     /// Breakdown as fractions of total latency.
     pub fn breakdown_fractions(&self) -> [f64; 4] {
         let mut f = [0.0; 4];

@@ -29,9 +29,14 @@
 //! ```
 
 mod exec;
+mod persona;
 mod profiles;
 mod workload;
 
 pub use exec::{ExecutionReport, MeasureError};
-pub use profiles::{DeviceKind, DeviceProfile};
+pub use persona::{
+    builtin_slug, calibrate, collect_samples, parse_spec, CalibrationSample, DevicePersona,
+    PersonaError, PersonaRegistry,
+};
+pub use profiles::{ClassRates, DeviceKind, DeviceProfile};
 pub use workload::{OpClass, Workload, WorkloadOp};

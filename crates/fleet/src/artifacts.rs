@@ -46,7 +46,7 @@ use hgnas_core::{
     EaConfig, EaSnapshot, EvalStats, JointGenome, LatencyMode, OneStageCheckpoint, ScoredCandidate,
     SearchCheckpoint, SearchConfig, SearchedModel, SessionSnapshot, Strategy, TaskConfig,
 };
-use hgnas_device::DeviceKind;
+use hgnas_device::{DeviceKind, DevicePersona, DeviceProfile};
 use hgnas_ops::{Aggregator, Architecture, ConnectFn, FunctionSet, MessageType, OpType, SampleFn};
 use hgnas_predictor::{PredictorConfig, PredictorContext, PredictorSnapshot, TrainStats};
 use hgnas_tensor::Tensor;
@@ -152,7 +152,11 @@ impl PrefixKey {
 /// coverage below. Folded into every fingerprint, so bumping it re-keys
 /// every artifact at once (the escape hatch when coverage must change
 /// without any Rust field changing).
-pub const FINGERPRINT_SCHEMA: u16 = 1;
+///
+/// History: v2 added the task-kind code to the hashed task fields and
+/// the multi-metric objective fields (γ/δ weights, energy/peak-memory
+/// caps) plus the optional device persona to [`search_fingerprint`].
+pub const FINGERPRINT_SCHEMA: u16 = 2;
 
 /// Incremental FNV-1a hasher folding `(tag, type-code, payload)` triples.
 ///
@@ -238,6 +242,16 @@ impl FieldHasher {
         }
     }
 
+    /// Folds a length-prefixed UTF-8 string (persona names and other
+    /// user-chosen labels; the length prefix keeps adjacent text fields
+    /// unambiguous).
+    pub fn text(&mut self, tag: u16, v: &str) {
+        let mut payload = Vec::with_capacity(8 + v.len());
+        payload.extend_from_slice(&(v.len() as u64).to_le_bytes());
+        payload.extend_from_slice(v.as_bytes());
+        self.field(tag, 8, &payload);
+    }
+
     /// Folds a length-prefixed slice of unsigned integers.
     pub fn uint_slice(&mut self, tag: u16, v: &[usize]) {
         let mut payload = Vec::with_capacity(8 * (v.len() + 1));
@@ -254,9 +268,9 @@ impl FieldHasher {
     }
 }
 
-/// Tags 1–6: the dataset; 10–14: the supernet geometry. Shared by the
-/// prefix and search fingerprints (same tags — the task means the same
-/// thing in both domains).
+/// Tags 1–6: the dataset; 10–14: the supernet geometry; 15: the task
+/// kind. Shared by the prefix and search fingerprints (same tags — the
+/// task means the same thing in both domains).
 fn hash_task(h: &mut FieldHasher, task: &TaskConfig) {
     h.uint(1, task.dataset.classes as u64);
     h.uint(2, task.dataset.points as u64);
@@ -269,6 +283,7 @@ fn hash_task(h: &mut FieldHasher, task: &TaskConfig) {
     h.uint(12, task.supernet_hidden as u64);
     h.uint_slice(13, &task.head_hidden);
     h.uint(14, task.seed);
+    h.code(15, u32::from(task.task_kind.code()));
 }
 
 /// Folds one EA config at tags `base..base+4`.
@@ -333,8 +348,38 @@ pub fn search_fingerprint(task: &TaskConfig, cfg: &SearchConfig) -> u64 {
             LatencyMode::Measured => 1,
         },
     );
+    h.float64(56, cfg.gamma);
+    h.float64(57, cfg.delta);
+    h.opt_float64(58, cfg.max_energy_mj);
+    h.opt_float64(59, cfg.max_peak_mem_mb);
     hash_predictor_config(&mut h, 60, &cfg.predictor);
+    // Tags 70+: the optional device persona. A calibrated/spec-loaded
+    // persona changes every predicted latency, so it must re-key the
+    // search artifacts; a `None` persona hashes as plain absence, keeping
+    // builtin-device configs on their own stable fingerprints.
+    h.boolean(70, cfg.persona.is_some());
+    if let Some(p) = &cfg.persona {
+        h.text(71, &p.name);
+        hash_profile(&mut h, 72, &p.profile);
+    }
     h.finish()
+}
+
+/// Folds a device profile at tags `base..base+15`: the base device code,
+/// then every roofline parameter by bit pattern.
+fn hash_profile(h: &mut FieldHasher, base: u16, p: &DeviceProfile) {
+    h.code(base, p.kind.index() as u32);
+    for (i, r) in p.rates.iter().enumerate() {
+        h.float64(base + 1 + 2 * i as u16, r.gflops);
+        h.float64(base + 2 + 2 * i as u16, r.gbps);
+    }
+    h.float64(base + 9, p.overhead_us);
+    h.float64(base + 10, p.base_mem_mb);
+    h.float64(base + 11, p.mem_factor);
+    h.float64(base + 12, p.avail_mem_mb);
+    h.float64(base + 13, p.noise_sigma);
+    h.float64(base + 14, p.measurement_roundtrip_ms);
+    h.float64(base + 15, p.power_w);
 }
 
 /// Folds a predictor config at tags `base..base+8`.
@@ -363,6 +408,30 @@ pub fn predictor_fingerprint(ctx: &PredictorContext, cfg: &PredictorConfig) -> u
     h.uint_slice(5, &ctx.head_hidden);
     hash_predictor_config(&mut h, 10, cfg);
     h.finish()
+}
+
+/// Persona-aware predictor fingerprint: the plain
+/// [`predictor_fingerprint`] when no persona is pinned (or the persona's
+/// profile is exactly its base kind's builtin), re-keyed by the calibrated
+/// profile otherwise. Predictors learn the *profile's* latencies, so two
+/// personas sharing a base [`DeviceKind`] must never share weights, while
+/// a persona that merely names the builtin profile keeps the device-keyed
+/// artifacts warm.
+pub fn persona_predictor_fingerprint(
+    ctx: &PredictorContext,
+    cfg: &PredictorConfig,
+    persona: Option<&DevicePersona>,
+) -> u64 {
+    let base = predictor_fingerprint(ctx, cfg);
+    match persona {
+        Some(p) if p.profile != DeviceProfile::builtin(p.profile.kind) => {
+            let mut h = FieldHasher::new("predictor-persona");
+            h.uint(1, base);
+            hash_profile(&mut h, 10, &p.profile);
+            h.finish()
+        }
+        _ => base,
+    }
 }
 
 /// A directory of HGNAS artifacts.
@@ -775,6 +844,21 @@ pub(crate) fn take_device(d: &mut Decoder) -> Result<DeviceKind, CodecError> {
         .ok_or(CodecError::Invalid("device index"))
 }
 
+pub(crate) fn put_opt_f64(e: &mut Encoder, v: Option<f64>) {
+    e.put_bool(v.is_some());
+    if let Some(v) = v {
+        e.put_f64(v);
+    }
+}
+
+pub(crate) fn take_opt_f64(d: &mut Decoder) -> Result<Option<f64>, CodecError> {
+    Ok(if d.take_bool()? {
+        Some(d.take_f64()?)
+    } else {
+        None
+    })
+}
+
 pub(crate) fn put_genome(e: &mut Encoder, genome: &[OpType]) {
     e.put_usize(genome.len());
     for &op in genome {
@@ -1035,6 +1119,8 @@ fn put_cache_entries(e: &mut Encoder, entries: &[(Vec<OpType>, ScoredCandidate)]
         e.put_f64(c.latency_ms);
         e.put_f64(c.cost_ms);
         e.put_bool(c.valid);
+        put_opt_f64(e, c.energy_mj);
+        put_opt_f64(e, c.peak_mem_mb);
     }
 }
 
@@ -1059,6 +1145,8 @@ fn take_cache_entries(
                 latency_ms: d.take_f64()?,
                 cost_ms: d.take_f64()?,
                 valid: d.take_bool()?,
+                energy_mj: take_opt_f64(d)?,
+                peak_mem_mb: take_opt_f64(d)?,
             };
             Ok((genome, candidate))
         })
@@ -1162,6 +1250,8 @@ fn put_joint_cache_entries(e: &mut Encoder, entries: &[(JointGenome, ScoredCandi
         e.put_f64(c.latency_ms);
         e.put_f64(c.cost_ms);
         e.put_bool(c.valid);
+        put_opt_f64(e, c.energy_mj);
+        put_opt_f64(e, c.peak_mem_mb);
     }
 }
 
@@ -1181,6 +1271,8 @@ fn take_joint_cache_entries(
                 latency_ms: d.take_f64()?,
                 cost_ms: d.take_f64()?,
                 valid: d.take_bool()?,
+                energy_mj: take_opt_f64(d)?,
+                peak_mem_mb: take_opt_f64(d)?,
             };
             Ok((genome, candidate))
         })

@@ -36,10 +36,14 @@ pub const MAGIC: [u8; 4] = *b"HGNA";
 /// plus the Stage-1 outcome); v4 re-keyed [`ArtifactKind::Session`]
 /// spills by the device-free *prefix* fingerprint (structured
 /// field-tagged hashing replaced the Debug-string FNV throughout), so
-/// shards sharing a deterministic prefix share one spilled supernet. Old
-/// artifacts are rejected as [`CodecError::UnsupportedVersion`] — a safe
-/// cold start, never a wrong decode.
-pub const VERSION: u16 = 4;
+/// shards sharing a deterministic prefix share one spilled supernet; v5
+/// added the multi-metric axes — cached candidates carry optional
+/// energy/peak-memory metrics, tasks carry a task-kind code, and search
+/// configs carry the energy/memory objective weights plus an optional
+/// device persona. Old artifacts are rejected as
+/// [`CodecError::UnsupportedVersion`] — a safe cold start, never a wrong
+/// decode.
+pub const VERSION: u16 = 5;
 
 /// What an artifact contains (stored in the header so a predictor file can
 /// never be mistaken for a checkpoint).

@@ -16,16 +16,149 @@ use crate::oracle::{OracleConfig, OracleStats};
 use crate::scheduler::{Scheduler, SchedulerConfig, ShardSpec};
 use crossbeam::channel::Sender;
 use hgnas_core::{SearchConfig, SearchOutcome, Strategy, TaskConfig};
-use hgnas_device::DeviceKind;
+use hgnas_device::{DeviceKind, DevicePersona};
 use hgnas_ops::OpType;
+use hgnas_pointcloud::TaskKind;
 use std::fmt::Write as _;
 
-/// Fleet-level configuration: which devices to shard over, how the shared
-/// oracle behaves, and how the scheduler multiplexes the shards.
+/// One named {task × objective × persona} cell of a fleet: a complete
+/// task + search configuration pair with a display label. When
+/// [`FleetConfig::scenarios`] is non-empty the fleet runs one shard per
+/// scenario instead of one per device.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Display label (shows up in reports and the summary table).
+    pub label: String,
+    /// The scenario's task (kind, dataset, geometry).
+    pub task: TaskConfig,
+    /// The scenario's full search configuration (device/persona,
+    /// objective weights, constraints, seeds).
+    pub config: SearchConfig,
+}
+
+impl ScenarioSpec {
+    /// A scenario from explicit parts.
+    pub fn new(label: impl Into<String>, task: TaskConfig, config: SearchConfig) -> Self {
+        ScenarioSpec {
+            label: label.into(),
+            task,
+            config,
+        }
+    }
+}
+
+/// A named multi-metric objective: the Eq. (3) weights plus the optional
+/// hard caps, applied onto a base [`SearchConfig`] by
+/// [`cross_scenarios`]. Zero `gamma`/`delta` and `None` caps leave the
+/// base's legacy α·acc − β·lat scoring untouched.
+#[derive(Debug, Clone)]
+pub struct ObjectiveSpec {
+    /// Display label.
+    pub label: String,
+    /// Accuracy weight α.
+    pub alpha: f64,
+    /// Latency weight β.
+    pub beta: f64,
+    /// Energy weight γ (0 disables the energy term).
+    pub gamma: f64,
+    /// Peak-memory weight δ (0 disables the memory term).
+    pub delta: f64,
+    /// Hard model-size cap, MB.
+    pub max_size_mb: Option<f64>,
+    /// Hard per-inference energy cap, mJ.
+    pub max_energy_mj: Option<f64>,
+    /// Hard peak-memory cap, MB.
+    pub max_peak_mem_mb: Option<f64>,
+}
+
+impl ObjectiveSpec {
+    /// The classic accuracy/latency objective with no extra axes.
+    pub fn accuracy_latency(label: impl Into<String>, alpha: f64, beta: f64) -> Self {
+        ObjectiveSpec {
+            label: label.into(),
+            alpha,
+            beta,
+            gamma: 0.0,
+            delta: 0.0,
+            max_size_mb: None,
+            max_energy_mj: None,
+            max_peak_mem_mb: None,
+        }
+    }
+
+    /// Adds an energy term (weight γ, optional hard cap in mJ).
+    pub fn with_energy(mut self, gamma: f64, max_energy_mj: Option<f64>) -> Self {
+        self.gamma = gamma;
+        self.max_energy_mj = max_energy_mj;
+        self
+    }
+
+    /// Adds a peak-memory term (weight δ, optional hard cap in MB).
+    pub fn with_peak_mem(mut self, delta: f64, max_peak_mem_mb: Option<f64>) -> Self {
+        self.delta = delta;
+        self.max_peak_mem_mb = max_peak_mem_mb;
+        self
+    }
+
+    /// Applies this objective onto a base config, leaving everything else
+    /// (EA budgets, seeds, latency mode) untouched.
+    pub fn apply(&self, base: &SearchConfig) -> SearchConfig {
+        let mut cfg = base.clone();
+        cfg.alpha = self.alpha;
+        cfg.beta = self.beta;
+        cfg.gamma = self.gamma;
+        cfg.delta = self.delta;
+        cfg.max_size_mb = self.max_size_mb;
+        cfg.max_energy_mj = self.max_energy_mj;
+        cfg.max_peak_mem_mb = self.max_peak_mem_mb;
+        cfg
+    }
+}
+
+/// Builds the full {task × objective × persona} cross product over a base
+/// task/config pair: every tuple becomes one labelled [`ScenarioSpec`]
+/// (label `task/objective/persona`), in row-major order (tasks outermost,
+/// personas innermost). This is the data-driven replacement for the
+/// hard-coded one-shard-per-`DeviceKind` fleet shape.
+pub fn cross_scenarios(
+    base_task: &TaskConfig,
+    base: &SearchConfig,
+    tasks: &[TaskKind],
+    objectives: &[ObjectiveSpec],
+    personas: &[DevicePersona],
+) -> Vec<ScenarioSpec> {
+    let mut out = Vec::with_capacity(tasks.len() * objectives.len() * personas.len());
+    for &kind in tasks {
+        let mut task = base_task.clone();
+        task.task_kind = kind;
+        for obj in objectives {
+            let cfg = obj.apply(base);
+            for persona in personas {
+                let label = format!("{}/{}/{}", kind.name(), obj.label, persona.name);
+                out.push(ScenarioSpec::new(
+                    label,
+                    task.clone(),
+                    cfg.clone().with_persona(persona.clone()),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Fleet-level configuration: which devices or scenarios to shard over,
+/// how the shared oracle behaves, and how the scheduler multiplexes the
+/// shards.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
-    /// Target devices, one search shard each.
+    /// Target devices, one search shard each (the legacy fleet shape;
+    /// ignored when `scenarios` is non-empty).
     pub devices: Vec<DeviceKind>,
+    /// Explicit {task × objective × persona} scenarios, one shard each.
+    /// When non-empty this wins over `devices`, and each scenario's own
+    /// task/config override the base pair passed to [`run_fleet`].
+    /// Usually built with [`cross_scenarios`].
+    pub scenarios: Vec<ScenarioSpec>,
     /// Oracle tuning (measured mode only).
     pub oracle: OracleConfig,
     /// Persist a checkpoint every N generations (1 = every boundary).
@@ -62,6 +195,7 @@ impl FleetConfig {
     pub fn new(devices: impl Into<Vec<DeviceKind>>) -> Self {
         FleetConfig {
             devices: devices.into(),
+            scenarios: Vec::new(),
             oracle: OracleConfig::default(),
             checkpoint_every: 1,
             threads: 0,
@@ -70,15 +204,30 @@ impl FleetConfig {
             session_memory_budget: None,
         }
     }
+
+    /// Fleet over explicit scenarios (see [`cross_scenarios`]) with the
+    /// same defaults as [`FleetConfig::new`].
+    pub fn over_scenarios(scenarios: impl Into<Vec<ScenarioSpec>>) -> Self {
+        let mut cfg = FleetConfig::new(Vec::new());
+        cfg.scenarios = scenarios.into();
+        cfg
+    }
 }
 
-/// One point of a device's latency/accuracy Pareto front.
+/// One point of a shard's Pareto front. Always carries the latency and
+/// accuracy axes; energy and peak memory join exactly when the shard's
+/// objective priced them (then the front is the N-dimensional
+/// non-dominated set over all present axes).
 #[derive(Debug, Clone)]
 pub struct ParetoPoint {
     /// Latency as the search saw it, ms.
     pub latency_ms: f64,
     /// One-shot supernet accuracy.
     pub accuracy: f64,
+    /// Modelled per-inference energy, mJ (objectives pricing energy only).
+    pub energy_mj: Option<f64>,
+    /// Modelled peak working-set, MB (objectives pricing memory only).
+    pub peak_mem_mb: Option<f64>,
     /// The candidate's op-type genome.
     pub genome: Vec<OpType>,
 }
@@ -86,7 +235,11 @@ pub struct ParetoPoint {
 /// Everything one device shard produced.
 #[derive(Debug)]
 pub struct DeviceReport {
-    /// The shard's target device.
+    /// The shard's scenario label (the device name on the legacy
+    /// one-shard-per-device path).
+    pub scenario: String,
+    /// The shard's target device (a persona's base kind when the scenario
+    /// pinned a persona).
     pub device: DeviceKind,
     /// The shard's search outcome (identical to a serial run's).
     pub outcome: SearchOutcome,
@@ -126,22 +279,42 @@ impl FleetReport {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "{:<14} {:>10} {:>10} {:>8} {:>7} {:>8} {:>9} {:>7}",
-            "Device", "Found ms", "DGCNN ms", "Speedup", "Acc", "Score", "Search h", "Hit %"
+            "{:<36} {:>10} {:>10} {:>8} {:>7} {:>8} {:>8} {:>8} {:>9} {:>7}",
+            "Scenario",
+            "Found ms",
+            "DGCNN ms",
+            "Speedup",
+            "Acc",
+            "mJ",
+            "MemMB",
+            "Score",
+            "Search h",
+            "Hit %"
         );
         for r in &self.reports {
             let o = &r.outcome;
             let hit_pct = o.eval_stats.map_or(0.0, |e| {
                 100.0 * (e.hits + e.imported) as f64 / e.submitted.max(1) as f64
             });
+            // The extra axes live on the scored candidates, not the best
+            // model itself: show them when the best genome sits on the
+            // front (it does whenever it is constraint-valid and
+            // non-dominated), dashes otherwise.
+            let best_point = r.pareto.iter().find(|p| p.genome == o.best.genome);
+            let fmt_axis = |v: Option<f64>| match v {
+                Some(v) => format!("{v:>8.2}"),
+                None => format!("{:>8}", "-"),
+            };
             let _ = writeln!(
                 s,
-                "{:<14} {:>10.2} {:>10.2} {:>7.1}x {:>7.3} {:>8.3} {:>9.2} {:>6.1}%",
-                r.device.name(),
+                "{:<36} {:>10.2} {:>10.2} {:>7.1}x {:>7.3} {} {} {:>8.3} {:>9.2} {:>6.1}%",
+                r.scenario,
                 o.best.latency_ms,
                 o.reference_ms,
                 o.reference_ms / o.best.latency_ms.max(1e-9),
                 o.best.supernet_accuracy,
+                fmt_axis(best_point.and_then(|p| p.energy_mj)),
+                fmt_axis(best_point.and_then(|p| p.peak_mem_mb)),
                 o.best.score,
                 o.search_hours,
                 hit_pct
@@ -168,7 +341,8 @@ impl FleetReport {
 ///
 /// # Panics
 ///
-/// Panics if `fleet.devices` is empty or a scheduler worker panics.
+/// Panics if `fleet` names no devices and no scenarios, or a scheduler
+/// worker panics.
 pub fn run_fleet(
     task: &TaskConfig,
     base: &SearchConfig,
@@ -198,25 +372,44 @@ pub fn run_fleet_with_events(
     store: Option<&ArtifactStore>,
     events: Option<Sender<FleetEvent>>,
 ) -> Result<FleetReport, StoreError> {
-    assert!(!fleet.devices.is_empty(), "fleet needs at least one device");
-    let mut specs = Vec::with_capacity(fleet.devices.len());
-    for &device in &fleet.devices {
-        let mut cfg = base.clone();
-        cfg.device = device;
+    // Scenario cells win over the legacy one-shard-per-device shape; each
+    // carries its own task/config, with `task`/`base` only supplying the
+    // legacy path.
+    let cells: Vec<(String, TaskConfig, SearchConfig)> = if fleet.scenarios.is_empty() {
+        assert!(!fleet.devices.is_empty(), "fleet needs at least one device");
+        fleet
+            .devices
+            .iter()
+            .map(|&device| {
+                let mut cfg = base.clone();
+                cfg.device = device;
+                (device.name().to_string(), task.clone(), cfg)
+            })
+            .collect()
+    } else {
+        fleet
+            .scenarios
+            .iter()
+            .map(|s| (s.label.clone(), s.task.clone(), s.config.clone()))
+            .collect()
+    };
+    let mut specs = Vec::with_capacity(cells.len());
+    for (label, task, cfg) in cells {
         let imported_cache = match (fleet.warm_start_seed, store) {
-            (Some(seed), Some(store)) if base.strategy == Strategy::MultiStage => {
+            (Some(seed), Some(store)) if cfg.strategy == Strategy::MultiStage => {
                 let mut source = cfg.clone();
                 source.seed = seed;
                 let key = ArtifactKey {
-                    device,
-                    fingerprint: search_fingerprint(task, &source),
+                    device: cfg.device,
+                    fingerprint: search_fingerprint(&task, &source),
                 };
                 store.load_score_cache(&key)?
             }
             _ => None,
         };
         specs.push(ShardSpec {
-            task: task.clone(),
+            scenario: label,
+            task,
             config: cfg,
             imported_cache,
         });
@@ -238,6 +431,7 @@ pub fn run_fleet_with_events(
         .shards
         .into_iter()
         .map(|s| DeviceReport {
+            scenario: s.scenario,
             device: s.device,
             outcome: s
                 .outcome

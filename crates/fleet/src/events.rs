@@ -162,6 +162,23 @@ impl FleetEvent {
             | FleetEvent::SessionCache { shard, .. } => *shard,
         }
     }
+
+    /// Renumbers the event to `shard`. Hosts that schedule only a subset
+    /// of a request's shards in a given round (the serve daemon's
+    /// budgeted rounds skip already-finished shards) use this to map the
+    /// round-local indices back to the request's own numbering before
+    /// streaming.
+    pub fn set_shard(&mut self, shard: ShardId) {
+        match self {
+            FleetEvent::ShardStarted { shard: s, .. }
+            | FleetEvent::GenerationDone { shard: s, .. }
+            | FleetEvent::ParetoUpdated { shard: s, .. }
+            | FleetEvent::ShardPreempted { shard: s, .. }
+            | FleetEvent::ShardFinished { shard: s, .. }
+            | FleetEvent::ShardFailed { shard: s, .. }
+            | FleetEvent::SessionCache { shard: s, .. } => *s = shard,
+        }
+    }
 }
 
 /// Per-shard row state the reporter accumulates.

@@ -74,12 +74,14 @@ pub mod scheduler;
 pub mod wire;
 
 pub use artifacts::{
-    predictor_fingerprint, prefix_fingerprint, search_fingerprint, ArtifactKey, ArtifactStore,
-    FieldHasher, PrefixKey, PruneReport, StoreError, FINGERPRINT_SCHEMA,
+    persona_predictor_fingerprint, predictor_fingerprint, prefix_fingerprint, search_fingerprint,
+    ArtifactKey, ArtifactStore, FieldHasher, PrefixKey, PruneReport, StoreError,
+    FINGERPRINT_SCHEMA,
 };
 pub use codec::{ArtifactKind, CodecError, FrameKind, PROTOCOL_VERSION, WIRE_MAGIC};
 pub use driver::{
-    run_fleet, run_fleet_with_events, DeviceReport, FleetConfig, FleetReport, ParetoPoint,
+    cross_scenarios, run_fleet, run_fleet_with_events, DeviceReport, FleetConfig, FleetReport,
+    ObjectiveSpec, ParetoPoint, ScenarioSpec,
 };
 pub use events::{channel as event_channel, FleetEvent, SessionAction, ShardId, StreamingReporter};
 pub use oracle::{MeasurementOracle, OracleClient, OracleConfig, OracleStats, Ticket};

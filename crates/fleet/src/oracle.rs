@@ -17,7 +17,6 @@ use hgnas_core::MeasureBackend;
 use hgnas_device::{DeviceKind, DeviceProfile, ExecutionReport, MeasureError, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -104,19 +103,23 @@ pub struct OracleStats {
     pub injected_faults: u64,
 }
 
-/// The measurement service. Owns one queue + worker pool per device;
-/// dropped (or [`MeasurementOracle::shutdown`]), it closes the queues and
-/// joins every worker.
+/// The measurement service. Owns one queue + worker pool per *distinct
+/// device profile* — two personas calibrated from the same base kind get
+/// separate pools, since their simulated hardware differs — dropped (or
+/// [`MeasurementOracle::shutdown`]), it closes the queues and joins every
+/// worker.
 #[derive(Debug)]
 pub struct MeasurementOracle {
-    senders: HashMap<DeviceKind, Sender<Job>>,
+    senders: Vec<(DeviceProfile, Sender<Job>)>,
     workers: Vec<JoinHandle<()>>,
     workers_per_device: usize,
     stats: Arc<StatsInner>,
 }
 
 impl MeasurementOracle {
-    /// Starts workers for every (distinct) device in `devices`.
+    /// Starts workers for every (distinct) device in `devices`, using each
+    /// device's builtin profile. See [`MeasurementOracle::start_profiles`]
+    /// for calibrated personas.
     ///
     /// # Panics
     ///
@@ -124,7 +127,18 @@ impl MeasurementOracle {
     /// `max_attempts == 0`, or fault injection is enabled without retry
     /// headroom (`max_attempts < 2`).
     pub fn start(devices: &[DeviceKind], cfg: &OracleConfig) -> Self {
-        assert!(!devices.is_empty(), "oracle needs at least one device");
+        let profiles: Vec<DeviceProfile> = devices.iter().map(|d| d.profile()).collect();
+        Self::start_profiles(&profiles, cfg)
+    }
+
+    /// Starts workers for every (distinct) profile in `profiles` — the
+    /// persona-aware generalisation of [`MeasurementOracle::start`].
+    ///
+    /// # Panics
+    ///
+    /// As [`MeasurementOracle::start`].
+    pub fn start_profiles(profiles: &[DeviceProfile], cfg: &OracleConfig) -> Self {
+        assert!(!profiles.is_empty(), "oracle needs at least one device");
         assert!(cfg.workers_per_device > 0, "need at least one worker");
         assert!(cfg.max_attempts > 0, "need at least one attempt");
         assert!(
@@ -132,10 +146,10 @@ impl MeasurementOracle {
             "fault injection without retries would surface injected errors"
         );
         let stats = Arc::new(StatsInner::default());
-        let mut senders = HashMap::new();
+        let mut senders: Vec<(DeviceProfile, Sender<Job>)> = Vec::new();
         let mut workers = Vec::new();
-        for &device in devices {
-            if senders.contains_key(&device) {
+        for profile in profiles {
+            if senders.iter().any(|(p, _)| p == profile) {
                 continue;
             }
             let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
@@ -143,12 +157,12 @@ impl MeasurementOracle {
                 let rx = rx.clone();
                 let cfg = cfg.clone();
                 let stats = Arc::clone(&stats);
-                let profile = device.profile();
+                let profile = profile.clone();
                 workers.push(std::thread::spawn(move || {
                     worker_loop(&profile, &rx, &cfg, &stats);
                 }));
             }
-            senders.insert(device, tx);
+            senders.push((profile.clone(), tx));
         }
         MeasurementOracle {
             senders,
@@ -158,18 +172,32 @@ impl MeasurementOracle {
         }
     }
 
-    /// A client bound to one device's queue.
+    /// A client bound to `device`'s builtin-profile queue.
     ///
     /// # Panics
     ///
     /// Panics if the oracle was not started with `device`.
     pub fn client(&self, device: DeviceKind) -> OracleClient {
+        self.client_for(&device.profile())
+    }
+
+    /// A client bound to the queue serving exactly `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the oracle was not started with this profile.
+    pub fn client_for(&self, profile: &DeviceProfile) -> OracleClient {
         let tx = self
             .senders
-            .get(&device)
-            .unwrap_or_else(|| panic!("oracle has no workers for {device}"))
+            .iter()
+            .find(|(p, _)| p == profile)
+            .unwrap_or_else(|| panic!("oracle has no workers for {} profile", profile.kind))
+            .1
             .clone();
-        OracleClient { device, tx }
+        OracleClient {
+            device: profile.kind,
+            tx,
+        }
     }
 
     /// Counters so far.
@@ -192,7 +220,7 @@ impl MeasurementOracle {
     }
 
     fn stop(&mut self) {
-        for tx in self.senders.values() {
+        for (_, tx) in &self.senders {
             for _ in 0..self.workers_per_device {
                 let _ = tx.send(Job::Shutdown);
             }

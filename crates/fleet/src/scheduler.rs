@@ -38,16 +38,16 @@
 //! is a thin wrapper over `Scheduler::run`.
 
 use crate::artifacts::{
-    predictor_fingerprint, prefix_fingerprint, search_fingerprint, ArtifactKey, ArtifactStore,
-    PrefixKey, StoreError,
+    persona_predictor_fingerprint, prefix_fingerprint, search_fingerprint, ArtifactKey,
+    ArtifactStore, PrefixKey, StoreError,
 };
 use crate::driver::ParetoPoint;
 use crate::events::{FleetEvent, SessionAction, ShardId};
 use crate::oracle::{MeasurementOracle, OracleConfig, OracleStats};
 use crossbeam::channel::Sender;
 use hgnas_core::{
-    pareto_front, Checkpoint, Hgnas, LatencyMode, MeasureBackend, PretrainedPredictor, RunOptions,
-    ScoredCandidate, SearchConfig, SearchOutcome, SessionState, Strategy, TaskConfig,
+    pareto_front_nd, Checkpoint, Hgnas, LatencyMode, MeasureBackend, PretrainedPredictor,
+    RunOptions, ScoredCandidate, SearchConfig, SearchOutcome, SessionState, Strategy, TaskConfig,
 };
 use hgnas_device::DeviceKind;
 use hgnas_ops::OpType;
@@ -63,6 +63,9 @@ use std::sync::{Arc, Condvar, Mutex};
 /// sets).
 #[derive(Debug, Clone)]
 pub struct ShardSpec {
+    /// Display label for reports (scenario name; defaults to the config's
+    /// persona/device label).
+    pub scenario: String,
     /// The task to search.
     pub task: TaskConfig,
     /// The search configuration (device, seed, EA budgets, ...).
@@ -74,13 +77,20 @@ pub struct ShardSpec {
 }
 
 impl ShardSpec {
-    /// A shard with no warm-start import.
+    /// A shard with no warm-start import, labelled by its persona/device.
     pub fn new(task: TaskConfig, config: SearchConfig) -> Self {
         ShardSpec {
+            scenario: config.device_label(),
             task,
             config,
             imported_cache: None,
         }
+    }
+
+    /// Overrides the shard's report label.
+    pub fn with_scenario(mut self, label: impl Into<String>) -> Self {
+        self.scenario = label.into();
+        self
     }
 }
 
@@ -450,6 +460,8 @@ impl SessionCache {
 pub struct ShardResult {
     /// The shard's index in the spec list.
     pub shard: ShardId,
+    /// Its scenario label (from the spec).
+    pub scenario: String,
     /// Its target device.
     pub device: DeviceKind,
     /// The search outcome — bit-identical to a serial
@@ -552,23 +564,47 @@ pub struct Scheduler {
     cfg: SchedulerConfig,
 }
 
-/// Builds the latency/accuracy Pareto front from a checkpoint's score
-/// cache: every valid scored candidate competes on (latency, accuracy).
+/// Builds the Pareto front from a checkpoint's score cache: every valid
+/// scored candidate competes on (latency, accuracy), with energy and
+/// peak-memory axes joining exactly when the shard's objective priced
+/// them (then any candidate carries them). With only the two classic
+/// axes, [`pareto_front_nd`] membership matches the 2-D [`pareto_front`]
+/// exactly, so legacy fronts are bit-identical.
 pub(crate) fn checkpoint_pareto(cp: &Checkpoint) -> Vec<ParetoPoint> {
     let entries: Vec<(&[OpType], &ScoredCandidate)> = match cp {
         Checkpoint::MultiStage(cp) => cp.cache.iter().map(|(g, c)| (g.as_slice(), c)).collect(),
         Checkpoint::OneStage(cp) => cp.cache.iter().map(|(g, c)| (g.2.as_slice(), c)).collect(),
     };
     let valid: Vec<_> = entries.into_iter().filter(|(_, c)| c.valid).collect();
-    let points: Vec<(f64, f64)> = valid
+    let has_energy = valid.iter().any(|(_, c)| c.energy_mj.is_some());
+    let has_mem = valid.iter().any(|(_, c)| c.peak_mem_mb.is_some());
+    let mut maximize = vec![false, true];
+    let points: Vec<Vec<f64>> = valid
         .iter()
-        .map(|(_, c)| (c.latency_ms, c.accuracy))
+        .map(|(_, c)| {
+            let mut p = vec![c.latency_ms, c.accuracy];
+            if has_energy {
+                p.push(c.energy_mj.unwrap_or(0.0));
+            }
+            if has_mem {
+                p.push(c.peak_mem_mb.unwrap_or(0.0));
+            }
+            p
+        })
         .collect();
-    let mut front: Vec<ParetoPoint> = pareto_front(&points)
+    if has_energy {
+        maximize.push(false);
+    }
+    if has_mem {
+        maximize.push(false);
+    }
+    let mut front: Vec<ParetoPoint> = pareto_front_nd(&points, &maximize)
         .into_iter()
         .map(|i| ParetoPoint {
             latency_ms: valid[i].1.latency_ms,
             accuracy: valid[i].1.accuracy,
+            energy_mj: valid[i].1.energy_mj,
+            peak_mem_mb: valid[i].1.peak_mem_mb,
             genome: valid[i].0.to_vec(),
         })
         .collect();
@@ -619,19 +655,20 @@ impl Scheduler {
         events: Option<Sender<FleetEvent>>,
     ) -> Result<SchedulerReport, StoreError> {
         let n = self.specs.len();
-        let measured: Vec<DeviceKind> = {
-            let mut seen = Vec::new();
+        let measured: Vec<hgnas_device::DeviceProfile> = {
+            let mut seen: Vec<hgnas_device::DeviceProfile> = Vec::new();
             for s in &self.specs {
-                if s.config.latency_mode == LatencyMode::Measured
-                    && !seen.contains(&s.config.device)
-                {
-                    seen.push(s.config.device);
+                if s.config.latency_mode == LatencyMode::Measured {
+                    let p = s.config.device_profile();
+                    if !seen.contains(&p) {
+                        seen.push(p);
+                    }
                 }
             }
             seen
         };
-        let oracle =
-            (!measured.is_empty()).then(|| MeasurementOracle::start(&measured, &self.cfg.oracle));
+        let oracle = (!measured.is_empty())
+            .then(|| MeasurementOracle::start_profiles(&measured, &self.cfg.oracle));
 
         let workers = if self.cfg.threads == 0 {
             n
@@ -769,6 +806,7 @@ impl Scheduler {
                 let st = st.into_inner().unwrap();
                 st.finished.unwrap_or_else(|| ShardResult {
                     shard: i,
+                    scenario: self.specs[i].scenario.clone(),
                     device: self.specs[i].config.device,
                     outcome: None,
                     pareto: st
@@ -824,7 +862,11 @@ impl Scheduler {
         if cfg.latency_mode == LatencyMode::Predictor && st.predictor.is_none() {
             let key = ArtifactKey {
                 device,
-                fingerprint: predictor_fingerprint(&spec.task.predictor_context(), &cfg.predictor),
+                fingerprint: persona_predictor_fingerprint(
+                    &spec.task.predictor_context(),
+                    &cfg.predictor,
+                    cfg.persona.as_ref(),
+                ),
             };
             let mut pretrained = None;
             if let Some(store) = store {
@@ -840,8 +882,8 @@ impl Scheduler {
             if pretrained.is_none() {
                 let (p, stats) = PhaseClock::time(&phases.predictor_train, || {
                     with_kernel_threads(cfg.eval_threads, || {
-                        LatencyPredictor::train(
-                            device,
+                        LatencyPredictor::train_with_profile(
+                            &cfg.device_profile(),
                             &spec.task.predictor_context(),
                             &cfg.predictor,
                         )
@@ -1052,7 +1094,9 @@ impl Scheduler {
         // spent persisting checkpoints inside it.
         let search_t = std::time::Instant::now();
         let out = hgnas.run_with(RunOptions {
-            backend: oracle.map(|o| Arc::new(o.client(device)) as Arc<dyn MeasureBackend>),
+            backend: oracle.map(|o| {
+                Arc::new(o.client_for(&hgnas.config().device_profile())) as Arc<dyn MeasureBackend>
+            }),
             predictor: st.predictor.clone(),
             resume,
             checkpoint_sink: want_sink.then_some(&mut sink as &mut dyn FnMut(&Checkpoint)),
@@ -1138,6 +1182,7 @@ impl Scheduler {
                 );
                 st.finished = Some(ShardResult {
                     shard: i,
+                    scenario: spec.scenario.clone(),
                     device,
                     outcome: Some(outcome),
                     pareto,

@@ -17,17 +17,17 @@
 //! time, so the wire stays minimal and canonical.
 
 use crate::artifacts::{
-    put_device, put_ea_config, put_eval_stats, put_function_set, put_genome, put_train_stats,
-    take_device, take_ea_config, take_eval_stats, take_function_set, take_genome, take_train_stats,
-    PruneReport,
+    put_device, put_ea_config, put_eval_stats, put_function_set, put_genome, put_opt_f64,
+    put_train_stats, take_device, take_ea_config, take_eval_stats, take_function_set, take_genome,
+    take_opt_f64, take_train_stats, PruneReport,
 };
 use crate::codec::{CodecError, Decoder, Encoder, FrameKind};
-use crate::driver::ParetoPoint;
+use crate::driver::{ParetoPoint, ScenarioSpec};
 use crate::events::{FleetEvent, SessionAction};
 use hgnas_core::{LatencyMode, SearchConfig, SearchOutcome, SearchedModel, Strategy, TaskConfig};
-use hgnas_device::DeviceKind;
+use hgnas_device::{ClassRates, DeviceKind, DevicePersona, DeviceProfile};
 use hgnas_ops::Architecture;
-use hgnas_pointcloud::DatasetConfig;
+use hgnas_pointcloud::{DatasetConfig, TaskKind};
 use hgnas_predictor::PredictorConfig;
 
 /// A client→server message.
@@ -64,15 +64,21 @@ pub enum ClientFrame {
         /// of a priority-1 tenant under contention.
         priority: u8,
     },
-    /// Submit one search: a task, a search config, and the target devices
-    /// (one scheduler shard per device, mirroring `run_fleet`).
+    /// Submit one search: a task, a search config, and either target
+    /// devices (one scheduler shard per device, mirroring `run_fleet`'s
+    /// legacy shape) or explicit {task × objective × persona} scenarios
+    /// (one shard each; scenarios win when both are given).
     Submit {
-        /// Dataset + supernet geometry.
+        /// Dataset + supernet geometry (the base task on the scenario
+        /// path — each scenario carries its own).
         task: TaskConfig,
         /// Search settings; `device` is overridden per shard.
         config: SearchConfig,
-        /// Target devices, one shard each.
+        /// Target devices, one shard each (legacy path).
         devices: Vec<DeviceKind>,
+        /// Explicit scenarios, one shard each; overrides `devices` when
+        /// non-empty.
+        scenarios: Vec<ScenarioSpec>,
     },
     /// Re-attach to a request submitted earlier (same tenant), replaying
     /// buffered events from `from_seq` — the disconnect/resume path.
@@ -147,6 +153,14 @@ pub enum ServerFrame {
 /// `DeviceReport`, plus the admission accounting the daemon adds.
 #[derive(Debug, Clone)]
 pub struct WireShardReport {
+    /// The shard's scenario label (device name on the legacy path).
+    pub scenario: String,
+    /// Neighbour fanout of this shard's task (scenario shards may differ
+    /// from the request-level [`WireReport::k`]).
+    pub k: usize,
+    /// Model output width of this shard's task (segmentation shards emit
+    /// per-point part logits, not the dataset's class count).
+    pub out_classes: usize,
     /// The shard's target device.
     pub device: DeviceKind,
     /// The finished search outcome (bit-identical to `run_fleet`).
@@ -203,6 +217,7 @@ fn take_dataset(d: &mut Decoder) -> Result<DatasetConfig, CodecError> {
 }
 
 fn put_task(e: &mut Encoder, t: &TaskConfig) {
+    e.put_u8(t.task_kind.code());
     put_dataset(e, &t.dataset);
     e.put_usize(t.positions);
     e.put_usize(t.k);
@@ -213,6 +228,8 @@ fn put_task(e: &mut Encoder, t: &TaskConfig) {
 
 fn take_task(d: &mut Decoder) -> Result<TaskConfig, CodecError> {
     Ok(TaskConfig {
+        task_kind: TaskKind::from_code(d.take_u8()?)
+            .ok_or(CodecError::Invalid("task kind code"))?,
         dataset: take_dataset(d)?,
         positions: d.take_usize()?,
         k: d.take_usize()?,
@@ -248,21 +265,6 @@ fn take_predictor_config(d: &mut Decoder) -> Result<PredictorConfig, CodecError>
     })
 }
 
-fn put_opt_f64(e: &mut Encoder, v: Option<f64>) {
-    e.put_bool(v.is_some());
-    if let Some(v) = v {
-        e.put_f64(v);
-    }
-}
-
-fn take_opt_f64(d: &mut Decoder) -> Result<Option<f64>, CodecError> {
-    Ok(if d.take_bool()? {
-        Some(d.take_f64()?)
-    } else {
-        None
-    })
-}
-
 fn put_opt_usize(e: &mut Encoder, v: Option<usize>) {
     e.put_bool(v.is_some());
     if let Some(v) = v {
@@ -278,12 +280,70 @@ fn take_opt_usize(d: &mut Decoder) -> Result<Option<usize>, CodecError> {
     })
 }
 
+fn put_profile(e: &mut Encoder, p: &DeviceProfile) {
+    put_device(e, p.kind);
+    for r in &p.rates {
+        e.put_f64(r.gflops);
+        e.put_f64(r.gbps);
+    }
+    e.put_f64(p.overhead_us);
+    e.put_f64(p.base_mem_mb);
+    e.put_f64(p.mem_factor);
+    e.put_f64(p.avail_mem_mb);
+    e.put_f64(p.noise_sigma);
+    e.put_f64(p.measurement_roundtrip_ms);
+    e.put_f64(p.power_w);
+}
+
+fn take_profile(d: &mut Decoder) -> Result<DeviceProfile, CodecError> {
+    let kind = take_device(d)?;
+    let mut rates = [ClassRates {
+        gflops: 0.0,
+        gbps: 0.0,
+    }; 4];
+    for r in &mut rates {
+        r.gflops = d.take_f64()?;
+        r.gbps = d.take_f64()?;
+    }
+    Ok(DeviceProfile {
+        kind,
+        rates,
+        overhead_us: d.take_f64()?,
+        base_mem_mb: d.take_f64()?,
+        mem_factor: d.take_f64()?,
+        avail_mem_mb: d.take_f64()?,
+        noise_sigma: d.take_f64()?,
+        measurement_roundtrip_ms: d.take_f64()?,
+        power_w: d.take_f64()?,
+    })
+}
+
+fn put_persona(e: &mut Encoder, p: &DevicePersona) {
+    e.put_str(&p.name);
+    put_profile(e, &p.profile);
+}
+
+fn take_persona(d: &mut Decoder) -> Result<DevicePersona, CodecError> {
+    Ok(DevicePersona {
+        name: d.take_string()?,
+        profile: take_profile(d)?,
+    })
+}
+
 fn put_search_config(e: &mut Encoder, c: &SearchConfig) {
     put_device(e, c.device);
+    e.put_bool(c.persona.is_some());
+    if let Some(p) = &c.persona {
+        put_persona(e, p);
+    }
     e.put_f64(c.alpha);
     e.put_f64(c.beta);
+    e.put_f64(c.gamma);
+    e.put_f64(c.delta);
     put_opt_f64(e, c.constraint_ms);
     put_opt_f64(e, c.max_size_mb);
+    put_opt_f64(e, c.max_energy_mj);
+    put_opt_f64(e, c.max_peak_mem_mb);
     put_ea_config(e, &c.ea_stage1);
     put_ea_config(e, &c.ea_stage2);
     e.put_usize(c.epochs_stage1);
@@ -305,10 +365,19 @@ fn put_search_config(e: &mut Encoder, c: &SearchConfig) {
 fn take_search_config(d: &mut Decoder) -> Result<SearchConfig, CodecError> {
     Ok(SearchConfig {
         device: take_device(d)?,
+        persona: if d.take_bool()? {
+            Some(take_persona(d)?)
+        } else {
+            None
+        },
         alpha: d.take_f64()?,
         beta: d.take_f64()?,
+        gamma: d.take_f64()?,
+        delta: d.take_f64()?,
         constraint_ms: take_opt_f64(d)?,
         max_size_mb: take_opt_f64(d)?,
+        max_energy_mj: take_opt_f64(d)?,
+        max_peak_mem_mb: take_opt_f64(d)?,
         ea_stage1: take_ea_config(d)?,
         ea_stage2: take_ea_config(d)?,
         epochs_stage1: d.take_usize()?,
@@ -333,6 +402,8 @@ fn take_search_config(d: &mut Decoder) -> Result<SearchConfig, CodecError> {
 fn put_pareto_point(e: &mut Encoder, p: &ParetoPoint) {
     e.put_f64(p.latency_ms);
     e.put_f64(p.accuracy);
+    put_opt_f64(e, p.energy_mj);
+    put_opt_f64(e, p.peak_mem_mb);
     put_genome(e, &p.genome);
 }
 
@@ -340,6 +411,8 @@ fn take_pareto_point(d: &mut Decoder) -> Result<ParetoPoint, CodecError> {
     Ok(ParetoPoint {
         latency_ms: d.take_f64()?,
         accuracy: d.take_f64()?,
+        energy_mj: take_opt_f64(d)?,
+        peak_mem_mb: take_opt_f64(d)?,
         genome: take_genome(d)?,
     })
 }
@@ -631,6 +704,7 @@ pub fn encode_client(frame: &ClientFrame) -> Vec<u8> {
             task,
             config,
             devices,
+            scenarios,
         } => {
             let mut e = Encoder::frame(FrameKind::Submit);
             put_task(&mut e, task);
@@ -638,6 +712,12 @@ pub fn encode_client(frame: &ClientFrame) -> Vec<u8> {
             e.put_usize(devices.len());
             for &d in devices {
                 put_device(&mut e, d);
+            }
+            e.put_usize(scenarios.len());
+            for s in scenarios {
+                e.put_str(&s.label);
+                put_task(&mut e, &s.task);
+                put_search_config(&mut e, &s.config);
             }
             e.finish()
         }
@@ -678,6 +758,18 @@ pub fn decode_client(bytes: &[u8]) -> Result<ClientFrame, CodecError> {
                 (0..n)
                     .map(|_| take_device(&mut d))
                     .collect::<Result<_, _>>()?
+            },
+            scenarios: {
+                let n = d.take_usize()?;
+                (0..n)
+                    .map(|_| {
+                        Ok(ScenarioSpec {
+                            label: d.take_string()?,
+                            task: take_task(&mut d)?,
+                            config: take_search_config(&mut d)?,
+                        })
+                    })
+                    .collect::<Result<_, CodecError>>()?
             },
         },
         FrameKind::Attach => ClientFrame::Attach {
@@ -734,6 +826,9 @@ pub fn encode_server(frame: &ServerFrame) -> Vec<u8> {
             e.put_u64(report.slices);
             e.put_usize(report.shards.len());
             for s in &report.shards {
+                e.put_str(&s.scenario);
+                e.put_usize(s.k);
+                e.put_usize(s.out_classes);
                 put_device(&mut e, s.device);
                 put_outcome(&mut e, &s.outcome);
                 e.put_usize(s.pareto.len());
@@ -798,9 +893,15 @@ pub fn decode_server(bytes: &[u8]) -> Result<ServerFrame, CodecError> {
             let n = d.take_usize()?;
             let shards = (0..n)
                 .map(|_| {
+                    let scenario = d.take_string()?;
+                    let shard_k = d.take_usize()?;
+                    let out_classes = d.take_usize()?;
                     Ok(WireShardReport {
+                        scenario,
+                        k: shard_k,
+                        out_classes,
                         device: take_device(&mut d)?,
-                        outcome: take_outcome(&mut d, k, classes)?,
+                        outcome: take_outcome(&mut d, shard_k, out_classes)?,
                         pareto: {
                             let m = d.take_usize()?;
                             (0..m)
@@ -857,6 +958,7 @@ mod tests {
             task: task.clone(),
             config: cfg.clone(),
             devices: vec![DeviceKind::Rtx3080, DeviceKind::RaspberryPi3B],
+            scenarios: Vec::new(),
         };
         let bytes = encode_client(&frame);
         match decode_client(&bytes).unwrap() {
@@ -864,6 +966,7 @@ mod tests {
                 task: t,
                 config: c,
                 devices,
+                scenarios,
             } => {
                 assert_eq!(t, task);
                 assert_eq!(c.device, cfg.device);
@@ -875,6 +978,54 @@ mod tests {
                     devices,
                     vec![DeviceKind::Rtx3080, DeviceKind::RaspberryPi3B]
                 );
+                assert!(scenarios.is_empty());
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scenario_submit_round_trips_every_new_axis() {
+        use hgnas_device::{DevicePersona, DeviceProfile};
+        let task = {
+            let mut t = TaskConfig::tiny(9);
+            t.task_kind = TaskKind::Segmentation;
+            t
+        };
+        let mut cfg = SearchConfig::fast(DeviceKind::JetsonTx2);
+        cfg.gamma = 0.25;
+        cfg.delta = 0.1;
+        cfg.max_energy_mj = Some(12.5);
+        cfg.max_peak_mem_mb = Some(64.0);
+        let mut profile = DeviceProfile::builtin(DeviceKind::JetsonTx2);
+        profile.overhead_us *= 1.5;
+        cfg = cfg.with_persona(DevicePersona {
+            name: "tx2-throttled".into(),
+            profile,
+        });
+        let frame = ClientFrame::Submit {
+            task: TaskConfig::tiny(9),
+            config: SearchConfig::fast(DeviceKind::JetsonTx2),
+            devices: Vec::new(),
+            scenarios: vec![ScenarioSpec::new(
+                "seg/energy/tx2-throttled",
+                task.clone(),
+                cfg.clone(),
+            )],
+        };
+        let bytes = encode_client(&frame);
+        match decode_client(&bytes).unwrap() {
+            ClientFrame::Submit { scenarios, .. } => {
+                assert_eq!(scenarios.len(), 1);
+                let s = &scenarios[0];
+                assert_eq!(s.label, "seg/energy/tx2-throttled");
+                assert_eq!(s.task, task);
+                assert_eq!(s.task.task_kind, TaskKind::Segmentation);
+                assert_eq!(s.config.gamma.to_bits(), cfg.gamma.to_bits());
+                assert_eq!(s.config.delta.to_bits(), cfg.delta.to_bits());
+                assert_eq!(s.config.max_energy_mj, cfg.max_energy_mj);
+                assert_eq!(s.config.max_peak_mem_mb, cfg.max_peak_mem_mb);
+                assert_eq!(s.config.persona, cfg.persona);
             }
             other => panic!("wrong frame {other:?}"),
         }
@@ -885,6 +1036,8 @@ mod tests {
         let front = vec![ParetoPoint {
             latency_ms: 1.5,
             accuracy: 0.75,
+            energy_mj: Some(3.25),
+            peak_mem_mb: None,
             genome: vec![hgnas_ops::OpType::ALL[0]; 4],
         }];
         let events = vec![

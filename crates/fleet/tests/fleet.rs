@@ -732,10 +732,10 @@ fn fingerprints_match_committed_golden_values() {
     let search = hgnas_fleet::search_fingerprint(&task, &cfg);
     let predictor = predictor_fingerprint(&task.predictor_context(), &cfg.predictor);
 
-    assert_eq!(prefix, 0x14e8_b71e_d8c3_8eb8, "prefix fingerprint drifted");
-    assert_eq!(search, 0x14c4_2cbf_b095_567e, "search fingerprint drifted");
+    assert_eq!(prefix, 0x005e_2678_ebcb_8339, "prefix fingerprint drifted");
+    assert_eq!(search, 0x6679_f675_fecb_8751, "search fingerprint drifted");
     assert_eq!(
-        predictor, 0xd9e9_0c5e_1d8f_8e36,
+        predictor, 0xb59a_1ac7_f4b1_f545,
         "predictor fingerprint drifted"
     );
 }

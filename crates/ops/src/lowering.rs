@@ -243,7 +243,7 @@ pub fn lower_edgeconv(cfg: &DgcnnConfig, n: usize) -> Workload {
 mod tests {
     use super::*;
     use crate::baselines::tailor_baseline;
-    use hgnas_device::{DeviceKind, OpClass};
+    use hgnas_device::{DeviceKind, OpClass, PersonaRegistry};
 
     #[test]
     fn dgcnn_lowering_has_four_knn() {
@@ -273,11 +273,12 @@ mod tests {
     fn tailor_arch_faster_than_dgcnn_everywhere() {
         let dg = lower_edgeconv(&DgcnnConfig::paper(40), 1024);
         let ta = tailor_baseline(true, 20, 40).lower(1024, &[128]);
-        for kind in DeviceKind::EDGE_TARGETS {
-            let p = kind.profile();
+        for persona in PersonaRegistry::builtin().edge_targets() {
+            let p = &persona.profile;
             assert!(
                 p.execute(&ta).latency_ms < p.execute(&dg).latency_ms,
-                "{kind}"
+                "{}",
+                persona.name
             );
         }
     }

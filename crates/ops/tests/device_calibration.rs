@@ -3,7 +3,7 @@
 //! Fig. 1 OOM cliff). If a profile or cost-model change breaks these, the
 //! downstream experiment harnesses stop being a reproduction.
 
-use hgnas_device::{DeviceKind, OpClass};
+use hgnas_device::{DeviceKind, OpClass, PersonaRegistry};
 use hgnas_ops::{lower_edgeconv, DgcnnConfig};
 
 /// Paper Table II: (device, latency_ms, peak_mem_mb) for DGCNN @1024 pts.
@@ -113,12 +113,13 @@ fn knn_reuse_baseline_speedup_in_paper_range() {
     cfg.dynamic = false;
     cfg.reuse_after = 1;
     let reuse = lower_edgeconv(&cfg, 1024);
-    for kind in DeviceKind::EDGE_TARGETS {
-        let p = kind.profile();
+    for persona in PersonaRegistry::builtin().edge_targets() {
+        let p = &persona.profile;
         let speedup = p.execute(&dg).latency_ms / p.execute(&reuse).latency_ms;
         assert!(
             (1.05..3.5).contains(&speedup),
-            "{kind}: speedup {speedup:.2}"
+            "{}: speedup {speedup:.2}",
+            persona.name
         );
     }
 }

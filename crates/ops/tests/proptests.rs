@@ -1,6 +1,6 @@
 //! Property-based tests on the IR, lowering and device-model invariants.
 
-use hgnas_device::DeviceKind;
+use hgnas_device::{DeviceKind, PersonaRegistry};
 use hgnas_ops::{merge_adjacent_samples, Architecture, OpType};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -36,8 +36,8 @@ proptest! {
     fn latency_positive_on_every_device(seed in 0u64..500, positions in 1usize..8) {
         let a = random_arch(seed, positions);
         let w = a.lower(128, &[16]);
-        for kind in DeviceKind::EDGE_TARGETS {
-            let r = kind.profile().execute(&w);
+        for persona in PersonaRegistry::builtin().edge_targets() {
+            let r = persona.profile.execute(&w);
             prop_assert!(r.latency_ms > 0.0);
             prop_assert!(r.peak_mem_mb > 0.0);
         }

@@ -229,6 +229,9 @@ pub struct Batch {
     pub segments: Vec<usize>,
     /// Label per cloud.
     pub labels: Vec<usize>,
+    /// Label per *point* in stacking order — filled by per-point tasks
+    /// (e.g. segmentation), empty for per-cloud tasks.
+    pub point_labels: Vec<usize>,
     /// Lazily filled neighbor lists keyed by `(source token, k)`.
     neighbor_cache: NeighborCache,
 }
@@ -262,14 +265,31 @@ impl Batch {
     /// token never expire.
     pub const RAW_POINTS_SOURCE: u64 = 0;
 
-    /// Creates a batch with an empty neighbor cache.
+    /// Creates a batch with an empty neighbor cache and no per-point
+    /// labels.
     pub fn new(points: Tensor, segments: Vec<usize>, labels: Vec<usize>) -> Self {
         Batch {
             points,
             segments,
             labels,
+            point_labels: Vec::new(),
             neighbor_cache: NeighborCache::default(),
         }
+    }
+
+    /// Returns the batch carrying per-point labels (one per stacked row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count disagrees with the stacked row count.
+    pub fn with_point_labels(mut self, point_labels: Vec<usize>) -> Self {
+        assert_eq!(
+            point_labels.len(),
+            self.points.dims()[0],
+            "one label per stacked point"
+        );
+        self.point_labels = point_labels;
+        self
     }
 
     /// Returns the cached flat neighbor list for `(source, k)`, running

@@ -30,6 +30,11 @@
 
 mod dataset;
 mod shapes;
+mod task;
 
 pub use dataset::{fresh_cache_source, Batch, DatasetConfig, PointCloud, SynthNet40};
 pub use shapes::{class_name, class_spec, sample_class, NUM_CLASSES};
+pub use task::{
+    segment_labels, Classification, Robustness, Segmentation, Task, TaskKind,
+    ROBUSTNESS_JITTER_SIGMA, ROBUSTNESS_OUTLIER_FRACTION, SEGMENTATION_PARTS,
+};

@@ -266,10 +266,24 @@ impl LatencyPredictor {
         ctx: &PredictorContext,
         cfg: &PredictorConfig,
     ) -> (Self, TrainStats) {
-        let profile = device.profile();
+        Self::train_with_profile(&device.profile(), ctx, cfg)
+    }
+
+    /// Trains against an explicit device profile rather than a builtin
+    /// kind — the entry point custom device personas use. The predictor's
+    /// perceived [`DeviceKind`] is the profile's base kind (kind-keyed
+    /// artifacts keep working); callers that juggle several personas over
+    /// one base kind must disambiguate them externally, e.g. via scenario
+    /// fingerprints.
+    pub fn train_with_profile(
+        profile: &DeviceProfile,
+        ctx: &PredictorContext,
+        cfg: &PredictorConfig,
+    ) -> (Self, TrainStats) {
+        let device = profile.kind;
         let total = cfg.train_samples + cfg.val_samples;
         let data = generate_dataset(
-            &profile,
+            profile,
             ctx.positions,
             ctx.points,
             ctx.k,

@@ -13,7 +13,7 @@ use crate::transport::{TcpTransport, Transport, TransportError};
 use hgnas_core::{SearchConfig, TaskConfig};
 use hgnas_device::DeviceKind;
 use hgnas_fleet::wire::{self, ClientFrame, ServerFrame, WireReport};
-use hgnas_fleet::{CodecError, FleetEvent, PruneReport};
+use hgnas_fleet::{CodecError, FleetEvent, PruneReport, ScenarioSpec};
 use std::collections::VecDeque;
 use std::time::Duration;
 
@@ -158,12 +158,49 @@ impl SearchClient {
         devices: &[DeviceKind],
         timeout: Duration,
     ) -> Result<(u64, usize), ClientError> {
-        self.transport
-            .send(&wire::encode_client(&ClientFrame::Submit {
+        self.submit_frame(
+            ClientFrame::Submit {
                 task: task.clone(),
                 config: config.clone(),
                 devices: devices.to_vec(),
-            }))?;
+                scenarios: Vec::new(),
+            },
+            timeout,
+        )
+    }
+
+    /// Submits a search over explicit {task × objective × persona}
+    /// scenarios (one scheduler shard each, see
+    /// `hgnas_fleet::cross_scenarios`) and waits for the `Accepted` ack;
+    /// returns `(request_id, shard_count)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`SearchClient::submit`].
+    pub fn submit_scenarios(
+        &mut self,
+        base_task: &TaskConfig,
+        base_config: &SearchConfig,
+        scenarios: &[ScenarioSpec],
+        timeout: Duration,
+    ) -> Result<(u64, usize), ClientError> {
+        self.submit_frame(
+            ClientFrame::Submit {
+                task: base_task.clone(),
+                config: base_config.clone(),
+                devices: Vec::new(),
+                scenarios: scenarios.to_vec(),
+            },
+            timeout,
+        )
+    }
+
+    fn submit_frame(
+        &mut self,
+        frame: ClientFrame,
+        timeout: Duration,
+    ) -> Result<(u64, usize), ClientError> {
+        self.transport.send(&wire::encode_client(&frame))?;
         loop {
             match self.read_frame(timeout)? {
                 ServerFrame::Accepted { request_id, shards } => return Ok((request_id, shards)),

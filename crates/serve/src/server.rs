@@ -27,9 +27,9 @@ use hgnas_core::{SearchConfig, TaskConfig};
 use hgnas_device::DeviceKind;
 use hgnas_fleet::wire::{self, ClientFrame, ServerFrame, WireReport, WireShardReport};
 use hgnas_fleet::{
-    event_channel, predictor_fingerprint, prefix_fingerprint, search_fingerprint, ArtifactKey,
-    ArtifactStore, OracleConfig, PrefixKey, PruneReport, Scheduler, SchedulerConfig, ShardSpec,
-    PROTOCOL_VERSION,
+    event_channel, persona_predictor_fingerprint, prefix_fingerprint, search_fingerprint,
+    ArtifactKey, ArtifactStore, OracleConfig, PrefixKey, PruneReport, ScenarioSpec, Scheduler,
+    SchedulerConfig, ShardResult, ShardSpec, PROTOCOL_VERSION,
 };
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
@@ -108,6 +108,7 @@ enum Command {
         task: TaskConfig,
         config: SearchConfig,
         devices: Vec<DeviceKind>,
+        scenarios: Vec<ScenarioSpec>,
     },
     Attach {
         request_id: u64,
@@ -140,6 +141,10 @@ struct RequestState {
     specs: Vec<ShardSpec>,
     k: usize,
     classes: usize,
+    /// Per-shard `(scenario label, k, out_classes)` — what the report
+    /// encoder needs to rebuild each shard's architectures at decode time
+    /// (scenario shards may differ from the request-level task).
+    shard_meta: Vec<(String, usize, usize)>,
     /// The connection currently streaming this request's events, if any.
     conn: Option<u64>,
     /// Next event sequence number (== `events.len()`).
@@ -151,6 +156,12 @@ struct RequestState {
     rounds: u64,
     shard_slices: Vec<u64>,
     shard_prefix_builds: Vec<u64>,
+    /// Shards that already ran to completion in an earlier round, by
+    /// request-local index. Later rounds schedule only the `None` slots,
+    /// so a request with more shards than `slices_per_round` still
+    /// converges: finished shards are never re-run (or re-charged) just
+    /// to re-announce their outcome.
+    finished: Vec<Option<ShardResult>>,
 }
 
 /// A running search daemon. Start one over an [`ArtifactStore`], connect
@@ -364,19 +375,25 @@ fn conn_loop(
                     task,
                     config,
                     devices,
+                    scenarios,
                 }) => {
                     let Some((name, priority)) = tenant.clone() else {
                         reject(0, "hello required before submit");
                         continue;
                     };
-                    if devices.is_empty() {
-                        reject(0, "submit names no devices");
+                    if devices.is_empty() && scenarios.is_empty() {
+                        reject(0, "submit names no devices or scenarios");
                         continue;
                     }
+                    let shards = if scenarios.is_empty() {
+                        devices.len()
+                    } else {
+                        scenarios.len()
+                    };
                     let request_id = shared.next_request.fetch_add(1, Ordering::SeqCst);
                     let _ = transport.send(&wire::encode_server(&ServerFrame::Accepted {
                         request_id,
-                        shards: devices.len(),
+                        shards,
                     }));
                     interests += 1;
                     if cmd_tx
@@ -388,6 +405,7 @@ fn conn_loop(
                             task,
                             config,
                             devices,
+                            scenarios,
                         })
                         .is_err()
                     {
@@ -508,14 +526,28 @@ fn handle_command(
             task,
             config,
             devices,
+            scenarios,
         } => {
-            let specs: Vec<ShardSpec> = devices
+            // Scenario shards win over the legacy one-per-device shape,
+            // mirroring `run_fleet`'s dispatch.
+            let specs: Vec<ShardSpec> = if scenarios.is_empty() {
+                devices
+                    .iter()
+                    .map(|&d| {
+                        let mut cfg = config.clone();
+                        cfg.device = d;
+                        ShardSpec::new(task.clone(), cfg)
+                    })
+                    .collect()
+            } else {
+                scenarios
+                    .into_iter()
+                    .map(|s| ShardSpec::new(s.task, s.config).with_scenario(s.label))
+                    .collect()
+            };
+            let shard_meta = specs
                 .iter()
-                .map(|&d| {
-                    let mut cfg = config.clone();
-                    cfg.device = d;
-                    ShardSpec::new(task.clone(), cfg)
-                })
+                .map(|s| (s.scenario.clone(), s.task.k, s.task.out_classes()))
                 .collect();
             admission.admit(request_id, &tenant, priority);
             let shards = specs.len();
@@ -526,6 +558,7 @@ fn handle_command(
                     specs,
                     k: task.k,
                     classes: task.classes(),
+                    shard_meta,
                     conn: Some(conn),
                     seq: 0,
                     events: Vec::new(),
@@ -533,6 +566,7 @@ fn handle_command(
                     rounds: 0,
                     shard_slices: vec![0; shards],
                     shard_prefix_builds: vec![0; shards],
+                    finished: (0..shards).map(|_| None).collect(),
                 },
             );
         }
@@ -591,11 +625,30 @@ fn run_round(
         admission.complete(request_id);
         return;
     };
+    if req.report_frame.is_some() {
+        admission.complete(request_id);
+        return;
+    }
+    // Only shards without a finished result get scheduled: a finished
+    // shard's outcome is carried in `req.finished`, so re-running it from
+    // its final checkpoint would burn round budget without progress —
+    // with more shards than `slices_per_round` that burn is unbounded
+    // (no round could ever re-finish them all at once).
+    let pending: Vec<usize> = req
+        .finished
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| f.is_none().then_some(i))
+        .collect();
+    if pending.is_empty() {
+        admission.complete(request_id);
+        return;
+    }
     let grant = (shared.cfg.preemption_stride > 0).then(|| shared.cfg.slices_per_round.max(1));
     // The round's stop flag is the daemon's: a shutdown mid-round parks
     // the shards at the next slice boundary.
     let scheduler = Scheduler::new(
-        req.specs.clone(),
+        pending.iter().map(|&i| req.specs[i].clone()).collect(),
         SchedulerConfig {
             threads: shared.cfg.threads,
             preemption_stride: shared.cfg.preemption_stride,
@@ -615,7 +668,10 @@ fn run_round(
         let store = &shared.store;
         std::thread::scope(|s| {
             let handle = s.spawn(move || sref.run(Some(store), Some(tx)));
-            for event in rx.iter() {
+            for mut event in rx.iter() {
+                // Scheduler indices are round-local (pending shards only);
+                // stream them in the request's own numbering.
+                event.set_shard(pending[event.shard()]);
                 let frame = wire::encode_server(&ServerFrame::Event {
                     request_id,
                     seq: req.seq,
@@ -650,16 +706,22 @@ fn run_round(
         Ok(report) => {
             let round_slices: u64 = report.shards.iter().map(|s| s.slices).sum();
             admission.charge(request_id, round_slices);
-            for (i, s) in report.shards.iter().enumerate() {
+            for (j, s) in report.shards.into_iter().enumerate() {
+                let i = pending[j];
                 req.shard_slices[i] += s.slices;
                 req.shard_prefix_builds[i] += s.prefix_builds;
+                if s.outcome.is_some() {
+                    req.finished[i] = Some(s);
+                }
             }
-            if report.shards.iter().all(|s| s.outcome.is_some()) {
-                let shards = report
-                    .shards
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, s)| WireShardReport {
+            if req.finished.iter().all(Option::is_some) {
+                let mut shards = Vec::with_capacity(req.finished.len());
+                for i in 0..req.finished.len() {
+                    let s = req.finished[i].take().expect("checked finished");
+                    shards.push(WireShardReport {
+                        scenario: req.shard_meta[i].0.clone(),
+                        k: req.shard_meta[i].1,
+                        out_classes: req.shard_meta[i].2,
                         device: s.device,
                         outcome: s.outcome.expect("checked finished"),
                         pareto: s.pareto,
@@ -667,8 +729,8 @@ fn run_round(
                         resumed_from_generation: s.resumed_from_generation,
                         slices: req.shard_slices[i],
                         prefix_builds: req.shard_prefix_builds[i],
-                    })
-                    .collect();
+                    });
+                }
                 let frame = wire::encode_server(&ServerFrame::Report {
                     request_id,
                     report: WireReport {
@@ -705,9 +767,10 @@ fn run_gc(shared: &Arc<Shared>, requests: &HashMap<u64, RequestState>) {
             });
             live.push(ArtifactKey {
                 device: spec.config.device,
-                fingerprint: predictor_fingerprint(
+                fingerprint: persona_predictor_fingerprint(
                     &spec.task.predictor_context(),
                     &spec.config.predictor,
+                    spec.config.persona.as_ref(),
                 ),
             });
             live_sessions.push(PrefixKey {

@@ -8,7 +8,7 @@
 //! cargo run --release --example device_profiling
 //! ```
 
-use hgnas::device::{DeviceKind, OpClass};
+use hgnas::device::{DeviceKind, OpClass, PersonaRegistry};
 use hgnas::ops::{lower_edgeconv, DgcnnConfig};
 
 fn main() {
@@ -25,12 +25,12 @@ fn main() {
         "\n{:14} {:>10} {:>8} {:>10} {:>9} {:>7} {:>9}",
         "device", "latency", "sample", "aggregate", "combine", "other", "peak MB"
     );
-    for kind in DeviceKind::EDGE_TARGETS {
-        let r = kind.profile().execute(&w);
+    for persona in PersonaRegistry::builtin().edge_targets() {
+        let r = persona.profile.execute(&w);
         let f = r.breakdown_fractions();
         println!(
             "{:14} {:>8.1}ms {:>7.1}% {:>9.1}% {:>8.1}% {:>6.1}% {:>9.1}",
-            kind.name(),
+            persona.base_kind().name(),
             r.latency_ms,
             f[OpClass::Sample.index()] * 100.0,
             f[OpClass::Aggregate.index()] * 100.0,

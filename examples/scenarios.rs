@@ -1,0 +1,122 @@
+//! Scenario fleets: shard one run over the {task × objective × persona}
+//! cross product instead of a device list.
+//!
+//! ```sh
+//! cargo run --release --example scenarios
+//! ```
+//!
+//! The example builds two personas — the builtin Jetson TX2 and a
+//! "field-tx2" calibrated from (simulated) board measurements of three
+//! probe architectures — then crosses them with two tasks
+//! (classification and per-point segmentation) and two objectives (the
+//! classic accuracy/latency trade-off, and a multi-metric one that also
+//! prices per-inference energy and peak memory), and runs the resulting
+//! eight scenarios as one fleet. Run it twice: the second invocation
+//! warm-starts every scenario from the artifacts the first one persisted.
+
+use hgnas::core::{SearchConfig, TaskConfig};
+use hgnas::device::{builtin_slug, calibrate, collect_samples, DeviceKind, PersonaRegistry};
+use hgnas::fleet::{cross_scenarios, run_fleet, ArtifactStore, FleetConfig, ObjectiveSpec};
+use hgnas::pointcloud::TaskKind;
+use hgnas::predictor::PredictorConfig;
+
+fn main() {
+    let task = TaskConfig::tiny(42);
+    let mut base = SearchConfig::fast(DeviceKind::JetsonTx2);
+    // Reduced predictor so a cold start stays in example territory.
+    base.predictor = PredictorConfig {
+        train_samples: 100,
+        val_samples: 30,
+        epochs: 8,
+        lr: 3e-3,
+        gcn_dims: vec![24, 24],
+        mlp_hidden: vec![16],
+        seed: 1,
+        global_node: true,
+        batch: 4,
+    };
+    base.ea_stage2.iterations = 3;
+
+    // Persona 1: the builtin Jetson TX2, straight from the registry.
+    let registry = PersonaRegistry::builtin();
+    let jetson = registry
+        .get(builtin_slug(DeviceKind::JetsonTx2))
+        .expect("builtin persona")
+        .clone();
+
+    // Persona 2: a bring-your-own-device board. We "deploy" three probe
+    // architectures, read back noisy end-to-end latencies (here the board
+    // is simulated by a TX2 running ~40% slower — a thermal throttle),
+    // and least-squares fit a persona to the measurements.
+    let mut board = jetson.profile.clone();
+    for r in &mut board.rates {
+        r.gflops /= 1.4;
+        r.gbps /= 1.4;
+    }
+    let probes: Vec<_> = [256, 512, 1024]
+        .iter()
+        .map(|&n| hgnas::ops::lower_edgeconv(&task.reference_dgcnn(), n))
+        .collect();
+    let samples = collect_samples(&probes, |w| {
+        board.measure_seeded(w, 7).map(|r| r.latency_ms)
+    })
+    .expect("board measurements");
+    let field = calibrate("field-tx2", &jetson.profile, &samples).expect("calibration fit");
+    println!(
+        "calibrated persona {:?}: overhead {:.0} µs (builtin {:.0} µs)",
+        field.name, field.profile.overhead_us, jetson.profile.overhead_us
+    );
+
+    // The cross product: 2 tasks × 2 objectives × 2 personas = 8 scenarios.
+    let scenarios = cross_scenarios(
+        &task,
+        &base,
+        &[TaskKind::Classification, TaskKind::Segmentation],
+        &[
+            ObjectiveSpec::accuracy_latency("acc-lat", base.alpha, base.beta),
+            ObjectiveSpec::accuracy_latency("multi", base.alpha, base.beta)
+                .with_energy(0.2, None)
+                .with_peak_mem(0.05, None),
+        ],
+        &[jetson, field],
+    );
+    println!("\n== {} scenarios ==", scenarios.len());
+    for s in &scenarios {
+        println!("  {}", s.label);
+    }
+
+    let store = ArtifactStore::open("target/scenario-artifacts").expect("artifact store");
+    let mut fleet = FleetConfig::over_scenarios(scenarios);
+    fleet.threads = 2;
+    fleet.preemption_stride = 1;
+
+    let report = run_fleet(&task, &base, &fleet, Some(&store)).expect("scenario fleet");
+
+    for shard in &report.reports {
+        let start = if shard.warm_predictor {
+            "warm".to_string()
+        } else {
+            format!("cold, {} predictor epochs", shard.predictor_epochs_run)
+        };
+        println!(
+            "{:<40} {} | Pareto front: {} candidates",
+            shard.scenario,
+            start,
+            shard.pareto.len()
+        );
+        for p in shard.pareto.iter().take(2) {
+            let extras = match (p.energy_mj, p.peak_mem_mb) {
+                (Some(e), Some(m)) => format!(", {e:.1} mJ, {m:.0} MB"),
+                _ => String::new(),
+            };
+            println!(
+                "    {:>8.2} ms @ {:.1}% one-shot accuracy{extras}",
+                p.latency_ms,
+                p.accuracy * 100.0
+            );
+        }
+    }
+
+    println!("\n{}", report.summary_table());
+    println!("run this example again for the warm start.");
+}

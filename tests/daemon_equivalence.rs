@@ -92,24 +92,29 @@ fn assert_outcomes_bit_identical(a: &SearchOutcome, b: &SearchOutcome) {
     assert_eq!(a.predictor_stats, b.predictor_stats);
 }
 
-fn front_signature(front: &[ParetoPoint]) -> Vec<(u64, u64, Vec<u8>)> {
+#[allow(clippy::type_complexity)]
+fn front_signature(front: &[ParetoPoint]) -> Vec<(u64, u64, Option<u64>, Option<u64>, Vec<u8>)> {
     front
         .iter()
         .map(|p| {
             (
                 p.latency_ms.to_bits(),
                 p.accuracy.to_bits(),
+                p.energy_mj.map(f64::to_bits),
+                p.peak_mem_mb.map(f64::to_bits),
                 p.genome.iter().map(|op| op.index() as u8).collect(),
             )
         })
         .collect()
 }
 
-/// Daemon report vs direct fleet report, shard by shard, bit for bit.
+/// Daemon report vs direct fleet report, shard by shard, bit for bit —
+/// scenario labels and multi-metric Pareto axes included.
 fn assert_report_matches_fleet(got: &WireReport, want: &hgnas::fleet::FleetReport) {
     assert_eq!(got.shards.len(), want.reports.len());
     for (g, w) in got.shards.iter().zip(&want.reports) {
         assert_eq!(g.device, w.device);
+        assert_eq!(g.scenario, w.scenario);
         assert_outcomes_bit_identical(&g.outcome, &w.outcome);
         assert_eq!(front_signature(&g.pareto), front_signature(&w.pareto));
     }
@@ -258,5 +263,99 @@ fn attach_enforces_tenant_ownership() {
     assert_eq!(report.shards.len(), 1);
     drop(alice);
     drop(mallory);
+    server.shutdown();
+}
+
+/// Scenario acceptance: a {2 tasks × 2 objectives × 2 personas} cross —
+/// classification and segmentation, the classic accuracy/latency
+/// objective and a multi-metric one pricing energy and peak memory, the
+/// builtin Jetson persona and a throttled calibrated variant — submitted
+/// through the daemon matches the direct `run_fleet` of the same
+/// scenarios shard for shard: labels, per-shard decode geometry, search
+/// outcomes, and Pareto fronts (extra axes included) bit for bit.
+#[test]
+fn scenario_cross_product_matches_run_fleet_through_daemon() {
+    use hgnas::device::{builtin_slug, DevicePersona};
+    use hgnas::fleet::{cross_scenarios, ObjectiveSpec};
+    use hgnas::pointcloud::TaskKind;
+
+    let task = TaskConfig::tiny(83);
+    let base = tiny_config(DeviceKind::JetsonTx2, 0);
+
+    let builtin = DevicePersona {
+        name: builtin_slug(DeviceKind::JetsonTx2).to_string(),
+        profile: DeviceKind::JetsonTx2.profile(),
+    };
+    let mut slow = DeviceKind::JetsonTx2.profile();
+    slow.overhead_us *= 1.5;
+    for r in &mut slow.rates {
+        r.gflops *= 0.7;
+        r.gbps *= 0.7;
+    }
+    let throttled = DevicePersona {
+        name: "tx2-throttled".to_string(),
+        profile: slow,
+    };
+
+    let scenarios = cross_scenarios(
+        &task,
+        &base,
+        &[TaskKind::Classification, TaskKind::Segmentation],
+        &[
+            ObjectiveSpec::accuracy_latency("acc-lat", base.alpha, base.beta),
+            ObjectiveSpec::accuracy_latency("multi", base.alpha, base.beta)
+                .with_energy(0.2, None)
+                .with_peak_mem(0.05, None),
+        ],
+        &[builtin, throttled],
+    );
+    assert_eq!(scenarios.len(), 8, "2 tasks x 2 objectives x 2 personas");
+
+    let reference = run_fleet(
+        &task,
+        &base,
+        &FleetConfig::over_scenarios(scenarios.clone()),
+        None,
+    )
+    .expect("direct scenario fleet");
+    assert_eq!(reference.reports.len(), 8);
+    for (r, s) in reference.reports.iter().zip(&scenarios) {
+        assert_eq!(r.scenario, s.label);
+        assert!(!r.pareto.is_empty(), "{}: empty front", s.label);
+        // The multi-metric objective prices energy and peak memory, so its
+        // fronts carry the extra axes; the classic objective's do not.
+        let priced = s.config.gamma != 0.0;
+        for p in &r.pareto {
+            assert_eq!(p.energy_mj.is_some(), priced, "{}", s.label);
+            assert_eq!(p.peak_mem_mb.is_some(), priced, "{}", s.label);
+        }
+    }
+
+    let temp = TempStore::new("scenarios");
+    let server = Server::start(
+        temp.open(),
+        ServeConfig {
+            threads: 2,
+            preemption_stride: 1,
+            slices_per_round: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = server.connect();
+    client.hello("carol", 2, TICK).unwrap();
+    let (request, shards) = client
+        .submit_scenarios(&task, &base, &scenarios, TICK)
+        .unwrap();
+    assert_eq!(shards, scenarios.len());
+    let report = client.wait_report(request, SEARCH, |_, _| {}).unwrap();
+
+    for (g, s) in report.shards.iter().zip(&scenarios) {
+        assert_eq!(g.scenario, s.label);
+        assert_eq!(g.k, s.task.k);
+        assert_eq!(g.out_classes, s.task.out_classes());
+    }
+    assert_report_matches_fleet(&report, &reference);
+
+    drop(client);
     server.shutdown();
 }

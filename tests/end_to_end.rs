@@ -35,7 +35,8 @@ fn tiny_config(device: DeviceKind) -> SearchConfig {
 
 #[test]
 fn search_works_on_every_edge_device() {
-    for device in DeviceKind::EDGE_TARGETS {
+    for persona in hgnas::device::PersonaRegistry::builtin().edge_targets() {
+        let device = persona.base_kind();
         let outcome = Hgnas::new(TaskConfig::tiny(8), tiny_config(device)).run();
         assert!(
             outcome.best.latency_ms < outcome.constraint_ms,

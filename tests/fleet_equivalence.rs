@@ -845,3 +845,82 @@ fn streaming_reports_cover_the_fleet_lifecycle() {
         "snapshot shows terminal rows: {snap}"
     );
 }
+
+/// Satellite acceptance (task × persona matrix): every scenario shard —
+/// classification and segmentation, builtin and recalibrated personas —
+/// comes out of the preempting scheduler bit-identical to a serial
+/// `Hgnas::run` of that scenario's own (task, config) pair, scenario
+/// labels survive the trip, and the classification shard on the untouched
+/// builtin persona is bit-identical to the legacy device-keyed run (a
+/// persona that merely names the builtin profile perturbs nothing).
+#[test]
+fn task_persona_shard_matrix_is_bit_identical_to_serial() {
+    use hgnas::device::{builtin_slug, DevicePersona};
+    use hgnas::fleet::{cross_scenarios, ObjectiveSpec};
+    use hgnas::pointcloud::TaskKind;
+
+    let base_task = TaskConfig::tiny(21);
+    let base = tiny_config(DeviceKind::JetsonTx2, LatencyMode::Predictor);
+
+    let builtin = DevicePersona {
+        name: builtin_slug(DeviceKind::JetsonTx2).to_string(),
+        profile: DeviceKind::JetsonTx2.profile(),
+    };
+    let mut throttled_profile = DeviceKind::JetsonTx2.profile();
+    throttled_profile.overhead_us *= 2.0;
+    for r in &mut throttled_profile.rates {
+        r.gflops *= 0.6;
+        r.gbps *= 0.6;
+    }
+    let throttled = DevicePersona {
+        name: "tx2-throttled".to_string(),
+        profile: throttled_profile,
+    };
+
+    let scenarios = cross_scenarios(
+        &base_task,
+        &base,
+        &[TaskKind::Classification, TaskKind::Segmentation],
+        &[ObjectiveSpec::accuracy_latency(
+            "acc-lat", base.alpha, base.beta,
+        )],
+        &[builtin, throttled],
+    );
+    assert_eq!(scenarios.len(), 4, "2 tasks x 1 objective x 2 personas");
+    assert_eq!(scenarios[0].label, "classification/acc-lat/jetson-tx2");
+    assert_eq!(scenarios[3].label, "segmentation/acc-lat/tx2-throttled");
+
+    let specs: Vec<ShardSpec> = scenarios
+        .iter()
+        .map(|s| ShardSpec::new(s.task.clone(), s.config.clone()).with_scenario(s.label.clone()))
+        .collect();
+    let report = Scheduler::new(
+        specs,
+        SchedulerConfig {
+            threads: 2,
+            preemption_stride: 1,
+            ..SchedulerConfig::default()
+        },
+    )
+    .run(None, None)
+    .expect("storeless scenario matrix");
+
+    for (result, scenario) in report.shards.iter().zip(&scenarios) {
+        assert_eq!(result.scenario, scenario.label);
+        assert_eq!(result.device, DeviceKind::JetsonTx2);
+        let outcome = result
+            .outcome
+            .as_ref()
+            .expect("unbudgeted scheduler finishes every shard");
+        let serial = Hgnas::new(scenario.task.clone(), scenario.config.clone()).run();
+        assert_outcomes_bit_identical(outcome, &serial);
+        assert!(!result.pareto.is_empty(), "{}", scenario.label);
+    }
+
+    // Classification on the untouched builtin persona == the legacy
+    // device-keyed search: `with_persona` of the builtin profile leaves
+    // the classification path bit-identical.
+    let legacy = Hgnas::new(base_task, base).run();
+    let first = report.shards[0].outcome.as_ref().unwrap();
+    assert_outcomes_bit_identical(first, &legacy);
+}

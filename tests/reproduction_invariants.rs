@@ -143,11 +143,12 @@ fn tailor_baseline_matches_paper_relationships() {
 
     let dg_w = lower_edgeconv(&DgcnnConfig::paper(40), 1024);
     let ta_w = tailor_baseline(true, 20, 40).lower(1024, &[128]);
-    for device in DeviceKind::EDGE_TARGETS {
-        let p = device.profile();
+    for persona in hgnas::device::PersonaRegistry::builtin().edge_targets() {
+        let p = &persona.profile;
         assert!(
             p.execute(&ta_w).latency_ms < p.execute(&dg_w).latency_ms,
-            "{device}"
+            "{}",
+            persona.name
         );
     }
 }
